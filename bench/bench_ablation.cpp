@@ -1,0 +1,151 @@
+/// Ablations for the design choices called out in DESIGN.md:
+///   1. K, the number of Gauss-Hermite nodes per simulated step (the paper
+///      leaves it unspecified; we default to 3);
+///   2. the reward discount γ (paper: 0.9);
+///   3. the root-screening width (our single-core implementation
+///      approximation; 0 = paper-faithful full sweep);
+///   4. the cost model: bagging ensemble of random trees (paper default)
+///      vs a Gaussian process (paper footnote 1), and the ensemble size.
+///
+/// Run on a Scout job (69 configs) so the full-width variants stay cheap.
+/// Flags: --runs=N (default 20), --b.
+
+#include "common.hpp"
+
+#include "core/bo.hpp"
+#include "core/lynceus.hpp"
+#include "model/bagging.hpp"
+#include "model/gp.hpp"
+
+using namespace lynceus;
+
+namespace {
+
+eval::OptimizerSpec custom_spec(const std::string& label,
+                                core::LynceusOptions opts) {
+  return {label, [opts] {
+            return std::make_unique<core::LynceusOptimizer>(opts);
+          }};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto settings = bench::parse_settings(argc, argv, 20);
+  settings.use_cache = false;  // ablations are cheap; keep the cache clean
+
+  const auto dataset =
+      cloud::make_scout_dataset(cloud::scout_job_specs()[4]);  // pagerank
+  eval::ExperimentConfig cfg;
+  cfg.runs = settings.runs;
+  cfg.budget_multiplier = settings.budget_multiplier;
+  cfg.base_seed = settings.base_seed;
+
+  bench::print_header(util::format(
+      "Ablations — Lynceus design choices on %s (runs=%zu)",
+      dataset.job_name().c_str(), settings.runs));
+
+  eval::Table table({"variant", "mean CNO", "p90 CNO", "avg NEX",
+                     "avg s/next()"});
+  auto add = [&](const eval::OptimizerSpec& spec) {
+    const auto result = run_experiment(dataset, spec, cfg);
+    const auto s = eval::summarize(result.cnos());
+    table.add_row({spec.label, util::format("%.3f", s.mean),
+                   util::format("%.3f", s.p90),
+                   util::format("%.1f", result.mean_nex()),
+                   util::format("%.4f", result.mean_decision_seconds())});
+    std::printf("[%s done]\n", spec.label.c_str());
+  };
+
+  core::LynceusOptions base;
+  base.lookahead = 1;
+
+  // 1. Gauss-Hermite nodes.
+  for (unsigned k : {2U, 3U, 5U}) {
+    auto opts = base;
+    opts.gh_points = k;
+    add(custom_spec(util::format("K=%u", k), opts));
+  }
+  // 2. Discount factor.
+  for (double gamma : {0.0, 0.5, 0.9, 1.0}) {
+    auto opts = base;
+    opts.gamma = gamma;
+    add(custom_spec(util::format("gamma=%.1f", gamma), opts));
+  }
+  // 3. Screening width (0 = all viable roots).
+  for (unsigned width : {8U, 16U, 32U, 0U}) {
+    auto opts = base;
+    opts.screen_width = width;
+    add(custom_spec(width == 0 ? std::string("screen=all")
+                               : util::format("screen=%u", width),
+                    opts));
+  }
+  // 4. Cost model.
+  {
+    auto opts = base;
+    opts.model_factory = [] {
+      return std::make_unique<model::GaussianProcess>();
+    };
+    add(custom_spec("model=GP", opts));
+  }
+  for (unsigned trees : {5U, 10U, 20U}) {
+    auto opts = base;
+    opts.model_factory =
+        core::default_tree_model_factory(dataset.space(), trees);
+    add(custom_spec(util::format("trees=%u", trees), opts));
+  }
+  // 5. Faithful baselines: the original CherryPick recipe (GP + EI with
+  //    the 10% stopping rule) next to the paper's tree-ensemble BO.
+  add(eval::cherrypick_spec());
+  add(eval::bo_spec());
+
+  // 6. Predictive-variance mode (between-trees spread vs SMAC-style law of
+  //    total variance).
+  {
+    auto opts = base;
+    model::BaggingOptions bopts;
+    bopts.tree.features_per_split =
+        model::BaggingOptions::weka_features_per_split(
+            dataset.space().dim_count());
+    bopts.variance_mode = model::VarianceMode::TotalVariance;
+    opts.model_factory = [bopts] {
+      return std::make_unique<model::BaggingEnsemble>(bopts);
+    };
+    add(custom_spec("variance=total", opts));
+  }
+
+  table.print(std::cout);
+  eval::ensure_directory("results");
+  table.save_csv("results/ablation.csv");
+
+  // 7. Robustness to the synthetic-surface draw: the Lynceus-vs-BO
+  //    comparison must hold on independently generated CNN surfaces
+  //    (different noise seeds), i.e. the headline result is not an
+  //    artifact of one particular synthetic dataset.
+  bench::print_header("Surface-draw robustness — CNN, 3 noise seeds");
+  eval::Table robust({"noise seed", "Lynceus(LA=1) mean CNO", "BO mean CNO"});
+  for (std::uint64_t noise_seed : {0ULL, 1ULL, 2ULL}) {
+    const auto cnn =
+        cloud::make_tensorflow_dataset(cloud::TfModel::CNN, noise_seed);
+    eval::ExperimentConfig quick = cfg;
+    quick.runs = std::max<std::size_t>(cfg.runs / 2, 8);
+    const auto lyn =
+        run_experiment(cnn, eval::lynceus_spec(1, settings.screen_width),
+                       quick);
+    const auto bo = run_experiment(cnn, eval::bo_spec(), quick);
+    robust.add_row({util::format("%llu",
+                                 static_cast<unsigned long long>(noise_seed)),
+                    util::format("%.3f", eval::summarize(lyn.cnos()).mean),
+                    util::format("%.3f", eval::summarize(bo.cnos()).mean)});
+    std::printf("[noise seed %llu done]\n",
+                static_cast<unsigned long long>(noise_seed));
+  }
+  robust.print(std::cout);
+  robust.save_csv("results/ablation_noise_seeds.csv");
+  std::printf(
+      "\nReading guide: K and gamma should plateau quickly (K=3, gamma=0.9\n"
+      "are adequate); widening the screen beyond ~16 should not change CNO\n"
+      "on this small space (validating the screening approximation); the\n"
+      "GP model is a viable alternative to the tree ensemble (footnote 1).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// Reproduces Figure 4 of the paper: CDFs of the CNO achieved by Lynceus
+/// (LA=2), BO (CherryPick-style) and RND on the three TensorFlow jobs with
+/// the medium budget (b=3), plus the headline statistics quoted in §6.1
+/// (probability of finding the optimum, average CNO, tail CNO).
+///
+/// Flags: --runs=N (default 40; the paper uses >= 100), --b, --screen,
+/// --no-cache. Runs are paired (same bootstrap per run index across
+/// optimizers) and memoized in results/cache, shared with Figs. 6 and 7.
+
+#include <fstream>
+
+#include "common.hpp"
+
+#include "eval/plot.hpp"
+#include "util/json.hpp"
+
+using namespace lynceus;
+
+int main(int argc, char** argv) {
+  const auto settings = bench::parse_settings(argc, argv, 40);
+  eval::ensure_directory("results");
+
+  bench::print_header(util::format(
+      "Figure 4 — CDF of CNO, TensorFlow jobs, medium budget (runs=%zu)",
+      settings.runs));
+
+  eval::Table summary({"job", "optimizer", "P(optimal)", "mean CNO",
+                       "p50 CNO", "p90 CNO", "p95 CNO"});
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("figure").value("4");
+  json.key("runs").value(settings.runs);
+  json.key("budget_multiplier").value(settings.budget_multiplier);
+  json.key("entries").begin_array();
+
+  for (const auto& dataset : cloud::make_tensorflow_datasets()) {
+    std::vector<eval::Series> cdf_plot;
+    for (const auto& spec : bench::headline_specs(settings)) {
+      const auto result = bench::fetch(settings, dataset, spec);
+      const auto cnos = result.cnos();
+      cdf_plot.push_back(eval::cdf_series(spec.label, cnos));
+      const auto s = eval::summarize(cnos);
+      double optimal = 0.0;
+      for (double c : cnos) optimal += c <= 1.0 + 1e-9 ? 1.0 : 0.0;
+      optimal /= static_cast<double>(cnos.size());
+      summary.add_row({dataset.job_name(), spec.label,
+                       util::format("%.2f", optimal),
+                       util::format("%.2f", s.mean),
+                       util::format("%.2f", s.p50),
+                       util::format("%.2f", s.p90),
+                       util::format("%.2f", s.p95)});
+      eval::save_cdf_csv("results/fig4_" + dataset.job_name() + "_" +
+                             spec.label + ".csv",
+                         cnos);
+      json.begin_object();
+      json.key("job").value(dataset.job_name());
+      json.key("optimizer").value(spec.label);
+      json.key("p_optimal").value(optimal);
+      json.key("mean_cno").value(s.mean);
+      json.key("p90_cno").value(s.p90);
+      json.key("mean_nex").value(result.mean_nex());
+      json.key("cnos").begin_array();
+      for (double c : cnos) json.value(c);
+      json.end_array();
+      json.end_object();
+    }
+    eval::PlotOptions plot;
+    plot.title = "CDF of CNO — " + dataset.job_name();
+    plot.x_label = "CNO";
+    plot.y_label = "CDF";
+    std::fputs(render_plot(cdf_plot, plot).c_str(), stdout);
+    std::printf("[%s done]\n", dataset.job_name().c_str());
+  }
+
+  summary.print(std::cout);
+  summary.save_csv("results/fig4_summary.csv");
+  json.end_array();
+  json.end_object();
+  std::ofstream("results/fig4_summary.json") << json.str() << "\n";
+  std::printf(
+      "\nPaper (>=100 runs): Lynceus finds the optimum 84%%/88%%/98%% of the\n"
+      "time (CNN/RNN/Multilayer) vs 30%%/50%%/44%% for BO; average CNO\n"
+      "1.13/1.03/1.00 vs 2.11/1.73/1.89; Lynceus also dominates RND while\n"
+      "BO falls back to RND-level quality at the tail.\n");
+  return 0;
+}

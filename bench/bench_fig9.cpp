@@ -1,0 +1,59 @@
+/// Reproduces Figure 9 of the paper: the average number of explorations
+/// (NEX) as a function of the available budget (b = 1, 3, 5) for Lynceus
+/// (LA=2) and BO on the three TensorFlow jobs — the budget-awareness
+/// mechanism made visible: with the same budget, Lynceus profiles the job
+/// on substantially more configurations because it steers away from
+/// expensive profiling runs.
+///
+/// Shares its runs with Fig. 8 through the results cache.
+/// Flags: --runs=N (default 40, shared with Fig. 4 cache), --screen,
+/// --no-cache.
+
+#include "common.hpp"
+
+using namespace lynceus;
+
+int main(int argc, char** argv) {
+  const auto settings = bench::parse_settings(argc, argv, 40);
+  eval::ensure_directory("results");
+
+  bench::print_header(util::format(
+      "Figure 9 — average NEX vs budget multiplier b, TensorFlow (runs=%zu)",
+      settings.runs));
+
+  const double budgets[] = {1.0, 3.0, 5.0};
+  eval::Table table({"job", "optimizer", "b=1", "b=3", "b=5"});
+  eval::Table ratio_table({"job", "NEX ratio b=1", "b=3", "b=5"});
+
+  for (const auto& dataset : cloud::make_tensorflow_datasets()) {
+    std::vector<double> lyn_nex;
+    std::vector<double> bo_nex;
+    for (const auto& spec :
+         {eval::lynceus_spec(2, settings.screen_width), eval::bo_spec()}) {
+      std::vector<std::string> row{dataset.job_name(), spec.label};
+      for (double b : budgets) {
+        const auto result = bench::fetch(settings, dataset, spec, b);
+        const double nex = result.mean_nex();
+        (spec.label == "BO" ? bo_nex : lyn_nex).push_back(nex);
+        row.push_back(util::format("%.1f", nex));
+      }
+      table.add_row(row);
+    }
+    std::vector<std::string> ratios{dataset.job_name()};
+    for (std::size_t i = 0; i < 3; ++i) {
+      ratios.push_back(util::format("%.2fx", lyn_nex[i] / bo_nex[i]));
+    }
+    ratio_table.add_row(ratios);
+    std::printf("[%s done]\n", dataset.job_name().c_str());
+  }
+
+  table.print(std::cout);
+  std::printf("\nLynceus/BO exploration ratio:\n");
+  ratio_table.print(std::cout);
+  table.save_csv("results/fig9_summary.csv");
+  std::printf(
+      "\nPaper: at b=1 Lynceus explores at most 1.65x more configurations\n"
+      "than BO (the bootstrap dominates); at b=3 and b=5 the ratio grows\n"
+      "to 2.25x.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+/// Micro-benchmarks (google-benchmark) of the optimizer's hot paths: the
+/// components whose speed bounds Lynceus' decision time — tree/ensemble
+/// fitting and batch prediction, Gauss-Hermite construction, LHS sampling,
+/// acquisition evaluation, and a single full ExplorePaths-equivalent
+/// decision step.
+
+#include <benchmark/benchmark.h>
+
+#include "cloud/workloads.hpp"
+#include "core/acquisition.hpp"
+#include "core/lynceus.hpp"
+#include "eval/experiment.hpp"
+#include "eval/runner.hpp"
+#include "math/gauss_hermite.hpp"
+#include "math/lhs.hpp"
+#include "model/bagging.hpp"
+#include "model/gp.hpp"
+
+namespace {
+
+using namespace lynceus;
+
+/// Training set of `n` samples over the TensorFlow space, deterministic.
+struct TrainingFixture {
+  std::shared_ptr<const space::ConfigSpace> space;
+  model::FeatureMatrix fm;
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+
+  explicit TrainingFixture(std::size_t n)
+      : space(cloud::tensorflow_space()), fm(*space) {
+    const auto ds = cloud::make_tensorflow_dataset(cloud::TfModel::CNN);
+    util::Rng rng(9);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id =
+          static_cast<space::ConfigId>(rng.below(space->size()));
+      rows.push_back(id);
+      y.push_back(ds.cost(id));
+    }
+  }
+};
+
+void BM_TreeFit(benchmark::State& state) {
+  TrainingFixture fx(static_cast<std::size_t>(state.range(0)));
+  model::TreeOptions opts;
+  opts.features_per_split = 4;
+  model::DecisionTree tree(opts);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    tree.fit(fx.fm, fx.rows, fx.y, rng);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_EnsembleFit(benchmark::State& state) {
+  TrainingFixture fx(static_cast<std::size_t>(state.range(0)));
+  model::BaggingOptions opts;
+  opts.tree.features_per_split = 4;
+  model::BaggingEnsemble ens(opts);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ens.fit(fx.fm, fx.rows, fx.y, ++seed);
+  }
+}
+BENCHMARK(BM_EnsembleFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_EnsemblePredictAll(benchmark::State& state) {
+  TrainingFixture fx(100);
+  model::BaggingEnsemble ens;
+  ens.fit(fx.fm, fx.rows, fx.y, 7);
+  std::vector<model::Prediction> preds;
+  for (auto _ : state) {
+    ens.predict_all(fx.fm, preds);
+    benchmark::DoNotOptimize(preds.data());
+  }
+}
+BENCHMARK(BM_EnsemblePredictAll);
+
+void BM_GpFit(benchmark::State& state) {
+  TrainingFixture fx(static_cast<std::size_t>(state.range(0)));
+  model::GaussianProcess gp;
+  for (auto _ : state) {
+    gp.fit(fx.fm, fx.rows, fx.y, 0);
+    benchmark::DoNotOptimize(gp.lengthscale());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_GaussHermite(benchmark::State& state) {
+  for (auto _ : state) {
+    const math::GaussHermite gh(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(gh.nodes().data());
+  }
+}
+BENCHMARK(BM_GaussHermite)->Arg(3)->Arg(8)->Arg(32);
+
+void BM_LhsSample(benchmark::State& state) {
+  const auto space = cloud::tensorflow_space();
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space->lhs_sample(12, rng));
+  }
+}
+BENCHMARK(BM_LhsSample);
+
+void BM_ConstrainedEiSweep(benchmark::State& state) {
+  TrainingFixture fx(100);
+  model::BaggingEnsemble ens;
+  ens.fit(fx.fm, fx.rows, fx.y, 7);
+  std::vector<model::Prediction> preds;
+  ens.predict_all(fx.fm, preds);
+  for (auto _ : state) {
+    double best = 0.0;
+    for (std::size_t id = 0; id < preds.size(); ++id) {
+      best = std::max(best, core::constrained_ei(1.0, preds[id], 0.5));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_ConstrainedEiSweep);
+
+/// One full Lynceus decision (fit + Γ filter + path simulation for every
+/// screened root) on the 384-point space — the unit Table 3 reports.
+void BM_LynceusDecision(benchmark::State& state) {
+  const auto ds = cloud::make_tensorflow_dataset(cloud::TfModel::CNN);
+  const auto problem = eval::make_problem(ds, 3.0);
+  core::LynceusOptions opts;
+  opts.lookahead = static_cast<unsigned>(state.range(0));
+  opts.screen_width = 24;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::LynceusOptimizer lyn(opts);
+    // Budget trimmed so the run performs the bootstrap plus ~2 decisions.
+    auto small = problem;
+    small.budget = ds.mean_cost() * (problem.bootstrap_samples + 2.0);
+    eval::TableRunner runner(ds);
+    state.ResumeTiming();
+    const auto result = lyn.optimize(small, runner, 5);
+    benchmark::DoNotOptimize(result.decisions);
+  }
+}
+BENCHMARK(BM_LynceusDecision)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,60 @@
+/// Reproduces Tables 1 and 2 of the paper: the TensorFlow job's tuning
+/// parameters and the cloud configurations, plus a summary of every
+/// evaluation dataset (sizes, deadline, feasible fraction, optimum).
+
+#include "common.hpp"
+
+#include "cloud/catalog.hpp"
+
+using namespace lynceus;
+
+int main() {
+  bench::print_header("Table 1 — Hyper-parameters for training NNs on TensorFlow");
+  {
+    eval::Table t({"Hyper-parameter", "Values"});
+    t.add_row({"Learning rate", "{1e-3, 1e-4, 1e-5}"});
+    t.add_row({"Batch size", "{16, 256}"});
+    t.add_row({"Training mode", "{sync, async}"});
+    t.print(std::cout);
+  }
+
+  bench::print_header("Table 2 — Cloud configurations for the TensorFlow jobs");
+  {
+    eval::Table t({"VM type", "VM characteristics", "#VMs"});
+    t.add_row({"t2.small", "{1 VCPU, 2 GB RAM}",
+               "{8, 16, 32, 48, 64, 80, 96, 112}"});
+    t.add_row({"t2.medium", "{2 VCPU, 4 GB RAM}",
+               "{4, 8, 16, 24, 32, 40, 48, 56}"});
+    t.add_row({"t2.xlarge", "{4 VCPU, 16 GB RAM}",
+               "{2, 4, 8, 12, 16, 20, 24, 28}"});
+    t.add_row({"t2.2xlarge", "{8 VCPU, 32 GB RAM}",
+               "{1, 2, 4, 6, 8, 10, 12, 14}"});
+    t.print(std::cout);
+  }
+
+  bench::print_header("Dataset inventory (paper §5.1)");
+  {
+    eval::Table t({"dataset", "configs", "dims", "Tmax(s)", "feasible%",
+                   "mean cost($)", "optimal cost($)", "max/opt cost"});
+    auto add = [&t](const cloud::Dataset& ds) {
+      const auto costs = ds.all_costs();
+      double worst = 0.0;
+      for (double c : costs) worst = std::max(worst, c);
+      t.add_row({ds.job_name(), util::format("%zu", ds.size()),
+                 util::format("%zu", ds.space().dim_count()),
+                 util::format("%.1f", ds.tmax_seconds()),
+                 util::format("%.0f", 100.0 * ds.feasible_fraction()),
+                 util::format("%.4f", ds.mean_cost()),
+                 util::format("%.4f", ds.optimal_cost()),
+                 util::format("%.0fx", worst / ds.optimal_cost())});
+    };
+    for (const auto& ds : cloud::make_tensorflow_datasets()) add(ds);
+    for (const auto& ds : cloud::make_scout_datasets()) add(ds);
+    for (const auto& ds : cloud::make_cherrypick_datasets()) add(ds);
+    t.print(std::cout);
+    eval::ensure_directory("results");
+    t.save_csv("results/dataset_inventory.csv");
+    std::printf("\nSaved results/dataset_inventory.csv\n");
+  }
+  return 0;
+}

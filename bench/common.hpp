@@ -1,0 +1,90 @@
+#pragma once
+
+/// Shared plumbing for the figure/table bench binaries: flag parsing with
+/// common defaults, dataset construction, and the shared results cache.
+///
+/// Common flags (all benches):
+///   --runs=N     paired runs per optimizer (default: per-bench; the paper
+///                uses >= 100 — raise it when you have the CPU time)
+///   --b=X        budget multiplier (default 3 = the paper's medium budget)
+///   --cache=DIR  results cache directory (default results/cache)
+///   --no-cache   recompute everything
+///   --screen=N   Lynceus root-screening width (default 24; 0 = simulate
+///                every viable root, paper-faithful but slow on one core)
+///
+/// Figure benches print the series the paper reports and also write CSVs
+/// under results/.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cloud/workloads.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "eval/results_cache.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace lynceus::bench {
+
+struct BenchSettings {
+  std::size_t runs = 40;
+  double budget_multiplier = 3.0;
+  std::string cache_dir = "results/cache";
+  bool use_cache = true;
+  unsigned screen_width = 24;
+  std::uint64_t base_seed = 42;
+};
+
+inline BenchSettings parse_settings(int argc, char** argv,
+                                    std::size_t default_runs) {
+  const util::CliFlags flags(
+      argc, argv, {"runs", "b", "cache", "no-cache", "screen", "seed"});
+  BenchSettings s;
+  s.runs = static_cast<std::size_t>(
+      flags.get_int("runs", static_cast<std::int64_t>(default_runs)));
+  s.budget_multiplier = flags.get_double("b", 3.0);
+  s.cache_dir = flags.get_string("cache", "results/cache");
+  s.use_cache = flags.get_bool("cache", true) && !flags.has("no-cache");
+  s.screen_width =
+      static_cast<unsigned>(flags.get_int("screen", 24));
+  s.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  return s;
+}
+
+/// Fetches (or computes) the runs of `spec` on `dataset`.
+inline eval::ExperimentResult fetch(const BenchSettings& s,
+                                    const cloud::Dataset& dataset,
+                                    const eval::OptimizerSpec& spec,
+                                    double budget_multiplier) {
+  eval::ExperimentConfig cfg;
+  cfg.runs = s.runs;
+  cfg.budget_multiplier = budget_multiplier;
+  cfg.base_seed = s.base_seed;
+  if (!s.use_cache) return run_experiment(dataset, spec, cfg);
+  eval::ResultsCache cache(s.cache_dir);
+  return cache.get_or_run(dataset, spec, cfg);
+}
+
+inline eval::ExperimentResult fetch(const BenchSettings& s,
+                                    const cloud::Dataset& dataset,
+                                    const eval::OptimizerSpec& spec) {
+  return fetch(s, dataset, spec, s.budget_multiplier);
+}
+
+/// The three optimizers of the paper's headline comparison (§5.2), with
+/// screening applied to the Lynceus variants.
+inline std::vector<eval::OptimizerSpec> headline_specs(
+    const BenchSettings& s, unsigned lookahead = 2) {
+  return {eval::lynceus_spec(lookahead, s.screen_width), eval::bo_spec(),
+          eval::rnd_spec()};
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace lynceus::bench

@@ -1,0 +1,47 @@
+/// Head-to-head comparison of the three optimizers on one workload:
+/// RND (random), BO (CherryPick-style greedy constrained EI) and Lynceus
+/// (budget-aware + lookahead) — a miniature of the paper's evaluation.
+///
+/// Build & run:  ./build/examples/compare_optimizers [--runs=20] [--b=3]
+
+#include <cstdio>
+#include <iostream>
+
+#include "cloud/workloads.hpp"
+#include "eval/experiment.hpp"
+#include "eval/report.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lynceus;
+
+  const util::CliFlags flags(argc, argv, {"runs", "b", "job"});
+  eval::ExperimentConfig config;
+  config.runs = static_cast<std::size_t>(flags.get_int("runs", 20));
+  config.budget_multiplier = flags.get_double("b", 3.0);
+  const auto job_index =
+      static_cast<std::size_t>(flags.get_int("job", 2));  // terasort
+
+  const auto specs = cloud::scout_job_specs();
+  const cloud::Dataset dataset =
+      cloud::make_scout_dataset(specs.at(job_index % specs.size()));
+
+  std::printf("Job: %s  (%zu configurations, %zu paired runs, budget b=%g)\n\n",
+              dataset.job_name().c_str(), dataset.size(), config.runs,
+              config.budget_multiplier);
+
+  eval::Table table(
+      {"optimizer", "mean CNO", "p50 CNO", "p90 CNO", "mean NEX"});
+  for (const auto& spec :
+       {eval::rnd_spec(), eval::bo_spec(), eval::lynceus_spec(2)}) {
+    const auto result = run_experiment(dataset, spec, config);
+    const auto cno = eval::summarize(result.cnos());
+    table.add_row({spec.label, util::format("%.3f", cno.mean),
+                   util::format("%.3f", cno.p50),
+                   util::format("%.3f", cno.p90),
+                   util::format("%.1f", result.mean_nex())});
+  }
+  table.print(std::cout);
+  return 0;
+}

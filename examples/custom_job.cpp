@@ -1,0 +1,114 @@
+/// Tuning a user-defined job: how to plug YOUR workload into Lynceus.
+///
+/// The public API needs three things:
+///  1. a ConfigSpace describing the knobs (here: a Spark-like job with an
+///     executor-count, an executor-size and a compression flag);
+///  2. a JobRunner that deploys a configuration and reports runtime + cost
+///     (here: an analytic stand-in with artificial measurement noise —
+///     replace `run()` with real cluster orchestration);
+///  3. the problem definition: deadline Tmax and profiling budget B.
+///
+/// Build & run:  ./build/examples/custom_job
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/lynceus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lynceus;
+
+/// A pretend deployment: time = serial + work/(executors*size) + shuffle,
+/// with compression trading CPU for network. Prices grow with capacity.
+class MyClusterRunner final : public core::JobRunner {
+ public:
+  explicit MyClusterRunner(std::shared_ptr<const space::ConfigSpace> space)
+      : space_(std::move(space)), rng_(7) {}
+
+  core::RunResult run(space::ConfigId id) override {
+    const double executors = space_->value(id, 0);
+    const double cores = space_->value(id, 1);
+    const bool compressed = space_->levels(id)[2] == 1;
+
+    const double total_cores = executors * cores;
+    double compute = 9000.0 / total_cores;
+    double shuffle = 800.0 / executors;
+    if (compressed) {
+      compute *= 1.15;  // compression costs CPU...
+      shuffle *= 0.55;  // ...but saves network
+    }
+    double runtime = 30.0 + compute + shuffle;
+    runtime *= std::exp(rng_.normal(0.0, 0.03));  // measurement noise
+
+    core::RunResult r;
+    r.runtime_seconds = runtime;
+    r.cost = unit_price(id) * runtime / 3600.0;
+    return r;
+  }
+
+  [[nodiscard]] double unit_price(space::ConfigId id) const {
+    const double executors = space_->value(id, 0);
+    const double cores = space_->value(id, 1);
+    return executors * (0.05 * cores);  // $0.05 per core-hour
+  }
+
+ private:
+  std::shared_ptr<const space::ConfigSpace> space_;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace lynceus;
+
+  // 1. Describe the knobs.
+  auto space = std::make_shared<space::ConfigSpace>(
+      "my-spark-job",
+      std::vector<space::ParamDomain>{
+          space::numeric_param("executors", {2, 4, 8, 16, 32}),
+          space::numeric_param("cores_per_executor", {2, 4, 8}),
+          space::categorical_param("shuffle_compression", {"off", "on"}),
+      });
+  std::printf("Search space: %zu configurations\n", space->size());
+
+  // 2. The runner that "deploys" configurations.
+  MyClusterRunner runner(space);
+
+  // 3. The problem: finish within 6 minutes; spend at most $2 on tuning.
+  core::OptimizationProblem problem;
+  problem.space = space;
+  problem.unit_price_per_hour.resize(space->size());
+  for (std::size_t id = 0; id < space->size(); ++id) {
+    problem.unit_price_per_hour[id] =
+        runner.unit_price(static_cast<space::ConfigId>(id));
+  }
+  problem.tmax_seconds = 360.0;
+  problem.budget = 2.0;
+  problem.bootstrap_samples = core::default_bootstrap_samples(*space);
+
+  // 4. Optimize.
+  core::LynceusOptions options;
+  options.lookahead = 2;
+  core::LynceusOptimizer lynceus(options);
+  const auto result = lynceus.optimize(problem, runner, /*seed=*/1);
+
+  // 5. Report.
+  std::printf("Explored %zu configurations, spent $%.3f of $%.2f\n",
+              result.explorations(), result.budget_spent, problem.budget);
+  if (result.recommendation) {
+    std::printf("Best configuration found:\n  %s\n",
+                space->describe(*result.recommendation).c_str());
+    std::printf("  (deadline met: %s)\n",
+                result.recommendation_feasible ? "yes" : "no");
+  }
+  for (const auto& s : result.history) {
+    std::printf("  tried %-70s  %6.1f s  $%.4f%s\n",
+                space->describe(s.id).c_str(), s.runtime_seconds, s.cost,
+                s.feasible ? "" : "  [missed deadline]");
+  }
+  return 0;
+}

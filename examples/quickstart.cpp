@@ -1,0 +1,62 @@
+/// Quickstart: tune a TensorFlow training job (cluster + hyper-parameters)
+/// with Lynceus.
+///
+/// This example replays the bundled synthetic CNN dataset — the same
+/// workflow applies to a live deployment by swapping the TableRunner for a
+/// JobRunner that provisions real VMs (see examples/custom_job.cpp).
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cloud/workloads.hpp"
+#include "core/lynceus.hpp"
+#include "eval/experiment.hpp"
+#include "eval/runner.hpp"
+
+int main() {
+  using namespace lynceus;
+
+  // 1. The workload: the paper's CNN job over 384 configurations
+  //    (learning rate x batch x sync/async x VM type x cluster size).
+  const cloud::Dataset dataset =
+      cloud::make_tensorflow_dataset(cloud::TfModel::CNN);
+  std::printf("Job: %s over %zu configurations, deadline Tmax = %.0f s\n",
+              dataset.job_name().c_str(), dataset.size(),
+              dataset.tmax_seconds());
+
+  // 2. The optimization problem: budget B = N * mean cost * 3 (the paper's
+  //    "medium budget"), N bootstrap samples from the 3%-or-dims rule.
+  const core::OptimizationProblem problem = eval::make_problem(dataset, 3.0);
+  std::printf("Budget: $%.3f, bootstrap samples: %zu\n", problem.budget,
+              problem.bootstrap_samples);
+
+  // 3. The optimizer: Lynceus with a 2-step lookahead (paper default).
+  core::LynceusOptions options;
+  options.lookahead = 2;
+  options.screen_width = 24;  // bound per-decision time on small machines
+  core::LynceusOptimizer lynceus(options);
+
+  // 4. Run. The TableRunner replays measured data; each `run` would be a
+  //    real cloud deployment in production.
+  eval::TableRunner runner(dataset);
+  const core::OptimizerResult result =
+      lynceus.optimize(problem, runner, /*seed=*/2024);
+
+  // 5. Inspect the outcome.
+  if (!result.recommendation) {
+    std::printf("No configuration could be tried within the budget.\n");
+    return 1;
+  }
+  const auto best = *result.recommendation;
+  std::printf("\nExplored %zu configurations, spent $%.3f of $%.3f\n",
+              result.explorations(), result.budget_spent, problem.budget);
+  std::printf("Recommended configuration:\n  %s\n",
+              dataset.space().describe(best).c_str());
+  std::printf("  runtime %.1f s, cost $%.4f per run (optimum: $%.4f)\n",
+              dataset.runtime(best), dataset.cost(best),
+              dataset.optimal_cost());
+  std::printf("  cost normalized to optimal (CNO): %.3f\n",
+              dataset.cost(best) / dataset.optimal_cost());
+  return 0;
+}

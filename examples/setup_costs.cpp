@@ -1,0 +1,91 @@
+/// Setup-cost-aware tuning (paper §4.4): switching the deployed cluster is
+/// not free — booting fresh VMs and re-warming caches costs money, so the
+/// ORDER in which configurations are explored matters.
+///
+/// This example tunes the same TensorFlow job twice: once assuming free
+/// reconfiguration and once charging realistic boot/warm-up costs, and
+/// shows how the setup-aware run favors exploration sequences that reuse
+/// the running cluster.
+///
+/// Build & run:  ./build/examples/setup_costs
+
+#include <cstdio>
+
+#include "cloud/catalog.hpp"
+#include "cloud/workloads.hpp"
+#include "core/setup_cost.hpp"
+#include "eval/experiment.hpp"
+#include "eval/runner.hpp"
+
+int main() {
+  using namespace lynceus;
+
+  const cloud::Dataset dataset =
+      cloud::make_tensorflow_dataset(cloud::TfModel::Multilayer);
+  const auto space = dataset.space_ptr();
+  const core::OptimizationProblem problem = eval::make_problem(dataset, 3.0);
+
+  // Cloud setup model over the TensorFlow space: dimension 3 is the VM
+  // type, dimension 4 the worker count; each VM boots for ~2 minutes and
+  // the new cluster warms up for 1 minute.
+  core::CloudSetupModel setup;
+  setup.vm_kind = [space](core::ConfigId id) {
+    return static_cast<int>(space->levels(id)[3]);
+  };
+  setup.vm_count = [space](core::ConfigId id) {
+    return space->value(id, 4) + 1.0;  // workers + parameter server
+  };
+  setup.per_vm_price_per_hour = [space](core::ConfigId id) {
+    return cloud::t2_catalog()[space->levels(id)[3]].price_per_hour;
+  };
+  setup.boot_minutes = 2.0;
+  setup.warmup_minutes = 1.0;
+
+  auto run_one = [&](bool setup_aware) {
+    core::LynceusOptions options;
+    options.lookahead = 1;
+    options.screen_width = 24;
+    if (setup_aware) options.setup_cost = core::make_cloud_setup_cost(setup);
+    core::LynceusOptimizer lynceus(options);
+    eval::TableRunner runner(dataset);
+    return lynceus.optimize(problem, runner, /*seed=*/11);
+  };
+
+  const auto free_switch = run_one(false);
+  const auto paid_switch = run_one(true);
+
+  // Count how often each run changed the VM type between consecutive
+  // explorations (the expensive kind of switch).
+  auto type_switches = [&](const core::OptimizerResult& r) {
+    std::size_t switches = 0;
+    for (std::size_t i = 1; i < r.history.size(); ++i) {
+      if (space->levels(r.history[i].id)[3] !=
+          space->levels(r.history[i - 1].id)[3]) {
+        ++switches;
+      }
+    }
+    return switches;
+  };
+
+  std::printf("Job: %s, budget $%.3f\n\n", dataset.job_name().c_str(),
+              problem.budget);
+  std::printf("%-28s %12s %12s %16s\n", "variant", "explored", "spent($)",
+              "vm-type switches");
+  std::printf("%-28s %12zu %12.3f %16zu\n", "free reconfiguration",
+              free_switch.explorations(), free_switch.budget_spent,
+              type_switches(free_switch));
+  std::printf("%-28s %12zu %12.3f %16zu\n", "setup costs charged",
+              paid_switch.explorations(), paid_switch.budget_spent,
+              type_switches(paid_switch));
+
+  auto report = [&](const char* label, const core::OptimizerResult& r) {
+    if (r.recommendation) {
+      std::printf("\n%s recommendation (CNO %.3f):\n  %s\n", label,
+                  dataset.cost(*r.recommendation) / dataset.optimal_cost(),
+                  space->describe(*r.recommendation).c_str());
+    }
+  };
+  report("Free-switch", free_switch);
+  report("Setup-aware", paid_switch);
+  return 0;
+}

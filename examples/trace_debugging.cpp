@@ -1,0 +1,65 @@
+/// Inspecting WHY Lynceus picks what it picks: attach a TraceRecorder to
+/// the optimizer and dump the per-decision internals — the size of the
+/// budget-viable set Γ, the incumbent y*, the remaining budget β, the
+/// model's cost prediction for the chosen configuration and the actual
+/// outcome. Useful when a tuning run behaves unexpectedly ("why did it
+/// stop so early?", "why is it hammering big clusters?").
+///
+/// Build & run:  ./build/examples/trace_debugging
+
+#include <cstdio>
+
+#include "cloud/workloads.hpp"
+#include "core/lynceus.hpp"
+#include "core/trace.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "eval/runner.hpp"
+#include "math/stats.hpp"
+
+int main() {
+  using namespace lynceus;
+
+  const cloud::Dataset dataset =
+      cloud::make_tensorflow_dataset(cloud::TfModel::RNN);
+  const core::OptimizationProblem problem = eval::make_problem(dataset, 3.0);
+
+  core::TraceRecorder trace;
+  core::LynceusOptions options;
+  options.lookahead = 1;
+  options.screen_width = 24;
+  options.observer = &trace;
+  core::LynceusOptimizer lynceus(options);
+
+  eval::TableRunner runner(dataset);
+  const auto result = lynceus.optimize(problem, runner, /*seed=*/17);
+
+  std::printf("Bootstrap (%zu LHS samples):\n", trace.bootstrap_samples().size());
+  for (const auto& s : trace.bootstrap_samples()) {
+    std::printf("  %-72s $%.4f%s\n", dataset.space().describe(s.id).c_str(),
+                s.cost, s.feasible ? "" : "  [infeasible]");
+  }
+
+  std::printf("\nDecisions (iter | |Γ| | simulated | β before | y* | "
+              "predicted -> actual):\n");
+  for (std::size_t i = 0; i < trace.decisions().size(); ++i) {
+    const auto& d = trace.decisions()[i];
+    const auto& run = trace.runs()[i];
+    std::printf("  %3zu | %3zu | %2zu | $%7.3f | $%7.4f | $%7.4f -> $%7.4f %s\n",
+                d.iteration, d.viable_count, d.simulated_roots,
+                d.remaining_budget, d.incumbent, d.predicted_cost, run.cost,
+                run.feasible ? "" : "[infeasible]");
+  }
+
+  const auto errors = trace.relative_prediction_errors();
+  if (!errors.empty()) {
+    std::printf("\nModel cost-prediction error (relative): mean %.2f, "
+                "median %.2f\n",
+                math::mean(errors), math::percentile(errors, 50.0));
+  }
+  std::printf("Stopped because: %s\n", trace.stop_reason().c_str());
+  std::printf("Final CNO: %.3f after %zu explorations ($%.3f spent)\n",
+              eval::cno(dataset, result), result.explorations(),
+              result.budget_spent);
+  return 0;
+}

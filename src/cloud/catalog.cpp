@@ -1,0 +1,116 @@
+#include "cloud/catalog.hpp"
+
+namespace lynceus::cloud {
+
+namespace {
+
+VmType make(const char* name, VmFamily fam, VmSize size, unsigned vcpus,
+            double ram, double price, double net, double speed, double disk) {
+  VmType v;
+  v.name = name;
+  v.family = fam;
+  v.size = size;
+  v.vcpus = vcpus;
+  v.ram_gb = ram;
+  v.price_per_hour = price;
+  v.net_mbps = net;
+  v.cpu_speed = speed;
+  v.disk_mbps = disk;
+  return v;
+}
+
+}  // namespace
+
+const std::vector<VmType>& t2_catalog() {
+  // Burstable family: modest network, price roughly doubling per size.
+  static const std::vector<VmType> catalog = {
+      make("t2.small", VmFamily::T2, VmSize::Small, 1, 2.0, 0.023, 60.0, 1.0,
+           80.0),
+      make("t2.medium", VmFamily::T2, VmSize::Medium, 2, 4.0, 0.0464, 110.0,
+           1.0, 80.0),
+      make("t2.xlarge", VmFamily::T2, VmSize::XLarge, 4, 16.0, 0.1856, 170.0,
+           1.0, 100.0),
+      make("t2.2xlarge", VmFamily::T2, VmSize::XXLarge, 8, 32.0, 0.3712, 240.0,
+           1.0, 100.0),
+  };
+  return catalog;
+}
+
+const std::vector<VmType>& scout_catalog() {
+  // C4: compute-optimized (fast cores, little RAM); M4: general purpose;
+  // R4: memory-optimized (slower clock, big RAM, enhanced networking).
+  static const std::vector<VmType> catalog = {
+      make("c4.large", VmFamily::C4, VmSize::Large, 2, 3.75, 0.100, 130.0,
+           1.25, 100.0),
+      make("c4.xlarge", VmFamily::C4, VmSize::XLarge, 4, 7.5, 0.199, 190.0,
+           1.25, 110.0),
+      make("c4.2xlarge", VmFamily::C4, VmSize::XXLarge, 8, 15.0, 0.398, 280.0,
+           1.25, 120.0),
+      make("m4.large", VmFamily::M4, VmSize::Large, 2, 8.0, 0.100, 110.0, 1.0,
+           100.0),
+      make("m4.xlarge", VmFamily::M4, VmSize::XLarge, 4, 16.0, 0.200, 160.0,
+           1.0, 110.0),
+      make("m4.2xlarge", VmFamily::M4, VmSize::XXLarge, 8, 32.0, 0.400, 250.0,
+           1.0, 120.0),
+      make("r4.large", VmFamily::R4, VmSize::Large, 2, 15.25, 0.133, 140.0,
+           1.05, 100.0),
+      make("r4.xlarge", VmFamily::R4, VmSize::XLarge, 4, 30.5, 0.266, 200.0,
+           1.05, 110.0),
+      make("r4.2xlarge", VmFamily::R4, VmSize::XXLarge, 8, 61.0, 0.532, 300.0,
+           1.05, 120.0),
+  };
+  return catalog;
+}
+
+const std::vector<VmType>& cherrypick_catalog() {
+  // R3 is the previous-generation memory family; I2 is storage-optimized
+  // (large local SSDs, high disk bandwidth, expensive). "i2.large" never
+  // existed on EC2; the CherryPick per-job masks in workloads.cpp remove
+  // it, together with other unavailable cells, to reach the paper's
+  // per-job cardinalities of 47-72 points.
+  static const std::vector<VmType> catalog = {
+      make("c4.large", VmFamily::C4, VmSize::Large, 2, 3.75, 0.100, 130.0,
+           1.25, 100.0),
+      make("c4.xlarge", VmFamily::C4, VmSize::XLarge, 4, 7.5, 0.199, 190.0,
+           1.25, 110.0),
+      make("c4.2xlarge", VmFamily::C4, VmSize::XXLarge, 8, 15.0, 0.398, 280.0,
+           1.25, 120.0),
+      make("m4.large", VmFamily::M4, VmSize::Large, 2, 8.0, 0.100, 110.0, 1.0,
+           100.0),
+      make("m4.xlarge", VmFamily::M4, VmSize::XLarge, 4, 16.0, 0.200, 160.0,
+           1.0, 110.0),
+      make("m4.2xlarge", VmFamily::M4, VmSize::XXLarge, 8, 32.0, 0.400, 250.0,
+           1.0, 120.0),
+      make("r3.large", VmFamily::R3, VmSize::Large, 2, 15.25, 0.166, 100.0,
+           0.95, 150.0),
+      make("r3.xlarge", VmFamily::R3, VmSize::XLarge, 4, 30.5, 0.333, 140.0,
+           0.95, 180.0),
+      make("r3.2xlarge", VmFamily::R3, VmSize::XXLarge, 8, 61.0, 0.665, 220.0,
+           0.95, 220.0),
+      make("i2.large", VmFamily::I2, VmSize::Large, 2, 15.25, 0.426, 100.0,
+           0.9, 350.0),
+      make("i2.xlarge", VmFamily::I2, VmSize::XLarge, 4, 30.5, 0.853, 140.0,
+           0.9, 450.0),
+      make("i2.2xlarge", VmFamily::I2, VmSize::XXLarge, 8, 61.0, 1.705, 220.0,
+           0.9, 600.0),
+  };
+  return catalog;
+}
+
+std::optional<VmType> find_vm(const std::vector<VmType>& catalog,
+                              VmFamily family, VmSize size) {
+  for (const auto& vm : catalog) {
+    if (vm.family == family && vm.size == size) return vm;
+  }
+  return std::nullopt;
+}
+
+std::optional<VmType> find_vm(const std::vector<VmType>& catalog,
+                              const std::string& name) {
+  for (const auto& vm : catalog) {
+    if (vm.name == name) return vm;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lynceus::cloud

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file catalog.hpp
+/// EC2-like VM catalogs for the three evaluation settings of the paper:
+///  * Table 2's t2 burstable family (TensorFlow jobs);
+///  * the Scout dataset's C4/R4/M4 families, sizes large/xlarge/2xlarge;
+///  * the CherryPick dataset's C4/M4/R3/I2 families.
+///
+/// Prices are us-east-1 on-demand rates (2018-era, matching the datasets'
+/// collection period). The performance attributes (net/cpu/disk) are the
+/// knobs of the synthetic workload models; see DESIGN.md §2 for why this
+/// substitution preserves the paper's evaluation behaviour.
+
+#include <optional>
+#include <vector>
+
+#include "cloud/vm.hpp"
+
+namespace lynceus::cloud {
+
+/// The four t2 types of the paper's Table 2.
+[[nodiscard]] const std::vector<VmType>& t2_catalog();
+
+/// C4, R4, M4 in sizes large/xlarge/2xlarge (Scout dataset).
+[[nodiscard]] const std::vector<VmType>& scout_catalog();
+
+/// C4, M4, R3, I2 in sizes large/xlarge/2xlarge (CherryPick dataset).
+[[nodiscard]] const std::vector<VmType>& cherrypick_catalog();
+
+/// Looks a type up by family and size.
+[[nodiscard]] std::optional<VmType> find_vm(const std::vector<VmType>& catalog,
+                                            VmFamily family, VmSize size);
+
+/// Looks a type up by name (e.g. "c4.xlarge").
+[[nodiscard]] std::optional<VmType> find_vm(const std::vector<VmType>& catalog,
+                                            const std::string& name);
+
+}  // namespace lynceus::cloud

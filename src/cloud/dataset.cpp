@@ -1,0 +1,171 @@
+#include "cloud/dataset.hpp"
+
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+#include "util/strings.hpp"
+
+namespace lynceus::cloud {
+
+Dataset::Dataset(std::string job_name,
+                 std::shared_ptr<const space::ConfigSpace> space,
+                 std::vector<Observation> observations, double tmax_seconds)
+    : name_(std::move(job_name)),
+      space_(std::move(space)),
+      obs_(std::move(observations)) {
+  if (!space_) {
+    throw std::invalid_argument("Dataset: null configuration space");
+  }
+  if (obs_.size() != space_->size()) {
+    throw std::invalid_argument(
+        "Dataset '" + name_ +
+        "': need exactly one observation per configuration");
+  }
+  if (tmax_seconds > 0.0) {
+    tmax_ = tmax_seconds;
+  } else {
+    // Median runtime: "we set the time constraint for each job in such a
+    // way that it is satisfied by roughly half of the possible
+    // configurations" (paper §5.2).
+    std::vector<double> runtimes;
+    runtimes.reserve(obs_.size());
+    for (const auto& o : obs_) runtimes.push_back(o.runtime_seconds);
+    tmax_ = math::percentile(std::move(runtimes), 50.0);
+  }
+  // A dataset where nothing is feasible would make CNO undefined.
+  bool any = false;
+  for (std::size_t id = 0; id < obs_.size(); ++id) {
+    if (feasible(static_cast<space::ConfigId>(id))) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    throw std::invalid_argument("Dataset '" + name_ +
+                                "': no feasible configuration under Tmax");
+  }
+}
+
+space::ConfigId Dataset::optimal() const {
+  double best = std::numeric_limits<double>::infinity();
+  space::ConfigId best_id = 0;
+  bool found = false;
+  for (std::size_t id = 0; id < obs_.size(); ++id) {
+    const auto cid = static_cast<space::ConfigId>(id);
+    if (!feasible(cid)) continue;
+    const double c = cost(cid);
+    if (c < best) {
+      best = c;
+      best_id = cid;
+      found = true;
+    }
+  }
+  if (!found) throw std::logic_error("Dataset::optimal: nothing feasible");
+  return best_id;
+}
+
+double Dataset::optimal_cost() const { return cost(optimal()); }
+
+double Dataset::mean_cost() const {
+  math::RunningStats s;
+  for (std::size_t id = 0; id < obs_.size(); ++id) {
+    s.add(cost(static_cast<space::ConfigId>(id)));
+  }
+  return s.mean();
+}
+
+double Dataset::feasible_fraction() const {
+  std::size_t count = 0;
+  for (std::size_t id = 0; id < obs_.size(); ++id) {
+    if (feasible(static_cast<space::ConfigId>(id))) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(obs_.size());
+}
+
+std::vector<double> Dataset::all_costs() const {
+  std::vector<double> out;
+  out.reserve(obs_.size());
+  for (std::size_t id = 0; id < obs_.size(); ++id) {
+    out.push_back(cost(static_cast<space::ConfigId>(id)));
+  }
+  return out;
+}
+
+void Dataset::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Dataset::save_csv: cannot open " + path);
+  }
+  // Header: dimension names, then the measurement columns.
+  std::vector<std::string> header;
+  for (const auto& d : space_->dims()) header.push_back(d.name);
+  header.emplace_back("runtime_seconds");
+  header.emplace_back("unit_price_per_hour");
+  header.emplace_back("timed_out");
+  out << util::join(header, ",") << "\n";
+  out.precision(10);
+  for (std::size_t id = 0; id < obs_.size(); ++id) {
+    const auto cid = static_cast<space::ConfigId>(id);
+    const auto& lv = space_->levels(cid);
+    for (std::size_t d = 0; d < lv.size(); ++d) {
+      out << lv[d] << ",";
+    }
+    const auto& o = obs_[id];
+    out << o.runtime_seconds << "," << o.unit_price_per_hour << ","
+        << (o.timed_out ? 1 : 0) << "\n";
+  }
+  out << "#tmax," << tmax_ << "\n";
+}
+
+Dataset Dataset::load_csv(const std::string& path, std::string job_name,
+                          std::shared_ptr<const space::ConfigSpace> space) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("Dataset::load_csv: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("Dataset::load_csv: empty file " + path);
+  }
+  const std::size_t dims = space->dim_count();
+  std::vector<Observation> obs(space->size());
+  std::vector<bool> seen(space->size(), false);
+  double tmax = 0.0;
+  while (std::getline(in, line)) {
+    line = util::trim(line);
+    if (line.empty()) continue;
+    if (line.rfind("#tmax,", 0) == 0) {
+      tmax = std::stod(line.substr(6));
+      continue;
+    }
+    const auto fields = util::split(line, ',');
+    if (fields.size() != dims + 3) {
+      throw std::runtime_error("Dataset::load_csv: malformed row: " + line);
+    }
+    space::LevelVector lv(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      lv[d] = static_cast<std::size_t>(std::stoul(fields[d]));
+    }
+    const auto id = space->find(lv);
+    if (!id) {
+      throw std::runtime_error("Dataset::load_csv: row not in space: " + line);
+    }
+    Observation o;
+    o.runtime_seconds = std::stod(fields[dims]);
+    o.unit_price_per_hour = std::stod(fields[dims + 1]);
+    o.timed_out = fields[dims + 2] == "1";
+    obs[*id] = o;
+    seen[*id] = true;
+  }
+  for (std::size_t id = 0; id < seen.size(); ++id) {
+    if (!seen[id]) {
+      throw std::runtime_error(
+          "Dataset::load_csv: missing configuration row in " + path);
+    }
+  }
+  return Dataset(std::move(job_name), std::move(space), std::move(obs), tmax);
+}
+
+}  // namespace lynceus::cloud

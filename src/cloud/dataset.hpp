@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file dataset.hpp
+/// A materialized evaluation dataset: for every configuration of a space,
+/// the measured runtime, the cluster's unit price, the resulting monetary
+/// cost `C(x) = T(x) · U(x)`, and the deadline Tmax of the optimization
+/// problem. This mirrors the paper's methodology (§5.2): "we perform our
+/// evaluation via a simulation approach, which uses the performance data
+/// previously collected by deploying each job in the configurations we
+/// consider".
+///
+/// Datasets can be built from the synthetic job models (workloads.hpp), or
+/// loaded/saved as CSV so users can replay their own measurements.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "space/config_space.hpp"
+
+namespace lynceus::cloud {
+
+struct Observation {
+  double runtime_seconds = 0.0;
+  double unit_price_per_hour = 0.0;  ///< whole-cluster rental price, $/h
+  bool timed_out = false;            ///< forcefully terminated (TF jobs)
+
+  /// Monetary cost of the run: runtime x unit price (per-second billing).
+  [[nodiscard]] double cost() const noexcept {
+    return runtime_seconds * unit_price_per_hour / 3600.0;
+  }
+};
+
+class Dataset {
+ public:
+  /// `observations` must have exactly one entry per configuration of
+  /// `space`. `tmax_seconds <= 0` means "derive Tmax as the median runtime"
+  /// (the paper sets the deadline so that roughly half the configurations
+  /// satisfy it — §5.2).
+  Dataset(std::string job_name,
+          std::shared_ptr<const space::ConfigSpace> space,
+          std::vector<Observation> observations, double tmax_seconds = 0.0);
+
+  [[nodiscard]] const std::string& job_name() const noexcept { return name_; }
+  [[nodiscard]] const space::ConfigSpace& space() const noexcept {
+    return *space_;
+  }
+  [[nodiscard]] std::shared_ptr<const space::ConfigSpace> space_ptr()
+      const noexcept {
+    return space_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return obs_.size(); }
+  [[nodiscard]] const Observation& observation(space::ConfigId id) const {
+    return obs_.at(id);
+  }
+
+  [[nodiscard]] double runtime(space::ConfigId id) const {
+    return obs_.at(id).runtime_seconds;
+  }
+  [[nodiscard]] double unit_price(space::ConfigId id) const {
+    return obs_.at(id).unit_price_per_hour;
+  }
+  [[nodiscard]] double cost(space::ConfigId id) const {
+    return obs_.at(id).cost();
+  }
+
+  /// Deadline of the optimization problem.
+  [[nodiscard]] double tmax_seconds() const noexcept { return tmax_; }
+
+  /// T(x) <= Tmax.
+  [[nodiscard]] bool feasible(space::ConfigId id) const {
+    return obs_.at(id).runtime_seconds <= tmax_ && !obs_.at(id).timed_out;
+  }
+
+  /// The cheapest feasible configuration (the paper's x*). Throws
+  /// std::logic_error if no configuration is feasible.
+  [[nodiscard]] space::ConfigId optimal() const;
+  [[nodiscard]] double optimal_cost() const;
+
+  /// Mean cost over all configurations (the paper's m̃, used to size the
+  /// budget B = N · m̃ · b).
+  [[nodiscard]] double mean_cost() const;
+
+  /// Fraction of configurations satisfying the deadline.
+  [[nodiscard]] double feasible_fraction() const;
+
+  /// All costs, for distribution plots (Fig. 1a).
+  [[nodiscard]] std::vector<double> all_costs() const;
+
+  /// CSV round-trip. The CSV stores one row per configuration: the level
+  /// labels, runtime, unit price, and timeout flag. `load_csv` requires the
+  /// space the file was saved with (levels are validated against it).
+  void save_csv(const std::string& path) const;
+  [[nodiscard]] static Dataset load_csv(
+      const std::string& path, std::string job_name,
+      std::shared_ptr<const space::ConfigSpace> space);
+
+ private:
+  std::string name_;
+  std::shared_ptr<const space::ConfigSpace> space_;
+  std::vector<Observation> obs_;
+  double tmax_ = 0.0;
+};
+
+}  // namespace lynceus::cloud

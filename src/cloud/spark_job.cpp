@@ -1,0 +1,106 @@
+#include "cloud/spark_job.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lynceus::cloud {
+
+SparkJob::SparkJob(SparkJobSpec spec, std::uint64_t noise_seed)
+    : spec_(std::move(spec)), noise_seed_(noise_seed) {}
+
+double SparkJob::runtime_seconds(const VmType& vm, std::size_t n) const {
+  if (n == 0) {
+    throw std::invalid_argument("SparkJob: need at least one instance");
+  }
+  const SparkJobSpec& s = spec_;
+  const auto nn = static_cast<double>(n);
+  const double cores = nn * static_cast<double>(vm.vcpus);
+
+  // Spill penalty when the per-core working set exceeds per-core RAM.
+  const double deficit =
+      std::max(0.0, s.mem_per_core_gb - vm.ram_per_core()) / s.mem_per_core_gb;
+  const double mem_penalty = 1.0 + 1.5 * deficit;
+
+  const double compute = s.cpu_core_seconds * mem_penalty / (cores * vm.cpu_speed);
+  const double shuffle_fraction = n > 1 ? (nn - 1.0) / nn : 0.0;
+  const double shuffle = static_cast<double>(s.iterations) * s.shuffle_gb *
+                         1024.0 / (nn * vm.net_mbps) * shuffle_fraction;
+  const double scan = s.input_gb * 1024.0 / (nn * vm.disk_mbps);
+  const double coordination =
+      s.coord_seconds * static_cast<double>(s.iterations) * std::log2(nn + 1.0);
+
+  double t = s.serial_seconds + coordination + compute + shuffle + scan;
+
+  // Deterministic measurement noise, fixed per (job, vm, n).
+  std::uint64_t h = noise_seed_ ^ std::hash<std::string>{}(s.name);
+  h = util::derive_seed(h, std::hash<std::string>{}(vm.name));
+  h = util::derive_seed(h, n);
+  util::Rng rng(h);
+  t *= std::exp(rng.normal(0.0, 0.05));
+  return t;
+}
+
+double SparkJob::cluster_price_per_hour(const VmType& vm, std::size_t n) {
+  return vm.price_per_hour * static_cast<double>(n);
+}
+
+namespace {
+
+SparkJobSpec spec(const char* name, double cpu, double serial, double mem,
+                  double shuffle, double input, unsigned iters,
+                  double coord = 2.0) {
+  SparkJobSpec s;
+  s.name = name;
+  s.cpu_core_seconds = cpu;
+  s.serial_seconds = serial;
+  s.mem_per_core_gb = mem;
+  s.shuffle_gb = shuffle;
+  s.input_gb = input;
+  s.iterations = iters;
+  s.coord_seconds = coord;
+  return s;
+}
+
+}  // namespace
+
+std::vector<SparkJobSpec> scout_job_specs() {
+  // 18 jobs spanning CPU-, memory-, network- and disk-bound mixes
+  // (HiBench Hadoop workloads + spark-perf ML workloads).
+  return {
+      spec("hadoop-wordcount", 12000, 20, 1.0, 8, 200, 1),
+      spec("hadoop-sort", 6000, 15, 1.5, 180, 180, 1),
+      spec("hadoop-terasort", 9000, 20, 1.5, 250, 250, 1),
+      spec("hadoop-kmeans", 20000, 30, 3.0, 12, 60, 8),
+      spec("hadoop-pagerank", 16000, 25, 4.5, 60, 40, 6),
+      spec("hadoop-bayes", 14000, 25, 2.5, 35, 90, 2),
+      spec("hadoop-nutchindexing", 10000, 30, 2.0, 25, 70, 1),
+      spec("hadoop-join", 8000, 15, 3.0, 90, 120, 1),
+      spec("hadoop-scan", 4000, 10, 1.0, 5, 300, 1),
+      spec("hadoop-aggregation", 7000, 12, 2.0, 30, 150, 1),
+      spec("spark-kmeans", 24000, 35, 5.0, 8, 50, 10),
+      spec("spark-pagerank", 18000, 30, 6.5, 45, 30, 8),
+      spec("spark-regression", 15000, 25, 4.0, 10, 80, 6),
+      spec("spark-classification", 17000, 25, 3.5, 12, 60, 7),
+      spec("spark-als", 26000, 40, 6.0, 30, 25, 10),
+      spec("spark-pca", 12000, 20, 5.5, 20, 40, 4),
+      spec("spark-gmm", 20000, 30, 4.5, 15, 45, 8),
+      spec("spark-naivebayes", 9000, 15, 2.0, 18, 110, 2),
+  };
+}
+
+std::vector<SparkJobSpec> cherrypick_job_specs() {
+  // Bigger inputs, bigger clusters (the CherryPick grid uses 32-112
+  // machines).
+  return {
+      spec("tpch", 30000, 45, 3.5, 120, 300, 3),
+      spec("tpcds", 36000, 60, 4.0, 150, 400, 3),
+      spec("terasort", 12000, 20, 1.5, 300, 300, 1),
+      spec("spark-kmeans", 28000, 35, 5.5, 10, 60, 10),
+      spec("spark-regression", 16000, 25, 4.0, 12, 90, 6),
+  };
+}
+
+}  // namespace lynceus::cloud

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file spark_job.hpp
+/// Synthetic performance model for the Hadoop/Spark jobs of the Scout and
+/// CherryPick datasets (paper §5.1.2): distributed batch analytics on a
+/// homogeneous cluster of `n` VMs.
+///
+/// The model is a classic Amdahl/bottleneck decomposition:
+///
+///   T(n, vm) = serial
+///            + coordination · iterations · log2(n)
+///            + cpu_work · mem_penalty / (n · vcpus · cpu_speed)
+///            + iterations · shuffle / (n · net_bw) · (n-1)/n
+///            + input / (n · disk_bw)
+///
+/// where `mem_penalty` models spilling when the per-core working set does
+/// not fit in RAM. The per-job constants span CPU-, memory-, network- and
+/// disk-bound mixes ("These jobs stress differently CPU, network and memory
+/// resources" — §5.1.2), which is exactly what makes different VM families
+/// optimal for different jobs and gives the optimizers a meaningful choice.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/vm.hpp"
+
+namespace lynceus::cloud {
+
+struct SparkJobSpec {
+  std::string name;
+  double cpu_core_seconds = 1000.0;  ///< parallel CPU work at speed 1.0
+  double serial_seconds = 10.0;      ///< non-parallelizable part
+  double mem_per_core_gb = 2.0;      ///< working-set demand per core
+  double shuffle_gb = 10.0;          ///< data shuffled per iteration
+  double input_gb = 50.0;            ///< input scanned from storage
+  unsigned iterations = 1;           ///< shuffle rounds (iterative jobs > 1)
+  double coord_seconds = 2.0;        ///< per-round coordination coefficient
+};
+
+class SparkJob {
+ public:
+  explicit SparkJob(SparkJobSpec spec, std::uint64_t noise_seed = 0);
+
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] const SparkJobSpec& spec() const noexcept { return spec_; }
+
+  /// Wall-clock seconds on `n >= 1` instances of `vm`. Deterministic (the
+  /// same fixed measurement-noise scheme as the TensorFlow model).
+  [[nodiscard]] double runtime_seconds(const VmType& vm, std::size_t n) const;
+
+  /// Cluster price in USD/hour: `n` instances (the Spark driver runs
+  /// co-located on one of them, as in the original datasets).
+  [[nodiscard]] static double cluster_price_per_hour(const VmType& vm,
+                                                     std::size_t n);
+
+ private:
+  SparkJobSpec spec_;
+  std::uint64_t noise_seed_;
+};
+
+/// The 18 jobs of the Scout dataset (HiBench + spark-perf suites).
+[[nodiscard]] std::vector<SparkJobSpec> scout_job_specs();
+
+/// The 5 jobs of the CherryPick dataset (TPC-H, TPC-DS, TeraSort,
+/// SparkKmeans, SparkRegression).
+[[nodiscard]] std::vector<SparkJobSpec> cherrypick_job_specs();
+
+}  // namespace lynceus::cloud

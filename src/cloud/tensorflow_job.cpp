@@ -1,0 +1,181 @@
+#include "cloud/tensorflow_job.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lynceus::cloud {
+
+std::string to_string(TfModel model) {
+  switch (model) {
+    case TfModel::Multilayer: return "multilayer";
+    case TfModel::CNN: return "cnn";
+    case TfModel::RNN: return "rnn";
+  }
+  throw std::invalid_argument("to_string(TfModel): unknown model");
+}
+
+TfJobParams tf_job_params(TfModel model) {
+  TfJobParams p;
+  switch (model) {
+    case TfModel::Multilayer:
+      // Small dense net: converges fast at lr=1e-3, cheap per sample.
+      p.base_samples = 9e4;
+      p.lr_factor_1e3 = 1.0;
+      p.lr_factor_1e4 = 2.6;
+      p.lr_factor_1e5 = 18.0;
+      p.batch256_factor = 1.8;
+      p.sync_batch_crit = 3000.0;
+      p.async_stale_lin = 0.03;
+      p.async_stale_quad = 1.0;
+      p.rate_per_core = 650.0;
+      p.batch_half = 10.0;
+      p.model_mb = 2.0;
+      break;
+    case TfModel::CNN:
+      // Convolutional net: compute heavy, few parameters, prefers lr=1e-4.
+      p.base_samples = 1.8e5;
+      p.lr_factor_1e3 = 1.3;
+      p.lr_factor_1e4 = 1.0;
+      p.lr_factor_1e5 = 12.0;
+      p.batch256_factor = 2.0;
+      p.sync_batch_crit = 12000.0;
+      p.async_stale_lin = 0.12;
+      p.async_stale_quad = 0.8;
+      p.rate_per_core = 220.0;
+      p.batch_half = 12.0;
+      p.model_mb = 1.2;
+      break;
+    case TfModel::RNN:
+      // Recurrent net: slowest per sample, largest parameter payload, very
+      // sensitive to the learning rate and to asynchronous staleness.
+      p.base_samples = 1.7e5;
+      p.lr_factor_1e3 = 2.3;
+      p.lr_factor_1e4 = 1.0;
+      p.lr_factor_1e5 = 6.0;
+      p.batch256_factor = 1.6;
+      p.sync_batch_crit = 20000.0;
+      p.async_stale_lin = 0.09;
+      p.async_stale_quad = 1.5;
+      p.rate_per_core = 260.0;
+      p.batch_half = 16.0;
+      p.model_mb = 2.5;
+      break;
+  }
+  return p;
+}
+
+TensorflowJob::TensorflowJob(TfModel model, std::uint64_t noise_seed)
+    : model_(model),
+      name_(to_string(model)),
+      params_(tf_job_params(model)),
+      noise_seed_(noise_seed) {}
+
+namespace {
+
+double lr_factor(const TfJobParams& p, double lr) {
+  if (lr == 1e-3) return p.lr_factor_1e3;
+  if (lr == 1e-4) return p.lr_factor_1e4;
+  if (lr == 1e-5) return p.lr_factor_1e5;
+  throw std::invalid_argument(
+      "TensorflowJob: learning rate must be one of {1e-3, 1e-4, 1e-5}");
+}
+
+}  // namespace
+
+double TensorflowJob::raw_runtime_seconds(double learning_rate, unsigned batch,
+                                          TrainingMode mode, const VmType& vm,
+                                          std::size_t workers) const {
+  if (batch != 16 && batch != 256) {
+    throw std::invalid_argument("TensorflowJob: batch must be 16 or 256");
+  }
+  if (workers == 0) {
+    throw std::invalid_argument("TensorflowJob: need at least one worker");
+  }
+  const TfJobParams& p = params_;
+  const auto w = static_cast<double>(workers);
+  const auto b = static_cast<double>(batch);
+
+  // --- hardware efficiency -------------------------------------------------
+  // Per-worker sample throughput: sub-linear in cores, amortized by batch.
+  const double cores = static_cast<double>(vm.vcpus);
+  const double worker_rate =
+      p.rate_per_core * std::pow(cores, 0.8) * (b / (b + p.batch_half));
+  const double raw_throughput = w * worker_rate;
+
+  // Parameter-server NIC: every update moves the model twice (push + pull).
+  const double updates_per_s = worker_rate / b;
+  const double ps_traffic_mbps = w * updates_per_s * p.model_mb * 2.0;
+  const double congestion = ps_traffic_mbps / vm.net_mbps;
+  double throughput = raw_throughput / (1.0 + congestion);
+
+  if (mode == TrainingMode::Sync) {
+    // Barrier per step: stragglers hurt more on bigger clusters.
+    throughput /= 1.0 + 0.03 * std::log(w);
+  }
+
+  // --- statistical efficiency ----------------------------------------------
+  double samples = p.base_samples * lr_factor(p, learning_rate);
+  if (batch == 256) samples *= p.batch256_factor;
+  if (mode == TrainingMode::Sync) {
+    // Effective batch = batch x workers; large effective batches need more
+    // epochs to reach the target accuracy. Per the linear-scaling rule,
+    // larger learning rates tolerate larger effective batches, which ties
+    // the optimal learning rate to the cluster size (a joint interaction
+    // the disjoint-optimization analysis of Fig. 1b hinges on).
+    const double lr_ratio = learning_rate / 1e-3;
+    const double eff_batch = b * w;
+    const double crit = p.sync_batch_crit * std::sqrt(lr_ratio);
+    samples *= std::pow(1.0 + eff_batch / crit, 0.6);
+  } else {
+    // Staleness grows with the number of concurrent writers and with the
+    // step size. The damage of a stale gradient scales sub-linearly with
+    // the step size (sqrt in the linear term), while outright divergence
+    // (the quadratic term) needs both many writers and a large step —
+    // so large async clusters favor small learning rates and very large
+    // ones at lr = 1e-3 effectively diverge.
+    const double lr_ratio = learning_rate / 1e-3;
+    samples *= 1.0 +
+               p.async_stale_lin * (w - 1.0) * std::sqrt(lr_ratio) +
+               p.async_stale_quad * std::pow((w - 1.0) * lr_ratio / 32.0, 2.0);
+  }
+
+  double t = p.startup_s + samples / throughput;
+
+  // Deterministic "measurement noise": the paper replays single
+  // measurements, so each configuration gets one fixed noisy value.
+  std::uint64_t h = noise_seed_ ^ (static_cast<std::uint64_t>(model_) << 56);
+  h = util::derive_seed(h, static_cast<std::uint64_t>(learning_rate * 1e9));
+  h = util::derive_seed(h, batch);
+  h = util::derive_seed(h, mode == TrainingMode::Sync ? 1 : 2);
+  h = util::derive_seed(h, vm.vcpus);
+  h = util::derive_seed(h, workers);
+  util::Rng rng(h);
+  t *= std::exp(rng.normal(0.0, 0.04));
+
+  return t;
+}
+
+double TensorflowJob::runtime_seconds(double learning_rate, unsigned batch,
+                                      TrainingMode mode, const VmType& vm,
+                                      std::size_t workers) const {
+  const double t =
+      raw_runtime_seconds(learning_rate, batch, mode, vm, workers);
+  return std::min(t, kTimeoutSeconds);
+}
+
+bool TensorflowJob::times_out(double learning_rate, unsigned batch,
+                              TrainingMode mode, const VmType& vm,
+                              std::size_t workers) const {
+  return raw_runtime_seconds(learning_rate, batch, mode, vm, workers) >
+         kTimeoutSeconds;
+}
+
+double TensorflowJob::cluster_price_per_hour(const VmType& vm,
+                                             std::size_t workers) {
+  // Workers plus one parameter-server VM of the same type.
+  return vm.price_per_hour * static_cast<double>(workers + 1);
+}
+
+}  // namespace lynceus::cloud

@@ -1,0 +1,30 @@
+#include "cloud/vm.hpp"
+
+#include <stdexcept>
+
+namespace lynceus::cloud {
+
+std::string to_string(VmFamily family) {
+  switch (family) {
+    case VmFamily::T2: return "t2";
+    case VmFamily::C4: return "c4";
+    case VmFamily::M4: return "m4";
+    case VmFamily::R4: return "r4";
+    case VmFamily::R3: return "r3";
+    case VmFamily::I2: return "i2";
+  }
+  throw std::invalid_argument("to_string(VmFamily): unknown family");
+}
+
+std::string to_string(VmSize size) {
+  switch (size) {
+    case VmSize::Small: return "small";
+    case VmSize::Medium: return "medium";
+    case VmSize::Large: return "large";
+    case VmSize::XLarge: return "xlarge";
+    case VmSize::XXLarge: return "2xlarge";
+  }
+  throw std::invalid_argument("to_string(VmSize): unknown size");
+}
+
+}  // namespace lynceus::cloud

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file vm.hpp
+/// Virtual-machine type descriptions: the hardware dimension `H` of the
+/// paper's configuration tuple 〈N, H, P〉. Each type carries the attributes
+/// the synthetic performance models need (compute, memory, network, disk)
+/// plus its on-demand hourly price (per-second billing is assumed
+/// throughout, as in the paper §2).
+
+#include <cstddef>
+#include <string>
+
+namespace lynceus::cloud {
+
+enum class VmFamily { T2, C4, M4, R4, R3, I2 };
+
+enum class VmSize { Small, Medium, Large, XLarge, XXLarge };
+
+[[nodiscard]] std::string to_string(VmFamily family);
+[[nodiscard]] std::string to_string(VmSize size);
+
+struct VmType {
+  std::string name;          ///< e.g. "t2.xlarge"
+  VmFamily family = VmFamily::T2;
+  VmSize size = VmSize::Small;
+  unsigned vcpus = 1;
+  double ram_gb = 1.0;
+  double price_per_hour = 0.0;   ///< USD, on-demand
+  double net_mbps = 100.0;       ///< sustainable NIC throughput, MB/s
+  double cpu_speed = 1.0;        ///< relative per-core speed factor
+  double disk_mbps = 100.0;      ///< local storage bandwidth, MB/s
+
+  [[nodiscard]] double ram_per_core() const noexcept {
+    return ram_gb / static_cast<double>(vcpus);
+  }
+
+  /// Price of running `count` instances for `seconds` (per-second billing).
+  [[nodiscard]] double rental_cost(std::size_t count, double seconds) const noexcept {
+    return price_per_hour * static_cast<double>(count) * seconds / 3600.0;
+  }
+};
+
+}  // namespace lynceus::cloud

@@ -1,0 +1,223 @@
+#include "cloud/workloads.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "cloud/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace lynceus::cloud {
+
+using space::ConfigSpace;
+using space::LevelVector;
+using space::ParamDomain;
+
+namespace {
+
+/// Total-VCPU levels of Table 2: every (type, worker-count) pair keeps the
+/// cluster's VCPU total in this set.
+const std::set<unsigned>& tf_vcpu_levels() {
+  static const std::set<unsigned> levels = {8, 16, 32, 48, 64, 80, 96, 112};
+  return levels;
+}
+
+std::vector<double> tf_worker_counts() {
+  // Union of the per-type worker counts of Table 2.
+  return {1,  2,  4,  6,  8,  10, 12, 14, 16, 20,
+          24, 28, 32, 40, 48, 56, 64, 80, 96, 112};
+}
+
+}  // namespace
+
+std::shared_ptr<const ConfigSpace> tensorflow_space() {
+  std::vector<ParamDomain> dims;
+  dims.push_back(space::numeric_param("learning_rate", {1e-3, 1e-4, 1e-5}));
+  dims.push_back(space::numeric_param("batch", {16, 256}));
+  dims.push_back(space::categorical_param("training_mode", {"sync", "async"}));
+  {
+    ParamDomain vm = space::categorical_param(
+        "vm_type", {"t2.small", "t2.medium", "t2.xlarge", "t2.2xlarge"});
+    dims.push_back(std::move(vm));
+  }
+  dims.push_back(space::numeric_param("workers", tf_worker_counts()));
+
+  const auto& catalog = t2_catalog();
+  const auto counts = tf_worker_counts();
+  auto valid = [&catalog, counts](const LevelVector& lv) {
+    const VmType& vm = catalog[lv[3]];
+    const auto workers = static_cast<unsigned>(counts[lv[4]]);
+    return tf_vcpu_levels().count(vm.vcpus * workers) > 0;
+  };
+  return std::make_shared<ConfigSpace>("tensorflow", std::move(dims), valid);
+}
+
+Dataset make_tensorflow_dataset(TfModel model, std::uint64_t noise_seed) {
+  auto sp = tensorflow_space();
+  const TensorflowJob job(model, noise_seed);
+  const auto& catalog = t2_catalog();
+
+  std::vector<Observation> obs(sp->size());
+  for (std::size_t i = 0; i < sp->size(); ++i) {
+    const auto id = static_cast<space::ConfigId>(i);
+    const double lr = sp->value(id, 0);
+    const auto batch = static_cast<unsigned>(sp->value(id, 1));
+    const TrainingMode mode = sp->levels(id)[2] == 0 ? TrainingMode::Sync
+                                                     : TrainingMode::Async;
+    const VmType& vm = catalog[sp->levels(id)[3]];
+    const auto workers = static_cast<std::size_t>(sp->value(id, 4));
+
+    Observation o;
+    o.runtime_seconds = job.runtime_seconds(lr, batch, mode, vm, workers);
+    o.unit_price_per_hour = TensorflowJob::cluster_price_per_hour(vm, workers);
+    o.timed_out = job.times_out(lr, batch, mode, vm, workers);
+    obs[i] = o;
+  }
+  return Dataset("tensorflow-" + to_string(model), std::move(sp),
+                 std::move(obs));
+}
+
+std::vector<Dataset> make_tensorflow_datasets(std::uint64_t noise_seed) {
+  std::vector<Dataset> out;
+  out.reserve(3);
+  for (TfModel m : {TfModel::CNN, TfModel::RNN, TfModel::Multilayer}) {
+    out.push_back(make_tensorflow_dataset(m, noise_seed));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> scout_counts() {
+  return {4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48};
+}
+
+}  // namespace
+
+std::shared_ptr<const ConfigSpace> scout_space(bool exact_grid) {
+  std::vector<ParamDomain> dims;
+  dims.push_back(space::categorical_param("vm_family", {"c4", "m4", "r4"}));
+  dims.push_back(
+      space::categorical_param("vm_size", {"large", "xlarge", "2xlarge"}));
+  dims.push_back(space::numeric_param("machines", scout_counts()));
+
+  const auto counts = scout_counts();
+  auto valid = [counts, exact_grid](const LevelVector& lv) {
+    const double n = counts[lv[2]];
+    if (lv[1] == 1 && n > 24) return false;  // xlarge caps at 24 (§5.1.2)
+    if (lv[1] == 2) {                        // 2xlarge caps at 12 (§5.1.2)
+      if (n > 12) return false;
+      // 69-point variant: additionally cap 2xlarge at 10 machines to match
+      // the paper's published cardinality (the literal grid yields 72).
+      if (!exact_grid && n > 10) return false;
+    }
+    return true;
+  };
+  return std::make_shared<ConfigSpace>("scout", std::move(dims), valid);
+}
+
+namespace {
+
+Dataset make_spark_dataset(const SparkJobSpec& spec,
+                           std::shared_ptr<const ConfigSpace> sp,
+                           const std::vector<VmType>& catalog,
+                           const std::string& name_prefix,
+                           std::uint64_t noise_seed) {
+  const SparkJob job(spec, noise_seed);
+  std::vector<Observation> obs(sp->size());
+  for (std::size_t i = 0; i < sp->size(); ++i) {
+    const auto id = static_cast<space::ConfigId>(i);
+    const auto& lv = sp->levels(id);
+    const std::string vm_name = sp->dim(0).label(lv[0]) + "." +
+                                sp->dim(1).label(lv[1]);
+    const auto vm = find_vm(catalog, vm_name);
+    if (!vm) {
+      throw std::logic_error("make_spark_dataset: unknown VM " + vm_name);
+    }
+    const auto n = static_cast<std::size_t>(sp->value(id, 2));
+    Observation o;
+    o.runtime_seconds = job.runtime_seconds(*vm, n);
+    o.unit_price_per_hour = SparkJob::cluster_price_per_hour(*vm, n);
+    obs[i] = o;
+  }
+  return Dataset(name_prefix + spec.name, std::move(sp), std::move(obs));
+}
+
+}  // namespace
+
+Dataset make_scout_dataset(const SparkJobSpec& spec,
+                           std::uint64_t noise_seed) {
+  return make_spark_dataset(spec, scout_space(), scout_catalog(), "scout-",
+                            noise_seed);
+}
+
+std::vector<Dataset> make_scout_datasets(std::uint64_t noise_seed) {
+  std::vector<Dataset> out;
+  for (const auto& spec : scout_job_specs()) {
+    out.push_back(make_scout_dataset(spec, noise_seed));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> cherrypick_counts() {
+  return {32, 48, 64, 80, 96, 112};
+}
+
+}  // namespace
+
+std::shared_ptr<const ConfigSpace> cherrypick_space(
+    const std::string& job_name, std::size_t cardinality) {
+  constexpr std::size_t kGrid = 4 * 3 * 6;  // 72
+  if (cardinality == 0 || cardinality > kGrid) {
+    throw std::invalid_argument(
+        "cherrypick_space: cardinality must be in [1, 72]");
+  }
+  // Deterministic per-job mask: remove (72 - cardinality) random cells,
+  // seeded by the job name. The paper reports only the per-job counts.
+  std::vector<bool> keep(kGrid, true);
+  const std::size_t to_remove = kGrid - cardinality;
+  util::Rng rng(util::derive_seed(std::hash<std::string>{}(job_name), 7));
+  std::size_t removed = 0;
+  while (removed < to_remove) {
+    const auto cell = static_cast<std::size_t>(rng.below(kGrid));
+    if (keep[cell]) {
+      keep[cell] = false;
+      ++removed;
+    }
+  }
+
+  std::vector<ParamDomain> dims;
+  dims.push_back(
+      space::categorical_param("vm_family", {"c4", "m4", "r3", "i2"}));
+  dims.push_back(
+      space::categorical_param("vm_size", {"large", "xlarge", "2xlarge"}));
+  dims.push_back(space::numeric_param("machines", cherrypick_counts()));
+
+  auto valid = [keep](const LevelVector& lv) {
+    const std::size_t cell = (lv[0] * 3 + lv[1]) * 6 + lv[2];
+    return keep[cell];
+  };
+  return std::make_shared<ConfigSpace>("cherrypick-" + job_name,
+                                       std::move(dims), valid);
+}
+
+Dataset make_cherrypick_dataset(const SparkJobSpec& spec,
+                                std::size_t cardinality,
+                                std::uint64_t noise_seed) {
+  return make_spark_dataset(spec, cherrypick_space(spec.name, cardinality),
+                            cherrypick_catalog(), "cherrypick-", noise_seed);
+}
+
+std::vector<Dataset> make_cherrypick_datasets(std::uint64_t noise_seed) {
+  const auto specs = cherrypick_job_specs();
+  const std::size_t cards[] = {66, 72, 60, 54, 47};
+  std::vector<Dataset> out;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    out.push_back(make_cherrypick_dataset(specs[i], cards[i], noise_seed));
+  }
+  return out;
+}
+
+}  // namespace lynceus::cloud

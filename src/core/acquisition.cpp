@@ -1,0 +1,57 @@
+#include "core/acquisition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "math/distributions.hpp"
+
+namespace lynceus::core {
+
+double expected_improvement(double y_star, const model::Prediction& pred) {
+  if (pred.stddev <= 0.0) return std::max(y_star - pred.mean, 0.0);
+  const double z = (y_star - pred.mean) / pred.stddev;
+  const double ei = (y_star - pred.mean) * math::norm_cdf(z) +
+                    pred.stddev * math::norm_pdf(z);
+  return std::max(ei, 0.0);
+}
+
+double prob_within(double cap, const model::Prediction& pred) {
+  return math::normal_cdf(cap, pred.mean, pred.stddev);
+}
+
+double constrained_ei(double y_star, const model::Prediction& pred,
+                      double feasibility_cap) {
+  const double ei = expected_improvement(y_star, pred);
+  if (ei <= 0.0) return 0.0;
+  return ei * prob_within(feasibility_cap, pred);
+}
+
+double incumbent_cost(const std::vector<Sample>& samples,
+                      const std::vector<model::Prediction>& predictions,
+                      const std::vector<ConfigId>& untested) {
+  if (samples.empty()) {
+    throw std::invalid_argument("incumbent_cost: no samples");
+  }
+  bool any_feasible = false;
+  double best = 0.0;
+  double most_expensive = samples.front().cost;
+  for (const auto& s : samples) {
+    most_expensive = std::max(most_expensive, s.cost);
+    if (s.feasible && (!any_feasible || s.cost < best)) {
+      best = s.cost;
+      any_feasible = true;
+    }
+  }
+  if (any_feasible) return best;
+
+  // Paper §3: "y* is estimated as the cost of the most expensive
+  // configuration in S plus three times the maximum standard deviation
+  // over the predictions on the points not in S".
+  double max_stddev = 0.0;
+  for (ConfigId id : untested) {
+    max_stddev = std::max(max_stddev, predictions.at(id).stddev);
+  }
+  return most_expensive + 3.0 * max_stddev;
+}
+
+}  // namespace lynceus::core

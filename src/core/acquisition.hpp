@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file acquisition.hpp
+/// Acquisition functions (paper §3): expected improvement EI for cost
+/// minimization, the constrained variant EIc = EI · P(T(x) <= Tmax), and
+/// the incumbent (y*) selection rule, including the paper's fallback when
+/// no feasible configuration has been profiled yet.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "model/regressor.hpp"
+
+namespace lynceus::core {
+
+/// EI(x) for *minimization*:
+///   EI = (y* − µ)·Φ(z) + σ·φ(z),  z = (y* − µ)/σ.
+/// Degenerates to max(y* − µ, 0) when σ = 0. Never negative.
+[[nodiscard]] double expected_improvement(double y_star,
+                                          const model::Prediction& pred);
+
+/// P(C(x) <= cap) under the Gaussian predictive distribution. With the cap
+/// set to Tmax·U(x) this is the paper's PC(x) = P(T(x) <= Tmax), reusing
+/// the cost model instead of training a separate runtime model.
+[[nodiscard]] double prob_within(double cap, const model::Prediction& pred);
+
+/// EIc(x) = EI(x) · P(C(x) <= feasibility_cap).
+[[nodiscard]] double constrained_ei(double y_star,
+                                    const model::Prediction& pred,
+                                    double feasibility_cap);
+
+/// The incumbent y*: cost of the cheapest *feasible* sample. If no sample
+/// is feasible, the paper's fallback [39]: the cost of the most expensive
+/// sample plus three times the maximum predictive stddev over the
+/// `untested` rows (given by ids into `predictions`).
+/// Requires at least one sample.
+[[nodiscard]] double incumbent_cost(
+    const std::vector<Sample>& samples,
+    const std::vector<model::Prediction>& predictions,
+    const std::vector<ConfigId>& untested);
+
+}  // namespace lynceus::core

@@ -1,0 +1,103 @@
+#include "core/bo.hpp"
+
+#include <limits>
+
+#include "core/acquisition.hpp"
+#include "core/sequential.hpp"
+
+namespace lynceus::core {
+
+model::ModelFactory default_tree_model_factory(
+    const space::ConfigSpace& space, unsigned trees) {
+  model::BaggingOptions opts;
+  opts.trees = trees;
+  opts.tree.features_per_split =
+      model::BaggingOptions::weka_features_per_split(space.dim_count());
+  return [opts] { return std::make_unique<model::BaggingEnsemble>(opts); };
+}
+
+BayesianOptimizer::BayesianOptimizer(BoOptions options)
+    : options_(std::move(options)) {}
+
+OptimizerResult BayesianOptimizer::optimize(
+    const OptimizationProblem& problem, JobRunner& runner,
+    std::uint64_t seed) {
+  LoopState st(problem, runner, seed);
+  DecisionTimer timer;
+  st.bootstrap();
+  if (options_.observer != nullptr) {
+    for (const auto& s : st.samples) options_.observer->on_bootstrap(s);
+  }
+
+  model::ModelFactory factory =
+      options_.model_factory
+          ? options_.model_factory
+          : default_tree_model_factory(*problem.space);
+  auto model = factory();
+  const model::FeatureMatrix fm(*problem.space);
+
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+  std::vector<model::Prediction> preds;
+  std::uint64_t fit_counter = 0;
+
+  while (!st.budget.exhausted() && !st.untested.empty()) {
+    timer.start();
+    rows.clear();
+    y.clear();
+    for (const auto& s : st.samples) {
+      rows.push_back(s.id);
+      y.push_back(s.cost);
+    }
+    model->fit(fm, rows, y, util::derive_seed(seed, ++fit_counter));
+    model->predict_all(fm, preds);
+
+    const double y_star = incumbent_cost(st.samples, preds, st.untested);
+    double best_acq = -std::numeric_limits<double>::infinity();
+    ConfigId best_id = st.untested.front();
+    for (ConfigId id : st.untested) {
+      const double acq =
+          constrained_ei(y_star, preds[id], problem.feasibility_cost_cap(id));
+      if (acq > best_acq) {
+        best_acq = acq;
+        best_id = id;
+      }
+    }
+    if (options_.ei_stop_fraction > 0.0 &&
+        best_acq < options_.ei_stop_fraction * y_star) {
+      timer.discard();
+      if (options_.observer != nullptr) {
+        options_.observer->on_stop("expected improvement below threshold");
+      }
+      break;  // expected improvement everywhere marginal
+    }
+    timer.stop();
+
+    if (options_.observer != nullptr) {
+      DecisionEvent event;
+      event.iteration = static_cast<std::size_t>(fit_counter);
+      event.viable_count = st.untested.size();  // BO has no budget filter
+      event.chosen = best_id;
+      event.predicted_cost = preds[best_id].mean;
+      event.incumbent = y_star;
+      event.remaining_budget = st.budget.remaining();
+      event.best_ratio = best_acq;
+      options_.observer->on_decision(event);
+    }
+    const Sample& ran = st.profile(best_id);
+    if (options_.observer != nullptr) options_.observer->on_run(ran);
+  }
+
+  if (options_.observer != nullptr) {
+    if (st.untested.empty()) {
+      options_.observer->on_stop("search space exhausted");
+    } else if (st.budget.exhausted()) {
+      options_.observer->on_stop("budget depleted");
+    }
+  }
+  OptimizerResult out = st.finalize();
+  timer.write_to(out);
+  return out;
+}
+
+}  // namespace lynceus::core

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file bo.hpp
+/// The traditional greedy Bayesian-optimization baseline — the approach of
+/// CherryPick [5] and Arrow [26] that the paper compares against (§5.2).
+///
+/// At every step BO fits the cost model on the samples gathered so far and
+/// profiles the untested configuration maximizing the *one-step* acquisition
+/// EIc(x). It is cost-unaware (the acquisition ignores how expensive the
+/// profiling run itself will be) and short-sighted (no lookahead); it stops
+/// when the budget is depleted, possibly overshooting on its last run.
+
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "model/bagging.hpp"
+#include "model/regressor.hpp"
+
+namespace lynceus::core {
+
+struct BoOptions {
+  /// Cost-model factory. Defaults to the paper's bagging ensemble of 10
+  /// random trees (features-per-split chosen per space at fit time).
+  model::ModelFactory model_factory;
+  /// Optional CherryPick-style early stop: halt when max EIc falls below
+  /// this fraction of the incumbent cost (0 disables it; the paper's BO
+  /// baseline runs until the budget is gone).
+  double ei_stop_fraction = 0.0;
+  /// Optional observer (see core/trace.hpp). For BO, `viable_count` in the
+  /// decision event is the number of untested configurations (BO has no
+  /// budget filter) and `simulated_roots` is 0 (no path simulation);
+  /// `best_ratio` carries the winning EIc value. Not owned.
+  OptimizerObserver* observer = nullptr;
+};
+
+/// Builds the paper's default model factory for a given space: a bagging
+/// ensemble of `trees` random trees with the Weka feature-subset rule.
+[[nodiscard]] model::ModelFactory default_tree_model_factory(
+    const space::ConfigSpace& space, unsigned trees = 10);
+
+class BayesianOptimizer final : public Optimizer {
+ public:
+  explicit BayesianOptimizer(BoOptions options = {});
+
+  [[nodiscard]] OptimizerResult optimize(const OptimizationProblem& problem,
+                                         JobRunner& runner,
+                                         std::uint64_t seed) override;
+
+  [[nodiscard]] std::string name() const override { return "BO"; }
+
+ private:
+  BoOptions options_;
+};
+
+}  // namespace lynceus::core

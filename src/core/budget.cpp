@@ -1,0 +1,18 @@
+#include "core/budget.hpp"
+
+namespace lynceus::core {
+
+Budget::Budget(double total) : total_(total) {
+  if (total < 0.0) {
+    throw std::invalid_argument("Budget: total must be non-negative");
+  }
+}
+
+void Budget::spend(double cost) {
+  if (cost < 0.0) {
+    throw std::invalid_argument("Budget::spend: cost must be non-negative");
+  }
+  spent_ += cost;
+}
+
+}  // namespace lynceus::core

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file budget.hpp
+/// Monetary budget accounting for the profiling phase. Tracks spend against
+/// the budget B of the optimization problem; spending is allowed to
+/// overshoot (a run's true cost is only known after it finishes — the
+/// budget-aware optimizer bounds the *probability* of overshoot instead,
+/// via the Γ filter of Algorithm 1).
+
+#include <stdexcept>
+
+namespace lynceus::core {
+
+class Budget {
+ public:
+  /// `total >= 0`.
+  explicit Budget(double total);
+
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double spent() const noexcept { return spent_; }
+  /// Remaining budget β; negative once overshot.
+  [[nodiscard]] double remaining() const noexcept { return total_ - spent_; }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() <= 0.0; }
+
+  /// Records a run's cost. `cost >= 0`.
+  void spend(double cost);
+
+ private:
+  double total_ = 0.0;
+  double spent_ = 0.0;
+};
+
+}  // namespace lynceus::core

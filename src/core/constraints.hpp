@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file constraints.hpp
+/// The paper's §4.4 "Multiple constraints" extension: in addition to the
+/// deadline T(x) <= Tmax, the job must satisfy I further constraints of the
+/// form "metric m_i <= t_i" (e.g. energy, p99 latency, error rate).
+///
+/// Following §4.4:
+///  * one regression model is trained per constraint metric (the deadline
+///    keeps using the cost model through C(x) = T(x)·U(x));
+///  * EIc(x) becomes EI(x) · P(C(x) <= Tmax·U(x)) · Π_i P(m_i(x) <= t_i),
+///    assuming independent constraint variables;
+///  * path simulation speculates jointly on the cost and on every
+///    constraint metric: the Cartesian product of the per-variable
+///    Gauss–Hermite discretizations yields K^(I+1) weighted combinations
+///    per step, pruned of combinations with negligible weight (the paper
+///    points to numerical pruning methods [31, 38]).
+///
+/// The combinatorial growth makes deep lookahead expensive; the default
+/// lookahead here is 1 (the ablation in bench_ablation shows the marginal
+/// return of deeper lookahead on small spaces, mirroring §6.2).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/lynceus.hpp"
+#include "core/types.hpp"
+#include "model/regressor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lynceus::core {
+
+/// One auxiliary constraint "metric <= threshold(x)". `metric_index`
+/// selects the entry of RunResult::metrics holding the measured value.
+struct ConstraintDef {
+  std::string name;
+  std::size_t metric_index = 0;
+  /// Per-configuration threshold t_i (constant thresholds simply ignore x).
+  std::function<double(ConfigId)> threshold;
+};
+
+struct MultiConstraintOptions {
+  unsigned lookahead = 1;
+  unsigned gh_points = 3;
+  double gamma = 0.9;
+  double feasibility_quantile = 0.99;
+  /// Joint-speculation combinations whose weight falls below this value
+  /// are pruned (weights are renormalized afterwards).
+  double prune_weight = 1e-3;
+  model::ModelFactory model_factory;
+
+  void validate() const;
+};
+
+class MultiConstraintLynceus final : public Optimizer {
+ public:
+  MultiConstraintLynceus(std::vector<ConstraintDef> constraints,
+                         MultiConstraintOptions options = {});
+
+  /// The runner must fill RunResult::metrics with every constrained metric.
+  [[nodiscard]] OptimizerResult optimize(const OptimizationProblem& problem,
+                                         JobRunner& runner,
+                                         std::uint64_t seed) override;
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const std::vector<ConstraintDef>& constraints()
+      const noexcept {
+    return constraints_;
+  }
+
+ private:
+  struct Impl;
+  std::vector<ConstraintDef> constraints_;
+  MultiConstraintOptions options_;
+};
+
+}  // namespace lynceus::core

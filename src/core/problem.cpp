@@ -1,0 +1,57 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "core/types.hpp"
+
+namespace lynceus::core {
+
+void OptimizationProblem::validate() const {
+  if (!space) {
+    throw std::invalid_argument("OptimizationProblem: null space");
+  }
+  if (unit_price_per_hour.size() != space->size()) {
+    throw std::invalid_argument(
+        "OptimizationProblem: need one unit price per configuration");
+  }
+  for (double u : unit_price_per_hour) {
+    if (!(u > 0.0)) {
+      throw std::invalid_argument(
+          "OptimizationProblem: unit prices must be positive");
+    }
+  }
+  if (!(tmax_seconds > 0.0)) {
+    throw std::invalid_argument("OptimizationProblem: Tmax must be positive");
+  }
+  if (!(budget > 0.0)) {
+    throw std::invalid_argument("OptimizationProblem: budget must be positive");
+  }
+  if (bootstrap_samples == 0 || bootstrap_samples > space->size()) {
+    throw std::invalid_argument(
+        "OptimizationProblem: bootstrap sample count out of range");
+  }
+  std::vector<char> seen(space->size(), 0);
+  for (const auto& s : prior_samples) {
+    if (s.id >= space->size()) {
+      throw std::invalid_argument(
+          "OptimizationProblem: prior sample outside the space");
+    }
+    if (seen[s.id] != 0) {
+      throw std::invalid_argument(
+          "OptimizationProblem: duplicate prior sample");
+    }
+    seen[s.id] = 1;
+    if (!(s.cost >= 0.0)) {
+      throw std::invalid_argument(
+          "OptimizationProblem: prior sample with negative cost");
+    }
+  }
+}
+
+std::size_t default_bootstrap_samples(const space::ConfigSpace& space) {
+  // Paper §5.2: N = max(⌈3% of |C|⌉, number of dimensions).
+  const auto three_percent = static_cast<std::size_t>(
+      std::ceil(0.03 * static_cast<double>(space.size())));
+  return std::max(three_percent, space.dim_count());
+}
+
+}  // namespace lynceus::core

@@ -1,0 +1,26 @@
+#include "core/random_search.hpp"
+
+#include "core/sequential.hpp"
+
+namespace lynceus::core {
+
+OptimizerResult RandomSearch::optimize(const OptimizationProblem& problem,
+                                       JobRunner& runner, std::uint64_t seed) {
+  LoopState st(problem, runner, seed);
+  DecisionTimer timer;
+  st.bootstrap();
+
+  while (!st.budget.exhausted() && !st.untested.empty()) {
+    timer.start();
+    const ConfigId id = st.untested[static_cast<std::size_t>(
+        st.rng.below(st.untested.size()))];
+    timer.stop();
+    st.profile(id);
+  }
+
+  OptimizerResult out = st.finalize();
+  timer.write_to(out);
+  return out;
+}
+
+}  // namespace lynceus::core

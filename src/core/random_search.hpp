@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file random_search.hpp
+/// The RND baseline (paper §5.2): after the common LHS bootstrap, profile
+/// uniformly random untested configurations until the budget is depleted,
+/// then recommend the cheapest feasible configuration tried. RND knows
+/// nothing about costs a priori, so its last run may overshoot the budget.
+
+#include "core/types.hpp"
+
+namespace lynceus::core {
+
+class RandomSearch final : public Optimizer {
+ public:
+  [[nodiscard]] OptimizerResult optimize(const OptimizationProblem& problem,
+                                         JobRunner& runner,
+                                         std::uint64_t seed) override;
+
+  [[nodiscard]] std::string name() const override { return "RND"; }
+};
+
+}  // namespace lynceus::core

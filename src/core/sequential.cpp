@@ -1,0 +1,120 @@
+#include "core/sequential.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+namespace lynceus::core {
+
+LoopState::LoopState(const OptimizationProblem& prob, JobRunner& run,
+                     std::uint64_t seed)
+    : problem(&prob), runner(&run), budget(prob.budget), rng(seed) {
+  prob.validate();
+  tested.assign(prob.space->size(), 0);
+  untested = prob.space->all();
+}
+
+const Sample& LoopState::profile(ConfigId id) {
+  if (tested.at(id) != 0) {
+    throw std::logic_error("LoopState::profile: configuration already tested");
+  }
+  const RunResult r = runner->run(id);
+  budget.spend(r.cost);
+
+  Sample s;
+  s.id = id;
+  s.runtime_seconds = r.runtime_seconds;
+  s.cost = r.cost;
+  s.feasible = !r.timed_out && r.runtime_seconds <= problem->tmax_seconds;
+  samples.push_back(s);
+
+  tested[id] = 1;
+  const auto it = std::find(untested.begin(), untested.end(), id);
+  if (it != untested.end()) {
+    *it = untested.back();
+    untested.pop_back();
+  }
+  return samples.back();
+}
+
+void LoopState::bootstrap() {
+  // Warm start (recurrent jobs, §2.1-III): measurements from a previous
+  // tuning round seed the model without charging this round's budget and
+  // replace the cold-start LHS phase.
+  if (!problem->prior_samples.empty()) {
+    for (const Sample& prior : problem->prior_samples) {
+      if (tested.at(prior.id) != 0) {
+        throw std::logic_error("LoopState::bootstrap: duplicate prior sample");
+      }
+      Sample s = prior;
+      // Feasibility is re-judged against *this* round's deadline.
+      s.feasible = s.feasible && s.runtime_seconds <= problem->tmax_seconds;
+      samples.push_back(s);
+      tested[s.id] = 1;
+      const auto it = std::find(untested.begin(), untested.end(), s.id);
+      if (it != untested.end()) {
+        *it = untested.back();
+        untested.pop_back();
+      }
+    }
+    return;
+  }
+  const auto ids = problem->space->lhs_sample(problem->bootstrap_samples, rng);
+  for (ConfigId id : ids) profile(id);
+}
+
+OptimizerResult LoopState::finalize() const {
+  OptimizerResult out;
+  out.history = samples;
+  out.budget_spent = budget.spent();
+
+  double best_feasible = std::numeric_limits<double>::infinity();
+  double best_any = std::numeric_limits<double>::infinity();
+  std::optional<ConfigId> feasible_id;
+  std::optional<ConfigId> any_id;
+  for (const auto& s : samples) {
+    if (s.cost < best_any) {
+      best_any = s.cost;
+      any_id = s.id;
+    }
+    if (s.feasible && s.cost < best_feasible) {
+      best_feasible = s.cost;
+      feasible_id = s.id;
+    }
+  }
+  if (feasible_id) {
+    out.recommendation = feasible_id;
+    out.recommendation_feasible = true;
+  } else {
+    out.recommendation = any_id;
+    out.recommendation_feasible = false;
+  }
+  return out;
+}
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void DecisionTimer::start() { started_at_ = now_seconds(); }
+
+void DecisionTimer::stop() {
+  if (started_at_ < 0.0) {
+    throw std::logic_error("DecisionTimer::stop without start");
+  }
+  total_ += now_seconds() - started_at_;
+  count_ += 1;
+  started_at_ = -1.0;
+}
+
+void DecisionTimer::write_to(OptimizerResult& result) const {
+  result.decision_seconds = total_;
+  result.decisions = count_;
+}
+
+}  // namespace lynceus::core

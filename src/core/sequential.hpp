@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file sequential.hpp
+/// Shared scaffolding for the sequential optimizers (RND, BO, Lynceus):
+/// the LHS bootstrap phase (identical across optimizers so that paired
+/// comparisons are fair — §5.2 "all optimizers use the same set of initial
+/// configurations for their own i-th run"), run/update bookkeeping, and
+/// final-recommendation selection.
+
+#include "core/budget.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace lynceus::core {
+
+/// Mutable state of one optimization run.
+struct LoopState {
+  const OptimizationProblem* problem = nullptr;
+  JobRunner* runner = nullptr;
+  Budget budget{0.0};
+  util::Rng rng{0};
+  std::vector<Sample> samples;
+  std::vector<char> tested;          ///< per-config flag
+  std::vector<ConfigId> untested;    ///< maintained list (unordered erase)
+
+  explicit LoopState(const OptimizationProblem& prob, JobRunner& run,
+                     std::uint64_t seed);
+
+  /// Profiles `id`: runs the job, charges the budget, appends the sample
+  /// (with its feasibility evaluated against Tmax) and removes `id` from
+  /// the untested set. Returns the new sample.
+  const Sample& profile(ConfigId id);
+
+  /// Runs the N-sample LHS bootstrap (paper Algorithm 1, lines 6-8).
+  void bootstrap();
+
+  /// Builds the OptimizerResult: the recommendation is the cheapest
+  /// feasible sample, falling back to the cheapest sample when none is
+  /// feasible.
+  [[nodiscard]] OptimizerResult finalize() const;
+};
+
+/// Accumulator for decision-time measurement (Table 3): wall-clock seconds
+/// spent inside "choose the next configuration".
+class DecisionTimer {
+ public:
+  void start();
+  void stop();
+  /// Abandons the interval opened by start() without recording it (used
+  /// when the decision computation concludes "stop exploring" instead of
+  /// choosing a configuration).
+  void discard() noexcept { started_at_ = -1.0; }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Copies the accumulated timing into a result.
+  void write_to(OptimizerResult& result) const;
+
+ private:
+  double total_ = 0.0;
+  std::size_t count_ = 0;
+  double started_at_ = -1.0;
+};
+
+}  // namespace lynceus::core

@@ -1,0 +1,37 @@
+#include "core/setup_cost.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lynceus::core {
+
+SetupCostFn make_cloud_setup_cost(CloudSetupModel model) {
+  if (!model.vm_kind || !model.vm_count || !model.per_vm_price_per_hour) {
+    throw std::invalid_argument(
+        "make_cloud_setup_cost: all accessor functions are required");
+  }
+  if (model.boot_minutes < 0.0 || model.warmup_minutes < 0.0) {
+    throw std::invalid_argument(
+        "make_cloud_setup_cost: durations must be non-negative");
+  }
+  return [model = std::move(model)](std::optional<ConfigId> current,
+                                    ConfigId next) {
+    const int next_kind = model.vm_kind(next);
+    const double next_count = model.vm_count(next);
+    const double vm_price = model.per_vm_price_per_hour(next);
+
+    double booted = next_count;
+    if (current) {
+      if (*current == next) return 0.0;
+      if (model.vm_kind(*current) == next_kind) {
+        booted = std::max(0.0, next_count - model.vm_count(*current));
+      }
+    }
+    const double boot_charge = booted * vm_price * model.boot_minutes / 60.0;
+    const double warmup_charge =
+        next_count * vm_price * model.warmup_minutes / 60.0;
+    return boot_charge + warmup_charge;
+  };
+}
+
+}  // namespace lynceus::core

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file setup_cost.hpp
+/// The paper's §4.4 "Setup costs" extension: switching the deployed
+/// configuration is not free — new VMs must boot, data must be loaded, the
+/// system warms up — so trying the same configurations in different orders
+/// can cost different amounts. Lynceus accounts for this by adding the
+/// switch cost to the (real and simulated) cost of each exploration step.
+///
+/// This header provides an analytic cloud setup model of the kind the
+/// paper suggests ("an additional cost is used to account for changes in
+/// the cloud configuration"): booting VMs that are not already running is
+/// charged at their hourly price for the boot duration, and any change of
+/// cluster shape additionally pays a warm-up period on the whole new
+/// cluster (data loading / cache warm-up).
+
+#include <functional>
+
+#include "core/lynceus.hpp"
+#include "core/types.hpp"
+
+namespace lynceus::core {
+
+struct CloudSetupModel {
+  /// Identifies the VM type of a configuration (configs with equal kind can
+  /// reuse already-running VMs).
+  std::function<int(ConfigId)> vm_kind;
+  /// Number of VMs the configuration rents.
+  std::function<double(ConfigId)> vm_count;
+  /// Hourly price of one VM of the configuration's type.
+  std::function<double(ConfigId)> per_vm_price_per_hour;
+  /// Minutes to boot a fresh VM (billed while booting).
+  double boot_minutes = 2.0;
+  /// Minutes of warm-up (data loading etc.) billed on the whole new
+  /// cluster whenever the deployed cluster shape changes.
+  double warmup_minutes = 1.0;
+};
+
+/// Builds the SetupCostFn for LynceusOptions::setup_cost.
+/// Semantics:
+///  * same configuration as currently deployed: free;
+///  * same VM kind, growing cluster: boot only the additional VMs + warm-up;
+///  * same VM kind, shrinking cluster: warm-up only;
+///  * different VM kind (or nothing deployed): boot the full cluster +
+///    warm-up.
+[[nodiscard]] SetupCostFn make_cloud_setup_cost(CloudSetupModel model);
+
+}  // namespace lynceus::core

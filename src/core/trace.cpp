@@ -1,0 +1,33 @@
+#include "core/trace.hpp"
+
+#include <cmath>
+
+namespace lynceus::core {
+
+void TraceRecorder::on_bootstrap(const Sample& sample) {
+  bootstrap_.push_back(sample);
+}
+
+void TraceRecorder::on_decision(const DecisionEvent& event) {
+  decisions_.push_back(event);
+}
+
+void TraceRecorder::on_run(const Sample& sample) { runs_.push_back(sample); }
+
+void TraceRecorder::on_stop(const std::string& reason) {
+  stop_reason_ = reason;
+}
+
+std::vector<double> TraceRecorder::relative_prediction_errors() const {
+  std::vector<double> out;
+  const std::size_t n = std::min(decisions_.size(), runs_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double actual = runs_[i].cost;
+    if (actual <= 0.0) continue;
+    out.push_back(std::fabs(decisions_[i].predicted_cost - actual) / actual);
+  }
+  return out;
+}
+
+}  // namespace lynceus::core

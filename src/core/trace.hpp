@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file trace.hpp
+/// Observability for the optimization loop: an observer interface invoked
+/// at every phase of a Lynceus run (bootstrap samples, per-decision
+/// internals, profiling outcomes, stop reason), plus a recorder that
+/// collects everything for post-hoc inspection.
+///
+/// The per-decision event exposes the quantities Algorithm 1 computes —
+/// the size of the budget-viable set Γ, the incumbent y*, the remaining
+/// budget β, and the chosen root's predicted cost — which is exactly what
+/// one needs to debug "why did it pick that configuration?" questions and
+/// to validate budget-awareness empirically (tests do both).
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace lynceus::core {
+
+struct DecisionEvent {
+  std::size_t iteration = 0;       ///< 1-based post-bootstrap decision index
+  std::size_t viable_count = 0;    ///< |Γ| before screening
+  std::size_t simulated_roots = 0; ///< paths actually simulated
+  ConfigId chosen = 0;
+  double predicted_cost = 0.0;     ///< model mean cost of the chosen config
+  double incumbent = 0.0;          ///< y* at decision time
+  double remaining_budget = 0.0;   ///< β before the chosen run
+  double best_ratio = 0.0;         ///< reward/cost of the winning path
+};
+
+class OptimizerObserver {
+ public:
+  virtual ~OptimizerObserver() = default;
+  virtual void on_bootstrap(const Sample& sample) { (void)sample; }
+  virtual void on_decision(const DecisionEvent& event) { (void)event; }
+  virtual void on_run(const Sample& sample) { (void)sample; }
+  virtual void on_stop(const std::string& reason) { (void)reason; }
+};
+
+/// Records every event; also derives per-decision prediction errors once
+/// the corresponding run outcome arrives.
+class TraceRecorder final : public OptimizerObserver {
+ public:
+  void on_bootstrap(const Sample& sample) override;
+  void on_decision(const DecisionEvent& event) override;
+  void on_run(const Sample& sample) override;
+  void on_stop(const std::string& reason) override;
+
+  [[nodiscard]] const std::vector<Sample>& bootstrap_samples() const {
+    return bootstrap_;
+  }
+  [[nodiscard]] const std::vector<DecisionEvent>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] const std::vector<Sample>& runs() const { return runs_; }
+  [[nodiscard]] const std::string& stop_reason() const { return stop_reason_; }
+
+  /// |predicted − actual| / actual per decision (empty until runs arrive).
+  [[nodiscard]] std::vector<double> relative_prediction_errors() const;
+
+ private:
+  std::vector<Sample> bootstrap_;
+  std::vector<DecisionEvent> decisions_;
+  std::vector<Sample> runs_;
+  std::string stop_reason_;
+};
+
+}  // namespace lynceus::core

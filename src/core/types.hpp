@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file types.hpp
+/// Shared vocabulary of the optimizer library: the optimization problem
+/// (paper §2), the runner abstraction that executes a job on a
+/// configuration, samples, and the optimizer interface + result.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "space/config_space.hpp"
+
+namespace lynceus::core {
+
+using space::ConfigId;
+
+/// Outcome of actually running the job on a configuration.
+struct RunResult {
+  double runtime_seconds = 0.0;
+  double cost = 0.0;       ///< monetary cost paid for the run, USD
+  bool timed_out = false;  ///< forcefully terminated before completing
+  /// Optional additional constraint metrics (§4.4 multi-constraint
+  /// extension), e.g. energy. Empty for the base problem.
+  std::vector<double> metrics;
+};
+
+/// Executes the target job on a configuration. The evaluation harness
+/// implements this against a replay Dataset; a production deployment would
+/// provision the cluster and launch the real job.
+class JobRunner {
+ public:
+  virtual ~JobRunner() = default;
+  [[nodiscard]] virtual RunResult run(ConfigId id) = 0;
+};
+
+/// One profiled configuration in the optimizer's training set.
+struct Sample {
+  ConfigId id = 0;
+  double runtime_seconds = 0.0;
+  double cost = 0.0;
+  bool feasible = false;  ///< T(x) <= Tmax and not timed out
+};
+
+/// The paper's optimization problem (§2):
+///   min C(x)  s.t.  T(x) <= Tmax,  Σ_profiling C(x_i) <= B.
+struct OptimizationProblem {
+  std::shared_ptr<const space::ConfigSpace> space;
+  /// U(x): rented-cluster price per hour for each configuration. Known a
+  /// priori from the provider's price list; Lynceus exploits
+  /// C(x) = T(x)·U(x) to reuse the cost model for the deadline constraint.
+  std::vector<double> unit_price_per_hour;
+  double tmax_seconds = 0.0;  ///< deadline Tmax
+  double budget = 0.0;        ///< profiling budget B, USD
+  std::size_t bootstrap_samples = 0;  ///< N initial LHS samples
+  /// Warm start: measurements carried over from a previous tuning round of
+  /// the same (recurrent) job. They seed the model for free — their cost
+  /// was paid in the earlier round — and replace the LHS bootstrap
+  /// entirely when non-empty. Ids must be distinct and within the space.
+  /// A prior's `feasible` flag is treated as "the runtime measurement is
+  /// trustworthy (not censored)"; feasibility under *this* round's Tmax is
+  /// re-derived from the runtime.
+  std::vector<Sample> prior_samples;
+
+  /// Feasibility cost cap for configuration `id`: Tmax · U(x) in dollars.
+  [[nodiscard]] double feasibility_cost_cap(ConfigId id) const {
+    return tmax_seconds * unit_price_per_hour.at(id) / 3600.0;
+  }
+
+  /// Validates invariants; throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// The paper's bootstrap sizing rule (§5.2): N = max(⌈3% · |C|⌉, dims).
+[[nodiscard]] std::size_t default_bootstrap_samples(
+    const space::ConfigSpace& space);
+
+struct OptimizerResult {
+  /// Cheapest feasible configuration explored; if the optimizer never saw a
+  /// feasible one, the cheapest explored configuration (flagged below).
+  std::optional<ConfigId> recommendation;
+  bool recommendation_feasible = false;
+  /// Every profiled configuration, in exploration order (bootstrap first).
+  std::vector<Sample> history;
+  double budget_spent = 0.0;
+  /// NEX: the number of explorations performed (== history.size()).
+  [[nodiscard]] std::size_t explorations() const noexcept {
+    return history.size();
+  }
+  /// Total wall-clock seconds spent deciding which configuration to try
+  /// next, and the number of such decisions (Table 3).
+  double decision_seconds = 0.0;
+  std::size_t decisions = 0;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Runs the full optimization loop. Deterministic given `seed` and a
+  /// deterministic runner.
+  [[nodiscard]] virtual OptimizerResult optimize(
+      const OptimizationProblem& problem, JobRunner& runner,
+      std::uint64_t seed) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace lynceus::core

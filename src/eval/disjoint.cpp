@@ -1,0 +1,72 @@
+#include "eval/disjoint.hpp"
+
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace lynceus::eval {
+
+namespace {
+
+using Key = std::vector<std::size_t>;
+
+Key project(const space::LevelVector& levels,
+            const std::vector<std::size_t>& dims) {
+  Key key;
+  key.reserve(dims.size());
+  for (std::size_t d : dims) key.push_back(levels.at(d));
+  return key;
+}
+
+/// Picks the better of two configurations: feasible beats infeasible;
+/// within the same feasibility class, cheaper wins.
+bool better(const cloud::Dataset& ds, space::ConfigId a, space::ConfigId b) {
+  const bool fa = ds.feasible(a);
+  const bool fb = ds.feasible(b);
+  if (fa != fb) return fa;
+  return ds.cost(a) < ds.cost(b);
+}
+
+}  // namespace
+
+std::vector<double> disjoint_optimization_cno(
+    const cloud::Dataset& dataset, const std::vector<std::size_t>& param_dims,
+    const std::vector<std::size_t>& cloud_dims) {
+  if (param_dims.empty() || cloud_dims.empty()) {
+    throw std::invalid_argument(
+        "disjoint_optimization_cno: both dimension groups must be non-empty");
+  }
+  const auto& sp = dataset.space();
+
+  // Group configurations by their cloud projection.
+  std::map<Key, std::vector<space::ConfigId>> by_cloud;
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    const auto id = static_cast<space::ConfigId>(i);
+    by_cloud[project(sp.levels(id), cloud_dims)].push_back(id);
+  }
+
+  const double opt_cost = dataset.optimal_cost();
+  std::vector<double> cnos;
+  cnos.reserve(by_cloud.size());
+
+  for (const auto& [cloud_key, members] : by_cloud) {
+    // Step 1: best parameters on the reference cloud c†.
+    space::ConfigId best_on_ref = members.front();
+    for (space::ConfigId id : members) {
+      if (better(dataset, id, best_on_ref)) best_on_ref = id;
+    }
+    const Key params = project(sp.levels(best_on_ref), param_dims);
+
+    // Step 2: best cloud for the chosen parameters.
+    space::ConfigId final_choice = best_on_ref;
+    for (std::size_t i = 0; i < sp.size(); ++i) {
+      const auto id = static_cast<space::ConfigId>(i);
+      if (project(sp.levels(id), param_dims) != params) continue;
+      if (better(dataset, id, final_choice)) final_choice = id;
+    }
+    cnos.push_back(dataset.cost(final_choice) / opt_cost);
+  }
+  return cnos;
+}
+
+}  // namespace lynceus::eval

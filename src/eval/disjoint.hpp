@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file disjoint.hpp
+/// The *ideal disjoint optimization* analysis of Fig. 1b (paper §2.1): an
+/// upper bound on what any approach that tunes job parameters and cloud
+/// configuration separately could achieve. For each reference cloud
+/// configuration c†:
+///   1. find the best job-parameter setting P* on c† (assumed found
+///      exactly);
+///   2. with P* frozen, find the best cloud configuration (assumed found
+///      exactly);
+///   3. record the cost of the resulting configuration normalized by the
+///      cost of the true joint optimum (CNO).
+/// The CDF of these CNOs over all choices of c† quantifies how much joint
+/// optimization matters.
+
+#include <cstddef>
+#include <vector>
+
+#include "cloud/dataset.hpp"
+
+namespace lynceus::eval {
+
+/// `param_dims` / `cloud_dims` partition the space's dimensions into job
+/// parameters and cloud parameters (for the TensorFlow space:
+/// {0,1,2} and {3,4}). Returns one CNO per reference cloud configuration.
+/// Preference order at each step: cheapest feasible configuration; if a
+/// reference cloud has no feasible point, cheapest infeasible.
+[[nodiscard]] std::vector<double> disjoint_optimization_cno(
+    const cloud::Dataset& dataset, const std::vector<std::size_t>& param_dims,
+    const std::vector<std::size_t>& cloud_dims);
+
+}  // namespace lynceus::eval

@@ -1,0 +1,153 @@
+#include "eval/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/bo.hpp"
+#include "core/lynceus.hpp"
+#include "core/random_search.hpp"
+#include "model/gp.hpp"
+#include "eval/runner.hpp"
+#include "math/stats.hpp"
+#include "util/rng.hpp"
+
+namespace lynceus::eval {
+
+core::OptimizationProblem make_problem(const cloud::Dataset& dataset,
+                                       double budget_multiplier) {
+  if (budget_multiplier <= 0.0) {
+    throw std::invalid_argument("make_problem: budget multiplier must be > 0");
+  }
+  core::OptimizationProblem p;
+  p.space = dataset.space_ptr();
+  p.unit_price_per_hour.resize(dataset.size());
+  for (std::size_t id = 0; id < dataset.size(); ++id) {
+    p.unit_price_per_hour[id] =
+        dataset.unit_price(static_cast<space::ConfigId>(id));
+  }
+  p.tmax_seconds = dataset.tmax_seconds();
+  p.bootstrap_samples = core::default_bootstrap_samples(dataset.space());
+  p.budget = static_cast<double>(p.bootstrap_samples) * dataset.mean_cost() *
+             budget_multiplier;
+  p.validate();
+  return p;
+}
+
+std::vector<double> ExperimentResult::cnos() const {
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(r.cno);
+  return out;
+}
+
+std::vector<double> ExperimentResult::nexs() const {
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(static_cast<double>(r.nex));
+  return out;
+}
+
+double ExperimentResult::mean_decision_seconds() const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& r : runs) {
+    total += r.decision_seconds;
+    count += r.decisions;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+std::vector<double> ExperimentResult::p90_cno_by_exploration() const {
+  std::size_t longest = 0;
+  for (const auto& r : runs) longest = std::max(longest, r.cno_trace.size());
+  std::vector<double> out;
+  out.reserve(longest);
+  std::vector<double> column;
+  for (std::size_t e = 0; e < longest; ++e) {
+    column.clear();
+    for (const auto& r : runs) {
+      if (r.cno_trace.empty()) continue;
+      // A run that already terminated keeps its final best-so-far value.
+      column.push_back(e < r.cno_trace.size() ? r.cno_trace[e]
+                                              : r.cno_trace.back());
+    }
+    out.push_back(math::percentile(column, 90.0));
+  }
+  return out;
+}
+
+double ExperimentResult::mean_nex() const {
+  math::RunningStats s;
+  for (const auto& r : runs) s.add(static_cast<double>(r.nex));
+  return s.mean();
+}
+
+ExperimentResult run_experiment(const cloud::Dataset& dataset,
+                                const OptimizerSpec& spec,
+                                const ExperimentConfig& config) {
+  if (config.runs == 0) {
+    throw std::invalid_argument("run_experiment: need at least one run");
+  }
+  const core::OptimizationProblem problem =
+      make_problem(dataset, config.budget_multiplier);
+
+  ExperimentResult result;
+  result.dataset = dataset.job_name();
+  result.optimizer = spec.label;
+  result.budget_multiplier = config.budget_multiplier;
+  result.runs.resize(config.runs);
+
+  auto one_run = [&](std::size_t i) {
+    const std::uint64_t seed = util::derive_seed(config.base_seed, i);
+    TableRunner runner(dataset);
+    auto optimizer = spec.make();
+    const core::OptimizerResult r = optimizer->optimize(problem, runner, seed);
+
+    RunSummary& s = result.runs[i];
+    s.seed = seed;
+    s.cno = cno(dataset, r);
+    s.nex = r.explorations();
+    s.budget_spent = r.budget_spent;
+    s.decision_seconds = r.decision_seconds;
+    s.decisions = r.decisions;
+    s.cno_trace = best_so_far_cno(dataset, r.history);
+  };
+  util::maybe_parallel_for(config.pool, config.runs, one_run);
+  return result;
+}
+
+OptimizerSpec rnd_spec() {
+  return {"RND", [] { return std::make_unique<core::RandomSearch>(); }};
+}
+
+OptimizerSpec bo_spec() {
+  return {"BO", [] {
+            return std::make_unique<core::BayesianOptimizer>(core::BoOptions{});
+          }};
+}
+
+OptimizerSpec cherrypick_spec() {
+  return {"CherryPick", [] {
+            core::BoOptions opts;
+            opts.model_factory = [] {
+              return std::make_unique<model::GaussianProcess>();
+            };
+            opts.ei_stop_fraction = 0.10;
+            return std::make_unique<core::BayesianOptimizer>(opts);
+          }};
+}
+
+OptimizerSpec lynceus_spec(unsigned lookahead, unsigned screen_width,
+                           unsigned gh_points) {
+  OptimizerSpec spec;
+  spec.label = "Lynceus(LA=" + std::to_string(lookahead) + ")";
+  spec.make = [lookahead, screen_width, gh_points] {
+    core::LynceusOptions opts;
+    opts.lookahead = lookahead;
+    opts.screen_width = screen_width;
+    opts.gh_points = gh_points;
+    return std::make_unique<core::LynceusOptimizer>(opts);
+  };
+  return spec;
+}
+
+}  // namespace lynceus::eval

@@ -1,0 +1,52 @@
+#include "eval/metrics.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+
+namespace lynceus::eval {
+
+double cno(const cloud::Dataset& dataset, const core::OptimizerResult& result) {
+  if (!result.recommendation) {
+    throw std::invalid_argument("cno: result carries no recommendation");
+  }
+  return dataset.cost(*result.recommendation) / dataset.optimal_cost();
+}
+
+std::vector<double> best_so_far_cno(const cloud::Dataset& dataset,
+                                    const std::vector<core::Sample>& history) {
+  const double opt = dataset.optimal_cost();
+  std::vector<double> out;
+  out.reserve(history.size());
+  double best_feasible = std::numeric_limits<double>::infinity();
+  double best_any = std::numeric_limits<double>::infinity();
+  for (const auto& s : history) {
+    best_any = std::min(best_any, s.cost);
+    if (s.feasible) best_feasible = std::min(best_feasible, s.cost);
+    const double current =
+        best_feasible < std::numeric_limits<double>::infinity() ? best_feasible
+                                                                : best_any;
+    out.push_back(current / opt);
+  }
+  return out;
+}
+
+MetricSummary summarize(const std::vector<double>& values) {
+  if (values.empty()) {
+    throw std::invalid_argument("summarize: empty input");
+  }
+  MetricSummary s;
+  math::RunningStats rs;
+  for (double v : values) rs.add(v);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p50 = math::percentile(values, 50.0);
+  s.p90 = math::percentile(values, 90.0);
+  s.p95 = math::percentile(values, 95.0);
+  return s;
+}
+
+}  // namespace lynceus::eval

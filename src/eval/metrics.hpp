@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Evaluation metrics of the paper (§5.2):
+///  * CNO — cost normalized with respect to the optimum: the cost of the
+///    recommended configuration divided by the cost of the true optimal
+///    (cheapest feasible) configuration. 1.0 is perfect.
+///  * NEX — the number of explorations performed before terminating.
+/// Plus the best-so-far CNO trace used by Fig. 7.
+
+#include <vector>
+
+#include "cloud/dataset.hpp"
+#include "core/types.hpp"
+
+namespace lynceus::eval {
+
+/// CNO of a finished run. If the optimizer never found any feasible
+/// configuration, the CNO of its (infeasible) fallback recommendation is
+/// still computed against the feasible optimum — a conservatively large
+/// value, matching the paper's "lower is better" semantics.
+[[nodiscard]] double cno(const cloud::Dataset& dataset,
+                         const core::OptimizerResult& result);
+
+/// Best-so-far CNO after each exploration: entry e is the CNO of the
+/// cheapest feasible configuration among history[0..e] (or the cheapest
+/// overall while none is feasible). Used for Fig. 7.
+[[nodiscard]] std::vector<double> best_so_far_cno(
+    const cloud::Dataset& dataset, const std::vector<core::Sample>& history);
+
+/// Aggregate descriptive statistics of a metric across runs.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] MetricSummary summarize(const std::vector<double>& values);
+
+}  // namespace lynceus::eval

@@ -1,0 +1,170 @@
+#include "eval/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+#include "util/strings.hpp"
+
+namespace lynceus::eval {
+
+namespace {
+
+constexpr char kMarkers[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+  [[nodiscard]] double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+}  // namespace
+
+Series cdf_series(std::string label, const std::vector<double>& values) {
+  const auto cdf = math::empirical_cdf(values);
+  Series s;
+  s.label = std::move(label);
+  s.xs.reserve(cdf.size());
+  s.ys.reserve(cdf.size());
+  for (const auto& p : cdf) {
+    s.xs.push_back(p.value);
+    s.ys.push_back(p.probability);
+  }
+  return s;
+}
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  if (series.empty()) {
+    throw std::invalid_argument("render_plot: no series");
+  }
+  if (options.width < 8 || options.height < 4) {
+    throw std::invalid_argument("render_plot: plot area too small");
+  }
+  for (const auto& s : series) {
+    if (s.xs.size() != s.ys.size()) {
+      throw std::invalid_argument("render_plot: xs/ys size mismatch in '" +
+                                  s.label + "'");
+    }
+  }
+
+  auto y_of = [&options](double y) {
+    return options.log_y ? std::log10(y) : y;
+  };
+  auto usable = [&options](double x, double y) {
+    if (!std::isfinite(x) || !std::isfinite(y)) return false;
+    return !options.log_y || y > 0.0;
+  };
+
+  Range xr;
+  Range yr;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!usable(s.xs[i], s.ys[i])) continue;
+      xr.include(s.xs[i]);
+      yr.include(y_of(s.ys[i]));
+    }
+  }
+  if (!xr.valid() || !yr.valid()) {
+    throw std::invalid_argument("render_plot: no plottable points");
+  }
+
+  const std::size_t w = options.width;
+  const std::size_t h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto to_col = [&](double x) {
+    const double t = (x - xr.lo) / xr.span();
+    return static_cast<std::size_t>(std::lround(
+        t * static_cast<double>(w - 1)));
+  };
+  auto to_row = [&](double y) {
+    const double t = (y_of(y) - yr.lo) / yr.span();
+    // Row 0 is the top of the plot.
+    return h - 1 -
+           static_cast<std::size_t>(
+               std::lround(t * static_cast<double>(h - 1)));
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char marker = kMarkers[si % sizeof(kMarkers)];
+    const Series& s = series[si];
+    std::size_t prev_col = 0;
+    std::size_t prev_row = 0;
+    bool have_prev = false;
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!usable(s.xs[i], s.ys[i])) {
+        have_prev = false;
+        continue;
+      }
+      const std::size_t col = to_col(s.xs[i]);
+      const std::size_t row = to_row(s.ys[i]);
+      grid[row][col] = marker;
+      if (have_prev && col > prev_col + 1) {
+        // Connect with linearly interpolated markers.
+        for (std::size_t c = prev_col + 1; c < col; ++c) {
+          const double t = static_cast<double>(c - prev_col) /
+                           static_cast<double>(col - prev_col);
+          const auto r = static_cast<std::size_t>(std::lround(
+              static_cast<double>(prev_row) +
+              t * (static_cast<double>(row) - static_cast<double>(prev_row))));
+          if (grid[r][c] == ' ') grid[r][c] = marker;
+        }
+      }
+      prev_col = col;
+      prev_row = row;
+      have_prev = true;
+    }
+  }
+
+  auto y_tick = [&](std::size_t row) {
+    const double t =
+        static_cast<double>(h - 1 - row) / static_cast<double>(h - 1);
+    const double v = yr.lo + t * yr.span();
+    return options.log_y ? std::pow(10.0, v) : v;
+  };
+
+  std::string out;
+  if (!options.title.empty()) {
+    out += options.title + "\n";
+  }
+  if (!options.y_label.empty() || options.log_y) {
+    out += options.y_label + (options.log_y ? "  (log scale)" : "") + "\n";
+  }
+  const std::string tick_fmt = "%9.3g |";
+  for (std::size_t row = 0; row < h; ++row) {
+    const bool labeled = row == 0 || row == h - 1 || row == h / 2;
+    if (labeled) {
+      out += util::format("%9.3g |", y_tick(row));
+    } else {
+      out += "          |";
+    }
+    out += grid[row];
+    out += "\n";
+  }
+  out += "          +" + std::string(w, '-') + "\n";
+  out += util::format("           %-10.3g%*s\n", xr.lo,
+                      static_cast<int>(w) - 10,
+                      util::format("%.3g", xr.hi).c_str());
+  if (!options.x_label.empty()) {
+    const auto pad = (w > options.x_label.size())
+                         ? (w - options.x_label.size()) / 2 + 11
+                         : 11;
+    out += std::string(pad, ' ') + options.x_label + "\n";
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += util::format("           %c %s\n", kMarkers[si % sizeof(kMarkers)],
+                        series[si].label.c_str());
+  }
+  return out;
+}
+
+}  // namespace lynceus::eval

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file plot.hpp
+/// Terminal plotting for the bench binaries: renders line plots (and CDFs)
+/// as character grids so the reproduced figures can be eyeballed directly
+/// against the paper without an external plotting step. Each series gets
+/// its own marker; axes are annotated with min/max and mid ticks; y can be
+/// log-scaled (Fig. 1a style).
+
+#include <string>
+#include <vector>
+
+namespace lynceus::eval {
+
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;  ///< same length as xs
+};
+
+struct PlotOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::size_t width = 64;   ///< plot-area columns (>= 8)
+  std::size_t height = 18;  ///< plot-area rows (>= 4)
+  bool log_y = false;       ///< log10 y axis (requires positive ys)
+};
+
+/// Renders the series into a multi-line string. Points with non-finite
+/// coordinates (or non-positive y under log_y) are skipped. Consecutive
+/// points of a series are connected by linear interpolation along x.
+/// Throws std::invalid_argument for empty/malformed input.
+[[nodiscard]] std::string render_plot(const std::vector<Series>& series,
+                                      const PlotOptions& options);
+
+/// Builds the empirical-CDF series of `values`: x = sorted values,
+/// y = P(X <= x). Handy for the Fig. 4/6 style plots.
+[[nodiscard]] Series cdf_series(std::string label,
+                                const std::vector<double>& values);
+
+}  // namespace lynceus::eval

@@ -1,0 +1,90 @@
+#include "eval/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+#include "util/strings.hpp"
+
+namespace lynceus::eval {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table::save_csv: cannot open " + path);
+  out << util::join(headers_, ",") << "\n";
+  for (const auto& row : rows_) out << util::join(row, ",") << "\n";
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    throw std::runtime_error("ensure_directory: cannot create " + path + ": " +
+                             ec.message());
+  }
+}
+
+void print_cdf(std::ostream& out, const std::string& title,
+               const std::vector<double>& values, std::size_t max_points) {
+  const auto cdf = math::empirical_cdf(values);
+  out << title << "\n";
+  Table table({"value", "cdf"});
+  const std::size_t step =
+      cdf.size() <= max_points ? 1 : (cdf.size() + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < cdf.size(); i += step) {
+    table.add_row({util::format("%.3f", cdf[i].value),
+                   util::format("%.3f", cdf[i].probability)});
+  }
+  if ((cdf.size() - 1) % step != 0) {
+    table.add_row({util::format("%.3f", cdf.back().value),
+                   util::format("%.3f", cdf.back().probability)});
+  }
+  table.print(out);
+}
+
+void save_cdf_csv(const std::string& path, const std::vector<double>& values) {
+  const auto cdf = math::empirical_cdf(values);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_cdf_csv: cannot open " + path);
+  out << "value,cdf\n";
+  out.precision(8);
+  for (const auto& p : cdf) out << p.value << "," << p.probability << "\n";
+}
+
+}  // namespace lynceus::eval

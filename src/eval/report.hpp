@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file report.hpp
+/// Plain-text and CSV reporting for the bench binaries: aligned ASCII
+/// tables (the "rows the paper reports") and CSV series for external
+/// plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lynceus::eval {
+
+/// A simple aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints with column alignment and a header separator.
+  void print(std::ostream& out) const;
+
+  /// Writes as CSV (no alignment padding).
+  void save_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Creates `path` (and parents) if missing. Throws on failure.
+void ensure_directory(const std::string& path);
+
+/// Prints an empirical CDF as two aligned columns ("value  cdf"), thinning
+/// to at most `max_points` rows for readability.
+void print_cdf(std::ostream& out, const std::string& title,
+               const std::vector<double>& values,
+               std::size_t max_points = 25);
+
+/// Writes an empirical CDF as CSV (full resolution).
+void save_cdf_csv(const std::string& path, const std::vector<double>& values);
+
+}  // namespace lynceus::eval

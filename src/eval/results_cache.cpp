@@ -1,0 +1,118 @@
+#include "eval/results_cache.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "eval/report.hpp"
+#include "util/strings.hpp"
+
+namespace lynceus::eval {
+
+namespace {
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+ResultsCache::ResultsCache(std::string directory)
+    : directory_(std::move(directory)) {
+  ensure_directory(directory_);
+}
+
+std::string ResultsCache::entry_path(const cloud::Dataset& dataset,
+                                     const OptimizerSpec& spec,
+                                     const ExperimentConfig& config) const {
+  return directory_ + "/" +
+         sanitize(util::format("%s__%s__b%g__r%zu__s%llu",
+                               dataset.job_name().c_str(), spec.label.c_str(),
+                               config.budget_multiplier, config.runs,
+                               static_cast<unsigned long long>(
+                                   config.base_seed))) +
+         ".csv";
+}
+
+ExperimentResult ResultsCache::get_or_run(const cloud::Dataset& dataset,
+                                          const OptimizerSpec& spec,
+                                          const ExperimentConfig& config) {
+  const std::string path = entry_path(dataset, spec, config);
+  if (std::ifstream probe(path); probe.good()) {
+    ExperimentResult cached = load(path);
+    if (cached.runs.size() == config.runs) return cached;
+  }
+  ExperimentResult result = run_experiment(dataset, spec, config);
+  store(path, result);
+  return result;
+}
+
+void ResultsCache::store(const std::string& path,
+                         const ExperimentResult& result) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ResultsCache::store: cannot open " + path);
+  out << "#dataset," << result.dataset << "\n";
+  out << "#optimizer," << result.optimizer << "\n";
+  out << "#budget_multiplier," << result.budget_multiplier << "\n";
+  out << "seed,cno,nex,budget_spent,decision_seconds,decisions,cno_trace\n";
+  out.precision(10);
+  for (const auto& r : result.runs) {
+    out << r.seed << "," << r.cno << "," << r.nex << "," << r.budget_spent
+        << "," << r.decision_seconds << "," << r.decisions << ",";
+    for (std::size_t i = 0; i < r.cno_trace.size(); ++i) {
+      if (i > 0) out << ";";
+      out << util::format("%.6g", r.cno_trace[i]);
+    }
+    out << "\n";
+  }
+}
+
+ExperimentResult ResultsCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ResultsCache::load: cannot open " + path);
+  ExperimentResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    line = util::trim(line);
+    if (line.empty()) continue;
+    if (line.rfind("#dataset,", 0) == 0) {
+      result.dataset = line.substr(9);
+      continue;
+    }
+    if (line.rfind("#optimizer,", 0) == 0) {
+      result.optimizer = line.substr(11);
+      continue;
+    }
+    if (line.rfind("#budget_multiplier,", 0) == 0) {
+      result.budget_multiplier = std::stod(line.substr(19));
+      continue;
+    }
+    if (line.rfind("seed,", 0) == 0) continue;  // header
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 7) {
+      throw std::runtime_error("ResultsCache::load: malformed row in " + path);
+    }
+    RunSummary r;
+    r.seed = std::stoull(fields[0]);
+    r.cno = std::stod(fields[1]);
+    r.nex = std::stoul(fields[2]);
+    r.budget_spent = std::stod(fields[3]);
+    r.decision_seconds = std::stod(fields[4]);
+    r.decisions = std::stoul(fields[5]);
+    if (!fields[6].empty()) {
+      for (const auto& v : util::split(fields[6], ';')) {
+        r.cno_trace.push_back(std::stod(v));
+      }
+    }
+    result.runs.push_back(std::move(r));
+  }
+  return result;
+}
+
+}  // namespace lynceus::eval

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file results_cache.hpp
+/// File-backed memoization of experiment results. Several of the paper's
+/// figures are views over the same underlying runs (Figs. 4, 6 and 7 share
+/// the medium-budget TensorFlow runs; Figs. 8 and 9 share the budget
+/// sweep), and Lynceus runs are expensive to simulate, so every bench
+/// binary fetches runs through this cache. Entries are keyed by
+/// (dataset, optimizer label, budget multiplier, run count, base seed) and
+/// stored as CSV under a cache directory; delete the directory to force
+/// recomputation.
+
+#include <string>
+
+#include "eval/experiment.hpp"
+
+namespace lynceus::eval {
+
+class ResultsCache {
+ public:
+  /// `directory` is created if missing.
+  explicit ResultsCache(std::string directory);
+
+  /// Returns the cached result for this (dataset, spec, config) if present;
+  /// otherwise runs the experiment and stores it.
+  [[nodiscard]] ExperimentResult get_or_run(const cloud::Dataset& dataset,
+                                            const OptimizerSpec& spec,
+                                            const ExperimentConfig& config);
+
+  /// Cache file that would back this entry (exposed for tests).
+  [[nodiscard]] std::string entry_path(const cloud::Dataset& dataset,
+                                       const OptimizerSpec& spec,
+                                       const ExperimentConfig& config) const;
+
+  [[nodiscard]] static ExperimentResult load(const std::string& path);
+  static void store(const std::string& path, const ExperimentResult& result);
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace lynceus::eval

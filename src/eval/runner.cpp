@@ -1,0 +1,32 @@
+#include "eval/runner.hpp"
+
+#include <stdexcept>
+
+namespace lynceus::eval {
+
+TableRunner::TableRunner(const cloud::Dataset& dataset, MetricsFn metrics)
+    : dataset_(&dataset), metrics_(std::move(metrics)) {}
+
+core::RunResult TableRunner::run(space::ConfigId id) {
+  const auto& obs = dataset_->observation(id);
+  core::RunResult r;
+  r.runtime_seconds = obs.runtime_seconds;
+  r.cost = obs.cost();
+  r.timed_out = obs.timed_out;
+  if (metrics_) r.metrics = metrics_(id);
+  ++served_;
+  return r;
+}
+
+FailingRunner::FailingRunner(core::JobRunner& inner, std::size_t fail_after)
+    : inner_(&inner), remaining_(fail_after) {}
+
+core::RunResult FailingRunner::run(space::ConfigId id) {
+  if (remaining_ == 0) {
+    throw std::runtime_error("FailingRunner: injected deployment failure");
+  }
+  --remaining_;
+  return inner_->run(id);
+}
+
+}  // namespace lynceus::eval

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file runner.hpp
+/// JobRunner implementations for evaluation: the table-backed replay runner
+/// (the paper's simulation methodology, §5.2) and decorators used in tests
+/// and examples.
+
+#include <functional>
+#include <memory>
+
+#include "cloud/dataset.hpp"
+#include "core/types.hpp"
+
+namespace lynceus::eval {
+
+/// Replays a measured dataset: running configuration x returns the
+/// recorded runtime and cost. Optionally produces synthetic auxiliary
+/// metrics for the multi-constraint extension.
+class TableRunner final : public core::JobRunner {
+ public:
+  using MetricsFn = std::function<std::vector<double>(space::ConfigId)>;
+
+  explicit TableRunner(const cloud::Dataset& dataset,
+                       MetricsFn metrics = nullptr);
+
+  [[nodiscard]] core::RunResult run(space::ConfigId id) override;
+
+  /// Number of runs served so far.
+  [[nodiscard]] std::size_t runs_served() const noexcept { return served_; }
+
+ private:
+  const cloud::Dataset* dataset_;
+  MetricsFn metrics_;
+  std::size_t served_ = 0;
+};
+
+/// Decorator that throws after a set number of runs — used by the
+/// failure-injection tests to verify optimizers surface runner errors
+/// instead of swallowing them.
+class FailingRunner final : public core::JobRunner {
+ public:
+  FailingRunner(core::JobRunner& inner, std::size_t fail_after);
+
+  [[nodiscard]] core::RunResult run(space::ConfigId id) override;
+
+ private:
+  core::JobRunner* inner_;
+  std::size_t remaining_;
+};
+
+}  // namespace lynceus::eval

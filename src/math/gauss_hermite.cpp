@@ -1,0 +1,109 @@
+#include "math/gauss_hermite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lynceus::math {
+
+namespace {
+
+/// Evaluates the physicists' Hermite polynomial H_n at x together with its
+/// derivative, via the three-term recurrence
+///   H_{k+1}(x) = 2x·H_k(x) − 2k·H_{k−1}(x),  H'_n(x) = 2n·H_{n−1}(x).
+/// To avoid overflow for larger n we evaluate the *orthonormal* version
+///   h_k(x) = H_k(x) / sqrt(2^k k! √π),
+/// whose recurrence is h_{k+1} = x·√(2/(k+1))·h_k − √(k/(k+1))·h_{k−1}.
+struct HermiteEval {
+  double value;
+  double derivative;
+};
+
+HermiteEval orthonormal_hermite(std::size_t n, double x) {
+  double h_prev = 0.0;
+  double h = 1.0 / std::pow(M_PI, 0.25);  // h_0
+  for (std::size_t k = 0; k < n; ++k) {
+    const double kk = static_cast<double>(k);
+    const double h_next = x * std::sqrt(2.0 / (kk + 1.0)) * h -
+                          std::sqrt(kk / (kk + 1.0)) * h_prev;
+    h_prev = h;
+    h = h_next;
+  }
+  // h'_n(x) = √(2n) · h_{n−1}(x)
+  const double deriv = std::sqrt(2.0 * static_cast<double>(n)) * h_prev;
+  return {h, deriv};
+}
+
+}  // namespace
+
+GaussHermite::GaussHermite(std::size_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("GaussHermite: k must be >= 1");
+  }
+  nodes_.assign(k, 0.0);
+  weights_.assign(k, 0.0);
+
+  // Roots are symmetric about 0; compute the positive half by Newton
+  // iteration from standard initial guesses (Numerical Recipes style).
+  const std::size_t m = (k + 1) / 2;
+  double z = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == 0) {
+      z = std::sqrt(static_cast<double>(2 * k + 1)) -
+          1.85575 * std::pow(static_cast<double>(2 * k + 1), -1.0 / 6.0);
+    } else if (i == 1) {
+      z -= 1.14 * std::pow(static_cast<double>(k), 0.426) / z;
+    } else if (i == 2) {
+      z = 1.86 * z - 0.86 * nodes_[k - 1];
+    } else if (i == 3) {
+      z = 1.91 * z - 0.91 * nodes_[k - 2];
+    } else {
+      z = 2.0 * z - nodes_[k - i + 1];
+    }
+
+    HermiteEval e{0.0, 0.0};
+    for (int iter = 0; iter < 100; ++iter) {
+      e = orthonormal_hermite(k, z);
+      const double dz = e.value / e.derivative;
+      z -= dz;
+      if (std::fabs(dz) < 1e-15 * std::max(1.0, std::fabs(z))) break;
+    }
+    e = orthonormal_hermite(k, z);
+
+    // weight = 2 / h'_n(z)^2 for the orthonormal normalization.
+    const double w = 2.0 / (e.derivative * e.derivative);
+    nodes_[k - 1 - i] = z;
+    nodes_[i] = -z;
+    weights_[k - 1 - i] = w;
+    weights_[i] = w;
+  }
+  if (k % 2 == 1) {
+    // Middle node is exactly zero (set explicitly: Newton may leave ~1e-17).
+    nodes_[k / 2] = 0.0;
+  }
+}
+
+std::vector<QuadraturePoint> GaussHermite::for_normal(double mean,
+                                                      double stddev) const {
+  std::vector<QuadraturePoint> out(nodes_.size());
+  const double scale = std::sqrt(2.0) * stddev;
+  const double inv_sqrt_pi = 1.0 / std::sqrt(M_PI);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out[i].value = mean + scale * nodes_[i];
+    out[i].weight = weights_[i] * inv_sqrt_pi;
+  }
+  return out;
+}
+
+double GaussHermite::integrate(const std::vector<double>& f_at_nodes) const {
+  if (f_at_nodes.size() != nodes_.size()) {
+    throw std::invalid_argument(
+        "GaussHermite::integrate: need one value per node");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    acc += weights_[i] * f_at_nodes[i];
+  }
+  return acc;
+}
+
+}  // namespace lynceus::math

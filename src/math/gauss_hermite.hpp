@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file gauss_hermite.hpp
+/// Gauss–Hermite quadrature nodes and weights.
+///
+/// Lynceus (paper §4.2, approximation 3) discretizes the Gaussian predictive
+/// cost distribution of an untested configuration into K `(value, weight)`
+/// pairs using the Gauss–Hermite rule, so that each simulated exploration
+/// step branches into K weighted sub-paths instead of requiring an
+/// intractable nested marginalization.
+///
+/// Physicists' convention: nodes/weights integrate f(x)·e^{-x²} exactly for
+/// polynomial f of degree ≤ 2K−1. `for_normal` re-scales them so that the
+/// returned pairs are an exact K-point discretization of N(mean, stddev²):
+/// values `mean + √2·stddev·ξ_i`, weights `ω_i/√π` (summing to 1).
+
+#include <cstddef>
+#include <vector>
+
+namespace lynceus::math {
+
+struct QuadraturePoint {
+  double value = 0.0;
+  double weight = 0.0;
+};
+
+class GaussHermite {
+ public:
+  /// Computes the K-point rule. Nodes are found by Newton iteration on the
+  /// Hermite three-term recurrence, exploiting root symmetry. Throws
+  /// std::invalid_argument for k == 0; supports k up to ~64 (more than
+  /// enough — the paper's lookahead uses a handful of nodes).
+  explicit GaussHermite(std::size_t k);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Raw physicists' nodes ξ_i (ascending) and weights ω_i.
+  [[nodiscard]] const std::vector<double>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// K-point discretization of N(mean, stddev²). Weights sum to 1. With
+  /// `stddev == 0` all points collapse onto the mean.
+  [[nodiscard]] std::vector<QuadraturePoint> for_normal(double mean,
+                                                        double stddev) const;
+
+  /// ∫ f(x) e^{-x²} dx approximated by the rule.
+  [[nodiscard]] double integrate(const std::vector<double>& f_at_nodes) const;
+
+ private:
+  std::vector<double> nodes_;
+  std::vector<double> weights_;
+};
+
+}  // namespace lynceus::math

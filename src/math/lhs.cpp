@@ -1,0 +1,101 @@
+#include "math/lhs.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace lynceus::math {
+
+namespace {
+
+/// One balanced column: a random sequence of `n` level indices in which
+/// every level of `levels` appears either ⌊n/L⌋ or ⌈n/L⌉ times. Built by
+/// concatenating random permutations of the level set and shuffling the
+/// final (partial) block, then shuffling the assignment across rows.
+std::vector<std::size_t> balanced_column(std::size_t levels, std::size_t n,
+                                         util::Rng& rng) {
+  std::vector<std::size_t> column;
+  column.reserve(n);
+  while (column.size() < n) {
+    auto perm = rng.permutation(levels);
+    for (std::size_t lvl : perm) {
+      if (column.size() == n) break;
+      column.push_back(lvl);
+    }
+  }
+  rng.shuffle(column);
+  return column;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> latin_hypercube(
+    const std::vector<std::size_t>& level_counts, std::size_t n,
+    util::Rng& rng, bool unique) {
+  if (level_counts.empty()) {
+    throw std::invalid_argument("latin_hypercube: no dimensions");
+  }
+  double log_cells = 0.0;
+  for (std::size_t levels : level_counts) {
+    if (levels == 0) {
+      throw std::invalid_argument("latin_hypercube: empty dimension");
+    }
+    log_cells += std::log(static_cast<double>(levels));
+  }
+  if (unique && log_cells < std::log(static_cast<double>(n)) - 1e-12) {
+    throw std::invalid_argument(
+        "latin_hypercube: grid smaller than requested unique sample count");
+  }
+  if (n == 0) return {};
+
+  const std::size_t dims = level_counts.size();
+
+  // Draw balanced columns; on duplicate rows, re-shuffle the *pairing* of
+  // the offending rows' strata (keeps per-dimension balance intact).
+  std::vector<std::vector<std::size_t>> columns(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    columns[d] = balanced_column(level_counts[d], n, rng);
+  }
+
+  auto row = [&](std::size_t i) {
+    std::vector<std::size_t> r(dims);
+    for (std::size_t d = 0; d < dims; ++d) r[d] = columns[d][i];
+    return r;
+  };
+
+  if (unique) {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      std::set<std::vector<std::size_t>> seen;
+      std::vector<std::size_t> dup_rows;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!seen.insert(row(i)).second) dup_rows.push_back(i);
+      }
+      if (dup_rows.empty()) break;
+      // Re-pair duplicates: rotate their entries within one random dimension.
+      for (std::size_t i : dup_rows) {
+        const std::size_t d = static_cast<std::size_t>(rng.below(dims));
+        const std::size_t j = static_cast<std::size_t>(rng.below(n));
+        std::swap(columns[d][i], columns[d][j]);
+      }
+    }
+    // Final fallback: replace any remaining duplicates with uniform draws.
+    std::set<std::vector<std::size_t>> seen;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto r = row(i);
+      int guard = 0;
+      while (!seen.insert(r).second && guard++ < 100000) {
+        for (std::size_t d = 0; d < dims; ++d) {
+          r[d] = static_cast<std::size_t>(rng.below(level_counts[d]));
+          columns[d][i] = r[d];
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(row(i));
+  return out;
+}
+
+}  // namespace lynceus::math

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file lhs.hpp
+/// Latin Hypercube Sampling over discrete configuration grids.
+///
+/// Lynceus bootstraps its model with N configurations drawn by LHS (paper
+/// §4.3, footnote 3: "a randomized technique to sample a multi-dimensional
+/// space that improves over random sampling"). For a discrete grid we
+/// stratify each dimension into N strata, cycle each dimension's levels in
+/// an independent random permutation order, and combine strata column-wise,
+/// which guarantees that every dimension's levels are covered as evenly as
+/// possible — the defining LHS property.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lynceus::math {
+
+/// Draws `n` points from the grid whose d-th dimension has
+/// `level_counts[d]` discrete levels. Returns n rows of level indices.
+///
+/// Properties (tested):
+///  * per dimension, the multiset of sampled levels is balanced: each level
+///    appears either ⌊n/L⌋ or ⌈n/L⌉ times (L = level count);
+///  * rows are deduplicated against each other when `unique` is true and the
+///    grid has at least `n` distinct cells (resampling collisions by
+///    re-pairing strata).
+///
+/// Throws std::invalid_argument if any dimension is empty or if `unique`
+/// sampling is requested with fewer grid cells than samples.
+[[nodiscard]] std::vector<std::vector<std::size_t>> latin_hypercube(
+    const std::vector<std::size_t>& level_counts, std::size_t n,
+    util::Rng& rng, bool unique = true);
+
+}  // namespace lynceus::math

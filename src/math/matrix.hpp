@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file matrix.hpp
+/// A small dense row-major matrix with the factorizations the Gaussian
+/// process regressor needs: Cholesky decomposition, triangular solves, and
+/// log-determinant. Not a general linear-algebra library — just the pieces
+/// required, kept simple and testable.
+
+#include <cstddef>
+#include <vector>
+
+namespace lynceus::math {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Matrix-vector product. Requires x.size() == cols().
+  [[nodiscard]] std::vector<double> mul(const std::vector<double>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix: A = L·Lᵀ. Throws std::domain_error if A is not (numerically)
+/// positive definite.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
+
+  /// Solves A·x = b via two triangular solves. Requires b.size() == n.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solves L·y = b (forward substitution).
+  [[nodiscard]] std::vector<double> solve_lower(
+      const std::vector<double>& b) const;
+
+  /// log(det(A)) = 2·Σ log(L_ii). Useful for GP log-marginal-likelihood.
+  [[nodiscard]] double log_determinant() const;
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace lynceus::math

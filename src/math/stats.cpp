@@ -1,0 +1,95 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lynceus::math {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  mean_ += delta * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty input");
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("variance: empty input");
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.variance();
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p out of [0, 100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> out(xs.size());
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = {xs[i], static_cast<double>(i + 1) / n};
+  }
+  return out;
+}
+
+double fraction_at_or_below(const std::vector<double>& xs, double threshold) {
+  if (xs.empty()) throw std::invalid_argument("fraction_at_or_below: empty");
+  std::size_t count = 0;
+  for (double x : xs) {
+    if (x <= threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+}  // namespace lynceus::math

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics used by the evaluation harness: means, variances
+/// (Welford online accumulation), percentiles (linear interpolation, the
+/// convention used by gnuplot/NumPy so the reproduced CDF figures are
+/// directly comparable with the paper's), and empirical CDF extraction.
+
+#include <cstddef>
+#include <vector>
+
+namespace lynceus::math {
+
+/// Online mean/variance accumulator (Welford). Numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel Welford combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(const std::vector<double>& xs);
+[[nodiscard]] double variance(const std::vector<double>& xs);
+[[nodiscard]] double stddev(const std::vector<double>& xs);
+
+/// p-th percentile, p in [0, 100], linear interpolation between order
+/// statistics. Throws std::invalid_argument on empty input or p out of
+/// range. Does not modify its argument.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double probability = 0.0;
+};
+
+/// Full empirical CDF: sorted values with P(X <= value) = (i+1)/n.
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// Fraction of observations <= `threshold`.
+[[nodiscard]] double fraction_at_or_below(const std::vector<double>& xs,
+                                          double threshold);
+
+}  // namespace lynceus::math

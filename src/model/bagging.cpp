@@ -1,0 +1,133 @@
+#include "model/bagging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lynceus::model {
+
+unsigned BaggingOptions::weka_features_per_split(std::size_t d) {
+  if (d <= 1) return 1;
+  return static_cast<unsigned>(
+             std::ceil(std::log2(static_cast<double>(d)))) +
+         1;
+}
+
+BaggingEnsemble::BaggingEnsemble(BaggingOptions options)
+    : options_(options) {
+  if (options_.trees == 0) {
+    throw std::invalid_argument("BaggingEnsemble: need at least one tree");
+  }
+  trees_.assign(options_.trees, DecisionTree(options_.tree));
+}
+
+void BaggingEnsemble::fit(const FeatureMatrix& fm,
+                          const std::vector<std::uint32_t>& rows,
+                          const std::vector<double>& y, std::uint64_t seed) {
+  if (rows.empty() || rows.size() != y.size()) {
+    throw std::invalid_argument(
+        "BaggingEnsemble::fit: rows and y must be non-empty and equal-sized");
+  }
+  const std::size_t n = rows.size();
+  util::Rng rng(util::derive_seed(seed, 0xBA661D6));
+
+  double lo = y[0];
+  double hi = y[0];
+  for (double v : y) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  stddev_floor_ = std::max(hi - lo, std::abs(hi)) * options_.min_stddev_rel;
+  if (stddev_floor_ <= 0.0) stddev_floor_ = options_.min_stddev_rel;
+
+  boot_rows_.resize(n);
+  boot_y_.resize(n);
+  for (auto& tree : trees_) {
+    // Bootstrap resample: n draws with replacement.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto j = static_cast<std::size_t>(rng.below(n));
+      boot_rows_[i] = rows[j];
+      boot_y_[i] = y[j];
+    }
+    tree.fit(fm, boot_rows_, boot_y_, rng);
+  }
+  fitted_ = true;
+}
+
+Prediction BaggingEnsemble::finalize(double sum, double sumsq,
+                                     double var_sum) const noexcept {
+  const auto b = static_cast<double>(trees_.size());
+  const double mean = sum / b;
+  double var = 0.0;
+  if (trees_.size() > 1) {
+    var = std::max(0.0, (sumsq - sum * sum / b) / (b - 1.0));
+  }
+  if (options_.variance_mode == VarianceMode::TotalVariance) {
+    var += var_sum / b;  // law of total variance: + E[within-leaf variance]
+  }
+  return {mean, std::max(std::sqrt(var), stddev_floor_)};
+}
+
+Prediction BaggingEnsemble::predict(const FeatureMatrix& fm,
+                                    std::uint32_t row) const {
+  if (!fitted_) throw std::logic_error("BaggingEnsemble::predict: not fitted");
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double var_sum = 0.0;
+  const bool total = options_.variance_mode == VarianceMode::TotalVariance;
+  for (const auto& tree : trees_) {
+    if (total) {
+      const auto stats = tree.predict_stats(fm, row);
+      sum += stats.mean;
+      sumsq += stats.mean * stats.mean;
+      var_sum += stats.variance;
+    } else {
+      const double v = tree.predict(fm, row);
+      sum += v;
+      sumsq += v * v;
+    }
+  }
+  return finalize(sum, sumsq, var_sum);
+}
+
+void BaggingEnsemble::predict_all(const FeatureMatrix& fm,
+                                  std::vector<Prediction>& out) const {
+  if (!fitted_) {
+    throw std::logic_error("BaggingEnsemble::predict_all: not fitted");
+  }
+  const std::size_t m = fm.rows();
+  const bool total = options_.variance_mode == VarianceMode::TotalVariance;
+  // Accumulate per-row sums tree by tree (keeps each tree's nodes hot in
+  // cache across the whole row sweep).
+  thread_local std::vector<double> sum;
+  thread_local std::vector<double> sumsq;
+  thread_local std::vector<double> var_sum;
+  sum.assign(m, 0.0);
+  sumsq.assign(m, 0.0);
+  var_sum.assign(m, 0.0);
+  for (const auto& tree : trees_) {
+    for (std::size_t row = 0; row < m; ++row) {
+      if (total) {
+        const auto stats =
+            tree.predict_stats(fm, static_cast<std::uint32_t>(row));
+        sum[row] += stats.mean;
+        sumsq[row] += stats.mean * stats.mean;
+        var_sum[row] += stats.variance;
+      } else {
+        const double v = tree.predict(fm, static_cast<std::uint32_t>(row));
+        sum[row] += v;
+        sumsq[row] += v * v;
+      }
+    }
+  }
+  out.resize(m);
+  for (std::size_t row = 0; row < m; ++row) {
+    out[row] = finalize(sum[row], sumsq[row], var_sum[row]);
+  }
+}
+
+std::unique_ptr<Regressor> BaggingEnsemble::fresh() const {
+  return std::make_unique<BaggingEnsemble>(options_);
+}
+
+}  // namespace lynceus::model

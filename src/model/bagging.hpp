@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file bagging.hpp
+/// Bagging ensemble of randomized regression trees — Lynceus' default cost
+/// model (paper §3 & §5.2: "Lynceus and BO use a bagging ensemble of 10
+/// random trees to build the job cost model", in the style of SMAC and
+/// auto-WEKA [29, 50]).
+///
+/// Each tree trains on a bootstrap resample of the training set; the
+/// ensemble's predictive distribution at x is the Gaussian
+/// N(mean of tree outputs, stddev of tree outputs), which is what the
+/// constrained-EI acquisition assumes (paper §3, "Regression model").
+
+#include <cstdint>
+#include <vector>
+
+#include "model/decision_tree.hpp"
+#include "model/regressor.hpp"
+
+namespace lynceus::model {
+
+/// How the ensemble turns per-tree outputs into a predictive variance.
+enum class VarianceMode {
+  /// Variance of the tree means (plain bagging spread — the paper's
+  /// formulation, §3).
+  BetweenTrees,
+  /// SMAC-style law of total variance: E[leaf variance] + Var[leaf means].
+  /// Adds the within-leaf residual spread, which keeps uncertainty from
+  /// collapsing when all trees agree on a noisy region.
+  TotalVariance,
+};
+
+struct BaggingOptions {
+  /// Ensemble size. Paper default: 10.
+  unsigned trees = 10;
+  TreeOptions tree;
+  VarianceMode variance_mode = VarianceMode::BetweenTrees;
+  /// Relative floor on the predictive stddev, as a fraction of the
+  /// training-target range. A pure tree ensemble predicts zero variance
+  /// where all trees agree, which would make EI collapse and the
+  /// feasibility probabilities degenerate; a small floor keeps the
+  /// Gaussian assumption usable (standard SMAC practice).
+  double min_stddev_rel = 1e-6;
+
+  /// Weka RandomTree's default feature-subset size for `d` features.
+  [[nodiscard]] static unsigned weka_features_per_split(std::size_t d);
+};
+
+class BaggingEnsemble final : public Regressor {
+ public:
+  explicit BaggingEnsemble(BaggingOptions options = {});
+
+  void fit(const FeatureMatrix& fm, const std::vector<std::uint32_t>& rows,
+           const std::vector<double>& y, std::uint64_t seed) override;
+
+  [[nodiscard]] Prediction predict(const FeatureMatrix& fm,
+                                   std::uint32_t row) const override;
+
+  void predict_all(const FeatureMatrix& fm,
+                   std::vector<Prediction>& out) const override;
+
+  [[nodiscard]] std::unique_ptr<Regressor> fresh() const override;
+
+  [[nodiscard]] const BaggingOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+ private:
+  [[nodiscard]] Prediction finalize(double sum, double sumsq,
+                                    double var_sum) const noexcept;
+
+  BaggingOptions options_;
+  std::vector<DecisionTree> trees_;
+  bool fitted_ = false;
+  double stddev_floor_ = 0.0;
+  // Scratch reused across fits to avoid per-fit allocation (hot path).
+  std::vector<std::uint32_t> boot_rows_;
+  std::vector<double> boot_y_;
+};
+
+}  // namespace lynceus::model

@@ -1,0 +1,198 @@
+#include "model/decision_tree.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lynceus::model {
+
+DecisionTree::DecisionTree(TreeOptions options) : options_(options) {}
+
+struct DecisionTree::BuildCtx {
+  const FeatureMatrix* fm = nullptr;
+  util::Rng* rng = nullptr;
+  // Parallel arrays, partitioned in place as the tree grows.
+  std::vector<std::uint32_t> idx;
+  std::vector<double> y;
+  // Per-level scratch, reused across nodes (sized max_level_count).
+  std::vector<std::uint32_t> cnt;
+  std::vector<double> sum;
+  // Feature-subset scratch.
+  std::vector<std::uint16_t> feature_order;
+};
+
+void DecisionTree::fit(const FeatureMatrix& fm,
+                       const std::vector<std::uint32_t>& rows,
+                       const std::vector<double>& y, util::Rng& rng) {
+  if (rows.empty() || rows.size() != y.size()) {
+    throw std::invalid_argument(
+        "DecisionTree::fit: rows and y must be non-empty and equal-sized");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  nodes_.reserve(2 * rows.size());
+
+  BuildCtx ctx;
+  ctx.fm = &fm;
+  ctx.rng = &rng;
+  ctx.idx = rows;
+  ctx.y = y;
+  ctx.cnt.assign(fm.max_level_count(), 0);
+  ctx.sum.assign(fm.max_level_count(), 0.0);
+  ctx.feature_order.resize(fm.cols());
+  for (std::size_t d = 0; d < fm.cols(); ++d) {
+    ctx.feature_order[d] = static_cast<std::uint16_t>(d);
+  }
+
+  build(ctx, 0, ctx.idx.size(), 0);
+}
+
+std::int32_t DecisionTree::build(BuildCtx& ctx, std::size_t begin,
+                                 std::size_t end, unsigned depth) {
+  const FeatureMatrix& fm = *ctx.fm;
+  const std::size_t n = end - begin;
+  depth_ = std::max(depth_, depth);
+
+  double total_sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) total_sum += ctx.y[i];
+  const double node_mean = total_sum / static_cast<double>(n);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.value = static_cast<float>(node_mean);
+    double sq = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double d = ctx.y[i] - node_mean;
+      sq += d * d;
+    }
+    leaf.variance = static_cast<float>(sq / static_cast<double>(n));
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (n < options_.min_samples_split || depth >= options_.max_depth) {
+    return make_leaf();
+  }
+
+  // Choose the feature subset for this split (Weka RandomTree style).
+  std::size_t feature_count = fm.cols();
+  if (options_.features_per_split != 0 &&
+      options_.features_per_split < fm.cols()) {
+    feature_count = options_.features_per_split;
+    // Partial Fisher-Yates: the first `feature_count` entries become a
+    // uniform random subset.
+    for (std::size_t i = 0; i < feature_count; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(ctx.rng->below(fm.cols() - i));
+      std::swap(ctx.feature_order[i], ctx.feature_order[j]);
+    }
+  }
+
+  // Variance-reduction split search. Maximizing
+  //   S(split) = s_L^2/n_L + s_R^2/n_R
+  // is equivalent to minimizing the summed squared error of the two
+  // children, so no sum-of-squares accumulation is needed.
+  const double parent_score = total_sum * total_sum / static_cast<double>(n);
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::int16_t best_feature = kLeaf;
+  std::uint16_t best_code = 0;
+
+  auto scan_features = [&](std::size_t from, std::size_t to) {
+    for (std::size_t f = from; f < to; ++f) {
+      const std::uint16_t feature = ctx.feature_order[f];
+      const std::uint16_t levels = fm.level_count(feature);
+      for (std::uint16_t c = 0; c < levels; ++c) {
+        ctx.cnt[c] = 0;
+        ctx.sum[c] = 0.0;
+      }
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint16_t c = fm.code(ctx.idx[i], feature);
+        ++ctx.cnt[c];
+        ctx.sum[c] += ctx.y[i];
+      }
+      std::uint32_t n_left = 0;
+      double s_left = 0.0;
+      for (std::uint16_t c = 0; c + 1 < levels; ++c) {
+        n_left += ctx.cnt[c];
+        s_left += ctx.sum[c];
+        if (n_left == 0 || n_left == n) continue;
+        const auto n_right = static_cast<double>(n - n_left);
+        const double s_right = total_sum - s_left;
+        const double score = s_left * s_left / static_cast<double>(n_left) +
+                             s_right * s_right / n_right;
+        if (score > best_score) {
+          best_score = score;
+          best_feature = static_cast<std::int16_t>(feature);
+          best_code = c;
+        }
+      }
+    }
+  };
+
+  scan_features(0, feature_count);
+  // If the random subset offered no informative split (all its features
+  // constant on this node, or no gain), fall back to the remaining
+  // features before giving up — otherwise a 1-feature subset would
+  // regularly truncate the tree at nodes other features could still split.
+  if (best_score <= parent_score + 1e-12 && feature_count < fm.cols()) {
+    scan_features(feature_count, fm.cols());
+  }
+
+  if (best_feature == kLeaf || best_score <= parent_score + 1e-12) {
+    return make_leaf();
+  }
+
+  // In-place partition of the parallel arrays.
+  std::size_t mid = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (fm.code(ctx.idx[i], static_cast<std::size_t>(best_feature)) <=
+        best_code) {
+      std::swap(ctx.idx[i], ctx.idx[mid]);
+      std::swap(ctx.y[i], ctx.y[mid]);
+      ++mid;
+    }
+  }
+
+  const auto self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[self].feature = best_feature;
+  nodes_[self].split_code = best_code;
+  const std::int32_t left = build(ctx, begin, mid, depth + 1);
+  const std::int32_t right = build(ctx, mid, end, depth + 1);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+double DecisionTree::predict(const FeatureMatrix& fm,
+                             std::uint32_t row) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict: not fitted");
+  }
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature != kLeaf) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    node = fm.code(row, static_cast<std::size_t>(nd.feature)) <= nd.split_code
+               ? nd.left
+               : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+DecisionTree::LeafStats DecisionTree::predict_stats(const FeatureMatrix& fm,
+                                                    std::uint32_t row) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict_stats: not fitted");
+  }
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature != kLeaf) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    node = fm.code(row, static_cast<std::size_t>(nd.feature)) <= nd.split_code
+               ? nd.left
+               : nd.right;
+  }
+  const Node& leaf = nodes_[static_cast<std::size_t>(node)];
+  return {leaf.value, leaf.variance};
+}
+
+}  // namespace lynceus::model

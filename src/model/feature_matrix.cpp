@@ -1,0 +1,46 @@
+#include <stdexcept>
+
+#include "model/regressor.hpp"
+
+namespace lynceus::model {
+
+FeatureMatrix::FeatureMatrix(const space::ConfigSpace& space)
+    : rows_(space.size()), cols_(space.dim_count()) {
+  codes_.resize(rows_ * cols_);
+  level_counts_.resize(cols_);
+  level_values_.resize(cols_);
+  for (std::size_t d = 0; d < cols_; ++d) {
+    const auto& dim = space.dim(d);
+    if (dim.level_count() > 0xFFFF) {
+      throw std::invalid_argument(
+          "FeatureMatrix: dimension has too many levels");
+    }
+    level_counts_[d] = static_cast<std::uint16_t>(dim.level_count());
+    level_values_[d] = dim.values;
+    max_level_count_ = std::max(max_level_count_, level_counts_[d]);
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto& lv = space.levels(static_cast<space::ConfigId>(r));
+    for (std::size_t d = 0; d < cols_; ++d) {
+      codes_[r * cols_ + d] = static_cast<std::uint16_t>(lv[d]);
+    }
+  }
+}
+
+std::vector<double> FeatureMatrix::normalized_features(std::size_t row) const {
+  std::vector<double> out(cols_);
+  for (std::size_t d = 0; d < cols_; ++d) {
+    const auto& values = level_values_[d];
+    double lo = values.front();
+    double hi = values.front();
+    for (double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double v = values[code(row, d)];
+    out[d] = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace lynceus::model

@@ -1,0 +1,137 @@
+#include "model/gp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+
+namespace lynceus::model {
+
+GaussianProcess::GaussianProcess(GpOptions options)
+    : options_(std::move(options)) {
+  if (options_.lengthscales.empty() || options_.noise_fractions.empty()) {
+    throw std::invalid_argument("GaussianProcess: empty hyper-parameter grid");
+  }
+}
+
+double GaussianProcess::kernel(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               double lengthscale) const noexcept {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-0.5 * d2 / (lengthscale * lengthscale));
+}
+
+void GaussianProcess::fit(const FeatureMatrix& fm,
+                          const std::vector<std::uint32_t>& rows,
+                          const std::vector<double>& y,
+                          std::uint64_t /*seed*/) {
+  if (rows.empty() || rows.size() != y.size()) {
+    throw std::invalid_argument(
+        "GaussianProcess::fit: rows and y must be non-empty and equal-sized");
+  }
+  const std::size_t n = rows.size();
+
+  // Standardize targets.
+  math::RunningStats stats;
+  for (double v : y) stats.add(v);
+  y_mean_ = stats.mean();
+  y_std_ = stats.stddev();
+  if (y_std_ <= 0.0) y_std_ = 1.0;
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = (y[i] - y_mean_) / y_std_;
+
+  train_x_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    train_x_[i] = fm.normalized_features(rows[i]);
+  }
+
+  // Grid-search hyper-parameters by log marginal likelihood:
+  //   lml = −½ yᵀK⁻¹y − ½ log|K| − n/2 log 2π
+  best_lml_ = -std::numeric_limits<double>::infinity();
+  std::unique_ptr<math::Cholesky> best_chol;
+  std::vector<double> best_alpha;
+  double best_ls = options_.lengthscales.front();
+  double best_noise = options_.noise_fractions.front();
+
+  for (double ls : options_.lengthscales) {
+    math::Matrix k_base(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double v = kernel(train_x_[i], train_x_[j], ls);
+        k_base(i, j) = v;
+        k_base(j, i) = v;
+      }
+    }
+    for (double noise_frac : options_.noise_fractions) {
+      math::Matrix k = k_base;
+      const double noise = noise_frac + options_.jitter;
+      for (std::size_t i = 0; i < n; ++i) k(i, i) += noise;
+      std::unique_ptr<math::Cholesky> chol;
+      try {
+        chol = std::make_unique<math::Cholesky>(k);
+      } catch (const std::domain_error&) {
+        continue;  // numerically unstable grid point; skip
+      }
+      const auto alpha = chol->solve(ys);
+      double fit_term = 0.0;
+      for (std::size_t i = 0; i < n; ++i) fit_term += ys[i] * alpha[i];
+      const double lml = -0.5 * fit_term - 0.5 * chol->log_determinant() -
+                         0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+      if (lml > best_lml_) {
+        best_lml_ = lml;
+        best_chol = std::move(chol);
+        best_alpha = alpha;
+        best_ls = ls;
+        best_noise = noise;
+      }
+    }
+  }
+  if (!best_chol) {
+    throw std::runtime_error(
+        "GaussianProcess::fit: no usable hyper-parameter grid point");
+  }
+  chol_ = std::move(best_chol);
+  alpha_ = std::move(best_alpha);
+  lengthscale_ = best_ls;
+  noise_var_ = best_noise;
+  fitted_ = true;
+}
+
+Prediction GaussianProcess::predict(const FeatureMatrix& fm,
+                                    std::uint32_t row) const {
+  if (!fitted_) throw std::logic_error("GaussianProcess::predict: not fitted");
+  const auto x = fm.normalized_features(row);
+  const std::size_t n = train_x_.size();
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_star[i] = kernel(x, train_x_[i], lengthscale_);
+  }
+  double mu = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mu += k_star[i] * alpha_[i];
+  // var = k(x,x) − k*ᵀ K⁻¹ k*  computed via the triangular solve
+  // v = L⁻¹ k*, var = k(x,x) − ‖v‖².
+  const auto v = chol_->solve_lower(k_star);
+  double quad = 0.0;
+  for (double vi : v) quad += vi * vi;
+  const double var = std::max(1e-12, 1.0 + noise_var_ - quad);
+  return {y_mean_ + y_std_ * mu, y_std_ * std::sqrt(var)};
+}
+
+void GaussianProcess::predict_all(const FeatureMatrix& fm,
+                                  std::vector<Prediction>& out) const {
+  out.resize(fm.rows());
+  for (std::size_t row = 0; row < fm.rows(); ++row) {
+    out[row] = predict(fm, static_cast<std::uint32_t>(row));
+  }
+}
+
+std::unique_ptr<Regressor> GaussianProcess::fresh() const {
+  return std::make_unique<GaussianProcess>(options_);
+}
+
+}  // namespace lynceus::model

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file gp.hpp
+/// Gaussian-process regressor — the alternative cost model the paper
+/// mentions in footnote 1 ("Lynceus can also operate using Gaussian
+/// Processes, as done by other BO approaches"). CherryPick itself uses a
+/// GP, so this model also serves the faithful-baseline ablation.
+///
+/// Kernel: squared exponential over min-max-normalized features with a
+/// single shared length-scale, plus observation noise:
+///   k(x, x') = σf² · exp(−‖x−x'‖² / (2ℓ²)) + σn²·1{x=x'}
+/// Targets are standardized internally. ℓ and σn are chosen by maximizing
+/// the log marginal likelihood over a small grid — robust, deterministic,
+/// and cheap at the training-set sizes BO reaches (tens to low hundreds of
+/// samples).
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "model/regressor.hpp"
+
+namespace lynceus::model {
+
+struct GpOptions {
+  /// Length-scale grid (normalized-feature units).
+  std::vector<double> lengthscales = {0.1, 0.2, 0.4, 0.8, 1.6};
+  /// Noise-variance grid, as fractions of the (standardized) target
+  /// variance.
+  std::vector<double> noise_fractions = {1e-4, 1e-2, 5e-2};
+  /// Jitter added to the kernel diagonal for numerical stability.
+  double jitter = 1e-8;
+};
+
+class GaussianProcess final : public Regressor {
+ public:
+  explicit GaussianProcess(GpOptions options = {});
+
+  void fit(const FeatureMatrix& fm, const std::vector<std::uint32_t>& rows,
+           const std::vector<double>& y, std::uint64_t seed) override;
+
+  [[nodiscard]] Prediction predict(const FeatureMatrix& fm,
+                                   std::uint32_t row) const override;
+
+  void predict_all(const FeatureMatrix& fm,
+                   std::vector<Prediction>& out) const override;
+
+  [[nodiscard]] std::unique_ptr<Regressor> fresh() const override;
+
+  /// Selected hyper-parameters (after fit): length-scale and noise
+  /// variance in standardized-target units.
+  [[nodiscard]] double lengthscale() const noexcept { return lengthscale_; }
+  [[nodiscard]] double noise_variance() const noexcept { return noise_var_; }
+  /// Log marginal likelihood of the selected hyper-parameters.
+  [[nodiscard]] double log_marginal_likelihood() const noexcept {
+    return best_lml_;
+  }
+
+ private:
+  [[nodiscard]] double kernel(const std::vector<double>& a,
+                              const std::vector<double>& b,
+                              double lengthscale) const noexcept;
+
+  GpOptions options_;
+  bool fitted_ = false;
+  double lengthscale_ = 0.5;
+  double noise_var_ = 1e-2;
+  double best_lml_ = 0.0;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  std::vector<std::vector<double>> train_x_;  // normalized features
+  std::vector<double> alpha_;                 // K⁻¹·y (standardized)
+  std::unique_ptr<math::Cholesky> chol_;
+};
+
+}  // namespace lynceus::model

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file regressor.hpp
+/// The probabilistic regression interface used by the optimizers, and the
+/// discrete feature-matrix representation they train on.
+///
+/// Bayesian optimization needs, for every candidate configuration, a
+/// Gaussian predictive distribution N(µ(x), σ(x)²) of the job's cost
+/// (paper §3, "Regression model"). Lynceus' default model is a bagging
+/// ensemble of randomized regression trees; a Gaussian process is provided
+/// as the alternative the paper mentions in footnote 1.
+///
+/// Optimizers retrain the model thousands of times per decision while
+/// simulating exploration paths, so the representation is optimized for
+/// refit speed: configurations are pre-encoded once per space as rows of
+/// small integer level codes (`FeatureMatrix`), and a training set is just
+/// a span of row indices plus aligned targets.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "space/config_space.hpp"
+
+namespace lynceus::model {
+
+/// Pre-encoded feature rows for every configuration of a space.
+///
+/// `code(row, col)` is the level index of dimension `col` for configuration
+/// `row` — a small integer, which lets the tree learner find splits by
+/// counting instead of sorting. `value(row, col)` is the numeric parameter
+/// value (used by the GP and for reporting).
+class FeatureMatrix {
+ public:
+  explicit FeatureMatrix(const space::ConfigSpace& space);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] std::uint16_t code(std::size_t row,
+                                   std::size_t col) const noexcept {
+    return codes_[row * cols_ + col];
+  }
+
+  /// Level count of a column (codes are in [0, level_count(col))).
+  [[nodiscard]] std::uint16_t level_count(std::size_t col) const noexcept {
+    return level_counts_[col];
+  }
+  [[nodiscard]] std::uint16_t max_level_count() const noexcept {
+    return max_level_count_;
+  }
+
+  /// Numeric value of dimension `col` at level `code` (GP features).
+  [[nodiscard]] double level_value(std::size_t col,
+                                   std::uint16_t code) const {
+    return level_values_.at(col).at(code);
+  }
+
+  /// Numeric feature vector of a row, each dimension min-max normalized to
+  /// [0, 1] (GP input).
+  [[nodiscard]] std::vector<double> normalized_features(std::size_t row) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint16_t> codes_;  // row-major
+  std::vector<std::uint16_t> level_counts_;
+  std::uint16_t max_level_count_ = 0;
+  std::vector<std::vector<double>> level_values_;  // per col, per code
+};
+
+struct Prediction {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// A regression model producing Gaussian predictive distributions.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on the samples `(fm.row(rows[i]), y[i])`. `rows` and `y` must
+  /// have equal, non-zero size. `seed` drives any internal randomization
+  /// (bootstrap resampling, feature sub-setting) so that refits are
+  /// deterministic.
+  virtual void fit(const FeatureMatrix& fm,
+                   const std::vector<std::uint32_t>& rows,
+                   const std::vector<double>& y, std::uint64_t seed) = 0;
+
+  /// Predictive distribution for one configuration row. Requires fit().
+  [[nodiscard]] virtual Prediction predict(const FeatureMatrix& fm,
+                                           std::uint32_t row) const = 0;
+
+  /// Predictive distributions for every row of `fm`, written into `out`
+  /// (resized as needed). Batch version — much faster than a loop of
+  /// predict() for ensembles.
+  virtual void predict_all(const FeatureMatrix& fm,
+                           std::vector<Prediction>& out) const = 0;
+
+  /// A fresh, unfitted model with the same hyper-parameters. Used to build
+  /// independent "fantasy" models while simulating exploration paths.
+  [[nodiscard]] virtual std::unique_ptr<Regressor> fresh() const = 0;
+};
+
+/// Factory used by optimizers to create per-path model instances.
+using ModelFactory = std::function<std::unique_ptr<Regressor>()>;
+
+}  // namespace lynceus::model

@@ -1,0 +1,149 @@
+#include "space/config_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "math/lhs.hpp"
+#include "util/strings.hpp"
+
+namespace lynceus::space {
+
+ConfigSpace::ConfigSpace(std::string name, std::vector<ParamDomain> dims,
+                         ValidityPredicate valid)
+    : name_(std::move(name)), dims_(std::move(dims)) {
+  if (dims_.empty()) {
+    throw std::invalid_argument("ConfigSpace '" + name_ + "': no dimensions");
+  }
+  grid_size_ = 1;
+  for (const auto& d : dims_) {
+    d.validate();
+    grid_size_ *= d.level_count();
+  }
+
+  cell_to_id_.assign(grid_size_, -1);
+  LevelVector cursor(dims_.size(), 0);
+  for (std::size_t cell = 0; cell < grid_size_; ++cell) {
+    if (!valid || valid(cursor)) {
+      cell_to_id_[cell] = static_cast<std::int64_t>(levels_.size());
+      levels_.push_back(cursor);
+      std::vector<double> f(dims_.size());
+      for (std::size_t d = 0; d < dims_.size(); ++d) {
+        f[d] = dims_[d].values[cursor[d]];
+      }
+      features_.push_back(std::move(f));
+    }
+    // Advance the mixed-radix cursor (last dimension fastest).
+    for (std::size_t d = dims_.size(); d-- > 0;) {
+      if (++cursor[d] < dims_[d].level_count()) break;
+      cursor[d] = 0;
+    }
+  }
+
+  if (levels_.empty()) {
+    throw std::invalid_argument("ConfigSpace '" + name_ +
+                                "': predicate rejects every cell");
+  }
+}
+
+std::size_t ConfigSpace::cell_index(const LevelVector& levels) const {
+  if (levels.size() != dims_.size()) {
+    throw std::invalid_argument("ConfigSpace: level vector dimension mismatch");
+  }
+  std::size_t cell = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (levels[d] >= dims_[d].level_count()) {
+      throw std::out_of_range("ConfigSpace: level index out of range");
+    }
+    cell = cell * dims_[d].level_count() + levels[d];
+  }
+  return cell;
+}
+
+std::string ConfigSpace::describe(ConfigId id) const {
+  const LevelVector& lv = levels(id);
+  std::vector<std::string> parts;
+  parts.reserve(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    parts.push_back(dims_[d].name + "=" + dims_[d].label(lv[d]));
+  }
+  return util::join(parts, ", ");
+}
+
+std::optional<ConfigId> ConfigSpace::find(const LevelVector& levels) const {
+  const std::int64_t id = cell_to_id_[cell_index(levels)];
+  if (id < 0) return std::nullopt;
+  return static_cast<ConfigId>(id);
+}
+
+ConfigId ConfigSpace::nearest_valid(const LevelVector& target) const {
+  if (auto exact = find(target)) return *exact;
+  double best = std::numeric_limits<double>::infinity();
+  ConfigId best_id = 0;
+  for (std::size_t id = 0; id < levels_.size(); ++id) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+      const double span =
+          static_cast<double>(std::max<std::size_t>(dims_[d].level_count() - 1, 1));
+      dist += std::fabs(static_cast<double>(levels_[id][d]) -
+                        static_cast<double>(target[d])) /
+              span;
+    }
+    if (dist < best) {
+      best = dist;
+      best_id = static_cast<ConfigId>(id);
+    }
+  }
+  return best_id;
+}
+
+std::vector<ConfigId> ConfigSpace::lhs_sample(std::size_t n,
+                                              util::Rng& rng) const {
+  if (n > size()) {
+    throw std::invalid_argument(
+        "ConfigSpace::lhs_sample: more samples than valid configurations");
+  }
+  if (n == 0) return {};
+
+  std::vector<std::size_t> level_counts(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    level_counts[d] = dims_[d].level_count();
+  }
+  // Uniqueness on the full grid is handled here (after validity repair),
+  // so ask the sampler for raw, possibly-duplicated rows.
+  const auto rows = math::latin_hypercube(level_counts, n, rng,
+                                          /*unique=*/false);
+
+  std::vector<ConfigId> out;
+  out.reserve(n);
+  std::set<ConfigId> used;
+  for (const auto& row : rows) {
+    ConfigId id = nearest_valid(row);
+    if (used.count(id) > 0) {
+      // Collision after repair: fall back to a random unused configuration,
+      // preserving the sample count (the bootstrap budget accounting
+      // depends on exactly N configurations being profiled).
+      std::vector<ConfigId> unused;
+      unused.reserve(size() - used.size());
+      for (std::size_t cand = 0; cand < size(); ++cand) {
+        if (used.count(static_cast<ConfigId>(cand)) == 0) {
+          unused.push_back(static_cast<ConfigId>(cand));
+        }
+      }
+      id = unused[static_cast<std::size_t>(rng.below(unused.size()))];
+    }
+    used.insert(id);
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ConfigId> ConfigSpace::all() const {
+  std::vector<ConfigId> ids(size());
+  for (std::size_t i = 0; i < size(); ++i) ids[i] = static_cast<ConfigId>(i);
+  return ids;
+}
+
+}  // namespace lynceus::space

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file config_space.hpp
+/// Discrete configuration spaces: the Cartesian grid of parameter domains,
+/// optionally restricted by a validity predicate (e.g. "t2.xlarge clusters
+/// only come in sizes 2–28", Table 2 of the paper; or per-job availability
+/// masks, §5.1.2).
+///
+/// A configuration is identified by a dense `ConfigId` (index into the
+/// enumeration of *valid* grid cells). The space pre-computes, for every
+/// valid configuration, both its level-index vector (used by the tree model
+/// for fast counting-based splits) and its numeric feature vector (used by
+/// the GP and for reporting). Optimizers only ever handle `ConfigId`s,
+/// which keeps their hot paths free of string handling.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "space/parameter.hpp"
+#include "util/rng.hpp"
+
+namespace lynceus::space {
+
+using ConfigId = std::uint32_t;
+
+/// One level index per dimension.
+using LevelVector = std::vector<std::size_t>;
+
+class ConfigSpace {
+ public:
+  using ValidityPredicate = std::function<bool(const LevelVector&)>;
+
+  /// Builds the space and enumerates all valid cells. Throws
+  /// std::invalid_argument if `dims` is empty, any domain is invalid, or
+  /// the predicate rejects every cell.
+  ConfigSpace(std::string name, std::vector<ParamDomain> dims,
+              ValidityPredicate valid = nullptr);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t dim_count() const noexcept { return dims_.size(); }
+  [[nodiscard]] const ParamDomain& dim(std::size_t d) const {
+    return dims_.at(d);
+  }
+  [[nodiscard]] const std::vector<ParamDomain>& dims() const noexcept {
+    return dims_;
+  }
+
+  /// Number of valid configurations.
+  [[nodiscard]] std::size_t size() const noexcept { return levels_.size(); }
+
+  /// Number of cells of the unrestricted Cartesian grid.
+  [[nodiscard]] std::size_t grid_size() const noexcept { return grid_size_; }
+
+  [[nodiscard]] const LevelVector& levels(ConfigId id) const {
+    return levels_.at(id);
+  }
+  [[nodiscard]] const std::vector<double>& features(ConfigId id) const {
+    return features_.at(id);
+  }
+
+  /// Numeric value of dimension `d` for configuration `id`.
+  [[nodiscard]] double value(ConfigId id, std::size_t d) const {
+    return features_.at(id).at(d);
+  }
+
+  /// "name=label, name=label, ..." rendering for reports.
+  [[nodiscard]] std::string describe(ConfigId id) const;
+
+  /// Finds the valid configuration with exactly these levels.
+  [[nodiscard]] std::optional<ConfigId> find(const LevelVector& levels) const;
+
+  /// The valid configuration nearest to `levels` under normalized
+  /// level-index L1 distance (ties broken towards lower ids). Used to
+  /// repair Latin-hypercube rows that land on invalid grid cells.
+  [[nodiscard]] ConfigId nearest_valid(const LevelVector& levels) const;
+
+  /// Draws `n` distinct configurations by discrete Latin Hypercube Sampling
+  /// over the grid (paper §4.3, footnote 3), repairing invalid or duplicate
+  /// rows to the nearest unused valid configuration. Throws
+  /// std::invalid_argument if `n > size()`.
+  [[nodiscard]] std::vector<ConfigId> lhs_sample(std::size_t n,
+                                                 util::Rng& rng) const;
+
+  /// All valid configuration ids (0, 1, ..., size()-1).
+  [[nodiscard]] std::vector<ConfigId> all() const;
+
+ private:
+  std::string name_;
+  std::vector<ParamDomain> dims_;
+  std::size_t grid_size_ = 0;
+  std::vector<LevelVector> levels_;             // per valid config
+  std::vector<std::vector<double>> features_;   // per valid config
+  std::vector<std::int64_t> cell_to_id_;        // grid cell -> id or -1
+
+  [[nodiscard]] std::size_t cell_index(const LevelVector& levels) const;
+};
+
+}  // namespace lynceus::space

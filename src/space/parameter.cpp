@@ -1,0 +1,62 @@
+#include "space/parameter.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace lynceus::space {
+
+std::string ParamDomain::label(std::size_t level) const {
+  if (level >= values.size()) {
+    throw std::out_of_range("ParamDomain::label: level out of range");
+  }
+  if (!labels.empty()) return labels[level];
+  const double v = values[level];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return util::format("%lld", static_cast<long long>(v));
+  }
+  return util::format("%g", v);
+}
+
+void ParamDomain::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("ParamDomain: name must not be empty");
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("ParamDomain '" + name + "': no levels");
+  }
+  if (!labels.empty() && labels.size() != values.size()) {
+    throw std::invalid_argument("ParamDomain '" + name +
+                                "': labels/values size mismatch");
+  }
+  std::set<double> distinct(values.begin(), values.end());
+  if (distinct.size() != values.size()) {
+    throw std::invalid_argument("ParamDomain '" + name +
+                                "': duplicate level values");
+  }
+}
+
+ParamDomain numeric_param(std::string name, std::vector<double> values) {
+  ParamDomain d;
+  d.name = std::move(name);
+  d.values = std::move(values);
+  d.validate();
+  return d;
+}
+
+ParamDomain categorical_param(std::string name,
+                              std::vector<std::string> labels) {
+  ParamDomain d;
+  d.name = std::move(name);
+  d.values.resize(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    d.values[i] = static_cast<double>(i);
+  }
+  d.labels = std::move(labels);
+  d.categorical = true;
+  d.validate();
+  return d;
+}
+
+}  // namespace lynceus::space

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file parameter.hpp
+/// A single tunable dimension of a configuration space: a named, finite,
+/// ordered set of levels, each with a numeric value (used as the model
+/// feature) and an optional human-readable label.
+///
+/// Examples from the paper: `learning_rate ∈ {1e-3, 1e-4, 1e-5}`,
+/// `batch ∈ {16, 256}`, `training_mode ∈ {sync, async}` (Table 1),
+/// `vm_type ∈ {t2.small … t2.2xlarge}` and worker count (Table 2).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lynceus::space {
+
+struct ParamDomain {
+  std::string name;
+  /// Numeric value of each level; this is the feature the regression model
+  /// sees (paper §5.2: "the features of the samples in the training set are
+  /// the number of worker VMs, the type of VM, and the values of each
+  /// tuning parameter"). Categorical dimensions use ordinal codes, exactly
+  /// as a numeric-encoded Weka attribute would.
+  std::vector<double> values;
+  /// Optional display labels, one per level (empty means "print the value").
+  std::vector<std::string> labels;
+  /// Categorical dimensions are documented as such (affects printing only;
+  /// the tree model treats every dimension as ordinal, as in the paper).
+  bool categorical = false;
+
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return values.size();
+  }
+
+  /// Label of a level, falling back to its numeric value.
+  [[nodiscard]] std::string label(std::size_t level) const;
+
+  /// Validates invariants (non-empty, labels consistent, distinct values).
+  /// Throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// Convenience constructors.
+[[nodiscard]] ParamDomain numeric_param(std::string name,
+                                        std::vector<double> values);
+[[nodiscard]] ParamDomain categorical_param(std::string name,
+                                            std::vector<std::string> labels);
+
+}  // namespace lynceus::space

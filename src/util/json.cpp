@@ -1,0 +1,153 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace lynceus::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::begin_value() {
+  if (done_) {
+    throw std::logic_error("JsonWriter: document already complete");
+  }
+  if (!scopes_.empty() && scopes_.back() == Scope::Object && !have_key_) {
+    throw std::logic_error("JsonWriter: object member needs a key first");
+  }
+  if (need_comma_ && !have_key_) out_.push_back(',');
+  need_comma_ = false;
+  have_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_.push_back('{');
+  scopes_.push_back(Scope::Object);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (scopes_.empty() || scopes_.back() != Scope::Object || have_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  scopes_.pop_back();
+  out_.push_back('}');
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_.push_back('[');
+  scopes_.push_back(Scope::Array);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (scopes_.empty() || scopes_.back() != Scope::Array) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  scopes_.pop_back();
+  out_.push_back(']');
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (scopes_.empty() || scopes_.back() != Scope::Object) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (have_key_) throw std::logic_error("JsonWriter: duplicate key call");
+  if (need_comma_) out_.push_back(',');
+  out_ += json_escape(name);
+  out_.push_back(':');
+  need_comma_ = false;
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  begin_value();
+  out_ += json_escape(v);
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  begin_value();
+  if (std::isfinite(v)) {
+    out_ += format("%.12g", v);
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  begin_value();
+  out_ += format("%lld", static_cast<long long>(v));
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  out_ += format("%llu", static_cast<unsigned long long>(v));
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!done_ || !scopes_.empty()) {
+    throw std::logic_error("JsonWriter: document incomplete");
+  }
+  return out_;
+}
+
+}  // namespace lynceus::util

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file json.hpp
+/// A minimal streaming JSON writer (no parser): nested objects/arrays,
+/// string escaping, and locale-independent number formatting. Used by the
+/// bench binaries to emit machine-readable result files next to the CSVs,
+/// so notebooks can consume experiment output without CSV-schema guessing.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("job").value("cnn");
+///   w.key("cnos").begin_array();
+///   for (double c : cnos) w.value(c);
+///   w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+///
+/// Structural misuse (closing the wrong scope, a value without a key
+/// inside an object, ...) throws std::logic_error.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lynceus::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Introduces the next member of the current object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The finished document. Throws std::logic_error if scopes remain open
+  /// or nothing was written.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  enum class Scope { Object, Array };
+
+  void begin_value();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+  bool done_ = false;
+};
+
+/// Escapes a string for inclusion in a JSON document (adds the quotes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace lynceus::util

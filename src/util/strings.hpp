@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string utilities shared by the reporting and dataset code.
+
+#include <string>
+#include <vector>
+
+namespace lynceus::util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char sep);
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(const std::string& s);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-width, human-readable rendering of a double (e.g. "1.234",
+/// "12.3k"). Used by the ASCII report tables.
+[[nodiscard]] std::string human(double v, int precision = 3);
+
+}  // namespace lynceus::util

@@ -1,0 +1,107 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace lynceus::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Helper tasks may still be dequeued *after* this call returns (a worker
+  // can pop a task once all indices are already claimed), so everything
+  // they touch lives in a shared control block, not on this stack frame.
+  // Such late tasks observe next >= n and exit without calling the body.
+  struct Control {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    std::function<void(std::size_t)> body;
+    std::exception_ptr first_error;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+  };
+  auto ctl = std::make_shared<Control>();
+  ctl->n = n;
+  ctl->body = body;
+
+  auto drain = [ctl] {
+    for (;;) {
+      const std::size_t i = ctl->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ctl->n) break;
+      try {
+        ctl->body(i);
+      } catch (...) {
+        std::lock_guard lock(ctl->mutex);
+        if (!ctl->first_error) ctl->first_error = std::current_exception();
+      }
+      if (ctl->done.fetch_add(1, std::memory_order_acq_rel) + 1 == ctl->n) {
+        std::lock_guard lock(ctl->mutex);
+        ctl->done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(threads_.size(), n - 1);
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) tasks_.push(drain);
+  }
+  cv_.notify_all();
+
+  drain();  // The calling thread participates.
+
+  {
+    std::unique_lock lock(ctl->mutex);
+    ctl->done_cv.wait(lock, [&] {
+      return ctl->done.load(std::memory_order_acquire) >= ctl->n;
+    });
+  }
+  if (ctl->first_error) std::rethrow_exception(ctl->first_error);
+}
+
+void maybe_parallel_for(ThreadPool* pool, std::size_t n,
+                        const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace lynceus::util

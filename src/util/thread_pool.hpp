@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool with a blocking `parallel_for`.
+///
+/// Lynceus simulates the exploration paths rooted at distinct candidate
+/// configurations independently (paper §4.3: "the simulation of exploration
+/// paths rooted at different untested configurations are independent
+/// problems that can be resolved in parallel"). The optimizer takes an
+/// optional `ThreadPool*`; with a null pool, or a pool of one worker, work
+/// runs inline on the calling thread, so single-threaded determinism is the
+/// default and parallelism is strictly opt-in.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lynceus::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` background threads. `workers == 0` is
+  /// allowed and makes every submission run inline in `parallel_for`.
+  explicit ThreadPool(std::size_t workers);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Runs `body(i)` for every `i` in `[0, n)` and blocks until all
+  /// iterations complete. Iterations are distributed dynamically in chunks;
+  /// the calling thread participates. Exceptions thrown by `body` are
+  /// rethrown (the first one observed) after all workers drain.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Convenience: runs `body` over `[0, n)` on `pool` if non-null, else
+/// sequentially on the calling thread.
+void maybe_parallel_for(ThreadPool* pool, std::size_t n,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace lynceus::util

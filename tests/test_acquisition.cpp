@@ -1,0 +1,100 @@
+#include "core/acquisition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/distributions.hpp"
+
+namespace lynceus::core {
+namespace {
+
+TEST(ExpectedImprovement, ClosedFormKnownValue) {
+  // y* = 1, µ = 0, σ = 1 → z = 1, EI = 1·Φ(1) + φ(1).
+  const model::Prediction pred{0.0, 1.0};
+  const double expected = math::norm_cdf(1.0) + math::norm_pdf(1.0);
+  EXPECT_NEAR(expected_improvement(1.0, pred), expected, 1e-12);
+}
+
+TEST(ExpectedImprovement, ZeroVarianceDegeneratesToMax) {
+  EXPECT_DOUBLE_EQ(expected_improvement(5.0, {3.0, 0.0}), 2.0);
+  EXPECT_DOUBLE_EQ(expected_improvement(5.0, {7.0, 0.0}), 0.0);
+}
+
+TEST(ExpectedImprovement, NeverNegative) {
+  for (double mean : {0.0, 1.0, 5.0, 100.0}) {
+    for (double sd : {0.0, 0.1, 1.0, 10.0}) {
+      EXPECT_GE(expected_improvement(1.0, {mean, sd}), 0.0);
+    }
+  }
+}
+
+TEST(ExpectedImprovement, IncreasesWithUncertainty) {
+  // Same mean above the incumbent: more uncertainty = more improvement
+  // potential.
+  const double lo = expected_improvement(1.0, {2.0, 0.1});
+  const double hi = expected_improvement(1.0, {2.0, 2.0});
+  EXPECT_GT(hi, lo);
+}
+
+TEST(ExpectedImprovement, IncreasesAsMeanDrops) {
+  const double worse = expected_improvement(1.0, {0.9, 0.5});
+  const double better = expected_improvement(1.0, {0.2, 0.5});
+  EXPECT_GT(better, worse);
+}
+
+TEST(ProbWithin, MatchesNormalCdf) {
+  const model::Prediction pred{10.0, 2.0};
+  EXPECT_NEAR(prob_within(10.0, pred), 0.5, 1e-12);
+  EXPECT_NEAR(prob_within(12.0, pred), math::norm_cdf(1.0), 1e-12);
+  EXPECT_NEAR(prob_within(8.0, pred), math::norm_cdf(-1.0), 1e-12);
+}
+
+TEST(ConstrainedEi, ProductStructure) {
+  const model::Prediction pred{0.5, 0.5};
+  const double ei = expected_improvement(1.0, pred);
+  const double pc = prob_within(0.8, pred);
+  EXPECT_NEAR(constrained_ei(1.0, pred, 0.8), ei * pc, 1e-12);
+}
+
+TEST(ConstrainedEi, InfeasiblePointScoresNearZero) {
+  // Mean far above the feasibility cap → PC ≈ 0 kills the acquisition.
+  const model::Prediction pred{100.0, 1.0};
+  EXPECT_LT(constrained_ei(200.0, pred, 10.0), 1e-12);
+}
+
+TEST(IncumbentCost, CheapestFeasibleWins) {
+  std::vector<Sample> samples = {
+      {0, 10.0, 5.0, true},
+      {1, 10.0, 3.0, true},
+      {2, 10.0, 1.0, false},  // cheapest but infeasible
+  };
+  std::vector<model::Prediction> preds(4);
+  EXPECT_DOUBLE_EQ(incumbent_cost(samples, preds, {3}), 3.0);
+}
+
+TEST(IncumbentCost, FallbackUsesMaxCostPlusThreeSigma) {
+  std::vector<Sample> samples = {
+      {0, 10.0, 2.0, false},
+      {1, 10.0, 7.0, false},
+  };
+  std::vector<model::Prediction> preds(4);
+  preds[2] = {0.0, 1.5};
+  preds[3] = {0.0, 4.0};
+  // No feasible sample: y* = 7 + 3·4 = 19.
+  EXPECT_DOUBLE_EQ(incumbent_cost(samples, preds, {2, 3}), 19.0);
+}
+
+TEST(IncumbentCost, FallbackWithNoUntestedPoints) {
+  std::vector<Sample> samples = {{0, 10.0, 2.0, false}};
+  std::vector<model::Prediction> preds(1);
+  EXPECT_DOUBLE_EQ(incumbent_cost(samples, preds, {}), 2.0);
+}
+
+TEST(IncumbentCost, RejectsEmptySampleSet) {
+  std::vector<model::Prediction> preds(1);
+  EXPECT_THROW((void)incumbent_cost({}, preds, {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lynceus::core

@@ -1,0 +1,150 @@
+#include "core/bo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/runner.hpp"
+#include "model/gp.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+TEST(BayesianOptimizer, SpendsTheBudget) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  BayesianOptimizer bo;
+  const auto result = bo.optimize(problem, runner, 1);
+  EXPECT_GE(result.budget_spent, problem.budget);
+  EXPECT_GT(result.explorations(), problem.bootstrap_samples);
+}
+
+TEST(BayesianOptimizer, NeverRepeatsConfigs) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  BayesianOptimizer bo;
+  const auto result = bo.optimize(problem, runner, 2);
+  std::set<ConfigId> seen;
+  for (const auto& s : result.history) {
+    EXPECT_TRUE(seen.insert(s.id).second);
+  }
+}
+
+TEST(BayesianOptimizer, DeterministicGivenSeed) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  BayesianOptimizer bo;
+  eval::TableRunner r1(ds);
+  eval::TableRunner r2(ds);
+  const auto a = bo.optimize(problem, r1, 9);
+  const auto b = bo.optimize(problem, r2, 9);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id);
+  }
+}
+
+TEST(BayesianOptimizer, UsuallyFindsNearOptimalOnEasySurface) {
+  const auto ds = testing::tiny_dataset();
+  // High budget (b=5): enough explorations that BO should home in on the
+  // bowl's minimum most of the time.
+  const auto problem = testing::tiny_problem(5.0);
+  BayesianOptimizer bo;
+  int good = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    eval::TableRunner runner(ds);
+    const auto result = bo.optimize(problem, runner, 100 + t);
+    ASSERT_TRUE(result.recommendation.has_value());
+    const double c = ds.cost(*result.recommendation) / ds.optimal_cost();
+    if (c <= 1.7) ++good;
+  }
+  EXPECT_GE(good, trials * 2 / 3);
+}
+
+TEST(BayesianOptimizer, CountsDecisions) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  BayesianOptimizer bo;
+  const auto result = bo.optimize(problem, runner, 3);
+  EXPECT_EQ(result.decisions,
+            result.explorations() - problem.bootstrap_samples);
+  EXPECT_GT(result.decision_seconds, 0.0);
+}
+
+TEST(BayesianOptimizer, EiStopHaltsEarly) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.budget = 1e9;
+  BoOptions opts;
+  opts.ei_stop_fraction = 0.10;  // CherryPick's 10% rule
+  BayesianOptimizer bo(opts);
+  eval::TableRunner runner(ds);
+  const auto result = bo.optimize(problem, runner, 4);
+  // With an effectively unlimited budget the EI threshold must fire before
+  // the whole space is enumerated.
+  EXPECT_LT(result.explorations(), problem.space->size());
+}
+
+TEST(BayesianOptimizer, WorksWithGpModel) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  BoOptions opts;
+  opts.model_factory = [] {
+    return std::make_unique<model::GaussianProcess>();
+  };
+  BayesianOptimizer bo(opts);
+  eval::TableRunner runner(ds);
+  const auto result = bo.optimize(problem, runner, 5);
+  ASSERT_TRUE(result.recommendation.has_value());
+  EXPECT_GT(result.explorations(), problem.bootstrap_samples);
+}
+
+TEST(BayesianOptimizer, ObserverSeesAllPhases) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  TraceRecorder trace;
+  BoOptions opts;
+  opts.observer = &trace;
+  BayesianOptimizer bo(opts);
+  eval::TableRunner runner(ds);
+  const auto result = bo.optimize(problem, runner, 6);
+  EXPECT_EQ(trace.bootstrap_samples().size(), problem.bootstrap_samples);
+  EXPECT_EQ(trace.decisions().size(), result.decisions);
+  EXPECT_EQ(trace.runs().size(), result.decisions);
+  EXPECT_EQ(trace.stop_reason(), "budget depleted");
+  for (std::size_t i = 0; i < trace.decisions().size(); ++i) {
+    EXPECT_EQ(trace.decisions()[i].chosen, trace.runs()[i].id);
+    EXPECT_EQ(trace.decisions()[i].simulated_roots, 0U);  // no lookahead
+  }
+}
+
+TEST(CherrypickSpec, GpModelWithEiStop) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.budget = 1e9;  // only the EI rule can stop it
+  const auto spec = eval::cherrypick_spec();
+  EXPECT_EQ(spec.label, "CherryPick");
+  eval::TableRunner runner(ds);
+  const auto result = spec.make()->optimize(problem, runner, 8);
+  ASSERT_TRUE(result.recommendation.has_value());
+  EXPECT_LT(result.explorations(), problem.space->size());
+}
+
+TEST(DefaultTreeModelFactory, ProducesPaperEnsemble) {
+  const auto sp = testing::tiny_space();
+  const auto factory = default_tree_model_factory(*sp);
+  const auto model = factory();
+  const auto* bagging = dynamic_cast<model::BaggingEnsemble*>(model.get());
+  ASSERT_NE(bagging, nullptr);
+  EXPECT_EQ(bagging->options().trees, 10U);  // paper §5.2
+  EXPECT_EQ(bagging->options().tree.features_per_split,
+            model::BaggingOptions::weka_features_per_split(sp->dim_count()));
+}
+
+}  // namespace
+}  // namespace lynceus::core

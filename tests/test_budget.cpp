@@ -1,0 +1,46 @@
+#include "core/budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lynceus::core {
+namespace {
+
+TEST(Budget, TracksSpend) {
+  Budget b(10.0);
+  EXPECT_DOUBLE_EQ(b.total(), 10.0);
+  EXPECT_DOUBLE_EQ(b.remaining(), 10.0);
+  EXPECT_FALSE(b.exhausted());
+  b.spend(4.0);
+  EXPECT_DOUBLE_EQ(b.spent(), 4.0);
+  EXPECT_DOUBLE_EQ(b.remaining(), 6.0);
+}
+
+TEST(Budget, OvershootAllowedAndReported) {
+  Budget b(1.0);
+  b.spend(2.5);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_DOUBLE_EQ(b.remaining(), -1.5);
+}
+
+TEST(Budget, ExhaustedAtExactlyZero) {
+  Budget b(2.0);
+  b.spend(2.0);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Budget, RejectsNegativeTotal) {
+  EXPECT_THROW(Budget(-1.0), std::invalid_argument);
+}
+
+TEST(Budget, RejectsNegativeSpend) {
+  Budget b(1.0);
+  EXPECT_THROW(b.spend(-0.1), std::invalid_argument);
+}
+
+TEST(Budget, ZeroTotalStartsExhausted) {
+  Budget b(0.0);
+  EXPECT_TRUE(b.exhausted());
+}
+
+}  // namespace
+}  // namespace lynceus::core

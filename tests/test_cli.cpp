@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lynceus::util {
+namespace {
+
+CliFlags parse(std::vector<const char*> argv,
+               std::vector<std::string> spec) {
+  argv.insert(argv.begin(), "prog");
+  return CliFlags(static_cast<int>(argv.size()), argv.data(), spec);
+}
+
+TEST(CliFlags, EqualsForm) {
+  const auto flags = parse({"--runs=50"}, {"runs"});
+  EXPECT_EQ(flags.get_int("runs", 0), 50);
+}
+
+TEST(CliFlags, SpaceForm) {
+  const auto flags = parse({"--runs", "7"}, {"runs"});
+  EXPECT_EQ(flags.get_int("runs", 0), 7);
+}
+
+TEST(CliFlags, BooleanForms) {
+  const auto flags = parse({"--fast", "--no-cache"}, {"fast", "cache"});
+  EXPECT_TRUE(flags.get_bool("fast", false));
+  EXPECT_FALSE(flags.get_bool("cache", true));
+}
+
+TEST(CliFlags, Defaults) {
+  const auto flags = parse({}, {"runs", "b"});
+  EXPECT_EQ(flags.get_int("runs", 100), 100);
+  EXPECT_DOUBLE_EQ(flags.get_double("b", 3.0), 3.0);
+  EXPECT_EQ(flags.get_string("missing-not-in-spec-ok", "x"), "x");
+  EXPECT_FALSE(flags.has("runs"));
+}
+
+TEST(CliFlags, DoubleParsing) {
+  const auto flags = parse({"--b=2.5"}, {"b"});
+  EXPECT_DOUBLE_EQ(flags.get_double("b", 0.0), 2.5);
+}
+
+TEST(CliFlags, StringValue) {
+  const auto flags = parse({"--job", "cnn"}, {"job"});
+  EXPECT_EQ(flags.get_string("job", ""), "cnn");
+}
+
+TEST(CliFlags, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"--bogus=1"}, {"runs"}), std::invalid_argument);
+}
+
+TEST(CliFlags, MalformedBoolThrows) {
+  const auto flags = parse({"--fast=maybe"}, {"fast"});
+  EXPECT_THROW((void)flags.get_bool("fast", false), std::invalid_argument);
+}
+
+TEST(CliFlags, PositionalArguments) {
+  const auto flags = parse({"alpha", "--runs=2", "beta"}, {"runs"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+}  // namespace
+}  // namespace lynceus::util

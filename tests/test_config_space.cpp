@@ -1,0 +1,155 @@
+#include "space/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lynceus::space {
+namespace {
+
+ConfigSpace small_space() {
+  return ConfigSpace("small",
+                     {numeric_param("a", {1, 2, 3}),
+                      numeric_param("b", {10, 20})});
+}
+
+TEST(ConfigSpace, EnumeratesFullGrid) {
+  const auto sp = small_space();
+  EXPECT_EQ(sp.size(), 6U);
+  EXPECT_EQ(sp.grid_size(), 6U);
+  EXPECT_EQ(sp.dim_count(), 2U);
+}
+
+TEST(ConfigSpace, LevelsAndFeaturesAgree) {
+  const auto sp = small_space();
+  for (ConfigId id = 0; id < sp.size(); ++id) {
+    const auto& lv = sp.levels(id);
+    EXPECT_DOUBLE_EQ(sp.features(id)[0], sp.dim(0).values[lv[0]]);
+    EXPECT_DOUBLE_EQ(sp.features(id)[1], sp.dim(1).values[lv[1]]);
+    EXPECT_DOUBLE_EQ(sp.value(id, 0), sp.features(id)[0]);
+  }
+}
+
+TEST(ConfigSpace, AllIdsDistinctLevelVectors) {
+  const auto sp = small_space();
+  std::set<LevelVector> seen;
+  for (ConfigId id = 0; id < sp.size(); ++id) seen.insert(sp.levels(id));
+  EXPECT_EQ(seen.size(), sp.size());
+}
+
+TEST(ConfigSpace, ValidityPredicateFilters) {
+  const ConfigSpace sp(
+      "filtered",
+      {numeric_param("a", {1, 2, 3}), numeric_param("b", {10, 20})},
+      [](const LevelVector& lv) { return lv[0] != 1; });  // drop a==2 row
+  EXPECT_EQ(sp.size(), 4U);
+  EXPECT_EQ(sp.grid_size(), 6U);
+  for (ConfigId id = 0; id < sp.size(); ++id) {
+    EXPECT_NE(sp.levels(id)[0], 1U);
+  }
+}
+
+TEST(ConfigSpace, RejectsAllInvalid) {
+  EXPECT_THROW(ConfigSpace("none", {numeric_param("a", {1.0})},
+                           [](const LevelVector&) { return false; }),
+               std::invalid_argument);
+}
+
+TEST(ConfigSpace, RejectsNoDims) {
+  EXPECT_THROW(ConfigSpace("empty", {}), std::invalid_argument);
+}
+
+TEST(ConfigSpace, FindRoundTrip) {
+  const auto sp = small_space();
+  for (ConfigId id = 0; id < sp.size(); ++id) {
+    const auto found = sp.find(sp.levels(id));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, id);
+  }
+}
+
+TEST(ConfigSpace, FindMissingReturnsNullopt) {
+  const ConfigSpace sp(
+      "filtered",
+      {numeric_param("a", {1, 2}), numeric_param("b", {10, 20})},
+      [](const LevelVector& lv) { return !(lv[0] == 0 && lv[1] == 0); });
+  EXPECT_FALSE(sp.find({0, 0}).has_value());
+  EXPECT_TRUE(sp.find({1, 0}).has_value());
+}
+
+TEST(ConfigSpace, FindValidatesShape) {
+  const auto sp = small_space();
+  EXPECT_THROW((void)sp.find({0}), std::invalid_argument);
+  EXPECT_THROW((void)sp.find({0, 99}), std::out_of_range);
+}
+
+TEST(ConfigSpace, NearestValidSnapsToClosestCell) {
+  const ConfigSpace sp(
+      "filtered",
+      {numeric_param("a", {1, 2, 3, 4}), numeric_param("b", {10, 20})},
+      [](const LevelVector& lv) { return lv[0] >= 2; });  // a in {3,4} only
+  const ConfigId snapped = sp.nearest_valid({0, 1});
+  EXPECT_EQ(sp.levels(snapped)[0], 2U);  // nearest surviving level
+  EXPECT_EQ(sp.levels(snapped)[1], 1U);  // untouched dimension preserved
+}
+
+TEST(ConfigSpace, DescribeMentionsEveryDimension) {
+  const auto sp = small_space();
+  const auto text = sp.describe(0);
+  EXPECT_NE(text.find("a="), std::string::npos);
+  EXPECT_NE(text.find("b="), std::string::npos);
+}
+
+TEST(ConfigSpace, LhsSampleSizeAndUniqueness) {
+  const ConfigSpace sp("s", {numeric_param("a", {1, 2, 3, 4, 5}),
+                             numeric_param("b", {1, 2, 3, 4}),
+                             numeric_param("c", {1, 2})});
+  util::Rng rng(7);
+  const auto ids = sp.lhs_sample(10, rng);
+  EXPECT_EQ(ids.size(), 10U);
+  EXPECT_EQ(std::set<ConfigId>(ids.begin(), ids.end()).size(), 10U);
+}
+
+TEST(ConfigSpace, LhsSampleCoversDimensionsEvenly) {
+  const ConfigSpace sp("s", {numeric_param("a", {1, 2, 3, 4}),
+                             numeric_param("b", {1, 2, 3, 4})});
+  util::Rng rng(11);
+  const auto ids = sp.lhs_sample(8, rng);
+  // Dimension a has 4 levels and 8 samples: each level exactly twice
+  // (LHS balance), unless collision repair had to move a row.
+  std::vector<int> counts(4, 0);
+  for (ConfigId id : ids) counts[sp.levels(id)[0]]++;
+  int total = 0;
+  for (int c : counts) {
+    EXPECT_GE(c, 1);
+    total += c;
+  }
+  EXPECT_EQ(total, 8);
+}
+
+TEST(ConfigSpace, LhsSampleWorksOnConstrainedSpace) {
+  const ConfigSpace sp(
+      "constrained",
+      {numeric_param("a", {1, 2, 3, 4}), numeric_param("b", {1, 2, 3, 4})},
+      [](const LevelVector& lv) { return (lv[0] + lv[1]) % 2 == 0; });
+  util::Rng rng(13);
+  const auto ids = sp.lhs_sample(5, rng);
+  EXPECT_EQ(ids.size(), 5U);
+  EXPECT_EQ(std::set<ConfigId>(ids.begin(), ids.end()).size(), 5U);
+}
+
+TEST(ConfigSpace, LhsSampleRejectsOversized) {
+  const auto sp = small_space();
+  util::Rng rng(1);
+  EXPECT_THROW((void)sp.lhs_sample(7, rng), std::invalid_argument);
+}
+
+TEST(ConfigSpace, AllReturnsEveryId) {
+  const auto sp = small_space();
+  const auto ids = sp.all();
+  ASSERT_EQ(ids.size(), sp.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+}  // namespace
+}  // namespace lynceus::space

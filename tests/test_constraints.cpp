@@ -1,0 +1,145 @@
+#include "core/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+/// Synthetic "energy" metric over the tiny space: grows with both
+/// dimensions, so the energy cap rules out part of the cheap region and
+/// forces a genuine trade-off.
+double energy_of(const space::ConfigSpace& sp, ConfigId id) {
+  return 10.0 + 4.0 * sp.value(id, 0) + 3.0 * sp.value(id, 1);
+}
+
+eval::TableRunner::MetricsFn energy_metrics() {
+  const auto sp = testing::tiny_space();
+  return [sp](space::ConfigId id) {
+    return std::vector<double>{energy_of(*sp, id)};
+  };
+}
+
+ConstraintDef energy_constraint(double cap) {
+  ConstraintDef c;
+  c.name = "energy";
+  c.metric_index = 0;
+  c.threshold = [cap](ConfigId) { return cap; };
+  return c;
+}
+
+TEST(MultiConstraintOptions, Validation) {
+  MultiConstraintOptions opts;
+  opts.gh_points = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = MultiConstraintOptions{};
+  opts.prune_weight = 1.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(MultiConstraintLynceus, RequiresThresholdFunctions) {
+  ConstraintDef c;
+  c.name = "broken";
+  EXPECT_THROW(MultiConstraintLynceus({c}), std::invalid_argument);
+}
+
+TEST(MultiConstraintLynceus, NameListsConstraintCount) {
+  MultiConstraintLynceus opt({energy_constraint(30.0)});
+  EXPECT_EQ(opt.name(), "Lynceus-MC(LA=1,I=1)");
+}
+
+TEST(MultiConstraintLynceus, RunnerMustProvideMetrics) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);  // no metrics function
+  MultiConstraintLynceus opt({energy_constraint(30.0)});
+  EXPECT_THROW((void)opt.optimize(problem, runner, 1), std::runtime_error);
+}
+
+TEST(MultiConstraintLynceus, RecommendationRespectsEnergyCap) {
+  const auto ds = testing::tiny_dataset();
+  const auto sp = testing::tiny_space();
+  const auto problem = testing::tiny_problem();
+  const double cap = 26.0;
+  MultiConstraintLynceus opt({energy_constraint(cap)});
+  int feasible_recs = 0;
+  int total = 0;
+  for (int t = 0; t < 8; ++t) {
+    eval::TableRunner runner(ds, energy_metrics());
+    const auto result = opt.optimize(problem, runner, 500 + t);
+    ASSERT_TRUE(result.recommendation.has_value());
+    if (result.recommendation_feasible) {
+      ++feasible_recs;
+      EXPECT_LE(energy_of(*sp, *result.recommendation), cap);
+      EXPECT_LE(ds.runtime(*result.recommendation), ds.tmax_seconds());
+    }
+    ++total;
+  }
+  // The cap leaves feasible points; the optimizer must find them usually.
+  EXPECT_GE(feasible_recs, total / 2);
+}
+
+TEST(MultiConstraintLynceus, TightCapShiftsRecommendation) {
+  // With a loose cap the best config matches the single-constraint
+  // optimum; a tight cap must push the recommendation elsewhere.
+  const auto ds = testing::tiny_dataset();
+  const auto sp = testing::tiny_space();
+  const auto problem = testing::tiny_problem();
+  MultiConstraintLynceus loose(
+      {energy_constraint(1000.0)});  // never binding
+  MultiConstraintLynceus tight({energy_constraint(22.0)});
+  eval::TableRunner r1(ds, energy_metrics());
+  eval::TableRunner r2(ds, energy_metrics());
+  const auto a = loose.optimize(problem, r1, 31);
+  const auto b = tight.optimize(problem, r2, 31);
+  ASSERT_TRUE(a.recommendation && b.recommendation);
+  if (b.recommendation_feasible) {
+    EXPECT_LE(energy_of(*sp, *b.recommendation), 22.0);
+    // The loose optimum violates the tight cap, so they must differ.
+    if (energy_of(*sp, *a.recommendation) > 22.0) {
+      EXPECT_NE(*a.recommendation, *b.recommendation);
+    }
+  }
+}
+
+TEST(MultiConstraintLynceus, DeterministicGivenSeed) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  MultiConstraintLynceus opt({energy_constraint(28.0)});
+  eval::TableRunner r1(ds, energy_metrics());
+  eval::TableRunner r2(ds, energy_metrics());
+  const auto a = opt.optimize(problem, r1, 62);
+  const auto b = opt.optimize(problem, r2, 62);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id);
+  }
+}
+
+TEST(MultiConstraintLynceus, TwoConstraintsJointly) {
+  const auto ds = testing::tiny_dataset();
+  const auto sp = testing::tiny_space();
+  const auto problem = testing::tiny_problem();
+  // Second metric: "network" decreasing in a.
+  auto metrics = [sp](space::ConfigId id) {
+    return std::vector<double>{energy_of(*sp, id),
+                               20.0 - 3.0 * sp->value(id, 0)};
+  };
+  ConstraintDef net;
+  net.name = "network";
+  net.metric_index = 1;
+  net.threshold = [](ConfigId) { return 18.0; };  // rules out a = 0
+  MultiConstraintLynceus opt({energy_constraint(30.0), net});
+  eval::TableRunner runner(ds, metrics);
+  const auto result = opt.optimize(problem, runner, 91);
+  ASSERT_TRUE(result.recommendation.has_value());
+  if (result.recommendation_feasible) {
+    EXPECT_LE(energy_of(*sp, *result.recommendation), 30.0);
+    EXPECT_LE(20.0 - 3.0 * sp->value(*result.recommendation, 0), 18.0);
+  }
+}
+
+}  // namespace
+}  // namespace lynceus::core

@@ -1,0 +1,103 @@
+#include "cloud/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace lynceus::cloud {
+namespace {
+
+std::shared_ptr<const space::ConfigSpace> tiny_space() {
+  return std::make_shared<space::ConfigSpace>(
+      "tiny", std::vector<space::ParamDomain>{
+                  space::numeric_param("a", {1, 2}),
+                  space::numeric_param("b", {10, 20})});
+}
+
+std::vector<Observation> tiny_observations() {
+  // Costs: runtime * price / 3600.
+  std::vector<Observation> obs(4);
+  obs[0] = {100.0, 3.6, false};   // cost 0.1, fast
+  obs[1] = {200.0, 3.6, false};   // cost 0.2
+  obs[2] = {400.0, 1.8, false};   // cost 0.2, slow
+  obs[3] = {600.0, 36.0, true};   // cost 6.0, timed out
+  return obs;
+}
+
+TEST(Dataset, CostIsRuntimeTimesPrice) {
+  const Observation o{120.0, 30.0, false};
+  EXPECT_NEAR(o.cost(), 1.0, 1e-12);
+}
+
+TEST(Dataset, DerivesTmaxAsMedianRuntime) {
+  const Dataset ds("tiny", tiny_space(), tiny_observations());
+  // Runtimes 100,200,400,600 → interpolated median 300.
+  EXPECT_NEAR(ds.tmax_seconds(), 300.0, 1e-9);
+  EXPECT_NEAR(ds.feasible_fraction(), 0.5, 1e-12);
+}
+
+TEST(Dataset, ExplicitTmaxRespected) {
+  const Dataset ds("tiny", tiny_space(), tiny_observations(), 450.0);
+  EXPECT_DOUBLE_EQ(ds.tmax_seconds(), 450.0);
+  EXPECT_TRUE(ds.feasible(2));
+  EXPECT_FALSE(ds.feasible(3));  // timed out regardless of Tmax
+}
+
+TEST(Dataset, TimedOutNeverFeasible) {
+  const Dataset ds("tiny", tiny_space(), tiny_observations(), 1000.0);
+  EXPECT_FALSE(ds.feasible(3));
+}
+
+TEST(Dataset, OptimalIsCheapestFeasible) {
+  const Dataset ds("tiny", tiny_space(), tiny_observations());
+  EXPECT_EQ(ds.optimal(), 0U);
+  EXPECT_NEAR(ds.optimal_cost(), 0.1, 1e-12);
+}
+
+TEST(Dataset, MeanCostAveragesAllConfigs) {
+  const Dataset ds("tiny", tiny_space(), tiny_observations());
+  EXPECT_NEAR(ds.mean_cost(), (0.1 + 0.2 + 0.2 + 6.0) / 4.0, 1e-9);
+}
+
+TEST(Dataset, AllCostsVector) {
+  const Dataset ds("tiny", tiny_space(), tiny_observations());
+  const auto costs = ds.all_costs();
+  ASSERT_EQ(costs.size(), 4U);
+  EXPECT_NEAR(costs[3], 6.0, 1e-9);
+}
+
+TEST(Dataset, RejectsWrongObservationCount) {
+  auto obs = tiny_observations();
+  obs.pop_back();
+  EXPECT_THROW(Dataset("tiny", tiny_space(), obs), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsInfeasibleEverywhere) {
+  std::vector<Observation> obs(4);
+  for (auto& o : obs) o = {100.0, 3.6, true};  // everything timed out
+  EXPECT_THROW(Dataset("tiny", tiny_space(), obs), std::invalid_argument);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  const Dataset ds("tiny", tiny_space(), tiny_observations());
+  const std::string path = ::testing::TempDir() + "/lynceus_dataset_test.csv";
+  ds.save_csv(path);
+  const Dataset loaded = Dataset::load_csv(path, "tiny", tiny_space());
+  ASSERT_EQ(loaded.size(), ds.size());
+  for (space::ConfigId id = 0; id < ds.size(); ++id) {
+    EXPECT_NEAR(loaded.runtime(id), ds.runtime(id), 1e-9);
+    EXPECT_NEAR(loaded.unit_price(id), ds.unit_price(id), 1e-9);
+    EXPECT_EQ(loaded.feasible(id), ds.feasible(id));
+  }
+  EXPECT_NEAR(loaded.tmax_seconds(), ds.tmax_seconds(), 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadCsvRejectsMissingFile) {
+  EXPECT_THROW(
+      (void)Dataset::load_csv("/nonexistent/nope.csv", "x", tiny_space()),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lynceus::cloud

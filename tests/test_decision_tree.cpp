@@ -1,0 +1,190 @@
+#include "model/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lynceus::model {
+namespace {
+
+space::ConfigSpace grid_space(std::size_t a_levels, std::size_t b_levels) {
+  std::vector<double> a(a_levels);
+  std::vector<double> b(b_levels);
+  for (std::size_t i = 0; i < a_levels; ++i) a[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < b_levels; ++i) b[i] = static_cast<double>(i);
+  return space::ConfigSpace("grid", {space::numeric_param("a", a),
+                                     space::numeric_param("b", b)});
+}
+
+TEST(DecisionTree, FitsConstantTarget) {
+  const auto sp = grid_space(4, 4);
+  const FeatureMatrix fm(sp);
+  DecisionTree tree;
+  util::Rng rng(1);
+  std::vector<std::uint32_t> rows = {0, 3, 7, 12};
+  std::vector<double> y = {5.0, 5.0, 5.0, 5.0};
+  tree.fit(fm, rows, y, rng);
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(tree.predict(fm, r), 5.0);
+  }
+  EXPECT_EQ(tree.node_count(), 1U);  // no split gains anything
+}
+
+TEST(DecisionTree, LearnsAxisAlignedStep) {
+  // y = 10 if a >= 2 else 0: one split on feature a suffices.
+  const auto sp = grid_space(4, 4);
+  const FeatureMatrix fm(sp);
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    rows.push_back(r);
+    y.push_back(fm.code(r, 0) >= 2 ? 10.0 : 0.0);
+  }
+  DecisionTree tree;
+  util::Rng rng(2);
+  tree.fit(fm, rows, y, rng);
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(tree.predict(fm, r), fm.code(r, 0) >= 2 ? 10.0 : 0.0);
+  }
+}
+
+TEST(DecisionTree, InterpolatesTrainingDataExactlyWhenFullyGrown) {
+  const auto sp = grid_space(5, 5);
+  const FeatureMatrix fm(sp);
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+  util::Rng noise(3);
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    rows.push_back(r);
+    y.push_back(noise.normal());  // distinct random targets
+  }
+  DecisionTree tree;
+  util::Rng rng(4);
+  tree.fit(fm, rows, y, rng);
+  // All 25 cells distinct → a fully grown tree reproduces each target.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_NEAR(tree.predict(fm, rows[i]), y[i], 1e-6);
+  }
+}
+
+TEST(DecisionTree, MaxDepthLimitsGrowth) {
+  const auto sp = grid_space(8, 8);
+  const FeatureMatrix fm(sp);
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+  util::Rng noise(5);
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    rows.push_back(r);
+    y.push_back(noise.normal());
+  }
+  TreeOptions opts;
+  opts.max_depth = 2;
+  DecisionTree tree(opts);
+  util::Rng rng(6);
+  tree.fit(fm, rows, y, rng);
+  EXPECT_LE(tree.depth(), 2U);
+  EXPECT_LE(tree.node_count(), 7U);  // at most 2^3 - 1 nodes at depth 2
+}
+
+TEST(DecisionTree, MinSamplesSplitStopsEarly) {
+  const auto sp = grid_space(4, 4);
+  const FeatureMatrix fm(sp);
+  std::vector<std::uint32_t> rows = {0, 5, 10, 15};
+  std::vector<double> y = {0.0, 1.0, 2.0, 3.0};
+  TreeOptions opts;
+  opts.min_samples_split = 100;  // never split
+  DecisionTree tree(opts);
+  util::Rng rng(7);
+  tree.fit(fm, rows, y, rng);
+  EXPECT_EQ(tree.node_count(), 1U);
+  EXPECT_DOUBLE_EQ(tree.predict(fm, 0), 1.5);
+}
+
+TEST(DecisionTree, FeatureSubsetStillLearns) {
+  const auto sp = grid_space(6, 6);
+  const FeatureMatrix fm(sp);
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    rows.push_back(r);
+    y.push_back(static_cast<double>(fm.code(r, 0)) * 2.0 +
+                static_cast<double>(fm.code(r, 1)));
+  }
+  TreeOptions opts;
+  opts.features_per_split = 1;
+  DecisionTree tree(opts);
+  util::Rng rng(8);
+  tree.fit(fm, rows, y, rng);
+  // Random single-feature splits can still fit additive targets well.
+  double sse = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double e = tree.predict(fm, rows[i]) - y[i];
+    sse += e * e;
+  }
+  EXPECT_LT(std::sqrt(sse / static_cast<double>(rows.size())), 1.5);
+}
+
+TEST(DecisionTree, RepeatedRowsSupported) {
+  const auto sp = grid_space(3, 3);
+  const FeatureMatrix fm(sp);
+  // Bootstrap-style repeated rows with consistent targets.
+  std::vector<std::uint32_t> rows = {0, 0, 0, 8, 8, 8};
+  std::vector<double> y = {1.0, 1.0, 1.0, 9.0, 9.0, 9.0};
+  DecisionTree tree;
+  util::Rng rng(9);
+  tree.fit(fm, rows, y, rng);
+  EXPECT_DOUBLE_EQ(tree.predict(fm, 0), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(fm, 8), 9.0);
+}
+
+TEST(DecisionTree, Validation) {
+  const auto sp = grid_space(2, 2);
+  const FeatureMatrix fm(sp);
+  DecisionTree tree;
+  util::Rng rng(10);
+  EXPECT_THROW(tree.fit(fm, {}, {}, rng), std::invalid_argument);
+  EXPECT_THROW(tree.fit(fm, {0}, {1.0, 2.0}, rng), std::invalid_argument);
+  EXPECT_THROW((void)tree.predict(fm, 0), std::logic_error);
+}
+
+TEST(DecisionTree, LeafStatsExposeWithinLeafVariance) {
+  const auto sp = grid_space(2, 2);
+  const FeatureMatrix fm(sp);
+  // Force a single leaf holding targets {1, 3} (no split possible: both
+  // samples share the same cell).
+  std::vector<std::uint32_t> rows = {0, 0};
+  std::vector<double> y = {1.0, 3.0};
+  DecisionTree tree;
+  util::Rng rng(12);
+  tree.fit(fm, rows, y, rng);
+  const auto stats = tree.predict_stats(fm, 0);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.variance, 1.0);  // biased variance of {1, 3}
+}
+
+TEST(DecisionTree, PureLeavesHaveZeroVariance) {
+  const auto sp = grid_space(3, 3);
+  const FeatureMatrix fm(sp);
+  std::vector<std::uint32_t> rows = {0, 4, 8};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  DecisionTree tree;
+  util::Rng rng(13);
+  tree.fit(fm, rows, y, rng);
+  for (std::uint32_t r : rows) {
+    EXPECT_DOUBLE_EQ(tree.predict_stats(fm, r).variance, 0.0);
+  }
+}
+
+TEST(DecisionTree, SingleSampleGivesConstantLeaf) {
+  const auto sp = grid_space(2, 2);
+  const FeatureMatrix fm(sp);
+  DecisionTree tree;
+  util::Rng rng(11);
+  tree.fit(fm, {2}, {7.5}, rng);
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(tree.predict(fm, r), 7.5);
+  }
+}
+
+}  // namespace
+}  // namespace lynceus::model

@@ -1,0 +1,73 @@
+#include "eval/disjoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/workloads.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::eval {
+namespace {
+
+TEST(Disjoint, ValidatesDimensionGroups) {
+  const auto ds = testing::tiny_dataset();
+  EXPECT_THROW((void)disjoint_optimization_cno(ds, {}, {1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)disjoint_optimization_cno(ds, {0}, {}),
+               std::invalid_argument);
+}
+
+TEST(Disjoint, OneCnoPerReferenceCloud) {
+  const auto ds = testing::tiny_dataset();
+  // Treat dim 0 as the parameter, dim 1 (6 levels) as the cloud.
+  const auto cnos = disjoint_optimization_cno(ds, {0}, {1});
+  EXPECT_EQ(cnos.size(), 6U);
+  for (double c : cnos) EXPECT_GE(c, 1.0 - 1e-12);
+}
+
+TEST(Disjoint, SeparableSurfaceAlwaysFindsOptimum) {
+  // Cost = f(a) + g(b) with everything feasible: disjoint optimization is
+  // exact on separable surfaces, so every reference cloud yields CNO = 1.
+  auto sp = std::make_shared<space::ConfigSpace>(
+      "separable", std::vector<space::ParamDomain>{
+                       space::numeric_param("a", {0, 1, 2, 3}),
+                       space::numeric_param("b", {0, 1, 2})});
+  std::vector<cloud::Observation> obs(sp->size());
+  for (std::size_t i = 0; i < sp->size(); ++i) {
+    const auto id = static_cast<space::ConfigId>(i);
+    const double a = sp->value(id, 0);
+    const double b = sp->value(id, 1);
+    obs[i] = {100.0 + 10.0 * (a - 1.0) * (a - 1.0) + 5.0 * b, 36.0, false};
+  }
+  const cloud::Dataset ds("separable", sp, std::move(obs), 1e9);
+  const auto cnos = disjoint_optimization_cno(ds, {0}, {1});
+  for (double c : cnos) EXPECT_NEAR(c, 1.0, 1e-9);
+}
+
+TEST(Disjoint, TensorflowSurfacesShowJointInteractions) {
+  // Fig. 1b of the paper: ideal disjoint optimization misses the joint
+  // optimum more often than not, with a meaningful cost tail.
+  for (cloud::TfModel m :
+       {cloud::TfModel::CNN, cloud::TfModel::RNN, cloud::TfModel::Multilayer}) {
+    const auto ds = cloud::make_tensorflow_dataset(m);
+    const auto cnos = disjoint_optimization_cno(ds, {0, 1, 2}, {3, 4});
+    EXPECT_EQ(cnos.size(), 32U);  // one per cluster composition
+
+    std::size_t found_optimum = 0;
+    double worst = 0.0;
+    for (double c : cnos) {
+      if (c <= 1.0 + 1e-9) ++found_optimum;
+      worst = std::max(worst, c);
+    }
+    // "disjoint optimization finds the overall optimal configuration less
+    // than 50% of the times" (§2.1) — our synthetic surfaces land at
+    // 34%-62% depending on the job.
+    EXPECT_LT(static_cast<double>(found_optimum) / cnos.size(), 0.7)
+        << cloud::to_string(m);
+    // And there is a real price for missing it (the paper's measured
+    // surfaces show up to 3.7x; ours are milder but clearly > 1).
+    EXPECT_GT(worst, 1.1) << cloud::to_string(m);
+  }
+}
+
+}  // namespace
+}  // namespace lynceus::eval

@@ -1,0 +1,80 @@
+#include "math/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lynceus::math {
+namespace {
+
+TEST(NormPdf, KnownValues) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(norm_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(norm_pdf(-1.0), norm_pdf(1.0), 1e-15);
+}
+
+TEST(NormCdf, KnownValues) {
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(norm_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(norm_cdf(-1.0), 0.15865525393145705, 1e-10);
+  EXPECT_NEAR(norm_cdf(1.959963984540054), 0.975, 1e-9);
+}
+
+TEST(NormCdf, Symmetry) {
+  for (double x : {0.1, 0.7, 1.3, 2.9, 4.0}) {
+    EXPECT_NEAR(norm_cdf(x) + norm_cdf(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormCdf, TailsSaturate) {
+  EXPECT_NEAR(norm_cdf(10.0), 1.0, 1e-15);
+  EXPECT_NEAR(norm_cdf(-10.0), 0.0, 1e-15);
+}
+
+TEST(NormQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(norm_cdf(norm_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormQuantile, KnownValues) {
+  EXPECT_NEAR(norm_quantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(norm_quantile(0.975), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(norm_quantile(0.99), 2.3263478740408408, 1e-7);
+}
+
+TEST(NormQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW((void)norm_quantile(0.0), std::domain_error);
+  EXPECT_THROW((void)norm_quantile(1.0), std::domain_error);
+  EXPECT_THROW((void)norm_quantile(-0.5), std::domain_error);
+}
+
+TEST(NormalCdf, LocationScale) {
+  EXPECT_NEAR(normal_cdf(10.0, 10.0, 3.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(13.0, 10.0, 3.0), norm_cdf(1.0), 1e-12);
+}
+
+TEST(NormalCdf, ZeroStddevIsPointMass) {
+  EXPECT_EQ(normal_cdf(9.99, 10.0, 0.0), 0.0);
+  EXPECT_EQ(normal_cdf(10.0, 10.0, 0.0), 1.0);
+  EXPECT_EQ(normal_cdf(10.01, 10.0, 0.0), 1.0);
+}
+
+TEST(NormalPdf, IntegratesToOneNumerically) {
+  const double mean = 2.0;
+  const double sd = 0.5;
+  double acc = 0.0;
+  const double dx = 0.001;
+  for (double x = mean - 6 * sd; x <= mean + 6 * sd; x += dx) {
+    acc += normal_pdf(x, mean, sd) * dx;
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-3);
+}
+
+TEST(NormalQuantile, LocationScale) {
+  EXPECT_NEAR(normal_quantile(0.5, 7.0, 2.0), 7.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.99, 0.0, 1.0), 2.3263478740408408, 1e-6);
+}
+
+}  // namespace
+}  // namespace lynceus::math

@@ -1,0 +1,121 @@
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lynceus.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::eval {
+namespace {
+
+TEST(MakeProblem, FollowsPaperBudgetRule) {
+  const auto ds = testing::tiny_dataset();
+  const auto p = make_problem(ds, 3.0);
+  EXPECT_EQ(p.bootstrap_samples, core::default_bootstrap_samples(ds.space()));
+  EXPECT_NEAR(p.budget,
+              static_cast<double>(p.bootstrap_samples) * ds.mean_cost() * 3.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(p.tmax_seconds, ds.tmax_seconds());
+  EXPECT_THROW((void)make_problem(ds, 0.0), std::invalid_argument);
+}
+
+TEST(RunExperiment, ProducesOneSummaryPerRun) {
+  const auto ds = testing::tiny_dataset();
+  ExperimentConfig cfg;
+  cfg.runs = 5;
+  const auto result = run_experiment(ds, rnd_spec(), cfg);
+  EXPECT_EQ(result.runs.size(), 5U);
+  EXPECT_EQ(result.dataset, ds.job_name());
+  EXPECT_EQ(result.optimizer, "RND");
+  for (const auto& r : result.runs) {
+    EXPECT_GE(r.cno, 1.0);
+    EXPECT_GT(r.nex, 0U);
+    EXPECT_EQ(r.cno_trace.size(), r.nex);
+  }
+}
+
+TEST(RunExperiment, SeedsAreDistinctAcrossRunsAndPairedAcrossOptimizers) {
+  const auto ds = testing::tiny_dataset();
+  ExperimentConfig cfg;
+  cfg.runs = 4;
+  const auto a = run_experiment(ds, rnd_spec(), cfg);
+  const auto b = run_experiment(ds, bo_spec(), cfg);
+  for (std::size_t i = 0; i < cfg.runs; ++i) {
+    EXPECT_EQ(a.runs[i].seed, b.runs[i].seed);  // paired comparisons
+    for (std::size_t j = i + 1; j < cfg.runs; ++j) {
+      EXPECT_NE(a.runs[i].seed, a.runs[j].seed);
+    }
+  }
+}
+
+TEST(RunExperiment, DeterministicAcrossInvocations) {
+  const auto ds = testing::tiny_dataset();
+  ExperimentConfig cfg;
+  cfg.runs = 3;
+  const auto a = run_experiment(ds, bo_spec(), cfg);
+  const auto b = run_experiment(ds, bo_spec(), cfg);
+  for (std::size_t i = 0; i < cfg.runs; ++i) {
+    EXPECT_DOUBLE_EQ(a.runs[i].cno, b.runs[i].cno);
+    EXPECT_EQ(a.runs[i].nex, b.runs[i].nex);
+  }
+}
+
+TEST(RunExperiment, ParallelMatchesSequential) {
+  const auto ds = testing::tiny_dataset();
+  ExperimentConfig seq_cfg;
+  seq_cfg.runs = 4;
+  ExperimentConfig par_cfg = seq_cfg;
+  util::ThreadPool pool(3);
+  par_cfg.pool = &pool;
+  const auto a = run_experiment(ds, bo_spec(), seq_cfg);
+  const auto b = run_experiment(ds, bo_spec(), par_cfg);
+  for (std::size_t i = 0; i < seq_cfg.runs; ++i) {
+    EXPECT_DOUBLE_EQ(a.runs[i].cno, b.runs[i].cno);
+  }
+}
+
+TEST(ExperimentResult, AggregationHelpers) {
+  ExperimentResult r;
+  r.runs.resize(3);
+  r.runs[0].cno = 1.0;
+  r.runs[0].nex = 10;
+  r.runs[0].cno_trace = {3.0, 2.0, 1.0};
+  r.runs[1].cno = 2.0;
+  r.runs[1].nex = 20;
+  r.runs[1].cno_trace = {4.0, 4.0};
+  r.runs[2].cno = 3.0;
+  r.runs[2].nex = 30;
+  r.runs[2].cno_trace = {5.0};
+  EXPECT_EQ(r.cnos(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(r.mean_nex(), 20.0);
+  const auto trace = r.p90_cno_by_exploration();
+  ASSERT_EQ(trace.size(), 3U);
+  // At index 2: run0 contributes 1.0, run1 its final 4.0, run2 its final
+  // 5.0 → p90 of {1,4,5}.
+  EXPECT_NEAR(trace[2], 4.8, 1e-9);
+}
+
+TEST(ExperimentResult, DecisionSecondsAveragedOverDecisions) {
+  ExperimentResult r;
+  r.runs.resize(2);
+  r.runs[0].decision_seconds = 1.0;
+  r.runs[0].decisions = 10;
+  r.runs[1].decision_seconds = 3.0;
+  r.runs[1].decisions = 10;
+  EXPECT_DOUBLE_EQ(r.mean_decision_seconds(), 0.2);
+}
+
+TEST(OptimizerSpecs, LabelsAndFactories) {
+  EXPECT_EQ(rnd_spec().label, "RND");
+  EXPECT_EQ(bo_spec().label, "BO");
+  EXPECT_EQ(lynceus_spec(2).label, "Lynceus(LA=2)");
+  const auto opt = lynceus_spec(1, 8, 4).make();
+  const auto* lyn = dynamic_cast<core::LynceusOptimizer*>(opt.get());
+  ASSERT_NE(lyn, nullptr);
+  EXPECT_EQ(lyn->options().lookahead, 1U);
+  EXPECT_EQ(lyn->options().screen_width, 8U);
+  EXPECT_EQ(lyn->options().gh_points, 4U);
+}
+
+}  // namespace
+}  // namespace lynceus::eval

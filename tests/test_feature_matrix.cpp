@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "model/regressor.hpp"
+
+namespace lynceus::model {
+namespace {
+
+space::ConfigSpace demo_space() {
+  return space::ConfigSpace(
+      "demo", {space::numeric_param("lr", {1e-3, 1e-4, 1e-5}),
+               space::numeric_param("batch", {16, 256}),
+               space::categorical_param("mode", {"sync", "async"})});
+}
+
+TEST(FeatureMatrix, ShapeMatchesSpace) {
+  const auto sp = demo_space();
+  const FeatureMatrix fm(sp);
+  EXPECT_EQ(fm.rows(), sp.size());
+  EXPECT_EQ(fm.cols(), 3U);
+  EXPECT_EQ(fm.level_count(0), 3U);
+  EXPECT_EQ(fm.level_count(1), 2U);
+  EXPECT_EQ(fm.max_level_count(), 3U);
+}
+
+TEST(FeatureMatrix, CodesMatchSpaceLevels) {
+  const auto sp = demo_space();
+  const FeatureMatrix fm(sp);
+  for (space::ConfigId id = 0; id < sp.size(); ++id) {
+    for (std::size_t d = 0; d < sp.dim_count(); ++d) {
+      EXPECT_EQ(fm.code(id, d), sp.levels(id)[d]);
+    }
+  }
+}
+
+TEST(FeatureMatrix, LevelValuesMatchDomains) {
+  const auto sp = demo_space();
+  const FeatureMatrix fm(sp);
+  EXPECT_DOUBLE_EQ(fm.level_value(0, 1), 1e-4);
+  EXPECT_DOUBLE_EQ(fm.level_value(1, 1), 256.0);
+  EXPECT_DOUBLE_EQ(fm.level_value(2, 0), 0.0);
+}
+
+TEST(FeatureMatrix, NormalizedFeaturesInUnitRange) {
+  const auto sp = demo_space();
+  const FeatureMatrix fm(sp);
+  for (space::ConfigId id = 0; id < sp.size(); ++id) {
+    const auto f = fm.normalized_features(id);
+    ASSERT_EQ(f.size(), 3U);
+    for (double v : f) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  // Extremes map to 0 and 1: lr dimension values are 1e-3 (max) and 1e-5
+  // (min).
+  const auto lo = sp.find({2, 0, 0});
+  const auto hi = sp.find({0, 0, 0});
+  ASSERT_TRUE(lo && hi);
+  EXPECT_DOUBLE_EQ(fm.normalized_features(*lo)[0], 0.0);
+  EXPECT_DOUBLE_EQ(fm.normalized_features(*hi)[0], 1.0);
+}
+
+}  // namespace
+}  // namespace lynceus::model

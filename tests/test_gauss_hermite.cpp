@@ -1,0 +1,127 @@
+#include "math/gauss_hermite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace lynceus::math {
+namespace {
+
+TEST(GaussHermite, RejectsZeroPoints) {
+  EXPECT_THROW(GaussHermite(0), std::invalid_argument);
+}
+
+TEST(GaussHermite, KnownTwoPointRule) {
+  // K=2 physicists' rule: nodes ±1/√2, weights √π/2.
+  const GaussHermite gh(2);
+  EXPECT_NEAR(gh.nodes()[0], -1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(gh.nodes()[1], 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(gh.weights()[0], std::sqrt(M_PI) / 2.0, 1e-12);
+  EXPECT_NEAR(gh.weights()[1], std::sqrt(M_PI) / 2.0, 1e-12);
+}
+
+TEST(GaussHermite, KnownThreePointRule) {
+  // K=3: nodes 0, ±√(3/2); weights 2√π/3 (center), √π/6 (outer).
+  const GaussHermite gh(3);
+  EXPECT_NEAR(gh.nodes()[1], 0.0, 1e-12);
+  EXPECT_NEAR(gh.nodes()[2], std::sqrt(1.5), 1e-12);
+  EXPECT_NEAR(gh.weights()[1], 2.0 * std::sqrt(M_PI) / 3.0, 1e-12);
+  EXPECT_NEAR(gh.weights()[0], std::sqrt(M_PI) / 6.0, 1e-12);
+}
+
+TEST(GaussHermite, WeightsSumToSqrtPi) {
+  for (std::size_t k : {1U, 2U, 3U, 5U, 8U, 16U, 32U}) {
+    const GaussHermite gh(k);
+    const double sum = std::accumulate(gh.weights().begin(),
+                                       gh.weights().end(), 0.0);
+    EXPECT_NEAR(sum, std::sqrt(M_PI), 1e-10) << "k=" << k;
+  }
+}
+
+TEST(GaussHermite, NodesAreSortedAndSymmetric) {
+  const GaussHermite gh(7);
+  for (std::size_t i = 1; i < gh.size(); ++i) {
+    EXPECT_LT(gh.nodes()[i - 1], gh.nodes()[i]);
+  }
+  for (std::size_t i = 0; i < gh.size(); ++i) {
+    EXPECT_NEAR(gh.nodes()[i], -gh.nodes()[gh.size() - 1 - i], 1e-12);
+  }
+}
+
+/// A K-point rule integrates x^p e^{-x²} exactly for p <= 2K-1.
+class GaussHermitePolynomialExactness
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaussHermitePolynomialExactness, IntegratesMonomialsExactly) {
+  const std::size_t k = GetParam();
+  const GaussHermite gh(k);
+  // Exact moments: ∫ x^p e^{-x²} dx = Γ((p+1)/2) for even p, 0 for odd p.
+  for (std::size_t p = 0; p <= 2 * k - 1; ++p) {
+    std::vector<double> f(gh.size());
+    for (std::size_t i = 0; i < gh.size(); ++i) {
+      f[i] = std::pow(gh.nodes()[i], static_cast<double>(p));
+    }
+    const double approx = gh.integrate(f);
+    const double exact =
+        p % 2 == 1 ? 0.0 : std::tgamma((static_cast<double>(p) + 1.0) / 2.0);
+    // Tolerance is relative to the magnitude of the largest term of the
+    // quadrature sum (high moments amplify node rounding).
+    double scale = std::max(1.0, std::fabs(exact));
+    for (std::size_t i = 0; i < gh.size(); ++i) {
+      scale = std::max(scale, std::fabs(gh.weights()[i] * f[i]));
+    }
+    EXPECT_NEAR(approx, exact, 1e-9 * scale) << "k=" << k << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussHermitePolynomialExactness,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 12, 20));
+
+TEST(GaussHermite, ForNormalWeightsSumToOne) {
+  const GaussHermite gh(5);
+  const auto pts = gh.for_normal(3.0, 2.0);
+  double sum = 0.0;
+  for (const auto& p : pts) sum += p.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(GaussHermite, ForNormalReproducesMeanAndVariance) {
+  const GaussHermite gh(4);
+  const double mean = -1.5;
+  const double sd = 0.7;
+  const auto pts = gh.for_normal(mean, sd);
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (const auto& p : pts) {
+    m1 += p.weight * p.value;
+    m2 += p.weight * p.value * p.value;
+  }
+  EXPECT_NEAR(m1, mean, 1e-10);
+  EXPECT_NEAR(m2 - m1 * m1, sd * sd, 1e-10);
+}
+
+TEST(GaussHermite, ForNormalZeroStddevCollapses) {
+  const GaussHermite gh(3);
+  const auto pts = gh.for_normal(5.0, 0.0);
+  for (const auto& p : pts) EXPECT_DOUBLE_EQ(p.value, 5.0);
+}
+
+TEST(GaussHermite, ExpectationOfNonlinearFunction) {
+  // E[exp(X)] for X ~ N(µ, σ²) = exp(µ + σ²/2); K=10 should nail it.
+  const GaussHermite gh(10);
+  const double mu = 0.3;
+  const double sd = 0.5;
+  const auto pts = gh.for_normal(mu, sd);
+  double acc = 0.0;
+  for (const auto& p : pts) acc += p.weight * std::exp(p.value);
+  EXPECT_NEAR(acc, std::exp(mu + sd * sd / 2.0), 1e-6);
+}
+
+TEST(GaussHermite, IntegrateValidatesSize) {
+  const GaussHermite gh(3);
+  EXPECT_THROW((void)gh.integrate({1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lynceus::math

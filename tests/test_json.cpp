@@ -1,0 +1,108 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lynceus::util {
+namespace {
+
+TEST(JsonEscape, QuotesAndControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "\"plain\"");
+  EXPECT_EQ(json_escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_escape("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_escape("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("cnn");
+  w.key("runs").value(std::int64_t{40});
+  w.key("mean").value(1.06);
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"cnn","runs":40,"mean":1.06,"ok":true,"missing":null})");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("series").begin_array();
+  for (int i = 0; i < 3; ++i) w.value(i);
+  w.end_array();
+  w.key("child").begin_object();
+  w.key("x").value(2.5);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"series":[0,1,2],"child":{"x":2.5}})");
+}
+
+TEST(JsonWriter, TopLevelArray) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("a");
+  w.value("b");
+  w.end_array();
+  EXPECT_EQ(w.str(), R"(["a","b"])");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, StructuralMisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // wrong close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.key("k2"), std::logic_error);  // duplicate key call
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), std::logic_error);  // incomplete
+  }
+  {
+    JsonWriter w;
+    w.value(1.0);
+    EXPECT_THROW(w.value(2.0), std::logic_error);  // after completion
+  }
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("empty_arr").begin_array();
+  w.end_array();
+  w.key("empty_obj").begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"empty_arr":[],"empty_obj":{}})");
+}
+
+}  // namespace
+}  // namespace lynceus::util

@@ -1,0 +1,100 @@
+#include "math/lhs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace lynceus::math {
+namespace {
+
+TEST(LatinHypercube, RejectsEmptyDimensionList) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)latin_hypercube({}, 3, rng), std::invalid_argument);
+}
+
+TEST(LatinHypercube, RejectsEmptyDimension) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)latin_hypercube({3, 0}, 2, rng), std::invalid_argument);
+}
+
+TEST(LatinHypercube, RejectsOversizedUniqueRequest) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)latin_hypercube({2, 2}, 5, rng, true),
+               std::invalid_argument);
+}
+
+TEST(LatinHypercube, ZeroSamples) {
+  util::Rng rng(1);
+  EXPECT_TRUE(latin_hypercube({3, 4}, 0, rng).empty());
+}
+
+TEST(LatinHypercube, RowShapeAndRange) {
+  util::Rng rng(2);
+  const std::vector<std::size_t> levels = {3, 2, 5};
+  const auto rows = latin_hypercube(levels, 6, rng);
+  ASSERT_EQ(rows.size(), 6U);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.size(), 3U);
+    for (std::size_t d = 0; d < 3; ++d) ASSERT_LT(row[d], levels[d]);
+  }
+}
+
+/// The defining LHS property: per dimension, levels are covered as evenly
+/// as possible — each level appears floor(n/L) or ceil(n/L) times.
+class LhsBalanceTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(LhsBalanceTest, PerDimensionStratification) {
+  const auto [levels, n] = GetParam();
+  util::Rng rng(7 + levels * 100 + n);
+  const auto rows =
+      latin_hypercube({levels, 4, 7}, n, rng, /*unique=*/false);
+  std::map<std::size_t, std::size_t> counts;
+  for (const auto& row : rows) counts[row[0]]++;
+  const std::size_t lo = n / levels;
+  const std::size_t hi = (n + levels - 1) / levels;
+  for (const auto& [level, count] : counts) {
+    EXPECT_GE(count, lo) << "level " << level;
+    EXPECT_LE(count, hi) << "level " << level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LhsBalanceTest,
+    ::testing::Values(std::make_tuple(3, 12), std::make_tuple(4, 10),
+                      std::make_tuple(8, 8), std::make_tuple(5, 17),
+                      std::make_tuple(2, 9)));
+
+TEST(LatinHypercube, UniqueRowsWhenRequested) {
+  util::Rng rng(11);
+  const auto rows = latin_hypercube({4, 4, 4}, 20, rng, /*unique=*/true);
+  std::set<std::vector<std::size_t>> distinct(rows.begin(), rows.end());
+  EXPECT_EQ(distinct.size(), rows.size());
+}
+
+TEST(LatinHypercube, UniqueFullGridEnumeration) {
+  // Asking for exactly as many unique samples as grid cells must cover the
+  // whole grid.
+  util::Rng rng(13);
+  const auto rows = latin_hypercube({2, 3}, 6, rng, /*unique=*/true);
+  std::set<std::vector<std::size_t>> distinct(rows.begin(), rows.end());
+  EXPECT_EQ(distinct.size(), 6U);
+}
+
+TEST(LatinHypercube, DeterministicGivenSeed) {
+  util::Rng rng1(99);
+  util::Rng rng2(99);
+  EXPECT_EQ(latin_hypercube({3, 5, 2}, 8, rng1),
+            latin_hypercube({3, 5, 2}, 8, rng2));
+}
+
+TEST(LatinHypercube, DifferentSeedsUsuallyDiffer) {
+  util::Rng rng1(1);
+  util::Rng rng2(2);
+  EXPECT_NE(latin_hypercube({6, 6, 6}, 12, rng1),
+            latin_hypercube({6, 6, 6}, 12, rng2));
+}
+
+}  // namespace
+}  // namespace lynceus::math

@@ -1,0 +1,244 @@
+#include "core/lynceus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+LynceusOptions fast_options(unsigned la) {
+  LynceusOptions opts;
+  opts.lookahead = la;
+  opts.gh_points = 3;
+  return opts;
+}
+
+TEST(LynceusOptions, Validation) {
+  LynceusOptions opts;
+  opts.gh_points = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = LynceusOptions{};
+  opts.gamma = 1.5;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = LynceusOptions{};
+  opts.feasibility_quantile = 1.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  EXPECT_THROW(LynceusOptimizer{opts}, std::invalid_argument);
+}
+
+TEST(Lynceus, NameEncodesLookahead) {
+  EXPECT_EQ(LynceusOptimizer(fast_options(2)).name(), "Lynceus(LA=2)");
+  EXPECT_EQ(LynceusOptimizer(fast_options(0)).name(), "Lynceus(LA=0)");
+}
+
+class LynceusLookahead : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LynceusLookahead, NeverRepeatsAndStaysOrderly) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LynceusOptimizer lyn(fast_options(GetParam()));
+  const auto result = lyn.optimize(problem, runner, 1);
+  std::set<ConfigId> seen;
+  for (const auto& s : result.history) {
+    EXPECT_TRUE(seen.insert(s.id).second);
+  }
+  EXPECT_GE(result.explorations(), problem.bootstrap_samples);
+}
+
+TEST_P(LynceusLookahead, DeterministicGivenSeed) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  LynceusOptimizer lyn(fast_options(GetParam()));
+  eval::TableRunner r1(ds);
+  eval::TableRunner r2(ds);
+  const auto a = lyn.optimize(problem, r1, 21);
+  const auto b = lyn.optimize(problem, r2, 21);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lookaheads, LynceusLookahead,
+                         ::testing::Values(0U, 1U, 2U));
+
+TEST(Lynceus, BudgetAwareStoppingRarelyOvershoots) {
+  // The Γ filter stops exploration when nothing fits the remaining budget
+  // with probability 0.99, so Lynceus should essentially never overshoot
+  // (unlike BO/RND whose last run is unchecked).
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  LynceusOptimizer lyn(fast_options(1));
+  int overshoots = 0;
+  for (int t = 0; t < 10; ++t) {
+    eval::TableRunner runner(ds);
+    const auto result = lyn.optimize(problem, runner, 50 + t);
+    // Bootstrap itself can exceed tiny budgets; measure only the
+    // post-bootstrap phase.
+    double bootstrap_cost = 0.0;
+    for (std::size_t i = 0; i < problem.bootstrap_samples; ++i) {
+      bootstrap_cost += result.history[i].cost;
+    }
+    if (bootstrap_cost < problem.budget &&
+        result.budget_spent > problem.budget * 1.05) {
+      ++overshoots;
+    }
+  }
+  EXPECT_LE(overshoots, 1);
+}
+
+TEST(Lynceus, DecisionTimeGrowsWithLookahead) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner r0(ds);
+  eval::TableRunner r2(ds);
+  LynceusOptimizer la0(fast_options(0));
+  LynceusOptimizer la2(fast_options(2));
+  const auto a = la0.optimize(problem, r0, 3);
+  const auto b = la2.optimize(problem, r2, 3);
+  ASSERT_GT(a.decisions, 0U);
+  ASSERT_GT(b.decisions, 0U);
+  const double per_decision_a = a.decision_seconds / a.decisions;
+  const double per_decision_b = b.decision_seconds / b.decisions;
+  EXPECT_GT(per_decision_b, per_decision_a);  // Table 3's trend
+}
+
+TEST(Lynceus, UsuallyFindsNearOptimalOnEasySurface) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem(5.0);
+  LynceusOptimizer lyn(fast_options(1));
+  int good = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    eval::TableRunner runner(ds);
+    const auto result = lyn.optimize(problem, runner, 200 + t);
+    ASSERT_TRUE(result.recommendation.has_value());
+    if (ds.cost(*result.recommendation) / ds.optimal_cost() <= 1.7) ++good;
+  }
+  EXPECT_GE(good, trials * 3 / 4);
+}
+
+TEST(Lynceus, RecommendationFeasibleWheneverPossible) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  LynceusOptimizer lyn(fast_options(1));
+  eval::TableRunner runner(ds);
+  const auto result = lyn.optimize(problem, runner, 7);
+  ASSERT_TRUE(result.recommendation.has_value());
+  bool saw_feasible = false;
+  for (const auto& s : result.history) saw_feasible |= s.feasible;
+  EXPECT_EQ(result.recommendation_feasible, saw_feasible);
+}
+
+TEST(Lynceus, ScreeningApproximationStaysCloseToExact) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  auto exact_opts = fast_options(1);
+  auto screened_opts = fast_options(1);
+  screened_opts.screen_width = 6;
+  LynceusOptimizer exact(exact_opts);
+  LynceusOptimizer screened(screened_opts);
+  double exact_sum = 0.0;
+  double screened_sum = 0.0;
+  for (int t = 0; t < 10; ++t) {
+    eval::TableRunner r1(ds);
+    eval::TableRunner r2(ds);
+    exact_sum += ds.cost(*exact.optimize(problem, r1, 300 + t).recommendation);
+    screened_sum +=
+        ds.cost(*screened.optimize(problem, r2, 300 + t).recommendation);
+  }
+  // Screened Lynceus must stay within 50% of exact Lynceus on average.
+  EXPECT_LT(screened_sum, exact_sum * 1.5 + 1e-9);
+}
+
+TEST(Lynceus, ParallelRootsMatchSequential) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  util::ThreadPool pool(3);
+  auto seq_opts = fast_options(1);
+  auto par_opts = fast_options(1);
+  par_opts.pool = &pool;
+  LynceusOptimizer seq(seq_opts);
+  LynceusOptimizer par(par_opts);
+  eval::TableRunner r1(ds);
+  eval::TableRunner r2(ds);
+  const auto a = seq.optimize(problem, r1, 77);
+  const auto b = par.optimize(problem, r2, 77);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id) << "diverged at step " << i;
+  }
+}
+
+TEST(Lynceus, GammaIrrelevantAtZeroLookahead) {
+  // With LA=0 no future steps are simulated, so the discount γ cannot
+  // influence the exploration sequence at all.
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  auto a_opts = fast_options(0);
+  a_opts.gamma = 0.0;
+  auto b_opts = fast_options(0);
+  b_opts.gamma = 0.9;
+  LynceusOptimizer a_opt(a_opts);
+  LynceusOptimizer b_opt(b_opts);
+  eval::TableRunner r1(ds);
+  eval::TableRunner r2(ds);
+  const auto a = a_opt.optimize(problem, r1, 88);
+  const auto b = b_opt.optimize(problem, r2, 88);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id);
+  }
+}
+
+TEST(Lynceus, GammaZeroStillOptimizesWithLookahead) {
+  // γ=0 discards all future rewards (the path reward collapses to the
+  // root's EIc) but the simulated path costs still inform the ranking;
+  // the optimizer must remain functional and budget-aware.
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  auto g0 = fast_options(1);
+  g0.gamma = 0.0;
+  LynceusOptimizer gamma_zero(g0);
+  eval::TableRunner r1(ds);
+  const auto a = gamma_zero.optimize(problem, r1, 88);
+  ASSERT_TRUE(a.recommendation.has_value());
+  EXPECT_GE(ds.cost(*a.recommendation) / ds.optimal_cost(), 1.0 - 1e-9);
+}
+
+TEST(Lynceus, EiStopHaltsEarly) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.budget = 1e9;
+  auto opts = fast_options(0);
+  opts.ei_stop_fraction = 0.10;
+  LynceusOptimizer lyn(opts);
+  eval::TableRunner runner(ds);
+  const auto result = lyn.optimize(problem, runner, 5);
+  EXPECT_LT(result.explorations(), problem.space->size());
+}
+
+TEST(Lynceus, SetupCostChargedToBudget) {
+  const auto ds = testing::tiny_dataset();
+  // High budget so the post-bootstrap loop certainly runs (with b=3 the
+  // bootstrap can consume enough that the Γ filter halts immediately).
+  const auto problem = testing::tiny_problem(5.0);
+  auto opts = fast_options(0);
+  int setup_calls = 0;
+  opts.setup_cost = [&setup_calls](std::optional<ConfigId>, ConfigId) {
+    ++setup_calls;
+    return 0.0;
+  };
+  LynceusOptimizer lyn(opts);
+  eval::TableRunner runner(ds);
+  (void)lyn.optimize(problem, runner, 6);
+  EXPECT_GT(setup_calls, 0);
+}
+
+}  // namespace
+}  // namespace lynceus::core

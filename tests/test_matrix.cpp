@@ -1,0 +1,119 @@
+#include "math/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lynceus::math {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, IdentityMul) {
+  const Matrix id = Matrix::identity(3);
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  EXPECT_EQ(id.mul(x), x);
+}
+
+TEST(Matrix, MulKnownValues) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  const auto y = m.mul({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MulDimensionMismatch) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.mul({1.0}), std::invalid_argument);
+}
+
+TEST(Cholesky, FactorsKnownMatrix) {
+  // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, √2]].
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  const Cholesky chol(a);
+  EXPECT_NEAR(chol.lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol.lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol.lower()(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, SolveRoundTrip) {
+  util::Rng rng(3);
+  const std::size_t n = 8;
+  // Random SPD matrix: A = B·Bᵀ + n·I.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.normal();
+  }
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b(r, k) * b(c, k);
+      a(r, c) = acc + (r == c ? static_cast<double>(n) : 0.0);
+    }
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.normal();
+  const auto rhs = a.mul(x_true);
+
+  const Cholesky chol(a);
+  const auto x = chol.solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Cholesky, LogDeterminant) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  // det = 4·3 − 2·2 = 8.
+  const Cholesky chol(a);
+  EXPECT_NEAR(chol.log_determinant(), std::log(8.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, −1 → not PD
+  EXPECT_THROW(Cholesky{a}, std::domain_error);
+}
+
+TEST(Cholesky, SolveLowerForwardSubstitution) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  const Cholesky chol(a);
+  // L·y = b with L = [[2,0],[1,√2]] and b = (2, 1+√2) → y = (1, 1).
+  const auto y = chol.solve_lower({2.0, 1.0 + std::sqrt(2.0)});
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+  EXPECT_NEAR(y[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lynceus::math

@@ -1,0 +1,85 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace lynceus::eval {
+namespace {
+
+TEST(Cno, OptimalRecommendationScoresOne) {
+  const auto ds = testing::tiny_dataset();
+  core::OptimizerResult r;
+  r.recommendation = ds.optimal();
+  EXPECT_DOUBLE_EQ(cno(ds, r), 1.0);
+}
+
+TEST(Cno, SuboptimalScoresAboveOne) {
+  const auto ds = testing::tiny_dataset();
+  core::OptimizerResult r;
+  // Pick any non-optimal config.
+  r.recommendation = ds.optimal() == 0 ? 1 : 0;
+  EXPECT_GT(cno(ds, r), 1.0);
+}
+
+TEST(Cno, MissingRecommendationThrows) {
+  const auto ds = testing::tiny_dataset();
+  core::OptimizerResult r;
+  EXPECT_THROW((void)cno(ds, r), std::invalid_argument);
+}
+
+TEST(BestSoFarCno, MonotoneNonIncreasingOnceFeasible) {
+  const auto ds = testing::tiny_dataset();
+  std::vector<core::Sample> history;
+  for (space::ConfigId id = 0; id < 10; ++id) {
+    core::Sample s;
+    s.id = id;
+    s.cost = ds.cost(id);
+    s.feasible = ds.feasible(id);
+    history.push_back(s);
+  }
+  const auto trace = best_so_far_cno(ds, history);
+  ASSERT_EQ(trace.size(), history.size());
+  bool seen_feasible = false;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    seen_feasible = seen_feasible || history[i - 1].feasible;
+    if (seen_feasible && history[i].feasible) {
+      EXPECT_LE(trace[i], trace[i - 1] + 1e-12);
+    }
+  }
+  EXPECT_GE(trace.back(), 1.0);
+}
+
+TEST(BestSoFarCno, UsesInfeasibleFallbackUntilFeasibleSeen) {
+  const auto ds = testing::tiny_dataset();
+  // First an infeasible sample, then a feasible one.
+  space::ConfigId infeasible_id = 0;
+  space::ConfigId feasible_id = 0;
+  for (space::ConfigId id = 0; id < ds.size(); ++id) {
+    if (!ds.feasible(id)) infeasible_id = id;
+    if (ds.feasible(id)) feasible_id = id;
+  }
+  std::vector<core::Sample> history(2);
+  history[0] = {infeasible_id, ds.runtime(infeasible_id),
+                ds.cost(infeasible_id), false};
+  history[1] = {feasible_id, ds.runtime(feasible_id), ds.cost(feasible_id),
+                true};
+  const auto trace = best_so_far_cno(ds, history);
+  EXPECT_DOUBLE_EQ(trace[0], ds.cost(infeasible_id) / ds.optimal_cost());
+  EXPECT_DOUBLE_EQ(trace[1], ds.cost(feasible_id) / ds.optimal_cost());
+}
+
+TEST(Summarize, DescriptiveStatistics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0,
+                                 6.0, 7.0, 8.0, 9.0, 10.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.p50, 5.5);
+  EXPECT_NEAR(s.p90, 9.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_THROW((void)summarize({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lynceus::eval

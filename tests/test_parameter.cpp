@@ -1,0 +1,65 @@
+#include "space/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lynceus::space {
+namespace {
+
+TEST(ParamDomain, NumericConstruction) {
+  const auto d = numeric_param("batch", {16, 256});
+  EXPECT_EQ(d.name, "batch");
+  EXPECT_EQ(d.level_count(), 2U);
+  EXPECT_FALSE(d.categorical);
+  EXPECT_EQ(d.label(0), "16");
+  EXPECT_EQ(d.label(1), "256");
+}
+
+TEST(ParamDomain, NumericLabelForNonInteger) {
+  const auto d = numeric_param("lr", {1e-3, 1e-4});
+  EXPECT_EQ(d.label(0), "0.001");
+  EXPECT_EQ(d.label(1), "0.0001");
+}
+
+TEST(ParamDomain, CategoricalConstruction) {
+  const auto d = categorical_param("mode", {"sync", "async"});
+  EXPECT_TRUE(d.categorical);
+  EXPECT_EQ(d.level_count(), 2U);
+  EXPECT_DOUBLE_EQ(d.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.values[1], 1.0);
+  EXPECT_EQ(d.label(1), "async");
+}
+
+TEST(ParamDomain, LabelOutOfRangeThrows) {
+  const auto d = numeric_param("x", {1.0});
+  EXPECT_THROW((void)d.label(1), std::out_of_range);
+}
+
+TEST(ParamDomain, ValidationRejectsEmptyName) {
+  ParamDomain d;
+  d.values = {1.0};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ParamDomain, ValidationRejectsNoLevels) {
+  ParamDomain d;
+  d.name = "x";
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ParamDomain, ValidationRejectsDuplicateValues) {
+  ParamDomain d;
+  d.name = "x";
+  d.values = {1.0, 1.0};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ParamDomain, ValidationRejectsLabelMismatch) {
+  ParamDomain d;
+  d.name = "x";
+  d.values = {1.0, 2.0};
+  d.labels = {"one"};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lynceus::space

@@ -1,0 +1,127 @@
+#include "eval/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lynceus::eval {
+namespace {
+
+Series line(const std::string& label, double slope, std::size_t n) {
+  Series s;
+  s.label = label;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.xs.push_back(static_cast<double>(i));
+    s.ys.push_back(slope * static_cast<double>(i) + 1.0);
+  }
+  return s;
+}
+
+TEST(Plot, RendersTitleAxesAndLegend) {
+  PlotOptions opts;
+  opts.title = "My Title";
+  opts.x_label = "xaxis";
+  opts.y_label = "yaxis";
+  const auto text = render_plot({line("up", 1.0, 10)}, opts);
+  EXPECT_NE(text.find("My Title"), std::string::npos);
+  EXPECT_NE(text.find("xaxis"), std::string::npos);
+  EXPECT_NE(text.find("yaxis"), std::string::npos);
+  EXPECT_NE(text.find("* up"), std::string::npos);
+  EXPECT_NE(text.find('|'), std::string::npos);
+  EXPECT_NE(text.find('+'), std::string::npos);
+}
+
+TEST(Plot, DistinctMarkersPerSeries) {
+  const auto text =
+      render_plot({line("a", 1.0, 5), line("b", -1.0, 5)}, PlotOptions{});
+  EXPECT_NE(text.find("* a"), std::string::npos);
+  EXPECT_NE(text.find("+ b"), std::string::npos);
+  EXPECT_NE(text.find('+'), std::string::npos);
+}
+
+TEST(Plot, IncreasingSeriesRendersTopRight) {
+  PlotOptions opts;
+  opts.width = 20;
+  opts.height = 8;
+  const auto text = render_plot({line("up", 1.0, 20)}, opts);
+  // The first grid line (top) must contain a marker near its right end,
+  // the last grid line (bottom) near its left end.
+  const auto lines = [&] {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == '\n') {
+        out.push_back(text.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return out;
+  }();
+  std::string top;
+  std::string bottom;
+  for (const auto& l : lines) {
+    if (l.find('|') == std::string::npos) continue;
+    if (top.empty()) top = l;
+    bottom = l;
+  }
+  EXPECT_NE(top.find('*', top.size() - 4), std::string::npos);
+  const auto bar = bottom.find('|');
+  EXPECT_NE(bottom.find('*', bar), std::string::npos);
+  EXPECT_LT(bottom.find('*', bar), bar + 4);
+}
+
+TEST(Plot, LogScaleHandlesWideRanges) {
+  Series s;
+  s.label = "spread";
+  for (int i = 0; i <= 6; ++i) {
+    s.xs.push_back(i);
+    s.ys.push_back(std::pow(10.0, i));
+  }
+  PlotOptions opts;
+  opts.log_y = true;
+  const auto text = render_plot({s}, opts);
+  EXPECT_NE(text.find("(log scale)"), std::string::npos);
+  // y tick labels must show the extremes (1 and 1e+06).
+  EXPECT_NE(text.find("1e+06"), std::string::npos);
+}
+
+TEST(Plot, SkipsNonFiniteAndNonPositiveUnderLog) {
+  Series s;
+  s.label = "partial";
+  s.xs = {0, 1, 2, 3};
+  s.ys = {1.0, -5.0, std::nan(""), 10.0};
+  PlotOptions opts;
+  opts.log_y = true;
+  EXPECT_NO_THROW((void)render_plot({s}, opts));
+}
+
+TEST(Plot, Validation) {
+  EXPECT_THROW((void)render_plot({}, PlotOptions{}), std::invalid_argument);
+  Series bad;
+  bad.label = "bad";
+  bad.xs = {1.0};
+  EXPECT_THROW((void)render_plot({bad}, PlotOptions{}),
+               std::invalid_argument);
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW((void)render_plot({line("a", 1.0, 3)}, tiny),
+               std::invalid_argument);
+  Series empty_series;
+  empty_series.label = "empty";
+  EXPECT_THROW((void)render_plot({empty_series}, PlotOptions{}),
+               std::invalid_argument);
+}
+
+TEST(CdfSeries, MonotoneFromZeroToOne) {
+  const auto s = cdf_series("cdf", {3.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(s.xs.size(), 4U);
+  EXPECT_DOUBLE_EQ(s.xs.front(), 1.0);
+  EXPECT_DOUBLE_EQ(s.xs.back(), 3.0);
+  EXPECT_DOUBLE_EQ(s.ys.back(), 1.0);
+  for (std::size_t i = 1; i < s.ys.size(); ++i) {
+    EXPECT_GE(s.ys[i], s.ys[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace lynceus::eval

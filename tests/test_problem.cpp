@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/types.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+TEST(OptimizationProblem, ValidProblemPasses) {
+  const auto p = testing::tiny_problem();
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(OptimizationProblem, RejectsNullSpace) {
+  auto p = testing::tiny_problem();
+  p.space = nullptr;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(OptimizationProblem, RejectsPriceCountMismatch) {
+  auto p = testing::tiny_problem();
+  p.unit_price_per_hour.pop_back();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(OptimizationProblem, RejectsNonPositivePrice) {
+  auto p = testing::tiny_problem();
+  p.unit_price_per_hour[0] = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(OptimizationProblem, RejectsBadTmaxBudgetBootstrap) {
+  auto p = testing::tiny_problem();
+  p.tmax_seconds = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = testing::tiny_problem();
+  p.budget = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = testing::tiny_problem();
+  p.bootstrap_samples = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = testing::tiny_problem();
+  p.bootstrap_samples = p.space->size() + 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(OptimizationProblem, FeasibilityCostCap) {
+  auto p = testing::tiny_problem();
+  p.tmax_seconds = 120.0;
+  // cap = Tmax · U / 3600.
+  EXPECT_NEAR(p.feasibility_cost_cap(0),
+              120.0 * p.unit_price_per_hour[0] / 3600.0, 1e-12);
+}
+
+TEST(DefaultBootstrapSamples, ThreePercentOrDimsRule) {
+  // 24 configs, 2 dims: ceil(0.72) = 1 < 2 dims → N = 2.
+  EXPECT_EQ(default_bootstrap_samples(*testing::tiny_space()), 2U);
+}
+
+TEST(DefaultBootstrapSamples, LargeSpaceUsesThreePercent) {
+  // A 384-point space with 5 dims → N = ceil(11.52) = 12 (paper: the first
+  // 12 explorations of the TensorFlow jobs are the bootstrap).
+  const space::ConfigSpace sp(
+      "synthetic", {space::numeric_param("a", {0, 1, 2, 3, 4, 5, 6, 7}),
+                    space::numeric_param("b", {0, 1, 2, 3, 4, 5}),
+                    space::numeric_param("c", {0, 1, 2, 3}),
+                    space::numeric_param("d", {0, 1}),
+                    space::numeric_param("e", {0})});
+  EXPECT_EQ(sp.size(), 384U);
+  EXPECT_EQ(default_bootstrap_samples(sp), 12U);
+}
+
+}  // namespace
+}  // namespace lynceus::core

@@ -1,0 +1,90 @@
+#include "core/random_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+TEST(RandomSearch, RunsUntilBudgetDepleted) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  RandomSearch rnd;
+  const auto result = rnd.optimize(problem, runner, 1);
+  EXPECT_GE(result.budget_spent, problem.budget);
+  // Only the last run may overshoot: without it, spend is under budget.
+  EXPECT_LT(result.budget_spent - result.history.back().cost, problem.budget);
+}
+
+TEST(RandomSearch, NeverRepeatsConfigs) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  RandomSearch rnd;
+  const auto result = rnd.optimize(problem, runner, 2);
+  std::set<ConfigId> seen;
+  for (const auto& s : result.history) {
+    EXPECT_TRUE(seen.insert(s.id).second) << "config repeated";
+  }
+}
+
+TEST(RandomSearch, DeterministicGivenSeed) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  RandomSearch rnd;
+  eval::TableRunner r1(ds);
+  eval::TableRunner r2(ds);
+  const auto a = rnd.optimize(problem, r1, 5);
+  const auto b = rnd.optimize(problem, r2, 5);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id);
+  }
+  EXPECT_EQ(a.recommendation, b.recommendation);
+}
+
+TEST(RandomSearch, RecommendationIsBestFeasibleTried) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  RandomSearch rnd;
+  const auto result = rnd.optimize(problem, runner, 3);
+  ASSERT_TRUE(result.recommendation.has_value());
+  for (const auto& s : result.history) {
+    if (s.feasible) {
+      EXPECT_LE(ds.cost(*result.recommendation), s.cost + 1e-12);
+    }
+  }
+}
+
+TEST(RandomSearch, StopsWhenSpaceExhausted) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.budget = 1e9;  // effectively unlimited
+  eval::TableRunner runner(ds);
+  RandomSearch rnd;
+  const auto result = rnd.optimize(problem, runner, 4);
+  EXPECT_EQ(result.history.size(), problem.space->size());
+}
+
+TEST(RandomSearch, ExploresMoreWithBiggerBudget) {
+  const auto ds = testing::tiny_dataset();
+  RandomSearch rnd;
+  eval::TableRunner r1(ds);
+  eval::TableRunner r2(ds);
+  const auto low = rnd.optimize(testing::tiny_problem(1.0), r1, 6);
+  const auto high = rnd.optimize(testing::tiny_problem(5.0), r2, 6);
+  EXPECT_GT(high.explorations(), low.explorations());
+}
+
+TEST(RandomSearch, NameIsRnd) {
+  EXPECT_EQ(RandomSearch().name(), "RND");
+}
+
+}  // namespace
+}  // namespace lynceus::core

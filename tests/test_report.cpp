@@ -1,0 +1,82 @@
+#include "eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lynceus::eval {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22222"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2U);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const std::string path = ::testing::TempDir() + "/lynceus_table_test.csv";
+  t.save_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(EnsureDirectory, CreatesNestedPath) {
+  const std::string dir = ::testing::TempDir() + "/lynceus_dirs/a/b";
+  ensure_directory(dir);
+  std::ofstream probe(dir + "/file.txt");
+  EXPECT_TRUE(probe.good());
+}
+
+TEST(PrintCdf, ThinsLongSeries) {
+  std::vector<double> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  std::ostringstream out;
+  print_cdf(out, "big cdf", values, 10);
+  // Thinning keeps the output bounded.
+  std::size_t lines = 0;
+  for (char c : out.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_LE(lines, 20U);
+  // The final point (cdf = 1.0) is always present.
+  EXPECT_NE(out.str().find("1.000"), std::string::npos);
+}
+
+TEST(SaveCdfCsv, FullResolution) {
+  const std::string path = ::testing::TempDir() + "/lynceus_cdf_test.csv";
+  save_cdf_csv(path, {3.0, 1.0, 2.0});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "value,cdf");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3U);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lynceus::eval

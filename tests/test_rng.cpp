@@ -1,0 +1,150 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace lynceus::util {
+namespace {
+
+TEST(SplitMix64, ProducesDistinctWellMixedValues) {
+  std::uint64_t state = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(state));
+  EXPECT_EQ(seen.size(), 1000U);
+}
+
+TEST(DeriveSeed, DistinctStreamsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seen.insert(derive_seed(42, stream));
+  }
+  EXPECT_EQ(seen.size(), 1000U);
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(7, 13), derive_seed(7, 13));
+  EXPECT_NE(derive_seed(7, 13), derive_seed(8, 13));
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallRange) {
+  Rng rng(17);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) counts[rng.below(5)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(23);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ScaledNormal) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(43);
+  auto p = rng.permutation(50);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(47);
+  std::vector<int> v = {1, 2, 2, 3, 3, 3};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(53);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace lynceus::util

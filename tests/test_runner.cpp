@@ -1,0 +1,67 @@
+#include "eval/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bo.hpp"
+#include "core/lynceus.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::eval {
+namespace {
+
+TEST(TableRunner, ReplaysDatasetValues) {
+  const auto ds = testing::tiny_dataset();
+  TableRunner runner(ds);
+  const auto r = runner.run(3);
+  EXPECT_DOUBLE_EQ(r.runtime_seconds, ds.runtime(3));
+  EXPECT_DOUBLE_EQ(r.cost, ds.cost(3));
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.metrics.empty());
+  EXPECT_EQ(runner.runs_served(), 1U);
+}
+
+TEST(TableRunner, MetricsFunctionInvoked) {
+  const auto ds = testing::tiny_dataset();
+  TableRunner runner(ds, [](space::ConfigId id) {
+    return std::vector<double>{static_cast<double>(id) * 2.0};
+  });
+  const auto r = runner.run(4);
+  ASSERT_EQ(r.metrics.size(), 1U);
+  EXPECT_DOUBLE_EQ(r.metrics[0], 8.0);
+}
+
+TEST(FailingRunner, FailsAfterConfiguredRuns) {
+  const auto ds = testing::tiny_dataset();
+  TableRunner inner(ds);
+  FailingRunner failing(inner, 2);
+  EXPECT_NO_THROW((void)failing.run(0));
+  EXPECT_NO_THROW((void)failing.run(1));
+  EXPECT_THROW((void)failing.run(2), std::runtime_error);
+}
+
+TEST(FailureInjection, OptimizerSurfacesRunnerErrors) {
+  // A deployment failure mid-optimization must propagate to the caller,
+  // not be silently swallowed (the user needs to know their job crashed).
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  TableRunner inner(ds);
+  // Fail on the first post-bootstrap run (the budget can afford at least
+  // one, so BO always attempts it).
+  FailingRunner failing(inner, problem.bootstrap_samples);
+  core::BayesianOptimizer bo;
+  EXPECT_THROW((void)bo.optimize(problem, failing, 1), std::runtime_error);
+}
+
+TEST(FailureInjection, LynceusSurfacesRunnerErrors) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  TableRunner inner(ds);
+  FailingRunner failing(inner, problem.bootstrap_samples);
+  core::LynceusOptions opts;
+  opts.lookahead = 1;
+  core::LynceusOptimizer lyn(opts);
+  EXPECT_THROW((void)lyn.optimize(problem, failing, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lynceus::eval

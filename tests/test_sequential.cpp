@@ -1,0 +1,119 @@
+#include "core/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+TEST(LoopState, BootstrapProfilesNDistinctConfigs) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 7);
+  st.bootstrap();
+  EXPECT_EQ(st.samples.size(), problem.bootstrap_samples);
+  std::set<ConfigId> ids;
+  for (const auto& s : st.samples) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), problem.bootstrap_samples);
+  EXPECT_EQ(st.untested.size(), problem.space->size() - ids.size());
+}
+
+TEST(LoopState, SameSeedSameBootstrap) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner r1(ds);
+  eval::TableRunner r2(ds);
+  LoopState a(problem, r1, 11);
+  LoopState b(problem, r2, 11);
+  a.bootstrap();
+  b.bootstrap();
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].id, b.samples[i].id);
+  }
+}
+
+TEST(LoopState, ProfileUpdatesBudgetAndFeasibility) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  const auto& s = st.profile(0);
+  EXPECT_EQ(s.id, 0U);
+  EXPECT_NEAR(st.budget.spent(), ds.cost(0), 1e-12);
+  EXPECT_EQ(s.feasible, ds.feasible(0));
+  EXPECT_EQ(st.tested[0], 1);
+}
+
+TEST(LoopState, ProfileRejectsRepeatedConfig) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  (void)st.profile(5);
+  EXPECT_THROW((void)st.profile(5), std::logic_error);
+}
+
+TEST(LoopState, FinalizePicksCheapestFeasible) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  // Profile a mix; the recommendation must be the cheapest feasible one.
+  for (ConfigId id : {0U, 6U, 7U, 13U, 23U}) (void)st.profile(id);
+  const auto result = st.finalize();
+  ASSERT_TRUE(result.recommendation.has_value());
+  double best = 1e300;
+  ConfigId best_id = 0;
+  for (const auto& s : st.samples) {
+    if (s.feasible && s.cost < best) {
+      best = s.cost;
+      best_id = s.id;
+    }
+  }
+  EXPECT_TRUE(result.recommendation_feasible);
+  EXPECT_EQ(*result.recommendation, best_id);
+  EXPECT_EQ(result.history.size(), 5U);
+  EXPECT_NEAR(result.budget_spent, st.budget.spent(), 1e-12);
+}
+
+TEST(LoopState, FinalizeFallsBackToCheapestWhenNothingFeasible) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.tmax_seconds = 1.0;  // nothing satisfies this deadline
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  (void)st.profile(2);
+  (void)st.profile(9);
+  const auto result = st.finalize();
+  ASSERT_TRUE(result.recommendation.has_value());
+  EXPECT_FALSE(result.recommendation_feasible);
+  EXPECT_EQ(*result.recommendation,
+            ds.cost(2) <= ds.cost(9) ? 2U : 9U);
+}
+
+TEST(DecisionTimer, AccumulatesIntervals) {
+  DecisionTimer timer;
+  timer.start();
+  timer.stop();
+  timer.start();
+  timer.stop();
+  EXPECT_EQ(timer.count(), 2U);
+  EXPECT_GE(timer.total_seconds(), 0.0);
+  OptimizerResult r;
+  timer.write_to(r);
+  EXPECT_EQ(r.decisions, 2U);
+}
+
+TEST(DecisionTimer, StopWithoutStartThrows) {
+  DecisionTimer timer;
+  EXPECT_THROW(timer.stop(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lynceus::core

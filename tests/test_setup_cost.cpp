@@ -1,0 +1,117 @@
+#include "core/setup_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+/// Setup model over the tiny 4x6 space: dimension "a" plays the VM-kind
+/// role, dimension "b" the cluster-size role.
+SetupCostFn tiny_setup_fn() {
+  const auto sp = testing::tiny_space();
+  CloudSetupModel m;
+  m.vm_kind = [sp](ConfigId id) {
+    return static_cast<int>(sp->levels(id)[0]);
+  };
+  m.vm_count = [sp](ConfigId id) { return sp->value(id, 1) + 1.0; };
+  m.per_vm_price_per_hour = [](ConfigId) { return 6.0; };
+  m.boot_minutes = 10.0;
+  m.warmup_minutes = 0.0;
+  return make_cloud_setup_cost(m);
+}
+
+TEST(SetupCost, SameConfigIsFree) {
+  const auto fn = tiny_setup_fn();
+  EXPECT_DOUBLE_EQ(fn(ConfigId{5}, ConfigId{5}), 0.0);
+}
+
+TEST(SetupCost, FreshDeploymentBootsWholeCluster) {
+  const auto sp = testing::tiny_space();
+  const auto fn = tiny_setup_fn();
+  // No current config: boot vm_count(next) VMs at $6/h for 10 minutes.
+  const auto next = sp->find({0, 2});  // count = 3
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NEAR(fn(std::nullopt, *next), 3.0 * 6.0 * 10.0 / 60.0, 1e-12);
+}
+
+TEST(SetupCost, GrowingSameKindBootsOnlyDelta) {
+  const auto sp = testing::tiny_space();
+  const auto fn = tiny_setup_fn();
+  const auto from = sp->find({1, 1});  // kind 1, count 2
+  const auto to = sp->find({1, 4});    // kind 1, count 5
+  ASSERT_TRUE(from && to);
+  EXPECT_NEAR(fn(*from, *to), 3.0 * 6.0 * 10.0 / 60.0, 1e-12);
+}
+
+TEST(SetupCost, ShrinkingSameKindBootsNothing) {
+  const auto sp = testing::tiny_space();
+  const auto fn = tiny_setup_fn();
+  const auto from = sp->find({1, 4});
+  const auto to = sp->find({1, 1});
+  ASSERT_TRUE(from && to);
+  EXPECT_DOUBLE_EQ(fn(*from, *to), 0.0);
+}
+
+TEST(SetupCost, KindChangeBootsFullCluster) {
+  const auto sp = testing::tiny_space();
+  const auto fn = tiny_setup_fn();
+  const auto from = sp->find({0, 4});
+  const auto to = sp->find({2, 1});  // different kind, count 2
+  ASSERT_TRUE(from && to);
+  EXPECT_NEAR(fn(*from, *to), 2.0 * 6.0 * 10.0 / 60.0, 1e-12);
+}
+
+TEST(SetupCost, WarmupChargedOnChange) {
+  const auto sp = testing::tiny_space();
+  CloudSetupModel m;
+  m.vm_kind = [](ConfigId) { return 0; };
+  m.vm_count = [](ConfigId) { return 4.0; };
+  m.per_vm_price_per_hour = [](ConfigId) { return 3.0; };
+  m.boot_minutes = 0.0;
+  m.warmup_minutes = 20.0;
+  const auto fn = make_cloud_setup_cost(m);
+  // Same kind & count but different config id: warm-up still applies.
+  EXPECT_NEAR(fn(ConfigId{0}, ConfigId{1}), 4.0 * 3.0 * 20.0 / 60.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fn(ConfigId{1}, ConfigId{1}), 0.0);
+}
+
+TEST(SetupCost, Validation) {
+  CloudSetupModel m;  // missing accessors
+  EXPECT_THROW((void)make_cloud_setup_cost(m), std::invalid_argument);
+  m.vm_kind = [](ConfigId) { return 0; };
+  m.vm_count = [](ConfigId) { return 1.0; };
+  m.per_vm_price_per_hour = [](ConfigId) { return 1.0; };
+  m.boot_minutes = -1.0;
+  EXPECT_THROW((void)make_cloud_setup_cost(m), std::invalid_argument);
+}
+
+TEST(SetupCost, LynceusPaysLessWhenSwitchingIsExpensive) {
+  // With a setup-cost model, Lynceus should spend part of the budget on
+  // switching — so it explores no more configurations than the
+  // setup-cost-free variant.
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  LynceusOptions free_opts;
+  free_opts.lookahead = 1;
+  LynceusOptions pay_opts = free_opts;
+  pay_opts.setup_cost = tiny_setup_fn();
+  LynceusOptimizer free_lyn(free_opts);
+  LynceusOptimizer pay_lyn(pay_opts);
+  double free_nex = 0.0;
+  double pay_nex = 0.0;
+  for (int t = 0; t < 5; ++t) {
+    eval::TableRunner r1(ds);
+    eval::TableRunner r2(ds);
+    free_nex += static_cast<double>(
+        free_lyn.optimize(problem, r1, 400 + t).explorations());
+    pay_nex += static_cast<double>(
+        pay_lyn.optimize(problem, r2, 400 + t).explorations());
+  }
+  EXPECT_LE(pay_nex, free_nex + 1e-9);
+}
+
+}  // namespace
+}  // namespace lynceus::core

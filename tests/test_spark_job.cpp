@@ -1,0 +1,137 @@
+#include "cloud/spark_job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cloud/catalog.hpp"
+
+namespace lynceus::cloud {
+namespace {
+
+SparkJobSpec cpu_bound_spec() {
+  SparkJobSpec s;
+  s.name = "cpu-bound";
+  s.cpu_core_seconds = 20000;
+  s.serial_seconds = 10;
+  s.mem_per_core_gb = 1.0;
+  s.shuffle_gb = 1.0;
+  s.input_gb = 5.0;
+  s.iterations = 1;
+  return s;
+}
+
+SparkJobSpec memory_hungry_spec() {
+  SparkJobSpec s = cpu_bound_spec();
+  s.name = "memory-hungry";
+  s.mem_per_core_gb = 6.0;
+  return s;
+}
+
+TEST(SparkJob, DeterministicRuntime) {
+  const SparkJob job(cpu_bound_spec());
+  const auto vm = *find_vm(scout_catalog(), "m4.xlarge");
+  EXPECT_DOUBLE_EQ(job.runtime_seconds(vm, 8), job.runtime_seconds(vm, 8));
+}
+
+TEST(SparkJob, MoreMachinesFasterForParallelWork) {
+  const SparkJob job(cpu_bound_spec());
+  const auto vm = *find_vm(scout_catalog(), "m4.xlarge");
+  EXPECT_GT(job.runtime_seconds(vm, 4), job.runtime_seconds(vm, 16));
+}
+
+TEST(SparkJob, DiminishingReturnsFromAmdahl) {
+  const SparkJob job(cpu_bound_spec());
+  const auto vm = *find_vm(scout_catalog(), "m4.xlarge");
+  const double t4 = job.runtime_seconds(vm, 4);
+  const double t8 = job.runtime_seconds(vm, 8);
+  const double t32 = job.runtime_seconds(vm, 32);
+  const double t48 = job.runtime_seconds(vm, 48);
+  // Early doubling helps much more than late scaling.
+  EXPECT_GT(t4 / t8, t32 / t48);
+}
+
+TEST(SparkJob, CpuBoundJobPrefersC4) {
+  const SparkJob job(cpu_bound_spec());
+  const auto c4 = *find_vm(scout_catalog(), "c4.xlarge");
+  const auto m4 = *find_vm(scout_catalog(), "m4.xlarge");
+  EXPECT_LT(job.runtime_seconds(c4, 8), job.runtime_seconds(m4, 8));
+}
+
+TEST(SparkJob, MemoryHungryJobPrefersR4OverC4) {
+  const SparkJob job(memory_hungry_spec());
+  const auto c4 = *find_vm(scout_catalog(), "c4.xlarge");  // 1.9 GB/core
+  const auto r4 = *find_vm(scout_catalog(), "r4.xlarge");  // 7.6 GB/core
+  EXPECT_LT(job.runtime_seconds(r4, 8), job.runtime_seconds(c4, 8));
+}
+
+TEST(SparkJob, MemoryPenaltyOnlyWhenDeficient) {
+  // On r4 (7.6 GB/core) a 6 GB/core job fits; on c4 (1.9) it spills.
+  const SparkJob hungry(memory_hungry_spec());
+  const SparkJob lean(cpu_bound_spec());
+  const auto c4 = *find_vm(scout_catalog(), "c4.xlarge");
+  // Spilling inflates the compute term by up to 2.5x.
+  const double ratio =
+      hungry.runtime_seconds(c4, 8) / lean.runtime_seconds(c4, 8);
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(SparkJob, SingleInstanceHasNoShuffleTerm) {
+  SparkJobSpec s = cpu_bound_spec();
+  s.shuffle_gb = 1000.0;  // enormous shuffle volume
+  SparkJobSpec s0 = cpu_bound_spec();
+  s0.shuffle_gb = 0.001;
+  s0.name = s.name;  // identical noise draw
+  const auto vm = *find_vm(scout_catalog(), "m4.xlarge");
+  // With n=1 there is no inter-node shuffle: both run equally fast.
+  EXPECT_NEAR(SparkJob(s).runtime_seconds(vm, 1),
+              SparkJob(s0).runtime_seconds(vm, 1), 1e-9);
+}
+
+TEST(SparkJob, RejectsZeroInstances) {
+  const SparkJob job(cpu_bound_spec());
+  const auto vm = *find_vm(scout_catalog(), "m4.xlarge");
+  EXPECT_THROW((void)job.runtime_seconds(vm, 0), std::invalid_argument);
+}
+
+TEST(SparkJob, ClusterPrice) {
+  const auto vm = *find_vm(scout_catalog(), "r4.2xlarge");
+  EXPECT_DOUBLE_EQ(SparkJob::cluster_price_per_hour(vm, 10),
+                   10 * vm.price_per_hour);
+}
+
+TEST(SparkJobSpecs, ScoutHasEighteenDistinctJobs) {
+  const auto specs = scout_job_specs();
+  ASSERT_EQ(specs.size(), 18U);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_EQ(names.size(), 18U);
+}
+
+TEST(SparkJobSpecs, CherrypickHasFiveJobs) {
+  const auto specs = cherrypick_job_specs();
+  ASSERT_EQ(specs.size(), 5U);
+  EXPECT_EQ(specs[0].name, "tpch");
+  EXPECT_EQ(specs[2].name, "terasort");
+}
+
+TEST(SparkJobSpecs, SpecsSpanResourceMixes) {
+  // The Scout suite must contain both network-heavy and memory-heavy jobs
+  // (paper: "These jobs stress differently CPU, network and memory").
+  const auto specs = scout_job_specs();
+  bool network_heavy = false;
+  bool memory_heavy = false;
+  bool iterative = false;
+  for (const auto& s : specs) {
+    network_heavy = network_heavy || s.shuffle_gb >= 150.0;
+    memory_heavy = memory_heavy || s.mem_per_core_gb >= 5.0;
+    iterative = iterative || s.iterations >= 8;
+  }
+  EXPECT_TRUE(network_heavy);
+  EXPECT_TRUE(memory_heavy);
+  EXPECT_TRUE(iterative);
+}
+
+}  // namespace
+}  // namespace lynceus::cloud

@@ -1,0 +1,115 @@
+#include "cloud/tensorflow_job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/catalog.hpp"
+
+namespace lynceus::cloud {
+namespace {
+
+const VmType& vm(const char* name) {
+  static std::vector<VmType> cache;
+  const auto found = find_vm(t2_catalog(), name);
+  EXPECT_TRUE(found.has_value()) << name;
+  cache.push_back(*found);
+  return cache.back();
+}
+
+TEST(TensorflowJob, DeterministicRuntime) {
+  const TensorflowJob job(TfModel::CNN);
+  const auto& v = vm("t2.xlarge");
+  const double a = job.runtime_seconds(1e-4, 256, TrainingMode::Sync, v, 8);
+  const double b = job.runtime_seconds(1e-4, 256, TrainingMode::Sync, v, 8);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(TensorflowJob, RuntimeCappedAtTimeout) {
+  const TensorflowJob job(TfModel::RNN);
+  const auto& v = vm("t2.small");
+  // Tiny learning rate on one small cluster: certain timeout.
+  const double t = job.runtime_seconds(1e-5, 16, TrainingMode::Sync, v, 8);
+  EXPECT_LE(t, TensorflowJob::kTimeoutSeconds);
+  EXPECT_TRUE(job.times_out(1e-5, 16, TrainingMode::Sync, v, 8));
+}
+
+TEST(TensorflowJob, GoodConfigDoesNotTimeOut) {
+  const TensorflowJob job(TfModel::Multilayer);
+  const auto& v = vm("t2.medium");
+  EXPECT_FALSE(job.times_out(1e-3, 256, TrainingMode::Async, v, 8));
+}
+
+TEST(TensorflowJob, SlowerLearningRateIsSlower) {
+  const TensorflowJob job(TfModel::Multilayer);
+  const auto& v = vm("t2.xlarge");
+  const double fast = job.runtime_seconds(1e-3, 256, TrainingMode::Sync, v, 4);
+  const double slow = job.runtime_seconds(1e-5, 256, TrainingMode::Sync, v, 4);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(TensorflowJob, AsyncStalenessHurtsLargeClustersAtHighLr) {
+  const TensorflowJob job(TfModel::RNN);
+  const auto& v = vm("t2.small");
+  // At lr=1e-3 async, 112 workers suffer heavy staleness vs 16 workers —
+  // so much that the large cluster is not even faster despite 7x the
+  // hardware (it typically times out).
+  const double small_cluster =
+      job.runtime_seconds(1e-3, 16, TrainingMode::Async, v, 16);
+  const double big_cluster =
+      job.runtime_seconds(1e-3, 16, TrainingMode::Async, v, 112);
+  EXPECT_GE(big_cluster, small_cluster * 0.9);
+}
+
+TEST(TensorflowJob, ValidatesArguments) {
+  const TensorflowJob job(TfModel::CNN);
+  const auto& v = vm("t2.small");
+  EXPECT_THROW(
+      (void)job.runtime_seconds(1e-2, 16, TrainingMode::Sync, v, 8),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)job.runtime_seconds(1e-3, 64, TrainingMode::Sync, v, 8),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)job.runtime_seconds(1e-3, 16, TrainingMode::Sync, v, 0),
+      std::invalid_argument);
+}
+
+TEST(TensorflowJob, ClusterPriceIncludesParameterServer) {
+  const auto& v = vm("t2.medium");
+  EXPECT_NEAR(TensorflowJob::cluster_price_per_hour(v, 8),
+              9 * v.price_per_hour, 1e-12);
+}
+
+TEST(TensorflowJob, NoiseSeedChangesSurface) {
+  const TensorflowJob a(TfModel::CNN, 0);
+  const TensorflowJob b(TfModel::CNN, 1);
+  const auto& v = vm("t2.xlarge");
+  EXPECT_NE(a.runtime_seconds(1e-4, 256, TrainingMode::Sync, v, 8),
+            b.runtime_seconds(1e-4, 256, TrainingMode::Sync, v, 8));
+}
+
+TEST(TensorflowJob, ModelsDiffer) {
+  const auto& v = vm("t2.xlarge");
+  const TensorflowJob cnn(TfModel::CNN);
+  const TensorflowJob mlp(TfModel::Multilayer);
+  EXPECT_NE(cnn.runtime_seconds(1e-4, 256, TrainingMode::Sync, v, 8),
+            mlp.runtime_seconds(1e-4, 256, TrainingMode::Sync, v, 8));
+  EXPECT_EQ(to_string(TfModel::CNN), "cnn");
+  EXPECT_EQ(to_string(TfModel::RNN), "rnn");
+  EXPECT_EQ(to_string(TfModel::Multilayer), "multilayer");
+}
+
+TEST(TfJobParams, PerModelSweetSpots) {
+  // CNN prefers lr=1e-4; Multilayer prefers lr=1e-3 (see tf_job_params).
+  const auto cnn = tf_job_params(TfModel::CNN);
+  EXPECT_LT(cnn.lr_factor_1e4, cnn.lr_factor_1e3);
+  const auto mlp = tf_job_params(TfModel::Multilayer);
+  EXPECT_LT(mlp.lr_factor_1e3, mlp.lr_factor_1e4);
+  // lr=1e-5 is always far off the sweet spot.
+  for (TfModel m : {TfModel::CNN, TfModel::RNN, TfModel::Multilayer}) {
+    const auto p = tf_job_params(m);
+    EXPECT_GT(p.lr_factor_1e5, 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace lynceus::cloud

@@ -1,0 +1,78 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lynceus::util {
+namespace {
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0U);
+  std::vector<int> out(10, 0);
+  pool.parallel_for(10, [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t i) {
+                                   if (i == 3) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      total.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 5 * 4950);
+}
+
+TEST(MaybeParallelFor, NullPoolRunsSequentially) {
+  std::vector<int> order;
+  maybe_parallel_for(nullptr, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MaybeParallelFor, WithPool) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  maybe_parallel_for(&pool, 50, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace lynceus::util

@@ -1,0 +1,126 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lynceus.hpp"
+#include "eval/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+TEST(TraceRecorder, CollectsAllPhases) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem(5.0);
+  TraceRecorder trace;
+  LynceusOptions opts;
+  opts.lookahead = 1;
+  opts.observer = &trace;
+  LynceusOptimizer lyn(opts);
+  eval::TableRunner runner(ds);
+  const auto result = lyn.optimize(problem, runner, 3);
+
+  EXPECT_EQ(trace.bootstrap_samples().size(), problem.bootstrap_samples);
+  EXPECT_EQ(trace.decisions().size(), result.decisions);
+  EXPECT_EQ(trace.runs().size() + trace.bootstrap_samples().size(),
+            result.explorations());
+  EXPECT_FALSE(trace.stop_reason().empty());
+}
+
+TEST(TraceRecorder, DecisionEventsAreInternallyConsistent) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem(5.0);
+  TraceRecorder trace;
+  LynceusOptions opts;
+  opts.lookahead = 1;
+  opts.screen_width = 4;
+  opts.observer = &trace;
+  LynceusOptimizer lyn(opts);
+  eval::TableRunner runner(ds);
+  (void)lyn.optimize(problem, runner, 5);
+
+  for (std::size_t i = 0; i < trace.decisions().size(); ++i) {
+    const auto& e = trace.decisions()[i];
+    EXPECT_EQ(e.iteration, i + 1);
+    EXPECT_GT(e.viable_count, 0U);
+    EXPECT_LE(e.simulated_roots, e.viable_count);
+    EXPECT_LE(e.simulated_roots, 4U);  // screen width
+    EXPECT_GT(e.predicted_cost, 0.0);
+    EXPECT_GT(e.incumbent, 0.0);
+    // The chosen configuration is the one profiled right after.
+    EXPECT_EQ(e.chosen, trace.runs()[i].id);
+  }
+}
+
+TEST(TraceRecorder, BudgetDecreasesMonotonically) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem(5.0);
+  TraceRecorder trace;
+  LynceusOptions opts;
+  opts.lookahead = 0;
+  opts.observer = &trace;
+  LynceusOptimizer lyn(opts);
+  eval::TableRunner runner(ds);
+  (void)lyn.optimize(problem, runner, 7);
+  for (std::size_t i = 1; i < trace.decisions().size(); ++i) {
+    EXPECT_LT(trace.decisions()[i].remaining_budget,
+              trace.decisions()[i - 1].remaining_budget);
+  }
+}
+
+TEST(TraceRecorder, PredictionErrorsComputable) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem(5.0);
+  TraceRecorder trace;
+  LynceusOptions opts;
+  opts.lookahead = 0;
+  opts.observer = &trace;
+  LynceusOptimizer lyn(opts);
+  eval::TableRunner runner(ds);
+  (void)lyn.optimize(problem, runner, 9);
+  const auto errors = trace.relative_prediction_errors();
+  EXPECT_EQ(errors.size(), trace.decisions().size());
+  for (double e : errors) EXPECT_GE(e, 0.0);
+}
+
+TEST(TraceRecorder, StopReasonReflectsEiThreshold) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.budget = 1e9;
+  TraceRecorder trace;
+  LynceusOptions opts;
+  opts.lookahead = 0;
+  opts.ei_stop_fraction = 0.10;
+  opts.observer = &trace;
+  LynceusOptimizer lyn(opts);
+  eval::TableRunner runner(ds);
+  (void)lyn.optimize(problem, runner, 11);
+  EXPECT_NE(trace.stop_reason().find("expected improvement"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, StopReasonBudget) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem(1.0);  // tight budget
+  TraceRecorder trace;
+  LynceusOptions opts;
+  opts.lookahead = 0;
+  opts.observer = &trace;
+  LynceusOptimizer lyn(opts);
+  eval::TableRunner runner(ds);
+  (void)lyn.optimize(problem, runner, 13);
+  EXPECT_NE(trace.stop_reason().find("budget"), std::string::npos);
+}
+
+TEST(ObserverDefaultMethods, AreNoOps) {
+  OptimizerObserver base;
+  Sample s;
+  DecisionEvent e;
+  EXPECT_NO_THROW(base.on_bootstrap(s));
+  EXPECT_NO_THROW(base.on_decision(e));
+  EXPECT_NO_THROW(base.on_run(s));
+  EXPECT_NO_THROW(base.on_stop("x"));
+}
+
+}  // namespace
+}  // namespace lynceus::core

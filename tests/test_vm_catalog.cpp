@@ -1,0 +1,104 @@
+#include "cloud/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lynceus::cloud {
+namespace {
+
+TEST(VmType, RentalCostPerSecondBilling) {
+  VmType vm;
+  vm.price_per_hour = 0.36;
+  // 10 VMs for 60 seconds = 10 * 0.36 / 60 = $0.06.
+  EXPECT_NEAR(vm.rental_cost(10, 60.0), 0.06, 1e-12);
+  EXPECT_DOUBLE_EQ(vm.rental_cost(0, 1000.0), 0.0);
+}
+
+TEST(VmType, RamPerCore) {
+  VmType vm;
+  vm.vcpus = 4;
+  vm.ram_gb = 16.0;
+  EXPECT_DOUBLE_EQ(vm.ram_per_core(), 4.0);
+}
+
+TEST(T2Catalog, MatchesPaperTable2Types) {
+  const auto& cat = t2_catalog();
+  ASSERT_EQ(cat.size(), 4U);
+  const auto small = find_vm(cat, "t2.small");
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->vcpus, 1U);
+  EXPECT_DOUBLE_EQ(small->ram_gb, 2.0);
+  const auto medium = find_vm(cat, "t2.medium");
+  ASSERT_TRUE(medium.has_value());
+  EXPECT_EQ(medium->vcpus, 2U);
+  EXPECT_DOUBLE_EQ(medium->ram_gb, 4.0);
+  const auto xlarge = find_vm(cat, "t2.xlarge");
+  ASSERT_TRUE(xlarge.has_value());
+  EXPECT_EQ(xlarge->vcpus, 4U);
+  EXPECT_DOUBLE_EQ(xlarge->ram_gb, 16.0);
+  const auto xxlarge = find_vm(cat, "t2.2xlarge");
+  ASSERT_TRUE(xxlarge.has_value());
+  EXPECT_EQ(xxlarge->vcpus, 8U);
+  EXPECT_DOUBLE_EQ(xxlarge->ram_gb, 32.0);
+}
+
+TEST(T2Catalog, PricesScaleWithSize) {
+  const auto& cat = t2_catalog();
+  for (std::size_t i = 1; i < cat.size(); ++i) {
+    EXPECT_GT(cat[i].price_per_hour, cat[i - 1].price_per_hour);
+  }
+}
+
+TEST(ScoutCatalog, HasNineTypes) {
+  const auto& cat = scout_catalog();
+  EXPECT_EQ(cat.size(), 9U);
+  for (VmFamily f : {VmFamily::C4, VmFamily::M4, VmFamily::R4}) {
+    for (VmSize s : {VmSize::Large, VmSize::XLarge, VmSize::XXLarge}) {
+      EXPECT_TRUE(find_vm(cat, f, s).has_value())
+          << to_string(f) << "." << to_string(s);
+    }
+  }
+}
+
+TEST(ScoutCatalog, FamilyCharacteristics) {
+  const auto& cat = scout_catalog();
+  const auto c4 = find_vm(cat, VmFamily::C4, VmSize::XLarge);
+  const auto m4 = find_vm(cat, VmFamily::M4, VmSize::XLarge);
+  const auto r4 = find_vm(cat, VmFamily::R4, VmSize::XLarge);
+  ASSERT_TRUE(c4 && m4 && r4);
+  // C4 is compute-optimized: fastest cores, least RAM.
+  EXPECT_GT(c4->cpu_speed, m4->cpu_speed);
+  EXPECT_LT(c4->ram_gb, m4->ram_gb);
+  // R4 is memory-optimized: most RAM per core.
+  EXPECT_GT(r4->ram_per_core(), m4->ram_per_core());
+}
+
+TEST(CherrypickCatalog, HasTwelveTypesIncludingI2) {
+  const auto& cat = cherrypick_catalog();
+  EXPECT_EQ(cat.size(), 12U);
+  const auto i2 = find_vm(cat, VmFamily::I2, VmSize::XLarge);
+  ASSERT_TRUE(i2.has_value());
+  // I2 is storage-optimized: highest disk bandwidth in the catalog.
+  for (const auto& vm : cat) {
+    EXPECT_LE(vm.disk_mbps, i2->disk_mbps * 600.0 / 450.0 + 1e-9);
+  }
+  // ... and expensive.
+  const auto r3 = find_vm(cat, VmFamily::R3, VmSize::XLarge);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_GT(i2->price_per_hour, r3->price_per_hour);
+}
+
+TEST(FindVm, ByNameMissingReturnsNullopt) {
+  EXPECT_FALSE(find_vm(t2_catalog(), "m5.large").has_value());
+  EXPECT_FALSE(
+      find_vm(t2_catalog(), VmFamily::C4, VmSize::Large).has_value());
+}
+
+TEST(ToString, EnumsRoundTripNames) {
+  EXPECT_EQ(to_string(VmFamily::T2), "t2");
+  EXPECT_EQ(to_string(VmFamily::I2), "i2");
+  EXPECT_EQ(to_string(VmSize::XXLarge), "2xlarge");
+  EXPECT_EQ(to_string(VmSize::Small), "small");
+}
+
+}  // namespace
+}  // namespace lynceus::cloud

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/bo.hpp"
+#include "core/lynceus.hpp"
+#include "core/sequential.hpp"
+#include "eval/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::core {
+namespace {
+
+/// Priors: the first `n` configurations, replayed from the dataset.
+std::vector<Sample> priors_from_dataset(const cloud::Dataset& ds,
+                                        std::size_t n) {
+  std::vector<Sample> out;
+  for (ConfigId id = 0; id < n; ++id) {
+    Sample s;
+    s.id = id;
+    s.runtime_seconds = ds.runtime(id);
+    s.cost = ds.cost(id);
+    s.feasible = true;  // measurement trustworthy; Tmax re-derived
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(WarmStart, PriorsReplaceBootstrapAndCostNothing) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.prior_samples = priors_from_dataset(ds, 5);
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  st.bootstrap();
+  EXPECT_EQ(st.samples.size(), 5U);
+  EXPECT_DOUBLE_EQ(st.budget.spent(), 0.0);  // priors are free
+  EXPECT_EQ(runner.runs_served(), 0U);       // nothing was re-run
+  EXPECT_EQ(st.untested.size(), problem.space->size() - 5);
+}
+
+TEST(WarmStart, FeasibilityRejudgedAgainstNewDeadline) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.tmax_seconds = 1.0;  // nothing can meet this deadline
+  problem.prior_samples = priors_from_dataset(ds, 3);
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  st.bootstrap();
+  for (const auto& s : st.samples) EXPECT_FALSE(s.feasible);
+}
+
+TEST(WarmStart, CensoredPriorStaysInfeasible) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.tmax_seconds = 1e9;  // everything meets the deadline...
+  auto priors = priors_from_dataset(ds, 2);
+  priors[0].feasible = false;  // ...but this measurement was censored
+  problem.prior_samples = priors;
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  st.bootstrap();
+  EXPECT_FALSE(st.samples[0].feasible);
+  EXPECT_TRUE(st.samples[1].feasible);
+}
+
+TEST(WarmStart, ValidationCatchesBadPriors) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.prior_samples = priors_from_dataset(ds, 2);
+  problem.prior_samples[1].id =
+      static_cast<ConfigId>(problem.space->size());  // out of range
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+
+  problem = testing::tiny_problem();
+  problem.prior_samples = priors_from_dataset(ds, 2);
+  problem.prior_samples[1].id = problem.prior_samples[0].id;  // duplicate
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+
+  problem = testing::tiny_problem();
+  problem.prior_samples = priors_from_dataset(ds, 1);
+  problem.prior_samples[0].cost = -1.0;
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+TEST(WarmStart, LynceusSpendsWholeBudgetOnNewExplorations) {
+  const auto ds = testing::tiny_dataset();
+  auto cold = testing::tiny_problem();
+  auto warm = cold;
+  warm.prior_samples = priors_from_dataset(ds, 6);
+
+  LynceusOptions opts;
+  opts.lookahead = 1;
+  LynceusOptimizer lyn(opts);
+
+  eval::TableRunner r1(ds);
+  eval::TableRunner r2(ds);
+  const auto cold_result = lyn.optimize(cold, r1, 11);
+  const auto warm_result = lyn.optimize(warm, r2, 11);
+
+  // The warm run charges no bootstrap, so every dollar goes to new
+  // exploration: it must try at least as many *new* configurations as the
+  // cold run tried post-bootstrap.
+  const std::size_t cold_new = cold_result.explorations() - cold.bootstrap_samples;
+  const std::size_t warm_new = warm_result.explorations() - 6;
+  EXPECT_GE(warm_new, cold_new);
+  ASSERT_TRUE(warm_result.recommendation.has_value());
+}
+
+TEST(WarmStart, PriorConfigsNeverReRun) {
+  const auto ds = testing::tiny_dataset();
+  auto problem = testing::tiny_problem();
+  problem.prior_samples = priors_from_dataset(ds, 8);
+  BayesianOptimizer bo;
+  eval::TableRunner runner(ds);
+  const auto result = bo.optimize(problem, runner, 5);
+  // The first 8 history entries are the priors; none may repeat later.
+  std::set<ConfigId> prior_ids;
+  for (std::size_t i = 0; i < 8; ++i) prior_ids.insert(result.history[i].id);
+  for (std::size_t i = 8; i < result.history.size(); ++i) {
+    EXPECT_EQ(prior_ids.count(result.history[i].id), 0U);
+  }
+}
+
+}  // namespace
+}  // namespace lynceus::core

@@ -1,0 +1,168 @@
+#include "cloud/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cloud/catalog.hpp"
+
+namespace lynceus::cloud {
+namespace {
+
+TEST(TensorflowSpace, Has384ConfigurationsOver5Dims) {
+  const auto sp = tensorflow_space();
+  EXPECT_EQ(sp->size(), 384U);  // paper §5.1.1
+  EXPECT_EQ(sp->dim_count(), 5U);
+}
+
+TEST(TensorflowSpace, EveryClusterHasTable2VcpuTotal) {
+  const auto sp = tensorflow_space();
+  const std::set<double> allowed = {8, 16, 32, 48, 64, 80, 96, 112};
+  const auto& catalog = t2_catalog();
+  for (space::ConfigId id = 0; id < sp->size(); ++id) {
+    const auto& vm = catalog[sp->levels(id)[3]];
+    const double workers = sp->value(id, 4);
+    EXPECT_TRUE(allowed.count(vm.vcpus * workers) > 0)
+        << sp->describe(id);
+  }
+}
+
+TEST(TensorflowSpace, ThirtyTwoClusterCompositions) {
+  const auto sp = tensorflow_space();
+  std::set<std::pair<std::size_t, std::size_t>> clusters;
+  for (space::ConfigId id = 0; id < sp->size(); ++id) {
+    clusters.insert({sp->levels(id)[3], sp->levels(id)[4]});
+  }
+  EXPECT_EQ(clusters.size(), 32U);  // paper §5.1.1
+}
+
+/// Shape properties of the synthetic TensorFlow datasets, asserted against
+/// the published characteristics (paper Fig. 1a and §2.1).
+class TensorflowDatasetShape : public ::testing::TestWithParam<TfModel> {};
+
+TEST_P(TensorflowDatasetShape, MatchesPaperCharacteristics) {
+  const Dataset ds = make_tensorflow_dataset(GetParam());
+  const double opt = ds.optimal_cost();
+  const auto costs = ds.all_costs();
+
+  // Large cost spread (paper Fig. 1a: bad configurations are orders of
+  // magnitude more expensive; our synthetic surfaces span 45x-200x, the
+  // worst case being capped by the 10-minute timeout).
+  const double worst = *std::max_element(costs.begin(), costs.end());
+  EXPECT_GE(worst / opt, 30.0) << "cost spread too small";
+
+  // Few close-to-optimal configurations: 5-20 within 2x of the optimum
+  // (1.5-5% of 384). Allow a little slack around the published range.
+  std::size_t near_optimal = 0;
+  for (space::ConfigId id = 0; id < ds.size(); ++id) {
+    if (ds.feasible(id) && ds.cost(id) <= 2.0 * opt) ++near_optimal;
+  }
+  EXPECT_GE(near_optimal, 2U);
+  EXPECT_LE(near_optimal, 40U);
+
+  // Roughly half the configurations satisfy the deadline (§5.2).
+  EXPECT_NEAR(ds.feasible_fraction(), 0.5, 0.1);
+
+  // Some configurations hit the 10-minute forced termination.
+  std::size_t timeouts = 0;
+  for (space::ConfigId id = 0; id < ds.size(); ++id) {
+    if (ds.observation(id).timed_out) ++timeouts;
+  }
+  EXPECT_GT(timeouts, 10U);
+  EXPECT_LT(timeouts, ds.size() * 7 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, TensorflowDatasetShape,
+                         ::testing::Values(TfModel::CNN, TfModel::RNN,
+                                           TfModel::Multilayer));
+
+TEST(TensorflowDatasets, ThreeJobsWithDistinctSurfaces) {
+  const auto all = make_tensorflow_datasets();
+  ASSERT_EQ(all.size(), 3U);
+  EXPECT_NE(all[0].optimal(), all[1].optimal());
+}
+
+TEST(ScoutSpace, PaperCardinality69) {
+  EXPECT_EQ(scout_space()->size(), 69U);    // paper §5.1.2
+  EXPECT_EQ(scout_space(true)->size(), 72U);  // literal grid reading
+}
+
+TEST(ScoutSpace, SizeCapsRespected) {
+  const auto sp = scout_space();
+  for (space::ConfigId id = 0; id < sp->size(); ++id) {
+    const auto& lv = sp->levels(id);
+    const double n = sp->value(id, 2);
+    if (lv[1] == 1) {
+      EXPECT_LE(n, 24.0) << sp->describe(id);
+    }
+    if (lv[1] == 2) {
+      EXPECT_LE(n, 12.0) << sp->describe(id);
+    }
+  }
+}
+
+TEST(ScoutDatasets, EighteenJobsAllFeasibleSomewhere) {
+  const auto all = make_scout_datasets();
+  ASSERT_EQ(all.size(), 18U);
+  for (const auto& ds : all) {
+    EXPECT_EQ(ds.size(), 69U) << ds.job_name();
+    EXPECT_GT(ds.feasible_fraction(), 0.3) << ds.job_name();
+    EXPECT_LT(ds.feasible_fraction(), 0.7) << ds.job_name();
+    EXPECT_GT(ds.optimal_cost(), 0.0) << ds.job_name();
+  }
+}
+
+TEST(ScoutDatasets, DifferentJobsHaveDifferentOptima) {
+  const auto all = make_scout_datasets();
+  std::set<space::ConfigId> optima;
+  for (const auto& ds : all) optima.insert(ds.optimal());
+  // The jobs stress different resources, so the best cluster must vary.
+  EXPECT_GE(optima.size(), 4U);
+}
+
+TEST(CherrypickSpace, PerJobCardinalities) {
+  EXPECT_EQ(cherrypick_space("tpch", 66)->size(), 66U);
+  EXPECT_EQ(cherrypick_space("spark-regression", 47)->size(), 47U);
+  EXPECT_EQ(cherrypick_space("tpcds", 72)->size(), 72U);
+}
+
+TEST(CherrypickSpace, MaskIsDeterministicPerJob) {
+  const auto a = cherrypick_space("terasort", 60);
+  const auto b = cherrypick_space("terasort", 60);
+  ASSERT_EQ(a->size(), b->size());
+  for (space::ConfigId id = 0; id < a->size(); ++id) {
+    EXPECT_EQ(a->levels(id), b->levels(id));
+  }
+}
+
+TEST(CherrypickSpace, RejectsBadCardinality) {
+  EXPECT_THROW((void)cherrypick_space("x", 0), std::invalid_argument);
+  EXPECT_THROW((void)cherrypick_space("x", 73), std::invalid_argument);
+}
+
+TEST(CherrypickDatasets, CardinalitiesInPublishedRange) {
+  const auto all = make_cherrypick_datasets();
+  ASSERT_EQ(all.size(), 5U);
+  for (const auto& ds : all) {
+    EXPECT_GE(ds.size(), 47U) << ds.job_name();
+    EXPECT_LE(ds.size(), 72U) << ds.job_name();
+    EXPECT_GT(ds.feasible_fraction(), 0.3) << ds.job_name();
+  }
+}
+
+TEST(Workloads, NoiseSeedChangesDatasets) {
+  const Dataset a = make_tensorflow_dataset(TfModel::CNN, 0);
+  const Dataset b = make_tensorflow_dataset(TfModel::CNN, 99);
+  bool any_diff = false;
+  for (space::ConfigId id = 0; id < a.size(); ++id) {
+    if (a.runtime(id) != b.runtime(id)) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace lynceus::cloud

@@ -1,0 +1,171 @@
+/// lynceus_tune — command-line tuner over the bundled workloads or a
+/// user-supplied measurement CSV.
+///
+///   lynceus_tune --suite=tf --job=cnn                    # defaults
+///   lynceus_tune --suite=scout --job=spark-kmeans --optimizer=bo
+///   lynceus_tune --suite=tf --job=rnn --la=1 --b=5 --trace
+///   lynceus_tune --suite=scout --job=hadoop-sort --dataset=mine.csv
+///
+/// Flags:
+///   --suite     tf | scout | cherrypick          (default tf)
+///   --job       job name within the suite        (default: first job)
+///   --optimizer lynceus | bo | rnd | cherrypick  (default lynceus)
+///   --la        Lynceus lookahead                (default 2)
+///   --screen    Lynceus root-screening width     (default 24, 0 = all)
+///   --b         budget multiplier                (default 3)
+///   --seed      RNG seed                         (default 1)
+///   --dataset   CSV produced by Dataset::save_csv / export_datasets,
+///               replayed instead of the synthetic surface (its rows must
+///               match the suite's configuration space)
+///   --trace     print the per-decision table
+///   --list      list the suite's jobs and exit
+
+#include <cstdio>
+#include <optional>
+
+#include "cloud/workloads.hpp"
+#include "core/bo.hpp"
+#include "core/lynceus.hpp"
+#include "core/random_search.hpp"
+#include "core/trace.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "eval/runner.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace lynceus;
+
+std::vector<cloud::Dataset> suite_datasets(const std::string& suite) {
+  if (suite == "tf" || suite == "tensorflow") {
+    return cloud::make_tensorflow_datasets();
+  }
+  if (suite == "scout") return cloud::make_scout_datasets();
+  if (suite == "cherrypick") return cloud::make_cherrypick_datasets();
+  throw std::invalid_argument("unknown suite '" + suite +
+                              "' (expected tf | scout | cherrypick)");
+}
+
+const cloud::Dataset& pick_job(const std::vector<cloud::Dataset>& all,
+                               const std::string& job) {
+  if (job.empty()) return all.front();
+  for (const auto& ds : all) {
+    // Accept both the short name ("cnn") and the full one
+    // ("tensorflow-cnn").
+    if (ds.job_name() == job ||
+        ds.job_name().find("-" + job) != std::string::npos) {
+      return ds;
+    }
+  }
+  throw std::invalid_argument("unknown job '" + job + "' (use --list)");
+}
+
+std::unique_ptr<core::Optimizer> make_optimizer(const std::string& name,
+                                                unsigned la, unsigned screen,
+                                                core::OptimizerObserver* obs) {
+  if (name == "lynceus") {
+    core::LynceusOptions opts;
+    opts.lookahead = la;
+    opts.screen_width = screen;
+    opts.observer = obs;
+    return std::make_unique<core::LynceusOptimizer>(opts);
+  }
+  if (name == "bo") {
+    core::BoOptions opts;
+    opts.observer = obs;
+    return std::make_unique<core::BayesianOptimizer>(opts);
+  }
+  if (name == "cherrypick") {
+    auto spec = eval::cherrypick_spec();
+    return spec.make();
+  }
+  if (name == "rnd") return std::make_unique<core::RandomSearch>();
+  throw std::invalid_argument(
+      "unknown optimizer '" + name +
+      "' (expected lynceus | bo | rnd | cherrypick)");
+}
+
+int run(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv,
+                             {"suite", "job", "optimizer", "la", "screen",
+                              "b", "seed", "dataset", "trace", "list"});
+
+  const auto all = suite_datasets(flags.get_string("suite", "tf"));
+  if (flags.get_bool("list", false)) {
+    for (const auto& ds : all) {
+      std::printf("%-32s %4zu configs  Tmax %7.1f s\n", ds.job_name().c_str(),
+                  ds.size(), ds.tmax_seconds());
+    }
+    return 0;
+  }
+
+  const cloud::Dataset* dataset = &pick_job(all, flags.get_string("job", ""));
+  std::optional<cloud::Dataset> external;
+  if (flags.has("dataset")) {
+    external = cloud::Dataset::load_csv(flags.get_string("dataset", ""),
+                                        dataset->job_name() + " (external)",
+                                        dataset->space_ptr());
+    dataset = &*external;
+  }
+
+  const double b = flags.get_double("b", 3.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto problem = eval::make_problem(*dataset, b);
+
+  core::TraceRecorder trace;
+  const bool want_trace = flags.get_bool("trace", false);
+  auto optimizer = make_optimizer(
+      flags.get_string("optimizer", "lynceus"),
+      static_cast<unsigned>(flags.get_int("la", 2)),
+      static_cast<unsigned>(flags.get_int("screen", 24)),
+      want_trace ? &trace : nullptr);
+
+  std::printf("job %s | %zu configs | Tmax %.1f s | budget $%.4f | %s\n",
+              dataset->job_name().c_str(), dataset->size(),
+              problem.tmax_seconds, problem.budget,
+              optimizer->name().c_str());
+
+  eval::TableRunner runner(*dataset);
+  const auto result = optimizer->optimize(problem, runner, seed);
+
+  if (want_trace) {
+    std::printf("\niter | viable | chosen config\n");
+    for (std::size_t i = 0; i < trace.decisions().size(); ++i) {
+      const auto& d = trace.decisions()[i];
+      std::printf("%4zu | %6zu | %s  ($%.4f predicted, $%.4f actual)\n",
+                  d.iteration, d.viable_count,
+                  dataset->space().describe(d.chosen).c_str(),
+                  d.predicted_cost, trace.runs()[i].cost);
+    }
+    if (!trace.stop_reason().empty()) {
+      std::printf("stopped: %s\n", trace.stop_reason().c_str());
+    }
+  }
+
+  std::printf("\nexplored %zu configurations, spent $%.4f of $%.4f\n",
+              result.explorations(), result.budget_spent, problem.budget);
+  if (!result.recommendation) {
+    std::printf("no configuration could be recommended\n");
+    return 1;
+  }
+  const auto best = *result.recommendation;
+  std::printf("recommended: %s\n", dataset->space().describe(best).c_str());
+  std::printf("  runtime %.1f s (%s), cost $%.4f per run, CNO %.3f\n",
+              dataset->runtime(best),
+              result.recommendation_feasible ? "meets deadline"
+                                             : "MISSES deadline",
+              dataset->cost(best), eval::cno(*dataset, result));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lynceus_tune: %s\n", e.what());
+    return 2;
+  }
+}

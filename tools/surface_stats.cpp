@@ -1,0 +1,35 @@
+/// surface_stats — shape statistics of the synthetic TensorFlow surfaces
+/// against the published characteristics (DESIGN.md §2): cost spread,
+/// deadline-feasible fraction, timeout share, near-optimal scarcity, and
+/// the ideal-disjoint-optimization CDF of Fig. 1b. Used to (re)calibrate
+/// the workload models when their constants change.
+#include <algorithm>
+#include <cstdio>
+#include "cloud/workloads.hpp"
+#include "eval/disjoint.hpp"
+#include "math/stats.hpp"
+using namespace lynceus;
+int main() {
+  for (auto m : {cloud::TfModel::CNN, cloud::TfModel::RNN, cloud::TfModel::Multilayer}) {
+    const auto ds = cloud::make_tensorflow_dataset(m);
+    auto costs = ds.all_costs();
+    std::sort(costs.begin(), costs.end());
+    const double opt = ds.optimal_cost();
+    std::size_t timeouts = 0, within2 = 0;
+    for (space::ConfigId id = 0; id < ds.size(); ++id) {
+      if (ds.observation(id).timed_out) ++timeouts;
+      if (ds.feasible(id) && ds.cost(id) <= 2.0 * opt) ++within2;
+    }
+    const auto cnos = eval::disjoint_optimization_cno(ds, {0,1,2}, {3,4});
+    double found = 0, worst = 0;
+    for (double c : cnos) { if (c <= 1.0+1e-9) found += 1; worst = std::max(worst, c); }
+    std::printf("%-12s opt=$%.4f spread=%.0fx tmax=%.0fs feas=%.2f timeout=%.2f within2x=%zu "
+                "disjoint: find=%.2f p50=%.2f p90=%.2f max=%.2f\n",
+                ds.job_name().c_str(), opt, costs.back()/opt, ds.tmax_seconds(),
+                ds.feasible_fraction(), double(timeouts)/ds.size(), within2,
+                found/cnos.size(), math::percentile(cnos,50), math::percentile(cnos,90), worst);
+    // where is the optimum?
+    std::printf("             optimum: %s  runtime=%.0fs\n", ds.space().describe(ds.optimal()).c_str(), ds.runtime(ds.optimal()));
+  }
+  return 0;
+}
