@@ -1,20 +1,39 @@
 /// Micro-benchmarks (google-benchmark) of the optimizer's hot paths: the
 /// components whose speed bounds Lynceus' decision time — tree/ensemble
 /// fitting and batch prediction, Gauss-Hermite construction, LHS sampling,
-/// acquisition evaluation, and a single full ExplorePaths-equivalent
-/// decision step.
+/// acquisition evaluation, and full decision steps through the lookahead
+/// simulation engine.
+///
+/// The binary provides its own main: after the google-benchmark run it
+/// re-measures the engine's single-decision latency per (space, lookahead)
+/// and writes percentiles plus allocations-per-decision to a
+/// machine-readable JSON summary (default BENCH_micro.json, override with
+/// --json_out=PATH; skip with --json_out=) so the perf trajectory can be
+/// tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "cloud/workloads.hpp"
 #include "core/acquisition.hpp"
+#include "core/lookahead.hpp"
 #include "core/lynceus.hpp"
+#include "core/bo.hpp"
+#include "core/sequential.hpp"
 #include "eval/experiment.hpp"
 #include "eval/runner.hpp"
 #include "math/gauss_hermite.hpp"
 #include "math/lhs.hpp"
 #include "model/bagging.hpp"
 #include "model/gp.hpp"
+#include "util/alloc_count.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -143,4 +162,188 @@ void BM_LynceusDecision(benchmark::State& state) {
 BENCHMARK(BM_LynceusDecision)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+/// The two decision-benchmark spaces: the paper's TensorFlow grid (largest
+/// evaluation space, 384 points) and a Scout job (69 points).
+cloud::Dataset decision_dataset(int space_idx) {
+  if (space_idx == 0) {
+    return cloud::make_tensorflow_dataset(cloud::TfModel::CNN);
+  }
+  return cloud::make_scout_dataset(cloud::scout_job_specs().front());
+}
+
+const char* decision_space_name(int space_idx) {
+  return space_idx == 0 ? "tensorflow_cnn" : "scout_0";
+}
+
+/// One full decision through the lookahead engine — root fit, full-space
+/// prediction, fused acquisition pass, screening, and one simulated path
+/// per screened root. Reports allocations per decision (0 after warm-up
+/// when the allocation-counting hooks are linked, which they are in this
+/// binary).
+void BM_ExplorePathsDecision(benchmark::State& state) {
+  const auto ds = decision_dataset(static_cast<int>(state.range(0)));
+  const auto problem = eval::make_problem(ds, 3.0);
+  eval::TableRunner runner(ds);
+  core::LoopState st(problem, runner, 5);
+  st.bootstrap();
+
+  core::LookaheadEngine::Options opts;
+  opts.lookahead = static_cast<unsigned>(state.range(1));
+  core::LookaheadEngine engine(problem, opts,
+                               core::default_tree_model_factory(*problem.space),
+                               1);
+  std::vector<core::ConfigId> roots;
+  std::uint64_t iter = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t decisions = 0;
+  for (auto _ : state) {
+    ++iter;
+    const util::AllocCountGuard guard;
+    engine.begin_decision(st.samples, st.budget.remaining(),
+                          util::derive_seed(5, iter));
+    engine.screened_roots(24, roots);
+    double acc = 0.0;
+    for (core::ConfigId r : roots) {
+      acc += engine
+                 .simulate(r, util::derive_seed(5, iter * 1000003ULL + r))
+                 .cost;
+    }
+    benchmark::DoNotOptimize(acc);
+    if (iter > 1) {  // first iteration warms the buffers
+      allocs += guard.delta();
+      ++decisions;
+    }
+  }
+  state.counters["allocs_per_decision"] =
+      decisions > 0 ? static_cast<double>(allocs) /
+                          static_cast<double>(decisions)
+                    : 0.0;
+  state.counters["roots"] = static_cast<double>(roots.size());
+}
+BENCHMARK(BM_ExplorePathsDecision)
+    ->ArgsProduct({{0, 1}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Decision-time percentiles per (space, lookahead), written as JSON for
+/// BENCH_micro.json.
+struct DecisionStats {
+  int space_idx;
+  unsigned lookahead;
+  std::size_t decisions;
+  double mean_ms, p50_ms, p90_ms, p99_ms;
+  double allocs_per_decision;
+};
+
+DecisionStats measure_decision(int space_idx, unsigned lookahead,
+                               std::size_t reps) {
+  const auto ds = decision_dataset(space_idx);
+  const auto problem = eval::make_problem(ds, 3.0);
+  eval::TableRunner runner(ds);
+  core::LoopState st(problem, runner, 5);
+  st.bootstrap();
+  core::LookaheadEngine::Options opts;
+  opts.lookahead = lookahead;
+  core::LookaheadEngine engine(problem, opts,
+                               core::default_tree_model_factory(*problem.space),
+                               1);
+  std::vector<core::ConfigId> roots;
+  std::vector<double> ms;
+  ms.reserve(reps);
+  std::uint64_t allocs = 0;
+  for (std::size_t rep = 0; rep <= reps; ++rep) {  // rep 0 = warm-up
+    const util::AllocCountGuard guard;
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.begin_decision(st.samples, st.budget.remaining(),
+                          util::derive_seed(5, rep + 1));
+    engine.screened_roots(24, roots);
+    double acc = 0.0;
+    for (core::ConfigId r : roots) {
+      acc += engine
+                 .simulate(r, util::derive_seed(5, (rep + 1) * 1000003ULL + r))
+                 .cost;
+    }
+    benchmark::DoNotOptimize(acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t delta = guard.delta();
+    if (rep == 0) continue;
+    allocs += delta;
+    ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  const auto pct = [&](double p) {
+    const auto i = static_cast<std::size_t>(p * (ms.size() - 1) + 0.5);
+    return ms[std::min(i, ms.size() - 1)];
+  };
+  double mean = 0.0;
+  for (double v : ms) mean += v;
+  mean /= static_cast<double>(ms.size());
+  return {space_idx, lookahead, ms.size(), mean,
+          pct(0.50), pct(0.90), pct(0.99),
+          static_cast<double>(allocs) / static_cast<double>(ms.size())};
+}
+
+bool write_json_summary(const std::string& path) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("micro_decision");
+  w.key("unit").value("ms");
+  w.key("alloc_counting").value(util::alloc_count_available());
+  w.key("spaces").begin_array();
+  for (int space_idx = 0; space_idx < 2; ++space_idx) {
+    const auto ds = decision_dataset(space_idx);
+    w.begin_object();
+    w.key("space").value(decision_space_name(space_idx));
+    w.key("size").value(static_cast<std::uint64_t>(ds.space().size()));
+    w.key("lookahead").begin_array();
+    for (unsigned la = 0; la <= 2; ++la) {
+      const std::size_t reps = la >= 2 ? 15 : 40;
+      const auto s = measure_decision(space_idx, la, reps);
+      w.begin_object();
+      w.key("la").value(static_cast<std::uint64_t>(la));
+      w.key("decisions").value(static_cast<std::uint64_t>(s.decisions));
+      w.key("mean_ms").value(s.mean_ms);
+      w.key("p50_ms").value(s.p50_ms);
+      w.key("p90_ms").value(s.p90_ms);
+      w.key("p99_ms").value(s.p99_ms);
+      w.key("allocs_per_decision").value(s.allocs_per_decision);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path);
+  out << w.str() << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote decision-time summary to %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_micro.json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty() && !write_json_summary(json_path)) return 1;
+  return 0;
+}

@@ -73,11 +73,6 @@ struct McModels {
   std::vector<std::unique_ptr<model::Regressor>> metrics;
 };
 
-struct PathValue {
-  double reward = 0.0;
-  double cost = 0.0;
-};
-
 /// One pruned combination of speculated (cost, metrics...) values.
 struct SpeculationCombo {
   double cost = 0.0;

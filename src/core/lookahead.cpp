@@ -1,0 +1,295 @@
+#include "core/lookahead.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include <cmath>
+
+#include "core/acquisition.hpp"
+#include "math/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace lynceus::core {
+
+LookaheadEngine::LookaheadEngine(const OptimizationProblem& problem,
+                                 Options options,
+                                 const model::ModelFactory& factory,
+                                 std::size_t workers)
+    : problem_(problem),
+      options_(std::move(options)),
+      fm_(*problem.space),
+      quadrature_(options_.gh_points) {
+  if (workers == 0) {
+    throw std::invalid_argument("LookaheadEngine: need at least one worker");
+  }
+  viable_z_ = math::norm_cdf_ge_boundary(options_.feasibility_quantile);
+  const std::size_t space = problem_.space->size();
+  root_model_ = factory();
+  root_rows_.reserve(space);
+  root_y_.reserve(space);
+  root_feasible_.reserve(space);
+  root_cands_.reserve(space);
+  tested_.reserve(space);
+  viable_.reserve(space);
+  eic_by_id_.resize(space, 0.0);
+
+  workspaces_.resize(workers);
+  for (auto& ws : workspaces_) {
+    ws.model = factory();
+    // A path never holds more than every real sample plus one fantasy
+    // sample per lookahead step.
+    ws.rows.reserve(space + options_.lookahead + 1);
+    ws.y.reserve(space + options_.lookahead + 1);
+    ws.feasible.reserve(space + options_.lookahead + 1);
+    ws.levels.resize(options_.lookahead);
+    for (auto& lvl : ws.levels) {
+      lvl.cands.reserve(space);
+      lvl.preds.reserve(space);
+      lvl.nodes.resize(quadrature_.size());
+    }
+  }
+  free_workspaces_.reserve(workers);
+  for (auto& ws : workspaces_) free_workspaces_.push_back(&ws);
+}
+
+void LookaheadEngine::begin_decision(const std::vector<Sample>& samples,
+                                     double remaining_budget,
+                                     std::uint64_t fit_seed) {
+  ++epoch_;
+  const std::size_t space = problem_.space->size();
+
+  root_rows_.clear();
+  root_y_.clear();
+  root_feasible_.clear();
+  for (const auto& s : samples) {
+    root_rows_.push_back(s.id);
+    root_y_.push_back(s.cost);
+    root_feasible_.push_back(s.feasible ? 1 : 0);
+  }
+  root_beta_ = remaining_budget;
+  root_chi_ = samples.empty() ? std::nullopt
+                              : std::optional<ConfigId>(samples.back().id);
+
+  // Ascending untested candidate list — the only place testedness is
+  // materialized; the recursion shrinks the list instead of re-deriving it.
+  tested_.assign(space, 0);
+  for (const auto& s : samples) tested_[s.id] = 1;
+  root_cands_.clear();
+  for (std::size_t id = 0; id < space; ++id) {
+    if (tested_[id] == 0) root_cands_.push_back(static_cast<ConfigId>(id));
+  }
+
+  root_model_->fit(fm_, root_rows_, root_y_, fit_seed);
+  root_model_->predict_all(fm_, root_preds_);
+
+  // Incumbent y*: cheapest feasible sample, else the paper's fallback.
+  {
+    bool any = false;
+    double best = 0.0;
+    double most_expensive = root_y_.front();
+    for (std::size_t i = 0; i < root_y_.size(); ++i) {
+      most_expensive = std::max(most_expensive, root_y_[i]);
+      if (root_feasible_[i] != 0 && (!any || root_y_[i] < best)) {
+        best = root_y_[i];
+        any = true;
+      }
+    }
+    if (any) {
+      y_star_ = best;
+    } else {
+      double max_stddev = 0.0;
+      for (ConfigId id : root_cands_) {
+        max_stddev = std::max(max_stddev, root_preds_[id].stddev);
+      }
+      y_star_ = most_expensive + 3.0 * max_stddev;
+    }
+  }
+
+  // Fused root acquisition pass: one sweep computes P(c ≤ β) and EIc per
+  // untested candidate; the Γ filter, the stop rule's max EIc and the
+  // screening score all read the stored results.
+  viable_.clear();
+  max_viable_eic_ = 0.0;
+  for (ConfigId id : root_cands_) {
+    if (!budget_viable(root_beta_, root_preds_[id])) continue;
+    const double e = constrained_ei(y_star_, root_preds_[id],
+                                    problem_.feasibility_cost_cap(id));
+    viable_.push_back(id);
+    eic_by_id_[id] = e;
+    max_viable_eic_ = std::max(max_viable_eic_, e);
+  }
+}
+
+void LookaheadEngine::screened_roots(unsigned width,
+                                     std::vector<ConfigId>& out) const {
+  out.assign(viable_.begin(), viable_.end());
+  if (width == 0 || out.size() <= width) return;
+  std::partial_sort(
+      out.begin(), out.begin() + width, out.end(),
+      [&](ConfigId a, ConfigId b) {
+        const double sa =
+            eic_by_id_[a] / std::max(root_preds_[a].mean, 1e-12);
+        const double sb =
+            eic_by_id_[b] / std::max(root_preds_[b].mean, 1e-12);
+        return sa > sb;
+      });
+  out.resize(width);
+}
+
+LookaheadEngine::Workspace* LookaheadEngine::acquire_workspace() {
+  std::lock_guard lock(pool_mutex_);
+  if (free_workspaces_.empty()) {
+    throw std::logic_error(
+        "LookaheadEngine: more concurrent simulations than workers");
+  }
+  Workspace* ws = free_workspaces_.back();
+  free_workspaces_.pop_back();
+  return ws;
+}
+
+void LookaheadEngine::release_workspace(Workspace* ws) {
+  std::lock_guard lock(pool_mutex_);
+  free_workspaces_.push_back(ws);
+}
+
+double LookaheadEngine::state_incumbent(
+    const std::vector<double>& y, const std::vector<char>& feasible,
+    const std::vector<model::Prediction>& cand_preds) {
+  bool any = false;
+  double best = 0.0;
+  double most_expensive = y.front();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    most_expensive = std::max(most_expensive, y[i]);
+    if (feasible[i] != 0 && (!any || y[i] < best)) {
+      best = y[i];
+      any = true;
+    }
+  }
+  if (any) return best;
+  double max_stddev = 0.0;
+  for (const auto& pred : cand_preds) {
+    max_stddev = std::max(max_stddev, pred.stddev);
+  }
+  return most_expensive + 3.0 * max_stddev;
+}
+
+PathValue LookaheadEngine::simulate(ConfigId root, std::uint64_t path_seed) {
+  Workspace* ws = acquire_workspace();
+  struct Release {
+    LookaheadEngine* self;
+    Workspace* ws;
+    ~Release() { self->release_workspace(ws); }
+  } release{this, ws};
+
+  // Sync the workspace's path state Σ with this decision's root once; the
+  // recursion fully reverts its deltas, so the state stays at the root
+  // between simulate() calls of the same decision.
+  if (ws->epoch != epoch_) {
+    ws->rows.assign(root_rows_.begin(), root_rows_.end());
+    ws->y.assign(root_y_.begin(), root_y_.end());
+    ws->feasible.assign(root_feasible_.begin(), root_feasible_.end());
+  }
+  // Invalid while the recursion holds un-reverted deltas: if fit/predict
+  // throws mid-path, the next simulate() on this workspace must resync
+  // instead of trusting a corrupted state.
+  ws->epoch = 0;
+
+  const model::Prediction& pred = root_preds_[root];
+  const PathValue v =
+      explore(*ws, 0, root, pred.mean, pred.stddev, eic_by_id_[root],
+              root_beta_, root_chi_, root_cands_, options_.lookahead,
+              path_seed);
+  ws->epoch = epoch_;
+  return v;
+}
+
+PathValue LookaheadEngine::explore(Workspace& ws, std::size_t depth,
+                                   ConfigId x, double x_mean, double x_stddev,
+                                   double x_eic, double beta,
+                                   const std::optional<ConfigId>& chi,
+                                   const std::vector<std::uint32_t>& cands,
+                                   unsigned steps_left,
+                                   std::uint64_t path_seed) {
+  const double switch_cost = setup_cost(chi, x);
+  PathValue v;
+  v.reward = x_eic;
+  v.cost = x_mean + switch_cost;
+  if (steps_left == 0) return v;
+
+  Level& lvl = ws.levels[depth];
+  quadrature_.for_normal_into(x_mean, x_stddev, lvl.nodes.data());
+  const double cap = problem_.feasibility_cost_cap(x);
+
+  // Child candidate set: the parent's candidates minus x, which the branch
+  // below speculatively tests. Ascending order is preserved, which keeps
+  // the argmax tie-breaking identical to a full ascending-id scan.
+  lvl.cands.clear();
+  for (std::uint32_t id : cands) {
+    if (id != x) lvl.cands.push_back(id);
+  }
+
+  for (std::size_t i = 0; i < lvl.nodes.size(); ++i) {
+    // Speculated cost: a run can never be free or negative; clamp to a
+    // small fraction of the predicted mean.
+    const double ci = std::max(lvl.nodes[i].value, 0.001 * x_mean);
+    const double wi = lvl.nodes[i].weight;
+
+    // Apply the delta Σ → Σ' (Algorithm 2, lines 8-13): push the fantasy
+    // sample instead of copying the state.
+    ws.rows.push_back(x);
+    ws.y.push_back(ci);
+    ws.feasible.push_back(ci <= cap ? 1 : 0);
+    const double child_beta = beta - ci - switch_cost;
+
+    ws.model->fit(fm_, ws.rows, ws.y, util::derive_seed(path_seed, i + 1));
+    ws.model->predict_subset(fm_, lvl.cands, lvl.preds);
+    const double y_star = state_incumbent(ws.y, ws.feasible, lvl.preds);
+
+    // Fused NextStep (Algorithm 2, lines 21-25): one pass computes the
+    // budget-viability probability and EIc per candidate and keeps the
+    // running argmax. Since EI <= max(y*-µ, 0) + σ·φ(0) and the
+    // feasibility factor is <= 1, a candidate whose cheap upper bound
+    // cannot *strictly* beat the running best is skipped without
+    // evaluating the cdf/pdf pair — the argmax (first index attaining the
+    // max, ties broken by scan order) is unchanged. The bound holds with
+    // slack >= σ·φ(0) (σ has a positive floor in both models), orders of
+    // magnitude above floating-point error in the compared expressions.
+    constexpr double kPhi0 = 0.3989422804014326779;  // φ(0) = 1/√(2π)
+    double best = -std::numeric_limits<double>::infinity();
+    std::size_t best_j = lvl.cands.size();
+    for (std::size_t j = 0; j < lvl.cands.size(); ++j) {
+      const model::Prediction& p = lvl.preds[j];
+      if (!budget_viable(child_beta, p)) continue;
+      const double upper =
+          std::max(y_star - p.mean, 0.0) + p.stddev * kPhi0;
+      if (upper <= best) continue;
+      const double acq = constrained_ei(
+          y_star, p, problem_.feasibility_cost_cap(lvl.cands[j]));
+      if (acq > best) {
+        best = acq;
+        best_j = j;
+      }
+    }
+
+    if (best_j != lvl.cands.size()) {
+      const PathValue sub = explore(
+          ws, depth + 1, static_cast<ConfigId>(lvl.cands[best_j]),
+          lvl.preds[best_j].mean, lvl.preds[best_j].stddev, best, child_beta,
+          x, lvl.cands, steps_left - 1,
+          util::derive_seed(path_seed, 131 * (i + 1) + 7));
+      v.cost += wi * sub.cost;
+      v.reward += options_.gamma * wi * sub.reward;
+    }
+    // else: no viable continuation (lines 15-16) — the branch contributes
+    // only the root step.
+
+    // Revert the delta: Σ' → Σ.
+    ws.rows.pop_back();
+    ws.y.pop_back();
+    ws.feasible.pop_back();
+  }
+  return v;
+}
+
+}  // namespace lynceus::core

@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file lookahead.hpp
+/// The allocation-free, candidate-pruned lookahead simulation engine behind
+/// Lynceus' long-sighted decisions (paper §4.3, Algorithm 2).
+///
+/// A decision simulates, for every screened budget-viable root x, an
+/// exploration path of up to LA further steps; each step's speculated cost
+/// is discretized into K Gauss–Hermite branches and each branch refits the
+/// cost model with the fantasy sample. The naive implementation deep-copies
+/// the optimizer state Σ and re-predicts the *entire* configuration space
+/// at every branch, making a path node cost O(|space| · trees · depth) plus
+/// O(|space|) of copying. This engine removes both:
+///
+///  * **Delta states.** Each worker owns a single path state (training
+///    rows, targets, feasibility flags). Descending into a branch pushes
+///    the fantasy sample; returning pops it. No per-branch copies, and no
+///    per-config `tested` array at all — testedness is implied by the
+///    candidate list.
+///  * **Candidate pruning.** The ascending list of untested configurations
+///    shrinks by exactly the path's own step as it descends, and the model
+///    is only asked to predict that list (Regressor::predict_subset), so a
+///    path node costs O(candidates) instead of O(|space|). The full-space
+///    predict_all runs once per decision, at the root.
+///  * **Fused acquisition.** One pass per node computes (P(c ≤ β), EIc)
+///    per candidate and keeps the running argmax; the root pass stores the
+///    EIc values the screening sort and stop-rule reuse, instead of
+///    re-deriving prob_within/EI per consumer.
+///
+/// Complexity per simulated path node: one ensemble refit on |S|+depth
+/// samples plus one O(candidates) batched prediction and one O(candidates)
+/// fused scan — down from O(|space|) prediction and O(|space|) state
+/// copying. After the first simulated path warms the buffers, simulate()
+/// performs zero heap allocation under the default bagging model (asserted
+/// by the test suite via util/alloc_count.hpp).
+///
+/// Determinism: the engine reproduces the naive reference trajectory
+/// bit-for-bit — same derive_seed call structure, same candidate scan
+/// order (ascending ids), same floating-point accumulation order in the
+/// batched predictions (see Regressor's batched-prediction contract).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "math/gauss_hermite.hpp"
+#include "model/regressor.hpp"
+
+namespace lynceus::core {
+
+/// §4.4 "Setup costs": monetary cost of switching the deployed
+/// configuration from `current` (nullopt = nothing deployed yet) to `next`.
+using SetupCostFn =
+    std::function<double(std::optional<ConfigId> current, ConfigId next)>;
+
+/// Reward and cost of an exploration path (return of ExplorePaths).
+struct PathValue {
+  double reward = 0.0;
+  double cost = 0.0;
+};
+
+class LookaheadEngine {
+ public:
+  struct Options {
+    unsigned lookahead = 2;           ///< LA
+    unsigned gh_points = 3;           ///< K branches per simulated step
+    double gamma = 0.9;               ///< reward discount
+    double feasibility_quantile = 0.99;  ///< Γ filter quantile
+    SetupCostFn setup_cost;           ///< optional §4.4 extension
+  };
+
+  /// `workers` is the maximum number of concurrent simulate() calls; one
+  /// model + path-state workspace is preallocated per worker. `problem`
+  /// must outlive the engine.
+  LookaheadEngine(const OptimizationProblem& problem, Options options,
+                  const model::ModelFactory& factory, std::size_t workers);
+
+  /// Starts a decision: snapshots the optimizer's samples into the root
+  /// state Σ, refits the root model with `fit_seed`, runs the one
+  /// full-space prediction of the decision, and the fused root acquisition
+  /// pass (incumbent y*, viable set Γ in ascending id order, per-candidate
+  /// EIc). Not thread-safe against concurrent simulate() calls.
+  void begin_decision(const std::vector<Sample>& samples,
+                      double remaining_budget, std::uint64_t fit_seed);
+
+  /// Root-model predictions for every configuration (valid after
+  /// begin_decision).
+  [[nodiscard]] const std::vector<model::Prediction>& root_predictions()
+      const noexcept {
+    return root_preds_;
+  }
+
+  /// Incumbent y* of the current decision.
+  [[nodiscard]] double incumbent() const noexcept { return y_star_; }
+
+  /// Budget-viable untested configurations Γ, ascending.
+  [[nodiscard]] const std::vector<ConfigId>& viable() const noexcept {
+    return viable_;
+  }
+
+  /// max_{x ∈ Γ} EIc(x); 0 when Γ is empty (EIc is never negative).
+  [[nodiscard]] double max_viable_eic() const noexcept {
+    return max_viable_eic_;
+  }
+
+  /// Root EIc(x) from the fused pass. Only meaningful for x ∈ Γ.
+  [[nodiscard]] double root_eic(ConfigId id) const { return eic_by_id_[id]; }
+
+  /// Fills `out` with the roots to simulate: all of Γ, or when
+  /// `width > 0` and Γ is larger, the `width` best by the one-step
+  /// EIc/E[cost] score (implementation approximation, see DESIGN.md §5).
+  void screened_roots(unsigned width, std::vector<ConfigId>& out) const;
+
+  /// ExplorePaths (Algorithm 2) rooted at `root` (must be in Γ). Safe to
+  /// call concurrently from up to `workers` threads between two
+  /// begin_decision calls.
+  [[nodiscard]] PathValue simulate(ConfigId root, std::uint64_t path_seed);
+
+  [[nodiscard]] const model::FeatureMatrix& feature_matrix() const noexcept {
+    return fm_;
+  }
+
+ private:
+  /// Per-depth, per-worker buffers of the recursion.
+  struct Level {
+    std::vector<std::uint32_t> cands;       ///< untested ids, ascending
+    std::vector<model::Prediction> preds;   ///< parallel to cands
+    std::vector<math::QuadraturePoint> nodes;  ///< K branch points
+  };
+
+  /// One worker's exclusive state: a model instance plus the single
+  /// delta-maintained path state Σ.
+  struct Workspace {
+    std::unique_ptr<model::Regressor> model;
+    std::vector<std::uint32_t> rows;  ///< training rows (real + fantasy)
+    std::vector<double> y;            ///< observed / speculated costs
+    std::vector<char> feasible;       ///< per-sample feasibility
+    std::vector<Level> levels;
+    std::uint64_t epoch = 0;  ///< decision this path state mirrors
+  };
+
+  [[nodiscard]] double setup_cost(const std::optional<ConfigId>& from,
+                                  ConfigId to) const {
+    return options_.setup_cost ? options_.setup_cost(from, to) : 0.0;
+  }
+
+  /// Exactly `prob_within(beta, pred) >= feasibility_quantile`, without
+  /// evaluating the normal cdf: `viable_z_` is the smallest double z with
+  /// norm_cdf(z) >= q (found once by bisection), so comparing the z-score
+  /// against it reproduces the cdf comparison decision bit-for-bit while
+  /// replacing an erfc call per candidate with a subtract-divide-compare.
+  [[nodiscard]] bool budget_viable(double beta,
+                                   const model::Prediction& pred) const
+      noexcept {
+    if (pred.stddev <= 0.0) return beta >= pred.mean;
+    return (beta - pred.mean) / pred.stddev >= viable_z_;
+  }
+
+  /// Incumbent for a simulated state: cheapest feasible sample, or the
+  /// paper's fallback (max sampled cost + 3 · max predictive stddev over
+  /// the untested candidates).
+  [[nodiscard]] static double state_incumbent(
+      const std::vector<double>& y, const std::vector<char>& feasible,
+      const std::vector<model::Prediction>& cand_preds);
+
+  PathValue explore(Workspace& ws, std::size_t depth, ConfigId x,
+                    double x_mean, double x_stddev, double x_eic, double beta,
+                    const std::optional<ConfigId>& chi,
+                    const std::vector<std::uint32_t>& cands,
+                    unsigned steps_left, std::uint64_t path_seed);
+
+  Workspace* acquire_workspace();
+  void release_workspace(Workspace* ws);
+
+  const OptimizationProblem& problem_;
+  const Options options_;
+  const model::FeatureMatrix fm_;
+  const math::GaussHermite quadrature_;
+
+  // Root snapshot of the current decision.
+  std::unique_ptr<model::Regressor> root_model_;
+  std::vector<std::uint32_t> root_rows_;
+  std::vector<double> root_y_;
+  std::vector<char> root_feasible_;
+  std::vector<std::uint32_t> root_cands_;  ///< untested ids, ascending
+  std::vector<char> tested_;               ///< scratch for root_cands_
+  std::vector<model::Prediction> root_preds_;
+  std::vector<ConfigId> viable_;
+  std::vector<double> eic_by_id_;
+  double root_beta_ = 0.0;
+  std::optional<ConfigId> root_chi_;
+  double y_star_ = 0.0;
+  double max_viable_eic_ = 0.0;
+  double viable_z_ = 0.0;
+  std::uint64_t epoch_ = 0;
+
+  std::vector<Workspace> workspaces_;
+  std::mutex pool_mutex_;
+  std::vector<Workspace*> free_workspaces_;
+};
+
+}  // namespace lynceus::core

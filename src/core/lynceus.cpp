@@ -1,15 +1,12 @@
 #include "core/lynceus.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 
-#include "core/acquisition.hpp"
 #include "core/bo.hpp"
 #include "core/sequential.hpp"
-#include "math/distributions.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace lynceus::core {
@@ -36,209 +33,6 @@ std::string LynceusOptimizer::name() const {
   return util::format("Lynceus(LA=%u)", options_.lookahead);
 }
 
-namespace {
-
-/// State Σ of one (possibly simulated) optimization trajectory: training
-/// set, feasibility flags, untested mask, remaining budget β, and the
-/// currently deployed configuration χ (paper §4.3, "State").
-struct PathState {
-  std::vector<std::uint32_t> rows;  ///< training rows (configs profiled)
-  std::vector<double> y;            ///< observed / speculated costs
-  std::vector<char> sample_feasible;
-  std::vector<char> tested;  ///< per-config flag
-  double beta = 0.0;
-  std::optional<ConfigId> chi;
-};
-
-/// Model artifacts for a state: predictions for every configuration plus
-/// the incumbent y*.
-struct ModelCtx {
-  std::vector<model::Prediction> preds;
-  double y_star = 0.0;
-};
-
-/// Reward and cost of an exploration path (return of ExplorePaths).
-struct PathValue {
-  double reward = 0.0;
-  double cost = 0.0;
-};
-
-/// Per-worker scratch: one model instance (reused across depths — only the
-/// extracted predictions are kept per level) and per-depth buffers to avoid
-/// allocation inside the recursion.
-struct Workspace {
-  std::unique_ptr<model::Regressor> model;
-  std::vector<PathState> state_by_depth;
-  std::vector<ModelCtx> ctx_by_depth;
-};
-
-/// Hands exclusive workspaces to concurrently running root simulations.
-/// The lock cost is negligible next to a path simulation (milliseconds).
-class WorkspacePool {
- public:
-  explicit WorkspacePool(std::vector<Workspace>& all) {
-    for (auto& ws : all) free_.push_back(&ws);
-  }
-
-  Workspace* acquire() {
-    std::lock_guard lock(mutex_);
-    if (free_.empty()) {
-      throw std::logic_error("WorkspacePool: more tasks in flight than workers");
-    }
-    Workspace* ws = free_.back();
-    free_.pop_back();
-    return ws;
-  }
-
-  void release(Workspace* ws) {
-    std::lock_guard lock(mutex_);
-    free_.push_back(ws);
-  }
-
- private:
-  std::mutex mutex_;
-  std::vector<Workspace*> free_;
-};
-
-}  // namespace
-
-struct LynceusOptimizer::Impl {
-  const LynceusOptions& opts;
-  const OptimizationProblem& problem;
-  const model::FeatureMatrix fm;
-  const math::GaussHermite quadrature;
-  std::uint64_t seed;
-
-  Impl(const LynceusOptions& o, const OptimizationProblem& p, std::uint64_t s)
-      : opts(o), problem(p), fm(*p.space), quadrature(o.gh_points), seed(s) {}
-
-  [[nodiscard]] double setup_cost(const std::optional<ConfigId>& from,
-                                  ConfigId to) const {
-    return opts.setup_cost ? opts.setup_cost(from, to) : 0.0;
-  }
-
-  /// EIc(x) under a model context (paper §3).
-  [[nodiscard]] double eic(const ModelCtx& ctx, ConfigId x) const {
-    return constrained_ei(ctx.y_star, ctx.preds[x],
-                          problem.feasibility_cost_cap(x));
-  }
-
-  /// Fits the model on a state and fills the context (predictions + y*).
-  void build_ctx(model::Regressor& model, const PathState& st, ModelCtx& ctx,
-                 std::uint64_t fit_seed) const {
-    model.fit(fm, st.rows, st.y, fit_seed);
-    model.predict_all(fm, ctx.preds);
-    ctx.y_star = incumbent(st, ctx.preds);
-  }
-
-  /// Incumbent y*: cheapest feasible sample, or the paper's fallback
-  /// (max sampled cost + 3 · max predictive stddev over untested points).
-  [[nodiscard]] double incumbent(
-      const PathState& st, const std::vector<model::Prediction>& preds) const {
-    bool any = false;
-    double best = 0.0;
-    double most_expensive = st.y.front();
-    for (std::size_t i = 0; i < st.y.size(); ++i) {
-      most_expensive = std::max(most_expensive, st.y[i]);
-      if (st.sample_feasible[i] != 0 && (!any || st.y[i] < best)) {
-        best = st.y[i];
-        any = true;
-      }
-    }
-    if (any) return best;
-    double max_stddev = 0.0;
-    for (std::size_t id = 0; id < preds.size(); ++id) {
-      if (st.tested[id] == 0) {
-        max_stddev = std::max(max_stddev, preds[id].stddev);
-      }
-    }
-    return most_expensive + 3.0 * max_stddev;
-  }
-
-  /// Budget-viable untested configurations (Algorithm 1 line 23 /
-  /// Algorithm 2 line 22): P(c(x) <= β) >= feasibility_quantile.
-  void viable_set(const PathState& st, const ModelCtx& ctx,
-                  std::vector<ConfigId>& out) const {
-    out.clear();
-    for (std::size_t id = 0; id < ctx.preds.size(); ++id) {
-      if (st.tested[id] != 0) continue;
-      if (prob_within(st.beta, ctx.preds[id]) >= opts.feasibility_quantile) {
-        out.push_back(static_cast<ConfigId>(id));
-      }
-    }
-  }
-
-  /// NextStep (Algorithm 2, lines 21-25): argmax EIc over the viable set,
-  /// or nullopt when the set is empty.
-  [[nodiscard]] std::optional<ConfigId> next_step(const PathState& st,
-                                                  const ModelCtx& ctx) const {
-    double best = -std::numeric_limits<double>::infinity();
-    std::optional<ConfigId> best_id;
-    for (std::size_t id = 0; id < ctx.preds.size(); ++id) {
-      if (st.tested[id] != 0) continue;
-      if (prob_within(st.beta, ctx.preds[id]) < opts.feasibility_quantile) {
-        continue;
-      }
-      const double acq = eic(ctx, static_cast<ConfigId>(id));
-      if (acq > best) {
-        best = acq;
-        best_id = static_cast<ConfigId>(id);
-      }
-    }
-    return best_id;
-  }
-
-  /// ExplorePaths (Algorithm 2): reward and cost of the path that, from
-  /// state `st` (whose model context is `ctx`), explores `x` next and then
-  /// continues for up to `l` further steps.
-  PathValue explore(Workspace& ws, const PathState& st, const ModelCtx& ctx,
-                    ConfigId x, unsigned l, std::uint64_t path_seed) const {
-    const model::Prediction& pred = ctx.preds[x];
-    PathValue v;
-    v.reward = eic(ctx, x);
-    v.cost = pred.mean + setup_cost(st.chi, x);
-    if (l == 0) return v;
-
-    const auto nodes = quadrature.for_normal(pred.mean, pred.stddev);
-    const std::size_t depth = ws.state_by_depth.size() -
-                              static_cast<std::size_t>(l);
-    PathState& child = ws.state_by_depth[depth];
-    ModelCtx& child_ctx = ws.ctx_by_depth[depth];
-    const double cap = problem.feasibility_cost_cap(x);
-
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      // Speculated cost: a run can never be free or negative; clamp to a
-      // small fraction of the predicted mean.
-      const double ci = std::max(nodes[i].value, 0.001 * pred.mean);
-      const double wi = nodes[i].weight;
-
-      // Build the child state Σ' (Algorithm 2, lines 8-13).
-      child.rows = st.rows;
-      child.y = st.y;
-      child.sample_feasible = st.sample_feasible;
-      child.tested = st.tested;
-      child.rows.push_back(x);
-      child.y.push_back(ci);
-      child.sample_feasible.push_back(ci <= cap ? 1 : 0);
-      child.tested[x] = 1;
-      child.beta = st.beta - ci - setup_cost(st.chi, x);
-      child.chi = x;
-
-      build_ctx(*ws.model, child, child_ctx,
-                util::derive_seed(path_seed, i + 1));
-      const auto x_next = next_step(child, child_ctx);
-      if (!x_next) continue;  // no viable continuation (lines 15-16)
-
-      const PathValue sub =
-          explore(ws, child, child_ctx, *x_next, l - 1,
-                  util::derive_seed(path_seed, 131 * (i + 1) + 7));
-      v.cost += wi * sub.cost;
-      v.reward += opts.gamma * wi * sub.reward;
-    }
-    return v;
-  }
-};
-
 OptimizerResult LynceusOptimizer::optimize(const OptimizationProblem& problem,
                                            JobRunner& runner,
                                            std::uint64_t seed) {
@@ -249,54 +43,33 @@ OptimizerResult LynceusOptimizer::optimize(const OptimizationProblem& problem,
     for (const auto& s : st.samples) options_.observer->on_bootstrap(s);
   }
 
-  const Impl impl(options_, problem, seed);
   const model::ModelFactory factory =
       options_.model_factory ? options_.model_factory
                              : default_tree_model_factory(*problem.space);
 
-  auto root_model = factory();
-  ModelCtx root_ctx;
-  PathState root_state;
-  std::vector<ConfigId> viable;
-  std::vector<ConfigId> roots;
-
+  LookaheadEngine::Options eopts;
+  eopts.lookahead = options_.lookahead;
+  eopts.gh_points = options_.gh_points;
+  eopts.gamma = options_.gamma;
+  eopts.feasibility_quantile = options_.feasibility_quantile;
+  eopts.setup_cost = options_.setup_cost;
   // One workspace per worker (index 0 = calling thread).
   const std::size_t workers =
       options_.pool != nullptr ? options_.pool->worker_count() + 1 : 1;
-  std::vector<Workspace> workspaces(workers);
-  for (auto& ws : workspaces) {
-    ws.model = factory();
-    ws.state_by_depth.resize(options_.lookahead + 1);
-    ws.ctx_by_depth.resize(options_.lookahead + 1);
-  }
-  WorkspacePool ws_pool(workspaces);
+  LookaheadEngine engine(problem, std::move(eopts), factory, workers);
+
+  std::vector<ConfigId> roots;
+  std::vector<PathValue> values;
 
   std::uint64_t iteration = 0;
   while (!st.untested.empty()) {
     timer.start();
     ++iteration;
 
-    // Mirror the loop state into a PathState (the root Σ).
-    root_state.rows.clear();
-    root_state.y.clear();
-    root_state.sample_feasible.clear();
-    for (const auto& s : st.samples) {
-      root_state.rows.push_back(s.id);
-      root_state.y.push_back(s.cost);
-      root_state.sample_feasible.push_back(s.feasible ? 1 : 0);
-    }
-    root_state.tested.assign(problem.space->size(), 0);
-    for (const auto& s : st.samples) root_state.tested[s.id] = 1;
-    root_state.beta = st.budget.remaining();
-    root_state.chi = st.samples.empty()
-                         ? std::nullopt
-                         : std::optional<ConfigId>(st.samples.back().id);
+    engine.begin_decision(st.samples, st.budget.remaining(),
+                          util::derive_seed(seed, iteration));
 
-    impl.build_ctx(*root_model, root_state, root_ctx,
-                   util::derive_seed(seed, iteration));
-
-    impl.viable_set(root_state, root_ctx, viable);
-    if (viable.empty()) {
+    if (engine.viable().empty()) {
       timer.discard();
       if (options_.observer != nullptr) {
         options_.observer->on_stop("budget: no viable configuration left");
@@ -305,50 +78,25 @@ OptimizerResult LynceusOptimizer::optimize(const OptimizationProblem& problem,
     }
 
     // Optional early stop (footnote 2 of the paper).
-    if (options_.ei_stop_fraction > 0.0) {
-      double best_eic = 0.0;
-      for (ConfigId id : viable) {
-        best_eic = std::max(best_eic, impl.eic(root_ctx, id));
+    if (options_.ei_stop_fraction > 0.0 &&
+        engine.max_viable_eic() <
+            options_.ei_stop_fraction * engine.incumbent()) {
+      timer.discard();
+      if (options_.observer != nullptr) {
+        options_.observer->on_stop("expected improvement below threshold");
       }
-      if (best_eic < options_.ei_stop_fraction * root_ctx.y_star) {
-        timer.discard();
-        if (options_.observer != nullptr) {
-          options_.observer->on_stop("expected improvement below threshold");
-        }
-        break;
-      }
+      break;
     }
 
     // Root screening (implementation approximation; see header).
-    roots = viable;
-    if (options_.screen_width > 0 && roots.size() > options_.screen_width) {
-      std::partial_sort(
-          roots.begin(), roots.begin() + options_.screen_width, roots.end(),
-          [&](ConfigId a, ConfigId b) {
-            const double sa = impl.eic(root_ctx, a) /
-                              std::max(root_ctx.preds[a].mean, 1e-12);
-            const double sb = impl.eic(root_ctx, b) /
-                              std::max(root_ctx.preds[b].mean, 1e-12);
-            return sa > sb;
-          });
-      roots.resize(options_.screen_width);
-    }
+    engine.screened_roots(options_.screen_width, roots);
 
     // Simulate one path per root, in parallel (§4.3).
-    std::vector<PathValue> values(roots.size());
-    auto body = [&](std::size_t i) {
-      Workspace* ws = ws_pool.acquire();
-      try {
-        values[i] = impl.explore(
-            *ws, root_state, root_ctx, roots[i], options_.lookahead,
-            util::derive_seed(seed, iteration * 1000003ULL + roots[i]));
-      } catch (...) {
-        ws_pool.release(ws);
-        throw;
-      }
-      ws_pool.release(ws);
-    };
-    util::maybe_parallel_for(options_.pool, roots.size(), body);
+    values.assign(roots.size(), PathValue{});
+    util::maybe_parallel_for(options_.pool, roots.size(), [&](std::size_t i) {
+      values[i] = engine.simulate(
+          roots[i], util::derive_seed(seed, iteration * 1000003ULL + roots[i]));
+    });
 
     double best_ratio = -std::numeric_limits<double>::infinity();
     ConfigId best_id = roots.front();
@@ -364,11 +112,11 @@ OptimizerResult LynceusOptimizer::optimize(const OptimizationProblem& problem,
     if (options_.observer != nullptr) {
       DecisionEvent event;
       event.iteration = static_cast<std::size_t>(iteration);
-      event.viable_count = viable.size();
+      event.viable_count = engine.viable().size();
       event.simulated_roots = roots.size();
       event.chosen = best_id;
-      event.predicted_cost = root_ctx.preds[best_id].mean;
-      event.incumbent = root_ctx.y_star;
+      event.predicted_cost = engine.root_predictions()[best_id].mean;
+      event.incumbent = engine.incumbent();
       event.remaining_budget = st.budget.remaining();
       event.best_ratio = best_ratio;
       options_.observer->on_decision(event);
@@ -376,8 +124,10 @@ OptimizerResult LynceusOptimizer::optimize(const OptimizationProblem& problem,
 
     // §4.4: switching the deployed configuration costs real money too.
     if (options_.setup_cost) {
-      st.budget.spend(
-          std::max(0.0, options_.setup_cost(root_state.chi, best_id)));
+      const std::optional<ConfigId> chi =
+          st.samples.empty() ? std::nullopt
+                             : std::optional<ConfigId>(st.samples.back().id);
+      st.budget.spend(std::max(0.0, options_.setup_cost(chi, best_id)));
     }
     const Sample& ran = st.profile(best_id);
     if (options_.observer != nullptr) options_.observer->on_run(ran);

@@ -23,22 +23,22 @@
 /// Optional extensions (§4.4): a setup-cost function charged when the
 /// deployed configuration changes, both in reality and inside simulated
 /// paths. (Multiple constraints live in constraints.hpp.)
+///
+/// The path simulation itself — delta-maintained states, candidate-pruned
+/// subset prediction, fused acquisition — lives in core/lookahead.hpp; this
+/// class runs the outer optimization loop (bootstrap, stop rules, root
+/// screening, profiling) on top of that engine.
 
 #include <functional>
 #include <optional>
 
+#include "core/lookahead.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
-#include "math/gauss_hermite.hpp"
 #include "model/regressor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lynceus::core {
-
-/// §4.4 "Setup costs": monetary cost of switching the deployed
-/// configuration from `current` (nullopt = nothing deployed yet) to `next`.
-using SetupCostFn =
-    std::function<double(std::optional<ConfigId> current, ConfigId next)>;
 
 struct LynceusOptions {
   /// Lookahead window LA (paper default: 2).

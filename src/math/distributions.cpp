@@ -75,4 +75,23 @@ double normal_quantile(double p, double mean, double stddev) {
   return mean + stddev * norm_quantile(p);
 }
 
+double norm_cdf_ge_boundary(double q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::domain_error("norm_cdf_ge_boundary: q must lie in (0, 1)");
+  }
+  double lo = -50.0;  // norm_cdf(-50) == 0 < q
+  double hi = 50.0;   // norm_cdf(50) == 1 >= q
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;
+    (norm_cdf(mid) >= q ? hi : lo) = mid;
+  }
+  while (true) {
+    const double prev = std::nextafter(hi, lo);
+    if (prev <= lo || norm_cdf(prev) < q) break;
+    hi = prev;
+  }
+  return hi;
+}
+
 }  // namespace lynceus::math

@@ -36,4 +36,12 @@ namespace lynceus::math {
 /// around norm_quantile, used by the budget-feasibility filter.)
 [[nodiscard]] double normal_quantile(double p, double mean, double stddev);
 
+/// Smallest double z with `norm_cdf(z) >= q`, for q in (0, 1) — found by
+/// bisection over doubles plus a final nextafter walk, so comparing a
+/// z-score against the boundary decides `norm_cdf(z) >= q` exactly (the
+/// cdf is monotone). Lets hot loops replace an erfc evaluation per
+/// candidate with one subtract-divide-compare. Throws std::domain_error
+/// outside (0, 1).
+[[nodiscard]] double norm_cdf_ge_boundary(double q);
+
 }  // namespace lynceus::math

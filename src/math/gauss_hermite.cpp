@@ -85,13 +85,18 @@ GaussHermite::GaussHermite(std::size_t k) {
 std::vector<QuadraturePoint> GaussHermite::for_normal(double mean,
                                                       double stddev) const {
   std::vector<QuadraturePoint> out(nodes_.size());
+  for_normal_into(mean, stddev, out.data());
+  return out;
+}
+
+void GaussHermite::for_normal_into(double mean, double stddev,
+                                   QuadraturePoint* out) const noexcept {
   const double scale = std::sqrt(2.0) * stddev;
   const double inv_sqrt_pi = 1.0 / std::sqrt(M_PI);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     out[i].value = mean + scale * nodes_[i];
     out[i].weight = weights_[i] * inv_sqrt_pi;
   }
-  return out;
 }
 
 double GaussHermite::integrate(const std::vector<double>& f_at_nodes) const {

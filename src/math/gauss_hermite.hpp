@@ -47,6 +47,12 @@ class GaussHermite {
   [[nodiscard]] std::vector<QuadraturePoint> for_normal(double mean,
                                                         double stddev) const;
 
+  /// Allocation-free variant of for_normal(): writes the K points into
+  /// `out[0..size())`. Used by the lookahead simulation engine, whose inner
+  /// loop must not touch the heap.
+  void for_normal_into(double mean, double stddev,
+                       QuadraturePoint* out) const noexcept;
+
   /// ∫ f(x) e^{-x²} dx approximated by the rule.
   [[nodiscard]] double integrate(const std::vector<double>& f_at_nodes) const;
 

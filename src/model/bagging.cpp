@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace lynceus::model {
 
 unsigned BaggingOptions::weka_features_per_split(std::size_t d) {
@@ -18,7 +20,12 @@ BaggingEnsemble::BaggingEnsemble(BaggingOptions options)
   if (options_.trees == 0) {
     throw std::invalid_argument("BaggingEnsemble: need at least one tree");
   }
-  trees_.assign(options_.trees, DecisionTree(options_.tree));
+  // Leaf variances are only consumed in TotalVariance mode; skipping them
+  // otherwise saves one pass per leaf in every refit.
+  TreeOptions tree_opts = options_.tree;
+  tree_opts.leaf_variance =
+      options_.variance_mode == VarianceMode::TotalVariance;
+  trees_.assign(options_.trees, DecisionTree(tree_opts));
 }
 
 void BaggingEnsemble::fit(const FeatureMatrix& fm,
@@ -90,40 +97,89 @@ Prediction BaggingEnsemble::predict(const FeatureMatrix& fm,
   return finalize(sum, sumsq, var_sum);
 }
 
+void BaggingEnsemble::predict_rows(const FeatureMatrix& fm,
+                                   const std::uint32_t* rows, std::size_t n,
+                                   Prediction* out) const {
+  const bool total = options_.variance_mode == VarianceMode::TotalVariance;
+  // Per-row accumulators, thread-local: the lookahead engine predicts
+  // concurrently from its workspaces, and the buffers keep their capacity
+  // across calls (no steady-state allocation).
+  thread_local std::vector<double> sum;
+  thread_local std::vector<double> sumsq;
+  thread_local std::vector<double> var_sum;
+  sum.assign(n, 0.0);
+  sumsq.assign(n, 0.0);
+  var_sum.assign(n, 0.0);
+  // Tree-major sweep, each tree batching the whole row list (level-mask
+  // walk or frontier partition) so every tree node is visited once instead
+  // of once per row. The per-row accumulation order over trees matches the
+  // scalar predict() loop, so results are bitwise identical.
+  for (const auto& tree : trees_) {
+    tree.accumulate_batch(fm, rows, n, sum.data(), sumsq.data(),
+                          total ? var_sum.data() : nullptr);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = finalize(sum[i], sumsq[i], var_sum[i]);
+  }
+}
+
+namespace {
+
+/// Splits `[0, n)` into `chunks` near-equal contiguous ranges and runs
+/// `body(begin, end)` for each on the pool. Chunk boundaries depend only on
+/// (n, chunks), and rows keep their positions, so parallel results are
+/// bitwise identical to sequential ones. Templated so the common pool-less
+/// call stays allocation-free (no std::function wrapping).
+template <class Body>
+void chunked_parallel(util::ThreadPool* pool, std::size_t n,
+                      const Body& body) {
+  const std::size_t chunks =
+      pool != nullptr ? std::min(n, pool->worker_count() + 1) : 1;
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  util::maybe_parallel_for(pool, chunks, [&](std::size_t c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    if (begin < end) body(begin, end);
+  });
+}
+
+}  // namespace
+
 void BaggingEnsemble::predict_all(const FeatureMatrix& fm,
                                   std::vector<Prediction>& out) const {
   if (!fitted_) {
     throw std::logic_error("BaggingEnsemble::predict_all: not fitted");
   }
   const std::size_t m = fm.rows();
-  const bool total = options_.variance_mode == VarianceMode::TotalVariance;
-  // Accumulate per-row sums tree by tree (keeps each tree's nodes hot in
-  // cache across the whole row sweep).
-  thread_local std::vector<double> sum;
-  thread_local std::vector<double> sumsq;
-  thread_local std::vector<double> var_sum;
-  sum.assign(m, 0.0);
-  sumsq.assign(m, 0.0);
-  var_sum.assign(m, 0.0);
-  for (const auto& tree : trees_) {
-    for (std::size_t row = 0; row < m; ++row) {
-      if (total) {
-        const auto stats =
-            tree.predict_stats(fm, static_cast<std::uint32_t>(row));
-        sum[row] += stats.mean;
-        sumsq[row] += stats.mean * stats.mean;
-        var_sum[row] += stats.variance;
-      } else {
-        const double v = tree.predict(fm, static_cast<std::uint32_t>(row));
-        sum[row] += v;
-        sumsq[row] += v * v;
-      }
-    }
-  }
   out.resize(m);
-  for (std::size_t row = 0; row < m; ++row) {
-    out[row] = finalize(sum[row], sumsq[row], var_sum[row]);
+  chunked_parallel(options_.predict_pool, m,
+                   [&](std::size_t begin, std::size_t end) {
+                     thread_local std::vector<std::uint32_t> ids;
+                     ids.resize(end - begin);
+                     for (std::size_t i = begin; i < end; ++i) {
+                       ids[i - begin] = static_cast<std::uint32_t>(i);
+                     }
+                     predict_rows(fm, begin == 0 && end == m ? nullptr
+                                                             : ids.data(),
+                                  end - begin, out.data() + begin);
+                   });
+}
+
+void BaggingEnsemble::predict_subset(const FeatureMatrix& fm,
+                                     const std::vector<std::uint32_t>& ids,
+                                     std::vector<Prediction>& out) const {
+  if (!fitted_) {
+    throw std::logic_error("BaggingEnsemble::predict_subset: not fitted");
   }
+  out.resize(ids.size());
+  chunked_parallel(options_.predict_pool, ids.size(),
+                   [&](std::size_t begin, std::size_t end) {
+                     predict_rows(fm, ids.data() + begin, end - begin,
+                                  out.data() + begin);
+                   });
 }
 
 std::unique_ptr<Regressor> BaggingEnsemble::fresh() const {

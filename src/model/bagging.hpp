@@ -17,6 +17,10 @@
 #include "model/decision_tree.hpp"
 #include "model/regressor.hpp"
 
+namespace lynceus::util {
+class ThreadPool;
+}
+
 namespace lynceus::model {
 
 /// How the ensemble turns per-tree outputs into a predictive variance.
@@ -41,6 +45,13 @@ struct BaggingOptions {
   /// feasibility probabilities degenerate; a small floor keeps the
   /// Gaussian assumption usable (standard SMAC practice).
   double min_stddev_rel = 1e-6;
+  /// Optional parallelism for predict_all()/predict_subset(): the row list
+  /// is split into one contiguous chunk per worker and each chunk runs the
+  /// full tree sweep independently. Per-row accumulation order is
+  /// unchanged, so results are bitwise identical to the sequential path.
+  /// Null = sequential (the default; the Lynceus engine already
+  /// parallelizes across root candidates). Not owned.
+  util::ThreadPool* predict_pool = nullptr;
 
   /// Weka RandomTree's default feature-subset size for `d` features.
   [[nodiscard]] static unsigned weka_features_per_split(std::size_t d);
@@ -59,6 +70,13 @@ class BaggingEnsemble final : public Regressor {
   void predict_all(const FeatureMatrix& fm,
                    std::vector<Prediction>& out) const override;
 
+  /// Batched subset prediction over `ids` (see Regressor::predict_subset).
+  /// Uses the same frontier traversal as predict_all restricted to the
+  /// given rows; allocation-free after warm-up.
+  void predict_subset(const FeatureMatrix& fm,
+                      const std::vector<std::uint32_t>& ids,
+                      std::vector<Prediction>& out) const override;
+
   [[nodiscard]] std::unique_ptr<Regressor> fresh() const override;
 
   [[nodiscard]] const BaggingOptions& options() const noexcept {
@@ -69,6 +87,11 @@ class BaggingEnsemble final : public Regressor {
  private:
   [[nodiscard]] Prediction finalize(double sum, double sumsq,
                                     double var_sum) const noexcept;
+
+  /// Shared sequential core of predict_all/predict_subset: predicts the
+  /// `n` rows `rows[0..n)` (nullptr = identity rows 0..n) into `out[0..n)`.
+  void predict_rows(const FeatureMatrix& fm, const std::uint32_t* rows,
+                    std::size_t n, Prediction* out) const;
 
   BaggingOptions options_;
   std::vector<DecisionTree> trees_;

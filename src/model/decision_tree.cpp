@@ -8,17 +8,28 @@ namespace lynceus::model {
 
 DecisionTree::DecisionTree(TreeOptions options) : options_(options) {}
 
+/// Upper bound on features statted per fused split-scan pass (bounds the
+/// scan's stack arrays; wider spaces just take several passes).
+static constexpr std::size_t kMaxFeatures = 64;
+
+/// Thin view over the fm/rng and the tree-owned FitScratch buffers (the
+/// vectors live in `scratch_` so refits reuse their capacity).
 struct DecisionTree::BuildCtx {
   const FeatureMatrix* fm = nullptr;
   util::Rng* rng = nullptr;
   // Parallel arrays, partitioned in place as the tree grows.
-  std::vector<std::uint32_t> idx;
-  std::vector<double> y;
-  // Per-level scratch, reused across nodes (sized max_level_count).
-  std::vector<std::uint32_t> cnt;
-  std::vector<double> sum;
+  std::vector<std::uint32_t>& idx;
+  std::vector<double>& y;
+  // Per-(feature, level) scratch for the fused split scan, reused across
+  // nodes (sized cols * max_level_count).
+  std::vector<std::uint32_t>& cnt;
+  std::vector<double>& sum;
   // Feature-subset scratch.
-  std::vector<std::uint16_t> feature_order;
+  std::vector<std::uint16_t>& feature_order;
+
+  explicit BuildCtx(FitScratch& s)
+      : idx(s.idx), y(s.y), cnt(s.cnt), sum(s.sum),
+        feature_order(s.feature_order) {}
 };
 
 void DecisionTree::fit(const FeatureMatrix& fm,
@@ -32,13 +43,13 @@ void DecisionTree::fit(const FeatureMatrix& fm,
   depth_ = 0;
   nodes_.reserve(2 * rows.size());
 
-  BuildCtx ctx;
+  BuildCtx ctx(scratch_);
   ctx.fm = &fm;
   ctx.rng = &rng;
-  ctx.idx = rows;
-  ctx.y = y;
-  ctx.cnt.assign(fm.max_level_count(), 0);
-  ctx.sum.assign(fm.max_level_count(), 0.0);
+  ctx.idx.assign(rows.begin(), rows.end());
+  ctx.y.assign(y.begin(), y.end());
+  ctx.cnt.assign(fm.cols() * fm.max_level_count(), 0);
+  ctx.sum.assign(fm.cols() * fm.max_level_count(), 0.0);
   ctx.feature_order.resize(fm.cols());
   for (std::size_t d = 0; d < fm.cols(); ++d) {
     ctx.feature_order[d] = static_cast<std::uint16_t>(d);
@@ -53,25 +64,30 @@ std::int32_t DecisionTree::build(BuildCtx& ctx, std::size_t begin,
   const std::size_t n = end - begin;
   depth_ = std::max(depth_, depth);
 
+  // total_sum accumulates the targets in row order. For inner nodes the
+  // fused split scan below recomputes exactly this sum alongside the
+  // per-level statistics, so the standalone pass only runs for early
+  // leaves.
   double total_sum = 0.0;
-  for (std::size_t i = begin; i < end; ++i) total_sum += ctx.y[i];
-  const double node_mean = total_sum / static_cast<double>(n);
 
-  auto make_leaf = [&]() {
+  auto make_leaf = [&](double node_mean) {
     Node leaf;
     leaf.value = static_cast<float>(node_mean);
-    double sq = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const double d = ctx.y[i] - node_mean;
-      sq += d * d;
+    if (options_.leaf_variance) {
+      double sq = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double d = ctx.y[i] - node_mean;
+        sq += d * d;
+      }
+      leaf.variance = static_cast<float>(sq / static_cast<double>(n));
     }
-    leaf.variance = static_cast<float>(sq / static_cast<double>(n));
     nodes_.push_back(leaf);
     return static_cast<std::int32_t>(nodes_.size() - 1);
   };
 
   if (n < options_.min_samples_split || depth >= options_.max_depth) {
-    return make_leaf();
+    for (std::size_t i = begin; i < end; ++i) total_sum += ctx.y[i];
+    return make_leaf(total_sum / static_cast<double>(n));
   }
 
   // Choose the feature subset for this split (Weka RandomTree style).
@@ -92,29 +108,55 @@ std::int32_t DecisionTree::build(BuildCtx& ctx, std::size_t begin,
   //   S(split) = s_L^2/n_L + s_R^2/n_R
   // is equivalent to minimizing the summed squared error of the two
   // children, so no sum-of-squares accumulation is needed.
-  const double parent_score = total_sum * total_sum / static_cast<double>(n);
   double best_score = -std::numeric_limits<double>::infinity();
   std::int16_t best_feature = kLeaf;
   std::uint16_t best_code = 0;
 
-  auto scan_features = [&](std::size_t from, std::size_t to) {
-    for (std::size_t f = from; f < to; ++f) {
-      const std::uint16_t feature = ctx.feature_order[f];
-      const std::uint16_t levels = fm.level_count(feature);
+  // Fused multi-feature statistics: one pass over the rows accumulates
+  // (count, sum) per level for every candidate feature at once — the row's
+  // code block is a single contiguous read, and the pass is taken once
+  // instead of once per feature. Each (feature, level) bucket still
+  // receives its targets in row order, so sums are bitwise identical to a
+  // per-feature scan, and the threshold sweep evaluates candidates in the
+  // same (feature, code) order.
+  const std::size_t stride = fm.max_level_count();
+  const std::uint32_t* const idx = ctx.idx.data();
+  const double* const yv = ctx.y.data();
+  auto scan_chunk = [&](std::size_t from, std::size_t to,
+                        bool accumulate_total) {
+    const std::size_t nf = to - from;
+    // Hoist the selected features and their bucket base pointers out of the
+    // row loop (the loop is the fit's hottest code).
+    std::uint16_t sel[kMaxFeatures];
+    std::uint32_t* cntk[kMaxFeatures];
+    double* sumk[kMaxFeatures];
+    for (std::size_t k = 0; k < nf; ++k) {
+      sel[k] = ctx.feature_order[from + k];
+      cntk[k] = ctx.cnt.data() + k * stride;
+      sumk[k] = ctx.sum.data() + k * stride;
+      const std::uint16_t levels = fm.level_count(sel[k]);
       for (std::uint16_t c = 0; c < levels; ++c) {
-        ctx.cnt[c] = 0;
-        ctx.sum[c] = 0.0;
+        cntk[k][c] = 0;
+        sumk[k][c] = 0.0;
       }
-      for (std::size_t i = begin; i < end; ++i) {
-        const std::uint16_t c = fm.code(ctx.idx[i], feature);
-        ++ctx.cnt[c];
-        ctx.sum[c] += ctx.y[i];
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint16_t* row = fm.row_codes(idx[i]);
+      const double yi = yv[i];
+      if (accumulate_total) total_sum += yi;
+      for (std::size_t k = 0; k < nf; ++k) {
+        const std::uint16_t c = row[sel[k]];
+        ++cntk[k][c];
+        sumk[k][c] += yi;
       }
+    }
+    for (std::size_t k = 0; k < nf; ++k) {
+      const std::uint16_t levels = fm.level_count(sel[k]);
       std::uint32_t n_left = 0;
       double s_left = 0.0;
       for (std::uint16_t c = 0; c + 1 < levels; ++c) {
-        n_left += ctx.cnt[c];
-        s_left += ctx.sum[c];
+        n_left += cntk[k][c];
+        s_left += sumk[k][c];
         if (n_left == 0 || n_left == n) continue;
         const auto n_right = static_cast<double>(n - n_left);
         const double s_right = total_sum - s_left;
@@ -122,24 +164,34 @@ std::int32_t DecisionTree::build(BuildCtx& ctx, std::size_t begin,
                              s_right * s_right / n_right;
         if (score > best_score) {
           best_score = score;
-          best_feature = static_cast<std::int16_t>(feature);
+          best_feature = static_cast<std::int16_t>(sel[k]);
           best_code = c;
         }
       }
     }
   };
+  // Candidate features are evaluated in feature_order sequence either way;
+  // chunking only bounds the stack arrays for very wide spaces.
+  auto scan_features = [&](std::size_t from, std::size_t to,
+                           bool accumulate_total) {
+    for (std::size_t at = from; at < to; at += kMaxFeatures) {
+      scan_chunk(at, std::min(to, at + kMaxFeatures),
+                 accumulate_total && at == from);
+    }
+  };
 
-  scan_features(0, feature_count);
+  scan_features(0, feature_count, /*accumulate_total=*/true);
+  const double parent_score = total_sum * total_sum / static_cast<double>(n);
   // If the random subset offered no informative split (all its features
   // constant on this node, or no gain), fall back to the remaining
   // features before giving up — otherwise a 1-feature subset would
   // regularly truncate the tree at nodes other features could still split.
   if (best_score <= parent_score + 1e-12 && feature_count < fm.cols()) {
-    scan_features(feature_count, fm.cols());
+    scan_features(feature_count, fm.cols(), /*accumulate_total=*/false);
   }
 
   if (best_feature == kLeaf || best_score <= parent_score + 1e-12) {
-    return make_leaf();
+    return make_leaf(total_sum / static_cast<double>(n));
   }
 
   // In-place partition of the parallel arrays.
@@ -193,6 +245,205 @@ DecisionTree::LeafStats DecisionTree::predict_stats(const FeatureMatrix& fm,
   }
   const Node& leaf = nodes_[static_cast<std::size_t>(node)];
   return {leaf.value, leaf.variance};
+}
+
+template <class LeafFn>
+bool DecisionTree::dense_walk(const FeatureMatrix& fm,
+                              const std::uint32_t* rows, std::size_t n,
+                              const LeafFn& leaf) const {
+  const std::size_t words = fm.mask_words();
+  if (fm.level_mask(0, 0) == nullptr) return false;
+  // A sparse batch routes faster through the frontier partition than
+  // through full-width mask intersections.
+  if (rows != nullptr && n * 4 < fm.rows()) return false;
+
+  thread_local std::vector<std::uint64_t> root_mask;
+  thread_local std::vector<std::uint32_t> pos_of_row;
+  thread_local std::vector<std::uint64_t> arena;
+  thread_local std::vector<std::int64_t> stack;
+
+  const bool identity = rows == nullptr;
+  root_mask.assign(words, 0);
+  if (identity) {
+    for (std::size_t r = 0; r < n; r += 64) {
+      const std::size_t bits = std::min<std::size_t>(64, n - r);
+      root_mask[r / 64] =
+          bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+    }
+  } else {
+    pos_of_row.resize(fm.rows());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t row = rows[i];
+      const std::uint64_t bit = std::uint64_t{1} << (row % 64);
+      if ((root_mask[row / 64] & bit) != 0) return false;  // duplicate id
+      root_mask[row / 64] |= bit;
+      pos_of_row[row] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Two mask slots per depth: the left child's subtree is fully processed
+  // (touching only deeper slots) before the right child's stored mask is
+  // popped, so siblings never clobber each other.
+  arena.resize(static_cast<std::size_t>(depth_ + 2) * 2 * words);
+  const auto slot = [&](std::uint32_t depth, std::uint32_t side) {
+    return arena.data() +
+           (static_cast<std::size_t>(depth) * 2 + side) * words;
+  };
+  const auto encode = [](std::int32_t node, std::uint32_t depth,
+                         std::uint32_t side) {
+    return (static_cast<std::int64_t>(node) << 32) |
+           (static_cast<std::int64_t>(depth) << 1) | side;
+  };
+  std::copy(root_mask.begin(), root_mask.end(), slot(0, 0));
+  stack.clear();
+  stack.push_back(encode(0, 0, 0));
+  while (!stack.empty()) {
+    const std::int64_t e = stack.back();
+    stack.pop_back();
+    const auto node = static_cast<std::int32_t>(e >> 32);
+    const auto depth = static_cast<std::uint32_t>((e & 0xFFFFFFFF) >> 1);
+    const auto side = static_cast<std::uint32_t>(e & 1);
+    const std::uint64_t* m = slot(depth, side);
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (nd.feature == kLeaf) {
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = m[w];
+        while (bits != 0) {
+          const auto row = static_cast<std::uint32_t>(
+              w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits)));
+          leaf(identity ? row : pos_of_row[row], nd);
+          bits &= bits - 1;
+        }
+      }
+      continue;
+    }
+    const std::uint64_t* fmask =
+        fm.level_mask(static_cast<std::size_t>(nd.feature), nd.split_code);
+    std::uint64_t* lm = slot(depth + 1, 0);
+    std::uint64_t* rm = slot(depth + 1, 1);
+    std::uint64_t left_any = 0;
+    std::uint64_t right_any = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t left = m[w] & fmask[w];
+      const std::uint64_t right = m[w] & ~fmask[w];
+      lm[w] = left;
+      rm[w] = right;
+      left_any |= left;
+      right_any |= right;
+    }
+    if (right_any != 0) stack.push_back(encode(nd.right, depth + 1, 1));
+    if (left_any != 0) stack.push_back(encode(nd.left, depth + 1, 0));
+  }
+  return true;
+}
+
+void DecisionTree::predict_batch(const FeatureMatrix& fm,
+                                 const std::uint32_t* rows, std::size_t n,
+                                 float* out_value,
+                                 float* out_variance) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict_batch: not fitted");
+  }
+  if (n == 0) return;
+  const bool dense =
+      out_variance != nullptr
+          ? dense_walk(fm, rows, n,
+                       [&](std::uint32_t pos, const Node& nd) {
+                         out_value[pos] = nd.value;
+                         out_variance[pos] = nd.variance;
+                       })
+          : dense_walk(fm, rows, n, [&](std::uint32_t pos, const Node& nd) {
+              out_value[pos] = nd.value;
+            });
+  if (dense) return;
+  predict_frontier(fm, rows, n, out_value, out_variance);
+}
+
+void DecisionTree::accumulate_batch(const FeatureMatrix& fm,
+                                    const std::uint32_t* rows, std::size_t n,
+                                    double* sum, double* sumsq,
+                                    double* var_sum) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::accumulate_batch: not fitted");
+  }
+  if (n == 0) return;
+  const bool dense =
+      var_sum != nullptr
+          ? dense_walk(fm, rows, n,
+                       [&](std::uint32_t pos, const Node& nd) {
+                         const double v = nd.value;
+                         sum[pos] += v;
+                         sumsq[pos] += v * v;
+                         var_sum[pos] += nd.variance;
+                       })
+          : dense_walk(fm, rows, n, [&](std::uint32_t pos, const Node& nd) {
+              const double v = nd.value;
+              sum[pos] += v;
+              sumsq[pos] += v * v;
+            });
+  if (dense) return;
+
+  thread_local std::vector<float> leaf_value;
+  thread_local std::vector<float> leaf_variance;
+  leaf_value.resize(n);
+  if (var_sum != nullptr) leaf_variance.resize(n);
+  predict_frontier(fm, rows, n, leaf_value.data(),
+                   var_sum != nullptr ? leaf_variance.data() : nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = leaf_value[i];
+    sum[i] += v;
+    sumsq[i] += v * v;
+    if (var_sum != nullptr) var_sum[i] += leaf_variance[i];
+  }
+}
+
+void DecisionTree::predict_frontier(const FeatureMatrix& fm,
+                                    const std::uint32_t* rows, std::size_t n,
+                                    float* out_value,
+                                    float* out_variance) const {
+  // DFS over (node, range) pairs: `order` holds batch positions and is
+  // partitioned in place at every split, so each node's feature column is
+  // read once for its whole row set. Scratch is thread-local: predictions
+  // run concurrently across the lookahead engine's workspaces.
+  struct Range {
+    std::int32_t node;
+    std::uint32_t begin;
+    std::uint32_t end;
+  };
+  thread_local std::vector<std::uint32_t> order;
+  thread_local std::vector<Range> stack;
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto row_of = [&](std::uint32_t pos) {
+    return rows != nullptr ? rows[pos] : pos;
+  };
+
+  stack.clear();
+  stack.push_back({0, 0, static_cast<std::uint32_t>(n)});
+  while (!stack.empty()) {
+    const Range r = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[static_cast<std::size_t>(r.node)];
+    if (nd.feature == kLeaf) {
+      for (std::uint32_t p = r.begin; p < r.end; ++p) {
+        out_value[order[p]] = nd.value;
+        if (out_variance != nullptr) out_variance[order[p]] = nd.variance;
+      }
+      continue;
+    }
+    const auto feature = static_cast<std::size_t>(nd.feature);
+    std::uint32_t mid = r.begin;
+    for (std::uint32_t p = r.begin; p < r.end; ++p) {
+      if (fm.code(row_of(order[p]), feature) <= nd.split_code) {
+        std::swap(order[p], order[mid]);
+        ++mid;
+      }
+    }
+    if (mid < r.end) stack.push_back({nd.right, mid, r.end});
+    if (r.begin < mid) stack.push_back({nd.left, r.begin, mid});
+  }
 }
 
 }  // namespace lynceus::model

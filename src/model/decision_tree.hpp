@@ -14,7 +14,18 @@
 /// scored by variance reduction — O(n·d + levels·d) per node, no sorting.
 /// This matters: Lynceus refits the ensemble for every Gauss–Hermite branch
 /// of every simulated exploration path, so tree fitting dominates the
-/// optimizer's decision time.
+/// optimizer's decision time. The fit scratch is owned by the tree and
+/// reused across refits, so a refit at steady state performs no heap
+/// allocation.
+///
+/// Batched prediction contract: predict_batch() routes a whole row list
+/// through the tree as a *frontier* — the row list is partitioned at every
+/// split, so each node is visited exactly once and feature codes are read
+/// in bulk per node, instead of chasing root-to-leaf pointers once per row.
+/// The leaf a row lands in (and hence its value/variance) is identical to
+/// the scalar predict()/predict_stats() path; callers may mix the two
+/// freely. After warm-up (thread-local scratch sized to the largest batch)
+/// predict_batch performs no heap allocation.
 
 #include <cstdint>
 #include <vector>
@@ -33,6 +44,11 @@ struct TreeOptions {
   /// (plain CART). The Weka RandomTree default, used by the Lynceus
   /// ensemble, is ⌈log2(d)⌉ + 1.
   unsigned features_per_split = 0;
+  /// Whether leaves record the training-target variance (needed only for
+  /// the ensemble's TotalVariance mode). When false, predict_stats()
+  /// reports variance 0 and fitting skips one pass per leaf — measurable,
+  /// since the lookahead engine refits thousands of trees per decision.
+  bool leaf_variance = true;
 };
 
 class DecisionTree {
@@ -57,6 +73,27 @@ class DecisionTree {
   [[nodiscard]] LeafStats predict_stats(const FeatureMatrix& fm,
                                         std::uint32_t row) const;
 
+  /// Frontier-batched leaf lookup (see file comment). For each i in
+  /// [0, n): writes the leaf mean of row `rows[i]` to `out_value[i]` and,
+  /// when `out_variance` is non-null, the leaf variance to
+  /// `out_variance[i]`. `rows == nullptr` means the identity batch
+  /// (row i = i), which is how predict-all over a whole FeatureMatrix
+  /// avoids materializing an index vector.
+  void predict_batch(const FeatureMatrix& fm, const std::uint32_t* rows,
+                     std::size_t n, float* out_value,
+                     float* out_variance = nullptr) const;
+
+  /// Ensemble-fused batch: for each i in [0, n), with v the leaf mean of
+  /// row `rows[i]` (as a double), performs `sum[i] += v` and
+  /// `sumsq[i] += v*v`, plus `var_sum[i] += leaf variance` when `var_sum`
+  /// is non-null. Exactly predict_batch followed by the caller's
+  /// accumulation loop — same leaves, same per-row operation order — in a
+  /// single walk, which is how BaggingEnsemble avoids materializing
+  /// per-tree outputs.
+  void accumulate_batch(const FeatureMatrix& fm, const std::uint32_t* rows,
+                        std::size_t n, double* sum, double* sumsq,
+                        double* var_sum) const;
+
   [[nodiscard]] bool fitted() const noexcept { return !nodes_.empty(); }
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
@@ -79,13 +116,41 @@ class DecisionTree {
   };
   static constexpr std::int16_t kLeaf = -1;
 
+  /// Fit-time scratch, owned by the tree so consecutive refits (the
+  /// lookahead engine refits thousands of times per decision) reuse the
+  /// buffers instead of reallocating them.
+  struct FitScratch {
+    std::vector<std::uint32_t> idx;  ///< row ids, partitioned in place
+    std::vector<double> y;           ///< targets, kept parallel to idx
+    std::vector<std::uint32_t> cnt;  ///< per-level counts (split search)
+    std::vector<double> sum;         ///< per-level target sums
+    std::vector<std::uint16_t> feature_order;  ///< feature-subset sampling
+  };
+
   struct BuildCtx;
   std::int32_t build(BuildCtx& ctx, std::size_t begin, std::size_t end,
                      unsigned depth);
 
+  /// Dense batch path: routes the whole batch through the tree as row
+  /// bitmasks intersected with the FeatureMatrix's precomputed level masks
+  /// (a split costs mask_words() word-ANDs instead of one comparison per
+  /// row), invoking `leaf(batch_position, node)` for every routed row.
+  /// Returns false — caller falls back to the frontier partition — when
+  /// masks are unavailable, the batch is sparse relative to the space, or
+  /// `rows` contains duplicates.
+  template <class LeafFn>
+  bool dense_walk(const FeatureMatrix& fm, const std::uint32_t* rows,
+                  std::size_t n, const LeafFn& leaf) const;
+
+  /// The frontier-partition batch path (always available).
+  void predict_frontier(const FeatureMatrix& fm, const std::uint32_t* rows,
+                        std::size_t n, float* out_value,
+                        float* out_variance) const;
+
   TreeOptions options_;
   std::vector<Node> nodes_;
   unsigned depth_ = 0;
+  FitScratch scratch_;
 };
 
 }  // namespace lynceus::model

@@ -9,6 +9,8 @@ FeatureMatrix::FeatureMatrix(const space::ConfigSpace& space)
   codes_.resize(rows_ * cols_);
   level_counts_.resize(cols_);
   level_values_.resize(cols_);
+  level_lo_.resize(cols_);
+  level_hi_.resize(cols_);
   for (std::size_t d = 0; d < cols_; ++d) {
     const auto& dim = space.dim(d);
     if (dim.level_count() > 0xFFFF) {
@@ -18,6 +20,16 @@ FeatureMatrix::FeatureMatrix(const space::ConfigSpace& space)
     level_counts_[d] = static_cast<std::uint16_t>(dim.level_count());
     level_values_[d] = dim.values;
     max_level_count_ = std::max(max_level_count_, level_counts_[d]);
+    // Min-max bounds, precomputed once so normalized_features() need not
+    // rescan the level list on every call.
+    double lo = level_values_[d].front();
+    double hi = level_values_[d].front();
+    for (double v : level_values_[d]) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    level_lo_[d] = lo;
+    level_hi_[d] = hi;
   }
   for (std::size_t r = 0; r < rows_; ++r) {
     const auto& lv = space.levels(static_cast<space::ConfigId>(r));
@@ -25,22 +37,44 @@ FeatureMatrix::FeatureMatrix(const space::ConfigSpace& space)
       codes_[r * cols_ + d] = static_cast<std::uint16_t>(lv[d]);
     }
   }
+
+  // Level masks for dense batch prediction: mark each row's exact level,
+  // then prefix-OR so mask[c] covers code <= c.
+  mask_words_ = (rows_ + 63) / 64;
+  if (rows_ <= kMaskMaxRows) {
+    level_masks_.resize(cols_);
+    for (std::size_t d = 0; d < cols_; ++d) {
+      auto& masks = level_masks_[d];
+      masks.assign(static_cast<std::size_t>(level_counts_[d]) * mask_words_,
+                   0);
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const std::uint16_t c = code(r, d);
+        masks[static_cast<std::size_t>(c) * mask_words_ + r / 64] |=
+            std::uint64_t{1} << (r % 64);
+      }
+      for (std::size_t c = 1; c < level_counts_[d]; ++c) {
+        for (std::size_t w = 0; w < mask_words_; ++w) {
+          masks[c * mask_words_ + w] |= masks[(c - 1) * mask_words_ + w];
+        }
+      }
+    }
+  }
 }
 
 std::vector<double> FeatureMatrix::normalized_features(std::size_t row) const {
   std::vector<double> out(cols_);
+  normalized_features_into(row, out.data());
+  return out;
+}
+
+void FeatureMatrix::normalized_features_into(std::size_t row,
+                                             double* out) const noexcept {
   for (std::size_t d = 0; d < cols_; ++d) {
-    const auto& values = level_values_[d];
-    double lo = values.front();
-    double hi = values.front();
-    for (double v : values) {
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
-    const double v = values[code(row, d)];
+    const double lo = level_lo_[d];
+    const double hi = level_hi_[d];
+    const double v = level_values_[d][code(row, d)];
     out[d] = hi > lo ? (v - lo) / (hi - lo) : 0.0;
   }
-  return out;
 }
 
 }  // namespace lynceus::model

@@ -45,6 +45,11 @@ class GaussianProcess final : public Regressor {
   void predict_all(const FeatureMatrix& fm,
                    std::vector<Prediction>& out) const override;
 
+  // predict_subset: the GP predicts row-by-row either way, so the
+  // Regressor default (a predict() loop, exactly predict_all restricted to
+  // the ids) already gives the lookahead engine its O(candidates) path
+  // under the footnote-1 GP cost model.
+
   [[nodiscard]] std::unique_ptr<Regressor> fresh() const override;
 
   /// Selected hyper-parameters (after fit): length-scale and noise

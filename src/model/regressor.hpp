@@ -43,6 +43,13 @@ class FeatureMatrix {
     return codes_[row * cols_ + col];
   }
 
+  /// Contiguous level codes of one row (`cols()` entries). Lets hot loops
+  /// hoist the row offset instead of re-deriving it per column.
+  [[nodiscard]] const std::uint16_t* row_codes(std::size_t row) const
+      noexcept {
+    return codes_.data() + row * cols_;
+  }
+
   /// Level count of a column (codes are in [0, level_count(col))).
   [[nodiscard]] std::uint16_t level_count(std::size_t col) const noexcept {
     return level_counts_[col];
@@ -58,8 +65,35 @@ class FeatureMatrix {
   }
 
   /// Numeric feature vector of a row, each dimension min-max normalized to
-  /// [0, 1] (GP input).
+  /// [0, 1] (GP input). The per-dimension (lo, hi) bounds are precomputed
+  /// once in the constructor.
   [[nodiscard]] std::vector<double> normalized_features(std::size_t row) const;
+
+  /// Allocation-free variant: writes the `cols()` normalized features of
+  /// `row` into `out[0..cols())`.
+  void normalized_features_into(std::size_t row, double* out) const noexcept;
+
+  /// Number of 64-bit words in a row bitmask (bit r of word r/64 = row r).
+  [[nodiscard]] std::size_t mask_words() const noexcept {
+    return mask_words_;
+  }
+
+  /// Precomputed level mask: bit r set iff `code(r, col) <= code`
+  /// (`mask_words()` words), or nullptr when masks are disabled because the
+  /// space is too large to precompute them (see kMaskMaxRows). Dense batch
+  /// prediction intersects these per split instead of routing rows one by
+  /// one.
+  [[nodiscard]] const std::uint64_t* level_mask(
+      std::size_t col, std::uint16_t code) const noexcept {
+    if (level_masks_.empty()) return nullptr;
+    return level_masks_[col].data() +
+           static_cast<std::size_t>(code) * mask_words_;
+  }
+
+  /// Spaces beyond this many rows skip mask precomputation (memory scales
+  /// as rows × Σ levels bits) and batch prediction falls back to the
+  /// frontier partition.
+  static constexpr std::size_t kMaskMaxRows = 1u << 16;
 
  private:
   std::size_t rows_ = 0;
@@ -68,6 +102,10 @@ class FeatureMatrix {
   std::vector<std::uint16_t> level_counts_;
   std::uint16_t max_level_count_ = 0;
   std::vector<std::vector<double>> level_values_;  // per col, per code
+  std::vector<double> level_lo_;  // per col: min level value
+  std::vector<double> level_hi_;  // per col: max level value
+  std::size_t mask_words_ = 0;
+  std::vector<std::vector<std::uint64_t>> level_masks_;  // per col
 };
 
 struct Prediction {
@@ -95,8 +133,33 @@ class Regressor {
   /// Predictive distributions for every row of `fm`, written into `out`
   /// (resized as needed). Batch version — much faster than a loop of
   /// predict() for ensembles.
+  ///
+  /// Batched-prediction contract (shared with predict_subset): for any row
+  /// r, the Prediction produced by the batch entry points is *bitwise
+  /// identical* to predict(fm, r) — implementations must accumulate
+  /// per-tree / per-component contributions in the same order as the
+  /// scalar path, so that optimizers can freely mix scalar, full-space and
+  /// subset prediction without perturbing trajectories.
   virtual void predict_all(const FeatureMatrix& fm,
                            std::vector<Prediction>& out) const = 0;
+
+  /// Predictive distributions for the rows `ids[i]`, written to `out[i]`
+  /// (`out` is resized to `ids.size()`). Semantically equivalent to
+  /// predict_all() restricted to `ids` (same bitwise-identical contract);
+  /// the point is cost: the lookahead simulation engine calls this with a
+  /// shrinking untested-candidate list so a simulated path node costs
+  /// O(candidates) instead of O(|space|). The base implementation loops
+  /// predict(); ensembles override it with a batched traversal. Ids may
+  /// repeat and appear in any order; after warm-up the ensemble overrides
+  /// perform no heap allocation.
+  virtual void predict_subset(const FeatureMatrix& fm,
+                              const std::vector<std::uint32_t>& ids,
+                              std::vector<Prediction>& out) const {
+    out.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      out[i] = predict(fm, ids[i]);
+    }
+  }
 
   /// A fresh, unfitted model with the same hyper-parameters. Used to build
   /// independent "fantasy" models while simulating exploration paths.

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file alloc_count.hpp
+/// Opt-in global-allocation counting for the zero-allocation guarantees of
+/// the hot paths (the lookahead simulation engine most of all).
+///
+/// The counters are driven by replacement `operator new`/`operator delete`
+/// definitions in `alloc_count.cpp`, which is deliberately *not* part of
+/// the `lynceus` library (no other consumer should pay for the counting):
+/// a binary that uses this header (the test suite, `bench_micro`) must
+/// compile `alloc_count.cpp` in as one of its own sources.
+
+#include <cstdint>
+
+namespace lynceus::util {
+
+/// Number of heap allocations (operator new calls) performed by this thread
+/// since it started. Monotone; take deltas around the region of interest.
+[[nodiscard]] std::uint64_t alloc_count() noexcept;
+
+/// True when the counting operator new/delete replacements are linked into
+/// this binary.
+[[nodiscard]] bool alloc_count_available() noexcept;
+
+/// RAII delta counter:
+///   AllocCountGuard g;
+///   hot_path();
+///   EXPECT_EQ(g.delta(), 0);
+class AllocCountGuard {
+ public:
+  AllocCountGuard() noexcept : start_(alloc_count()) {}
+  [[nodiscard]] std::uint64_t delta() const noexcept {
+    return alloc_count() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace lynceus::util

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
 
 namespace lynceus::math {
 namespace {
@@ -74,6 +77,31 @@ TEST(NormalPdf, IntegratesToOneNumerically) {
 TEST(NormalQuantile, LocationScale) {
   EXPECT_NEAR(normal_quantile(0.5, 7.0, 2.0), 7.0, 1e-9);
   EXPECT_NEAR(normal_quantile(0.99, 0.0, 1.0), 2.3263478740408408, 1e-6);
+}
+
+TEST(NormCdfGeBoundary, DecidesCdfComparisonExactly) {
+  util::Rng rng(17);
+  for (double q : {0.5, 0.9, 0.99, 0.999, 0.01}) {
+    const double z_star = norm_cdf_ge_boundary(q);
+    // Boundary property on adjacent doubles.
+    EXPECT_GE(norm_cdf(z_star), q);
+    EXPECT_LT(norm_cdf(std::nextafter(z_star, -1e9)), q);
+    // Comparing a z-score against the boundary reproduces the cdf
+    // comparison on random inputs.
+    for (int i = 0; i < 2000; ++i) {
+      const double z = rng.uniform(-6.0, 6.0);
+      EXPECT_EQ(norm_cdf(z) >= q, z >= z_star) << "q=" << q << " z=" << z;
+    }
+    // And in the boundary's immediate neighborhood, where it matters most.
+    double z = z_star;
+    for (int i = 0; i < 64; ++i) z = std::nextafter(z, -1e9);
+    for (int i = 0; i < 128; ++i) {
+      EXPECT_EQ(norm_cdf(z) >= q, z >= z_star);
+      z = std::nextafter(z, 1e9);
+    }
+  }
+  EXPECT_THROW((void)norm_cdf_ge_boundary(0.0), std::domain_error);
+  EXPECT_THROW((void)norm_cdf_ge_boundary(1.0), std::domain_error);
 }
 
 }  // namespace

@@ -1,0 +1,452 @@
+#include "core/lookahead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "core/acquisition.hpp"
+#include "core/bo.hpp"
+#include "core/lynceus.hpp"
+#include "core/sequential.hpp"
+#include "eval/runner.hpp"
+#include "math/gauss_hermite.hpp"
+#include "model/bagging.hpp"
+#include "model/gp.hpp"
+#include "test_helpers.hpp"
+#include "util/alloc_count.hpp"
+
+namespace lynceus::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// predict_subset / predict_batch equivalence
+// ---------------------------------------------------------------------------
+
+void expect_subset_matches_all(model::Regressor& model,
+                               const model::FeatureMatrix& fm) {
+  std::vector<model::Prediction> all;
+  model.predict_all(fm, all);
+  ASSERT_EQ(all.size(), fm.rows());
+
+  std::vector<std::vector<std::uint32_t>> subsets;
+  // Full ascending (dense mask path), sparse, descending, duplicates.
+  std::vector<std::uint32_t> full(fm.rows());
+  for (std::uint32_t i = 0; i < fm.rows(); ++i) full[i] = i;
+  subsets.push_back(full);
+  subsets.push_back({0, 5, 11, 17, 23});
+  subsets.push_back({23, 12, 3, 0});
+  subsets.push_back({7, 7, 7, 2});
+  std::vector<std::uint32_t> most;
+  for (std::uint32_t i = 0; i < fm.rows(); ++i) {
+    if (i % 5 != 0) most.push_back(i);
+  }
+  subsets.push_back(most);
+
+  std::vector<model::Prediction> out;
+  for (const auto& ids : subsets) {
+    model.predict_subset(fm, ids, out);
+    ASSERT_EQ(out.size(), ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      // The batched-prediction contract requires bitwise identity, not
+      // mere closeness.
+      EXPECT_EQ(out[i].mean, all[ids[i]].mean) << "id " << ids[i];
+      EXPECT_EQ(out[i].stddev, all[ids[i]].stddev) << "id " << ids[i];
+    }
+  }
+}
+
+class PredictSubset : public ::testing::Test {
+ protected:
+  PredictSubset()
+      : space(testing::tiny_space()),
+        fm(*space),
+        ds(testing::tiny_dataset()) {
+    util::Rng rng(3);
+    for (int i = 0; i < 10; ++i) {
+      const auto id = static_cast<space::ConfigId>(rng.below(space->size()));
+      rows.push_back(id);
+      y.push_back(ds.cost(id));
+    }
+  }
+  std::shared_ptr<const space::ConfigSpace> space;
+  model::FeatureMatrix fm;
+  cloud::Dataset ds;
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+};
+
+TEST_F(PredictSubset, BaggingBetweenTrees) {
+  model::BaggingEnsemble ens;
+  ens.fit(fm, rows, y, 11);
+  expect_subset_matches_all(ens, fm);
+}
+
+TEST_F(PredictSubset, BaggingTotalVariance) {
+  model::BaggingOptions opts;
+  opts.variance_mode = model::VarianceMode::TotalVariance;
+  model::BaggingEnsemble ens(opts);
+  ens.fit(fm, rows, y, 11);
+  expect_subset_matches_all(ens, fm);
+}
+
+TEST_F(PredictSubset, GaussianProcess) {
+  model::GaussianProcess gp;
+  gp.fit(fm, rows, y, 11);
+  expect_subset_matches_all(gp, fm);
+}
+
+TEST_F(PredictSubset, TreeBatchMatchesScalarPredict) {
+  model::TreeOptions opts;
+  opts.leaf_variance = true;
+  model::DecisionTree tree(opts);
+  util::Rng rng(5);
+  tree.fit(fm, rows, y, rng);
+
+  // Identity batch (dense level-mask walk) ...
+  std::vector<float> value(fm.rows());
+  std::vector<float> variance(fm.rows());
+  tree.predict_batch(fm, nullptr, fm.rows(), value.data(), variance.data());
+  // ... and a sparse batch (frontier partition path).
+  const std::vector<std::uint32_t> sparse = {1, 9, 16, 2};
+  std::vector<float> sparse_value(sparse.size());
+  tree.predict_batch(fm, sparse.data(), sparse.size(), sparse_value.data());
+
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    const auto stats = tree.predict_stats(fm, r);
+    EXPECT_EQ(static_cast<double>(value[r]), tree.predict(fm, r));
+    EXPECT_EQ(value[r], static_cast<float>(stats.mean));
+    EXPECT_EQ(variance[r], static_cast<float>(stats.variance));
+  }
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    EXPECT_EQ(static_cast<double>(sparse_value[i]),
+              tree.predict(fm, sparse[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden trajectory: naive copy-based reference vs the delta-state engine
+// ---------------------------------------------------------------------------
+
+/// Faithful port of the pre-engine Lynceus decision loop: per-branch
+/// deep-copied states, full-space predictions, per-consumer prob_within
+/// scans. Kept as the reference semantics for the lookahead engine: both
+/// must pick the same configuration sequence for identical seeds.
+class NaiveLynceus {
+ public:
+  NaiveLynceus(LynceusOptions options) : opts_(std::move(options)) {}
+
+  OptimizerResult optimize(const OptimizationProblem& problem,
+                           JobRunner& runner, std::uint64_t seed) {
+    LoopState st(problem, runner, seed);
+    st.bootstrap();
+    const model::FeatureMatrix fm(*problem.space);
+    const math::GaussHermite quadrature(opts_.gh_points);
+    const model::ModelFactory factory =
+        opts_.model_factory ? opts_.model_factory
+                            : default_tree_model_factory(*problem.space);
+    auto root_model = factory();
+    auto path_model = factory();
+
+    std::uint64_t iteration = 0;
+    while (!st.untested.empty()) {
+      ++iteration;
+      State root;
+      for (const auto& s : st.samples) {
+        root.rows.push_back(s.id);
+        root.y.push_back(s.cost);
+        root.feasible.push_back(s.feasible ? 1 : 0);
+      }
+      root.tested.assign(problem.space->size(), 0);
+      for (const auto& s : st.samples) root.tested[s.id] = 1;
+      root.beta = st.budget.remaining();
+      root.chi = st.samples.empty()
+                     ? std::nullopt
+                     : std::optional<ConfigId>(st.samples.back().id);
+
+      Ctx root_ctx;
+      build_ctx(problem, fm, *root_model, root, root_ctx,
+                util::derive_seed(seed, iteration));
+
+      std::vector<ConfigId> viable;
+      for (std::size_t id = 0; id < root_ctx.preds.size(); ++id) {
+        if (root.tested[id] != 0) continue;
+        if (prob_within(root.beta, root_ctx.preds[id]) >=
+            opts_.feasibility_quantile) {
+          viable.push_back(static_cast<ConfigId>(id));
+        }
+      }
+      if (viable.empty()) break;
+
+      std::vector<ConfigId> roots = viable;
+      if (opts_.screen_width > 0 && roots.size() > opts_.screen_width) {
+        std::partial_sort(
+            roots.begin(), roots.begin() + opts_.screen_width, roots.end(),
+            [&](ConfigId a, ConfigId b) {
+              const double sa = eic(problem, root_ctx, a) /
+                                std::max(root_ctx.preds[a].mean, 1e-12);
+              const double sb = eic(problem, root_ctx, b) /
+                                std::max(root_ctx.preds[b].mean, 1e-12);
+              return sa > sb;
+            });
+        roots.resize(opts_.screen_width);
+      }
+
+      double best_ratio = -std::numeric_limits<double>::infinity();
+      ConfigId best_id = roots.front();
+      for (ConfigId x : roots) {
+        const PathValue v = explore(
+            problem, fm, quadrature, *path_model, root, root_ctx, x,
+            opts_.lookahead,
+            util::derive_seed(seed, iteration * 1000003ULL + x));
+        const double ratio = v.reward / std::max(v.cost, 1e-12);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_id = x;
+        }
+      }
+
+      if (opts_.setup_cost) {
+        st.budget.spend(std::max(0.0, opts_.setup_cost(root.chi, best_id)));
+      }
+      st.profile(best_id);
+    }
+    return st.finalize();
+  }
+
+ private:
+  struct State {
+    std::vector<std::uint32_t> rows;
+    std::vector<double> y;
+    std::vector<char> feasible;
+    std::vector<char> tested;
+    double beta = 0.0;
+    std::optional<ConfigId> chi;
+  };
+  struct Ctx {
+    std::vector<model::Prediction> preds;
+    double y_star = 0.0;
+  };
+
+  [[nodiscard]] double eic(const OptimizationProblem& problem, const Ctx& ctx,
+                           ConfigId x) const {
+    return constrained_ei(ctx.y_star, ctx.preds[x],
+                          problem.feasibility_cost_cap(x));
+  }
+
+  [[nodiscard]] double setup(const std::optional<ConfigId>& from,
+                             ConfigId to) const {
+    return opts_.setup_cost ? opts_.setup_cost(from, to) : 0.0;
+  }
+
+  void build_ctx(const OptimizationProblem& problem,
+                 const model::FeatureMatrix& fm, model::Regressor& model,
+                 const State& st, Ctx& ctx, std::uint64_t fit_seed) const {
+    (void)problem;
+    model.fit(fm, st.rows, st.y, fit_seed);
+    model.predict_all(fm, ctx.preds);
+    bool any = false;
+    double best = 0.0;
+    double most_expensive = st.y.front();
+    for (std::size_t i = 0; i < st.y.size(); ++i) {
+      most_expensive = std::max(most_expensive, st.y[i]);
+      if (st.feasible[i] != 0 && (!any || st.y[i] < best)) {
+        best = st.y[i];
+        any = true;
+      }
+    }
+    if (any) {
+      ctx.y_star = best;
+      return;
+    }
+    double max_stddev = 0.0;
+    for (std::size_t id = 0; id < ctx.preds.size(); ++id) {
+      if (st.tested[id] == 0) {
+        max_stddev = std::max(max_stddev, ctx.preds[id].stddev);
+      }
+    }
+    ctx.y_star = most_expensive + 3.0 * max_stddev;
+  }
+
+  [[nodiscard]] std::optional<ConfigId> next_step(
+      const OptimizationProblem& problem, const State& st,
+      const Ctx& ctx) const {
+    double best = -std::numeric_limits<double>::infinity();
+    std::optional<ConfigId> best_id;
+    for (std::size_t id = 0; id < ctx.preds.size(); ++id) {
+      if (st.tested[id] != 0) continue;
+      if (prob_within(st.beta, ctx.preds[id]) < opts_.feasibility_quantile) {
+        continue;
+      }
+      const double acq = eic(problem, ctx, static_cast<ConfigId>(id));
+      if (acq > best) {
+        best = acq;
+        best_id = static_cast<ConfigId>(id);
+      }
+    }
+    return best_id;
+  }
+
+  PathValue explore(const OptimizationProblem& problem,
+                    const model::FeatureMatrix& fm,
+                    const math::GaussHermite& quadrature,
+                    model::Regressor& model, const State& st, const Ctx& ctx,
+                    ConfigId x, unsigned l, std::uint64_t path_seed) const {
+    const model::Prediction& pred = ctx.preds[x];
+    PathValue v;
+    v.reward = eic(problem, ctx, x);
+    v.cost = pred.mean + setup(st.chi, x);
+    if (l == 0) return v;
+
+    const auto nodes = quadrature.for_normal(pred.mean, pred.stddev);
+    const double cap = problem.feasibility_cost_cap(x);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double ci = std::max(nodes[i].value, 0.001 * pred.mean);
+      const double wi = nodes[i].weight;
+
+      State child = st;  // the deep copy the engine's deltas replace
+      child.rows.push_back(x);
+      child.y.push_back(ci);
+      child.feasible.push_back(ci <= cap ? 1 : 0);
+      child.tested[x] = 1;
+      child.beta = st.beta - ci - setup(st.chi, x);
+      child.chi = x;
+
+      Ctx child_ctx;
+      build_ctx(problem, fm, model, child, child_ctx,
+                util::derive_seed(path_seed, i + 1));
+      const auto x_next = next_step(problem, child, child_ctx);
+      if (!x_next) continue;
+
+      const PathValue sub =
+          explore(problem, fm, quadrature, model, child, child_ctx, *x_next,
+                  l - 1, util::derive_seed(path_seed, 131 * (i + 1) + 7));
+      v.cost += wi * sub.cost;
+      v.reward += opts_.gamma * wi * sub.reward;
+    }
+    return v;
+  }
+
+  LynceusOptions opts_;
+};
+
+std::vector<ConfigId> history_ids(const OptimizerResult& r) {
+  std::vector<ConfigId> out;
+  for (const auto& s : r.history) out.push_back(s.id);
+  return out;
+}
+
+class GoldenTrajectory : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GoldenTrajectory, EngineMatchesNaiveReference) {
+  const auto problem = testing::tiny_problem();
+  static const cloud::Dataset ds = testing::tiny_dataset();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    LynceusOptions opts;
+    opts.lookahead = GetParam();
+    opts.gh_points = 3;
+    opts.screen_width = 6;
+
+    eval::TableRunner naive_runner(ds);
+    const auto naive = NaiveLynceus(opts).optimize(problem, naive_runner,
+                                                   seed);
+    eval::TableRunner engine_runner(ds);
+    const auto engine =
+        LynceusOptimizer(opts).optimize(problem, engine_runner, seed);
+
+    EXPECT_EQ(history_ids(naive), history_ids(engine))
+        << "lookahead " << GetParam() << " seed " << seed;
+    EXPECT_EQ(naive.recommendation, engine.recommendation);
+  }
+}
+
+TEST_P(GoldenTrajectory, EngineMatchesNaiveReferenceWithSetupCosts) {
+  const auto problem = testing::tiny_problem();
+  static const cloud::Dataset ds = testing::tiny_dataset();
+  LynceusOptions opts;
+  opts.lookahead = GetParam();
+  opts.screen_width = 4;
+  opts.setup_cost = [](std::optional<ConfigId> from, ConfigId to) {
+    if (!from) return 0.0;
+    return *from == to ? 0.0 : 0.02 * (1.0 + static_cast<double>(to % 5));
+  };
+  eval::TableRunner naive_runner(ds);
+  const auto naive = NaiveLynceus(opts).optimize(problem, naive_runner, 9);
+  eval::TableRunner engine_runner(ds);
+  const auto engine = LynceusOptimizer(opts).optimize(problem, engine_runner,
+                                                      9);
+  EXPECT_EQ(history_ids(naive), history_ids(engine));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lookaheads, GoldenTrajectory,
+                         ::testing::Values(0U, 1U, 2U));
+
+// ---------------------------------------------------------------------------
+// Zero allocation inside simulate()
+// ---------------------------------------------------------------------------
+
+TEST(LookaheadEngine, SimulateIsAllocationFreeAfterWarmup) {
+  if (!util::alloc_count_available()) {
+    GTEST_SKIP() << "allocation-counting hooks not linked";
+  }
+  const auto problem = testing::tiny_problem();
+  static const cloud::Dataset ds = testing::tiny_dataset();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 4);
+  st.bootstrap();
+
+  LookaheadEngine::Options opts;
+  opts.lookahead = 2;
+  LookaheadEngine engine(problem, opts,
+                         default_tree_model_factory(*problem.space), 1);
+  engine.begin_decision(st.samples, st.budget.remaining(),
+                        util::derive_seed(4, 1));
+  std::vector<ConfigId> roots;
+  engine.screened_roots(0, roots);
+  ASSERT_FALSE(roots.empty());
+
+  // Warm-up pass sizes every buffer (per-depth candidate lists, model
+  // scratch, thread-local prediction buffers).
+  for (ConfigId r : roots) {
+    (void)engine.simulate(r, util::derive_seed(4, 1000003ULL + r));
+  }
+
+  util::AllocCountGuard guard;
+  PathValue total{};
+  for (ConfigId r : roots) {
+    const PathValue v =
+        engine.simulate(r, util::derive_seed(4, 1000003ULL + r));
+    total.reward += v.reward;
+    total.cost += v.cost;
+  }
+  EXPECT_EQ(guard.delta(), 0U)
+      << "simulate() touched the heap after warm-up";
+  EXPECT_GT(total.cost, 0.0);
+}
+
+// Deterministic simulate: same seed, same value, also across workspaces.
+TEST(LookaheadEngine, SimulateIsDeterministic) {
+  const auto problem = testing::tiny_problem();
+  static const cloud::Dataset ds = testing::tiny_dataset();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 6);
+  st.bootstrap();
+
+  LookaheadEngine::Options opts;
+  opts.lookahead = 1;
+  LookaheadEngine engine(problem, opts,
+                         default_tree_model_factory(*problem.space), 2);
+  engine.begin_decision(st.samples, st.budget.remaining(), 77);
+  std::vector<ConfigId> roots;
+  engine.screened_roots(3, roots);
+  ASSERT_FALSE(roots.empty());
+  const PathValue a = engine.simulate(roots.front(), 123);
+  const PathValue b = engine.simulate(roots.front(), 123);
+  EXPECT_EQ(a.reward, b.reward);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+}  // namespace
+}  // namespace lynceus::core
