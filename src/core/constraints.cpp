@@ -275,33 +275,7 @@ OptimizerResult MultiConstraintLynceus::optimize(
   LoopState st(problem, runner, seed);
   DecisionTimer timer;
 
-  // Record the constrained metrics of every run (LoopState keeps only the
-  // runtime/cost; the metric targets are needed to train the per-constraint
-  // models and to judge feasibility).
-  class MetricRecorder final : public JobRunner {
-   public:
-    MetricRecorder(JobRunner& inner, std::size_t expected)
-        : inner_(&inner), expected_(expected) {}
-    RunResult run(ConfigId id) override {
-      RunResult r = inner_->run(id);
-      if (r.metrics.size() < expected_) {
-        throw std::runtime_error(
-            "MultiConstraintLynceus: runner returned too few metrics");
-      }
-      metrics_.push_back(r.metrics);
-      return r;
-    }
-    [[nodiscard]] const std::vector<std::vector<double>>& metrics() const {
-      return metrics_;
-    }
-
-   private:
-    JobRunner* inner_;
-    std::size_t expected_;
-    std::vector<std::vector<double>> metrics_;
-  };
-
-  MetricRecorder recorder(runner, constraints_.size());
+  MetricRecordingRunner recorder(runner, constraints_.size());
   st.runner = &recorder;
   st.bootstrap();
 

@@ -21,6 +21,7 @@
 /// return of deeper lookahead on small spaces, mirroring §6.2).
 
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,11 +34,44 @@ namespace lynceus::core {
 
 /// One auxiliary constraint "metric <= threshold(x)". `metric_index`
 /// selects the entry of RunResult::metrics holding the measured value.
+/// The threshold function must be pure (the same `x` always yields the
+/// same value): the engine precomputes thresholds once per space.
 struct ConstraintDef {
   std::string name;
   std::size_t metric_index = 0;
   /// Per-configuration threshold t_i (constant thresholds simply ignore x).
   std::function<double(ConfigId)> threshold;
+};
+
+/// JobRunner decorator recording the auxiliary metrics of every run.
+/// LoopState keeps only runtime/cost; the multi-constraint optimizers need
+/// the measured metric values to train the per-constraint models and to
+/// judge sample feasibility. Throws if the inner runner reports fewer
+/// metrics than `expected`.
+class MetricRecordingRunner final : public JobRunner {
+ public:
+  MetricRecordingRunner(JobRunner& inner, std::size_t expected)
+      : inner_(&inner), expected_(expected) {}
+
+  RunResult run(ConfigId id) override {
+    RunResult r = inner_->run(id);
+    if (r.metrics.size() < expected_) {
+      throw std::runtime_error(
+          "MetricRecordingRunner: runner returned too few metrics");
+    }
+    metrics_.push_back(r.metrics);
+    return r;
+  }
+
+  /// Per-run metric vectors, in run order.
+  [[nodiscard]] const std::vector<std::vector<double>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  JobRunner* inner_;
+  std::size_t expected_;
+  std::vector<std::vector<double>> metrics_;
 };
 
 struct MultiConstraintOptions {

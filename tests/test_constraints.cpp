@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/constraints_reference.hpp"
 #include "eval/runner.hpp"
 #include "test_helpers.hpp"
 
@@ -117,6 +118,84 @@ TEST(MultiConstraintLynceus, DeterministicGivenSeed) {
     EXPECT_EQ(a.history[i].id, b.history[i].id);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Golden trajectory: naive copy-based reference vs the production optimizer
+// ---------------------------------------------------------------------------
+
+std::vector<ConfigId> history_ids(const OptimizerResult& r) {
+  std::vector<ConfigId> out;
+  for (const auto& s : r.history) out.push_back(s.id);
+  return out;
+}
+
+/// Second synthetic metric ("network"), decreasing in dimension a, so the
+/// two-constraint joint speculation is exercised with a genuinely binding
+/// pair of caps.
+eval::TableRunner::MetricsFn two_metrics() {
+  const auto sp = testing::tiny_space();
+  return [sp](space::ConfigId id) {
+    return std::vector<double>{energy_of(*sp, id),
+                               20.0 - 3.0 * sp->value(id, 0)};
+  };
+}
+
+std::vector<ConstraintDef> two_constraints() {
+  ConstraintDef net;
+  net.name = "network";
+  net.metric_index = 1;
+  net.threshold = [](ConfigId) { return 18.0; };
+  return {energy_constraint(27.0), net};
+}
+
+class McGoldenTrajectory : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(McGoldenTrajectory, EngineMatchesNaiveReferenceOneConstraint) {
+  const auto problem = testing::tiny_problem();
+  static const cloud::Dataset ds = testing::tiny_dataset();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    MultiConstraintOptions opts;
+    opts.lookahead = GetParam();
+    opts.gh_points = 3;
+
+    eval::TableRunner naive_runner(ds, energy_metrics());
+    const auto naive =
+        reference::NaiveMultiConstraintLynceus({energy_constraint(26.0)}, opts)
+            .optimize(problem, naive_runner, seed);
+    eval::TableRunner engine_runner(ds, energy_metrics());
+    const auto engine = MultiConstraintLynceus({energy_constraint(26.0)}, opts)
+                            .optimize(problem, engine_runner, seed);
+
+    EXPECT_EQ(history_ids(naive), history_ids(engine))
+        << "lookahead " << GetParam() << " seed " << seed;
+    EXPECT_EQ(naive.recommendation, engine.recommendation);
+    EXPECT_EQ(naive.recommendation_feasible, engine.recommendation_feasible);
+    EXPECT_EQ(naive.decisions, engine.decisions);
+  }
+}
+
+TEST_P(McGoldenTrajectory, EngineMatchesNaiveReferenceTwoConstraints) {
+  const auto problem = testing::tiny_problem();
+  static const cloud::Dataset ds = testing::tiny_dataset();
+  MultiConstraintOptions opts;
+  opts.lookahead = GetParam();
+  opts.gh_points = 3;
+
+  eval::TableRunner naive_runner(ds, two_metrics());
+  const auto naive =
+      reference::NaiveMultiConstraintLynceus(two_constraints(), opts)
+          .optimize(problem, naive_runner, 17);
+  eval::TableRunner engine_runner(ds, two_metrics());
+  const auto engine = MultiConstraintLynceus(two_constraints(), opts)
+                          .optimize(problem, engine_runner, 17);
+
+  EXPECT_EQ(history_ids(naive), history_ids(engine))
+      << "lookahead " << GetParam();
+  EXPECT_EQ(naive.recommendation, engine.recommendation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lookaheads, McGoldenTrajectory,
+                         ::testing::Values(0U, 1U, 2U));
 
 TEST(MultiConstraintLynceus, TwoConstraintsJointly) {
   const auto ds = testing::tiny_dataset();
