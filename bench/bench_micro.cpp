@@ -22,6 +22,8 @@
 
 #include "cloud/workloads.hpp"
 #include "core/acquisition.hpp"
+#include "core/constraints.hpp"
+#include "core/constraints_reference.hpp"
 #include "core/lookahead.hpp"
 #include "core/lynceus.hpp"
 #include "core/bo.hpp"
@@ -34,6 +36,7 @@
 #include "model/gp.hpp"
 #include "util/alloc_count.hpp"
 #include "util/json.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -224,6 +227,193 @@ BENCHMARK(BM_ExplorePathsDecision)
     ->ArgsProduct({{0, 1}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Multi-constraint decisions: naive reference vs MultiConstraintEngine
+// ---------------------------------------------------------------------------
+
+/// Bootstrapped root state of a multi-constraint run with one synthetic
+/// "energy" constraint whose cap binds without emptying the feasible set.
+struct McDecisionFixture {
+  cloud::Dataset ds;
+  core::OptimizationProblem problem;
+  std::vector<core::ConstraintDef> constraints;
+  eval::TableRunner runner;
+  core::MetricRecordingRunner recorder;
+  core::LoopState st;
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y_cost;
+  std::vector<std::vector<double>> y_metric;
+  std::vector<char> feasible;
+
+  static double energy_of(const cloud::Dataset& d, space::ConfigId id) {
+    return 0.05 * d.runtime(id) * (1.0 + 0.1 * static_cast<double>(id % 7));
+  }
+
+  static std::vector<core::ConstraintDef> make_constraints(
+      const cloud::Dataset& d) {
+    double min_energy = 1e300;
+    for (space::ConfigId id = 0; id < d.size(); ++id) {
+      if (d.feasible(id)) min_energy = std::min(min_energy, energy_of(d, id));
+    }
+    core::ConstraintDef c;
+    c.name = "energy";
+    c.metric_index = 0;
+    const double cap = 1.5 * min_energy;
+    c.threshold = [cap](core::ConfigId) { return cap; };
+    return {c};
+  }
+
+  explicit McDecisionFixture(int space_idx)
+      : ds(decision_dataset(space_idx)),
+        problem(eval::make_problem(ds, 3.0)),
+        constraints(make_constraints(ds)),
+        runner(ds,
+               [this](space::ConfigId id) {
+                 return std::vector<double>{energy_of(ds, id)};
+               }),
+        recorder(runner, constraints.size()),
+        st(problem, runner, 5) {
+    st.runner = &recorder;
+    st.bootstrap();
+    for (std::size_t i = 0; i < st.samples.size(); ++i) {
+      rows.push_back(st.samples[i].id);
+      y_cost.push_back(st.samples[i].cost);
+    }
+    y_metric.resize(constraints.size());
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      for (std::size_t i = 0; i < st.samples.size(); ++i) {
+        y_metric[c].push_back(
+            recorder.metrics()[i][constraints[c].metric_index]);
+      }
+    }
+    for (std::size_t i = 0; i < st.samples.size(); ++i) {
+      bool ok = st.samples[i].feasible;
+      for (const auto& c : constraints) {
+        if (recorder.metrics()[i][c.metric_index] >
+            c.threshold(st.samples[i].id)) {
+          ok = false;
+        }
+      }
+      feasible.push_back(ok ? 1 : 0);
+    }
+  }
+
+  [[nodiscard]] core::MultiConstraintEngine::Options engine_options(
+      unsigned la) const {
+    core::MultiConstraintEngine::Options opts;
+    opts.lookahead = la;
+    for (const auto& c : constraints) opts.thresholds.push_back(c.threshold);
+    return opts;
+  }
+
+  [[nodiscard]] core::MultiConstraintOptions naive_options(unsigned la) const {
+    core::MultiConstraintOptions opts;
+    opts.lookahead = la;
+    return opts;
+  }
+};
+
+/// One full decision on the engine: root fits (or cache hit), Γ filter,
+/// one simulated joint-speculation path per viable root.
+double mc_engine_decision(McDecisionFixture& fx,
+                          core::MultiConstraintEngine& engine,
+                          std::uint64_t iter) {
+  engine.begin_decision(fx.rows, fx.y_cost, fx.y_metric, fx.feasible,
+                        fx.st.budget.remaining(), util::derive_seed(5, iter));
+  double acc = 0.0;
+  for (core::ConfigId r : engine.viable()) {
+    acc += engine.simulate(r, util::derive_seed(5, iter * 1000003ULL + r))
+               .cost;
+  }
+  return acc;
+}
+
+/// The same decision through the naive copy-based reference.
+double mc_naive_decision(McDecisionFixture& fx,
+                         core::reference::McSimulator& sim,
+                         const core::MultiConstraintOptions& opts,
+                         std::uint64_t iter) {
+  core::reference::McState root;
+  root.rows = fx.rows;
+  root.y_cost = fx.y_cost;
+  root.y_metric = fx.y_metric;
+  root.sample_feasible = fx.feasible;
+  root.tested.assign(fx.problem.space->size(), 0);
+  for (std::uint32_t id : fx.rows) root.tested[id] = 1;
+  root.beta = fx.st.budget.remaining();
+
+  core::reference::McCtx ctx;
+  sim.build_ctx(root, ctx, util::derive_seed(5, iter));
+  double acc = 0.0;
+  for (std::size_t id = 0; id < fx.problem.space->size(); ++id) {
+    if (root.tested[id] != 0) continue;
+    if (core::prob_within(root.beta, ctx.cost_preds[id]) <
+        opts.feasibility_quantile) {
+      continue;
+    }
+    acc += sim.explore(root, ctx, static_cast<core::ConfigId>(id),
+                       opts.lookahead,
+                       util::derive_seed(5, iter * 1000003ULL + id))
+               .cost;
+  }
+  return acc;
+}
+
+void BM_MultiConstraintDecision(benchmark::State& state) {
+  McDecisionFixture fx(static_cast<int>(state.range(0)));
+  const auto la = static_cast<unsigned>(state.range(1));
+  core::MultiConstraintEngine engine(
+      fx.problem, fx.engine_options(la),
+      core::default_tree_model_factory(*fx.problem.space), 1);
+  std::uint64_t iter = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t decisions = 0;
+  for (auto _ : state) {
+    ++iter;
+    const util::AllocCountGuard guard;
+    benchmark::DoNotOptimize(mc_engine_decision(fx, engine, iter));
+    if (iter > 1) {  // first iteration warms the buffers
+      allocs += guard.delta();
+      ++decisions;
+    }
+  }
+  state.counters["allocs_per_decision"] =
+      decisions > 0
+          ? static_cast<double>(allocs) / static_cast<double>(decisions)
+          : 0.0;
+}
+// §4.4 simulates every viable root (no screening), so a TensorFlow-space
+// LA=2 decision runs minutes under the naive path — both twins stop at
+// LA=1 there and cover LA=2 on the smaller Scout space.
+BENCHMARK(BM_MultiConstraintDecision)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiConstraintDecisionNaive(benchmark::State& state) {
+  McDecisionFixture fx(static_cast<int>(state.range(0)));
+  const auto la = static_cast<unsigned>(state.range(1));
+  const core::MultiConstraintOptions opts = fx.naive_options(la);
+  core::reference::McSimulator sim(
+      fx.problem, fx.constraints, opts,
+      core::default_tree_model_factory(*fx.problem.space));
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    ++iter;
+    benchmark::DoNotOptimize(mc_naive_decision(fx, sim, opts, iter));
+  }
+}
+BENCHMARK(BM_MultiConstraintDecisionNaive)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Unit(benchmark::kMillisecond);
+
 /// Decision-time percentiles per (space, lookahead), written as JSON for
 /// BENCH_micro.json.
 struct DecisionStats {
@@ -283,6 +473,147 @@ DecisionStats measure_decision(int space_idx, unsigned lookahead,
           static_cast<double>(allocs) / static_cast<double>(ms.size())};
 }
 
+/// Percentile over a sorted sample (nearest-rank with rounding).
+double percentile(const std::vector<double>& sorted, double p) {
+  const auto i = static_cast<std::size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(i, sorted.size() - 1)];
+}
+
+/// Multi-constraint decision percentiles for one implementation.
+struct McStats {
+  double p50_ms = 0.0;
+  double mean_ms = 0.0;
+  double allocs_per_decision = 0.0;
+};
+
+McStats measure_mc_decision(int space_idx, unsigned la, std::size_t reps,
+                            bool naive) {
+  McDecisionFixture fx(space_idx);
+  core::MultiConstraintEngine engine(
+      fx.problem, fx.engine_options(la),
+      core::default_tree_model_factory(*fx.problem.space), 1);
+  const core::MultiConstraintOptions opts = fx.naive_options(la);
+  core::reference::McSimulator sim(
+      fx.problem, fx.constraints, opts,
+      core::default_tree_model_factory(*fx.problem.space));
+  std::vector<double> ms;
+  ms.reserve(reps);
+  std::uint64_t allocs = 0;
+  for (std::size_t rep = 0; rep <= reps; ++rep) {  // rep 0 = warm-up
+    const util::AllocCountGuard guard;
+    const auto t0 = std::chrono::steady_clock::now();
+    const double acc = naive ? mc_naive_decision(fx, sim, opts, rep + 1)
+                             : mc_engine_decision(fx, engine, rep + 1);
+    benchmark::DoNotOptimize(acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t delta = guard.delta();
+    if (rep == 0) continue;
+    allocs += delta;
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  McStats s;
+  s.p50_ms = percentile(ms, 0.50);
+  for (double v : ms) s.mean_ms += v;
+  s.mean_ms /= static_cast<double>(ms.size());
+  s.allocs_per_decision =
+      static_cast<double>(allocs) / static_cast<double>(ms.size());
+  return s;
+}
+
+/// Root-cache reuse: the p50 of re-running the *same* decision (identical
+/// root state and fit seed), which hits the cache and skips the root fit +
+/// full-space prediction. Also reports the observed hit count.
+struct CachedStats {
+  double p50_ms = 0.0;
+  std::uint64_t cache_hits = 0;
+};
+
+CachedStats measure_cached_decision(int space_idx, unsigned la,
+                                    std::size_t reps) {
+  const auto ds = decision_dataset(space_idx);
+  const auto problem = eval::make_problem(ds, 3.0);
+  eval::TableRunner runner(ds);
+  core::LoopState st(problem, runner, 5);
+  st.bootstrap();
+  core::RootCache cache;
+  core::LookaheadEngine::Options opts;
+  opts.lookahead = la;
+  opts.root_cache = &cache;
+  core::LookaheadEngine engine(problem, opts,
+                               core::default_tree_model_factory(*problem.space),
+                               1);
+  std::vector<core::ConfigId> roots;
+  std::vector<double> ms;
+  ms.reserve(reps);
+  for (std::size_t rep = 0; rep <= reps; ++rep) {  // rep 0 warms the cache
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.begin_decision(st.samples, st.budget.remaining(),
+                          util::derive_seed(5, 1));
+    engine.screened_roots(24, roots);
+    double acc = 0.0;
+    for (core::ConfigId r : roots) {
+      acc += engine.simulate(r, util::derive_seed(5, 1000003ULL + r)).cost;
+    }
+    benchmark::DoNotOptimize(acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (rep == 0) continue;
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  return {percentile(ms, 0.50), engine.cache_stats().hits};
+}
+
+/// Pooled decision: identical work to measure_decision but with the root
+/// simulations fanned out across a default-sized thread pool (ROADMAP
+/// "Thread-pool fan-out by default"). Trajectory-neutral; on a 1-core host
+/// the pool runs inline and this tracks the pool overhead instead.
+struct PooledStats {
+  double p50_ms = 0.0;
+  std::size_t workers = 0;
+};
+
+PooledStats measure_pooled_decision(int space_idx, unsigned la,
+                                    std::size_t reps) {
+  const auto ds = decision_dataset(space_idx);
+  const auto problem = eval::make_problem(ds, 3.0);
+  eval::TableRunner runner(ds);
+  core::LoopState st(problem, runner, 5);
+  st.bootstrap();
+  util::ThreadPool pool(util::default_worker_count());
+  core::LookaheadEngine::Options opts;
+  opts.lookahead = la;
+  core::LookaheadEngine engine(problem, opts,
+                               core::default_tree_model_factory(*problem.space),
+                               pool.worker_count() + 1);
+  std::vector<core::ConfigId> roots;
+  std::vector<double> costs;
+  std::vector<double> ms;
+  ms.reserve(reps);
+  for (std::size_t rep = 0; rep <= reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.begin_decision(st.samples, st.budget.remaining(),
+                          util::derive_seed(5, rep + 1));
+    engine.screened_roots(24, roots);
+    costs.assign(roots.size(), 0.0);
+    util::maybe_parallel_for(&pool, roots.size(), [&](std::size_t i) {
+      costs[i] =
+          engine
+              .simulate(roots[i],
+                        util::derive_seed(5, (rep + 1) * 1000003ULL + roots[i]))
+              .cost;
+    });
+    double acc = 0.0;
+    for (double c : costs) acc += c;
+    benchmark::DoNotOptimize(acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (rep == 0) continue;
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  return {percentile(ms, 0.50), pool.worker_count()};
+}
+
 bool write_json_summary(const std::string& path) {
   util::JsonWriter w;
   w.begin_object();
@@ -313,7 +644,61 @@ bool write_json_summary(const std::string& path) {
     w.end_object();
   }
   w.end_array();
+
+  // Multi-constraint decisions: the naive copy-based reference vs the
+  // delta-state engine, identical decision replayed by both.
+  w.key("multi_constraint").begin_array();
+  struct McCase {
+    int space_idx;
+    unsigned la;
+    std::size_t reps;
+  };
+  const McCase mc_cases[] = {
+      {0, 0, 20}, {0, 1, 6}, {1, 0, 30}, {1, 1, 20}, {1, 2, 8}};
+  for (const auto& mc : mc_cases) {
+    const auto naive = measure_mc_decision(mc.space_idx, mc.la, mc.reps, true);
+    const auto engine =
+        measure_mc_decision(mc.space_idx, mc.la, mc.reps, false);
+    w.begin_object();
+    w.key("space").value(decision_space_name(mc.space_idx));
+    w.key("la").value(static_cast<std::uint64_t>(mc.la));
+    w.key("decisions").value(static_cast<std::uint64_t>(mc.reps));
+    w.key("naive_p50_ms").value(naive.p50_ms);
+    w.key("engine_p50_ms").value(engine.p50_ms);
+    w.key("speedup_p50").value(
+        engine.p50_ms > 0.0 ? naive.p50_ms / engine.p50_ms : 0.0);
+    w.key("engine_allocs_per_decision").value(engine.allocs_per_decision);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Root-cache reuse of a repeated decision, plus the hit counters.
+  w.key("cached_decision").begin_array();
+  for (unsigned la = 0; la <= 1; ++la) {
+    const auto c = measure_cached_decision(0, la, 20);
+    w.begin_object();
+    w.key("space").value(decision_space_name(0));
+    w.key("la").value(static_cast<std::uint64_t>(la));
+    w.key("p50_ms").value(c.p50_ms);
+    w.key("cache_hits").value(c.cache_hits);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Thread-pool fan-out across root simulations.
+  w.key("pooled_decision").begin_array();
+  {
+    const auto p = measure_pooled_decision(0, 2, 15);
+    w.begin_object();
+    w.key("space").value(decision_space_name(0));
+    w.key("la").value(std::uint64_t{2});
+    w.key("workers").value(static_cast<std::uint64_t>(p.workers));
+    w.key("p50_ms").value(p.p50_ms);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
+
   std::ofstream out(path);
   out << w.str() << "\n";
   out.flush();

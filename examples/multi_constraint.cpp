@@ -14,6 +14,7 @@
 #include "core/constraints.hpp"
 #include "eval/experiment.hpp"
 #include "eval/runner.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace lynceus;
@@ -48,8 +49,10 @@ int main() {
   energy.threshold = [energy_cap](core::ConfigId) { return energy_cap; };
 
   const core::OptimizationProblem problem = eval::make_problem(dataset, 3.0);
+  util::ThreadPool pool(util::default_worker_count());
   core::MultiConstraintOptions options;
   options.lookahead = 1;
+  options.pool = &pool;  // root paths fan out across the host's cores
   core::MultiConstraintLynceus lynceus({energy}, options);
 
   const auto result = lynceus.optimize(problem, runner, /*seed=*/3);

@@ -13,6 +13,7 @@
 #include "core/lynceus.hpp"
 #include "eval/experiment.hpp"
 #include "eval/runner.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace lynceus;
@@ -32,9 +33,13 @@ int main() {
               problem.bootstrap_samples);
 
   // 3. The optimizer: Lynceus with a 2-step lookahead (paper default).
+  //    Root path simulations are independent, so fan them out across the
+  //    host's cores by default — the trajectory is identical either way.
+  util::ThreadPool pool(util::default_worker_count());
   core::LynceusOptions options;
   options.lookahead = 2;
   options.screen_width = 24;  // bound per-decision time on small machines
+  options.pool = &pool;
   core::LynceusOptimizer lynceus(options);
 
   // 4. Run. The TableRunner replays measured data; each `run` would be a

@@ -1,13 +1,13 @@
 #include "core/constraints.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 #include <stdexcept>
 
-#include "core/acquisition.hpp"
 #include "core/bo.hpp"
+#include "core/lookahead.hpp"
 #include "core/sequential.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace lynceus::core {
@@ -48,227 +48,6 @@ std::string MultiConstraintLynceus::name() const {
                       constraints_.size());
 }
 
-namespace {
-
-/// Trajectory state: training rows with cost and per-constraint metric
-/// targets.
-struct McState {
-  std::vector<std::uint32_t> rows;
-  std::vector<double> y_cost;
-  std::vector<std::vector<double>> y_metric;  // [constraint][sample]
-  std::vector<char> sample_feasible;
-  std::vector<char> tested;
-  double beta = 0.0;
-};
-
-struct McCtx {
-  std::vector<model::Prediction> cost_preds;
-  std::vector<std::vector<model::Prediction>> metric_preds;
-  double y_star = 0.0;
-};
-
-/// Per-depth models: one for cost, one per constraint metric.
-struct McModels {
-  std::unique_ptr<model::Regressor> cost;
-  std::vector<std::unique_ptr<model::Regressor>> metrics;
-};
-
-/// One pruned combination of speculated (cost, metrics...) values.
-struct SpeculationCombo {
-  double cost = 0.0;
-  std::vector<double> metrics;
-  double weight = 0.0;
-};
-
-}  // namespace
-
-struct MultiConstraintLynceus::Impl {
-  const MultiConstraintLynceus& self;
-  const OptimizationProblem& problem;
-  const model::FeatureMatrix fm;
-  const math::GaussHermite quadrature;
-  std::uint64_t seed;
-  McModels models;  // shared scratch (single-threaded implementation)
-
-  Impl(const MultiConstraintLynceus& s, const OptimizationProblem& p,
-       const model::ModelFactory& factory, std::uint64_t sd)
-      : self(s),
-        problem(p),
-        fm(*p.space),
-        quadrature(s.options_.gh_points),
-        seed(sd) {
-    models.cost = factory();
-    models.metrics.reserve(s.constraints_.size());
-    for (std::size_t i = 0; i < s.constraints_.size(); ++i) {
-      models.metrics.push_back(factory());
-    }
-  }
-
-  [[nodiscard]] const MultiConstraintOptions& opts() const {
-    return self.options_;
-  }
-
-  /// EIc with the product of all constraint-satisfaction probabilities
-  /// (§4.4, modification 1).
-  [[nodiscard]] double eic(const McCtx& ctx, ConfigId x) const {
-    double acq = expected_improvement(ctx.y_star, ctx.cost_preds[x]);
-    if (acq <= 0.0) return 0.0;
-    acq *= prob_within(problem.feasibility_cost_cap(x), ctx.cost_preds[x]);
-    for (std::size_t i = 0; i < self.constraints_.size(); ++i) {
-      acq *= prob_within(self.constraints_[i].threshold(x),
-                         ctx.metric_preds[i][x]);
-    }
-    return acq;
-  }
-
-  void build_ctx(const McState& st, McCtx& ctx, std::uint64_t fit_seed) {
-    models.cost->fit(fm, st.rows, st.y_cost, util::derive_seed(fit_seed, 0));
-    models.cost->predict_all(fm, ctx.cost_preds);
-    ctx.metric_preds.resize(self.constraints_.size());
-    for (std::size_t i = 0; i < self.constraints_.size(); ++i) {
-      models.metrics[i]->fit(fm, st.rows, st.y_metric[i],
-                             util::derive_seed(fit_seed, i + 1));
-      models.metrics[i]->predict_all(fm, ctx.metric_preds[i]);
-    }
-
-    bool any = false;
-    double best = 0.0;
-    double most_expensive = st.y_cost.front();
-    for (std::size_t i = 0; i < st.y_cost.size(); ++i) {
-      most_expensive = std::max(most_expensive, st.y_cost[i]);
-      if (st.sample_feasible[i] != 0 && (!any || st.y_cost[i] < best)) {
-        best = st.y_cost[i];
-        any = true;
-      }
-    }
-    if (any) {
-      ctx.y_star = best;
-    } else {
-      double max_stddev = 0.0;
-      for (std::size_t id = 0; id < ctx.cost_preds.size(); ++id) {
-        if (st.tested[id] == 0) {
-          max_stddev = std::max(max_stddev, ctx.cost_preds[id].stddev);
-        }
-      }
-      ctx.y_star = most_expensive + 3.0 * max_stddev;
-    }
-  }
-
-  [[nodiscard]] std::optional<ConfigId> next_step(const McState& st,
-                                                  const McCtx& ctx) const {
-    double best = -std::numeric_limits<double>::infinity();
-    std::optional<ConfigId> best_id;
-    for (std::size_t id = 0; id < ctx.cost_preds.size(); ++id) {
-      if (st.tested[id] != 0) continue;
-      if (prob_within(st.beta, ctx.cost_preds[id]) <
-          opts().feasibility_quantile) {
-        continue;
-      }
-      const double acq = eic(ctx, static_cast<ConfigId>(id));
-      if (acq > best) {
-        best = acq;
-        best_id = static_cast<ConfigId>(id);
-      }
-    }
-    return best_id;
-  }
-
-  /// Joint speculation (§4.4, modification 2): Cartesian product of the
-  /// per-variable Gauss–Hermite discretizations, pruned of combinations
-  /// with weight below prune_weight and renormalized.
-  [[nodiscard]] std::vector<SpeculationCombo> speculate(const McCtx& ctx,
-                                                        ConfigId x) const {
-    const auto cost_nodes = quadrature.for_normal(ctx.cost_preds[x].mean,
-                                                  ctx.cost_preds[x].stddev);
-    std::vector<std::vector<math::QuadraturePoint>> metric_nodes;
-    metric_nodes.reserve(self.constraints_.size());
-    for (std::size_t i = 0; i < self.constraints_.size(); ++i) {
-      metric_nodes.push_back(quadrature.for_normal(
-          ctx.metric_preds[i][x].mean, ctx.metric_preds[i][x].stddev));
-    }
-
-    const std::size_t vars = 1 + self.constraints_.size();
-    const std::size_t k = quadrature.size();
-    std::vector<std::size_t> index(vars, 0);
-    std::vector<SpeculationCombo> combos;
-    double kept_mass = 0.0;
-    for (;;) {
-      SpeculationCombo combo;
-      combo.cost =
-          std::max(cost_nodes[index[0]].value,
-                   0.001 * std::max(ctx.cost_preds[x].mean, 1e-12));
-      combo.weight = cost_nodes[index[0]].weight;
-      combo.metrics.resize(self.constraints_.size());
-      for (std::size_t i = 0; i < self.constraints_.size(); ++i) {
-        // Physical metrics (energy, latency, ...) are non-negative.
-        combo.metrics[i] = std::max(metric_nodes[i][index[i + 1]].value, 0.0);
-        combo.weight *= metric_nodes[i][index[i + 1]].weight;
-      }
-      if (combo.weight >= opts().prune_weight) {
-        kept_mass += combo.weight;
-        combos.push_back(std::move(combo));
-      }
-      // Advance the mixed-radix index.
-      std::size_t d = 0;
-      while (d < vars && ++index[d] == k) {
-        index[d] = 0;
-        ++d;
-      }
-      if (d == vars) break;
-    }
-    if (kept_mass > 0.0) {
-      for (auto& c : combos) c.weight /= kept_mass;
-    }
-    return combos;
-  }
-
-  [[nodiscard]] bool combo_feasible(const SpeculationCombo& combo,
-                                    ConfigId x) const {
-    if (combo.cost > problem.feasibility_cost_cap(x)) return false;
-    for (std::size_t i = 0; i < self.constraints_.size(); ++i) {
-      if (combo.metrics[i] > self.constraints_[i].threshold(x)) return false;
-    }
-    return true;
-  }
-
-  PathValue explore(const McState& st, const McCtx& ctx, ConfigId x,
-                    unsigned l, std::uint64_t path_seed) {
-    PathValue v;
-    v.reward = eic(ctx, x);
-    v.cost = ctx.cost_preds[x].mean;
-    if (l == 0) return v;
-
-    const auto combos = speculate(ctx, x);
-    for (std::size_t i = 0; i < combos.size(); ++i) {
-      const auto& combo = combos[i];
-      McState child;
-      child.rows = st.rows;
-      child.y_cost = st.y_cost;
-      child.y_metric = st.y_metric;
-      child.sample_feasible = st.sample_feasible;
-      child.tested = st.tested;
-      child.rows.push_back(x);
-      child.y_cost.push_back(combo.cost);
-      for (std::size_t c = 0; c < self.constraints_.size(); ++c) {
-        child.y_metric[c].push_back(combo.metrics[c]);
-      }
-      child.sample_feasible.push_back(combo_feasible(combo, x) ? 1 : 0);
-      child.tested[x] = 1;
-      child.beta = st.beta - combo.cost;
-
-      McCtx child_ctx;
-      build_ctx(child, child_ctx, util::derive_seed(path_seed, i + 1));
-      const auto x_next = next_step(child, child_ctx);
-      if (!x_next) continue;
-      const PathValue sub = explore(child, child_ctx, *x_next, l - 1,
-                                    util::derive_seed(path_seed, 131 * i + 7));
-      v.cost += combo.weight * sub.cost;
-      v.reward += opts().gamma * combo.weight * sub.reward;
-    }
-    return v;
-  }
-};
-
 OptimizerResult MultiConstraintLynceus::optimize(
     const OptimizationProblem& problem, JobRunner& runner,
     std::uint64_t seed) {
@@ -282,7 +61,20 @@ OptimizerResult MultiConstraintLynceus::optimize(
   const model::ModelFactory factory =
       options_.model_factory ? options_.model_factory
                              : default_tree_model_factory(*problem.space);
-  Impl impl(*this, problem, factory, seed);
+
+  MultiConstraintEngine::Options eopts;
+  eopts.lookahead = options_.lookahead;
+  eopts.gh_points = options_.gh_points;
+  eopts.gamma = options_.gamma;
+  eopts.feasibility_quantile = options_.feasibility_quantile;
+  eopts.prune_weight = options_.prune_weight;
+  eopts.thresholds.reserve(constraints_.size());
+  for (const auto& c : constraints_) eopts.thresholds.push_back(c.threshold);
+  eopts.root_cache = options_.root_cache;
+  // One workspace per worker (index 0 = calling thread).
+  const std::size_t workers =
+      options_.pool != nullptr ? options_.pool->worker_count() + 1 : 1;
+  MultiConstraintEngine engine(problem, std::move(eopts), factory, workers);
 
   auto sample_feasible = [&](std::size_t i) {
     if (!st.samples[i].feasible) return false;
@@ -295,56 +87,57 @@ OptimizerResult MultiConstraintLynceus::optimize(
     return true;
   };
 
-  McState root;
-  McCtx root_ctx;
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y_cost;
+  std::vector<std::vector<double>> y_metric;
+  std::vector<char> feasible;
+  std::vector<PathValue> values;
+
   std::uint64_t iteration = 0;
   while (!st.untested.empty()) {
     timer.start();
     ++iteration;
 
-    root.rows.clear();
-    root.y_cost.clear();
-    root.y_metric.assign(constraints_.size(), {});
-    root.sample_feasible.clear();
+    rows.clear();
+    y_cost.clear();
+    y_metric.assign(constraints_.size(), {});
+    feasible.clear();
     for (std::size_t i = 0; i < st.samples.size(); ++i) {
-      root.rows.push_back(st.samples[i].id);
-      root.y_cost.push_back(st.samples[i].cost);
+      rows.push_back(st.samples[i].id);
+      y_cost.push_back(st.samples[i].cost);
       for (std::size_t c = 0; c < constraints_.size(); ++c) {
-        root.y_metric[c].push_back(
+        y_metric[c].push_back(
             recorder.metrics()[i][constraints_[c].metric_index]);
       }
-      root.sample_feasible.push_back(sample_feasible(i) ? 1 : 0);
+      feasible.push_back(sample_feasible(i) ? 1 : 0);
     }
-    root.tested.assign(problem.space->size(), 0);
-    for (const auto& s : st.samples) root.tested[s.id] = 1;
-    root.beta = st.budget.remaining();
 
-    impl.build_ctx(root, root_ctx, util::derive_seed(seed, iteration));
+    engine.begin_decision(rows, y_cost, y_metric, feasible,
+                          st.budget.remaining(),
+                          util::derive_seed(seed, iteration));
 
-    // Γ filter + path simulation per viable root.
-    std::vector<ConfigId> viable;
-    for (std::size_t id = 0; id < problem.space->size(); ++id) {
-      if (root.tested[id] != 0) continue;
-      if (prob_within(root.beta, root_ctx.cost_preds[id]) >=
-          options_.feasibility_quantile) {
-        viable.push_back(static_cast<ConfigId>(id));
-      }
-    }
-    if (viable.empty()) {
+    // Γ = ∅: the budget affords nothing else.
+    const std::vector<ConfigId>& roots = engine.viable();
+    if (roots.empty()) {
       timer.stop();
       break;
     }
 
+    // One simulated path per viable root (§4.4 uses no root screening),
+    // in parallel when a pool is provided — root paths are independent.
+    values.assign(roots.size(), PathValue{});
+    util::maybe_parallel_for(options_.pool, roots.size(), [&](std::size_t i) {
+      values[i] = engine.simulate(
+          roots[i], util::derive_seed(seed, iteration * 1000003ULL + roots[i]));
+    });
+
     double best_ratio = -std::numeric_limits<double>::infinity();
-    ConfigId best_id = viable.front();
-    for (ConfigId x : viable) {
-      const PathValue v = impl.explore(
-          root, root_ctx, x, options_.lookahead,
-          util::derive_seed(seed, iteration * 1000003ULL + x));
-      const double ratio = v.reward / std::max(v.cost, 1e-12);
+    ConfigId best_id = roots.front();
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const double ratio = values[i].reward / std::max(values[i].cost, 1e-12);
       if (ratio > best_ratio) {
         best_ratio = ratio;
-        best_id = x;
+        best_id = roots[i];
       }
     }
     timer.stop();

@@ -83,6 +83,12 @@ struct MultiConstraintOptions {
   /// are pruned (weights are renormalized afterwards).
   double prune_weight = 1e-3;
   model::ModelFactory model_factory;
+  /// Optional parallelism across root candidates (root paths are
+  /// independent, exactly as in §4.3). Null = single-threaded.
+  util::ThreadPool* pool = nullptr;
+  /// Optional root cache shared across optimize() runs (see RootCache in
+  /// core/lookahead.hpp); null disables caching. Not owned.
+  RootCache* root_cache = nullptr;
 
   void validate() const;
 };

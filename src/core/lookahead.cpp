@@ -12,6 +12,171 @@
 
 namespace lynceus::core {
 
+namespace {
+
+/// Incumbent for a simulated state: cheapest feasible sample, or the
+/// paper's fallback (max sampled cost + 3 · max predictive stddev over the
+/// untested candidates). Shared by both engines; the scan order replicates
+/// the naive references exactly.
+double state_incumbent(const std::vector<double>& y,
+                       const std::vector<char>& feasible,
+                       const std::vector<model::Prediction>& cand_preds) {
+  bool any = false;
+  double best = 0.0;
+  double most_expensive = y.front();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    most_expensive = std::max(most_expensive, y[i]);
+    if (feasible[i] != 0 && (!any || y[i] < best)) {
+      best = y[i];
+      any = true;
+    }
+  }
+  if (any) return best;
+  double max_stddev = 0.0;
+  for (const auto& pred : cand_preds) {
+    max_stddev = std::max(max_stddev, pred.stddev);
+  }
+  return most_expensive + 3.0 * max_stddev;
+}
+
+constexpr double kPhi0 = 0.3989422804014326779;  // φ(0) = 1/√(2π)
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RootCache
+// ---------------------------------------------------------------------------
+
+RootCache::RootCache() : RootCache(Options{}) {}
+
+RootCache::RootCache(Options options) : options_(options) {
+  entries_.reserve(options_.capacity);
+}
+
+bool RootCache::key_matches(
+    const Entry& e, const std::vector<std::uint32_t>& rows,
+    const std::vector<const std::vector<double>*>& targets,
+    std::uint64_t fit_seed, std::size_t space_rows) const {
+  if (e.fit_seed != fit_seed || e.space_rows != space_rows ||
+      e.rows != rows || e.targets.size() != targets.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (e.targets[i] != *targets[i]) return false;
+  }
+  return true;
+}
+
+bool RootCache::is_prefix_of(
+    const Entry& e, const std::vector<std::uint32_t>& rows,
+    const std::vector<const std::vector<double>*>& targets) const {
+  if (e.rows.size() > rows.size() || e.targets.size() != targets.size()) {
+    return false;
+  }
+  if (!std::equal(e.rows.begin(), e.rows.end(), rows.begin())) return false;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (e.targets[i].size() != e.rows.size() ||
+        e.targets[i].size() > targets[i]->size()) {
+      return false;
+    }
+    if (!std::equal(e.targets[i].begin(), e.targets[i].end(),
+                    targets[i]->begin())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const RootCache::Entry* RootCache::lookup(
+    const std::vector<std::uint32_t>& rows,
+    const std::vector<const std::vector<double>*>& targets,
+    std::uint64_t fit_seed, std::size_t space_rows) {
+  if (options_.capacity == 0) return nullptr;
+  // Drop diverged entries first (an exact match always survives this
+  // sweep, so the pointer returned below stays valid): an entry with the
+  // probe's objective count that shares the probe's row-id prefix but
+  // disagrees on the shared target values records a diverged history
+  // ("sample append mismatch") and can never hit again. Entries of a
+  // different shape (objective count or space size) belong to another
+  // engine sharing the cache and are left alone.
+  for (std::size_t i = 0; i < entries_.size();) {
+    const Entry& e = entries_[i];
+    if (e.targets.size() == targets.size() && e.space_rows == space_rows &&
+        e.rows.size() <= rows.size() &&
+        std::equal(e.rows.begin(), e.rows.end(), rows.begin()) &&
+        !is_prefix_of(e, rows, targets)) {
+      ++stats_.invalidations;
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+  for (Entry& e : entries_) {
+    if (key_matches(e, rows, targets, fit_seed, space_rows)) {
+      e.tick = ++tick_;
+      ++stats_.hits;
+      return &e;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void RootCache::store(
+    const std::vector<std::uint32_t>& rows,
+    const std::vector<const std::vector<double>*>& targets,
+    std::uint64_t fit_seed,
+    const std::vector<const std::vector<model::Prediction>*>& preds,
+    const std::vector<const model::Regressor*>& models) {
+  if (options_.capacity == 0) return;
+  if (preds.size() != targets.size() || preds.empty()) {
+    throw std::logic_error("RootCache::store: preds/targets size mismatch");
+  }
+  const std::size_t space_rows = preds.front()->size();
+  for (const Entry& e : entries_) {
+    if (key_matches(e, rows, targets, fit_seed, space_rows)) {
+      return;  // already cached
+    }
+  }
+  // Fill the spare entry (recycled from the last eviction, so steady-state
+  // stores reuse its buffers instead of reallocating).
+  Entry e = std::move(spare_);
+  spare_ = Entry{};
+  e.rows.assign(rows.begin(), rows.end());
+  e.fit_seed = fit_seed;
+  e.space_rows = space_rows;
+  e.tick = ++tick_;
+  e.targets.resize(targets.size());
+  e.preds.resize(preds.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    e.targets[i].assign(targets[i]->begin(), targets[i]->end());
+    e.preds[i].assign(preds[i]->begin(), preds[i]->end());
+  }
+  e.models.clear();
+  if (options_.store_models) {
+    e.models.resize(models.size());
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      if (models[i] != nullptr) e.models[i] = models[i]->clone();
+    }
+  }
+  if (entries_.size() >= options_.capacity) {
+    std::size_t lru = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].tick < entries_[lru].tick) lru = i;
+    }
+    spare_ = std::move(entries_[lru]);
+    entries_[lru] = std::move(e);
+  } else {
+    entries_.push_back(std::move(e));
+  }
+}
+
+void RootCache::clear() { entries_.clear(); }
+
+// ---------------------------------------------------------------------------
+// LookaheadEngine
+// ---------------------------------------------------------------------------
+
 LookaheadEngine::LookaheadEngine(const OptimizationProblem& problem,
                                  Options options,
                                  const model::ModelFactory& factory,
@@ -24,6 +189,7 @@ LookaheadEngine::LookaheadEngine(const OptimizationProblem& problem,
     throw std::invalid_argument("LookaheadEngine: need at least one worker");
   }
   viable_z_ = math::norm_cdf_ge_boundary(options_.feasibility_quantile);
+  cache_ = options_.root_cache;
   const std::size_t space = problem_.space->size();
   root_model_ = factory();
   root_rows_.reserve(space);
@@ -80,8 +246,26 @@ void LookaheadEngine::begin_decision(const std::vector<Sample>& samples,
     if (tested_[id] == 0) root_cands_.push_back(static_cast<ConfigId>(id));
   }
 
-  root_model_->fit(fm_, root_rows_, root_y_, fit_seed);
-  root_model_->predict_all(fm_, root_preds_);
+  // Root fit + full-space prediction, or a RootCache hit that skips both
+  // (exact key match only, so the predictions are bitwise identical to the
+  // refit's — see the RootCache class comment).
+  const RootCache::Entry* hit = nullptr;
+  if (cache_ != nullptr) {
+    key_targets_.assign(1, &root_y_);
+    hit = cache_->lookup(root_rows_, key_targets_, fit_seed, fm_.rows());
+  }
+  if (hit != nullptr) {
+    root_preds_ = hit->preds.front();
+  } else {
+    root_model_->fit(fm_, root_rows_, root_y_, fit_seed);
+    root_model_->predict_all(fm_, root_preds_);
+    if (cache_ != nullptr) {
+      key_preds_.assign(1, &root_preds_);
+      key_models_.assign(1, root_model_.get());
+      cache_->store(root_rows_, key_targets_, fit_seed, key_preds_,
+                    key_models_);
+    }
+  }
 
   // Incumbent y*: cheapest feasible sample, else the paper's fallback.
   {
@@ -151,27 +335,6 @@ LookaheadEngine::Workspace* LookaheadEngine::acquire_workspace() {
 void LookaheadEngine::release_workspace(Workspace* ws) {
   std::lock_guard lock(pool_mutex_);
   free_workspaces_.push_back(ws);
-}
-
-double LookaheadEngine::state_incumbent(
-    const std::vector<double>& y, const std::vector<char>& feasible,
-    const std::vector<model::Prediction>& cand_preds) {
-  bool any = false;
-  double best = 0.0;
-  double most_expensive = y.front();
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    most_expensive = std::max(most_expensive, y[i]);
-    if (feasible[i] != 0 && (!any || y[i] < best)) {
-      best = y[i];
-      any = true;
-    }
-  }
-  if (any) return best;
-  double max_stddev = 0.0;
-  for (const auto& pred : cand_preds) {
-    max_stddev = std::max(max_stddev, pred.stddev);
-  }
-  return most_expensive + 3.0 * max_stddev;
 }
 
 PathValue LookaheadEngine::simulate(ConfigId root, std::uint64_t path_seed) {
@@ -255,7 +418,6 @@ PathValue LookaheadEngine::explore(Workspace& ws, std::size_t depth,
     // max, ties broken by scan order) is unchanged. The bound holds with
     // slack >= σ·φ(0) (σ has a positive floor in both models), orders of
     // magnitude above floating-point error in the compared expressions.
-    constexpr double kPhi0 = 0.3989422804014326779;  // φ(0) = 1/√(2π)
     double best = -std::numeric_limits<double>::infinity();
     std::size_t best_j = lvl.cands.size();
     for (std::size_t j = 0; j < lvl.cands.size(); ++j) {
@@ -287,6 +449,442 @@ PathValue LookaheadEngine::explore(Workspace& ws, std::size_t depth,
     // Revert the delta: Σ' → Σ.
     ws.rows.pop_back();
     ws.y.pop_back();
+    ws.feasible.pop_back();
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// MultiConstraintEngine
+// ---------------------------------------------------------------------------
+
+MultiConstraintEngine::MultiConstraintEngine(
+    const OptimizationProblem& problem, Options options,
+    const model::ModelFactory& factory, std::size_t workers)
+    : problem_(problem),
+      options_(std::move(options)),
+      fm_(*problem.space),
+      quadrature_(options_.gh_points) {
+  if (workers == 0) {
+    throw std::invalid_argument(
+        "MultiConstraintEngine: need at least one worker");
+  }
+  for (const auto& t : options_.thresholds) {
+    if (!t) {
+      throw std::invalid_argument(
+          "MultiConstraintEngine: threshold function is required");
+    }
+  }
+  viable_z_ = math::norm_cdf_ge_boundary(options_.feasibility_quantile);
+  cache_ = options_.root_cache;
+
+  const std::size_t space = problem_.space->size();
+  const std::size_t n_constraints = options_.thresholds.size();
+  const std::size_t vars = 1 + n_constraints;
+  const std::size_t k = quadrature_.size();
+
+  // Joint-speculation branching factor K^(I+1); the flat combo buffers are
+  // sized for the unpruned worst case once, here.
+  std::size_t combo_cap = 1;
+  for (std::size_t v = 0; v < vars; ++v) {
+    if (combo_cap > (std::size_t{1} << 16) / k) {
+      throw std::invalid_argument(
+          "MultiConstraintEngine: gh_points^(constraints+1) too large");
+    }
+    combo_cap *= k;
+  }
+
+  // Thresholds and feasibility caps are pure functions of the id —
+  // evaluate them once instead of per candidate per node.
+  caps_.resize(space);
+  for (std::size_t id = 0; id < space; ++id) {
+    caps_[id] = problem_.feasibility_cost_cap(static_cast<ConfigId>(id));
+  }
+  threshold_by_id_.resize(n_constraints);
+  for (std::size_t c = 0; c < n_constraints; ++c) {
+    threshold_by_id_[c].resize(space);
+    for (std::size_t id = 0; id < space; ++id) {
+      threshold_by_id_[c][id] =
+          options_.thresholds[c](static_cast<ConfigId>(id));
+    }
+  }
+
+  root_models_.reserve(vars);
+  for (std::size_t obj = 0; obj < vars; ++obj) {
+    root_models_.push_back(factory());
+  }
+  root_preds_.resize(vars);
+  root_rows_.reserve(space);
+  root_y_cost_.reserve(space);
+  root_feasible_.reserve(space);
+  root_y_metric_.resize(n_constraints);
+  for (auto& m : root_y_metric_) m.reserve(space);
+  root_cands_.reserve(space);
+  tested_.reserve(space);
+  viable_.reserve(space);
+  eic_by_id_.resize(space, 0.0);
+  root_mpred_scratch_.resize(n_constraints);
+  key_targets_.reserve(vars);
+  key_preds_.reserve(vars);
+  key_models_.reserve(vars);
+
+  workspaces_.resize(workers);
+  for (auto& ws : workspaces_) {
+    ws.models.reserve(vars);
+    for (std::size_t obj = 0; obj < vars; ++obj) {
+      ws.models.push_back(factory());
+    }
+    const std::size_t max_samples = space + options_.lookahead + 1;
+    ws.rows.reserve(max_samples);
+    ws.y_cost.reserve(max_samples);
+    ws.feasible.reserve(max_samples);
+    ws.y_metric.resize(n_constraints);
+    for (auto& m : ws.y_metric) m.reserve(max_samples);
+    ws.root_x_pred.resize(vars);
+    ws.levels.resize(options_.lookahead);
+    for (auto& lvl : ws.levels) {
+      lvl.cands.reserve(space);
+      lvl.cost_preds.reserve(space);
+      lvl.metric_preds.resize(n_constraints);
+      for (auto& m : lvl.metric_preds) m.reserve(space);
+      lvl.nodes.resize(vars * k);
+      lvl.radix.resize(vars);
+      lvl.combo_cost.reserve(combo_cap);
+      lvl.combo_weight.reserve(combo_cap);
+      lvl.combo_metric.reserve(combo_cap * n_constraints);
+      lvl.x_pred.resize(vars);
+    }
+  }
+  free_workspaces_.reserve(workers);
+  for (auto& ws : workspaces_) free_workspaces_.push_back(&ws);
+}
+
+void MultiConstraintEngine::begin_decision(
+    const std::vector<std::uint32_t>& rows, const std::vector<double>& y_cost,
+    const std::vector<std::vector<double>>& y_metric,
+    const std::vector<char>& feasible, double remaining_budget,
+    std::uint64_t fit_seed) {
+  const std::size_t n_constraints = options_.thresholds.size();
+  if (y_metric.size() != n_constraints || rows.size() != y_cost.size() ||
+      rows.size() != feasible.size() || rows.empty()) {
+    throw std::invalid_argument(
+        "MultiConstraintEngine::begin_decision: malformed root state");
+  }
+  ++epoch_;
+  const std::size_t space = problem_.space->size();
+
+  root_rows_.assign(rows.begin(), rows.end());
+  root_y_cost_.assign(y_cost.begin(), y_cost.end());
+  for (std::size_t c = 0; c < n_constraints; ++c) {
+    root_y_metric_[c].assign(y_metric[c].begin(), y_metric[c].end());
+  }
+  root_feasible_.assign(feasible.begin(), feasible.end());
+  root_beta_ = remaining_budget;
+
+  tested_.assign(space, 0);
+  for (std::uint32_t id : root_rows_) tested_[id] = 1;
+  root_cands_.clear();
+  for (std::size_t id = 0; id < space; ++id) {
+    if (tested_[id] == 0) root_cands_.push_back(static_cast<ConfigId>(id));
+  }
+
+  // Root fits + full-space predictions for every objective, or one
+  // RootCache hit that restores all of them (exact key match, so the
+  // predictions are bitwise identical to the refits').
+  const RootCache::Entry* hit = nullptr;
+  if (cache_ != nullptr) {
+    key_targets_.clear();
+    key_targets_.push_back(&root_y_cost_);
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      key_targets_.push_back(&root_y_metric_[c]);
+    }
+    hit = cache_->lookup(root_rows_, key_targets_, fit_seed, fm_.rows());
+  }
+  if (hit != nullptr) {
+    for (std::size_t obj = 0; obj < root_preds_.size(); ++obj) {
+      root_preds_[obj] = hit->preds[obj];
+    }
+  } else {
+    root_models_[0]->fit(fm_, root_rows_, root_y_cost_,
+                         util::derive_seed(fit_seed, 0));
+    root_models_[0]->predict_all(fm_, root_preds_[0]);
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      root_models_[c + 1]->fit(fm_, root_rows_, root_y_metric_[c],
+                               util::derive_seed(fit_seed, c + 1));
+      root_models_[c + 1]->predict_all(fm_, root_preds_[c + 1]);
+    }
+    if (cache_ != nullptr) {
+      key_preds_.clear();
+      key_models_.clear();
+      for (std::size_t obj = 0; obj < root_preds_.size(); ++obj) {
+        key_preds_.push_back(&root_preds_[obj]);
+        key_models_.push_back(root_models_[obj].get());
+      }
+      cache_->store(root_rows_, key_targets_, fit_seed, key_preds_,
+                    key_models_);
+    }
+  }
+
+  // Incumbent y*: cheapest feasible sample, else the paper's fallback over
+  // the untested cost predictions (replicates McSimulator::build_ctx).
+  {
+    bool any = false;
+    double best = 0.0;
+    double most_expensive = root_y_cost_.front();
+    for (std::size_t i = 0; i < root_y_cost_.size(); ++i) {
+      most_expensive = std::max(most_expensive, root_y_cost_[i]);
+      if (root_feasible_[i] != 0 && (!any || root_y_cost_[i] < best)) {
+        best = root_y_cost_[i];
+        any = true;
+      }
+    }
+    if (any) {
+      y_star_ = best;
+    } else {
+      double max_stddev = 0.0;
+      for (ConfigId id : root_cands_) {
+        max_stddev = std::max(max_stddev, root_preds_[0][id].stddev);
+      }
+      y_star_ = most_expensive + 3.0 * max_stddev;
+    }
+  }
+
+  // Fused root pass: the Γ filter plus the root EIc of every viable
+  // candidate (the depth-0 reward of its simulated path).
+  viable_.clear();
+  for (ConfigId id : root_cands_) {
+    if (!budget_viable(root_beta_, root_preds_[0][id])) continue;
+    viable_.push_back(id);
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      root_mpred_scratch_[c] = root_preds_[c + 1][id];
+    }
+    eic_by_id_[id] = mc_eic(y_star_, id, root_preds_[0][id],
+                            root_mpred_scratch_.data());
+  }
+}
+
+double MultiConstraintEngine::mc_eic(
+    double y_star, ConfigId x, const model::Prediction& cost_pred,
+    const model::Prediction* metric_preds) const {
+  double acq = expected_improvement(y_star, cost_pred);
+  if (acq <= 0.0) return 0.0;
+  acq *= prob_within(caps_[x], cost_pred);
+  for (std::size_t c = 0; c < options_.thresholds.size(); ++c) {
+    acq *= prob_within(threshold_by_id_[c][x], metric_preds[c]);
+  }
+  return acq;
+}
+
+std::size_t MultiConstraintEngine::speculate(
+    Level& lvl, const model::Prediction* x_preds) const {
+  const std::size_t n_constraints = options_.thresholds.size();
+  const std::size_t vars = 1 + n_constraints;
+  const std::size_t k = quadrature_.size();
+  for (std::size_t obj = 0; obj < vars; ++obj) {
+    quadrature_.for_normal_into(x_preds[obj].mean, x_preds[obj].stddev,
+                                lvl.nodes.data() + obj * k);
+  }
+  const double cost_floor = 0.001 * std::max(x_preds[0].mean, 1e-12);
+
+  lvl.combo_cost.clear();
+  lvl.combo_weight.clear();
+  lvl.combo_metric.clear();
+  std::fill(lvl.radix.begin(), lvl.radix.end(), 0);
+  double kept_mass = 0.0;
+  for (;;) {
+    const double cost = std::max(lvl.nodes[lvl.radix[0]].value, cost_floor);
+    double w = lvl.nodes[lvl.radix[0]].weight;
+    const std::size_t metric_base = lvl.combo_metric.size();
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      const auto& node = lvl.nodes[(c + 1) * k + lvl.radix[c + 1]];
+      // Physical metrics (energy, latency, ...) are non-negative.
+      lvl.combo_metric.push_back(std::max(node.value, 0.0));
+      w *= node.weight;
+    }
+    if (w >= options_.prune_weight) {
+      kept_mass += w;
+      lvl.combo_cost.push_back(cost);
+      lvl.combo_weight.push_back(w);
+    } else {
+      lvl.combo_metric.resize(metric_base);
+    }
+    // Advance the mixed-radix index (cost varies fastest, like the
+    // reference's Cartesian loop).
+    std::size_t d = 0;
+    while (d < vars && ++lvl.radix[d] == k) {
+      lvl.radix[d] = 0;
+      ++d;
+    }
+    if (d == vars) break;
+  }
+  if (kept_mass > 0.0) {
+    for (double& w : lvl.combo_weight) w /= kept_mass;
+  }
+  return lvl.combo_cost.size();
+}
+
+MultiConstraintEngine::Workspace* MultiConstraintEngine::acquire_workspace() {
+  std::lock_guard lock(pool_mutex_);
+  if (free_workspaces_.empty()) {
+    throw std::logic_error(
+        "MultiConstraintEngine: more concurrent simulations than workers");
+  }
+  Workspace* ws = free_workspaces_.back();
+  free_workspaces_.pop_back();
+  return ws;
+}
+
+void MultiConstraintEngine::release_workspace(Workspace* ws) {
+  std::lock_guard lock(pool_mutex_);
+  free_workspaces_.push_back(ws);
+}
+
+PathValue MultiConstraintEngine::simulate(ConfigId root,
+                                          std::uint64_t path_seed) {
+  Workspace* ws = acquire_workspace();
+  struct Release {
+    MultiConstraintEngine* self;
+    Workspace* ws;
+    ~Release() { self->release_workspace(ws); }
+  } release{this, ws};
+
+  const std::size_t n_constraints = options_.thresholds.size();
+  // Sync the workspace's path state Σ with this decision's root once; the
+  // recursion fully reverts its deltas between simulate() calls.
+  if (ws->epoch != epoch_) {
+    ws->rows.assign(root_rows_.begin(), root_rows_.end());
+    ws->y_cost.assign(root_y_cost_.begin(), root_y_cost_.end());
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      ws->y_metric[c].assign(root_y_metric_[c].begin(),
+                             root_y_metric_[c].end());
+    }
+    ws->feasible.assign(root_feasible_.begin(), root_feasible_.end());
+  }
+  // Invalid while the recursion holds un-reverted deltas (see
+  // LookaheadEngine::simulate).
+  ws->epoch = 0;
+
+  for (std::size_t obj = 0; obj < ws->root_x_pred.size(); ++obj) {
+    ws->root_x_pred[obj] = root_preds_[obj][root];
+  }
+  const PathValue v =
+      explore(*ws, 0, root, ws->root_x_pred.data(), eic_by_id_[root],
+              root_beta_, root_cands_, options_.lookahead, path_seed);
+  ws->epoch = epoch_;
+  return v;
+}
+
+PathValue MultiConstraintEngine::explore(
+    Workspace& ws, std::size_t depth, ConfigId x,
+    const model::Prediction* x_preds, double x_eic, double beta,
+    const std::vector<std::uint32_t>& cands, unsigned steps_left,
+    std::uint64_t path_seed) {
+  PathValue v;
+  v.reward = x_eic;
+  v.cost = x_preds[0].mean;
+  if (steps_left == 0) return v;
+
+  const std::size_t n_constraints = options_.thresholds.size();
+  Level& lvl = ws.levels[depth];
+  const std::size_t n_combos = speculate(lvl, x_preds);
+
+  // Child candidate set: the parent's candidates minus x (ascending order
+  // preserved — argmax tie-breaking stays identical to a full id scan).
+  lvl.cands.clear();
+  for (std::uint32_t id : cands) {
+    if (id != x) lvl.cands.push_back(id);
+  }
+
+  const double cap_x = caps_[x];
+  for (std::size_t i = 0; i < n_combos; ++i) {
+    const double ci = lvl.combo_cost[i];
+    const double wi = lvl.combo_weight[i];
+    const double* mi = lvl.combo_metric.data() + i * n_constraints;
+
+    bool feas = ci <= cap_x;
+    for (std::size_t c = 0; feas && c < n_constraints; ++c) {
+      if (mi[c] > threshold_by_id_[c][x]) feas = false;
+    }
+
+    // Apply the delta Σ → Σ': push the fantasy sample on every objective.
+    ws.rows.push_back(x);
+    ws.y_cost.push_back(ci);
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      ws.y_metric[c].push_back(mi[c]);
+    }
+    ws.feasible.push_back(feas ? 1 : 0);
+    const double child_beta = beta - ci;
+
+    // Refit every objective model with the fantasy sample (same derived
+    // seed structure as McSimulator::build_ctx) and predict the shrinking
+    // candidate subset per objective — O(candidates · (I+1)) batched work
+    // instead of the reference's (I+1) full-space predictions plus state
+    // copies.
+    const std::uint64_t branch_seed = util::derive_seed(path_seed, i + 1);
+    ws.models[0]->fit(fm_, ws.rows, ws.y_cost,
+                      util::derive_seed(branch_seed, 0));
+    ws.models[0]->predict_subset(fm_, lvl.cands, lvl.cost_preds);
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      ws.models[c + 1]->fit(fm_, ws.rows, ws.y_metric[c],
+                            util::derive_seed(branch_seed, c + 1));
+      ws.models[c + 1]->predict_subset(fm_, lvl.cands, lvl.metric_preds[c]);
+    }
+    const double y_star = state_incumbent(ws.y_cost, ws.feasible,
+                                          lvl.cost_preds);
+
+    // Fused NextStep: budget viability via the exact cdf-boundary compare,
+    // then the cost-only EI upper bound (every probability factor of the
+    // multi-constraint EIc is <= 1, so the single-constraint bound holds a
+    // fortiori). The EIc product only shrinks as factors are multiplied
+    // in, so a partial product that cannot *strictly* beat the running
+    // best exits the candidate without evaluating the remaining cdfs —
+    // the argmax (first index attaining the max, ties broken by scan
+    // order) is unchanged.
+    double best = -std::numeric_limits<double>::infinity();
+    std::size_t best_j = lvl.cands.size();
+    for (std::size_t j = 0; j < lvl.cands.size(); ++j) {
+      const model::Prediction& p = lvl.cost_preds[j];
+      if (!budget_viable(child_beta, p)) continue;
+      const double upper = std::max(y_star - p.mean, 0.0) + p.stddev * kPhi0;
+      if (upper <= best) continue;
+      const auto cid = static_cast<ConfigId>(lvl.cands[j]);
+      double acq = expected_improvement(y_star, p);
+      if (acq > 0.0 && acq > best) {
+        acq *= prob_within(caps_[cid], p);
+        for (std::size_t c = 0; c < n_constraints && acq > best; ++c) {
+          acq *= prob_within(threshold_by_id_[c][cid],
+                             lvl.metric_preds[c][j]);
+        }
+      } else if (acq < 0.0) {
+        acq = 0.0;
+      }
+      if (acq > best) {
+        best = acq;
+        best_j = j;
+        lvl.x_pred[0] = p;
+        for (std::size_t c = 0; c < n_constraints; ++c) {
+          lvl.x_pred[c + 1] = lvl.metric_preds[c][j];
+        }
+      }
+    }
+
+    if (best_j != lvl.cands.size()) {
+      const PathValue sub = explore(
+          ws, depth + 1, static_cast<ConfigId>(lvl.cands[best_j]),
+          lvl.x_pred.data(), best, child_beta, lvl.cands, steps_left - 1,
+          util::derive_seed(path_seed, 131 * i + 7));
+      v.cost += wi * sub.cost;
+      v.reward += options_.gamma * wi * sub.reward;
+    }
+    // else: no viable continuation — the branch contributes only its root
+    // step (replicates the reference's `continue`).
+
+    // Revert the delta: Σ' → Σ.
+    ws.rows.pop_back();
+    ws.y_cost.pop_back();
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      ws.y_metric[c].pop_back();
+    }
     ws.feasible.pop_back();
   }
   return v;

@@ -38,6 +38,15 @@
 /// bit-for-bit — same derive_seed call structure, same candidate scan
 /// order (ascending ids), same floating-point accumulation order in the
 /// batched predictions (see Regressor's batched-prediction contract).
+///
+/// Two engines share this machinery: LookaheadEngine for the
+/// single-constraint problem (§4.3) and MultiConstraintEngine for the §4.4
+/// multi-constraint extension, where a path node evaluates a *vector* of
+/// objectives (cost + one metric per constraint) and joint speculation over
+/// the Cartesian Gauss–Hermite product becomes flat per-depth workspace
+/// buffers instead of per-combination state copies. Both can consult a
+/// RootCache so that repeated decisions (warm-started or recurrent tuning
+/// rounds) skip the root fit + full-space prediction entirely.
 
 #include <cstdint>
 #include <functional>
@@ -63,6 +72,123 @@ struct PathValue {
   double cost = 0.0;
 };
 
+/// Cross-decision cache of root-level model work (ROADMAP "Root-level
+/// result caching").
+///
+/// **Key.** A root fit is fully determined by the triple
+///   (training rows, per-objective target vectors, derive_seed fit seed):
+/// the feature matrix is immutable per space and every Regressor is
+/// deterministic given its seed. The cache therefore maps that key to the
+/// full-space predictions of every objective model (plus, optionally, a
+/// clone of each fitted model — see Options::store_models). A hit is only
+/// ever declared on an *exact* key match, which keeps trajectories
+/// bit-identical with the cache on or off: the cached predictions are the
+/// very doubles the skipped refit would recompute.
+///
+/// **Invalidation.** Consecutive decisions of one tuning run extend the
+/// training set by appending samples, so an entry whose key is a strict
+/// prefix of the probe (same ids, same target values, any seed) is simply
+/// a miss — it stays cached so a warm-start re-run of the same lineage can
+/// still hit it. An entry with the probe's objective count whose rows are
+/// a length-wise prefix of the probe's rows but whose shared target
+/// values mismatch belongs to a diverged history (different runner,
+/// different problem instance): it can never hit again and is dropped
+/// immediately, counted in Stats::invalidations. Entries with a different
+/// objective count or space size are a plain miss and are left alone (a
+/// single- and a multi-constraint engine may share one cache). Beyond
+/// that, entries are evicted least-recently used once `capacity` is
+/// exceeded.
+///
+/// **Sharing contract.** The key cannot observe the model configuration:
+/// it assumes a fitted model is fully determined by (targets, fit seed).
+/// Share one instance only across runs using the same model factory and
+/// hyper-parameters — mixing model configurations in one cache returns
+/// the other configuration's predictions on a key collision. The space
+/// size is part of the key (`space_rows`), so mixing *spaces* is safe and
+/// simply never hits. Unrelated jobs whose bootstrap row ids coincide but
+/// whose measured targets differ thrash each other's entries through the
+/// divergence rule; give such jobs separate caches.
+///
+/// Not thread-safe: engines consult it only from begin_decision, which is
+/// already single-threaded by contract. Share one instance across
+/// optimizer runs (LynceusOptions::root_cache /
+/// MultiConstraintOptions::root_cache) to reuse root work across
+/// warm-started runs of a recurrent job. Storing costs one O(space)
+/// prediction copy per decision; engines given no cache skip the
+/// machinery entirely.
+class RootCache {
+ public:
+  struct Options {
+    /// Maximum number of cached roots; 0 disables the cache.
+    std::size_t capacity = 8;
+    /// Also snapshot the fitted models via Regressor::clone() so a hit
+    /// restores the root tree set, not just its predictions (groundwork
+    /// for incremental refits of a cached root). Models whose clone()
+    /// returns null are stored as predictions only.
+    bool store_models = false;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  struct Entry {
+    std::vector<std::uint32_t> rows;
+    std::vector<std::vector<double>> targets;  ///< [objective][sample]
+    std::uint64_t fit_seed = 0;
+    std::size_t space_rows = 0;  ///< configuration-space size (key part)
+    std::vector<std::vector<model::Prediction>> preds;  ///< [objective][id]
+    std::vector<std::unique_ptr<model::Regressor>> models;  ///< may be null
+    std::uint64_t tick = 0;  ///< LRU stamp
+  };
+
+  RootCache();
+  explicit RootCache(Options options);
+
+  /// Exact-match lookup (`space_rows` = the probing engine's space size,
+  /// part of the key); counts a hit or a miss, dropping diverged entries
+  /// (see invalidation rules above). The returned pointer is only valid
+  /// until the next lookup()/store()/clear() — both can erase or move
+  /// entries; copy what you need immediately.
+  [[nodiscard]] const Entry* lookup(
+      const std::vector<std::uint32_t>& rows,
+      const std::vector<const std::vector<double>*>& targets,
+      std::uint64_t fit_seed, std::size_t space_rows);
+
+  /// Stores a fitted root (copies rows/targets/predictions; clones the
+  /// models when Options::store_models is set). `preds` and `models` are
+  /// parallel to `targets`; `models` entries may be null. No-op when the
+  /// key is already cached or capacity is 0.
+  void store(const std::vector<std::uint32_t>& rows,
+             const std::vector<const std::vector<double>*>& targets,
+             std::uint64_t fit_seed,
+             const std::vector<const std::vector<model::Prediction>*>& preds,
+             const std::vector<const model::Regressor*>& models);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear();
+
+ private:
+  [[nodiscard]] bool key_matches(
+      const Entry& e, const std::vector<std::uint32_t>& rows,
+      const std::vector<const std::vector<double>*>& targets,
+      std::uint64_t fit_seed, std::size_t space_rows) const;
+  /// True when `e` shares `rows`/`targets` as a prefix (same lineage).
+  [[nodiscard]] bool is_prefix_of(
+      const Entry& e, const std::vector<std::uint32_t>& rows,
+      const std::vector<const std::vector<double>*>& targets) const;
+
+  Options options_;
+  Stats stats_;
+  std::uint64_t tick_ = 0;
+  std::vector<Entry> entries_;
+  Entry spare_;  ///< last evicted entry, recycled by the next store
+};
+
 class LookaheadEngine {
  public:
   struct Options {
@@ -71,6 +197,10 @@ class LookaheadEngine {
     double gamma = 0.9;               ///< reward discount
     double feasibility_quantile = 0.99;  ///< Γ filter quantile
     SetupCostFn setup_cost;           ///< optional §4.4 extension
+    /// Root cache to consult and fill (not owned; must outlive the
+    /// engine). Null disables caching entirely — decisions then pay no
+    /// store overhead. See the RootCache sharing contract.
+    RootCache* root_cache = nullptr;
   };
 
   /// `workers` is the maximum number of concurrent simulate() calls; one
@@ -124,6 +254,13 @@ class LookaheadEngine {
     return fm_;
   }
 
+  /// Root-cache hit/miss/invalidation counters of Options::root_cache
+  /// (all zero when caching is disabled).
+  [[nodiscard]] const RootCache::Stats& cache_stats() const noexcept {
+    static const RootCache::Stats kNone{};
+    return cache_ != nullptr ? cache_->stats() : kNone;
+  }
+
  private:
   /// Per-depth, per-worker buffers of the recursion.
   struct Level {
@@ -160,13 +297,6 @@ class LookaheadEngine {
     return (beta - pred.mean) / pred.stddev >= viable_z_;
   }
 
-  /// Incumbent for a simulated state: cheapest feasible sample, or the
-  /// paper's fallback (max sampled cost + 3 · max predictive stddev over
-  /// the untested candidates).
-  [[nodiscard]] static double state_incumbent(
-      const std::vector<double>& y, const std::vector<char>& feasible,
-      const std::vector<model::Prediction>& cand_preds);
-
   PathValue explore(Workspace& ws, std::size_t depth, ConfigId x,
                     double x_mean, double x_stddev, double x_eic, double beta,
                     const std::optional<ConfigId>& chi,
@@ -180,6 +310,13 @@ class LookaheadEngine {
   const Options options_;
   const model::FeatureMatrix fm_;
   const math::GaussHermite quadrature_;
+
+  RootCache* cache_ = nullptr;  ///< options_.root_cache; null = disabled
+
+  // Root-cache key scratch (rebuilt per decision, capacity reused).
+  std::vector<const std::vector<double>*> key_targets_;
+  std::vector<const std::vector<model::Prediction>*> key_preds_;
+  std::vector<const model::Regressor*> key_models_;
 
   // Root snapshot of the current decision.
   std::unique_ptr<model::Regressor> root_model_;
@@ -195,6 +332,196 @@ class LookaheadEngine {
   std::optional<ConfigId> root_chi_;
   double y_star_ = 0.0;
   double max_viable_eic_ = 0.0;
+  double viable_z_ = 0.0;
+  std::uint64_t epoch_ = 0;
+
+  std::vector<Workspace> workspaces_;
+  std::mutex pool_mutex_;
+  std::vector<Workspace*> free_workspaces_;
+};
+
+/// The multi-constraint twin of LookaheadEngine (paper §4.4): path
+/// simulation over a *vector* of objectives — the job cost plus one
+/// regression target per auxiliary constraint.
+///
+/// Differences from the single-constraint engine, all pinned bit-for-bit
+/// against reference::McSimulator (core/constraints_reference.hpp) by the
+/// golden-trajectory tests:
+///  * each node fits I+1 models (cost + per-constraint metrics) on the
+///    same rows with per-objective derived seeds;
+///  * a simulated step speculates *jointly*: the Cartesian product of the
+///    per-objective Gauss–Hermite discretizations, pruned of combinations
+///    below `prune_weight` and renormalized, becomes the branch set. The
+///    combinations live in flat per-depth buffers (values, weights,
+///    metrics) sized K^(I+1) once at construction — no per-combination
+///    heap state;
+///  * the acquisition multiplies every constraint-satisfaction
+///    probability into EIc. The fused next-step scan prunes on the
+///    cost-only EI upper bound (every probability factor is <= 1, so the
+///    single-constraint bound holds a fortiori), and since the product
+///    only shrinks as factors are multiplied in, each partial product
+///    <= the running best exits the candidate early — the argmax (first
+///    index attaining the max) is unchanged.
+///
+/// Like LookaheadEngine, simulate() performs zero heap allocation after
+/// warm-up, and begin_decision consults the RootCache so repeated root
+/// states (warm-started runs) skip all I+1 root fits + full-space
+/// predictions.
+class MultiConstraintEngine {
+ public:
+  struct Options {
+    unsigned lookahead = 1;
+    unsigned gh_points = 3;
+    double gamma = 0.9;
+    double feasibility_quantile = 0.99;
+    /// Joint-speculation combinations below this weight are pruned.
+    double prune_weight = 1e-3;
+    /// Per-constraint thresholds t_i(x), in constraint order. Must be pure
+    /// functions of x (they are evaluated once per configuration at
+    /// construction).
+    std::vector<std::function<double(ConfigId)>> thresholds;
+    /// Root cache to consult and fill (not owned); null disables caching.
+    RootCache* root_cache = nullptr;
+  };
+
+  MultiConstraintEngine(const OptimizationProblem& problem, Options options,
+                        const model::ModelFactory& factory,
+                        std::size_t workers);
+
+  /// Starts a decision from the optimizer's root state: `y_metric[c]`
+  /// holds the measured values of constraint c aligned with `rows`,
+  /// `feasible` the joint (deadline and every constraint) per-sample
+  /// feasibility flags. Fits cost + metric models (or restores them from
+  /// the root cache), runs the full-space predictions, the incumbent rule
+  /// and the fused Γ/EIc root pass. Not thread-safe against concurrent
+  /// simulate() calls.
+  void begin_decision(const std::vector<std::uint32_t>& rows,
+                      const std::vector<double>& y_cost,
+                      const std::vector<std::vector<double>>& y_metric,
+                      const std::vector<char>& feasible,
+                      double remaining_budget, std::uint64_t fit_seed);
+
+  /// Budget-viable untested configurations Γ, ascending (valid after
+  /// begin_decision). The multi-constraint optimizer simulates all of
+  /// them — §4.4 uses no root screening.
+  [[nodiscard]] const std::vector<ConfigId>& viable() const noexcept {
+    return viable_;
+  }
+
+  /// Root-model cost predictions (objective 0) for every configuration.
+  [[nodiscard]] const std::vector<model::Prediction>& root_cost_predictions()
+      const noexcept {
+    return root_preds_.front();
+  }
+
+  /// Incumbent y* of the current decision.
+  [[nodiscard]] double incumbent() const noexcept { return y_star_; }
+
+  /// ExplorePaths with joint speculation, rooted at `root` (must be in Γ).
+  /// Safe to call concurrently from up to `workers` threads between two
+  /// begin_decision calls.
+  [[nodiscard]] PathValue simulate(ConfigId root, std::uint64_t path_seed);
+
+  [[nodiscard]] const RootCache::Stats& cache_stats() const noexcept {
+    static const RootCache::Stats kNone{};
+    return cache_ != nullptr ? cache_->stats() : kNone;
+  }
+
+  /// Number of constraints I (objectives are I+1).
+  [[nodiscard]] std::size_t constraint_count() const noexcept {
+    return options_.thresholds.size();
+  }
+
+ private:
+  /// Per-depth, per-worker buffers of the recursion.
+  struct Level {
+    std::vector<std::uint32_t> cands;      ///< untested ids, ascending
+    std::vector<model::Prediction> cost_preds;  ///< parallel to cands
+    /// Per-constraint predictions, parallel to cands.
+    std::vector<std::vector<model::Prediction>> metric_preds;
+    std::vector<math::QuadraturePoint> nodes;  ///< (I+1)·K branch points
+    std::vector<std::size_t> radix;        ///< mixed-radix combo index
+    std::vector<double> combo_cost;        ///< kept combos: clamped costs
+    std::vector<double> combo_weight;      ///< kept combos: renormalized w
+    std::vector<double> combo_metric;      ///< kept combos: I metrics each
+    std::vector<model::Prediction> x_pred;   ///< chosen candidate, I+1 preds
+  };
+
+  /// begin_decision scratch: the I metric predictions of one root
+  /// candidate, gathered contiguously for mc_eic.
+  std::vector<model::Prediction> root_mpred_scratch_;
+
+  /// One worker's exclusive delta-maintained path state Σ.
+  struct Workspace {
+    std::vector<std::unique_ptr<model::Regressor>> models;  ///< I+1
+    std::vector<std::uint32_t> rows;
+    std::vector<double> y_cost;
+    std::vector<std::vector<double>> y_metric;  ///< [constraint][sample]
+    std::vector<char> feasible;
+    std::vector<Level> levels;
+    std::vector<model::Prediction> root_x_pred;  ///< I+1 root preds of x
+    std::uint64_t epoch = 0;
+  };
+
+  /// Exact `prob_within(beta, pred) >= feasibility_quantile` via the
+  /// precomputed cdf boundary (see LookaheadEngine::budget_viable).
+  [[nodiscard]] bool budget_viable(double beta,
+                                   const model::Prediction& pred) const
+      noexcept {
+    if (pred.stddev <= 0.0) return beta >= pred.mean;
+    return (beta - pred.mean) / pred.stddev >= viable_z_;
+  }
+
+  /// EIc(x) with the product of all constraint-satisfaction probabilities,
+  /// replicating reference::McSimulator::eic's operation order. The metric
+  /// predictions are supplied by the caller (full-space at the root, lazy
+  /// scalar predictions inside the scan).
+  [[nodiscard]] double mc_eic(double y_star, ConfigId x,
+                              const model::Prediction& cost_pred,
+                              const model::Prediction* metric_preds) const;
+
+  /// Builds the pruned, renormalized joint-speculation combos of `x_preds`
+  /// into `lvl`'s flat buffers; returns the kept-combination count.
+  std::size_t speculate(Level& lvl, const model::Prediction* x_preds) const;
+
+  PathValue explore(Workspace& ws, std::size_t depth, ConfigId x,
+                    const model::Prediction* x_preds, double x_eic,
+                    double beta, const std::vector<std::uint32_t>& cands,
+                    unsigned steps_left, std::uint64_t path_seed);
+
+  Workspace* acquire_workspace();
+  void release_workspace(Workspace* ws);
+
+  const OptimizationProblem& problem_;
+  const Options options_;
+  const model::FeatureMatrix fm_;
+  const math::GaussHermite quadrature_;
+
+  RootCache* cache_ = nullptr;  ///< options_.root_cache; null = disabled
+
+  /// Precomputed per-configuration feasibility cost caps and constraint
+  /// thresholds (pure functions of the id).
+  std::vector<double> caps_;
+  std::vector<std::vector<double>> threshold_by_id_;  ///< [constraint][id]
+
+  // Root-cache key scratch (rebuilt per decision, capacity reused).
+  std::vector<const std::vector<double>*> key_targets_;
+  std::vector<const std::vector<model::Prediction>*> key_preds_;
+  std::vector<const model::Regressor*> key_models_;
+
+  // Root snapshot of the current decision.
+  std::vector<std::unique_ptr<model::Regressor>> root_models_;  ///< I+1
+  std::vector<std::uint32_t> root_rows_;
+  std::vector<double> root_y_cost_;
+  std::vector<std::vector<double>> root_y_metric_;
+  std::vector<char> root_feasible_;
+  std::vector<std::uint32_t> root_cands_;  ///< untested ids, ascending
+  std::vector<char> tested_;               ///< scratch for root_cands_
+  std::vector<std::vector<model::Prediction>> root_preds_;  ///< [objective]
+  std::vector<ConfigId> viable_;
+  std::vector<double> eic_by_id_;
+  double root_beta_ = 0.0;
+  double y_star_ = 0.0;
   double viable_z_ = 0.0;
   std::uint64_t epoch_ = 0;
 

@@ -67,6 +67,12 @@ struct LynceusOptions {
   util::ThreadPool* pool = nullptr;
   /// Optional setup-cost extension (§4.4).
   SetupCostFn setup_cost;
+  /// Optional root cache (see RootCache in core/lookahead.hpp): share one
+  /// instance across optimize() runs so warm-started re-runs of the same
+  /// job skip the root fit + full-space prediction of repeated decisions.
+  /// Null disables caching (within one run the cache can never hit, so
+  /// there is nothing to pay either). Not owned.
+  RootCache* root_cache = nullptr;
   /// Optional observer notified of bootstrap samples, decisions, run
   /// outcomes and the stop reason (see core/trace.hpp). Not owned.
   OptimizerObserver* observer = nullptr;

@@ -175,6 +175,20 @@ void BaggingEnsemble::predict_subset(const FeatureMatrix& fm,
     throw std::logic_error("BaggingEnsemble::predict_subset: not fitted");
   }
   out.resize(ids.size());
+  // Dense subsets take the identity (level-mask) walk of the *full* space
+  // and gather: per row it is ~2x cheaper than the frontier partition the
+  // sparse path uses, so once the subset covers most of the space —
+  // typical for the lookahead engines' first levels — predicting
+  // everything wins. Per-row results are bitwise identical across all
+  // batch entry points (the Regressor contract), so this is purely a
+  // routing decision. The scratch is thread-local for the same reason as
+  // predict_rows' accumulators: engine workspaces predict concurrently.
+  if (2 * ids.size() >= fm.rows()) {
+    thread_local std::vector<Prediction> full;
+    predict_all(fm, full);
+    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = full[ids[i]];
+    return;
+  }
   chunked_parallel(options_.predict_pool, ids.size(),
                    [&](std::size_t begin, std::size_t end) {
                      predict_rows(fm, ids.data() + begin, end - begin,
@@ -184,6 +198,10 @@ void BaggingEnsemble::predict_subset(const FeatureMatrix& fm,
 
 std::unique_ptr<Regressor> BaggingEnsemble::fresh() const {
   return std::make_unique<BaggingEnsemble>(options_);
+}
+
+std::unique_ptr<Regressor> BaggingEnsemble::clone() const {
+  return std::make_unique<BaggingEnsemble>(*this);
 }
 
 }  // namespace lynceus::model

@@ -79,6 +79,10 @@ class BaggingEnsemble final : public Regressor {
 
   [[nodiscard]] std::unique_ptr<Regressor> fresh() const override;
 
+  /// Deep copy including the fitted trees (trees and options are plain
+  /// data, so the copy predicts bitwise identically).
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
   [[nodiscard]] const BaggingOptions& options() const noexcept {
     return options_;
   }

@@ -164,6 +164,16 @@ class Regressor {
   /// A fresh, unfitted model with the same hyper-parameters. Used to build
   /// independent "fantasy" models while simulating exploration paths.
   [[nodiscard]] virtual std::unique_ptr<Regressor> fresh() const = 0;
+
+  /// A deep copy of this model *including its fitted state*, or nullptr
+  /// when the implementation does not support snapshotting. The root-level
+  /// result cache (core/lookahead.hpp) uses this to retain the fitted root
+  /// tree set alongside its predictions, so a future incremental refit can
+  /// extend a cached root instead of rebuilding it. The clone's
+  /// predictions must be bitwise identical to the original's.
+  [[nodiscard]] virtual std::unique_ptr<Regressor> clone() const {
+    return nullptr;
+  }
 };
 
 /// Factory used by optimizers to create per-path model instances.

@@ -57,4 +57,14 @@ class ThreadPool {
 void maybe_parallel_for(ThreadPool* pool, std::size_t n,
                         const std::function<void(std::size_t)>& body);
 
+/// Default pool size for entry points that opt into parallelism (the CLI
+/// tuner, examples, benches): one worker per hardware thread beyond the
+/// calling thread, so a pool of this size saturates the host without
+/// oversubscribing it. 0 — i.e. a pool that runs everything inline — on
+/// single-core hosts or when hardware_concurrency is unknown. Trajectories
+/// do not depend on the pool size (root simulations are independent and
+/// their results are merged in root order), so defaulting entry points to
+/// this keeps runs reproducible across machines.
+[[nodiscard]] std::size_t default_worker_count() noexcept;
+
 }  // namespace lynceus::util

@@ -1,0 +1,89 @@
+#include "util/alloc_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace lynceus::util {
+namespace {
+
+/// The test binary compiles src/util/alloc_count.cpp in, so the counting
+/// operator new/delete replacements must be active here.
+TEST(AllocCount, HooksAreLinkedIntoTheTestBinary) {
+  EXPECT_TRUE(alloc_count_available());
+}
+
+TEST(AllocCount, CountsHeapAllocations) {
+  AllocCountGuard guard;
+  std::vector<double> v(256);
+  v[0] = 1.0;
+  EXPECT_GE(guard.delta(), 1U);
+}
+
+TEST(AllocCount, CounterIsMonotone_DeleteDoesNotDecrement) {
+  AllocCountGuard guard;
+  {
+    auto p = std::make_unique<std::vector<int>>(64);
+    (*p)[0] = 1;
+  }  // freed here
+  const std::uint64_t after_free = guard.delta();
+  EXPECT_GE(after_free, 1U);
+  // Freeing must never roll the counter back below a previous reading.
+  EXPECT_EQ(guard.delta(), after_free);
+}
+
+TEST(AllocCount, NestedGuardsComposeAsDeltas) {
+  AllocCountGuard outer;
+  std::vector<double> a(128);
+  a[0] = 1.0;
+  const std::uint64_t outer_before_inner = outer.delta();
+  ASSERT_GE(outer_before_inner, 1U);
+
+  AllocCountGuard inner;
+  std::vector<double> b(128);
+  b[0] = 2.0;
+  const std::uint64_t inner_delta = inner.delta();
+  EXPECT_GE(inner_delta, 1U);
+  // The outer guard saw both regions; the inner one only its own.
+  EXPECT_EQ(outer.delta(), outer_before_inner + inner_delta);
+}
+
+TEST(AllocCount, SurvivesExceptionUnwind) {
+  AllocCountGuard guard;
+  std::uint64_t at_throw = 0;
+  try {
+    std::vector<double> v(512);
+    v[0] = 3.0;
+    at_throw = guard.delta();
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+    // The allocation made before the throw stays counted after its memory
+    // was released by stack unwinding; guards created before the try are
+    // still usable.
+    EXPECT_GE(at_throw, 1U);
+    EXPECT_GE(guard.delta(), at_throw);
+  }
+  std::vector<double> w(16);
+  w[0] = 4.0;
+  EXPECT_GT(guard.delta(), at_throw);
+}
+
+TEST(AllocCount, CountersArePerThread) {
+  std::atomic<std::uint64_t> worker_delta{0};
+  std::thread t([&] {
+    AllocCountGuard guard;
+    std::vector<double> v(1024);
+    v[0] = 5.0;
+    worker_delta = guard.delta();
+  });
+  t.join();
+  // The worker observed its own allocations on its own counter.
+  EXPECT_GE(worker_delta.load(), 1U);
+}
+
+}  // namespace
+}  // namespace lynceus::util

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bo.hpp"
 #include "core/constraints_reference.hpp"
+#include "core/lookahead.hpp"
+#include "core/sequential.hpp"
 #include "eval/runner.hpp"
 #include "test_helpers.hpp"
+#include "util/alloc_count.hpp"
+#include "util/rng.hpp"
 
 namespace lynceus::core {
 namespace {
@@ -196,6 +201,165 @@ TEST_P(McGoldenTrajectory, EngineMatchesNaiveReferenceTwoConstraints) {
 
 INSTANTIATE_TEST_SUITE_P(Lookaheads, McGoldenTrajectory,
                          ::testing::Values(0U, 1U, 2U));
+
+// ---------------------------------------------------------------------------
+// MultiConstraintEngine: allocation behavior, determinism, root cache
+// ---------------------------------------------------------------------------
+
+/// Bootstraps a run with recorded metrics and hands the root state to a
+/// MultiConstraintEngine, mirroring MultiConstraintLynceus::optimize.
+struct McEngineFixture {
+  explicit McEngineFixture(unsigned lookahead, std::uint64_t seed = 4)
+      : ds(testing::tiny_dataset()),
+        problem(testing::tiny_problem()),
+        constraints(two_constraints()),
+        runner(ds, two_metrics()),
+        recorder(runner, constraints.size()),
+        st(problem, runner, seed) {
+    st.runner = &recorder;
+    st.bootstrap();
+
+    MultiConstraintEngine::Options opts;
+    opts.lookahead = lookahead;
+    for (const auto& c : constraints) opts.thresholds.push_back(c.threshold);
+    opts.root_cache = &cache;
+    engine = std::make_unique<MultiConstraintEngine>(
+        problem, std::move(opts),
+        default_tree_model_factory(*problem.space), 1);
+
+    for (std::size_t i = 0; i < st.samples.size(); ++i) {
+      rows.push_back(st.samples[i].id);
+      y_cost.push_back(st.samples[i].cost);
+    }
+    y_metric.resize(constraints.size());
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      for (std::size_t i = 0; i < st.samples.size(); ++i) {
+        y_metric[c].push_back(
+            recorder.metrics()[i][constraints[c].metric_index]);
+      }
+    }
+    for (std::size_t i = 0; i < st.samples.size(); ++i) {
+      bool feas = st.samples[i].feasible;
+      for (const auto& c : constraints) {
+        if (recorder.metrics()[i][c.metric_index] >
+            c.threshold(st.samples[i].id)) {
+          feas = false;
+        }
+      }
+      feasible.push_back(feas ? 1 : 0);
+    }
+  }
+
+  void begin(std::uint64_t fit_seed) {
+    engine->begin_decision(rows, y_cost, y_metric, feasible,
+                           st.budget.remaining(), fit_seed);
+  }
+
+  cloud::Dataset ds;
+  OptimizationProblem problem;
+  std::vector<ConstraintDef> constraints;
+  eval::TableRunner runner;
+  MetricRecordingRunner recorder;
+  LoopState st;
+  RootCache cache;
+  std::unique_ptr<MultiConstraintEngine> engine;
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y_cost;
+  std::vector<std::vector<double>> y_metric;
+  std::vector<char> feasible;
+};
+
+TEST(MultiConstraintEngine, SimulateIsAllocationFreeAfterWarmup) {
+  if (!util::alloc_count_available()) {
+    GTEST_SKIP() << "allocation-counting hooks not linked";
+  }
+  McEngineFixture fx(/*lookahead=*/2);
+  fx.begin(util::derive_seed(4, 1));
+  const auto roots = fx.engine->viable();
+  ASSERT_FALSE(roots.empty());
+
+  // Warm-up pass sizes every buffer (per-depth candidate lists, combo
+  // buffers, model scratch).
+  for (ConfigId r : roots) {
+    (void)fx.engine->simulate(r, util::derive_seed(4, 1000003ULL + r));
+  }
+
+  util::AllocCountGuard guard;
+  PathValue total{};
+  for (ConfigId r : roots) {
+    const PathValue v =
+        fx.engine->simulate(r, util::derive_seed(4, 1000003ULL + r));
+    total.reward += v.reward;
+    total.cost += v.cost;
+  }
+  EXPECT_EQ(guard.delta(), 0U)
+      << "multi-constraint simulate() touched the heap after warm-up";
+  EXPECT_GT(total.cost, 0.0);
+}
+
+TEST(MultiConstraintEngine, SimulateIsDeterministic) {
+  McEngineFixture fx(/*lookahead=*/1);
+  fx.begin(util::derive_seed(4, 1));
+  ASSERT_FALSE(fx.engine->viable().empty());
+  const ConfigId root = fx.engine->viable().front();
+  const PathValue a = fx.engine->simulate(root, 123);
+  const PathValue b = fx.engine->simulate(root, 123);
+  EXPECT_EQ(a.reward, b.reward);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+TEST(MultiConstraintEngine, RootCacheHitSkipsRefitBitIdentically) {
+  McEngineFixture fx(/*lookahead=*/1);
+  fx.begin(55);
+  ASSERT_FALSE(fx.engine->viable().empty());
+  const ConfigId root = fx.engine->viable().front();
+  const PathValue cold = fx.engine->simulate(root, 99);
+  const auto cold_preds = fx.engine->root_cost_predictions();
+  EXPECT_EQ(fx.engine->cache_stats().hits, 0U);
+
+  // The same root state + fit seed replays from the cache...
+  fx.begin(55);
+  EXPECT_EQ(fx.engine->cache_stats().hits, 1U);
+  const PathValue warm = fx.engine->simulate(root, 99);
+  // ... with bitwise-identical predictions and path values.
+  const auto& warm_preds = fx.engine->root_cost_predictions();
+  ASSERT_EQ(warm_preds.size(), cold_preds.size());
+  for (std::size_t i = 0; i < cold_preds.size(); ++i) {
+    EXPECT_EQ(warm_preds[i].mean, cold_preds[i].mean);
+    EXPECT_EQ(warm_preds[i].stddev, cold_preds[i].stddev);
+  }
+  EXPECT_EQ(warm.reward, cold.reward);
+  EXPECT_EQ(warm.cost, cold.cost);
+}
+
+TEST(MultiConstraintLynceus, SharedRootCacheKeepsTrajectoryIdentical) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  MultiConstraintOptions opts;
+  opts.lookahead = 1;
+
+  eval::TableRunner r0(ds, energy_metrics());
+  const auto baseline = MultiConstraintLynceus({energy_constraint(26.0)}, opts)
+                            .optimize(problem, r0, 42);
+
+  RootCache::Options copts;
+  copts.capacity = 64;
+  RootCache cache(copts);
+  opts.root_cache = &cache;
+  eval::TableRunner r1(ds, energy_metrics());
+  const auto first = MultiConstraintLynceus({energy_constraint(26.0)}, opts)
+                         .optimize(problem, r1, 42);
+  const std::uint64_t misses = cache.stats().misses;
+  eval::TableRunner r2(ds, energy_metrics());
+  const auto second = MultiConstraintLynceus({energy_constraint(26.0)}, opts)
+                          .optimize(problem, r2, 42);
+
+  EXPECT_EQ(cache.stats().hits, misses);
+  EXPECT_GT(cache.stats().hits, 0U);
+  EXPECT_EQ(history_ids(baseline), history_ids(first));
+  EXPECT_EQ(history_ids(baseline), history_ids(second));
+  EXPECT_EQ(baseline.recommendation, second.recommendation);
+}
 
 TEST(MultiConstraintLynceus, TwoConstraintsJointly) {
   const auto ds = testing::tiny_dataset();

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_micro's BENCH_micro.json summaries.
+
+Compares the p50 decision times of a freshly measured summary against the
+committed baseline and fails (exit 1) on a regression. Because the baseline
+may have been recorded on a different machine than the run under test (a
+shared CI runner vs the dev box), absolute ratios are meaningless; the gate
+therefore normalizes by the *median* new/baseline ratio across all compared
+entries — a uniform machine-speed factor cancels out, and only entries that
+regressed relative to the rest of the suite trip the gate.
+
+Rules:
+  * an entry fails when its ratio exceeds median_ratio * (1 + threshold)
+    (default threshold 15%);
+  * entries whose baseline p50 sits below the noise floor (default 1 ms)
+    only warn — sub-millisecond timings on shared runners are dominated by
+    scheduling noise;
+  * sections present in only one file are skipped with a note, so the gate
+    survives schema growth;
+  * --mode=warn (or BENCH_GATE_MODE=warn) reports without failing.
+
+A before/after table is printed to stdout and, when the GITHUB_STEP_SUMMARY
+environment variable is set, appended there as Markdown.
+
+Usage: compare_bench.py --baseline=BENCH_micro.json --new=bench_new.json
+                        [--threshold=0.15] [--noise-floor-ms=1.0]
+                        [--mode=gate|warn]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load_entries(summary):
+    """Flattens a summary into {key: p50_ms} over every gated section."""
+    entries = {}
+    for space in summary.get("spaces", []):
+        for e in space.get("lookahead", []):
+            key = f"{space['space']}/la{e['la']}"
+            entries[key] = e["p50_ms"]
+    for e in summary.get("multi_constraint", []):
+        key = f"mc/{e['space']}/la{e['la']}"
+        entries[key] = e["engine_p50_ms"]
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--new", dest="new_path", required=True)
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--noise-floor-ms", type=float, default=1.0)
+    ap.add_argument("--mode", choices=["gate", "warn"],
+                    default=os.environ.get("BENCH_GATE_MODE", "gate"))
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = load_entries(json.load(f))
+    with open(args.new_path) as f:
+        new = load_entries(json.load(f))
+
+    common = sorted(set(base) & set(new))
+    skipped = sorted(set(base) ^ set(new))
+    if not common:
+        print("compare_bench: no comparable entries; nothing to gate")
+        return 0
+
+    ratios = {k: new[k] / base[k] for k in common if base[k] > 0}
+    median_ratio = statistics.median(ratios.values())
+
+    rows = []
+    failures = []
+    warnings = []
+    for k in common:
+        ratio = ratios.get(k)
+        if ratio is None:
+            continue
+        rel = ratio / median_ratio - 1.0
+        noisy = base[k] < args.noise_floor_ms
+        status = "ok"
+        if rel > args.threshold:
+            if noisy:
+                status = "WARN (noise floor)"
+                warnings.append(k)
+            else:
+                status = "FAIL"
+                failures.append(k)
+        rows.append((k, base[k], new[k], ratio, rel, status))
+
+    lines = [
+        f"Perf gate: median machine-speed ratio {median_ratio:.3f}, "
+        f"threshold +{args.threshold:.0%} over median, "
+        f"noise floor {args.noise_floor_ms} ms",
+        "",
+        "| benchmark | baseline p50 (ms) | new p50 (ms) | ratio | vs median | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    for k, b, n, ratio, rel, status in rows:
+        lines.append(
+            f"| {k} | {b:.3f} | {n:.3f} | {ratio:.3f} | {rel:+.1%} | {status} |")
+    for k in skipped:
+        lines.append(f"| {k} | — | — | — | — | skipped (only in one file) |")
+    report = "\n".join(lines)
+    print(report)
+
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as f:
+            f.write("## bench_micro perf gate\n\n" + report + "\n")
+
+    if failures:
+        print(f"\ncompare_bench: {len(failures)} regression(s): "
+              + ", ".join(failures))
+        if args.mode == "warn":
+            print("compare_bench: warn mode — not failing the build")
+            return 0
+        return 1
+    if warnings:
+        print(f"\ncompare_bench: {len(warnings)} sub-noise-floor warning(s): "
+              + ", ".join(warnings))
+    print("compare_bench: no regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@
 #include "eval/metrics.hpp"
 #include "eval/runner.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -63,12 +64,14 @@ const cloud::Dataset& pick_job(const std::vector<cloud::Dataset>& all,
 
 std::unique_ptr<core::Optimizer> make_optimizer(const std::string& name,
                                                 unsigned la, unsigned screen,
-                                                core::OptimizerObserver* obs) {
+                                                core::OptimizerObserver* obs,
+                                                util::ThreadPool* pool) {
   if (name == "lynceus") {
     core::LynceusOptions opts;
     opts.lookahead = la;
     opts.screen_width = screen;
     opts.observer = obs;
+    opts.pool = pool;
     return std::make_unique<core::LynceusOptimizer>(opts);
   }
   if (name == "bo") {
@@ -115,11 +118,14 @@ int run(int argc, char** argv) {
 
   core::TraceRecorder trace;
   const bool want_trace = flags.get_bool("trace", false);
+  // Per-decision root simulations fan out across the host's cores by
+  // default; the explored trajectory does not depend on the pool size.
+  util::ThreadPool pool(util::default_worker_count());
   auto optimizer = make_optimizer(
       flags.get_string("optimizer", "lynceus"),
       static_cast<unsigned>(flags.get_int("la", 2)),
       static_cast<unsigned>(flags.get_int("screen", 24)),
-      want_trace ? &trace : nullptr);
+      want_trace ? &trace : nullptr, &pool);
 
   std::printf("job %s | %zu configs | Tmax %.1f s | budget $%.4f | %s\n",
               dataset->job_name().c_str(), dataset->size(),

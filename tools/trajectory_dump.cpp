@@ -1,0 +1,136 @@
+/// trajectory_dump — prints the exploration trajectories of a fixed set of
+/// optimizer runs plus an FNV-1a hash per case and one combined hash.
+///
+/// The output is fully deterministic (fixed workloads, fixed seeds, no
+/// timing or environment dependence), so two builds of the same sources
+/// must print byte-identical text. CI runs this binary from the Release
+/// and the Debug/ASan build and diffs the outputs — a divergence means a
+/// build-mode-dependent trajectory (uninitialized read, FP contraction,
+/// UB) and fails the pipeline.
+///
+///   trajectory_dump [--out=PATH]    # default: stdout only
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cloud/workloads.hpp"
+#include "core/constraints.hpp"
+#include "core/lynceus.hpp"
+#include "eval/experiment.hpp"
+#include "eval/runner.hpp"
+
+namespace {
+
+using namespace lynceus;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xFFULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+std::uint64_t hash_result(const core::OptimizerResult& r) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& s : r.history) h = fnv1a(h, s.id);
+  h = fnv1a(h, r.recommendation ? *r.recommendation + 1 : 0);
+  h = fnv1a(h, r.recommendation_feasible ? 1 : 0);
+  return h;
+}
+
+void print_case(std::ostringstream& out, const std::string& name,
+                const core::OptimizerResult& r, std::uint64_t& combined) {
+  out << name << ": ids=";
+  for (std::size_t i = 0; i < r.history.size(); ++i) {
+    if (i > 0) out << ",";
+    out << r.history[i].id;
+  }
+  const std::uint64_t h = hash_result(r);
+  combined = fnv1a(combined, h);
+  out << " rec=" << (r.recommendation ? static_cast<long>(*r.recommendation)
+                                      : -1L)
+      << " hash=" << h << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+
+  std::ostringstream out;
+  std::uint64_t combined = kFnvOffset;
+
+  // Single-constraint Lynceus across lookaheads and spaces. Budgets are
+  // the standard b=3 multiple; seeds fixed.
+  const auto scout = cloud::make_scout_datasets().front();
+  const auto tf = cloud::make_tensorflow_dataset(cloud::TfModel::CNN);
+  for (unsigned la = 0; la <= 2; ++la) {
+    core::LynceusOptions opts;
+    opts.lookahead = la;
+    opts.screen_width = 24;
+    core::LynceusOptimizer lyn(opts);
+    eval::TableRunner runner(scout);
+    const auto r = lyn.optimize(eval::make_problem(scout, 3.0), runner, 1);
+    print_case(out, "scout_la" + std::to_string(la), r, combined);
+  }
+  {
+    core::LynceusOptions opts;
+    opts.lookahead = 1;
+    opts.screen_width = 24;
+    core::LynceusOptimizer lyn(opts);
+    eval::TableRunner runner(tf);
+    const auto r = lyn.optimize(eval::make_problem(tf, 2.0), runner, 3);
+    print_case(out, "tf_cnn_la1", r, combined);
+  }
+
+  // Multi-constraint run with a synthetic energy cap (same construction
+  // as bench_micro's fixture).
+  {
+    auto energy_of = [&scout](space::ConfigId id) {
+      return 0.05 * scout.runtime(id) *
+             (1.0 + 0.1 * static_cast<double>(id % 7));
+    };
+    double min_energy = 1e300;
+    for (space::ConfigId id = 0; id < scout.size(); ++id) {
+      if (scout.feasible(id)) {
+        min_energy = std::min(min_energy, energy_of(id));
+      }
+    }
+    const double cap = 1.5 * min_energy;
+    core::ConstraintDef c;
+    c.name = "energy";
+    c.metric_index = 0;
+    c.threshold = [cap](core::ConfigId) { return cap; };
+    core::MultiConstraintOptions opts;
+    opts.lookahead = 1;
+    core::MultiConstraintLynceus lyn({c}, opts);
+    eval::TableRunner runner(scout, [&](space::ConfigId id) {
+      return std::vector<double>{energy_of(id)};
+    });
+    const auto r = lyn.optimize(eval::make_problem(scout, 3.0), runner, 7);
+    print_case(out, "scout_mc_la1", r, combined);
+  }
+
+  out << "combined_hash=" << combined << "\n";
+  std::fputs(out.str().c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << out.str();
+    if (!f) {
+      std::fprintf(stderr, "trajectory_dump: failed to write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
