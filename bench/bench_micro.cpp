@@ -182,7 +182,9 @@ const char* decision_space_name(int space_idx) {
 /// prediction, fused acquisition pass, screening, and one simulated path
 /// per screened root. Reports allocations per decision (0 after warm-up
 /// when the allocation-counting hooks are linked, which they are in this
-/// binary).
+/// binary). arg2 selects the branch-refit mode: 0 = from-scratch
+/// (bit-pinned default), 1 = incremental (Options::incremental_refit;
+/// registered for la >= 1 only — at la 0 no branch model exists to refit).
 void BM_ExplorePathsDecision(benchmark::State& state) {
   const auto ds = decision_dataset(static_cast<int>(state.range(0)));
   const auto problem = eval::make_problem(ds, 3.0);
@@ -192,6 +194,7 @@ void BM_ExplorePathsDecision(benchmark::State& state) {
 
   core::LookaheadEngine::Options opts;
   opts.lookahead = static_cast<unsigned>(state.range(1));
+  opts.incremental_refit = state.range(2) != 0;
   core::LookaheadEngine engine(problem, opts,
                                core::default_tree_model_factory(*problem.space),
                                1);
@@ -224,7 +227,8 @@ void BM_ExplorePathsDecision(benchmark::State& state) {
   state.counters["roots"] = static_cast<double>(roots.size());
 }
 BENCHMARK(BM_ExplorePathsDecision)
-    ->ArgsProduct({{0, 1}, {0, 1, 2}})
+    ->ArgsProduct({{0, 1}, {0, 1, 2}, {0}})
+    ->ArgsProduct({{0, 1}, {1, 2}, {1}})
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
@@ -425,7 +429,7 @@ struct DecisionStats {
 };
 
 DecisionStats measure_decision(int space_idx, unsigned lookahead,
-                               std::size_t reps) {
+                               std::size_t reps, bool incremental = false) {
   const auto ds = decision_dataset(space_idx);
   const auto problem = eval::make_problem(ds, 3.0);
   eval::TableRunner runner(ds);
@@ -433,6 +437,7 @@ DecisionStats measure_decision(int space_idx, unsigned lookahead,
   st.bootstrap();
   core::LookaheadEngine::Options opts;
   opts.lookahead = lookahead;
+  opts.incremental_refit = incremental;
   core::LookaheadEngine engine(problem, opts,
                                core::default_tree_model_factory(*problem.space),
                                1);
@@ -668,6 +673,32 @@ bool write_json_summary(const std::string& path) {
     w.key("speedup_p50").value(
         engine.p50_ms > 0.0 ? naive.p50_ms / engine.p50_ms : 0.0);
     w.key("engine_allocs_per_decision").value(engine.allocs_per_decision);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Incremental ensemble refit vs the bitwise-pinned from-scratch engine,
+  // identical decision replayed by both (ROADMAP "Incremental ensemble
+  // refit"). Only la >= 1: a la-0 decision refits no branch model at all.
+  w.key("incremental_refit").begin_array();
+  struct IncCase {
+    int space_idx;
+    unsigned la;
+    std::size_t reps;
+  };
+  const IncCase inc_cases[] = {{0, 1, 40}, {0, 2, 15}, {1, 1, 40}, {1, 2, 15}};
+  for (const auto& c : inc_cases) {
+    const auto scratch = measure_decision(c.space_idx, c.la, c.reps, false);
+    const auto inc = measure_decision(c.space_idx, c.la, c.reps, true);
+    w.begin_object();
+    w.key("space").value(decision_space_name(c.space_idx));
+    w.key("la").value(static_cast<std::uint64_t>(c.la));
+    w.key("decisions").value(static_cast<std::uint64_t>(c.reps));
+    w.key("scratch_p50_ms").value(scratch.p50_ms);
+    w.key("p50_ms").value(inc.p50_ms);
+    w.key("speedup_p50").value(inc.p50_ms > 0.0 ? scratch.p50_ms / inc.p50_ms
+                                                : 0.0);
+    w.key("allocs_per_decision").value(inc.allocs_per_decision);
     w.end_object();
   }
   w.end_array();

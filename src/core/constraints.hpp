@@ -89,6 +89,11 @@ struct MultiConstraintOptions {
   /// Optional root cache shared across optimize() runs (see RootCache in
   /// core/lookahead.hpp); null disables caching. Not owned.
   RootCache* root_cache = nullptr;
+  /// Opt-in incremental refit of the I+1 per-branch ensembles (see the
+  /// "Incremental-refit determinism contract" in core/lookahead.hpp).
+  /// Defaults to the LYNCEUS_INCREMENTAL_REFIT environment toggle (false
+  /// when unset), mirroring LynceusOptions::incremental_refit.
+  bool incremental_refit = util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
 
   void validate() const;
 };

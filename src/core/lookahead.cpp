@@ -192,6 +192,14 @@ LookaheadEngine::LookaheadEngine(const OptimizationProblem& problem,
   cache_ = options_.root_cache;
   const std::size_t space = problem_.space->size();
   root_model_ = factory();
+  if (options_.incremental_refit && options_.lookahead > 0) {
+    // A path appends at most `lookahead` fantasy samples; enabling capture
+    // pre-reserves for exactly that. At lookahead 0 no branch model ever
+    // exists, so capture would be pure per-fit overhead and stays off.
+    // Models without an incremental path (the GP) decline, and the engine
+    // falls back to from-scratch refits.
+    incremental_ok_ = root_model_->enable_incremental(options_.lookahead);
+  }
   root_rows_.reserve(space);
   root_y_.reserve(space);
   root_feasible_.reserve(space);
@@ -213,6 +221,10 @@ LookaheadEngine::LookaheadEngine(const OptimizationProblem& problem,
       lvl.cands.reserve(space);
       lvl.preds.reserve(space);
       lvl.nodes.resize(quadrature_.size());
+      if (incremental_ok_) {
+        lvl.inc_model = factory();
+        incremental_ok_ = lvl.inc_model->enable_incremental(options_.lookahead);
+      }
     }
   }
   free_workspaces_.reserve(workers);
@@ -256,6 +268,18 @@ void LookaheadEngine::begin_decision(const std::vector<Sample>& samples,
   }
   if (hit != nullptr) {
     root_preds_ = hit->preds.front();
+    if (incremental_ok_) {
+      // Incremental branches extend the fitted root model, so a hit must
+      // also restore it: from the cached snapshot when it carries bootstrap
+      // membership, else by refitting — the fit is deterministic in
+      // (rows, y, fit_seed), so either route yields the identical model
+      // and trajectories stay independent of what the cache stored.
+      const bool restored = !hit->models.empty() &&
+                            hit->models.front() != nullptr &&
+                            root_model_->assign_fitted(*hit->models.front()) &&
+                            root_model_->incremental_ready();
+      if (!restored) root_model_->fit(fm_, root_rows_, root_y_, fit_seed);
+    }
   } else {
     root_model_->fit(fm_, root_rows_, root_y_, fit_seed);
     root_model_->predict_all(fm_, root_preds_);
@@ -405,8 +429,23 @@ PathValue LookaheadEngine::explore(Workspace& ws, std::size_t depth,
     ws.feasible.push_back(ci <= cap ? 1 : 0);
     const double child_beta = beta - ci - switch_cost;
 
-    ws.model->fit(fm_, ws.rows, ws.y, util::derive_seed(path_seed, i + 1));
-    ws.model->predict_subset(fm_, lvl.cands, lvl.preds);
+    // Branch model: incremental mode copies the parent node's fitted
+    // ensemble and appends the one fantasy sample (Σ' = Σ + {(x, ci)});
+    // otherwise refit from scratch on the delta state. Same derive_seed
+    // call structure either way (see the header's determinism contract).
+    const std::uint64_t branch_seed = util::derive_seed(path_seed, i + 1);
+    model::Regressor* node_model;
+    if (incremental_ok_) {
+      const model::Regressor& parent =
+          depth == 0 ? *root_model_ : *ws.levels[depth - 1].inc_model;
+      lvl.inc_model->assign_fitted(parent);
+      lvl.inc_model->append_and_update(fm_, x, ci, branch_seed);
+      node_model = lvl.inc_model.get();
+    } else {
+      ws.model->fit(fm_, ws.rows, ws.y, branch_seed);
+      node_model = ws.model.get();
+    }
+    node_model->predict_subset(fm_, lvl.cands, lvl.preds);
     const double y_star = state_incumbent(ws.y, ws.feasible, lvl.preds);
 
     // Fused NextStep (Algorithm 2, lines 21-25): one pass computes the
@@ -513,6 +552,17 @@ MultiConstraintEngine::MultiConstraintEngine(
   for (std::size_t obj = 0; obj < vars; ++obj) {
     root_models_.push_back(factory());
   }
+  if (options_.incremental_refit && options_.lookahead > 0) {
+    // Capture bootstrap membership on every objective model (skipped at
+    // lookahead 0, where no branch model ever exists); a model without an
+    // incremental path declines and the engine falls back to from-scratch
+    // branch refits.
+    incremental_ok_ = true;
+    for (auto& m : root_models_) {
+      incremental_ok_ =
+          incremental_ok_ && m->enable_incremental(options_.lookahead);
+    }
+  }
   root_preds_.resize(vars);
   root_rows_.reserve(space);
   root_y_cost_.reserve(space);
@@ -553,6 +603,15 @@ MultiConstraintEngine::MultiConstraintEngine(
       lvl.combo_weight.reserve(combo_cap);
       lvl.combo_metric.reserve(combo_cap * n_constraints);
       lvl.x_pred.resize(vars);
+      if (incremental_ok_) {
+        lvl.inc_models.resize(vars);
+        for (std::size_t obj = 0; obj < vars; ++obj) {
+          lvl.inc_models[obj] = factory();
+          incremental_ok_ =
+              incremental_ok_ &&
+              lvl.inc_models[obj]->enable_incremental(options_.lookahead);
+        }
+      }
     }
   }
   free_workspaces_.reserve(workers);
@@ -603,6 +662,27 @@ void MultiConstraintEngine::begin_decision(
   if (hit != nullptr) {
     for (std::size_t obj = 0; obj < root_preds_.size(); ++obj) {
       root_preds_[obj] = hit->preds[obj];
+    }
+    if (incremental_ok_) {
+      // Restore every fitted objective model for incremental branch
+      // refits — from the cached snapshots when they carry membership,
+      // else by deterministic refits (identical models either way; see
+      // LookaheadEngine::begin_decision).
+      bool restored = hit->models.size() == root_models_.size();
+      for (std::size_t obj = 0; restored && obj < root_models_.size();
+           ++obj) {
+        restored = hit->models[obj] != nullptr &&
+                   root_models_[obj]->assign_fitted(*hit->models[obj]) &&
+                   root_models_[obj]->incremental_ready();
+      }
+      if (!restored) {
+        root_models_[0]->fit(fm_, root_rows_, root_y_cost_,
+                             util::derive_seed(fit_seed, 0));
+        for (std::size_t c = 0; c < n_constraints; ++c) {
+          root_models_[c + 1]->fit(fm_, root_rows_, root_y_metric_[c],
+                                   util::derive_seed(fit_seed, c + 1));
+        }
+      }
     }
   } else {
     root_models_[0]->fit(fm_, root_rows_, root_y_cost_,
@@ -819,15 +899,35 @@ PathValue MultiConstraintEngine::explore(
     // seed structure as McSimulator::build_ctx) and predict the shrinking
     // candidate subset per objective — O(candidates · (I+1)) batched work
     // instead of the reference's (I+1) full-space predictions plus state
-    // copies.
+    // copies. Incremental mode replaces each from-scratch refit with a
+    // copy of the parent node's fitted model plus one appended sample
+    // (see the header's determinism contract).
     const std::uint64_t branch_seed = util::derive_seed(path_seed, i + 1);
-    ws.models[0]->fit(fm_, ws.rows, ws.y_cost,
-                      util::derive_seed(branch_seed, 0));
-    ws.models[0]->predict_subset(fm_, lvl.cands, lvl.cost_preds);
-    for (std::size_t c = 0; c < n_constraints; ++c) {
-      ws.models[c + 1]->fit(fm_, ws.rows, ws.y_metric[c],
-                            util::derive_seed(branch_seed, c + 1));
-      ws.models[c + 1]->predict_subset(fm_, lvl.cands, lvl.metric_preds[c]);
+    if (incremental_ok_) {
+      for (std::size_t obj = 0; obj < lvl.inc_models.size(); ++obj) {
+        const model::Regressor& parent =
+            depth == 0 ? *root_models_[obj]
+                       : *ws.levels[depth - 1].inc_models[obj];
+        lvl.inc_models[obj]->assign_fitted(parent);
+        lvl.inc_models[obj]->append_and_update(
+            fm_, x, obj == 0 ? ci : mi[obj - 1],
+            util::derive_seed(branch_seed, obj));
+      }
+      lvl.inc_models[0]->predict_subset(fm_, lvl.cands, lvl.cost_preds);
+      for (std::size_t c = 0; c < n_constraints; ++c) {
+        lvl.inc_models[c + 1]->predict_subset(fm_, lvl.cands,
+                                              lvl.metric_preds[c]);
+      }
+    } else {
+      ws.models[0]->fit(fm_, ws.rows, ws.y_cost,
+                        util::derive_seed(branch_seed, 0));
+      ws.models[0]->predict_subset(fm_, lvl.cands, lvl.cost_preds);
+      for (std::size_t c = 0; c < n_constraints; ++c) {
+        ws.models[c + 1]->fit(fm_, ws.rows, ws.y_metric[c],
+                              util::derive_seed(branch_seed, c + 1));
+        ws.models[c + 1]->predict_subset(fm_, lvl.cands,
+                                         lvl.metric_preds[c]);
+      }
     }
     const double y_star = state_incumbent(ws.y_cost, ws.feasible,
                                           lvl.cost_preds);

@@ -47,6 +47,52 @@
 /// buffers instead of per-combination state copies. Both can consult a
 /// RootCache so that repeated decisions (warm-started or recurrent tuning
 /// rounds) skip the root fit + full-space prediction entirely.
+///
+/// ## Incremental-refit determinism contract
+///
+/// With `Options::incremental_refit` **off (the default)** every simulated
+/// branch refits its ensemble from scratch, and trajectories are pinned
+/// **bit-for-bit** against the committed naive references
+/// (reference::NaiveLynceus in core/lookahead_reference.hpp,
+/// reference::NaiveMultiConstraintLynceus / McSimulator in
+/// core/constraints_reference.hpp) — the golden-trajectory tests enforce
+/// this for LA 0/1/2, one and two constraints, cache on or off. Nothing
+/// about the default path changes when the flag exists but is off.
+///
+/// With the flag **on** (and a model supporting it — the bagging ensemble;
+/// the GP silently falls back to from-scratch refits), a branch that
+/// appends one fantasy sample *updates* the parent node's fitted ensemble
+/// instead of refitting it: per-depth model slots are assign_fitted() from
+/// the parent (the decision's root model at depth 0) and
+/// append_and_update() with the fantasy sample — Oza–Russell online
+/// bagging with per-tree leaf updates and leaf re-splits (see
+/// model/bagging.hpp). What is and is not pinned then:
+///
+///  * **Pinned (bitwise):** repeatability. The same (samples, seeds, flag)
+///    reproduce byte-identical trajectories, across runs, build modes and
+///    worker counts, with the cache on or off — the cached model snapshot
+///    restored on a hit carries the same bootstrap membership a refit
+///    would recapture, and a hit without a usable snapshot refits
+///    deterministically.
+///  * **Not pinned:** equality with the flag-off trajectory. Incremental
+///    fits are statistically equivalent, not bitwise equal, to
+///    from-scratch fits (different bootstrap composition for the appended
+///    sample), so flag-on trajectories may diverge from the golden ones.
+///    The differential suite (tests/test_incremental_refit.cpp) pins the
+///    agreement: prediction deltas within a calibrated tolerance of the
+///    from-scratch fit's own seed-to-seed variability, and
+///    trajectory-level cost/regret parity with both naive references.
+///
+/// **derive_seed scheme.** The flag does not change the seed call
+/// structure, only its interpretation: branch i of a node still derives
+/// `branch_seed = derive_seed(path_seed, i + 1)` (and, multi-constraint,
+/// `derive_seed(branch_seed, objective)` per objective) — flag off that
+/// value seeds the from-scratch refit, flag on it becomes the
+/// append_and_update update seed, which the ensemble splits into
+/// per-tree streams via derive_seed(derive_seed(update_seed,
+/// kIncrementalStream), tree). Incremental and from-scratch fits thus
+/// consume disjoint, individually well-mixed seed streams and each path
+/// is internally deterministic under either flag value.
 
 #include <cstdint>
 #include <functional>
@@ -201,6 +247,12 @@ class LookaheadEngine {
     /// engine). Null disables caching entirely — decisions then pay no
     /// store overhead. See the RootCache sharing contract.
     RootCache* root_cache = nullptr;
+    /// Opt-in incremental ensemble refit of simulated branches (see the
+    /// file-level determinism contract). Off by default: the pinned
+    /// golden-trajectory semantics are bit-identical with the flag off.
+    /// Ignored (from-scratch refits) when the model factory's regressor
+    /// does not support incremental updates.
+    bool incremental_refit = false;
   };
 
   /// `workers` is the maximum number of concurrent simulate() calls; one
@@ -267,6 +319,10 @@ class LookaheadEngine {
     std::vector<std::uint32_t> cands;       ///< untested ids, ascending
     std::vector<model::Prediction> preds;   ///< parallel to cands
     std::vector<math::QuadraturePoint> nodes;  ///< K branch points
+    /// Incremental mode only: this depth's model, assign_fitted() from the
+    /// parent's (root model at depth 0) and appended with the branch's
+    /// fantasy sample. Null when incremental refit is off.
+    std::unique_ptr<model::Regressor> inc_model;
   };
 
   /// One worker's exclusive state: a model instance plus the single
@@ -334,6 +390,8 @@ class LookaheadEngine {
   double max_viable_eic_ = 0.0;
   double viable_z_ = 0.0;
   std::uint64_t epoch_ = 0;
+  /// Options::incremental_refit and the model actually supports it.
+  bool incremental_ok_ = false;
 
   std::vector<Workspace> workspaces_;
   std::mutex pool_mutex_;
@@ -382,6 +440,10 @@ class MultiConstraintEngine {
     std::vector<std::function<double(ConfigId)>> thresholds;
     /// Root cache to consult and fill (not owned); null disables caching.
     RootCache* root_cache = nullptr;
+    /// Opt-in incremental refit of all I+1 per-branch ensembles (see the
+    /// file-level determinism contract). Off by default; ignored when the
+    /// model does not support incremental updates.
+    bool incremental_refit = false;
   };
 
   MultiConstraintEngine(const OptimizationProblem& problem, Options options,
@@ -445,6 +507,10 @@ class MultiConstraintEngine {
     std::vector<double> combo_weight;      ///< kept combos: renormalized w
     std::vector<double> combo_metric;      ///< kept combos: I metrics each
     std::vector<model::Prediction> x_pred;   ///< chosen candidate, I+1 preds
+    /// Incremental mode only: this depth's I+1 models, assign_fitted()
+    /// from the parent's and appended with the branch's fantasy sample
+    /// per objective. Empty when incremental refit is off.
+    std::vector<std::unique_ptr<model::Regressor>> inc_models;
   };
 
   /// begin_decision scratch: the I metric predictions of one root
@@ -524,6 +590,8 @@ class MultiConstraintEngine {
   double y_star_ = 0.0;
   double viable_z_ = 0.0;
   std::uint64_t epoch_ = 0;
+  /// Options::incremental_refit and the model actually supports it.
+  bool incremental_ok_ = false;
 
   std::vector<Workspace> workspaces_;
   std::mutex pool_mutex_;

@@ -36,6 +36,7 @@
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "model/regressor.hpp"
+#include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lynceus::core {
@@ -73,6 +74,14 @@ struct LynceusOptions {
   /// Null disables caching (within one run the cache can never hit, so
   /// there is nothing to pay either). Not owned.
   RootCache* root_cache = nullptr;
+  /// Opt-in incremental ensemble refit of simulated branches (see the
+  /// "Incremental-refit determinism contract" in core/lookahead.hpp):
+  /// ~1.5-2x faster cold decisions at lookahead >= 1, trajectories
+  /// internally deterministic but not bit-identical to the flag-off golden
+  /// path. Defaults to the LYNCEUS_INCREMENTAL_REFIT environment toggle
+  /// (false when unset) so CI can run the whole suite once with the flag
+  /// on; tests pinning the golden flag-off semantics set it explicitly.
+  bool incremental_refit = util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
   /// Optional observer notified of bootstrap samples, decisions, run
   /// outcomes and the stop reason (see core/trace.hpp). Not owned.
   OptimizerObserver* observer = nullptr;

@@ -44,6 +44,8 @@ void BaggingEnsemble::fit(const FeatureMatrix& fm,
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
+  y_lo_ = lo;
+  y_hi_ = hi;
   stddev_floor_ = std::max(hi - lo, std::abs(hi)) * options_.min_stddev_rel;
   if (stddev_floor_ <= 0.0) stddev_floor_ = options_.min_stddev_rel;
 
@@ -194,6 +196,64 @@ void BaggingEnsemble::predict_subset(const FeatureMatrix& fm,
                      predict_rows(fm, ids.data() + begin, end - begin,
                                   out.data() + begin);
                    });
+}
+
+namespace {
+
+/// Stream id separating incremental-update rng draws from every other
+/// derive_seed consumer (fit seeds use raw branch seeds; see
+/// core/lookahead.hpp "Incremental-refit determinism contract").
+constexpr std::uint64_t kIncrementalStream = 0x1C2E5EEDULL;
+
+}  // namespace
+
+bool BaggingEnsemble::enable_incremental(unsigned reserve_appends) {
+  inc_enabled_ = true;
+  // poisson1() caps at 12 copies per append, so this per-tree reserve is a
+  // hard bound — appends after a fit never reallocate.
+  const std::size_t per_tree = static_cast<std::size_t>(reserve_appends) * 12;
+  for (auto& tree : trees_) tree.set_incremental(true, per_tree);
+  return true;
+}
+
+bool BaggingEnsemble::incremental_ready() const {
+  return fitted_ && inc_enabled_ && trees_.front().has_membership();
+}
+
+bool BaggingEnsemble::append_and_update(const FeatureMatrix& fm,
+                                        std::uint32_t row, double y,
+                                        std::uint64_t update_seed) {
+  if (!incremental_ready()) return false;
+  // Maintain the target range so the stddev floor tracks what a
+  // from-scratch fit of the extended sample set would compute.
+  y_lo_ = std::min(y_lo_, y);
+  y_hi_ = std::max(y_hi_, y);
+  stddev_floor_ =
+      std::max(y_hi_ - y_lo_, std::abs(y_hi_)) * options_.min_stddev_rel;
+  if (stddev_floor_ <= 0.0) stddev_floor_ = options_.min_stddev_rel;
+
+  const std::uint64_t base = util::derive_seed(update_seed, kIncrementalStream);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    util::Rng rng(util::derive_seed(base, t));
+    const unsigned copies = rng.poisson1();
+    for (unsigned c = 0; c < copies; ++c) {
+      trees_[t].append_incremental(fm, row, y, rng);
+    }
+  }
+  return true;
+}
+
+bool BaggingEnsemble::assign_fitted(const Regressor& src) {
+  const auto* other = dynamic_cast<const BaggingEnsemble*>(&src);
+  if (other == nullptr || other->trees_.size() != trees_.size()) return false;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    trees_[t].assign_fitted(other->trees_[t]);
+  }
+  fitted_ = other->fitted_;
+  stddev_floor_ = other->stddev_floor_;
+  y_lo_ = other->y_lo_;
+  y_hi_ = other->y_hi_;
+  return true;
 }
 
 std::unique_ptr<Regressor> BaggingEnsemble::fresh() const {

@@ -80,8 +80,32 @@ class BaggingEnsemble final : public Regressor {
   [[nodiscard]] std::unique_ptr<Regressor> fresh() const override;
 
   /// Deep copy including the fitted trees (trees and options are plain
-  /// data, so the copy predicts bitwise identically).
+  /// data, so the copy predicts bitwise identically). Captured incremental
+  /// membership is part of the copy, so a clone of an incremental-ready
+  /// ensemble is itself incremental-ready.
   [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  /// --- Incremental refit (Oza–Russell online bagging; the model-layer
+  /// --- half of ROADMAP "Incremental ensemble refit").
+  ///
+  /// enable_incremental() makes subsequent fits capture each tree's
+  /// bootstrap membership. append_and_update(sample) then mimics drawing a
+  /// fresh bootstrap of the extended training set without refitting: per
+  /// tree, the appended sample enters the tree's bootstrap k ~ Poisson(1)
+  /// times (the online-bagging limit of Binomial(n, 1/n) resampling) and
+  /// the tree updates in place — leaf statistics recomputed, the touched
+  /// leaf re-split where the split decision changes. Deterministic given
+  /// (fitted state, update_seed): per tree t the draw stream is
+  /// Rng(derive_seed(derive_seed(update_seed, kIncrementalStream), t)),
+  /// one independent stream per tree, consumed by the Poisson draw first
+  /// and the re-split feature subsetting after. Approximate relative to a
+  /// from-scratch fit (not bitwise; see the differential test suite), but
+  /// repeatable bit-for-bit.
+  bool enable_incremental(unsigned reserve_appends) override;
+  [[nodiscard]] bool incremental_ready() const override;
+  bool append_and_update(const FeatureMatrix& fm, std::uint32_t row,
+                         double y, std::uint64_t update_seed) override;
+  bool assign_fitted(const Regressor& src) override;
 
   [[nodiscard]] const BaggingOptions& options() const noexcept {
     return options_;
@@ -100,7 +124,12 @@ class BaggingEnsemble final : public Regressor {
   BaggingOptions options_;
   std::vector<DecisionTree> trees_;
   bool fitted_ = false;
+  bool inc_enabled_ = false;
   double stddev_floor_ = 0.0;
+  // Fitted target range (min/max over the base samples), maintained across
+  // incremental appends so stddev_floor_ tracks the from-scratch formula.
+  double y_lo_ = 0.0;
+  double y_hi_ = 0.0;
   // Scratch reused across fits to avoid per-fit allocation (hot path).
   std::vector<std::uint32_t> boot_rows_;
   std::vector<double> boot_y_;

@@ -40,8 +40,13 @@ void DecisionTree::fit(const FeatureMatrix& fm,
         "DecisionTree::fit: rows and y must be non-empty and equal-sized");
   }
   nodes_.clear();
+  node_depth_.clear();
   depth_ = 0;
   nodes_.reserve(2 * rows.size());
+  if (inc_enabled_) {
+    inc_base_ = rows.size();
+    reserve_incremental(inc_base_);
+  }
 
   BuildCtx ctx(scratch_);
   ctx.fm = &fm;
@@ -56,6 +61,162 @@ void DecisionTree::fit(const FeatureMatrix& fm,
   }
 
   build(ctx, 0, ctx.idx.size(), 0);
+
+  if (inc_enabled_) {
+    // Capture the membership for append_incremental: the training multiset
+    // plus each sample's leaf (the fit's in-place partition destroys the
+    // original order, so samples are re-routed — O(n · depth)).
+    inc_rows_.assign(rows.begin(), rows.end());
+    inc_y_.assign(y.begin(), y.end());
+    leaf_of_.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      leaf_of_[i] = find_leaf(fm, rows[i]);
+    }
+  }
+}
+
+void DecisionTree::set_incremental(bool on, std::size_t reserve_extra) {
+  inc_enabled_ = on;
+  inc_reserve_ = on ? reserve_extra : 0;
+  if (!on) {
+    inc_rows_.clear();
+    inc_y_.clear();
+    leaf_of_.clear();
+    node_depth_.clear();
+  }
+}
+
+void DecisionTree::reserve_incremental(std::size_t base_samples) {
+  const std::size_t n = base_samples + inc_reserve_;
+  // Base fit builds <= 2n-1 nodes; every append may rebuild one leaf's
+  // subtree over <= n members (<= 2n-1 fresh nodes, one orphaned slot).
+  const std::size_t node_bound = 2 * n * (inc_reserve_ + 1) + inc_reserve_ + 2;
+  nodes_.reserve(node_bound);
+  node_depth_.reserve(node_bound);
+  inc_rows_.reserve(n);
+  inc_y_.reserve(n);
+  leaf_of_.reserve(n);
+  gather_rows_.reserve(n);
+  gather_y_.reserve(n);
+  scratch_.idx.reserve(n);
+  scratch_.y.reserve(n);
+}
+
+std::int32_t DecisionTree::find_leaf(const FeatureMatrix& fm,
+                                     std::uint32_t row) const noexcept {
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature != kLeaf) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    node = fm.code(row, static_cast<std::size_t>(nd.feature)) <= nd.split_code
+               ? nd.left
+               : nd.right;
+  }
+  return node;
+}
+
+void DecisionTree::append_incremental(const FeatureMatrix& fm,
+                                      std::uint32_t row, double y,
+                                      util::Rng& rng) {
+  if (!has_membership()) {
+    throw std::logic_error(
+        "DecisionTree::append_incremental: no captured membership");
+  }
+  const std::int32_t leaf = find_leaf(fm, row);
+  inc_rows_.push_back(row);
+  inc_y_.push_back(y);
+  leaf_of_.push_back(leaf);
+
+  // Gather the leaf's member multiset (including the new sample).
+  gather_rows_.clear();
+  gather_y_.clear();
+  for (std::size_t i = 0; i < inc_rows_.size(); ++i) {
+    if (leaf_of_[i] == leaf) {
+      gather_rows_.push_back(inc_rows_[i]);
+      gather_y_.push_back(inc_y_[i]);
+    }
+  }
+  const std::size_t m = gather_rows_.size();
+  const unsigned at_depth = node_depth_[static_cast<std::size_t>(leaf)];
+
+  if (m >= options_.min_samples_split && at_depth < options_.max_depth) {
+    // Re-split: rebuild the leaf's subtree from scratch over its members,
+    // with the identical split search and feature subsetting as fit().
+    // build() appends the fresh subtree at the end of `nodes_`; its root is
+    // grafted over the old leaf slot (child indices keep pointing into the
+    // appended region). A rebuild that finds no informative split produces
+    // a single leaf, which is copied over and popped again.
+    BuildCtx ctx(scratch_);
+    ctx.fm = &fm;
+    ctx.rng = &rng;
+    ctx.idx.assign(gather_rows_.begin(), gather_rows_.end());
+    ctx.y.assign(gather_y_.begin(), gather_y_.end());
+    ctx.cnt.assign(fm.cols() * fm.max_level_count(), 0);
+    ctx.sum.assign(fm.cols() * fm.max_level_count(), 0.0);
+    ctx.feature_order.resize(fm.cols());
+    for (std::size_t d = 0; d < fm.cols(); ++d) {
+      ctx.feature_order[d] = static_cast<std::uint16_t>(d);
+    }
+    const std::int32_t sub = build(ctx, 0, ctx.idx.size(), at_depth);
+    nodes_[static_cast<std::size_t>(leaf)] = nodes_[static_cast<std::size_t>(sub)];
+    if (nodes_[static_cast<std::size_t>(leaf)].feature == kLeaf) {
+      nodes_.pop_back();  // degenerate rebuild: drop the orphan leaf slot
+      node_depth_.pop_back();
+    } else {
+      // The subtree's members moved to fresh leaves below `leaf`.
+      for (std::size_t i = 0; i < inc_rows_.size(); ++i) {
+        if (leaf_of_[i] == leaf) leaf_of_[i] = find_leaf(fm, inc_rows_[i]);
+      }
+    }
+    return;
+  }
+
+  // Leaf-statistics update: the exact (mean, variance) a from-scratch fit
+  // would record for this member multiset.
+  double sum = 0.0;
+  for (double v : gather_y_) sum += v;
+  const double mean = sum / static_cast<double>(m);
+  Node& nd = nodes_[static_cast<std::size_t>(leaf)];
+  nd.value = static_cast<float>(mean);
+  if (options_.leaf_variance) {
+    double sq = 0.0;
+    for (double v : gather_y_) {
+      const double d = v - mean;
+      sq += d * d;
+    }
+    nd.variance = static_cast<float>(sq / static_cast<double>(m));
+  }
+}
+
+void DecisionTree::assign_fitted(const DecisionTree& src) {
+  if (inc_enabled_) {
+    // Reserve by the source's *fit-time* base size, not its current
+    // membership: the bound is then identical for every copy of one root
+    // fit, so no assignment after the first can outgrow the buffers (the
+    // zero-allocation guarantee of the incremental engines).
+    inc_base_ = src.inc_base_ != 0 ? src.inc_base_ : src.inc_rows_.size();
+    reserve_incremental(inc_base_);
+  }
+  nodes_.assign(src.nodes_.begin(), src.nodes_.end());
+  depth_ = src.depth_;
+  inc_rows_.assign(src.inc_rows_.begin(), src.inc_rows_.end());
+  inc_y_.assign(src.inc_y_.begin(), src.inc_y_.end());
+  leaf_of_.assign(src.leaf_of_.begin(), src.leaf_of_.end());
+  node_depth_.assign(src.node_depth_.begin(), src.node_depth_.end());
+  // Propagate the split-scan scratch sizing: a tree that only ever
+  // receives assign_fitted() (the engines' per-level branch models) never
+  // runs fit(), so without this its first re-splitting append would size
+  // cnt/sum/feature_order on the spot and allocate. The source chain
+  // always starts at a fit() tree, whose scratch holds the
+  // cols x max_level_count layout to copy forward.
+  if (scratch_.cnt.size() < src.scratch_.cnt.size()) {
+    scratch_.cnt.resize(src.scratch_.cnt.size());
+  }
+  if (scratch_.sum.size() < src.scratch_.sum.size()) {
+    scratch_.sum.resize(src.scratch_.sum.size());
+  }
+  if (scratch_.feature_order.size() < src.scratch_.feature_order.size()) {
+    scratch_.feature_order.resize(src.scratch_.feature_order.size());
+  }
 }
 
 std::int32_t DecisionTree::build(BuildCtx& ctx, std::size_t begin,
@@ -82,6 +243,7 @@ std::int32_t DecisionTree::build(BuildCtx& ctx, std::size_t begin,
       leaf.variance = static_cast<float>(sq / static_cast<double>(n));
     }
     nodes_.push_back(leaf);
+    if (inc_enabled_) node_depth_.push_back(depth);
     return static_cast<std::int32_t>(nodes_.size() - 1);
   };
 
@@ -207,6 +369,7 @@ std::int32_t DecisionTree::build(BuildCtx& ctx, std::size_t begin,
 
   const auto self = static_cast<std::int32_t>(nodes_.size());
   nodes_.emplace_back();
+  if (inc_enabled_) node_depth_.push_back(depth);
   nodes_[self].feature = best_feature;
   nodes_[self].split_code = best_code;
   const std::int32_t left = build(ctx, begin, mid, depth + 1);
@@ -283,8 +446,14 @@ bool DecisionTree::dense_walk(const FeatureMatrix& fm,
 
   // Two mask slots per depth: the left child's subtree is fully processed
   // (touching only deeper slots) before the right child's stored mask is
-  // popped, so siblings never clobber each other.
-  arena.resize(static_cast<std::size_t>(depth_ + 2) * 2 * words);
+  // popped, so siblings never clobber each other. Sized by the depth *cap*
+  // rather than the current depth: an incremental append can deepen the
+  // tree after the engines' warm-up pass, and this arena must not
+  // reallocate then (the zero-allocation guarantee covers the incremental
+  // path too).
+  arena.resize((static_cast<std::size_t>(options_.max_depth) + 2) * 2 *
+               words);
+  stack.reserve(2 * (static_cast<std::size_t>(options_.max_depth) + 2));
   const auto slot = [&](std::uint32_t depth, std::uint32_t side) {
     return arena.data() +
            (static_cast<std::size_t>(depth) * 2 + side) * words;
@@ -412,6 +581,10 @@ void DecisionTree::predict_frontier(const FeatureMatrix& fm,
   };
   thread_local std::vector<std::uint32_t> order;
   thread_local std::vector<Range> stack;
+  // DFS holds at most one pending right sibling per level; reserving the
+  // depth-cap bound keeps this allocation-free even when incremental
+  // appends deepen the tree after warm-up.
+  stack.reserve(2 * (static_cast<std::size_t>(options_.max_depth) + 2));
   order.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     order[i] = static_cast<std::uint32_t>(i);

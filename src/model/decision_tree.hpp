@@ -94,6 +94,42 @@ class DecisionTree {
                         std::size_t n, double* sum, double* sumsq,
                         double* var_sum) const;
 
+  /// --- Incremental refit support (used by BaggingEnsemble's
+  /// --- append_and_update; see core/lookahead.hpp for the engine-level
+  /// --- determinism contract).
+
+  /// Turns membership capture on: subsequent fit() calls record the
+  /// training multiset (rows, y), each sample's leaf and per-node depths,
+  /// and reserve buffers so that up to `reserve_extra`
+  /// append_incremental() calls after a fit perform no heap allocation.
+  void set_incremental(bool on, std::size_t reserve_extra);
+
+  /// True when the tree holds captured membership (fitted while capture
+  /// was on), i.e. append_incremental() may be called.
+  [[nodiscard]] bool has_membership() const noexcept {
+    return !inc_rows_.empty() && node_depth_.size() == nodes_.size();
+  }
+
+  /// Appends one training sample to the captured membership and updates
+  /// the fitted tree in place: the sample is routed to its leaf, and
+  /// either the leaf's (mean, variance) are recomputed over its updated
+  /// member set, or — when the leaf is splittable (>= min_samples_split
+  /// members below max_depth) — the leaf's subtree is re-split from
+  /// scratch over exactly those members, with the same variance-reduction
+  /// search and `rng`-driven feature subsetting as fit(). Split decisions
+  /// of interior nodes *above* the leaf are left as fitted; this is the
+  /// documented approximation of the incremental path (the differential
+  /// tests pin its agreement with from-scratch fits). Deterministic given
+  /// (fitted state, rng state). Requires has_membership().
+  void append_incremental(const FeatureMatrix& fm, std::uint32_t row,
+                          double y, util::Rng& rng);
+
+  /// Copies `src`'s fitted state — nodes, depth, captured membership —
+  /// into this tree, reusing this tree's buffers (allocation-free once
+  /// capacity covers `src`; the engines call this once per simulated
+  /// branch). Options must match; the fit scratch is not copied.
+  void assign_fitted(const DecisionTree& src);
+
   [[nodiscard]] bool fitted() const noexcept { return !nodes_.empty(); }
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
@@ -147,10 +183,32 @@ class DecisionTree {
                         std::size_t n, float* out_value,
                         float* out_variance) const;
 
+  /// Leaf index reached by `row` (the scalar predict() descent).
+  [[nodiscard]] std::int32_t find_leaf(const FeatureMatrix& fm,
+                                       std::uint32_t row) const noexcept;
+
+  /// Pre-reserves nodes/membership/scratch capacity so `inc_reserve_`
+  /// appends on a fit of `base_samples` samples never reallocate.
+  void reserve_incremental(std::size_t base_samples);
+
   TreeOptions options_;
   std::vector<Node> nodes_;
   unsigned depth_ = 0;
   FitScratch scratch_;
+
+  bool inc_enabled_ = false;
+  std::size_t inc_reserve_ = 0;
+  std::size_t inc_base_ = 0;  ///< fit-time sample count (reserve anchor)
+  // Captured membership (incremental mode only): the fitted training
+  // multiset, each sample's current leaf, and every node's depth (the
+  // re-split trigger needs both).
+  std::vector<std::uint32_t> inc_rows_;
+  std::vector<double> inc_y_;
+  std::vector<std::int32_t> leaf_of_;
+  std::vector<std::uint32_t> node_depth_;
+  // append_incremental gather scratch (the updated leaf's members).
+  std::vector<std::uint32_t> gather_rows_;
+  std::vector<double> gather_y_;
 };
 
 }  // namespace lynceus::model

@@ -165,6 +165,54 @@ class Regressor {
   /// independent "fantasy" models while simulating exploration paths.
   [[nodiscard]] virtual std::unique_ptr<Regressor> fresh() const = 0;
 
+  /// --- Incremental refit (opt-in; see core/lookahead.hpp for the
+  /// --- determinism contract the lookahead engines build on top).
+  ///
+  /// Turns on incremental-update support: subsequent fit() calls capture
+  /// whatever per-model state append_and_update() needs (for the bagging
+  /// ensemble, each tree's bootstrap membership) and pre-reserve buffers so
+  /// that up to `reserve_appends` appends after a fit perform no heap
+  /// allocation. Returns false when the model has no incremental path (the
+  /// GP); callers must then fall back to from-scratch refits.
+  virtual bool enable_incremental(unsigned reserve_appends) {
+    (void)reserve_appends;
+    return false;
+  }
+
+  /// True when the model is fitted with captured incremental state, i.e.
+  /// append_and_update() will succeed. A model restored via assign_fitted()
+  /// from a source fitted *without* capture reports false.
+  [[nodiscard]] virtual bool incremental_ready() const { return false; }
+
+  /// Incrementally refits for one appended training sample
+  /// (fm.row(row), y) instead of refitting from scratch. The update is
+  /// deterministic given (`fitted state`, `update_seed`) — repeating the
+  /// same fit + append sequence reproduces bitwise-identical predictions —
+  /// but is an *approximation* of the from-scratch fit on the extended
+  /// sample set (statistically equivalent, not bitwise; the differential
+  /// test suite pins the agreement tolerance). Returns false (and leaves
+  /// the model untouched) when incremental_ready() is false.
+  virtual bool append_and_update(const FeatureMatrix& fm, std::uint32_t row,
+                                 double y, std::uint64_t update_seed) {
+    (void)fm;
+    (void)row;
+    (void)y;
+    (void)update_seed;
+    return false;
+  }
+
+  /// Copies `src`'s fitted state (including captured incremental state)
+  /// into this model, reusing this model's buffers — the allocation-free
+  /// alternative to clone() the engines use once per simulated branch.
+  /// `src` must be the same concrete type with identical hyper-parameters
+  /// (both built by one ModelFactory); returns false when the types do not
+  /// match. Predictions after assign_fitted are bitwise identical to
+  /// `src`'s.
+  virtual bool assign_fitted(const Regressor& src) {
+    (void)src;
+    return false;
+  }
+
   /// A deep copy of this model *including its fitted state*, or nullptr
   /// when the implementation does not support snapshotting. The root-level
   /// result cache (core/lookahead.hpp) uses this to retain the fitted root

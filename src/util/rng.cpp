@@ -94,6 +94,22 @@ double Rng::normal(double mean, double stddev) noexcept {
 
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
+unsigned Rng::poisson1() noexcept {
+  // P(k) = e^{-1}/k!; walk the CDF until it covers the uniform draw. The
+  // tail beyond k=12 has probability < 1e-13 — return 12 there rather than
+  // looping on denormals.
+  const double u = uniform();
+  double pmf = 0.36787944117144232160;  // e^{-1}
+  double cdf = pmf;
+  unsigned k = 0;
+  while (u >= cdf && k < 12) {
+    ++k;
+    pmf /= static_cast<double>(k);
+    cdf += pmf;
+  }
+  return k;
+}
+
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> p(n);
   for (std::size_t i = 0; i < n; ++i) p[i] = i;

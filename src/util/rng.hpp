@@ -69,6 +69,14 @@ class Rng {
   /// Bernoulli draw with success probability `p` (clamped to [0,1]).
   [[nodiscard]] bool bernoulli(double p) noexcept;
 
+  /// Poisson(λ=1) draw by CDF inversion of one uniform() — the resampling
+  /// rate of Oza–Russell online bagging, which the incremental ensemble
+  /// refit uses to decide how many copies of an appended sample enter each
+  /// tree's bootstrap. Exactly one uniform() is consumed per call, and the
+  /// inversion uses only +,*,/ on exactly representable pmf recurrences, so
+  /// the draw is bit-deterministic across platforms.
+  [[nodiscard]] unsigned poisson1() noexcept;
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) noexcept {

@@ -105,8 +105,7 @@ void maybe_parallel_for(ThreadPool* pool, std::size_t n,
 }
 
 std::size_t default_worker_count() noexcept {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 1 ? hw - 1 : 0;
+  return worker_count_for(std::thread::hardware_concurrency());
 }
 
 }  // namespace lynceus::util

@@ -67,4 +67,16 @@ void maybe_parallel_for(ThreadPool* pool, std::size_t n,
 /// this keeps runs reproducible across machines.
 [[nodiscard]] std::size_t default_worker_count() noexcept;
 
+/// The pure sizing rule behind default_worker_count(), exposed for tests:
+/// `hw` is std::thread::hardware_concurrency()'s report. Returns hw - 1
+/// for multi-core hosts, and 0 — a pool that runs everything inline on
+/// the calling thread — both for single-core hosts (hw == 1) and when the
+/// hardware concurrency is unknown (hw == 0, which the standard permits).
+/// Consumers of a 0-worker pool (e.g. the bench's pooled_decision entry,
+/// which records `workers`) therefore measure pool overhead rather than
+/// scaling; tools/compare_bench.py skips such entries.
+[[nodiscard]] constexpr std::size_t worker_count_for(unsigned hw) noexcept {
+  return hw > 1 ? hw - 1 : 0;
+}
+
 }  // namespace lynceus::util

@@ -136,6 +136,32 @@ TEST(Rng, ShuffleKeepsMultiset) {
   EXPECT_EQ(shuffled, v);
 }
 
+TEST(Rng, Poisson1MatchesTheDistribution) {
+  // Oza-Russell online bagging relies on k ~ Poisson(1): mean 1,
+  // P(0) = e^{-1}. Check both over a large deterministic sample, and that
+  // the draw consumes exactly one uniform (stream position stays aligned
+  // regardless of the value drawn, which the incremental refit's
+  // per-tree seed discipline depends on).
+  Rng rng(71);
+  const int n = 20000;
+  long total = 0;
+  int zeros = 0;
+  for (int i = 0; i < n; ++i) {
+    const unsigned k = rng.poisson1();
+    EXPECT_LE(k, 12U);
+    total += k;
+    if (k == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(total) / n, 1.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 0.36788, 0.02);
+
+  Rng a(91);
+  Rng b(91);
+  (void)a.poisson1();
+  (void)b.uniform();
+  EXPECT_EQ(a(), b());  // exactly one uniform consumed
+}
+
 TEST(Rng, SplitProducesIndependentStream) {
   Rng parent(53);
   Rng child = parent.split();

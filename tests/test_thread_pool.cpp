@@ -57,6 +57,24 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   EXPECT_EQ(total.load(), 5 * 4950);
 }
 
+TEST(DefaultWorkerCount, SizingRuleCoversTheSingleCoreEdge) {
+  // hardware_concurrency() == 1 (the 1-core dev box behind the
+  // BENCH_micro.json `workers: 0` entry) and == 0 (unknown, which the
+  // standard permits) both size the default pool to zero workers — an
+  // inline pool, explicitly *not* a scaling configuration; the bench
+  // records `workers` so tools/compare_bench.py can skip such entries.
+  EXPECT_EQ(worker_count_for(0), 0U);
+  EXPECT_EQ(worker_count_for(1), 0U);
+  // Multi-core hosts keep one thread for the caller.
+  EXPECT_EQ(worker_count_for(2), 1U);
+  EXPECT_EQ(worker_count_for(8), 7U);
+}
+
+TEST(DefaultWorkerCount, MatchesTheRuleOnThisHost) {
+  EXPECT_EQ(default_worker_count(),
+            worker_count_for(std::thread::hardware_concurrency()));
+}
+
 TEST(MaybeParallelFor, NullPoolRunsSequentially) {
   std::vector<int> order;
   maybe_parallel_for(nullptr, 5, [&](std::size_t i) {

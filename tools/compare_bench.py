@@ -35,8 +35,13 @@ import sys
 
 
 def load_entries(summary):
-    """Flattens a summary into {key: p50_ms} over every gated section."""
+    """Flattens a summary into ({key: p50_ms}, [notes]) over every gated
+    section. Entries that are structurally meaningless — a pooled decision
+    recorded with a 0-worker pool (1-core host, or unknown hardware
+    concurrency), which measures pool overhead rather than scaling — are
+    skipped outright with a note, not warned about."""
     entries = {}
+    notes = []
     for space in summary.get("spaces", []):
         for e in space.get("lookahead", []):
             key = f"{space['space']}/la{e['la']}"
@@ -44,7 +49,20 @@ def load_entries(summary):
     for e in summary.get("multi_constraint", []):
         key = f"mc/{e['space']}/la{e['la']}"
         entries[key] = e["engine_p50_ms"]
-    return entries
+    for e in summary.get("incremental_refit", []):
+        key = f"inc/{e['space']}/la{e['la']}"
+        entries[key] = e["p50_ms"]
+    for e in summary.get("pooled_decision", []):
+        # The worker count is part of the key: a 7-worker baseline p50 and
+        # a 3-worker run are different configurations, not a regression —
+        # mismatched counts fall into the "only in one file" skip.
+        key = f"pooled/{e['space']}/la{e['la']}/w{e.get('workers', 0)}"
+        if e.get("workers", 0) == 0:
+            notes.append(f"{key} skipped (workers == 0: inline pool, "
+                         "no scaling to gate)")
+            continue
+        entries[key] = e["p50_ms"]
+    return entries, notes
 
 
 def main():
@@ -58,9 +76,9 @@ def main():
     args = ap.parse_args()
 
     with open(args.baseline) as f:
-        base = load_entries(json.load(f))
+        base, base_notes = load_entries(json.load(f))
     with open(args.new_path) as f:
-        new = load_entries(json.load(f))
+        new, new_notes = load_entries(json.load(f))
 
     common = sorted(set(base) & set(new))
     skipped = sorted(set(base) ^ set(new))
@@ -103,6 +121,9 @@ def main():
             f"| {k} | {b:.3f} | {n:.3f} | {ratio:.3f} | {rel:+.1%} | {status} |")
     for k in skipped:
         lines.append(f"| {k} | — | — | — | — | skipped (only in one file) |")
+    for note in sorted(set(base_notes + new_notes)):
+        lines.append(f"| {note.split(' ', 1)[0]} | — | — | — | — | "
+                     f"{note.split(' ', 1)[1]} |")
     report = "\n".join(lines)
     print(report)
 

@@ -17,6 +17,9 @@
 ///   --dataset   CSV produced by Dataset::save_csv / export_datasets,
 ///               replayed instead of the synthetic surface (its rows must
 ///               match the suite's configuration space)
+///   --incremental  Lynceus incremental ensemble refit (faster lookahead
+///               decisions, see core/lookahead.hpp; also enabled by
+///               LYNCEUS_INCREMENTAL_REFIT=1)
 ///   --trace     print the per-decision table
 ///   --list      list the suite's jobs and exit
 
@@ -64,12 +67,16 @@ const cloud::Dataset& pick_job(const std::vector<cloud::Dataset>& all,
 
 std::unique_ptr<core::Optimizer> make_optimizer(const std::string& name,
                                                 unsigned la, unsigned screen,
+                                                bool incremental,
                                                 core::OptimizerObserver* obs,
                                                 util::ThreadPool* pool) {
   if (name == "lynceus") {
     core::LynceusOptions opts;
     opts.lookahead = la;
     opts.screen_width = screen;
+    // env default (LYNCEUS_INCREMENTAL_REFIT) already applied; the CLI
+    // flag can only turn the feature on, never off.
+    opts.incremental_refit = opts.incremental_refit || incremental;
     opts.observer = obs;
     opts.pool = pool;
     return std::make_unique<core::LynceusOptimizer>(opts);
@@ -92,7 +99,8 @@ std::unique_ptr<core::Optimizer> make_optimizer(const std::string& name,
 int run(int argc, char** argv) {
   const util::CliFlags flags(argc, argv,
                              {"suite", "job", "optimizer", "la", "screen",
-                              "b", "seed", "dataset", "trace", "list"});
+                              "b", "seed", "dataset", "incremental", "trace",
+                              "list"});
 
   const auto all = suite_datasets(flags.get_string("suite", "tf"));
   if (flags.get_bool("list", false)) {
@@ -125,6 +133,7 @@ int run(int argc, char** argv) {
       flags.get_string("optimizer", "lynceus"),
       static_cast<unsigned>(flags.get_int("la", 2)),
       static_cast<unsigned>(flags.get_int("screen", 24)),
+      flags.get_bool("incremental", false),
       want_trace ? &trace : nullptr, &pool);
 
   std::printf("job %s | %zu configs | Tmax %.1f s | budget $%.4f | %s\n",

@@ -8,7 +8,14 @@
 /// build-mode-dependent trajectory (uninitialized read, FP contraction,
 /// UB) and fails the pipeline.
 ///
-///   trajectory_dump [--out=PATH]    # default: stdout only
+///   trajectory_dump [--out=PATH] [--incremental]   # default: stdout only
+///
+/// `--incremental` (or the LYNCEUS_INCREMENTAL_REFIT=1 environment toggle)
+/// runs every case with Options::incremental_refit on. Those trajectories
+/// are *also* fully deterministic (same binary, same output every run) but
+/// are expected to differ from the flag-off golden ones — CI runs both
+/// variants and uploads their diff as the incremental-vs-scratch artifact,
+/// while the cross-build determinism check diffs like against like.
 
 #include <cstdio>
 #include <fstream>
@@ -21,6 +28,7 @@
 #include "core/lynceus.hpp"
 #include "eval/experiment.hpp"
 #include "eval/runner.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -62,13 +70,16 @@ void print_case(std::ostringstream& out, const std::string& name,
 
 int main(int argc, char** argv) {
   std::string out_path;
+  bool incremental = lynceus::util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    if (arg == "--incremental") incremental = true;
   }
 
   std::ostringstream out;
   std::uint64_t combined = kFnvOffset;
+  out << "incremental_refit=" << (incremental ? 1 : 0) << "\n";
 
   // Single-constraint Lynceus across lookaheads and spaces. Budgets are
   // the standard b=3 multiple; seeds fixed.
@@ -78,6 +89,7 @@ int main(int argc, char** argv) {
     core::LynceusOptions opts;
     opts.lookahead = la;
     opts.screen_width = 24;
+    opts.incremental_refit = incremental;
     core::LynceusOptimizer lyn(opts);
     eval::TableRunner runner(scout);
     const auto r = lyn.optimize(eval::make_problem(scout, 3.0), runner, 1);
@@ -87,6 +99,7 @@ int main(int argc, char** argv) {
     core::LynceusOptions opts;
     opts.lookahead = 1;
     opts.screen_width = 24;
+    opts.incremental_refit = incremental;
     core::LynceusOptimizer lyn(opts);
     eval::TableRunner runner(tf);
     const auto r = lyn.optimize(eval::make_problem(tf, 2.0), runner, 3);
@@ -113,6 +126,7 @@ int main(int argc, char** argv) {
     c.threshold = [cap](core::ConfigId) { return cap; };
     core::MultiConstraintOptions opts;
     opts.lookahead = 1;
+    opts.incremental_refit = incremental;
     core::MultiConstraintLynceus lyn({c}, opts);
     eval::TableRunner runner(scout, [&](space::ConfigId id) {
       return std::vector<double>{energy_of(id)};
