@@ -18,6 +18,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 
 #include "cloud/workloads.hpp"
@@ -236,7 +238,9 @@ BENCHMARK(BM_ExplorePathsDecision)
 // ---------------------------------------------------------------------------
 
 /// Bootstrapped root state of a multi-constraint run with one synthetic
-/// "energy" constraint whose cap binds without emptying the feasible set.
+/// "energy" constraint whose cap binds without emptying the feasible set;
+/// optionally a second synthetic "memory" constraint with the same
+/// property (for the MC incremental-refit bench cases).
 struct McDecisionFixture {
   cloud::Dataset ds;
   core::OptimizationProblem problem;
@@ -253,27 +257,45 @@ struct McDecisionFixture {
     return 0.05 * d.runtime(id) * (1.0 + 0.1 * static_cast<double>(id % 7));
   }
 
+  static double memory_of(const cloud::Dataset& d, space::ConfigId id) {
+    return 0.02 * d.runtime(id) * (1.0 + 0.05 * static_cast<double>(id % 5));
+  }
+
   static std::vector<core::ConstraintDef> make_constraints(
-      const cloud::Dataset& d) {
+      const cloud::Dataset& d, std::size_t n_constraints) {
     double min_energy = 1e300;
+    double min_memory = 1e300;
     for (space::ConfigId id = 0; id < d.size(); ++id) {
-      if (d.feasible(id)) min_energy = std::min(min_energy, energy_of(d, id));
+      if (d.feasible(id)) {
+        min_energy = std::min(min_energy, energy_of(d, id));
+        min_memory = std::min(min_memory, memory_of(d, id));
+      }
     }
     core::ConstraintDef c;
     c.name = "energy";
     c.metric_index = 0;
     const double cap = 1.5 * min_energy;
     c.threshold = [cap](core::ConfigId) { return cap; };
-    return {c};
+    std::vector<core::ConstraintDef> out = {c};
+    if (n_constraints >= 2) {
+      core::ConstraintDef m;
+      m.name = "memory";
+      m.metric_index = 1;
+      const double mcap = 1.6 * min_memory;
+      m.threshold = [mcap](core::ConfigId) { return mcap; };
+      out.push_back(m);
+    }
+    return out;
   }
 
-  explicit McDecisionFixture(int space_idx)
+  explicit McDecisionFixture(int space_idx, std::size_t n_constraints = 1)
       : ds(decision_dataset(space_idx)),
         problem(eval::make_problem(ds, 3.0)),
-        constraints(make_constraints(ds)),
+        constraints(make_constraints(ds, n_constraints)),
         runner(ds,
                [this](space::ConfigId id) {
-                 return std::vector<double>{energy_of(ds, id)};
+                 return std::vector<double>{energy_of(ds, id),
+                                            memory_of(ds, id)};
                }),
         recorder(runner, constraints.size()),
         st(problem, runner, 5) {
@@ -303,9 +325,10 @@ struct McDecisionFixture {
   }
 
   [[nodiscard]] core::MultiConstraintEngine::Options engine_options(
-      unsigned la) const {
+      unsigned la, bool incremental = false) const {
     core::MultiConstraintEngine::Options opts;
     opts.lookahead = la;
+    opts.incremental_refit = incremental;
     for (const auto& c : constraints) opts.thresholds.push_back(c.threshold);
     return opts;
   }
@@ -492,10 +515,11 @@ struct McStats {
 };
 
 McStats measure_mc_decision(int space_idx, unsigned la, std::size_t reps,
-                            bool naive) {
-  McDecisionFixture fx(space_idx);
+                            bool naive, bool incremental = false,
+                            std::size_t n_constraints = 1) {
+  McDecisionFixture fx(space_idx, n_constraints);
   core::MultiConstraintEngine engine(
-      fx.problem, fx.engine_options(la),
+      fx.problem, fx.engine_options(la, incremental),
       core::default_tree_model_factory(*fx.problem.space), 1);
   const core::MultiConstraintOptions opts = fx.naive_options(la);
   core::reference::McSimulator sim(
@@ -619,12 +643,73 @@ PooledStats measure_pooled_decision(int space_idx, unsigned la,
   return {percentile(ms, 0.50), pool.worker_count()};
 }
 
-bool write_json_summary(const std::string& path) {
+/// Decision-scaling measurement (ROADMAP "Multi-core decision scaling
+/// numbers"): one full decision with the root simulations optionally
+/// fanned out across a `workers`-thread pool and/or the intra-root
+/// depth-0 branch fan-out parallelized over the same pool
+/// (LookaheadEngine::Options::branch_pool). Every mode is
+/// trajectory-neutral (pooled-determinism contract in core/lookahead.hpp),
+/// so the timings are directly comparable.
+double measure_scaling_decision(int space_idx, unsigned la, std::size_t reps,
+                                std::size_t workers, bool roots_parallel,
+                                bool branch_parallel) {
+  const auto ds = decision_dataset(space_idx);
+  const auto problem = eval::make_problem(ds, 3.0);
+  eval::TableRunner runner(ds);
+  core::LoopState st(problem, runner, 5);
+  st.bootstrap();
+  util::ThreadPool pool(workers);
+  core::LookaheadEngine::Options opts;
+  opts.lookahead = la;
+  opts.branch_pool = branch_parallel ? &pool : nullptr;
+  core::LookaheadEngine engine(problem, opts,
+                               core::default_tree_model_factory(*problem.space),
+                               pool.worker_count() + 1);
+  util::ThreadPool* root_pool = roots_parallel ? &pool : nullptr;
+  std::vector<core::ConfigId> roots;
+  std::vector<double> costs;
+  std::vector<double> ms;
+  ms.reserve(reps);
+  for (std::size_t rep = 0; rep <= reps; ++rep) {  // rep 0 = warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.begin_decision(st.samples, st.budget.remaining(),
+                          util::derive_seed(5, rep + 1));
+    engine.screened_roots(24, roots);
+    costs.assign(roots.size(), 0.0);
+    util::maybe_parallel_for(root_pool, roots.size(), [&](std::size_t i) {
+      costs[i] =
+          engine
+              .simulate(roots[i],
+                        util::derive_seed(5, (rep + 1) * 1000003ULL + roots[i]))
+              .cost;
+    });
+    double acc = 0.0;
+    for (double c : costs) acc += c;
+    benchmark::DoNotOptimize(acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (rep == 0) continue;
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  return percentile(ms, 0.50);
+}
+
+/// Writes the decision-time summary. `sections` selects which measurement
+/// sections to run and emit (empty = all): the CI scaling leg passes
+/// `decision_scaling` alone so it does not pay for minutes of unrelated
+/// measurements it immediately discards. Consumers tolerate missing
+/// sections (tools/compare_bench.py skips them with a note).
+bool write_json_summary(const std::string& path,
+                        const std::set<std::string>& sections) {
+  const auto want = [&](const char* name) {
+    return sections.empty() || sections.count(name) > 0;
+  };
   util::JsonWriter w;
   w.begin_object();
   w.key("bench").value("micro_decision");
   w.key("unit").value("ms");
   w.key("alloc_counting").value(util::alloc_count_available());
+  if (want("spaces")) {
   w.key("spaces").begin_array();
   for (int space_idx = 0; space_idx < 2; ++space_idx) {
     const auto ds = decision_dataset(space_idx);
@@ -649,9 +734,11 @@ bool write_json_summary(const std::string& path) {
     w.end_object();
   }
   w.end_array();
+  }
 
   // Multi-constraint decisions: the naive copy-based reference vs the
   // delta-state engine, identical decision replayed by both.
+  if (want("multi_constraint")) {
   w.key("multi_constraint").begin_array();
   struct McCase {
     int space_idx;
@@ -676,10 +763,12 @@ bool write_json_summary(const std::string& path) {
     w.end_object();
   }
   w.end_array();
+  }
 
   // Incremental ensemble refit vs the bitwise-pinned from-scratch engine,
   // identical decision replayed by both (ROADMAP "Incremental ensemble
   // refit"). Only la >= 1: a la-0 decision refits no branch model at all.
+  if (want("incremental_refit")) {
   w.key("incremental_refit").begin_array();
   struct IncCase {
     int space_idx;
@@ -701,9 +790,42 @@ bool write_json_summary(const std::string& path) {
     w.key("allocs_per_decision").value(inc.allocs_per_decision);
     w.end_object();
   }
+  // Multi-constraint incremental refit (ROADMAP "Incremental refit for
+  // the multi-constraint TF-scale bench"): Scout, 1 and 2 constraints,
+  // LA 1/2 — the identical decision replayed with from-scratch vs
+  // incremental per-branch refits of all I+1 ensembles. Entries carry a
+  // "constraints" key, which is how consumers (tools/compare_bench.py)
+  // tell them apart from the single-constraint cases above.
+  struct McIncCase {
+    int space_idx;
+    std::size_t constraints;
+    unsigned la;
+    std::size_t reps;
+  };
+  const McIncCase mc_inc_cases[] = {
+      {1, 1, 1, 20}, {1, 1, 2, 8}, {1, 2, 1, 12}, {1, 2, 2, 5}};
+  for (const auto& c : mc_inc_cases) {
+    const auto scratch = measure_mc_decision(c.space_idx, c.la, c.reps,
+                                             false, false, c.constraints);
+    const auto inc = measure_mc_decision(c.space_idx, c.la, c.reps, false,
+                                         true, c.constraints);
+    w.begin_object();
+    w.key("space").value(decision_space_name(c.space_idx));
+    w.key("constraints").value(static_cast<std::uint64_t>(c.constraints));
+    w.key("la").value(static_cast<std::uint64_t>(c.la));
+    w.key("decisions").value(static_cast<std::uint64_t>(c.reps));
+    w.key("scratch_p50_ms").value(scratch.p50_ms);
+    w.key("p50_ms").value(inc.p50_ms);
+    w.key("speedup_p50").value(inc.p50_ms > 0.0 ? scratch.p50_ms / inc.p50_ms
+                                                : 0.0);
+    w.key("allocs_per_decision").value(inc.allocs_per_decision);
+    w.end_object();
+  }
   w.end_array();
+  }
 
   // Root-cache reuse of a repeated decision, plus the hit counters.
+  if (want("cached_decision")) {
   w.key("cached_decision").begin_array();
   for (unsigned la = 0; la <= 1; ++la) {
     const auto c = measure_cached_decision(0, la, 20);
@@ -715,8 +837,10 @@ bool write_json_summary(const std::string& path) {
     w.end_object();
   }
   w.end_array();
+  }
 
   // Thread-pool fan-out across root simulations.
+  if (want("pooled_decision")) {
   w.key("pooled_decision").begin_array();
   {
     const auto p = measure_pooled_decision(0, 2, 15);
@@ -728,6 +852,62 @@ bool write_json_summary(const std::string& path) {
     w.end_object();
   }
   w.end_array();
+  }
+
+  // Multi-core decision scaling (ROADMAP "Multi-core decision scaling
+  // numbers"): the same LA=2 decision at workers in {0, 1, nproc-1}
+  // (deduplicated), fanned out across roots only, inside each root only
+  // (branch parallelism), and both. workers == 0 means an inline pool —
+  // it is the serial reference, not a scaling point, and
+  // tools/compare_bench.py skips such entries. speedup_vs_w1 compares the
+  // same mode's workers == 1 entry (0 when that entry is the w1 entry
+  // itself or missing).
+  if (want("decision_scaling")) {
+  w.key("decision_scaling").begin_array();
+  {
+    std::vector<std::size_t> worker_counts = {0, 1,
+                                              util::default_worker_count()};
+    std::sort(worker_counts.begin(), worker_counts.end());
+    worker_counts.erase(
+        std::unique(worker_counts.begin(), worker_counts.end()),
+        worker_counts.end());
+    struct Mode {
+      const char* name;
+      bool roots;
+      bool branch;
+    };
+    const Mode modes[] = {{"roots", true, false},
+                          {"branch", false, true},
+                          {"roots+branch", true, true}};
+    struct ScalingCase {
+      int space_idx;
+      unsigned la;
+      std::size_t reps;
+    };
+    const ScalingCase cases[] = {{0, 2, 12}, {1, 2, 20}};
+    for (const auto& c : cases) {
+      for (const auto& mode : modes) {
+        double w1_p50 = 0.0;
+        for (const std::size_t workers : worker_counts) {
+          const double p50 = measure_scaling_decision(
+              c.space_idx, c.la, c.reps, workers, mode.roots, mode.branch);
+          if (workers == 1) w1_p50 = p50;
+          w.begin_object();
+          w.key("space").value(decision_space_name(c.space_idx));
+          w.key("la").value(static_cast<std::uint64_t>(c.la));
+          w.key("mode").value(mode.name);
+          w.key("workers").value(static_cast<std::uint64_t>(workers));
+          w.key("decisions").value(static_cast<std::uint64_t>(c.reps));
+          w.key("p50_ms").value(p50);
+          w.key("speedup_vs_w1").value(
+              workers > 1 && w1_p50 > 0.0 && p50 > 0.0 ? w1_p50 / p50 : 0.0);
+          w.end_object();
+        }
+      }
+    }
+  }
+  w.end_array();
+  }
   w.end_object();
 
   std::ofstream out(path);
@@ -745,10 +925,20 @@ bool write_json_summary(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_micro.json";
+  // --sections=a,b,c restricts the JSON summary to the named sections
+  // (spaces, multi_constraint, incremental_refit, cached_decision,
+  // pooled_decision, decision_scaling); empty / absent = all.
+  std::set<std::string> sections;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
       json_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--sections=", 11) == 0) {
+      std::stringstream ss(argv[i] + 11);
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) sections.insert(name);
+      }
     } else {
       args.push_back(argv[i]);
     }
@@ -760,6 +950,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!json_path.empty() && !write_json_summary(json_path)) return 1;
+  if (!json_path.empty() && !write_json_summary(json_path, sections)) {
+    return 1;
+  }
   return 0;
 }

@@ -72,6 +72,7 @@ OptimizerResult MultiConstraintLynceus::optimize(
   for (const auto& c : constraints_) eopts.thresholds.push_back(c.threshold);
   eopts.root_cache = options_.root_cache;
   eopts.incremental_refit = options_.incremental_refit;
+  eopts.branch_pool = options_.branch_parallel ? options_.pool : nullptr;
   // One workspace per worker (index 0 = calling thread).
   const std::size_t workers =
       options_.pool != nullptr ? options_.pool->worker_count() + 1 : 1;

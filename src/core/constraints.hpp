@@ -86,6 +86,14 @@ struct MultiConstraintOptions {
   /// Optional parallelism across root candidates (root paths are
   /// independent, exactly as in §4.3). Null = single-threaded.
   util::ThreadPool* pool = nullptr;
+  /// Also parallelize *inside* each root simulation: the depth-0 pruned
+  /// joint-speculation combo scan is statically partitioned across `pool`
+  /// with per-worker workspace replicas and a fixed reduction order —
+  /// trajectories stay byte-identical to serial runs (pooled-determinism
+  /// contract in core/lookahead.hpp). No effect when `pool` is null or
+  /// worker-less. Defaults to the LYNCEUS_BRANCH_PARALLEL environment
+  /// toggle, mirroring LynceusOptions::branch_parallel.
+  bool branch_parallel = util::env_flag("LYNCEUS_BRANCH_PARALLEL");
   /// Optional root cache shared across optimize() runs (see RootCache in
   /// core/lookahead.hpp); null disables caching. Not owned.
   RootCache* root_cache = nullptr;

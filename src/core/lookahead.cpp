@@ -208,8 +208,16 @@ LookaheadEngine::LookaheadEngine(const OptimizationProblem& problem,
   viable_.reserve(space);
   eic_by_id_.resize(space, 0.0);
 
-  workspaces_.resize(workers);
-  for (auto& ws : workspaces_) {
+  // Static partitions of the depth-0 branch fan-out (pooled-determinism
+  // contract): at most one per pool thread plus the caller, never more
+  // than there are branches. 1 = serial, no replicas built at all.
+  if (options_.branch_pool != nullptr && options_.lookahead > 0) {
+    branch_parts_ = std::min<std::size_t>(
+        options_.branch_pool->worker_count() + 1, quadrature_.size());
+    if (branch_parts_ == 0) branch_parts_ = 1;
+  }
+
+  const auto init_workspace = [&](Workspace& ws) {
     ws.model = factory();
     // A path never holds more than every real sample plus one fantasy
     // sample per lookahead step.
@@ -226,9 +234,54 @@ LookaheadEngine::LookaheadEngine(const OptimizationProblem& problem,
         incremental_ok_ = lvl.inc_model->enable_incremental(options_.lookahead);
       }
     }
+  };
+
+  workspaces_.resize(workers);
+  for (auto& ws : workspaces_) {
+    init_workspace(ws);
+    if (branch_parts_ > 1) {
+      ws.branch_value.resize(quadrature_.size());
+      ws.branch_taken.resize(quadrature_.size(), 0);
+      ws.section = std::make_unique<util::ThreadPool::RangeSection>();
+    }
+  }
+  if (branch_parts_ > 1) {
+    // Shared replica pool: at most (pool workers + concurrent simulate
+    // callers) partitions can execute at any instant, and never more than
+    // every primary's partitions together — far below one replica set per
+    // primary (O(workers²)).
+    const std::size_t replicas =
+        std::min(options_.branch_pool->worker_count() + workers,
+                 workers * branch_parts_);
+    branch_workspaces_.resize(replicas);
+    free_branch_.resize(replicas);
+    for (std::size_t i = 0; i < replicas; ++i) {
+      branch_workspaces_[i] = std::make_unique<Workspace>();
+      init_workspace(*branch_workspaces_[i]);
+      free_branch_[i] = branch_workspaces_[i].get();
+    }
+    branch_free_ = replicas;
   }
   free_workspaces_.reserve(workers);
   for (auto& ws : workspaces_) free_workspaces_.push_back(&ws);
+}
+
+LookaheadEngine::Workspace* LookaheadEngine::acquire_branch_workspace() {
+  std::unique_lock lock(branch_mutex_);
+  branch_cv_.wait(lock, [&] { return branch_free_ > 0; });
+  Workspace* ws = free_branch_[branch_head_];
+  branch_head_ = (branch_head_ + 1) % free_branch_.size();
+  --branch_free_;
+  return ws;
+}
+
+void LookaheadEngine::release_branch_workspace(Workspace* ws) {
+  {
+    std::lock_guard lock(branch_mutex_);
+    free_branch_[(branch_head_ + branch_free_) % free_branch_.size()] = ws;
+    ++branch_free_;
+  }
+  branch_cv_.notify_one();
 }
 
 void LookaheadEngine::begin_decision(const std::vector<Sample>& samples,
@@ -361,6 +414,21 @@ void LookaheadEngine::release_workspace(Workspace* ws) {
   free_workspaces_.push_back(ws);
 }
 
+void LookaheadEngine::sync_workspace(Workspace& ws) {
+  // Sync the workspace's path state Σ with this decision's root once; the
+  // recursion fully reverts its deltas, so the state stays at the root
+  // between uses within one decision.
+  if (ws.epoch != epoch_) {
+    ws.rows.assign(root_rows_.begin(), root_rows_.end());
+    ws.y.assign(root_y_.begin(), root_y_.end());
+    ws.feasible.assign(root_feasible_.begin(), root_feasible_.end());
+  }
+  // Invalid while the recursion holds un-reverted deltas: if fit/predict
+  // throws mid-path, the next use of this workspace must resync instead
+  // of trusting a corrupted state. Callers restore `epoch` on success.
+  ws.epoch = 0;
+}
+
 PathValue LookaheadEngine::simulate(ConfigId root, std::uint64_t path_seed) {
   Workspace* ws = acquire_workspace();
   struct Release {
@@ -369,18 +437,7 @@ PathValue LookaheadEngine::simulate(ConfigId root, std::uint64_t path_seed) {
     ~Release() { self->release_workspace(ws); }
   } release{this, ws};
 
-  // Sync the workspace's path state Σ with this decision's root once; the
-  // recursion fully reverts its deltas, so the state stays at the root
-  // between simulate() calls of the same decision.
-  if (ws->epoch != epoch_) {
-    ws->rows.assign(root_rows_.begin(), root_rows_.end());
-    ws->y.assign(root_y_.begin(), root_y_.end());
-    ws->feasible.assign(root_feasible_.begin(), root_feasible_.end());
-  }
-  // Invalid while the recursion holds un-reverted deltas: if fit/predict
-  // throws mid-path, the next simulate() on this workspace must resync
-  // instead of trusting a corrupted state.
-  ws->epoch = 0;
+  sync_workspace(*ws);
 
   const model::Prediction& pred = root_preds_[root];
   const PathValue v =
@@ -416,81 +473,147 @@ PathValue LookaheadEngine::explore(Workspace& ws, std::size_t depth,
     if (id != x) lvl.cands.push_back(id);
   }
 
-  for (std::size_t i = 0; i < lvl.nodes.size(); ++i) {
-    // Speculated cost: a run can never be free or negative; clamp to a
-    // small fraction of the predicted mean.
-    const double ci = std::max(lvl.nodes[i].value, 0.001 * x_mean);
-    const double wi = lvl.nodes[i].weight;
-
-    // Apply the delta Σ → Σ' (Algorithm 2, lines 8-13): push the fantasy
-    // sample instead of copying the state.
-    ws.rows.push_back(x);
-    ws.y.push_back(ci);
-    ws.feasible.push_back(ci <= cap ? 1 : 0);
-    const double child_beta = beta - ci - switch_cost;
-
-    // Branch model: incremental mode copies the parent node's fitted
-    // ensemble and appends the one fantasy sample (Σ' = Σ + {(x, ci)});
-    // otherwise refit from scratch on the delta state. Same derive_seed
-    // call structure either way (see the header's determinism contract).
-    const std::uint64_t branch_seed = util::derive_seed(path_seed, i + 1);
-    model::Regressor* node_model;
-    if (incremental_ok_) {
-      const model::Regressor& parent =
-          depth == 0 ? *root_model_ : *ws.levels[depth - 1].inc_model;
-      lvl.inc_model->assign_fitted(parent);
-      lvl.inc_model->append_and_update(fm_, x, ci, branch_seed);
-      node_model = lvl.inc_model.get();
-    } else {
-      ws.model->fit(fm_, ws.rows, ws.y, branch_seed);
-      node_model = ws.model.get();
+  const std::size_t k = lvl.nodes.size();
+  if (depth == 0 && branch_parts_ > 1 && k > 1) {
+    // Branch-parallel fan-out (pooled-determinism contract, see the
+    // header): the k branches are statically range-partitioned across the
+    // pool, each partition running on its own workspace replica against
+    // the read-only shared node inputs (lvl.nodes / lvl.cands and the
+    // root state). Each branch writes its contribution into its own slot;
+    // the reduction below runs on this thread in ascending branch order,
+    // reproducing the serial loop's accumulation order bit-for-bit.
+    struct Ctx {
+      LookaheadEngine* self;
+      Workspace* ws;
+      const Level* shared;
+      ConfigId x;
+      double x_mean, switch_cost, beta, cap;
+      unsigned steps_left;
+      std::uint64_t path_seed;
+    } ctx{this, &ws, &lvl, x, x_mean, switch_cost, beta, cap, steps_left,
+          path_seed};
+    options_.branch_pool->parallel_ranges(
+        *ws.section, k, branch_parts_,
+        [](void* p, std::size_t, std::size_t b, std::size_t e) {
+          auto& c = *static_cast<Ctx*>(p);
+          Workspace* bw = c.self->acquire_branch_workspace();
+          struct Release {
+            LookaheadEngine* self;
+            Workspace* ws;
+            ~Release() { self->release_branch_workspace(ws); }
+          } release{c.self, bw};
+          c.self->sync_workspace(*bw);
+          for (std::size_t i = b; i < e; ++i) {
+            PathValue sub;
+            c.ws->branch_taken[i] =
+                c.self->explore_branch(*bw, 0, i, c.x, c.x_mean,
+                                       c.switch_cost, c.beta, c.cap,
+                                       *c.shared, c.steps_left, c.path_seed,
+                                       sub)
+                    ? 1
+                    : 0;
+            c.ws->branch_value[i] = sub;
+          }
+          bw->epoch = c.self->epoch_;
+        },
+        &ctx);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (ws.branch_taken[i] == 0) continue;
+      const double wi = lvl.nodes[i].weight;
+      v.cost += wi * ws.branch_value[i].cost;
+      v.reward += options_.gamma * wi * ws.branch_value[i].reward;
     }
-    node_model->predict_subset(fm_, lvl.cands, lvl.preds);
-    const double y_star = state_incumbent(ws.y, ws.feasible, lvl.preds);
+    return v;
+  }
 
-    // Fused NextStep (Algorithm 2, lines 21-25): one pass computes the
-    // budget-viability probability and EIc per candidate and keeps the
-    // running argmax. Since EI <= max(y*-µ, 0) + σ·φ(0) and the
-    // feasibility factor is <= 1, a candidate whose cheap upper bound
-    // cannot *strictly* beat the running best is skipped without
-    // evaluating the cdf/pdf pair — the argmax (first index attaining the
-    // max, ties broken by scan order) is unchanged. The bound holds with
-    // slack >= σ·φ(0) (σ has a positive floor in both models), orders of
-    // magnitude above floating-point error in the compared expressions.
-    double best = -std::numeric_limits<double>::infinity();
-    std::size_t best_j = lvl.cands.size();
-    for (std::size_t j = 0; j < lvl.cands.size(); ++j) {
-      const model::Prediction& p = lvl.preds[j];
-      if (!budget_viable(child_beta, p)) continue;
-      const double upper =
-          std::max(y_star - p.mean, 0.0) + p.stddev * kPhi0;
-      if (upper <= best) continue;
-      const double acq = constrained_ei(
-          y_star, p, problem_.feasibility_cost_cap(lvl.cands[j]));
-      if (acq > best) {
-        best = acq;
-        best_j = j;
-      }
-    }
-
-    if (best_j != lvl.cands.size()) {
-      const PathValue sub = explore(
-          ws, depth + 1, static_cast<ConfigId>(lvl.cands[best_j]),
-          lvl.preds[best_j].mean, lvl.preds[best_j].stddev, best, child_beta,
-          x, lvl.cands, steps_left - 1,
-          util::derive_seed(path_seed, 131 * (i + 1) + 7));
+  for (std::size_t i = 0; i < k; ++i) {
+    PathValue sub;
+    if (explore_branch(ws, depth, i, x, x_mean, switch_cost, beta, cap, lvl,
+                       steps_left, path_seed, sub)) {
+      const double wi = lvl.nodes[i].weight;
       v.cost += wi * sub.cost;
       v.reward += options_.gamma * wi * sub.reward;
     }
     // else: no viable continuation (lines 15-16) — the branch contributes
     // only the root step.
-
-    // Revert the delta: Σ' → Σ.
-    ws.rows.pop_back();
-    ws.y.pop_back();
-    ws.feasible.pop_back();
   }
   return v;
+}
+
+bool LookaheadEngine::explore_branch(Workspace& ws, std::size_t depth,
+                                     std::size_t i, ConfigId x, double x_mean,
+                                     double switch_cost, double beta,
+                                     double cap, const Level& shared,
+                                     unsigned steps_left,
+                                     std::uint64_t path_seed, PathValue& out) {
+  Level& lvl = ws.levels[depth];
+  // Speculated cost: a run can never be free or negative; clamp to a
+  // small fraction of the predicted mean.
+  const double ci = std::max(shared.nodes[i].value, 0.001 * x_mean);
+
+  // Apply the delta Σ → Σ' (Algorithm 2, lines 8-13): push the fantasy
+  // sample instead of copying the state.
+  ws.rows.push_back(x);
+  ws.y.push_back(ci);
+  ws.feasible.push_back(ci <= cap ? 1 : 0);
+  const double child_beta = beta - ci - switch_cost;
+
+  // Branch model: incremental mode copies the parent node's fitted
+  // ensemble and appends the one fantasy sample (Σ' = Σ + {(x, ci)});
+  // otherwise refit from scratch on the delta state. Same derive_seed
+  // call structure either way (see the header's determinism contract).
+  const std::uint64_t branch_seed = util::derive_seed(path_seed, i + 1);
+  model::Regressor* node_model;
+  if (incremental_ok_) {
+    const model::Regressor& parent =
+        depth == 0 ? *root_model_ : *ws.levels[depth - 1].inc_model;
+    lvl.inc_model->assign_fitted(parent);
+    lvl.inc_model->append_and_update(fm_, x, ci, branch_seed);
+    node_model = lvl.inc_model.get();
+  } else {
+    ws.model->fit(fm_, ws.rows, ws.y, branch_seed);
+    node_model = ws.model.get();
+  }
+  node_model->predict_subset(fm_, shared.cands, lvl.preds);
+  const double y_star = state_incumbent(ws.y, ws.feasible, lvl.preds);
+
+  // Fused NextStep (Algorithm 2, lines 21-25): one pass computes the
+  // budget-viability probability and EIc per candidate and keeps the
+  // running argmax. Since EI <= max(y*-µ, 0) + σ·φ(0) and the
+  // feasibility factor is <= 1, a candidate whose cheap upper bound
+  // cannot *strictly* beat the running best is skipped without
+  // evaluating the cdf/pdf pair — the argmax (first index attaining the
+  // max, ties broken by scan order) is unchanged. The bound holds with
+  // slack >= σ·φ(0) (σ has a positive floor in both models), orders of
+  // magnitude above floating-point error in the compared expressions.
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_j = shared.cands.size();
+  for (std::size_t j = 0; j < shared.cands.size(); ++j) {
+    const model::Prediction& p = lvl.preds[j];
+    if (!budget_viable(child_beta, p)) continue;
+    const double upper = std::max(y_star - p.mean, 0.0) + p.stddev * kPhi0;
+    if (upper <= best) continue;
+    const double acq = constrained_ei(
+        y_star, p, problem_.feasibility_cost_cap(shared.cands[j]));
+    if (acq > best) {
+      best = acq;
+      best_j = j;
+    }
+  }
+
+  const bool taken = best_j != shared.cands.size();
+  if (taken) {
+    out = explore(ws, depth + 1, static_cast<ConfigId>(shared.cands[best_j]),
+                  lvl.preds[best_j].mean, lvl.preds[best_j].stddev, best,
+                  child_beta, x, shared.cands, steps_left - 1,
+                  util::derive_seed(path_seed, 131 * (i + 1) + 7));
+  }
+
+  // Revert the delta: Σ' → Σ.
+  ws.rows.pop_back();
+  ws.y.pop_back();
+  ws.feasible.pop_back();
+  return taken;
 }
 
 // ---------------------------------------------------------------------------
@@ -578,8 +701,15 @@ MultiConstraintEngine::MultiConstraintEngine(
   key_preds_.reserve(vars);
   key_models_.reserve(vars);
 
-  workspaces_.resize(workers);
-  for (auto& ws : workspaces_) {
+  // Static partitions of the depth-0 combo fan-out (pooled-determinism
+  // contract): never more than the worst-case unpruned combo count.
+  if (options_.branch_pool != nullptr && options_.lookahead > 0) {
+    branch_parts_ = std::min<std::size_t>(
+        options_.branch_pool->worker_count() + 1, combo_cap);
+    if (branch_parts_ == 0) branch_parts_ = 1;
+  }
+
+  const auto init_workspace = [&](Workspace& ws) {
     ws.models.reserve(vars);
     for (std::size_t obj = 0; obj < vars; ++obj) {
       ws.models.push_back(factory());
@@ -613,9 +743,53 @@ MultiConstraintEngine::MultiConstraintEngine(
         }
       }
     }
+  };
+
+  workspaces_.resize(workers);
+  for (auto& ws : workspaces_) {
+    init_workspace(ws);
+    if (branch_parts_ > 1) {
+      ws.branch_value.resize(combo_cap);
+      ws.branch_taken.resize(combo_cap, 0);
+      ws.section = std::make_unique<util::ThreadPool::RangeSection>();
+    }
+  }
+  if (branch_parts_ > 1) {
+    // Shared replica pool (see LookaheadEngine): sized to the maximum
+    // number of simultaneously executing partitions, not per primary.
+    const std::size_t replicas =
+        std::min(options_.branch_pool->worker_count() + workers,
+                 workers * branch_parts_);
+    branch_workspaces_.resize(replicas);
+    free_branch_.resize(replicas);
+    for (std::size_t i = 0; i < replicas; ++i) {
+      branch_workspaces_[i] = std::make_unique<Workspace>();
+      init_workspace(*branch_workspaces_[i]);
+      free_branch_[i] = branch_workspaces_[i].get();
+    }
+    branch_free_ = replicas;
   }
   free_workspaces_.reserve(workers);
   for (auto& ws : workspaces_) free_workspaces_.push_back(&ws);
+}
+
+MultiConstraintEngine::Workspace*
+MultiConstraintEngine::acquire_branch_workspace() {
+  std::unique_lock lock(branch_mutex_);
+  branch_cv_.wait(lock, [&] { return branch_free_ > 0; });
+  Workspace* ws = free_branch_[branch_head_];
+  branch_head_ = (branch_head_ + 1) % free_branch_.size();
+  --branch_free_;
+  return ws;
+}
+
+void MultiConstraintEngine::release_branch_workspace(Workspace* ws) {
+  {
+    std::lock_guard lock(branch_mutex_);
+    free_branch_[(branch_head_ + branch_free_) % free_branch_.size()] = ws;
+    ++branch_free_;
+  }
+  branch_cv_.notify_one();
 }
 
 void MultiConstraintEngine::begin_decision(
@@ -819,6 +993,24 @@ void MultiConstraintEngine::release_workspace(Workspace* ws) {
   free_workspaces_.push_back(ws);
 }
 
+void MultiConstraintEngine::sync_workspace(Workspace& ws) {
+  const std::size_t n_constraints = options_.thresholds.size();
+  // Sync the workspace's path state Σ with this decision's root once; the
+  // recursion fully reverts its deltas between uses within one decision.
+  if (ws.epoch != epoch_) {
+    ws.rows.assign(root_rows_.begin(), root_rows_.end());
+    ws.y_cost.assign(root_y_cost_.begin(), root_y_cost_.end());
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      ws.y_metric[c].assign(root_y_metric_[c].begin(),
+                            root_y_metric_[c].end());
+    }
+    ws.feasible.assign(root_feasible_.begin(), root_feasible_.end());
+  }
+  // Invalid while the recursion holds un-reverted deltas (see
+  // LookaheadEngine::sync_workspace).
+  ws.epoch = 0;
+}
+
 PathValue MultiConstraintEngine::simulate(ConfigId root,
                                           std::uint64_t path_seed) {
   Workspace* ws = acquire_workspace();
@@ -828,21 +1020,7 @@ PathValue MultiConstraintEngine::simulate(ConfigId root,
     ~Release() { self->release_workspace(ws); }
   } release{this, ws};
 
-  const std::size_t n_constraints = options_.thresholds.size();
-  // Sync the workspace's path state Σ with this decision's root once; the
-  // recursion fully reverts its deltas between simulate() calls.
-  if (ws->epoch != epoch_) {
-    ws->rows.assign(root_rows_.begin(), root_rows_.end());
-    ws->y_cost.assign(root_y_cost_.begin(), root_y_cost_.end());
-    for (std::size_t c = 0; c < n_constraints; ++c) {
-      ws->y_metric[c].assign(root_y_metric_[c].begin(),
-                             root_y_metric_[c].end());
-    }
-    ws->feasible.assign(root_feasible_.begin(), root_feasible_.end());
-  }
-  // Invalid while the recursion holds un-reverted deltas (see
-  // LookaheadEngine::simulate).
-  ws->epoch = 0;
+  sync_workspace(*ws);
 
   for (std::size_t obj = 0; obj < ws->root_x_pred.size(); ++obj) {
     ws->root_x_pred[obj] = root_preds_[obj][root];
@@ -864,7 +1042,6 @@ PathValue MultiConstraintEngine::explore(
   v.cost = x_preds[0].mean;
   if (steps_left == 0) return v;
 
-  const std::size_t n_constraints = options_.thresholds.size();
   Level& lvl = ws.levels[depth];
   const std::size_t n_combos = speculate(lvl, x_preds);
 
@@ -876,118 +1053,183 @@ PathValue MultiConstraintEngine::explore(
   }
 
   const double cap_x = caps_[x];
+  if (depth == 0 && branch_parts_ > 1 && n_combos > 1) {
+    // Branch-parallel combo fan-out (pooled-determinism contract, see the
+    // header): the pruned combos are statically range-partitioned across
+    // the pool, each partition on its own workspace replica against the
+    // read-only shared buffers (lvl.combo_*, lvl.cands, root state). The
+    // reduction below runs on this thread in ascending combo order —
+    // bit-for-bit the serial loop's accumulation order.
+    struct Ctx {
+      MultiConstraintEngine* self;
+      Workspace* ws;
+      const Level* shared;
+      ConfigId x;
+      double cap_x, beta;
+      unsigned steps_left;
+      std::uint64_t path_seed;
+    } ctx{this, &ws, &lvl, x, cap_x, beta, steps_left, path_seed};
+    options_.branch_pool->parallel_ranges(
+        *ws.section, n_combos, branch_parts_,
+        [](void* p, std::size_t, std::size_t b, std::size_t e) {
+          auto& c = *static_cast<Ctx*>(p);
+          Workspace* bw = c.self->acquire_branch_workspace();
+          struct Release {
+            MultiConstraintEngine* self;
+            Workspace* ws;
+            ~Release() { self->release_branch_workspace(ws); }
+          } release{c.self, bw};
+          c.self->sync_workspace(*bw);
+          for (std::size_t i = b; i < e; ++i) {
+            PathValue sub;
+            c.ws->branch_taken[i] =
+                c.self->explore_branch(*bw, 0, i, c.x, c.cap_x, c.beta,
+                                       *c.shared, c.steps_left, c.path_seed,
+                                       sub)
+                    ? 1
+                    : 0;
+            c.ws->branch_value[i] = sub;
+          }
+          bw->epoch = c.self->epoch_;
+        },
+        &ctx);
+    for (std::size_t i = 0; i < n_combos; ++i) {
+      if (ws.branch_taken[i] == 0) continue;
+      const double wi = lvl.combo_weight[i];
+      v.cost += wi * ws.branch_value[i].cost;
+      v.reward += options_.gamma * wi * ws.branch_value[i].reward;
+    }
+    return v;
+  }
+
   for (std::size_t i = 0; i < n_combos; ++i) {
-    const double ci = lvl.combo_cost[i];
-    const double wi = lvl.combo_weight[i];
-    const double* mi = lvl.combo_metric.data() + i * n_constraints;
-
-    bool feas = ci <= cap_x;
-    for (std::size_t c = 0; feas && c < n_constraints; ++c) {
-      if (mi[c] > threshold_by_id_[c][x]) feas = false;
-    }
-
-    // Apply the delta Σ → Σ': push the fantasy sample on every objective.
-    ws.rows.push_back(x);
-    ws.y_cost.push_back(ci);
-    for (std::size_t c = 0; c < n_constraints; ++c) {
-      ws.y_metric[c].push_back(mi[c]);
-    }
-    ws.feasible.push_back(feas ? 1 : 0);
-    const double child_beta = beta - ci;
-
-    // Refit every objective model with the fantasy sample (same derived
-    // seed structure as McSimulator::build_ctx) and predict the shrinking
-    // candidate subset per objective — O(candidates · (I+1)) batched work
-    // instead of the reference's (I+1) full-space predictions plus state
-    // copies. Incremental mode replaces each from-scratch refit with a
-    // copy of the parent node's fitted model plus one appended sample
-    // (see the header's determinism contract).
-    const std::uint64_t branch_seed = util::derive_seed(path_seed, i + 1);
-    if (incremental_ok_) {
-      for (std::size_t obj = 0; obj < lvl.inc_models.size(); ++obj) {
-        const model::Regressor& parent =
-            depth == 0 ? *root_models_[obj]
-                       : *ws.levels[depth - 1].inc_models[obj];
-        lvl.inc_models[obj]->assign_fitted(parent);
-        lvl.inc_models[obj]->append_and_update(
-            fm_, x, obj == 0 ? ci : mi[obj - 1],
-            util::derive_seed(branch_seed, obj));
-      }
-      lvl.inc_models[0]->predict_subset(fm_, lvl.cands, lvl.cost_preds);
-      for (std::size_t c = 0; c < n_constraints; ++c) {
-        lvl.inc_models[c + 1]->predict_subset(fm_, lvl.cands,
-                                              lvl.metric_preds[c]);
-      }
-    } else {
-      ws.models[0]->fit(fm_, ws.rows, ws.y_cost,
-                        util::derive_seed(branch_seed, 0));
-      ws.models[0]->predict_subset(fm_, lvl.cands, lvl.cost_preds);
-      for (std::size_t c = 0; c < n_constraints; ++c) {
-        ws.models[c + 1]->fit(fm_, ws.rows, ws.y_metric[c],
-                              util::derive_seed(branch_seed, c + 1));
-        ws.models[c + 1]->predict_subset(fm_, lvl.cands,
-                                         lvl.metric_preds[c]);
-      }
-    }
-    const double y_star = state_incumbent(ws.y_cost, ws.feasible,
-                                          lvl.cost_preds);
-
-    // Fused NextStep: budget viability via the exact cdf-boundary compare,
-    // then the cost-only EI upper bound (every probability factor of the
-    // multi-constraint EIc is <= 1, so the single-constraint bound holds a
-    // fortiori). The EIc product only shrinks as factors are multiplied
-    // in, so a partial product that cannot *strictly* beat the running
-    // best exits the candidate without evaluating the remaining cdfs —
-    // the argmax (first index attaining the max, ties broken by scan
-    // order) is unchanged.
-    double best = -std::numeric_limits<double>::infinity();
-    std::size_t best_j = lvl.cands.size();
-    for (std::size_t j = 0; j < lvl.cands.size(); ++j) {
-      const model::Prediction& p = lvl.cost_preds[j];
-      if (!budget_viable(child_beta, p)) continue;
-      const double upper = std::max(y_star - p.mean, 0.0) + p.stddev * kPhi0;
-      if (upper <= best) continue;
-      const auto cid = static_cast<ConfigId>(lvl.cands[j]);
-      double acq = expected_improvement(y_star, p);
-      if (acq > 0.0 && acq > best) {
-        acq *= prob_within(caps_[cid], p);
-        for (std::size_t c = 0; c < n_constraints && acq > best; ++c) {
-          acq *= prob_within(threshold_by_id_[c][cid],
-                             lvl.metric_preds[c][j]);
-        }
-      } else if (acq < 0.0) {
-        acq = 0.0;
-      }
-      if (acq > best) {
-        best = acq;
-        best_j = j;
-        lvl.x_pred[0] = p;
-        for (std::size_t c = 0; c < n_constraints; ++c) {
-          lvl.x_pred[c + 1] = lvl.metric_preds[c][j];
-        }
-      }
-    }
-
-    if (best_j != lvl.cands.size()) {
-      const PathValue sub = explore(
-          ws, depth + 1, static_cast<ConfigId>(lvl.cands[best_j]),
-          lvl.x_pred.data(), best, child_beta, lvl.cands, steps_left - 1,
-          util::derive_seed(path_seed, 131 * i + 7));
+    PathValue sub;
+    if (explore_branch(ws, depth, i, x, cap_x, beta, lvl, steps_left,
+                       path_seed, sub)) {
+      const double wi = lvl.combo_weight[i];
       v.cost += wi * sub.cost;
       v.reward += options_.gamma * wi * sub.reward;
     }
     // else: no viable continuation — the branch contributes only its root
     // step (replicates the reference's `continue`).
-
-    // Revert the delta: Σ' → Σ.
-    ws.rows.pop_back();
-    ws.y_cost.pop_back();
-    for (std::size_t c = 0; c < n_constraints; ++c) {
-      ws.y_metric[c].pop_back();
-    }
-    ws.feasible.pop_back();
   }
   return v;
+}
+
+bool MultiConstraintEngine::explore_branch(Workspace& ws, std::size_t depth,
+                                           std::size_t i, ConfigId x,
+                                           double cap_x, double beta,
+                                           const Level& shared,
+                                           unsigned steps_left,
+                                           std::uint64_t path_seed,
+                                           PathValue& out) {
+  const std::size_t n_constraints = options_.thresholds.size();
+  Level& lvl = ws.levels[depth];
+  const double ci = shared.combo_cost[i];
+  const double* mi = shared.combo_metric.data() + i * n_constraints;
+
+  bool feas = ci <= cap_x;
+  for (std::size_t c = 0; feas && c < n_constraints; ++c) {
+    if (mi[c] > threshold_by_id_[c][x]) feas = false;
+  }
+
+  // Apply the delta Σ → Σ': push the fantasy sample on every objective.
+  ws.rows.push_back(x);
+  ws.y_cost.push_back(ci);
+  for (std::size_t c = 0; c < n_constraints; ++c) {
+    ws.y_metric[c].push_back(mi[c]);
+  }
+  ws.feasible.push_back(feas ? 1 : 0);
+  const double child_beta = beta - ci;
+
+  // Refit every objective model with the fantasy sample (same derived
+  // seed structure as McSimulator::build_ctx) and predict the shrinking
+  // candidate subset per objective — O(candidates · (I+1)) batched work
+  // instead of the reference's (I+1) full-space predictions plus state
+  // copies. Incremental mode replaces each from-scratch refit with a
+  // copy of the parent node's fitted model plus one appended sample
+  // (see the header's determinism contract).
+  const std::uint64_t branch_seed = util::derive_seed(path_seed, i + 1);
+  if (incremental_ok_) {
+    for (std::size_t obj = 0; obj < lvl.inc_models.size(); ++obj) {
+      const model::Regressor& parent =
+          depth == 0 ? *root_models_[obj]
+                     : *ws.levels[depth - 1].inc_models[obj];
+      lvl.inc_models[obj]->assign_fitted(parent);
+      lvl.inc_models[obj]->append_and_update(
+          fm_, x, obj == 0 ? ci : mi[obj - 1],
+          util::derive_seed(branch_seed, obj));
+    }
+    lvl.inc_models[0]->predict_subset(fm_, shared.cands, lvl.cost_preds);
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      lvl.inc_models[c + 1]->predict_subset(fm_, shared.cands,
+                                            lvl.metric_preds[c]);
+    }
+  } else {
+    ws.models[0]->fit(fm_, ws.rows, ws.y_cost,
+                      util::derive_seed(branch_seed, 0));
+    ws.models[0]->predict_subset(fm_, shared.cands, lvl.cost_preds);
+    for (std::size_t c = 0; c < n_constraints; ++c) {
+      ws.models[c + 1]->fit(fm_, ws.rows, ws.y_metric[c],
+                            util::derive_seed(branch_seed, c + 1));
+      ws.models[c + 1]->predict_subset(fm_, shared.cands,
+                                       lvl.metric_preds[c]);
+    }
+  }
+  const double y_star = state_incumbent(ws.y_cost, ws.feasible,
+                                        lvl.cost_preds);
+
+  // Fused NextStep: budget viability via the exact cdf-boundary compare,
+  // then the cost-only EI upper bound (every probability factor of the
+  // multi-constraint EIc is <= 1, so the single-constraint bound holds a
+  // fortiori). The EIc product only shrinks as factors are multiplied
+  // in, so a partial product that cannot *strictly* beat the running
+  // best exits the candidate without evaluating the remaining cdfs —
+  // the argmax (first index attaining the max, ties broken by scan
+  // order) is unchanged.
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_j = shared.cands.size();
+  for (std::size_t j = 0; j < shared.cands.size(); ++j) {
+    const model::Prediction& p = lvl.cost_preds[j];
+    if (!budget_viable(child_beta, p)) continue;
+    const double upper = std::max(y_star - p.mean, 0.0) + p.stddev * kPhi0;
+    if (upper <= best) continue;
+    const auto cid = static_cast<ConfigId>(shared.cands[j]);
+    double acq = expected_improvement(y_star, p);
+    if (acq > 0.0 && acq > best) {
+      acq *= prob_within(caps_[cid], p);
+      for (std::size_t c = 0; c < n_constraints && acq > best; ++c) {
+        acq *= prob_within(threshold_by_id_[c][cid],
+                           lvl.metric_preds[c][j]);
+      }
+    } else if (acq < 0.0) {
+      acq = 0.0;
+    }
+    if (acq > best) {
+      best = acq;
+      best_j = j;
+      lvl.x_pred[0] = p;
+      for (std::size_t c = 0; c < n_constraints; ++c) {
+        lvl.x_pred[c + 1] = lvl.metric_preds[c][j];
+      }
+    }
+  }
+
+  const bool taken = best_j != shared.cands.size();
+  if (taken) {
+    out = explore(ws, depth + 1, static_cast<ConfigId>(shared.cands[best_j]),
+                  lvl.x_pred.data(), best, child_beta, shared.cands,
+                  steps_left - 1, util::derive_seed(path_seed, 131 * i + 7));
+  }
+
+  // Revert the delta: Σ' → Σ.
+  ws.rows.pop_back();
+  ws.y_cost.pop_back();
+  for (std::size_t c = 0; c < n_constraints; ++c) {
+    ws.y_metric[c].pop_back();
+  }
+  ws.feasible.pop_back();
+  return taken;
 }
 
 }  // namespace lynceus::core

@@ -93,7 +93,48 @@
 /// kIncrementalStream), tree). Incremental and from-scratch fits thus
 /// consume disjoint, individually well-mixed seed streams and each path
 /// is internally deterministic under either flag value.
+///
+/// ## Pooled-determinism contract (branch parallelism)
+///
+/// `Options::branch_pool` parallelizes *inside* a root simulation: the
+/// depth-0 fantasy-branch fan-out — the K Gauss–Hermite branches of a
+/// LookaheadEngine node, the pruned K^(I+1) joint-speculation combos of a
+/// MultiConstraintEngine node — is split into at most
+/// `branch_pool->worker_count() + 1` contiguous index ranges by
+/// util::ThreadPool::parallel_ranges' static partition (pure index
+/// arithmetic; independent of scheduling). What keeps pooled and serial
+/// trajectories **byte-identical**:
+///
+///  * **Branch independence.** A branch fully reverts its Σ deltas before
+///    the next branch runs, so no branch ever observes another's state —
+///    the serial loop is already a sequence of independent computations
+///    plus an ordered reduction.
+///  * **Per-worker replicas.** Each partition runs on its own complete
+///    workspace replica (path state, per-depth candidate/prediction
+///    buffers, from-scratch model, and per-depth incremental-model slots —
+///    the PR 3 `Level::inc_model(s)` replicated per worker). Shared
+///    per-node inputs (quadrature nodes / pruned combos, the child
+///    candidate list, the root models incremental branches assign_fitted
+///    from) are read-only for the whole section.
+///  * **Fixed reduction order.** Every branch writes its (cost, reward)
+///    contribution into its own slot; the calling thread reduces the slots
+///    in ascending branch order after the section completes, reproducing
+///    the serial loop's floating-point accumulation order exactly. The
+///    fused Γ/EIc scans run entirely inside their branch, so their
+///    argmax/tie-break order is untouched.
+///
+/// Deeper-depth fan-outs stay serial within their branch (the partitions
+/// already saturate the pool; nesting would only add dispatch overhead).
+/// **Bit-pinned:** trajectories for any (pool, worker-count) choice,
+/// including pool off, with incremental refit on or off, cache on or off —
+/// the golden-trajectory and pooled-vs-serial suites enforce this.
+/// **Not pinned:** wall-clock timing and which thread computes which
+/// branch. simulate() remains zero-allocation after warm-up with the pool
+/// on (parallel_ranges coordinates through a preallocated per-workspace
+/// section; asserted process-wide by the test suite via
+/// util::AllocCountAllThreadsGuard).
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -104,6 +145,7 @@
 #include "core/types.hpp"
 #include "math/gauss_hermite.hpp"
 #include "model/regressor.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lynceus::core {
 
@@ -253,6 +295,14 @@ class LookaheadEngine {
     /// Ignored (from-scratch refits) when the model factory's regressor
     /// does not support incremental updates.
     bool incremental_refit = false;
+    /// Optional intra-root branch parallelism (see the pooled-determinism
+    /// contract in the file header): the depth-0 branch fan-out of every
+    /// simulate() call is statically range-partitioned across this pool,
+    /// each partition on its own workspace replica, contributions reduced
+    /// in branch order — trajectories are byte-identical to serial runs.
+    /// Null (or a zero-worker pool) = serial branches. Not owned; must
+    /// outlive the engine.
+    util::ThreadPool* branch_pool = nullptr;
   };
 
   /// `workers` is the maximum number of concurrent simulate() calls; one
@@ -334,6 +384,15 @@ class LookaheadEngine {
     std::vector<char> feasible;       ///< per-sample feasibility
     std::vector<Level> levels;
     std::uint64_t epoch = 0;  ///< decision this path state mirrors
+    /// Branch parallelism only (primary workspaces; see the
+    /// pooled-determinism contract): per-branch contribution slots
+    /// reduced in branch order, and the preallocated parallel_ranges
+    /// control block. Empty / null when branch parallelism is off. The
+    /// workspace replicas the partitions run on live in the engine-wide
+    /// shared pool (branch_workspaces_), not per primary.
+    std::vector<PathValue> branch_value;
+    std::vector<char> branch_taken;
+    std::unique_ptr<util::ThreadPool::RangeSection> section;
   };
 
   [[nodiscard]] double setup_cost(const std::optional<ConfigId>& from,
@@ -359,8 +418,44 @@ class LookaheadEngine {
                     const std::vector<std::uint32_t>& cands,
                     unsigned steps_left, std::uint64_t path_seed);
 
+  /// One depth-`depth` fantasy branch (Algorithm 2 lines 8-25): pushes the
+  /// fantasy sample on `ws`, refits/appends the branch model, runs the
+  /// fused NextStep scan and recurses into the chosen candidate. `shared`
+  /// supplies the node's read-only inputs (quadrature nodes, child
+  /// candidate list): serial callers pass ws.levels[depth] itself, the
+  /// branch-parallel partitions pass the primary workspace's level.
+  /// Returns true and fills `out` when the branch found a viable
+  /// continuation to recurse into.
+  bool explore_branch(Workspace& ws, std::size_t depth, std::size_t i,
+                      ConfigId x, double x_mean, double switch_cost,
+                      double beta, double cap, const Level& shared,
+                      unsigned steps_left, std::uint64_t path_seed,
+                      PathValue& out);
+
+  /// Re-seeds `ws`'s path state Σ from the decision's root snapshot when
+  /// it mirrors an older decision; marks it dirty for the caller to
+  /// restore (see simulate()).
+  void sync_workspace(Workspace& ws);
+
   Workspace* acquire_workspace();
   void release_workspace(Workspace* ws);
+
+  /// Shared branch-replica pool (branch parallelism only). Sized to the
+  /// maximum number of partitions that can execute simultaneously —
+  /// pool workers + primary workspaces, capped by the total partition
+  /// count — instead of one replica set per primary, which would grow
+  /// O(workers²). Replica identity cannot affect results: every field a
+  /// partition consumes is either re-synced from the decision's root
+  /// state (epoch check) or fully overwritten per branch. acquire blocks
+  /// (never in practice: the pool is sized for the worst case) and is
+  /// allocation-free. The free list is a FIFO ring, not a stack: every
+  /// acquisition takes the oldest-released replica, so a bounded number
+  /// of warm-up simulations deterministically rotates through (and sizes
+  /// the buffers of) every replica — with a LIFO stack, replicas past the
+  /// peak concurrency depth would stay cold and their first use would
+  /// allocate long after "warm-up", which the zero-alloc suite forbids.
+  Workspace* acquire_branch_workspace();
+  void release_branch_workspace(Workspace* ws);
 
   const OptimizationProblem& problem_;
   const Options options_;
@@ -392,10 +487,21 @@ class LookaheadEngine {
   std::uint64_t epoch_ = 0;
   /// Options::incremental_refit and the model actually supports it.
   bool incremental_ok_ = false;
+  /// Static partitions of the depth-0 branch fan-out (1 = serial).
+  std::size_t branch_parts_ = 1;
 
   std::vector<Workspace> workspaces_;
   std::mutex pool_mutex_;
   std::vector<Workspace*> free_workspaces_;
+
+  std::vector<std::unique_ptr<Workspace>> branch_workspaces_;
+  /// FIFO ring over branch_workspaces_ (see acquire_branch_workspace):
+  /// fixed capacity, pop at branch_head_, push at head + free count.
+  std::vector<Workspace*> free_branch_;
+  std::size_t branch_head_ = 0;
+  std::size_t branch_free_ = 0;
+  std::mutex branch_mutex_;
+  std::condition_variable branch_cv_;
 };
 
 /// The multi-constraint twin of LookaheadEngine (paper §4.4): path
@@ -444,6 +550,11 @@ class MultiConstraintEngine {
     /// file-level determinism contract). Off by default; ignored when the
     /// model does not support incremental updates.
     bool incremental_refit = false;
+    /// Optional intra-root branch parallelism over the depth-0 pruned
+    /// joint-speculation combo scan (see the pooled-determinism contract
+    /// in the file header) — byte-identical trajectories, serial or
+    /// pooled. Null (or a zero-worker pool) = serial. Not owned.
+    util::ThreadPool* branch_pool = nullptr;
   };
 
   MultiConstraintEngine(const OptimizationProblem& problem, Options options,
@@ -527,6 +638,13 @@ class MultiConstraintEngine {
     std::vector<Level> levels;
     std::vector<model::Prediction> root_x_pred;  ///< I+1 root preds of x
     std::uint64_t epoch = 0;
+    /// Branch parallelism only (primary workspaces; see the
+    /// pooled-determinism contract): per-combo contribution slots reduced
+    /// in combo order, preallocated parallel_ranges control block. The
+    /// replicas partitions run on live in the engine-wide shared pool.
+    std::vector<PathValue> branch_value;
+    std::vector<char> branch_taken;
+    std::unique_ptr<util::ThreadPool::RangeSection> section;
   };
 
   /// Exact `prob_within(beta, pred) >= feasibility_quantile` via the
@@ -555,8 +673,28 @@ class MultiConstraintEngine {
                     double beta, const std::vector<std::uint32_t>& cands,
                     unsigned steps_left, std::uint64_t path_seed);
 
+  /// One depth-`depth` joint-speculation combo (index i): pushes the
+  /// fantasy sample on every objective of `ws`, refits/appends the I+1
+  /// branch models, runs the fused multi-constraint NextStep scan and
+  /// recurses into the chosen candidate. `shared` supplies the node's
+  /// read-only inputs (pruned combo buffers, child candidate list); see
+  /// LookaheadEngine::explore_branch for the serial/parallel aliasing.
+  bool explore_branch(Workspace& ws, std::size_t depth, std::size_t i,
+                      ConfigId x, double cap_x, double beta,
+                      const Level& shared, unsigned steps_left,
+                      std::uint64_t path_seed, PathValue& out);
+
+  /// Re-seeds `ws`'s path state Σ from the decision's root snapshot (see
+  /// LookaheadEngine::sync_workspace).
+  void sync_workspace(Workspace& ws);
+
   Workspace* acquire_workspace();
   void release_workspace(Workspace* ws);
+
+  /// Shared branch-replica pool (see
+  /// LookaheadEngine::acquire_branch_workspace).
+  Workspace* acquire_branch_workspace();
+  void release_branch_workspace(Workspace* ws);
 
   const OptimizationProblem& problem_;
   const Options options_;
@@ -592,10 +730,21 @@ class MultiConstraintEngine {
   std::uint64_t epoch_ = 0;
   /// Options::incremental_refit and the model actually supports it.
   bool incremental_ok_ = false;
+  /// Static partitions of the depth-0 combo fan-out (1 = serial).
+  std::size_t branch_parts_ = 1;
 
   std::vector<Workspace> workspaces_;
   std::mutex pool_mutex_;
   std::vector<Workspace*> free_workspaces_;
+
+  std::vector<std::unique_ptr<Workspace>> branch_workspaces_;
+  /// FIFO ring over branch_workspaces_ (see
+  /// LookaheadEngine::acquire_branch_workspace).
+  std::vector<Workspace*> free_branch_;
+  std::size_t branch_head_ = 0;
+  std::size_t branch_free_ = 0;
+  std::mutex branch_mutex_;
+  std::condition_variable branch_cv_;
 };
 
 }  // namespace lynceus::core

@@ -55,6 +55,7 @@ OptimizerResult LynceusOptimizer::optimize(const OptimizationProblem& problem,
   eopts.setup_cost = options_.setup_cost;
   eopts.root_cache = options_.root_cache;
   eopts.incremental_refit = options_.incremental_refit;
+  eopts.branch_pool = options_.branch_parallel ? options_.pool : nullptr;
   // One workspace per worker (index 0 = calling thread).
   const std::size_t workers =
       options_.pool != nullptr ? options_.pool->worker_count() + 1 : 1;

@@ -66,6 +66,16 @@ struct LynceusOptions {
   /// Optional parallelism across root candidates (§4.3: root paths are
   /// independent). Null = single-threaded.
   util::ThreadPool* pool = nullptr;
+  /// Also parallelize *inside* each root simulation: the depth-0
+  /// fantasy-branch fan-out is statically partitioned across `pool` with
+  /// per-worker workspace replicas and a fixed reduction order, so
+  /// trajectories stay byte-identical to serial runs (see the
+  /// pooled-determinism contract in core/lookahead.hpp). No effect when
+  /// `pool` is null or has zero workers. Useful when viable roots are
+  /// fewer than cores, or to cut single-decision tail latency. Defaults
+  /// to the LYNCEUS_BRANCH_PARALLEL environment toggle (false when
+  /// unset).
+  bool branch_parallel = util::env_flag("LYNCEUS_BRANCH_PARALLEL");
   /// Optional setup-cost extension (§4.4).
   SetupCostFn setup_cost;
   /// Optional root cache (see RootCache in core/lookahead.hpp): share one

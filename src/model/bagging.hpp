@@ -105,6 +105,9 @@ class BaggingEnsemble final : public Regressor {
   [[nodiscard]] bool incremental_ready() const override;
   bool append_and_update(const FeatureMatrix& fm, std::uint32_t row,
                          double y, std::uint64_t update_seed) override;
+  /// Reads `src` through const state only (trees, floor, target range):
+  /// many per-worker destinations may assign from one shared fitted source
+  /// concurrently, which the branch-parallel lookahead engines rely on.
   bool assign_fitted(const Regressor& src) override;
 
   [[nodiscard]] const BaggingOptions& options() const noexcept {

@@ -207,7 +207,10 @@ class Regressor {
   /// `src` must be the same concrete type with identical hyper-parameters
   /// (both built by one ModelFactory); returns false when the types do not
   /// match. Predictions after assign_fitted are bitwise identical to
-  /// `src`'s.
+  /// `src`'s. Implementations must only *read* `src`: the branch-parallel
+  /// engines assign one shared root model into several per-worker
+  /// destinations concurrently (distinct destinations, one immutable
+  /// source — see the pooled-determinism contract in core/lookahead.hpp).
   virtual bool assign_fitted(const Regressor& src) {
     (void)src;
     return false;

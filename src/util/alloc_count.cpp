@@ -4,14 +4,21 @@
 
 #include "util/alloc_count.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
 namespace {
 thread_local std::uint64_t g_alloc_count = 0;
+std::atomic<std::uint64_t> g_alloc_count_all{0};
+
+void count_one() noexcept {
+  ++g_alloc_count;
+  g_alloc_count_all.fetch_add(1, std::memory_order_relaxed);
+}
 
 void* counted_alloc(std::size_t size) {
-  ++g_alloc_count;
+  count_one();
   if (size == 0) size = 1;
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
@@ -20,13 +27,16 @@ void* counted_alloc(std::size_t size) {
 
 namespace lynceus::util {
 std::uint64_t alloc_count() noexcept { return g_alloc_count; }
+std::uint64_t alloc_count_all_threads() noexcept {
+  return g_alloc_count_all.load(std::memory_order_relaxed);
+}
 bool alloc_count_available() noexcept { return true; }
 }  // namespace lynceus::util
 
 void* operator new(std::size_t size) { return counted_alloc(size); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
 void* operator new(std::size_t size, std::align_val_t align) {
-  ++g_alloc_count;
+  count_one();
   if (size == 0) size = 1;
   if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
                                    (size + static_cast<std::size_t>(align) -
@@ -49,11 +59,11 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_alloc_count;
+  count_one();
   return std::malloc(size == 0 ? 1 : size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_alloc_count;
+  count_one();
   return std::malloc(size == 0 ? 1 : size);
 }
 void operator delete(void* p) noexcept { std::free(p); }

@@ -18,6 +18,15 @@ namespace lynceus::util {
 /// since it started. Monotone; take deltas around the region of interest.
 [[nodiscard]] std::uint64_t alloc_count() noexcept;
 
+/// Number of heap allocations performed by the whole process (every
+/// thread) since it started. The branch-parallel zero-allocation
+/// assertions use this: work fanned out across a thread pool allocates —
+/// if at all — on the *worker* threads, which the calling thread's
+/// per-thread counter cannot see. Monotone; relaxed atomic, so a delta
+/// taken around a region that is quiescent at both ends (all pool workers
+/// idle) is exact.
+[[nodiscard]] std::uint64_t alloc_count_all_threads() noexcept;
+
 /// True when the counting operator new/delete replacements are linked into
 /// this binary.
 [[nodiscard]] bool alloc_count_available() noexcept;
@@ -31,6 +40,18 @@ class AllocCountGuard {
   AllocCountGuard() noexcept : start_(alloc_count()) {}
   [[nodiscard]] std::uint64_t delta() const noexcept {
     return alloc_count() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Process-wide variant of AllocCountGuard (see alloc_count_all_threads).
+class AllocCountAllThreadsGuard {
+ public:
+  AllocCountAllThreadsGuard() noexcept : start_(alloc_count_all_threads()) {}
+  [[nodiscard]] std::uint64_t delta() const noexcept {
+    return alloc_count_all_threads() - start_;
   }
 
  private:

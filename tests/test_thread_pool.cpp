@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "util/alloc_count.hpp"
 
 namespace lynceus::util {
 namespace {
@@ -55,6 +58,154 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     });
   }
   EXPECT_EQ(total.load(), 5 * 4950);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_ranges: the deterministic, allocation-free static partition the
+// branch-parallel lookahead engines fan out with.
+// ---------------------------------------------------------------------------
+
+struct RangeLog {
+  std::atomic<int> calls{0};
+  std::vector<std::atomic<int>> hits;
+  explicit RangeLog(std::size_t n) : hits(n) {}
+  static void body(void* ctx, std::size_t, std::size_t begin,
+                   std::size_t end) {
+    auto& log = *static_cast<RangeLog*>(ctx);
+    log.calls.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = begin; i < end; ++i) {
+      log.hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+TEST(ParallelRanges, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  ThreadPool::RangeSection section;
+  for (int round = 0; round < 20; ++round) {  // also: reusable section
+    RangeLog log(17);
+    pool.parallel_ranges(section, 17, 4, &RangeLog::body, &log);
+    for (std::size_t i = 0; i < 17; ++i) {
+      EXPECT_EQ(log.hits[i].load(), 1) << "round " << round << " i " << i;
+    }
+    EXPECT_LE(log.calls.load(), 4);
+    EXPECT_GE(log.calls.load(), 1);
+  }
+}
+
+TEST(ParallelRanges, PartitionIsStaticIndexArithmetic) {
+  // The (part -> range) map must be pure arithmetic on (n, parts) — the
+  // determinism contract callers reduce under. Record which part covered
+  // each index and check against p*n/parts boundaries.
+  ThreadPool pool(3);
+  ThreadPool::RangeSection section;
+  const std::size_t n = 11;
+  struct Cover {
+    std::array<std::atomic<int>, 11> part_of;
+  } cover;
+  for (auto& p : cover.part_of) p.store(-1);
+  pool.parallel_ranges(
+      section, n, 4,
+      [](void* ctx, std::size_t part, std::size_t begin, std::size_t end) {
+        auto& c = *static_cast<Cover*>(ctx);
+        for (std::size_t i = begin; i < end; ++i) {
+          c.part_of[i].store(static_cast<int>(part));
+        }
+      },
+      &cover);
+  const std::size_t parts = 4;  // min(max_parts, n, workers + 1)
+  for (std::size_t i = 0; i < n; ++i) {
+    const int expected_part = [&] {
+      for (std::size_t p = 0; p < parts; ++p) {
+        if (i >= p * n / parts && i < (p + 1) * n / parts) {
+          return static_cast<int>(p);
+        }
+      }
+      return -1;
+    }();
+    EXPECT_EQ(cover.part_of[i].load(), expected_part) << "index " << i;
+  }
+}
+
+TEST(ParallelRanges, WorkerlessPoolRunsInlineAsOnePart) {
+  ThreadPool pool(0);
+  ThreadPool::RangeSection section;
+  RangeLog log(8);
+  pool.parallel_ranges(section, 8, 4, &RangeLog::body, &log);
+  EXPECT_EQ(log.calls.load(), 1);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(log.hits[i].load(), 1);
+}
+
+TEST(ParallelRanges, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  ThreadPool::RangeSection section;
+  RangeLog log(1);
+  pool.parallel_ranges(section, 0, 4, &RangeLog::body, &log);
+  EXPECT_EQ(log.calls.load(), 0);
+}
+
+TEST(ParallelRanges, PropagatesException) {
+  ThreadPool pool(2);
+  ThreadPool::RangeSection section;
+  EXPECT_THROW(pool.parallel_ranges(
+                   section, 8, 3,
+                   [](void*, std::size_t part, std::size_t, std::size_t) {
+                     if (part == 1) throw std::runtime_error("boom");
+                   },
+                   nullptr),
+               std::runtime_error);
+  // The section must be reusable after a throwing run.
+  RangeLog log(8);
+  pool.parallel_ranges(section, 8, 3, &RangeLog::body, &log);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(log.hits[i].load(), 1);
+}
+
+TEST(ParallelRanges, NestsInsideParallelFor) {
+  // The engines call parallel_ranges from inside pool tasks (root fan-out
+  // via parallel_for, branch fan-out via sections, same pool). Distinct
+  // concurrent sections must compose without deadlock.
+  ThreadPool pool(3);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 16;
+  std::vector<ThreadPool::RangeSection> sections(kOuter);
+  std::vector<std::atomic<int>> total(kOuter);
+  struct Inner {
+    std::atomic<int>* slot;
+  };
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    Inner in{&total[o]};
+    pool.parallel_ranges(
+        sections[o], kInner, 4,
+        [](void* ctx, std::size_t, std::size_t begin, std::size_t end) {
+          static_cast<Inner*>(ctx)->slot->fetch_add(
+              static_cast<int>(end - begin), std::memory_order_relaxed);
+        },
+        &in);
+  });
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(total[o].load(), static_cast<int>(kInner)) << "outer " << o;
+  }
+}
+
+TEST(ParallelRanges, AllocationFree) {
+  if (!alloc_count_available()) {
+    GTEST_SKIP() << "allocation-counting hooks not linked";
+  }
+  ThreadPool pool(2);
+  ThreadPool::RangeSection section;
+  RangeLog warm(64);
+  // One warm-up round lets the pool threads finish any lazy one-time
+  // initialization of their own.
+  pool.parallel_ranges(section, 64, 3, &RangeLog::body, &warm);
+  // Measure the dispatch alone with a no-op body and no per-round state.
+  AllocCountAllThreadsGuard dispatch_guard;
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_ranges(
+        section, 64, 3, [](void*, std::size_t, std::size_t, std::size_t) {},
+        nullptr);
+  }
+  EXPECT_EQ(dispatch_guard.delta(), 0U)
+      << "parallel_ranges touched the heap";
 }
 
 TEST(DefaultWorkerCount, SizingRuleCoversTheSingleCoreEdge) {

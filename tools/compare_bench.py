@@ -50,13 +50,31 @@ def load_entries(summary):
         key = f"mc/{e['space']}/la{e['la']}"
         entries[key] = e["engine_p50_ms"]
     for e in summary.get("incremental_refit", []):
-        key = f"inc/{e['space']}/la{e['la']}"
+        # Multi-constraint incremental cases carry a "constraints" key; the
+        # single-constraint cases predate it and stay on the short key so
+        # old baselines keep comparing.
+        if "constraints" in e:
+            key = f"inc/mc/{e['space']}/c{e['constraints']}/la{e['la']}"
+        else:
+            key = f"inc/{e['space']}/la{e['la']}"
         entries[key] = e["p50_ms"]
     for e in summary.get("pooled_decision", []):
         # The worker count is part of the key: a 7-worker baseline p50 and
         # a 3-worker run are different configurations, not a regression —
         # mismatched counts fall into the "only in one file" skip.
         key = f"pooled/{e['space']}/la{e['la']}/w{e.get('workers', 0)}"
+        if e.get("workers", 0) == 0:
+            notes.append(f"{key} skipped (workers == 0: inline pool, "
+                         "no scaling to gate)")
+            continue
+        entries[key] = e["p50_ms"]
+    for e in summary.get("decision_scaling", []):
+        # Same rules as pooled_decision: the worker count is part of the
+        # key (so a 1-core baseline and a multi-core CI run only compare
+        # the worker counts both actually measured), and workers == 0 is
+        # the inline serial reference — nothing to gate.
+        key = (f"scaling/{e['space']}/la{e['la']}/{e.get('mode', 'roots')}"
+               f"/w{e.get('workers', 0)}")
         if e.get("workers", 0) == 0:
             notes.append(f"{key} skipped (workers == 0: inline pool, "
                          "no scaling to gate)")

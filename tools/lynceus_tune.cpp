@@ -20,6 +20,10 @@
 ///   --incremental  Lynceus incremental ensemble refit (faster lookahead
 ///               decisions, see core/lookahead.hpp; also enabled by
 ///               LYNCEUS_INCREMENTAL_REFIT=1)
+///   --branch-parallel  also parallelize *inside* each root simulation
+///               (trajectory-neutral; see the pooled-determinism contract
+///               in core/lookahead.hpp; also enabled by
+///               LYNCEUS_BRANCH_PARALLEL=1)
 ///   --trace     print the per-decision table
 ///   --list      list the suite's jobs and exit
 
@@ -68,15 +72,18 @@ const cloud::Dataset& pick_job(const std::vector<cloud::Dataset>& all,
 std::unique_ptr<core::Optimizer> make_optimizer(const std::string& name,
                                                 unsigned la, unsigned screen,
                                                 bool incremental,
+                                                bool branch_parallel,
                                                 core::OptimizerObserver* obs,
                                                 util::ThreadPool* pool) {
   if (name == "lynceus") {
     core::LynceusOptions opts;
     opts.lookahead = la;
     opts.screen_width = screen;
-    // env default (LYNCEUS_INCREMENTAL_REFIT) already applied; the CLI
-    // flag can only turn the feature on, never off.
+    // env defaults (LYNCEUS_INCREMENTAL_REFIT / LYNCEUS_BRANCH_PARALLEL)
+    // already applied; the CLI flags can only turn the features on, never
+    // off.
     opts.incremental_refit = opts.incremental_refit || incremental;
+    opts.branch_parallel = opts.branch_parallel || branch_parallel;
     opts.observer = obs;
     opts.pool = pool;
     return std::make_unique<core::LynceusOptimizer>(opts);
@@ -99,8 +106,8 @@ std::unique_ptr<core::Optimizer> make_optimizer(const std::string& name,
 int run(int argc, char** argv) {
   const util::CliFlags flags(argc, argv,
                              {"suite", "job", "optimizer", "la", "screen",
-                              "b", "seed", "dataset", "incremental", "trace",
-                              "list"});
+                              "b", "seed", "dataset", "incremental",
+                              "branch-parallel", "trace", "list"});
 
   const auto all = suite_datasets(flags.get_string("suite", "tf"));
   if (flags.get_bool("list", false)) {
@@ -134,6 +141,7 @@ int run(int argc, char** argv) {
       static_cast<unsigned>(flags.get_int("la", 2)),
       static_cast<unsigned>(flags.get_int("screen", 24)),
       flags.get_bool("incremental", false),
+      flags.get_bool("branch-parallel", false),
       want_trace ? &trace : nullptr, &pool);
 
   std::printf("job %s | %zu configs | Tmax %.1f s | budget $%.4f | %s\n",

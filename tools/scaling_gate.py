@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Decision-scaling recorder + gate over bench_micro's decision_scaling
+section (the CI `scaling` job's check).
+
+Renders the measured curve as a Markdown table (stdout and, when
+GITHUB_STEP_SUMMARY is set, the job summary) and enforces the scaling bar:
+TF-CNN LA=2 branch-parallel decisions (mode `roots+branch`) at the
+runner's maximum measured worker count must reach `--min-speedup`
+(default 1.5x) p50 speedup over the same mode at workers=1. Runners whose
+maximum is below 2 workers cannot measure scaling and pass with a skip
+note — the 1-core dev box records w in {0, 1} only.
+
+Usage: scaling_gate.py BENCH_JSON [--min-speedup=1.5]
+                       [--space=tensorflow_cnn] [--la=2]
+                       [--mode=roots+branch]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def render_table(entries):
+    lines = [
+        "## decision_scaling (multi-core CI runner)",
+        "",
+        "| space | la | mode | workers | p50 (ms) | speedup vs w1 |",
+        "|---|---|---|---|---|---|",
+    ]
+    for e in entries:
+        speedup = e.get("speedup_vs_w1", 0.0)
+        lines.append(
+            f"| {e['space']} | {e['la']} | {e['mode']} | {e['workers']} | "
+            f"{e['p50_ms']:.3f} | "
+            + (f"{speedup:.2f}x |" if speedup else "— |"))
+    return "\n".join(lines)
+
+
+def gate(entries, space, la, mode, min_speedup, out=print):
+    """Returns 0 (pass/skip) or 1 (scaling below the bar / no data)."""
+    curve = [e for e in entries
+             if e["space"] == space and e["la"] == la and e["mode"] == mode]
+    if not curve:
+        out(f"scaling_gate: no entries for {space}/la{la}/{mode}")
+        return 1
+    max_w = max(e["workers"] for e in curve)
+    if max_w < 2:
+        out(f"scaling_gate: runner has max {max_w} pool workers; "
+            "gate skipped (scaling needs >= 2)")
+        return 0
+    top = next(e for e in curve if e["workers"] == max_w)
+    speedup = top.get("speedup_vs_w1", 0.0)
+    out(f"scaling_gate: {space} la{la} {mode} w{max_w}: "
+        f"{speedup:.2f}x vs w1 (bar {min_speedup:.2f}x)")
+    if speedup < min_speedup:
+        out(f"scaling_gate: FAIL — branch-parallel scaling below the bar")
+        return 1
+    out("scaling_gate: passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--min-speedup", type=float, default=1.5)
+    ap.add_argument("--space", default="tensorflow_cnn")
+    ap.add_argument("--la", type=int, default=2)
+    ap.add_argument("--mode", default="roots+branch")
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        summary = json.load(f)
+    entries = summary.get("decision_scaling", [])
+    if not entries:
+        print(f"scaling_gate: {args.bench_json} has no decision_scaling "
+              "section")
+        return 1
+
+    report = render_table(entries)
+    print(report)
+    step = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step:
+        with open(step, "a") as f:
+            f.write(report + "\n")
+
+    return gate(entries, args.space, args.la, args.mode, args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Smoke tests for the perf-regression gate itself (tools/compare_bench.py).
+
+The gate guards every CI run; a regression in its gate/skip/warn logic
+would silently disable perf protection, so it is regression-tested here.
+Run under ctest as `python3 -m unittest test_compare_bench` from tools/
+(registered in the top-level CMakeLists.txt), or standalone the same way.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+from unittest import mock
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_bench  # noqa: E402
+
+
+def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None):
+    """Builds a minimal BENCH_micro.json-shaped dict."""
+    out = {"bench": "micro_decision", "unit": "ms"}
+    out["spaces"] = [
+        {
+            "space": space,
+            "lookahead": [{"la": la, "p50_ms": p50}
+                          for (la, p50) in entries],
+        }
+        for space, entries in (spaces_p50 or {}).items()
+    ]
+    out["multi_constraint"] = mc or []
+    out["incremental_refit"] = inc or []
+    out["pooled_decision"] = pooled or []
+    out["decision_scaling"] = scaling or []
+    return out
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        # The gate appends to GITHUB_STEP_SUMMARY when set; keep the test
+        # hermetic.
+        self.env = mock.patch.dict(os.environ, {}, clear=False)
+        self.env.start()
+        self.addCleanup(self.env.stop)
+        os.environ.pop("GITHUB_STEP_SUMMARY", None)
+        os.environ.pop("BENCH_GATE_MODE", None)
+
+    def run_gate(self, baseline, new, extra_args=()):
+        base_path = os.path.join(self.tmp.name, "base.json")
+        new_path = os.path.join(self.tmp.name, "new.json")
+        with open(base_path, "w") as f:
+            json.dump(baseline, f)
+        with open(new_path, "w") as f:
+            json.dump(new, f)
+        argv = ["compare_bench.py", f"--baseline={base_path}",
+                f"--new={new_path}", *extra_args]
+        with mock.patch.object(sys, "argv", argv):
+            return compare_bench.main()
+
+    def test_identical_summaries_pass(self):
+        s = summary(spaces_p50={"tf": [(0, 2.0), (1, 5.0)]})
+        self.assertEqual(self.run_gate(s, s), 0)
+
+    def test_uniform_slowdown_is_machine_speed_not_regression(self):
+        base = summary(spaces_p50={"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]})
+        new = summary(spaces_p50={"tf": [(0, 6.0), (1, 15.0), (2, 60.0)]})
+        self.assertEqual(self.run_gate(base, new), 0)
+
+    def test_single_entry_regression_fails(self):
+        base = summary(spaces_p50={"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]})
+        new = summary(spaces_p50={"tf": [(0, 2.0), (1, 5.0), (2, 40.0)]})
+        self.assertEqual(self.run_gate(base, new), 1)
+
+    def test_warn_mode_reports_without_failing(self):
+        base = summary(spaces_p50={"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]})
+        new = summary(spaces_p50={"tf": [(0, 2.0), (1, 5.0), (2, 40.0)]})
+        self.assertEqual(self.run_gate(base, new, ["--mode=warn"]), 0)
+
+    def test_sub_noise_floor_regression_only_warns(self):
+        # The regressed entry's *baseline* sits under the 1 ms noise floor.
+        base = summary(spaces_p50={"tf": [(0, 0.05), (1, 5.0), (2, 20.0)]})
+        new = summary(spaces_p50={"tf": [(0, 0.5), (1, 5.0), (2, 20.0)]})
+        self.assertEqual(self.run_gate(base, new), 0)
+
+    def test_section_only_in_one_file_is_skipped(self):
+        base = summary(spaces_p50={"tf": [(1, 5.0), (2, 20.0)]})
+        new = summary(
+            spaces_p50={"tf": [(1, 5.0), (2, 20.0)]},
+            inc=[{"space": "tf", "la": 1, "p50_ms": 999.0}])
+        self.assertEqual(self.run_gate(base, new), 0)
+
+    def test_zero_worker_pooled_entries_are_skipped_not_gated(self):
+        # A workers==0 entry measures an inline pool (1-core host); even a
+        # wild difference must not trip the gate.
+        base = summary(
+            spaces_p50={"tf": [(1, 5.0), (2, 20.0)]},
+            pooled=[{"space": "tf", "la": 2, "workers": 0, "p50_ms": 1.0}])
+        new = summary(
+            spaces_p50={"tf": [(1, 5.0), (2, 20.0)]},
+            pooled=[{"space": "tf", "la": 2, "workers": 0, "p50_ms": 500.0}])
+        self.assertEqual(self.run_gate(base, new), 0)
+
+    def test_zero_worker_scaling_entries_are_skipped_not_gated(self):
+        base = summary(
+            spaces_p50={"tf": [(1, 5.0), (2, 20.0)]},
+            scaling=[{"space": "tf", "la": 2, "mode": "roots+branch",
+                      "workers": 0, "p50_ms": 1.0}])
+        new = summary(
+            spaces_p50={"tf": [(1, 5.0), (2, 20.0)]},
+            scaling=[{"space": "tf", "la": 2, "mode": "roots+branch",
+                      "workers": 0, "p50_ms": 500.0}])
+        self.assertEqual(self.run_gate(base, new), 0)
+
+    def test_nonzero_worker_scaling_regression_fails(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}
+        base = summary(
+            spaces_p50=entries,
+            scaling=[{"space": "tf", "la": 2, "mode": "branch",
+                      "workers": 1, "p50_ms": 10.0}])
+        new = summary(
+            spaces_p50=entries,
+            scaling=[{"space": "tf", "la": 2, "mode": "branch",
+                      "workers": 1, "p50_ms": 30.0}])
+        self.assertEqual(self.run_gate(base, new), 1)
+
+    def test_mismatched_worker_counts_skip_instead_of_comparing(self):
+        # 1-core dev-box baseline (w1) vs multi-core CI run (w3): no common
+        # scaling key, so nothing is gated and nothing fails.
+        entries = {"tf": [(1, 5.0), (2, 20.0)]}
+        base = summary(
+            spaces_p50=entries,
+            scaling=[{"space": "tf", "la": 2, "mode": "branch",
+                      "workers": 1, "p50_ms": 25.0}])
+        new = summary(
+            spaces_p50=entries,
+            scaling=[{"space": "tf", "la": 2, "mode": "branch",
+                      "workers": 3, "p50_ms": 9.0}])
+        self.assertEqual(self.run_gate(base, new), 0)
+
+    def test_mc_incremental_cases_key_on_constraint_count(self):
+        # Same space/la with different constraint counts must be distinct
+        # gate entries (the "constraints" key tells them apart), and a
+        # regression in one of them must still fail the gate.
+        entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}
+        inc_base = [
+            {"space": "scout_0", "la": 1, "p50_ms": 3.0},
+            {"space": "scout_0", "constraints": 1, "la": 1, "p50_ms": 8.0},
+            {"space": "scout_0", "constraints": 2, "la": 1, "p50_ms": 30.0},
+        ]
+        base = summary(spaces_p50=entries, inc=inc_base)
+        flat, notes = compare_bench.load_entries(base)
+        self.assertIn("inc/scout_0/la1", flat)
+        self.assertIn("inc/mc/scout_0/c1/la1", flat)
+        self.assertIn("inc/mc/scout_0/c2/la1", flat)
+        self.assertEqual(notes, [])
+
+        inc_new = [dict(e) for e in inc_base]
+        inc_new[2] = dict(inc_new[2], p50_ms=90.0)
+        new = summary(spaces_p50=entries, inc=inc_new)
+        self.assertEqual(self.run_gate(base, new), 1)
+
+    def test_no_common_entries_is_a_pass(self):
+        base = summary(spaces_p50={"tf": [(0, 2.0)]})
+        new = summary(spaces_p50={"scout": [(0, 2.0)]})
+        self.assertEqual(self.run_gate(base, new), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Smoke tests for the CI decision-scaling gate (tools/scaling_gate.py) —
+same rationale as test_compare_bench.py: the gate protects every CI run,
+so its pass / fail / skip logic must itself be regression-tested (a typo
+in the mode filter, for instance, would otherwise silently turn the gate
+into a no-op forever)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+from unittest import mock
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import scaling_gate  # noqa: E402
+
+
+def entry(workers, p50, speedup=0.0, space="tensorflow_cnn", la=2,
+          mode="roots+branch"):
+    return {"space": space, "la": la, "mode": mode, "workers": workers,
+            "p50_ms": p50, "speedup_vs_w1": speedup}
+
+
+class ScalingGateTest(unittest.TestCase):
+    def setUp(self):
+        os.environ.pop("GITHUB_STEP_SUMMARY", None)
+
+    def run_main(self, summary, extra_args=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bench.json")
+            with open(path, "w") as f:
+                json.dump(summary, f)
+            argv = ["scaling_gate.py", path, *extra_args]
+            with mock.patch.object(sys, "argv", argv):
+                return scaling_gate.main()
+
+    def test_passes_at_or_above_bar(self):
+        entries = [entry(1, 20.0), entry(3, 10.0, speedup=2.0)]
+        self.assertEqual(self.run_main({"decision_scaling": entries}), 0)
+
+    def test_fails_below_bar(self):
+        entries = [entry(1, 20.0), entry(3, 16.0, speedup=1.25)]
+        self.assertEqual(self.run_main({"decision_scaling": entries}), 1)
+
+    def test_custom_bar(self):
+        entries = [entry(1, 20.0), entry(3, 16.0, speedup=1.25)]
+        self.assertEqual(
+            self.run_main({"decision_scaling": entries},
+                          ["--min-speedup=1.2"]), 0)
+
+    def test_skips_on_single_worker_runner(self):
+        # 1-core dev box shape: only w0/w1 measured, no scaling to judge.
+        entries = [entry(0, 20.0), entry(1, 21.0)]
+        self.assertEqual(self.run_main({"decision_scaling": entries}), 0)
+
+    def test_fails_when_gated_curve_is_missing(self):
+        # Entries exist but none match the gated (space, la, mode): this
+        # must be a FAILURE, not a skip — a renamed mode string would
+        # otherwise disable the gate silently.
+        entries = [entry(3, 10.0, speedup=2.0, mode="roots")]
+        self.assertEqual(self.run_main({"decision_scaling": entries}), 1)
+
+    def test_fails_without_section(self):
+        self.assertEqual(self.run_main({"decision_scaling": []}), 1)
+
+    def test_other_modes_do_not_satisfy_the_gate(self):
+        # A healthy "roots" curve must not mask a missing/broken
+        # "roots+branch" curve.
+        entries = [entry(1, 20.0, mode="roots"),
+                   entry(3, 8.0, speedup=2.5, mode="roots")]
+        self.assertEqual(self.run_main({"decision_scaling": entries}), 1)
+
+    def test_writes_step_summary_when_requested(self):
+        entries = [entry(1, 20.0), entry(3, 10.0, speedup=2.0)]
+        with tempfile.TemporaryDirectory() as tmp:
+            step = os.path.join(tmp, "summary.md")
+            with mock.patch.dict(os.environ,
+                                 {"GITHUB_STEP_SUMMARY": step}):
+                self.assertEqual(
+                    self.run_main({"decision_scaling": entries}), 0)
+            with open(step) as f:
+                text = f.read()
+        self.assertIn("decision_scaling", text)
+        self.assertIn("roots+branch", text)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -8,7 +8,7 @@
 /// build-mode-dependent trajectory (uninitialized read, FP contraction,
 /// UB) and fails the pipeline.
 ///
-///   trajectory_dump [--out=PATH] [--incremental]   # default: stdout only
+///   trajectory_dump [--out=PATH] [--incremental] [--branch-parallel]
 ///
 /// `--incremental` (or the LYNCEUS_INCREMENTAL_REFIT=1 environment toggle)
 /// runs every case with Options::incremental_refit on. Those trajectories
@@ -16,9 +16,20 @@
 /// are expected to differ from the flag-off golden ones — CI runs both
 /// variants and uploads their diff as the incremental-vs-scratch artifact,
 /// while the cross-build determinism check diffs like against like.
+///
+/// `--branch-parallel` (or LYNCEUS_BRANCH_PARALLEL=1) runs every case with
+/// a thread pool, root fan-out *and* intra-root branch parallelism
+/// enabled. Unlike `--incremental` this must NOT change the output: the
+/// pooled-determinism contract (core/lookahead.hpp) pins pooled
+/// trajectories byte-identical to serial ones, and CI diffs the
+/// branch-parallel dump against the serial dump of the same build as a
+/// hard check. The header line deliberately omits the flag so the files
+/// compare equal.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +40,7 @@
 #include "eval/experiment.hpp"
 #include "eval/runner.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -71,10 +83,21 @@ void print_case(std::ostringstream& out, const std::string& name,
 int main(int argc, char** argv) {
   std::string out_path;
   bool incremental = lynceus::util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
+  bool branch_parallel = lynceus::util::env_flag("LYNCEUS_BRANCH_PARALLEL");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
     if (arg == "--incremental") incremental = true;
+    if (arg == "--branch-parallel") branch_parallel = true;
+  }
+
+  // Branch-parallel mode exercises root fan-out *and* intra-root branch
+  // parallelism on a real pool (at least 2 workers even on 1-core hosts,
+  // where default_worker_count() is 0 — oversubscription is fine for a
+  // determinism dump; what matters is that the pooled code path runs).
+  std::optional<util::ThreadPool> pool;
+  if (branch_parallel) {
+    pool.emplace(std::max<std::size_t>(util::default_worker_count(), 2));
   }
 
   std::ostringstream out;
@@ -90,6 +113,8 @@ int main(int argc, char** argv) {
     opts.lookahead = la;
     opts.screen_width = 24;
     opts.incremental_refit = incremental;
+    opts.pool = pool ? &*pool : nullptr;
+    opts.branch_parallel = branch_parallel;
     core::LynceusOptimizer lyn(opts);
     eval::TableRunner runner(scout);
     const auto r = lyn.optimize(eval::make_problem(scout, 3.0), runner, 1);
@@ -100,6 +125,8 @@ int main(int argc, char** argv) {
     opts.lookahead = 1;
     opts.screen_width = 24;
     opts.incremental_refit = incremental;
+    opts.pool = pool ? &*pool : nullptr;
+    opts.branch_parallel = branch_parallel;
     core::LynceusOptimizer lyn(opts);
     eval::TableRunner runner(tf);
     const auto r = lyn.optimize(eval::make_problem(tf, 2.0), runner, 3);
@@ -127,6 +154,8 @@ int main(int argc, char** argv) {
     core::MultiConstraintOptions opts;
     opts.lookahead = 1;
     opts.incremental_refit = incremental;
+    opts.pool = pool ? &*pool : nullptr;
+    opts.branch_parallel = branch_parallel;
     core::MultiConstraintLynceus lyn({c}, opts);
     eval::TableRunner runner(scout, [&](space::ConfigId id) {
       return std::vector<double>{energy_of(id)};
