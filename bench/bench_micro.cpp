@@ -36,6 +36,7 @@
 #include "math/lhs.hpp"
 #include "model/bagging.hpp"
 #include "model/gp.hpp"
+#include "service/tuning_service.hpp"
 #include "util/alloc_count.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -694,6 +695,75 @@ double measure_scaling_decision(int space_idx, unsigned la, std::size_t reps,
   return percentile(ms, 0.50);
 }
 
+/// TuningService throughput: N concurrent Lynceus sessions of one
+/// recurrent job (same seed — the warm-start scenario the shared RootCache
+/// exists for) drained end-to-end against the simulated-async replay
+/// runner. Reports decision throughput: total decisions across all
+/// sessions over the wall-clock of the whole drain, with the root cache
+/// shared across sessions or per-session. Per-session trajectories are
+/// bit-identical in every mode (ask/tell + cache determinism contracts),
+/// so the numbers compare directly.
+struct SessionThroughputStats {
+  std::size_t decisions = 0;   ///< per drain, summed over sessions
+  double ms_per_decision = 0.0;  ///< median over reps
+  double decisions_per_sec = 0.0;
+};
+
+SessionThroughputStats measure_session_throughput(std::size_t sessions,
+                                                  bool shared_cache,
+                                                  std::size_t reps) {
+  const auto ds = decision_dataset(1);  // Scout: realistic small job
+  const auto problem = eval::make_problem(ds, 3.0);
+  core::LynceusOptions opts;
+  opts.lookahead = 1;
+  opts.screen_width = 24;
+  opts.incremental_refit = false;
+
+  std::vector<double> ms_per_decision;
+  std::size_t decisions = 0;
+  for (std::size_t rep = 0; rep <= reps; ++rep) {  // rep 0 = warm-up
+    service::TuningService::Options sopts;
+    sopts.root_cache_capacity = shared_cache ? 16 : 0;
+    // Per-session caches in the unshared mode: every session still gets
+    // root-cache machinery, just no cross-session reuse. Declared before
+    // the service so the caches outlive the steppers pointing at them
+    // (the make_stepper lifetime contract).
+    std::vector<std::unique_ptr<core::RootCache>> own_caches;
+    service::TuningService svc(sopts);
+    std::vector<service::SessionId> ids;
+    for (std::size_t s = 0; s < sessions; ++s) {
+      core::LynceusOptions per = opts;
+      if (!shared_cache) {
+        core::RootCache::Options copts;
+        copts.capacity = 16;
+        own_caches.push_back(std::make_unique<core::RootCache>(copts));
+        per.root_cache = own_caches.back().get();
+        ids.push_back(
+            svc.open(core::LynceusOptimizer(per).make_stepper(problem, 5)));
+      } else {
+        ids.push_back(svc.open_lynceus(problem, per, 5));
+      }
+    }
+    eval::AsyncTableRunner async(ds);
+    const auto t0 = std::chrono::steady_clock::now();
+    service::drain(svc, async);
+    const auto t1 = std::chrono::steady_clock::now();
+    decisions = 0;
+    for (const auto id : ids) decisions += svc.result(id).decisions;
+    if (rep == 0) continue;
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ms_per_decision.push_back(ms / static_cast<double>(decisions));
+  }
+  std::sort(ms_per_decision.begin(), ms_per_decision.end());
+  SessionThroughputStats out;
+  out.decisions = decisions;
+  out.ms_per_decision = percentile(ms_per_decision, 0.50);
+  out.decisions_per_sec =
+      out.ms_per_decision > 0.0 ? 1000.0 / out.ms_per_decision : 0.0;
+  return out;
+}
+
 /// Writes the decision-time summary. `sections` selects which measurement
 /// sections to run and emit (empty = all): the CI scaling leg passes
 /// `decision_scaling` alone so it does not pay for minutes of unrelated
@@ -854,6 +924,30 @@ bool write_json_summary(const std::string& path,
   w.end_array();
   }
 
+  // TuningService decision throughput at 1/8/64 concurrent sessions of a
+  // recurrent job, shared vs per-session root cache (see
+  // measure_session_throughput).
+  if (want("session_throughput")) {
+  w.key("session_throughput").begin_array();
+  for (const std::size_t sessions : {std::size_t{1}, std::size_t{8},
+                                     std::size_t{64}}) {
+    for (const bool shared : {true, false}) {
+      const std::size_t reps = sessions >= 64 ? 2 : 4;
+      const auto s = measure_session_throughput(sessions, shared, reps);
+      w.begin_object();
+      w.key("space").value(decision_space_name(1));
+      w.key("optimizer").value("lynceus_la1");
+      w.key("sessions").value(static_cast<std::uint64_t>(sessions));
+      w.key("cache").value(shared ? "shared" : "per-session");
+      w.key("decisions").value(static_cast<std::uint64_t>(s.decisions));
+      w.key("ms_per_decision").value(s.ms_per_decision);
+      w.key("decisions_per_sec").value(s.decisions_per_sec);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  }
+
   // Multi-core decision scaling (ROADMAP "Multi-core decision scaling
   // numbers"): the same LA=2 decision at workers in {0, 1, nproc-1}
   // (deduplicated), fanned out across roots only, inside each root only
@@ -927,7 +1021,8 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_micro.json";
   // --sections=a,b,c restricts the JSON summary to the named sections
   // (spaces, multi_constraint, incremental_refit, cached_decision,
-  // pooled_decision, decision_scaling); empty / absent = all.
+  // pooled_decision, session_throughput, decision_scaling); empty /
+  // absent = all.
   std::set<std::string> sections;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {

@@ -19,45 +19,50 @@ model::ModelFactory default_tree_model_factory(
 BayesianOptimizer::BayesianOptimizer(BoOptions options)
     : options_(std::move(options)) {}
 
-OptimizerResult BayesianOptimizer::optimize(
-    const OptimizationProblem& problem, JobRunner& runner,
-    std::uint64_t seed) {
-  LoopState st(problem, runner, seed);
-  DecisionTimer timer;
-  st.bootstrap();
-  if (options_.observer != nullptr) {
-    for (const auto& s : st.samples) options_.observer->on_bootstrap(s);
-  }
+namespace {
 
-  model::ModelFactory factory =
-      options_.model_factory
-          ? options_.model_factory
-          : default_tree_model_factory(*problem.space);
-  auto model = factory();
-  const model::FeatureMatrix fm(*problem.space);
+/// The greedy BO loop as an ask/tell state machine (see core/stepper.hpp);
+/// bit-identical to the pre-ask/tell closed loop. The snapshot embeds the
+/// fitted cost model (Regressor::save_fit) when the model supports it —
+/// not needed for trajectory identity (every decision refits
+/// deterministically) but it restores the in-memory state exactly.
+class BoStepper final : public OptimizerStepper {
+ public:
+  BoStepper(const BoOptions& options, const OptimizationProblem& problem,
+            std::uint64_t seed)
+      : OptimizerStepper(problem, seed, options.observer),
+        options_(options),
+        seed_(seed),
+        model_(options_.model_factory
+                   ? options_.model_factory()
+                   : default_tree_model_factory(*problem.space)()),
+        fm_(*problem.space) {}
 
-  std::vector<std::uint32_t> rows;
-  std::vector<double> y;
-  std::vector<model::Prediction> preds;
-  std::uint64_t fit_counter = 0;
+  [[nodiscard]] std::string name() const override { return "BO"; }
 
-  while (!st.budget.exhausted() && !st.untested.empty()) {
-    timer.start();
-    rows.clear();
-    y.clear();
-    for (const auto& s : st.samples) {
-      rows.push_back(s.id);
-      y.push_back(s.cost);
+ protected:
+  std::optional<ConfigId> decide(std::string& stop_reason) override {
+    if (st_.budget.exhausted() || st_.untested.empty()) {
+      stop_reason = st_.untested.empty() ? "search space exhausted"
+                                         : "budget depleted";
+      return std::nullopt;
     }
-    model->fit(fm, rows, y, util::derive_seed(seed, ++fit_counter));
-    model->predict_all(fm, preds);
+    timer_.start();
+    rows_.clear();
+    y_.clear();
+    for (const auto& s : st_.samples) {
+      rows_.push_back(s.id);
+      y_.push_back(s.cost);
+    }
+    model_->fit(fm_, rows_, y_, util::derive_seed(seed_, ++fit_counter_));
+    model_->predict_all(fm_, preds_);
 
-    const double y_star = incumbent_cost(st.samples, preds, st.untested);
+    const double y_star = incumbent_cost(st_.samples, preds_, st_.untested);
     double best_acq = -std::numeric_limits<double>::infinity();
-    ConfigId best_id = st.untested.front();
-    for (ConfigId id : st.untested) {
-      const double acq =
-          constrained_ei(y_star, preds[id], problem.feasibility_cost_cap(id));
+    ConfigId best_id = st_.untested.front();
+    for (ConfigId id : st_.untested) {
+      const double acq = constrained_ei(
+          y_star, preds_[id], st_.problem->feasibility_cost_cap(id));
       if (acq > best_acq) {
         best_acq = acq;
         best_id = id;
@@ -65,39 +70,64 @@ OptimizerResult BayesianOptimizer::optimize(
     }
     if (options_.ei_stop_fraction > 0.0 &&
         best_acq < options_.ei_stop_fraction * y_star) {
-      timer.discard();
-      if (options_.observer != nullptr) {
-        options_.observer->on_stop("expected improvement below threshold");
-      }
-      break;  // expected improvement everywhere marginal
+      timer_.discard();
+      stop_reason = "expected improvement below threshold";
+      return std::nullopt;  // expected improvement everywhere marginal
     }
-    timer.stop();
+    timer_.stop();
 
-    if (options_.observer != nullptr) {
+    if (observer_ != nullptr) {
       DecisionEvent event;
-      event.iteration = static_cast<std::size_t>(fit_counter);
-      event.viable_count = st.untested.size();  // BO has no budget filter
+      event.iteration = static_cast<std::size_t>(fit_counter_);
+      event.viable_count = st_.untested.size();  // BO has no budget filter
       event.chosen = best_id;
-      event.predicted_cost = preds[best_id].mean;
+      event.predicted_cost = preds_[best_id].mean;
       event.incumbent = y_star;
-      event.remaining_budget = st.budget.remaining();
+      event.remaining_budget = st_.budget.remaining();
       event.best_ratio = best_acq;
-      options_.observer->on_decision(event);
+      observer_->on_decision(event);
     }
-    const Sample& ran = st.profile(best_id);
-    if (options_.observer != nullptr) options_.observer->on_run(ran);
+    return best_id;
   }
 
-  if (options_.observer != nullptr) {
-    if (st.untested.empty()) {
-      options_.observer->on_stop("search space exhausted");
-    } else if (st.budget.exhausted()) {
-      options_.observer->on_stop("budget depleted");
+  void save_extra(util::JsonWriter& w) const override {
+    w.key("fit_counter").value(fit_counter_);
+    if (fit_counter_ > 0) {
+      w.key("model");
+      if (!model_->save_fit(w)) w.null();
     }
   }
-  OptimizerResult out = st.finalize();
-  timer.write_to(out);
-  return out;
+  void load_extra(const util::JsonValue& extra) override {
+    fit_counter_ = extra.at("fit_counter").as_uint();
+    const util::JsonValue* model = extra.find("model");
+    if (model != nullptr && !model->is_null()) {
+      (void)model_->load_fit(*model);
+    }
+  }
+
+ private:
+  const BoOptions options_;
+  const std::uint64_t seed_;
+  std::unique_ptr<model::Regressor> model_;
+  const model::FeatureMatrix fm_;
+  std::uint64_t fit_counter_ = 0;
+  std::vector<std::uint32_t> rows_;
+  std::vector<double> y_;
+  std::vector<model::Prediction> preds_;
+};
+
+}  // namespace
+
+std::unique_ptr<OptimizerStepper> BayesianOptimizer::make_stepper(
+    const OptimizationProblem& problem, std::uint64_t seed) const {
+  return std::make_unique<BoStepper>(options_, problem, seed);
+}
+
+OptimizerResult BayesianOptimizer::optimize(
+    const OptimizationProblem& problem, JobRunner& runner,
+    std::uint64_t seed) {
+  auto stepper = make_stepper(problem, seed);
+  return drive(*stepper, runner);
 }
 
 }  // namespace lynceus::core

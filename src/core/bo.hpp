@@ -10,6 +10,9 @@
 /// profiling run itself will be) and short-sighted (no lookahead); it stops
 /// when the budget is depleted, possibly overshooting on its last run.
 
+#include <memory>
+
+#include "core/stepper.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "model/bagging.hpp"
@@ -41,9 +44,17 @@ class BayesianOptimizer final : public Optimizer {
  public:
   explicit BayesianOptimizer(BoOptions options = {});
 
+  /// Thin drive loop over make_stepper() — bit-identical to the classic
+  /// closed-loop implementation (see core/stepper.hpp).
   [[nodiscard]] OptimizerResult optimize(const OptimizationProblem& problem,
                                          JobRunner& runner,
                                          std::uint64_t seed) override;
+
+  /// The ask/tell form of one BO run (see core/stepper.hpp). `problem`
+  /// must outlive the stepper. The BO stepper's snapshot embeds the
+  /// fitted cost model via Regressor::save_fit when the model supports it.
+  [[nodiscard]] std::unique_ptr<OptimizerStepper> make_stepper(
+      const OptimizationProblem& problem, std::uint64_t seed) const override;
 
   [[nodiscard]] std::string name() const override { return "BO"; }
 

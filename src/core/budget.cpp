@@ -15,4 +15,11 @@ void Budget::spend(double cost) {
   spent_ += cost;
 }
 
+void Budget::set_spent(double spent) {
+  if (spent < 0.0) {
+    throw std::invalid_argument("Budget::set_spent: spend must be non-negative");
+  }
+  spent_ = spent;
+}
+
 }  // namespace lynceus::core

@@ -25,6 +25,11 @@ class Budget {
   /// Records a run's cost. `cost >= 0`.
   void spend(double cost);
 
+  /// Restores an accumulated spend verbatim (tuning-session
+  /// snapshot/restore, see core/stepper.hpp). `spent >= 0`; overshoot
+  /// beyond the total is allowed, exactly as with spend().
+  void set_spent(double spent);
+
  private:
   double total_ = 0.0;
   double spent_ = 0.0;

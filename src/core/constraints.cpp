@@ -48,111 +48,218 @@ std::string MultiConstraintLynceus::name() const {
                       constraints_.size());
 }
 
-OptimizerResult MultiConstraintLynceus::optimize(
-    const OptimizationProblem& problem, JobRunner& runner,
-    std::uint64_t seed) {
-  LoopState st(problem, runner, seed);
-  DecisionTimer timer;
+namespace {
 
-  MetricRecordingRunner recorder(runner, constraints_.size());
-  st.runner = &recorder;
-  st.bootstrap();
-
-  const model::ModelFactory factory =
-      options_.model_factory ? options_.model_factory
-                             : default_tree_model_factory(*problem.space);
-
-  MultiConstraintEngine::Options eopts;
-  eopts.lookahead = options_.lookahead;
-  eopts.gh_points = options_.gh_points;
-  eopts.gamma = options_.gamma;
-  eopts.feasibility_quantile = options_.feasibility_quantile;
-  eopts.prune_weight = options_.prune_weight;
-  eopts.thresholds.reserve(constraints_.size());
-  for (const auto& c : constraints_) eopts.thresholds.push_back(c.threshold);
-  eopts.root_cache = options_.root_cache;
-  eopts.incremental_refit = options_.incremental_refit;
-  eopts.branch_pool = options_.branch_parallel ? options_.pool : nullptr;
-  // One workspace per worker (index 0 = calling thread).
-  const std::size_t workers =
-      options_.pool != nullptr ? options_.pool->worker_count() + 1 : 1;
-  MultiConstraintEngine engine(problem, std::move(eopts), factory, workers);
-
-  auto sample_feasible = [&](std::size_t i) {
-    if (!st.samples[i].feasible) return false;
-    for (const auto& c : constraints_) {
-      if (recorder.metrics()[i][c.metric_index] >
-          c.threshold(st.samples[i].id)) {
-        return false;
-      }
+/// The §4.4 multi-constraint loop as an ask/tell state machine (see
+/// core/stepper.hpp). The stepper records every run's auxiliary metrics
+/// from RunResult::metrics — the job MetricRecordingRunner used to do
+/// inside the closed loop — so it never needs a runner of its own.
+/// Trajectories are bit-identical to the pre-ask/tell implementation.
+class MultiConstraintStepper final : public OptimizerStepper {
+ public:
+  MultiConstraintStepper(const std::vector<ConstraintDef>& constraints,
+                         const MultiConstraintOptions& options,
+                         const OptimizationProblem& problem,
+                         std::uint64_t seed)
+      : OptimizerStepper(problem, seed, options.observer),
+        constraints_(constraints),
+        options_(options),
+        seed_(seed),
+        factory_(options_.model_factory
+                     ? options_.model_factory
+                     : default_tree_model_factory(*problem.space)),
+        engine_(problem, engine_options(constraints_, options_), factory_,
+                options_.pool != nullptr ? options_.pool->worker_count() + 1
+                                         : 1) {
+    if (!problem.prior_samples.empty()) {
+      throw std::invalid_argument(
+          "MultiConstraintLynceus: prior_samples carry no constraint "
+          "metrics and are not supported");
     }
-    return true;
-  };
+  }
 
-  std::vector<std::uint32_t> rows;
-  std::vector<double> y_cost;
-  std::vector<std::vector<double>> y_metric;
-  std::vector<char> feasible;
-  std::vector<PathValue> values;
+  [[nodiscard]] std::string name() const override {
+    return util::format("Lynceus-MC(LA=%u,I=%zu)", options_.lookahead,
+                        constraints_.size());
+  }
 
-  std::uint64_t iteration = 0;
-  while (!st.untested.empty()) {
-    timer.start();
-    ++iteration;
+ protected:
+  std::optional<ConfigId> decide(std::string& stop_reason) override {
+    if (st_.untested.empty()) {
+      stop_reason = "search space exhausted";
+      return std::nullopt;
+    }
+    timer_.start();
+    ++iteration_;
 
-    rows.clear();
-    y_cost.clear();
-    y_metric.assign(constraints_.size(), {});
-    feasible.clear();
-    for (std::size_t i = 0; i < st.samples.size(); ++i) {
-      rows.push_back(st.samples[i].id);
-      y_cost.push_back(st.samples[i].cost);
+    rows_.clear();
+    y_cost_.clear();
+    y_metric_.assign(constraints_.size(), {});
+    feasible_.clear();
+    for (std::size_t i = 0; i < st_.samples.size(); ++i) {
+      rows_.push_back(st_.samples[i].id);
+      y_cost_.push_back(st_.samples[i].cost);
       for (std::size_t c = 0; c < constraints_.size(); ++c) {
-        y_metric[c].push_back(
-            recorder.metrics()[i][constraints_[c].metric_index]);
+        y_metric_[c].push_back(metrics_[i][constraints_[c].metric_index]);
       }
-      feasible.push_back(sample_feasible(i) ? 1 : 0);
+      feasible_.push_back(sample_feasible(i) ? 1 : 0);
     }
 
-    engine.begin_decision(rows, y_cost, y_metric, feasible,
-                          st.budget.remaining(),
-                          util::derive_seed(seed, iteration));
+    engine_.begin_decision(rows_, y_cost_, y_metric_, feasible_,
+                           st_.budget.remaining(),
+                           util::derive_seed(seed_, iteration_));
 
-    // Γ = ∅: the budget affords nothing else.
-    const std::vector<ConfigId>& roots = engine.viable();
+    // Γ = ∅: the budget affords nothing else. (timer_.stop(), not
+    // discard(): the closed loop counted this aborted decision, and the
+    // decisions count is part of the bit-parity contract.)
+    const std::vector<ConfigId>& roots = engine_.viable();
     if (roots.empty()) {
-      timer.stop();
-      break;
+      timer_.stop();
+      stop_reason = "budget: no viable configuration left";
+      return std::nullopt;
     }
 
     // One simulated path per viable root (§4.4 uses no root screening),
     // in parallel when a pool is provided — root paths are independent.
-    values.assign(roots.size(), PathValue{});
-    util::maybe_parallel_for(options_.pool, roots.size(), [&](std::size_t i) {
-      values[i] = engine.simulate(
-          roots[i], util::derive_seed(seed, iteration * 1000003ULL + roots[i]));
-    });
+    values_.assign(roots.size(), PathValue{});
+    util::maybe_parallel_for(
+        options_.pool, roots.size(), [&](std::size_t i) {
+          values_[i] = engine_.simulate(
+              roots[i],
+              util::derive_seed(seed_, iteration_ * 1000003ULL + roots[i]));
+        });
 
     double best_ratio = -std::numeric_limits<double>::infinity();
     ConfigId best_id = roots.front();
     for (std::size_t i = 0; i < roots.size(); ++i) {
-      const double ratio = values[i].reward / std::max(values[i].cost, 1e-12);
+      const double ratio =
+          values_[i].reward / std::max(values_[i].cost, 1e-12);
       if (ratio > best_ratio) {
         best_ratio = ratio;
         best_id = roots[i];
       }
     }
-    timer.stop();
+    timer_.stop();
 
-    st.profile(best_id);
-    // Patch the sample's feasibility with the auxiliary constraints so the
-    // final recommendation respects all of them.
-    st.samples.back().feasible = sample_feasible(st.samples.size() - 1);
+    if (observer_ != nullptr) {
+      DecisionEvent event;
+      event.iteration = static_cast<std::size_t>(iteration_);
+      event.viable_count = roots.size();
+      event.simulated_roots = roots.size();
+      event.chosen = best_id;
+      event.predicted_cost = engine_.root_cost_predictions()[best_id].mean;
+      event.incumbent = engine_.incumbent();
+      event.remaining_budget = st_.budget.remaining();
+      event.best_ratio = best_ratio;
+      observer_->on_decision(event);
+    }
+    return best_id;
   }
 
-  OptimizerResult out = st.finalize();
-  timer.write_to(out);
-  return out;
+  void apply_bootstrap_run(ConfigId config, const RunResult& r) override {
+    record_metrics(r);
+    st_.record(config, r);
+  }
+
+  void apply_decision_run(ConfigId config, const RunResult& r) override {
+    record_metrics(r);
+    const Sample& ran = st_.record(config, r);
+    // Patch the sample's feasibility with the auxiliary constraints so the
+    // final recommendation respects all of them.
+    st_.samples.back().feasible = sample_feasible(st_.samples.size() - 1);
+    if (observer_ != nullptr) observer_->on_run(ran);
+  }
+
+  void save_extra(util::JsonWriter& w) const override {
+    w.key("iteration").value(iteration_);
+    w.key("metrics").begin_array();
+    for (const auto& per_run : metrics_) {
+      w.begin_array();
+      for (double m : per_run) w.value_exact(m);
+      w.end_array();
+    }
+    w.end_array();
+  }
+  void load_extra(const util::JsonValue& extra) override {
+    iteration_ = extra.at("iteration").as_uint();
+    metrics_.clear();
+    for (const util::JsonValue& per_run : extra.at("metrics").items()) {
+      std::vector<double> row;
+      row.reserve(per_run.size());
+      for (const util::JsonValue& m : per_run.items()) {
+        row.push_back(m.as_double());
+      }
+      metrics_.push_back(std::move(row));
+    }
+    if (metrics_.size() != st_.samples.size()) {
+      throw std::runtime_error(
+          "MultiConstraintLynceus: snapshot metrics/samples mismatch");
+    }
+  }
+
+ private:
+  static MultiConstraintEngine::Options engine_options(
+      const std::vector<ConstraintDef>& constraints,
+      const MultiConstraintOptions& options) {
+    MultiConstraintEngine::Options eopts;
+    eopts.lookahead = options.lookahead;
+    eopts.gh_points = options.gh_points;
+    eopts.gamma = options.gamma;
+    eopts.feasibility_quantile = options.feasibility_quantile;
+    eopts.prune_weight = options.prune_weight;
+    eopts.thresholds.reserve(constraints.size());
+    for (const auto& c : constraints) eopts.thresholds.push_back(c.threshold);
+    eopts.root_cache = options.root_cache;
+    eopts.incremental_refit = options.incremental_refit;
+    eopts.branch_pool = options.branch_parallel ? options.pool : nullptr;
+    return eopts;
+  }
+
+  void record_metrics(const RunResult& r) {
+    if (r.metrics.size() < constraints_.size()) {
+      throw std::runtime_error(
+          "MultiConstraintLynceus: run result carries too few metrics");
+    }
+    metrics_.push_back(r.metrics);
+  }
+
+  [[nodiscard]] bool sample_feasible(std::size_t i) const {
+    if (!st_.samples[i].feasible) return false;
+    for (const auto& c : constraints_) {
+      if (metrics_[i][c.metric_index] > c.threshold(st_.samples[i].id)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<ConstraintDef> constraints_;
+  const MultiConstraintOptions options_;
+  const std::uint64_t seed_;
+  const model::ModelFactory factory_;
+  MultiConstraintEngine engine_;
+  std::uint64_t iteration_ = 0;
+  std::vector<std::vector<double>> metrics_;  ///< per-sample metric vectors
+  std::vector<std::uint32_t> rows_;
+  std::vector<double> y_cost_;
+  std::vector<std::vector<double>> y_metric_;
+  std::vector<char> feasible_;
+  std::vector<PathValue> values_;
+};
+
+}  // namespace
+
+std::unique_ptr<OptimizerStepper> MultiConstraintLynceus::make_stepper(
+    const OptimizationProblem& problem, std::uint64_t seed) const {
+  return std::make_unique<MultiConstraintStepper>(constraints_, options_,
+                                                  problem, seed);
+}
+
+OptimizerResult MultiConstraintLynceus::optimize(
+    const OptimizationProblem& problem, JobRunner& runner,
+    std::uint64_t seed) {
+  auto stepper = make_stepper(problem, seed);
+  return drive(*stepper, runner);
 }
 
 }  // namespace lynceus::core

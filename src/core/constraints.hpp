@@ -102,6 +102,13 @@ struct MultiConstraintOptions {
   /// Defaults to the LYNCEUS_INCREMENTAL_REFIT environment toggle (false
   /// when unset), mirroring LynceusOptions::incremental_refit.
   bool incremental_refit = util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
+  /// Optional observer (see core/trace.hpp), mirroring
+  /// LynceusOptions::observer: bootstrap samples, per-decision events
+  /// (`viable_count`/`simulated_roots` = |Γ|, §4.4 simulates every viable
+  /// root), run outcomes with the auxiliary-constraint feasibility already
+  /// folded in, and the stop reason. Not owned. Purely observational —
+  /// trajectories are unchanged whether an observer is attached or not.
+  OptimizerObserver* observer = nullptr;
 
   void validate() const;
 };
@@ -112,9 +119,21 @@ class MultiConstraintLynceus final : public Optimizer {
                          MultiConstraintOptions options = {});
 
   /// The runner must fill RunResult::metrics with every constrained metric.
+  /// Thin drive loop over make_stepper() — bit-identical to the classic
+  /// closed-loop implementation (see core/stepper.hpp).
   [[nodiscard]] OptimizerResult optimize(const OptimizationProblem& problem,
                                          JobRunner& runner,
                                          std::uint64_t seed) override;
+
+  /// The ask/tell form of one multi-constraint run (see core/stepper.hpp):
+  /// constraint metrics arrive through RunResult::metrics of every tell()
+  /// (the stepper takes over MetricRecordingRunner's bookkeeping).
+  /// `problem` must outlive the stepper, and must carry no prior_samples —
+  /// warm-start priors record no constraint metrics, so the
+  /// multi-constraint optimizer cannot evaluate them (the closed loop
+  /// never supported this either; the stepper makes it a hard error).
+  [[nodiscard]] std::unique_ptr<OptimizerStepper> make_stepper(
+      const OptimizationProblem& problem, std::uint64_t seed) const override;
 
   [[nodiscard]] std::string name() const override;
 

@@ -33,115 +33,155 @@ std::string LynceusOptimizer::name() const {
   return util::format("Lynceus(LA=%u)", options_.lookahead);
 }
 
-OptimizerResult LynceusOptimizer::optimize(const OptimizationProblem& problem,
-                                           JobRunner& runner,
-                                           std::uint64_t seed) {
-  LoopState st(problem, runner, seed);
-  DecisionTimer timer;
-  st.bootstrap();
-  if (options_.observer != nullptr) {
-    for (const auto& s : st.samples) options_.observer->on_bootstrap(s);
+namespace {
+
+/// The Lynceus loop as a suspend/resume state machine: decide() is the
+/// body of the classic while-loop (bootstrap → Γ filter → path simulation
+/// → argmax reward/cost), run result application adds the §4.4 setup-cost
+/// charge. Trajectories are bit-identical to the pre-ask/tell closed loop
+/// (tests/test_stepper.cpp pins this against golden optimize() runs).
+class LynceusStepper final : public OptimizerStepper {
+ public:
+  LynceusStepper(const LynceusOptions& options,
+                 const OptimizationProblem& problem, std::uint64_t seed)
+      : OptimizerStepper(problem, seed, options.observer),
+        options_(options),
+        seed_(seed),
+        factory_(options_.model_factory
+                     ? options_.model_factory
+                     : default_tree_model_factory(*problem.space)),
+        engine_(problem, engine_options(options_), factory_,
+                options_.pool != nullptr ? options_.pool->worker_count() + 1
+                                         : 1) {}
+
+  [[nodiscard]] std::string name() const override {
+    return util::format("Lynceus(LA=%u)", options_.lookahead);
   }
 
-  const model::ModelFactory factory =
-      options_.model_factory ? options_.model_factory
-                             : default_tree_model_factory(*problem.space);
+ protected:
+  std::optional<ConfigId> decide(std::string& stop_reason) override {
+    if (st_.untested.empty()) {
+      stop_reason = "search space exhausted";
+      return std::nullopt;
+    }
+    timer_.start();
+    ++iteration_;
 
-  LookaheadEngine::Options eopts;
-  eopts.lookahead = options_.lookahead;
-  eopts.gh_points = options_.gh_points;
-  eopts.gamma = options_.gamma;
-  eopts.feasibility_quantile = options_.feasibility_quantile;
-  eopts.setup_cost = options_.setup_cost;
-  eopts.root_cache = options_.root_cache;
-  eopts.incremental_refit = options_.incremental_refit;
-  eopts.branch_pool = options_.branch_parallel ? options_.pool : nullptr;
-  // One workspace per worker (index 0 = calling thread).
-  const std::size_t workers =
-      options_.pool != nullptr ? options_.pool->worker_count() + 1 : 1;
-  LookaheadEngine engine(problem, std::move(eopts), factory, workers);
+    engine_.begin_decision(st_.samples, st_.budget.remaining(),
+                           util::derive_seed(seed_, iteration_));
 
-  std::vector<ConfigId> roots;
-  std::vector<PathValue> values;
-
-  std::uint64_t iteration = 0;
-  while (!st.untested.empty()) {
-    timer.start();
-    ++iteration;
-
-    engine.begin_decision(st.samples, st.budget.remaining(),
-                          util::derive_seed(seed, iteration));
-
-    if (engine.viable().empty()) {
-      timer.discard();
-      if (options_.observer != nullptr) {
-        options_.observer->on_stop("budget: no viable configuration left");
-      }
-      break;  // Γ = ∅: the budget affords nothing else (Alg. 1 line 25)
+    if (engine_.viable().empty()) {
+      timer_.discard();
+      // Γ = ∅: the budget affords nothing else (Alg. 1 line 25).
+      stop_reason = "budget: no viable configuration left";
+      return std::nullopt;
     }
 
     // Optional early stop (footnote 2 of the paper).
     if (options_.ei_stop_fraction > 0.0 &&
-        engine.max_viable_eic() <
-            options_.ei_stop_fraction * engine.incumbent()) {
-      timer.discard();
-      if (options_.observer != nullptr) {
-        options_.observer->on_stop("expected improvement below threshold");
-      }
-      break;
+        engine_.max_viable_eic() <
+            options_.ei_stop_fraction * engine_.incumbent()) {
+      timer_.discard();
+      stop_reason = "expected improvement below threshold";
+      return std::nullopt;
     }
 
     // Root screening (implementation approximation; see header).
-    engine.screened_roots(options_.screen_width, roots);
+    engine_.screened_roots(options_.screen_width, roots_);
 
     // Simulate one path per root, in parallel (§4.3).
-    values.assign(roots.size(), PathValue{});
-    util::maybe_parallel_for(options_.pool, roots.size(), [&](std::size_t i) {
-      values[i] = engine.simulate(
-          roots[i], util::derive_seed(seed, iteration * 1000003ULL + roots[i]));
-    });
+    values_.assign(roots_.size(), PathValue{});
+    util::maybe_parallel_for(options_.pool, roots_.size(),
+                             [&](std::size_t i) {
+                               values_[i] = engine_.simulate(
+                                   roots_[i],
+                                   util::derive_seed(
+                                       seed_, iteration_ * 1000003ULL +
+                                                  roots_[i]));
+                             });
 
     double best_ratio = -std::numeric_limits<double>::infinity();
-    ConfigId best_id = roots.front();
-    for (std::size_t i = 0; i < roots.size(); ++i) {
-      const double ratio = values[i].reward / std::max(values[i].cost, 1e-12);
+    ConfigId best_id = roots_.front();
+    for (std::size_t i = 0; i < roots_.size(); ++i) {
+      const double ratio =
+          values_[i].reward / std::max(values_[i].cost, 1e-12);
       if (ratio > best_ratio) {
         best_ratio = ratio;
-        best_id = roots[i];
+        best_id = roots_[i];
       }
     }
-    timer.stop();
+    timer_.stop();
 
-    if (options_.observer != nullptr) {
+    if (observer_ != nullptr) {
       DecisionEvent event;
-      event.iteration = static_cast<std::size_t>(iteration);
-      event.viable_count = engine.viable().size();
-      event.simulated_roots = roots.size();
+      event.iteration = static_cast<std::size_t>(iteration_);
+      event.viable_count = engine_.viable().size();
+      event.simulated_roots = roots_.size();
       event.chosen = best_id;
-      event.predicted_cost = engine.root_predictions()[best_id].mean;
-      event.incumbent = engine.incumbent();
-      event.remaining_budget = st.budget.remaining();
+      event.predicted_cost = engine_.root_predictions()[best_id].mean;
+      event.incumbent = engine_.incumbent();
+      event.remaining_budget = st_.budget.remaining();
       event.best_ratio = best_ratio;
-      options_.observer->on_decision(event);
+      observer_->on_decision(event);
     }
+    return best_id;
+  }
 
+  void apply_decision_run(ConfigId config, const RunResult& r) override {
     // §4.4: switching the deployed configuration costs real money too.
     if (options_.setup_cost) {
       const std::optional<ConfigId> chi =
-          st.samples.empty() ? std::nullopt
-                             : std::optional<ConfigId>(st.samples.back().id);
-      st.budget.spend(std::max(0.0, options_.setup_cost(chi, best_id)));
+          st_.samples.empty()
+              ? std::nullopt
+              : std::optional<ConfigId>(st_.samples.back().id);
+      st_.budget.spend(std::max(0.0, options_.setup_cost(chi, config)));
     }
-    const Sample& ran = st.profile(best_id);
-    if (options_.observer != nullptr) options_.observer->on_run(ran);
+    OptimizerStepper::apply_decision_run(config, r);
   }
 
-  if (st.untested.empty() && options_.observer != nullptr) {
-    options_.observer->on_stop("search space exhausted");
+  void save_extra(util::JsonWriter& w) const override {
+    w.key("iteration").value(iteration_);
   }
-  OptimizerResult out = st.finalize();
-  timer.write_to(out);
-  return out;
+  void load_extra(const util::JsonValue& extra) override {
+    iteration_ = extra.at("iteration").as_uint();
+  }
+
+ private:
+  static LookaheadEngine::Options engine_options(
+      const LynceusOptions& options) {
+    LookaheadEngine::Options eopts;
+    eopts.lookahead = options.lookahead;
+    eopts.gh_points = options.gh_points;
+    eopts.gamma = options.gamma;
+    eopts.feasibility_quantile = options.feasibility_quantile;
+    eopts.setup_cost = options.setup_cost;
+    eopts.root_cache = options.root_cache;
+    eopts.incremental_refit = options.incremental_refit;
+    eopts.branch_pool = options.branch_parallel ? options.pool : nullptr;
+    return eopts;
+  }
+
+  const LynceusOptions options_;
+  const std::uint64_t seed_;
+  const model::ModelFactory factory_;
+  LookaheadEngine engine_;
+  std::uint64_t iteration_ = 0;
+  std::vector<ConfigId> roots_;
+  std::vector<PathValue> values_;
+};
+
+}  // namespace
+
+std::unique_ptr<OptimizerStepper> LynceusOptimizer::make_stepper(
+    const OptimizationProblem& problem, std::uint64_t seed) const {
+  return std::make_unique<LynceusStepper>(options_, problem, seed);
+}
+
+OptimizerResult LynceusOptimizer::optimize(const OptimizationProblem& problem,
+                                           JobRunner& runner,
+                                           std::uint64_t seed) {
+  auto stepper = make_stepper(problem, seed);
+  return drive(*stepper, runner);
 }
 
 }  // namespace lynceus::core

@@ -30,9 +30,11 @@
 /// screening, profiling) on top of that engine.
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "core/lookahead.hpp"
+#include "core/stepper.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "model/regressor.hpp"
@@ -103,9 +105,17 @@ class LynceusOptimizer final : public Optimizer {
  public:
   explicit LynceusOptimizer(LynceusOptions options = {});
 
+  /// Thin drive loop over make_stepper() — bit-identical to the classic
+  /// closed-loop implementation (see core/stepper.hpp).
   [[nodiscard]] OptimizerResult optimize(const OptimizationProblem& problem,
                                          JobRunner& runner,
                                          std::uint64_t seed) override;
+
+  /// The suspend/resume (ask/tell) form of one Lynceus run — what the
+  /// tuning service multiplexes (src/service/). `problem` must outlive
+  /// the stepper; so must any pool/cache/observer wired into options().
+  [[nodiscard]] std::unique_ptr<OptimizerStepper> make_stepper(
+      const OptimizationProblem& problem, std::uint64_t seed) const override;
 
   [[nodiscard]] std::string name() const override;
 

@@ -1,9 +1,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/stepper.hpp"
 #include "core/types.hpp"
 
 namespace lynceus::core {
+
+// Out-of-line so ~unique_ptr sees the complete OptimizerStepper type.
+std::unique_ptr<OptimizerStepper> Optimizer::make_stepper(
+    const OptimizationProblem& problem, std::uint64_t seed) const {
+  (void)problem;
+  (void)seed;
+  return nullptr;
+}
 
 void OptimizationProblem::validate() const {
   if (!space) {

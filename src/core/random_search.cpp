@@ -4,23 +4,44 @@
 
 namespace lynceus::core {
 
+namespace {
+
+/// RND as an ask/tell state machine (see core/stepper.hpp): one uniform
+/// draw from the untested list per decision, consuming the LoopState RNG
+/// exactly as the classic loop did.
+class RandomSearchStepper final : public OptimizerStepper {
+ public:
+  RandomSearchStepper(const OptimizationProblem& problem, std::uint64_t seed)
+      : OptimizerStepper(problem, seed, nullptr) {}
+
+  [[nodiscard]] std::string name() const override { return "RND"; }
+
+ protected:
+  std::optional<ConfigId> decide(std::string& stop_reason) override {
+    if (st_.budget.exhausted() || st_.untested.empty()) {
+      stop_reason = st_.untested.empty() ? "search space exhausted"
+                                         : "budget depleted";
+      return std::nullopt;
+    }
+    timer_.start();
+    const ConfigId id = st_.untested[static_cast<std::size_t>(
+        st_.rng.below(st_.untested.size()))];
+    timer_.stop();
+    return id;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<OptimizerStepper> RandomSearch::make_stepper(
+    const OptimizationProblem& problem, std::uint64_t seed) const {
+  return std::make_unique<RandomSearchStepper>(problem, seed);
+}
+
 OptimizerResult RandomSearch::optimize(const OptimizationProblem& problem,
                                        JobRunner& runner, std::uint64_t seed) {
-  LoopState st(problem, runner, seed);
-  DecisionTimer timer;
-  st.bootstrap();
-
-  while (!st.budget.exhausted() && !st.untested.empty()) {
-    timer.start();
-    const ConfigId id = st.untested[static_cast<std::size_t>(
-        st.rng.below(st.untested.size()))];
-    timer.stop();
-    st.profile(id);
-  }
-
-  OptimizerResult out = st.finalize();
-  timer.write_to(out);
-  return out;
+  auto stepper = make_stepper(problem, seed);
+  return drive(*stepper, runner);
 }
 
 }  // namespace lynceus::core

@@ -6,15 +6,25 @@
 /// then recommend the cheapest feasible configuration tried. RND knows
 /// nothing about costs a priori, so its last run may overshoot the budget.
 
+#include <memory>
+
+#include "core/stepper.hpp"
 #include "core/types.hpp"
 
 namespace lynceus::core {
 
 class RandomSearch final : public Optimizer {
  public:
+  /// Thin drive loop over make_stepper() — bit-identical to the classic
+  /// closed-loop implementation (see core/stepper.hpp).
   [[nodiscard]] OptimizerResult optimize(const OptimizationProblem& problem,
                                          JobRunner& runner,
                                          std::uint64_t seed) override;
+
+  /// The ask/tell form of one RND run (see core/stepper.hpp). `problem`
+  /// must outlive the stepper.
+  [[nodiscard]] std::unique_ptr<OptimizerStepper> make_stepper(
+      const OptimizationProblem& problem, std::uint64_t seed) const override;
 
   [[nodiscard]] std::string name() const override { return "RND"; }
 };

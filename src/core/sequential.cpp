@@ -15,11 +15,36 @@ LoopState::LoopState(const OptimizationProblem& prob, JobRunner& run,
   untested = prob.space->all();
 }
 
+LoopState::LoopState(const OptimizationProblem& prob, std::uint64_t seed)
+    : problem(&prob), runner(nullptr), budget(prob.budget), rng(seed) {
+  prob.validate();
+  tested.assign(prob.space->size(), 0);
+  untested = prob.space->all();
+}
+
+void LoopState::mark_tested(ConfigId id) {
+  tested[id] = 1;
+  const auto it = std::find(untested.begin(), untested.end(), id);
+  if (it != untested.end()) {
+    *it = untested.back();
+    untested.pop_back();
+  }
+}
+
 const Sample& LoopState::profile(ConfigId id) {
+  if (runner == nullptr) {
+    throw std::logic_error("LoopState::profile: no runner (ask/tell state)");
+  }
   if (tested.at(id) != 0) {
     throw std::logic_error("LoopState::profile: configuration already tested");
   }
-  const RunResult r = runner->run(id);
+  return record(id, runner->run(id));
+}
+
+const Sample& LoopState::record(ConfigId id, const RunResult& r) {
+  if (tested.at(id) != 0) {
+    throw std::logic_error("LoopState::record: configuration already tested");
+  }
   budget.spend(r.cost);
 
   Sample s;
@@ -29,16 +54,15 @@ const Sample& LoopState::profile(ConfigId id) {
   s.feasible = !r.timed_out && r.runtime_seconds <= problem->tmax_seconds;
   samples.push_back(s);
 
-  tested[id] = 1;
-  const auto it = std::find(untested.begin(), untested.end(), id);
-  if (it != untested.end()) {
-    *it = untested.back();
-    untested.pop_back();
-  }
+  mark_tested(id);
   return samples.back();
 }
 
 void LoopState::bootstrap() {
+  for (ConfigId id : bootstrap_plan()) profile(id);
+}
+
+std::vector<ConfigId> LoopState::bootstrap_plan() {
   // Warm start (recurrent jobs, §2.1-III): measurements from a previous
   // tuning round seed the model without charging this round's budget and
   // replace the cold-start LHS phase.
@@ -51,17 +75,19 @@ void LoopState::bootstrap() {
       // Feasibility is re-judged against *this* round's deadline.
       s.feasible = s.feasible && s.runtime_seconds <= problem->tmax_seconds;
       samples.push_back(s);
-      tested[s.id] = 1;
-      const auto it = std::find(untested.begin(), untested.end(), s.id);
-      if (it != untested.end()) {
-        *it = untested.back();
-        untested.pop_back();
-      }
+      mark_tested(s.id);
     }
-    return;
+    return {};
   }
-  const auto ids = problem->space->lhs_sample(problem->bootstrap_samples, rng);
-  for (ConfigId id : ids) profile(id);
+  return problem->space->lhs_sample(problem->bootstrap_samples, rng);
+}
+
+void LoopState::restore_sample(const Sample& s) {
+  if (tested.at(s.id) != 0) {
+    throw std::logic_error("LoopState::restore_sample: duplicate sample");
+  }
+  samples.push_back(s);
+  mark_tested(s.id);
 }
 
 OptimizerResult LoopState::finalize() const {
@@ -115,6 +141,14 @@ void DecisionTimer::stop() {
 void DecisionTimer::write_to(OptimizerResult& result) const {
   result.decision_seconds = total_;
   result.decisions = count_;
+}
+
+void DecisionTimer::restore(double total_seconds, std::size_t count) {
+  if (started_at_ >= 0.0) {
+    throw std::logic_error("DecisionTimer::restore with an open interval");
+  }
+  total_ = total_seconds;
+  count_ = count;
 }
 
 }  // namespace lynceus::core

@@ -16,7 +16,7 @@ namespace lynceus::core {
 /// Mutable state of one optimization run.
 struct LoopState {
   const OptimizationProblem* problem = nullptr;
-  JobRunner* runner = nullptr;
+  JobRunner* runner = nullptr;  ///< null for ask/tell steppers (no profile())
   Budget budget{0.0};
   util::Rng rng{0};
   std::vector<Sample> samples;
@@ -26,18 +26,48 @@ struct LoopState {
   explicit LoopState(const OptimizationProblem& prob, JobRunner& run,
                      std::uint64_t seed);
 
-  /// Profiles `id`: runs the job, charges the budget, appends the sample
-  /// (with its feasibility evaluated against Tmax) and removes `id` from
-  /// the untested set. Returns the new sample.
+  /// Runner-less state for the ask/tell steppers (core/stepper.hpp): run
+  /// results arrive via record(); profile() throws.
+  explicit LoopState(const OptimizationProblem& prob, std::uint64_t seed);
+
+  /// Profiles `id`: runs the job, then record()s the result. Requires a
+  /// runner. Returns the new sample.
   const Sample& profile(ConfigId id);
+
+  /// Applies an externally produced run result for `id`: charges the
+  /// budget, appends the sample (with its feasibility evaluated against
+  /// Tmax) and removes `id` from the untested set. Exactly the state
+  /// transition of profile() minus the JobRunner call — the ask/tell
+  /// steppers feed tell()ed results through here, so driving a stepper
+  /// with a runner reproduces profile()-based loops bit-for-bit.
+  const Sample& record(ConfigId id, const RunResult& r);
 
   /// Runs the N-sample LHS bootstrap (paper Algorithm 1, lines 6-8).
   void bootstrap();
+
+  /// The bootstrap's profiling plan: applies any warm-start prior samples
+  /// (which replace the LHS phase entirely) and returns the LHS
+  /// configuration ids still to be profiled, in profiling order — empty
+  /// when priors were applied. Draws from `rng` exactly as bootstrap()
+  /// does; bootstrap() itself is plan + profile() per id.
+  [[nodiscard]] std::vector<ConfigId> bootstrap_plan();
+
+  /// Snapshot restore (see core/stepper.hpp): re-appends a previously
+  /// recorded sample verbatim — feasibility flag included, no budget
+  /// charge (the accumulated spend is restored separately via
+  /// Budget::set_spent). Replaying the saved samples in order rebuilds
+  /// `tested` and the exact `untested` ordering (its unordered-erase
+  /// permutation is a pure function of the removal sequence).
+  void restore_sample(const Sample& s);
 
   /// Builds the OptimizerResult: the recommendation is the cheapest
   /// feasible sample, falling back to the cheapest sample when none is
   /// feasible.
   [[nodiscard]] OptimizerResult finalize() const;
+
+ private:
+  /// Marks `id` tested and removes it from the untested list.
+  void mark_tested(ConfigId id);
 };
 
 /// Accumulator for decision-time measurement (Table 3): wall-clock seconds
@@ -56,6 +86,10 @@ class DecisionTimer {
 
   /// Copies the accumulated timing into a result.
   void write_to(OptimizerResult& result) const;
+
+  /// Snapshot restore: reinstates accumulated totals. No interval may be
+  /// open (snapshots are only taken between decisions).
+  void restore(double total_seconds, std::size_t count);
 
  private:
   double total_ = 0.0;

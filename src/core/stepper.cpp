@@ -1,0 +1,327 @@
+#include "core/stepper.hpp"
+
+#include <stdexcept>
+
+namespace lynceus::core {
+
+const std::string OptimizerStepper::empty_;
+
+OptimizerStepper::OptimizerStepper(const OptimizationProblem& problem,
+                                   std::uint64_t seed,
+                                   OptimizerObserver* observer)
+    : st_(problem, seed), observer_(observer) {}
+
+void OptimizerStepper::finish_bootstrap() {
+  if (observer_ != nullptr) {
+    for (const auto& s : st_.samples) observer_->on_bootstrap(s);
+  }
+  phase_ = Phase::Decide;
+}
+
+void OptimizerStepper::compute_next() {
+  std::string stop_reason;
+  const std::optional<ConfigId> choice = decide(stop_reason);
+  if (!choice.has_value()) {
+    phase_ = Phase::Finished;
+    action_.kind = StepAction::Kind::Finished;
+    action_.configs.clear();
+    action_.stop_reason = stop_reason;
+    told_.clear();
+    told_count_ = 0;
+    action_ready_ = true;
+    if (observer_ != nullptr && !stop_reason.empty()) {
+      observer_->on_stop(stop_reason);
+    }
+    return;
+  }
+  action_.kind = StepAction::Kind::Profile;
+  action_.configs.assign(1, *choice);
+  action_.stop_reason.clear();
+  told_.assign(1, std::nullopt);
+  told_count_ = 0;
+  action_ready_ = true;
+}
+
+const StepAction& OptimizerStepper::ask() {
+  started_ = true;
+  if (action_ready_) return action_;
+  if (phase_ == Phase::Bootstrap) {
+    std::vector<ConfigId> plan = st_.bootstrap_plan();
+    if (!plan.empty()) {
+      action_.kind = StepAction::Kind::Profile;
+      action_.configs = std::move(plan);
+      action_.stop_reason.clear();
+      told_.assign(action_.configs.size(), std::nullopt);
+      told_count_ = 0;
+      action_ready_ = true;
+      return action_;
+    }
+    // Warm-start priors replaced the LHS batch entirely.
+    finish_bootstrap();
+  }
+  compute_next();
+  return action_;
+}
+
+void OptimizerStepper::tell(ConfigId config, const RunResult& result) {
+  started_ = true;
+  if (!action_ready_ || action_.kind != StepAction::Kind::Profile) {
+    throw std::logic_error(
+        "OptimizerStepper::tell: no outstanding profiling request "
+        "(call ask() first)");
+  }
+  std::size_t index = action_.configs.size();
+  for (std::size_t i = 0; i < action_.configs.size(); ++i) {
+    if (action_.configs[i] == config && !told_[i].has_value()) {
+      index = i;
+      break;
+    }
+  }
+  if (index == action_.configs.size()) {
+    throw std::invalid_argument(
+        "OptimizerStepper::tell: configuration " + std::to_string(config) +
+        " is not an untold member of the outstanding batch");
+  }
+  told_[index] = result;
+  ++told_count_;
+  if (told_count_ < action_.configs.size()) return;
+
+  // Batch complete: apply in canonical ask() order, so the optimizer state
+  // is independent of the order the tell()s arrived in.
+  if (phase_ == Phase::Bootstrap) {
+    for (std::size_t i = 0; i < action_.configs.size(); ++i) {
+      apply_bootstrap_run(action_.configs[i], *told_[i]);
+    }
+    finish_bootstrap();
+  } else {
+    for (std::size_t i = 0; i < action_.configs.size(); ++i) {
+      apply_decision_run(action_.configs[i], *told_[i]);
+    }
+  }
+  action_ready_ = false;
+  told_.clear();
+  told_count_ = 0;
+}
+
+void OptimizerStepper::apply_bootstrap_run(ConfigId config,
+                                           const RunResult& r) {
+  st_.record(config, r);
+}
+
+void OptimizerStepper::apply_decision_run(ConfigId config,
+                                          const RunResult& r) {
+  const Sample& ran = st_.record(config, r);
+  if (observer_ != nullptr) observer_->on_run(ran);
+}
+
+std::vector<ConfigId> OptimizerStepper::outstanding_configs() const {
+  std::vector<ConfigId> out;
+  if (action_ready_ && action_.kind == StepAction::Kind::Profile) {
+    for (std::size_t i = 0; i < action_.configs.size(); ++i) {
+      if (!told_[i].has_value()) out.push_back(action_.configs[i]);
+    }
+  }
+  return out;
+}
+
+OptimizerResult OptimizerStepper::result() const {
+  OptimizerResult out = st_.finalize();
+  timer_.write_to(out);
+  return out;
+}
+
+void OptimizerStepper::save_extra(util::JsonWriter& w) const { (void)w; }
+void OptimizerStepper::load_extra(const util::JsonValue& extra) {
+  (void)extra;
+}
+
+std::string OptimizerStepper::snapshot() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("format").value("lynceus-session");
+  w.key("version").value(1);
+  w.key("optimizer").value(name());
+  w.key("space_rows")
+      .value(static_cast<std::uint64_t>(st_.problem->space->size()));
+  const char* phase = phase_ == Phase::Bootstrap
+                          ? "bootstrap"
+                          : phase_ == Phase::Decide ? "decide" : "finished";
+  w.key("phase").value(phase);
+
+  const util::Rng::State rng = st_.rng.state();
+  w.key("rng").begin_object();
+  w.key("s0").value(rng.s[0]);
+  w.key("s1").value(rng.s[1]);
+  w.key("s2").value(rng.s[2]);
+  w.key("s3").value(rng.s[3]);
+  w.key("spare").value_exact(rng.spare_normal);
+  w.key("has_spare").value(rng.has_spare);
+  w.end_object();
+
+  w.key("budget_spent").value_exact(st_.budget.spent());
+
+  w.key("samples").begin_array();
+  for (const Sample& s : st_.samples) {
+    w.begin_object();
+    w.key("id").value(static_cast<std::uint64_t>(s.id));
+    w.key("runtime").value_exact(s.runtime_seconds);
+    w.key("cost").value_exact(s.cost);
+    w.key("feasible").value(s.feasible);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("pending").begin_array();
+  if (action_ready_ && action_.kind == StepAction::Kind::Profile) {
+    for (ConfigId id : action_.configs) {
+      w.value(static_cast<std::uint64_t>(id));
+    }
+  }
+  w.end_array();
+  w.key("told").begin_array();
+  if (action_ready_ && action_.kind == StepAction::Kind::Profile) {
+    for (const auto& t : told_) {
+      if (!t.has_value()) {
+        w.null();
+        continue;
+      }
+      w.begin_object();
+      w.key("runtime").value_exact(t->runtime_seconds);
+      w.key("cost").value_exact(t->cost);
+      w.key("timed_out").value(t->timed_out);
+      w.key("metrics").begin_array();
+      for (double m : t->metrics) w.value_exact(m);
+      w.end_array();
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.key("stop_reason")
+      .value(phase_ == Phase::Finished ? action_.stop_reason : "");
+  w.key("decisions").value(static_cast<std::uint64_t>(timer_.count()));
+  w.key("decision_seconds").value_exact(timer_.total_seconds());
+
+  w.key("extra").begin_object();
+  save_extra(w);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void OptimizerStepper::restore(const std::string& snapshot_json) {
+  if (started_ || !st_.samples.empty()) {
+    throw std::logic_error(
+        "OptimizerStepper::restore: stepper already started — restore into "
+        "a freshly constructed stepper");
+  }
+  const util::JsonValue v = util::parse_json(snapshot_json);
+  if (v.at("format").as_string() != "lynceus-session" ||
+      v.at("version").as_int() != 1) {
+    throw std::runtime_error("OptimizerStepper::restore: not a version-1 "
+                             "lynceus-session snapshot");
+  }
+  if (v.at("optimizer").as_string() != name()) {
+    throw std::runtime_error(
+        "OptimizerStepper::restore: snapshot was taken by '" +
+        v.at("optimizer").as_string() + "', this stepper is '" + name() +
+        "'");
+  }
+  if (v.at("space_rows").as_uint() != st_.problem->space->size()) {
+    throw std::runtime_error(
+        "OptimizerStepper::restore: configuration-space size mismatch");
+  }
+
+  // Replaying the samples in order rebuilds `tested` and the exact
+  // untested-list permutation; budget and RNG are restored verbatim.
+  for (const util::JsonValue& s : v.at("samples").items()) {
+    Sample sample;
+    sample.id = static_cast<ConfigId>(s.at("id").as_uint());
+    sample.runtime_seconds = s.at("runtime").as_double();
+    sample.cost = s.at("cost").as_double();
+    sample.feasible = s.at("feasible").as_bool();
+    st_.restore_sample(sample);
+  }
+  st_.budget.set_spent(v.at("budget_spent").as_double());
+
+  const util::JsonValue& rng = v.at("rng");
+  util::Rng::State state;
+  state.s[0] = rng.at("s0").as_uint();
+  state.s[1] = rng.at("s1").as_uint();
+  state.s[2] = rng.at("s2").as_uint();
+  state.s[3] = rng.at("s3").as_uint();
+  state.spare_normal = rng.at("spare").as_double();
+  state.has_spare = rng.at("has_spare").as_bool();
+  st_.rng.set_state(state);
+
+  timer_.restore(v.at("decision_seconds").as_double(),
+                 static_cast<std::size_t>(v.at("decisions").as_uint()));
+
+  const std::string& phase = v.at("phase").as_string();
+  if (phase == "bootstrap") {
+    phase_ = Phase::Bootstrap;
+  } else if (phase == "decide") {
+    phase_ = Phase::Decide;
+  } else if (phase == "finished") {
+    phase_ = Phase::Finished;
+  } else {
+    throw std::runtime_error("OptimizerStepper::restore: unknown phase '" +
+                             phase + "'");
+  }
+
+  const util::JsonValue& pending = v.at("pending");
+  const util::JsonValue& told = v.at("told");
+  if (phase_ == Phase::Finished) {
+    action_.kind = StepAction::Kind::Finished;
+    action_.configs.clear();
+    action_.stop_reason = v.at("stop_reason").as_string();
+    action_ready_ = true;
+  } else if (pending.size() > 0) {
+    if (told.size() != pending.size()) {
+      throw std::runtime_error(
+          "OptimizerStepper::restore: pending/told size mismatch");
+    }
+    action_.kind = StepAction::Kind::Profile;
+    action_.configs.clear();
+    action_.stop_reason.clear();
+    told_.clear();
+    told_count_ = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      action_.configs.push_back(
+          static_cast<ConfigId>(pending.at(i).as_uint()));
+      const util::JsonValue& t = told.at(i);
+      if (t.is_null()) {
+        told_.emplace_back(std::nullopt);
+        continue;
+      }
+      RunResult r;
+      r.runtime_seconds = t.at("runtime").as_double();
+      r.cost = t.at("cost").as_double();
+      r.timed_out = t.at("timed_out").as_bool();
+      for (const util::JsonValue& m : t.at("metrics").items()) {
+        r.metrics.push_back(m.as_double());
+      }
+      told_.emplace_back(std::move(r));
+      ++told_count_;
+    }
+    action_ready_ = true;
+  } else {
+    action_ready_ = false;
+  }
+
+  load_extra(v.at("extra"));
+  started_ = true;
+}
+
+OptimizerResult drive(OptimizerStepper& stepper, JobRunner& runner) {
+  for (;;) {
+    const StepAction& action = stepper.ask();
+    if (action.kind == StepAction::Kind::Finished) break;
+    // Profiling in batch order keeps the runner's observable call sequence
+    // identical to the classic loop's.
+    for (ConfigId id : action.configs) stepper.tell(id, runner.run(id));
+  }
+  return stepper.result();
+}
+
+}  // namespace lynceus::core

@@ -95,6 +95,8 @@ struct OptimizerResult {
   std::size_t decisions = 0;
 };
 
+class OptimizerStepper;
+
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
@@ -104,6 +106,14 @@ class Optimizer {
   [[nodiscard]] virtual OptimizerResult optimize(
       const OptimizationProblem& problem, JobRunner& runner,
       std::uint64_t seed) = 0;
+
+  /// The ask/tell (suspend/resume) form of one run, or nullptr when the
+  /// optimizer has no stepper implementation (see core/stepper.hpp —
+  /// the four first-class optimizers all do; composite/external ones may
+  /// not). `problem` must outlive the stepper. Driving the stepper with
+  /// a runner reproduces optimize() bit-for-bit.
+  [[nodiscard]] virtual std::unique_ptr<OptimizerStepper> make_stepper(
+      const OptimizationProblem& problem, std::uint64_t seed) const;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

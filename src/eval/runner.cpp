@@ -18,6 +18,54 @@ core::RunResult TableRunner::run(space::ConfigId id) {
   return r;
 }
 
+AsyncTableRunner::AsyncTableRunner(const cloud::Dataset& dataset,
+                                   MetricsFn metrics)
+    : dataset_(&dataset), metrics_(std::move(metrics)) {}
+
+std::uint64_t AsyncTableRunner::submit(std::uint64_t tag,
+                                       space::ConfigId config) {
+  const auto& obs = dataset_->observation(config);
+  Completion c;
+  c.ticket = next_ticket_++;
+  c.tag = tag;
+  c.config = config;
+  c.finish_time = now_ + obs.runtime_seconds;
+  c.result.runtime_seconds = obs.runtime_seconds;
+  c.result.cost = obs.cost();
+  c.result.timed_out = obs.timed_out;
+  if (metrics_) c.result.metrics = metrics_(config);
+  pending_.push_back(std::move(c));
+  return pending_.back().ticket;
+}
+
+std::optional<AsyncTableRunner::Completion>
+AsyncTableRunner::next_completion() {
+  if (pending_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    if (pending_[i].finish_time < pending_[best].finish_time ||
+        (pending_[i].finish_time == pending_[best].finish_time &&
+         pending_[i].ticket < pending_[best].ticket)) {
+      best = i;
+    }
+  }
+  Completion out = std::move(pending_[best]);
+  pending_[best] = std::move(pending_.back());
+  pending_.pop_back();
+  now_ = out.finish_time;
+  ++served_;
+  return out;
+}
+
+std::optional<double> AsyncTableRunner::next_finish_time() const {
+  if (pending_.empty()) return std::nullopt;
+  double best = pending_.front().finish_time;
+  for (const Completion& c : pending_) {
+    if (c.finish_time < best) best = c.finish_time;
+  }
+  return best;
+}
+
 FailingRunner::FailingRunner(core::JobRunner& inner, std::size_t fail_after)
     : inner_(&inner), remaining_(fail_after) {}
 

@@ -5,8 +5,11 @@
 /// (the paper's simulation methodology, §5.2) and decorators used in tests
 /// and examples.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "cloud/dataset.hpp"
 #include "core/types.hpp"
@@ -46,6 +49,63 @@ class FailingRunner final : public core::JobRunner {
  private:
   core::JobRunner* inner_;
   std::size_t remaining_;
+};
+
+/// Asynchronous-completion adapter over the replay table: profiling runs
+/// are submitted instead of executed inline, and completions pop in
+/// *simulated-time* order — a run submitted at simulated time t finishes
+/// at t + its recorded runtime, so cheap runs from one tuning session
+/// overtake expensive runs from another exactly as they would on a real
+/// cluster. This is the driver the TuningService tests and the
+/// `lynceus_tune --sessions` batch mode feed sessions with: it produces
+/// realistic out-of-order tell() sequences while staying fully
+/// deterministic (ties break by submission ticket).
+///
+/// The simulated clock starts at 0 and advances to the finish time of
+/// each popped completion; submissions are stamped with the clock at
+/// submit time. Tags let the caller route a completion back to the
+/// session that asked for it.
+class AsyncTableRunner {
+ public:
+  using MetricsFn = TableRunner::MetricsFn;
+
+  struct Completion {
+    std::uint64_t ticket = 0;     ///< submission order, 0-based
+    std::uint64_t tag = 0;        ///< caller routing tag (e.g. session id)
+    space::ConfigId config = 0;
+    double finish_time = 0.0;     ///< simulated seconds
+    core::RunResult result;
+  };
+
+  explicit AsyncTableRunner(const cloud::Dataset& dataset,
+                            MetricsFn metrics = nullptr);
+
+  /// Enqueues a profiling run of `config`, finishing at
+  /// now() + runtime(config). Returns the submission ticket.
+  std::uint64_t submit(std::uint64_t tag, space::ConfigId config);
+
+  /// Pops the earliest-finishing outstanding run (ties by ticket) and
+  /// advances the simulated clock to its finish time. Empty when idle.
+  [[nodiscard]] std::optional<Completion> next_completion();
+
+  /// Finish time of the run next_completion() would pop; empty when
+  /// idle. Lets a driver merging several runners pick the globally
+  /// earliest completion.
+  [[nodiscard]] std::optional<double> next_finish_time() const;
+
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t runs_served() const noexcept { return served_; }
+
+ private:
+  const cloud::Dataset* dataset_;
+  MetricsFn metrics_;
+  std::vector<Completion> pending_;  ///< unordered; popped by scan
+  double now_ = 0.0;
+  std::uint64_t next_ticket_ = 0;
+  std::size_t served_ = 0;
 };
 
 }  // namespace lynceus::eval

@@ -264,4 +264,50 @@ std::unique_ptr<Regressor> BaggingEnsemble::clone() const {
   return std::make_unique<BaggingEnsemble>(*this);
 }
 
+bool BaggingEnsemble::save_fit(util::JsonWriter& w) const {
+  if (!fitted_) return false;
+  w.begin_object();
+  w.key("model").value("bagging");
+  w.key("trees").value(static_cast<std::uint64_t>(trees_.size()));
+  w.key("total_variance")
+      .value(options_.variance_mode == VarianceMode::TotalVariance);
+  w.key("inc_enabled").value(inc_enabled_);
+  w.key("stddev_floor").value_exact(stddev_floor_);
+  w.key("y_lo").value_exact(y_lo_);
+  w.key("y_hi").value_exact(y_hi_);
+  w.key("tree_states").begin_array();
+  for (const DecisionTree& tree : trees_) tree.save_state(w);
+  w.end_array();
+  w.end_object();
+  return true;
+}
+
+bool BaggingEnsemble::load_fit(const util::JsonValue& v) {
+  if (v.at("model").as_string() != "bagging") {
+    throw std::runtime_error(
+        "BaggingEnsemble::load_fit: state was saved by a different model");
+  }
+  if (v.at("trees").as_uint() != trees_.size() ||
+      v.at("total_variance").as_bool() !=
+          (options_.variance_mode == VarianceMode::TotalVariance)) {
+    throw std::runtime_error(
+        "BaggingEnsemble::load_fit: structural signature mismatch (load "
+        "into an ensemble built by the same ModelFactory)");
+  }
+  const util::JsonValue& tree_states = v.at("tree_states");
+  if (tree_states.size() != trees_.size()) {
+    throw std::runtime_error(
+        "BaggingEnsemble::load_fit: tree count mismatch");
+  }
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    trees_[t].load_state(tree_states.at(t));
+  }
+  inc_enabled_ = v.at("inc_enabled").as_bool();
+  stddev_floor_ = v.at("stddev_floor").as_double();
+  y_lo_ = v.at("y_lo").as_double();
+  y_hi_ = v.at("y_hi").as_double();
+  fitted_ = true;
+  return true;
+}
+
 }  // namespace lynceus::model

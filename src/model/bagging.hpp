@@ -110,6 +110,16 @@ class BaggingEnsemble final : public Regressor {
   /// concurrently, which the branch-parallel lookahead engines rely on.
   bool assign_fitted(const Regressor& src) override;
 
+  /// Fit-state serialization (see Regressor::save_fit/load_fit): every
+  /// tree's node arrays + captured incremental membership, the stddev
+  /// floor and the fitted target range, with round-trip number precision.
+  /// A load_fit()ed ensemble predicts — and, when membership was
+  /// captured, append_and_update()s — bitwise identically to the saved
+  /// one. load_fit verifies the structural signature (tree count,
+  /// variance mode) and throws std::runtime_error on a mismatch.
+  bool save_fit(util::JsonWriter& w) const override;
+  bool load_fit(const util::JsonValue& v) override;
+
   [[nodiscard]] const BaggingOptions& options() const noexcept {
     return options_;
   }

@@ -619,4 +619,127 @@ void DecisionTree::predict_frontier(const FeatureMatrix& fm,
   }
 }
 
+void DecisionTree::save_state(util::JsonWriter& w) const {
+  if (!fitted()) {
+    throw std::logic_error("DecisionTree::save_state: not fitted");
+  }
+  w.begin_object();
+  w.key("depth").value(static_cast<std::uint64_t>(depth_));
+  w.key("left").begin_array();
+  for (const Node& n : nodes_) w.value(static_cast<std::int64_t>(n.left));
+  w.end_array();
+  w.key("right").begin_array();
+  for (const Node& n : nodes_) w.value(static_cast<std::int64_t>(n.right));
+  w.end_array();
+  w.key("feature").begin_array();
+  for (const Node& n : nodes_) w.value(static_cast<std::int64_t>(n.feature));
+  w.end_array();
+  w.key("split").begin_array();
+  for (const Node& n : nodes_) {
+    w.value(static_cast<std::uint64_t>(n.split_code));
+  }
+  w.end_array();
+  // float → double is exact; value_exact round-trips the double, and the
+  // load-side narrowing back to float recovers the original bit pattern.
+  w.key("value").begin_array();
+  for (const Node& n : nodes_) w.value_exact(static_cast<double>(n.value));
+  w.end_array();
+  w.key("variance").begin_array();
+  for (const Node& n : nodes_) {
+    w.value_exact(static_cast<double>(n.variance));
+  }
+  w.end_array();
+  w.key("inc").begin_object();
+  w.key("enabled").value(inc_enabled_);
+  w.key("reserve").value(static_cast<std::uint64_t>(inc_reserve_));
+  w.key("base").value(static_cast<std::uint64_t>(inc_base_));
+  w.key("rows").begin_array();
+  for (std::uint32_t r : inc_rows_) w.value(static_cast<std::uint64_t>(r));
+  w.end_array();
+  w.key("y").begin_array();
+  for (double y : inc_y_) w.value_exact(y);
+  w.end_array();
+  w.key("leaf_of").begin_array();
+  for (std::int32_t l : leaf_of_) w.value(static_cast<std::int64_t>(l));
+  w.end_array();
+  w.key("node_depth").begin_array();
+  for (std::uint32_t d : node_depth_) {
+    w.value(static_cast<std::uint64_t>(d));
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+}
+
+void DecisionTree::load_state(const util::JsonValue& v) {
+  const util::JsonValue& left = v.at("left");
+  const util::JsonValue& right = v.at("right");
+  const util::JsonValue& feature = v.at("feature");
+  const util::JsonValue& split = v.at("split");
+  const util::JsonValue& value = v.at("value");
+  const util::JsonValue& variance = v.at("variance");
+  const std::size_t n = left.size();
+  if (n == 0 || right.size() != n || feature.size() != n ||
+      split.size() != n || value.size() != n || variance.size() != n) {
+    throw std::runtime_error(
+        "DecisionTree::load_state: inconsistent node arrays");
+  }
+  nodes_.clear();
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Node node;
+    node.left = static_cast<std::int32_t>(left.at(i).as_int());
+    node.right = static_cast<std::int32_t>(right.at(i).as_int());
+    node.feature = static_cast<std::int16_t>(feature.at(i).as_int());
+    node.split_code = static_cast<std::uint16_t>(split.at(i).as_uint());
+    node.value = static_cast<float>(value.at(i).as_double());
+    node.variance = static_cast<float>(variance.at(i).as_double());
+    if (node.feature != kLeaf &&
+        (node.left < 0 || node.right < 0 ||
+         node.left >= static_cast<std::int32_t>(n) ||
+         node.right >= static_cast<std::int32_t>(n))) {
+      throw std::runtime_error(
+          "DecisionTree::load_state: child index out of range");
+    }
+    nodes_.push_back(node);
+  }
+  depth_ = static_cast<unsigned>(v.at("depth").as_uint());
+
+  const util::JsonValue& inc = v.at("inc");
+  inc_enabled_ = inc.at("enabled").as_bool();
+  inc_reserve_ = static_cast<std::size_t>(inc.at("reserve").as_uint());
+  inc_base_ = static_cast<std::size_t>(inc.at("base").as_uint());
+  inc_rows_.clear();
+  for (const util::JsonValue& r : inc.at("rows").items()) {
+    inc_rows_.push_back(static_cast<std::uint32_t>(r.as_uint()));
+  }
+  inc_y_.clear();
+  for (const util::JsonValue& y : inc.at("y").items()) {
+    inc_y_.push_back(y.as_double());
+  }
+  leaf_of_.clear();
+  for (const util::JsonValue& l : inc.at("leaf_of").items()) {
+    leaf_of_.push_back(static_cast<std::int32_t>(l.as_int()));
+  }
+  node_depth_.clear();
+  for (const util::JsonValue& d : inc.at("node_depth").items()) {
+    node_depth_.push_back(static_cast<std::uint32_t>(d.as_uint()));
+  }
+  if (inc_rows_.size() != inc_y_.size() ||
+      inc_rows_.size() != leaf_of_.size()) {
+    throw std::runtime_error(
+        "DecisionTree::load_state: inconsistent membership arrays");
+  }
+  if (!node_depth_.empty() && node_depth_.size() != nodes_.size()) {
+    throw std::runtime_error(
+        "DecisionTree::load_state: node_depth/nodes mismatch");
+  }
+  // Mirror assign_fitted's reservation so post-load appends behave like
+  // post-assign ones (capacity only; appends remain correct regardless).
+  if (inc_enabled_) {
+    if (inc_base_ == 0) inc_base_ = inc_rows_.size();
+    if (inc_base_ > 0) reserve_incremental(inc_base_);
+  }
+}
+
 }  // namespace lynceus::model

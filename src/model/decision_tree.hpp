@@ -130,6 +130,18 @@ class DecisionTree {
   /// branch). Options must match; the fit scratch is not copied.
   void assign_fitted(const DecisionTree& src);
 
+  /// Serializes the fitted state — node arrays, depth, incremental
+  /// capture configuration and membership — as one JSON object
+  /// (BaggingEnsemble::save_fit embeds one per tree). Leaf values and
+  /// variances are written with round-trip precision, so a load_state()ed
+  /// tree predicts bitwise identically. Requires fitted().
+  void save_state(util::JsonWriter& w) const;
+
+  /// Restores a save_state() object into this tree (options are NOT
+  /// serialized — the same-factory contract of assign_fitted applies).
+  /// Throws std::runtime_error on a malformed or inconsistent state.
+  void load_state(const util::JsonValue& v);
+
   [[nodiscard]] bool fitted() const noexcept { return !nodes_.empty(); }
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "space/config_space.hpp"
+#include "util/json.hpp"
 
 namespace lynceus::model {
 
@@ -224,6 +225,34 @@ class Regressor {
   /// predictions must be bitwise identical to the original's.
   [[nodiscard]] virtual std::unique_ptr<Regressor> clone() const {
     return nullptr;
+  }
+
+  /// --- Fit-state serialization (tuning-session snapshot/restore; the
+  /// --- persistent twin of clone(). See core/stepper.hpp for the session
+  /// --- snapshot format that embeds this.)
+  ///
+  /// Writes the complete fitted state — for the bagging ensemble: every
+  /// tree's node array plus the captured incremental membership — as one
+  /// JSON value into `w` (the caller has positioned the writer where a
+  /// value is expected, e.g. after a key). Returns false *without writing
+  /// anything* when the model does not support serialization or is not
+  /// fitted; the caller then emits its own placeholder.
+  virtual bool save_fit(util::JsonWriter& w) const {
+    (void)w;
+    return false;
+  }
+
+  /// Restores a save_fit() state into this model. The model must have
+  /// been built with the same hyper-parameters as the saved one (both by
+  /// one ModelFactory — the same contract as assign_fitted); the
+  /// serialized state carries a structural signature and a mismatch
+  /// throws std::runtime_error. After a successful load, predictions —
+  /// and incremental appends, where membership was captured — are bitwise
+  /// identical to the saved model's. Returns false when the model does
+  /// not support serialization.
+  virtual bool load_fit(const util::JsonValue& v) {
+    (void)v;
+    return false;
   }
 };
 

@@ -1,0 +1,199 @@
+#include "service/tuning_service.hpp"
+
+#include <stdexcept>
+
+namespace lynceus::service {
+
+TuningService::TuningService() : TuningService(Options{}) {}
+
+TuningService::TuningService(Options options) : options_(options) {
+  if (options_.pool_workers > 0) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.pool_workers);
+  }
+  if (options_.root_cache_capacity > 0) {
+    core::RootCache::Options copts;
+    copts.capacity = options_.root_cache_capacity;
+    copts.store_models = options_.cache_store_models;
+    cache_ = std::make_unique<core::RootCache>(copts);
+  }
+}
+
+TuningService::Session& TuningService::session_at(SessionId id) {
+  if (id >= sessions_.size() || sessions_[id].closed) {
+    throw std::invalid_argument("TuningService: unknown or closed session " +
+                                std::to_string(id));
+  }
+  return sessions_[id];
+}
+
+const TuningService::Session& TuningService::session_at(SessionId id) const {
+  if (id >= sessions_.size() || sessions_[id].closed) {
+    throw std::invalid_argument("TuningService: unknown or closed session " +
+                                std::to_string(id));
+  }
+  return sessions_[id];
+}
+
+SessionId TuningService::register_session(
+    std::unique_ptr<core::OptimizerStepper> stepper) {
+  if (stepper == nullptr) {
+    throw std::invalid_argument("TuningService: null stepper");
+  }
+  Session s;
+  s.stepper = std::move(stepper);
+  sessions_.push_back(std::move(s));
+  return sessions_.size() - 1;
+}
+
+void TuningService::enqueue_ready(SessionId id) {
+  Session& s = sessions_[id];
+  if (s.queued || s.closed || s.stepper->finished()) return;
+  ready_.push_back(id);
+  s.queued = true;
+}
+
+SessionId TuningService::open(
+    std::unique_ptr<core::OptimizerStepper> stepper) {
+  const SessionId id = register_session(std::move(stepper));
+  enqueue_ready(id);
+  return id;
+}
+
+SessionId TuningService::open_lynceus(const core::OptimizationProblem& problem,
+                                      core::LynceusOptions options,
+                                      std::uint64_t seed) {
+  options.pool = shared_pool();
+  options.root_cache = shared_cache();
+  return open(core::LynceusOptimizer(std::move(options))
+                  .make_stepper(problem, seed));
+}
+
+SessionId TuningService::open_multi_constraint(
+    const core::OptimizationProblem& problem,
+    std::vector<core::ConstraintDef> constraints,
+    core::MultiConstraintOptions options, std::uint64_t seed) {
+  options.pool = shared_pool();
+  options.root_cache = shared_cache();
+  return open(
+      core::MultiConstraintLynceus(std::move(constraints), std::move(options))
+          .make_stepper(problem, seed));
+}
+
+SessionId TuningService::open_bo(const core::OptimizationProblem& problem,
+                                 core::BoOptions options,
+                                 std::uint64_t seed) {
+  return open(
+      core::BayesianOptimizer(std::move(options)).make_stepper(problem, seed));
+}
+
+SessionId TuningService::open_random(const core::OptimizationProblem& problem,
+                                     std::uint64_t seed) {
+  return open(core::RandomSearch().make_stepper(problem, seed));
+}
+
+std::vector<PendingRun> TuningService::next_runs(std::size_t max_runs) {
+  std::vector<PendingRun> out;
+  // One sweep over the sessions currently ready; sessions that finish emit
+  // nothing, sessions that ask emit their batch and wait for tell()s.
+  std::size_t remaining = ready_.size();
+  while (remaining-- > 0 && out.size() < max_runs) {
+    const SessionId id = ready_.front();
+    ready_.pop_front();
+    Session& s = sessions_[id];
+    s.queued = false;
+    if (s.closed || s.stepper->finished()) continue;
+    const core::StepAction& action = s.stepper->ask();
+    if (action.kind == core::StepAction::Kind::Finished) continue;
+    // outstanding_configs(), not action.configs: a session restored from a
+    // mid-batch snapshot already holds some of the batch's results.
+    const std::vector<core::ConfigId> todo = s.stepper->outstanding_configs();
+    for (core::ConfigId config : todo) {
+      out.push_back(PendingRun{id, config});
+    }
+    s.in_flight = todo.size();
+    in_flight_total_ += s.in_flight;
+  }
+  return out;
+}
+
+void TuningService::tell(SessionId session, core::ConfigId config,
+                         const core::RunResult& result) {
+  Session& s = session_at(session);
+  if (s.in_flight == 0) {
+    throw std::invalid_argument(
+        "TuningService::tell: session " + std::to_string(session) +
+        " has no run in flight");
+  }
+  s.stepper->tell(config, result);
+  --s.in_flight;
+  --in_flight_total_;
+  // The batch is complete once the stepper holds nothing outstanding;
+  // the session then re-enters the FIFO ready queue.
+  if (s.in_flight == 0) enqueue_ready(session);
+}
+
+bool TuningService::finished(SessionId session) const {
+  return session_at(session).stepper->finished();
+}
+
+const std::string& TuningService::stop_reason(SessionId session) const {
+  return session_at(session).stepper->stop_reason();
+}
+
+core::OptimizerResult TuningService::result(SessionId session) const {
+  return session_at(session).stepper->result();
+}
+
+const core::OptimizerStepper& TuningService::stepper(
+    SessionId session) const {
+  return *session_at(session).stepper;
+}
+
+void TuningService::close(SessionId session) {
+  Session& s = session_at(session);
+  in_flight_total_ -= s.in_flight;
+  s.in_flight = 0;
+  s.closed = true;
+  s.stepper.reset();
+  ++closed_count_;
+  // A queued entry for a closed session is skipped by next_runs().
+}
+
+std::string TuningService::snapshot(SessionId session) const {
+  return session_at(session).stepper->snapshot();
+}
+
+SessionId TuningService::restore(
+    std::unique_ptr<core::OptimizerStepper> stepper,
+    const std::string& snapshot_json) {
+  if (stepper == nullptr) {
+    throw std::invalid_argument("TuningService: null stepper");
+  }
+  stepper->restore(snapshot_json);
+  const SessionId id = register_session(std::move(stepper));
+  enqueue_ready(id);
+  return id;
+}
+
+SessionId TuningService::restore_lynceus(
+    const core::OptimizationProblem& problem, core::LynceusOptions options,
+    std::uint64_t seed, const std::string& snapshot_json) {
+  options.pool = shared_pool();
+  options.root_cache = shared_cache();
+  return restore(
+      core::LynceusOptimizer(std::move(options)).make_stepper(problem, seed),
+      snapshot_json);
+}
+
+void drain(TuningService& service, eval::AsyncTableRunner& runner) {
+  while (true) {
+    for (const PendingRun& run : service.next_runs()) {
+      runner.submit(run.session, run.config);
+    }
+    const auto completion = runner.next_completion();
+    if (!completion.has_value()) return;
+    service.tell(completion->tag, completion->config, completion->result);
+  }
+}
+
+}  // namespace lynceus::service

@@ -1,0 +1,212 @@
+#pragma once
+
+/// \file tuning_service.hpp
+/// Multiplexes many concurrent tuning sessions — one ask/tell stepper per
+/// job being tuned — behind a single service object: the process-level
+/// building block of the ROADMAP's production tuning service.
+///
+/// The classic optimize() entrypoint blocks one thread for one job until
+/// its budget runs out. Cloud profiling runs take minutes and complete
+/// asynchronously, so a server must instead keep N sessions suspended
+/// while their runs are in flight and advance whichever session's result
+/// arrives next. With the optimizers inverted into ask/tell steppers
+/// (core/stepper.hpp) that is exactly what this class does:
+///
+///   * `open_*()` starts a session (Lynceus, multi-constraint, BO or RND)
+///     over a problem, injecting the service's shared resources: one
+///     `util::ThreadPool` fanning out every session's root simulations,
+///     and optionally one shared `core::RootCache`, so recurrent sessions
+///     of the same job warm-start each other's root fits across the whole
+///     service. Per-session observers and budgets ride in unchanged
+///     through the optimizer options / the problem.
+///   * `next_runs()` drains the ready queue: it ask()s every session with
+///     no outstanding runs, in deterministic round-robin order (see
+///     below), and returns the profiling runs to launch.
+///   * `tell()` routes one completed run back to its session; when that
+///     session's outstanding batch completes it re-enters the ready
+///     queue.
+///
+/// ## Scheduling determinism
+///
+/// The ready queue is FIFO: sessions enter in open() order and re-enter
+/// when their last outstanding tell() lands, so for a given sequence of
+/// open/tell calls, next_runs() output is a pure function of that
+/// sequence — no wall-clock, thread or hash-order dependence. Because
+/// each stepper applies its tell()ed batches in canonical ask() order
+/// (core/stepper.hpp), per-session trajectories are **bit-identical to
+/// the session's solo optimize() run** no matter how many sessions are
+/// multiplexed or how their completions interleave; the shared root cache
+/// cannot perturb this either (exact-key hits return the very doubles a
+/// refit would recompute). tests/test_tuning_service.cpp pins both, up to
+/// 64 interleaved sessions with out-of-order completions.
+///
+/// ## Snapshot / restore
+///
+/// snapshot(session) serializes the session's complete resumable state
+/// (the stepper snapshot of core/stepper.hpp). restore_*() reopens it —
+/// in this process or another — given the same problem, options and
+/// seed; the restored session finishes byte-identically. In-flight runs
+/// at snapshot time are part of the state: results already told are
+/// carried in the snapshot, still-missing ones are simply re-asked
+/// for by next_runs() after restore (the pending batch survives).
+///
+/// Single-threaded by design: the service is an event-loop core — calls
+/// are cheap state transitions (ask() decision work happens inside
+/// next_runs()), and callers own the concurrency model around it.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bo.hpp"
+#include "core/constraints.hpp"
+#include "core/lookahead.hpp"
+#include "core/lynceus.hpp"
+#include "core/random_search.hpp"
+#include "core/stepper.hpp"
+#include "core/types.hpp"
+#include "eval/runner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lynceus::service {
+
+using SessionId = std::uint64_t;
+
+/// One profiling run the driver must execute and tell() back.
+struct PendingRun {
+  SessionId session = 0;
+  core::ConfigId config = 0;
+};
+
+class TuningService {
+ public:
+  struct Options {
+    /// Workers of the service-owned thread pool shared by every session's
+    /// root-simulation fan-out (0 = no pool, decisions run inline).
+    std::size_t pool_workers = 0;
+    /// Capacity of the service-owned RootCache shared across sessions
+    /// (0 = no shared cache). Sessions of one recurrent job reuse each
+    /// other's root fits; unrelated jobs sharing one service should keep
+    /// this small or off (see the RootCache sharing contract in
+    /// core/lookahead.hpp). Trajectories are unaffected either way.
+    std::size_t root_cache_capacity = 0;
+    /// RootCache::Options::store_models for the shared cache.
+    bool cache_store_models = false;
+  };
+
+  TuningService();
+  explicit TuningService(Options options);
+
+  /// Opens a session around a caller-built stepper. The convenience
+  /// open_* overloads below are preferred — they inject the shared pool
+  /// and cache; this overload wires in whatever the stepper was built
+  /// with. The problem behind the stepper must outlive the session.
+  SessionId open(std::unique_ptr<core::OptimizerStepper> stepper);
+
+  /// Lynceus session: `options.pool` and `options.root_cache` are
+  /// overridden with the service's shared pool/cache; everything else
+  /// (lookahead, screen width, budgets via the problem, per-session
+  /// observer) is the caller's.
+  SessionId open_lynceus(const core::OptimizationProblem& problem,
+                         core::LynceusOptions options, std::uint64_t seed);
+
+  /// Multi-constraint session (same shared-resource injection).
+  SessionId open_multi_constraint(const core::OptimizationProblem& problem,
+                                  std::vector<core::ConstraintDef> constraints,
+                                  core::MultiConstraintOptions options,
+                                  std::uint64_t seed);
+
+  SessionId open_bo(const core::OptimizationProblem& problem,
+                    core::BoOptions options, std::uint64_t seed);
+
+  SessionId open_random(const core::OptimizationProblem& problem,
+                        std::uint64_t seed);
+
+  /// Advances every ready session (deterministic round-robin; see file
+  /// comment) and returns the profiling runs to launch. Sessions that
+  /// finish during the sweep emit no runs — query finished()/result().
+  /// `max_runs` caps the sweep (remaining ready sessions stay queued).
+  [[nodiscard]] std::vector<PendingRun> next_runs(
+      std::size_t max_runs = SIZE_MAX);
+
+  /// Routes one completed run to its session. Throws std::invalid_argument
+  /// for an unknown session or a run the session did not ask for.
+  void tell(SessionId session, core::ConfigId config,
+            const core::RunResult& result);
+
+  [[nodiscard]] bool finished(SessionId session) const;
+  /// The stepper's stop reason (empty while running).
+  [[nodiscard]] const std::string& stop_reason(SessionId session) const;
+  /// The session's (partial, until finished) optimization result.
+  [[nodiscard]] core::OptimizerResult result(SessionId session) const;
+  [[nodiscard]] const core::OptimizerStepper& stepper(
+      SessionId session) const;
+
+  /// True when no session has runs in flight and none is ready to ask —
+  /// i.e. next_runs() would return nothing.
+  [[nodiscard]] bool idle() const noexcept {
+    return ready_.empty() && in_flight_total_ == 0;
+  }
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size() - closed_count_;
+  }
+
+  /// Releases a session's state (finished or abandoned mid-flight). Its
+  /// id is never reused.
+  void close(SessionId session);
+
+  /// Serializes the session (see core/stepper.hpp "Snapshot format").
+  [[nodiscard]] std::string snapshot(SessionId session) const;
+
+  /// Reopens a snapshot into a fresh stepper built with the same problem,
+  /// options and seed as the saved session (the restore_* overloads build
+  /// it with the shared resources injected, mirroring open_*). The
+  /// restored session re-enters the ready queue unless finished.
+  SessionId restore(std::unique_ptr<core::OptimizerStepper> stepper,
+                    const std::string& snapshot_json);
+  SessionId restore_lynceus(const core::OptimizationProblem& problem,
+                            core::LynceusOptions options, std::uint64_t seed,
+                            const std::string& snapshot_json);
+
+  /// The shared resources, for callers building their own steppers.
+  [[nodiscard]] util::ThreadPool* shared_pool() noexcept {
+    return pool_ ? pool_.get() : nullptr;
+  }
+  [[nodiscard]] core::RootCache* shared_cache() noexcept {
+    return cache_ ? cache_.get() : nullptr;
+  }
+
+ private:
+  struct Session {
+    std::unique_ptr<core::OptimizerStepper> stepper;
+    std::size_t in_flight = 0;  ///< runs handed out, not yet told
+    bool queued = false;        ///< in ready_
+    bool closed = false;
+  };
+
+  Session& session_at(SessionId id);
+  [[nodiscard]] const Session& session_at(SessionId id) const;
+  SessionId register_session(std::unique_ptr<core::OptimizerStepper> stepper);
+  void enqueue_ready(SessionId id);
+
+  Options options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<core::RootCache> cache_;
+  std::vector<Session> sessions_;  ///< index = SessionId
+  std::deque<SessionId> ready_;    ///< FIFO of sessions to ask next
+  std::size_t in_flight_total_ = 0;
+  std::size_t closed_count_ = 0;
+};
+
+/// Drains `service` to completion against the simulated-async replay
+/// runner: launches everything next_runs() asks for (tagged with the
+/// session id), routes each completion — earliest simulated finish first,
+/// i.e. out of submission order — back to its session, and returns once
+/// the service is idle. The event loop the CLI batch mode, the
+/// service benchmarks and the examples all share; a real deployment
+/// replaces it with its cluster transport.
+void drain(TuningService& service, eval::AsyncTableRunner& runner);
+
+}  // namespace lynceus::service

@@ -51,7 +51,14 @@ CliFlags::CliFlags(int argc, const char* const* argv,
     if (!known(name)) {
       throw std::invalid_argument("unknown flag: --" + name);
     }
-    values_[name] = value;
+    // Repeated (or conflicting, e.g. `--x ... --no-x`) flags are a hard
+    // error: last-one-wins silence hides typos in long experiment command
+    // lines, where the dropped value can invalidate hours of results.
+    if (!values_.emplace(name, value).second) {
+      throw std::invalid_argument(
+          "flag --" + name +
+          " given more than once (conflicting or repeated values)");
+    }
   }
 }
 

@@ -6,7 +6,9 @@
 /// Supports `--name=value`, `--name value`, and boolean `--name` /
 /// `--no-name` forms. Unknown flags raise `std::invalid_argument` so typos
 /// in experiment invocations fail loudly instead of silently running the
-/// default configuration.
+/// default configuration; so does giving one flag twice (including the
+/// conflicting `--x ... --no-x` pair), which would otherwise silently
+/// resolve last-one-wins.
 
 #include <cstdint>
 #include <map>

@@ -1,6 +1,8 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/strings.hpp"
@@ -111,6 +113,23 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_exact(double v) {
+  if (!std::isfinite(v)) {
+    // value(double) silently degrades NaN/Inf to null (fine for bench
+    // output); an *exact* value is requested precisely when the document
+    // must restore bit-for-bit — emitting null there would produce a
+    // snapshot that serializes fine and can never be loaded. Fail at
+    // save time, where the caller can still react.
+    throw std::invalid_argument(
+        "JsonWriter::value_exact: non-finite values cannot round-trip");
+  }
+  begin_value();
+  out_ += format("%.17g", v);
+  need_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(std::int64_t v) {
   begin_value();
   out_ += format("%lld", static_cast<long long>(v));
@@ -148,6 +167,340 @@ const std::string& JsonWriter::str() const {
     throw std::logic_error("JsonWriter: document incomplete");
   }
   return out_;
+}
+
+// --------------------------------------------------------------- parser
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::Bool) throw std::runtime_error("JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ != Type::Number) {
+    throw std::runtime_error("JsonValue: not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(scalar_.c_str(), &end);
+  if (end == scalar_.c_str() || *end != '\0') {
+    throw std::runtime_error("JsonValue: malformed number '" + scalar_ + "'");
+  }
+  return v;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (type_ != Type::Number) {
+    throw std::runtime_error("JsonValue: not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (end == scalar_.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::runtime_error("JsonValue: not a 64-bit integer '" + scalar_ +
+                             "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (type_ != Type::Number) {
+    throw std::runtime_error("JsonValue: not a number");
+  }
+  if (!scalar_.empty() && scalar_[0] == '-') {
+    throw std::runtime_error("JsonValue: negative value for as_uint '" +
+                             scalar_ + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (end == scalar_.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::runtime_error("JsonValue: not a 64-bit integer '" + scalar_ +
+                             "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::String) {
+    throw std::runtime_error("JsonValue: not a string");
+  }
+  return scalar_;
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::Array) return items_.size();
+  if (type_ == Type::Object) return members_.size();
+  throw std::runtime_error("JsonValue: size() on a scalar");
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  if (type_ != Type::Array) throw std::runtime_error("JsonValue: not an array");
+  if (index >= items_.size()) {
+    throw std::runtime_error("JsonValue: array index out of range");
+  }
+  return items_[index];
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::Array) throw std::runtime_error("JsonValue: not an array");
+  return items_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::Object) {
+    throw std::runtime_error("JsonValue: not an object");
+  }
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("JsonValue: missing key '" + key + "'");
+  }
+  return *v;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue root = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("parse_json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    // Recursive descent: bound the nesting so a corrupt or hostile
+    // document (e.g. a snapshot file fed to --resume) reports an error
+    // instead of overflowing the stack.
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
+    JsonValue v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_value_inner() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::String;
+        v.scalar_ = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("invalid literal");
+        JsonValue v;
+        v.type_ = JsonValue::Type::Bool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("invalid literal");
+        JsonValue v;
+        v.type_ = JsonValue::Type::Bool;
+        v.bool_ = false;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items_.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // The writer only \u-escapes control characters (< 0x20); encode
+          // anything beyond Latin-1 as UTF-8 for completeness.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail("invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("invalid number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail("invalid number");
+    }
+    JsonValue v;
+    v.type_ = JsonValue::Type::Number;
+    v.scalar_ = text_.substr(start, pos_ - start);
+    return v;
+  }
+
+  static constexpr std::size_t kMaxDepth = 256;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
 }
 
 }  // namespace lynceus::util

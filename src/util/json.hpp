@@ -1,10 +1,12 @@
 #pragma once
 
 /// \file json.hpp
-/// A minimal streaming JSON writer (no parser): nested objects/arrays,
-/// string escaping, and locale-independent number formatting. Used by the
-/// bench binaries to emit machine-readable result files next to the CSVs,
-/// so notebooks can consume experiment output without CSV-schema guessing.
+/// A minimal streaming JSON writer plus a small recursive-descent parser.
+/// The writer emits nested objects/arrays with string escaping and
+/// locale-independent number formatting; the bench binaries use it for
+/// machine-readable result files, and the tuning-session snapshots
+/// (core/stepper.hpp, src/service/) use it together with the parser for
+/// byte-exact save/restore round trips.
 ///
 /// Usage:
 ///   JsonWriter w;
@@ -38,6 +40,14 @@ class JsonWriter {
   JsonWriter& value(const std::string& v);
   JsonWriter& value(const char* v);
   JsonWriter& value(double v);
+  /// Like value(double) but with round-trip precision (%.17g): the value
+  /// parsed back by parse_json()'s as_double() is bit-identical to `v`.
+  /// The default value(double) prints 12 significant digits for readable
+  /// bench output; snapshots that must restore exactly use this instead.
+  /// Non-finite values throw std::invalid_argument — they cannot
+  /// round-trip through JSON, and degrading them to null (as value(double)
+  /// does) would yield a snapshot that saves fine but can never restore.
+  JsonWriter& value_exact(double v);
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(std::uint64_t v);
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
@@ -62,5 +72,52 @@ class JsonWriter {
 
 /// Escapes a string for inclusion in a JSON document (adds the quotes).
 [[nodiscard]] std::string json_escape(const std::string& s);
+
+/// A parsed JSON document node. Numbers keep their source token so integer
+/// accessors read the digits exactly (a 64-bit RNG word must not round-trip
+/// through a double) and as_double() converts with strtod's correct
+/// rounding — together with JsonWriter::value_exact this makes
+/// write→parse→read bit-exact for doubles and 64-bit integers.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+
+  /// Typed accessors; each throws std::runtime_error on a type mismatch
+  /// (or an out-of-range / malformed number).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array access.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+
+  /// Object access: find() returns nullptr when the key is absent, at()
+  /// throws. Member order is preserved from the document.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::string scalar_;  ///< number token or string payload
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (the whole string must be consumed, bar
+/// trailing whitespace). Throws std::runtime_error with a byte offset on
+/// malformed input, including documents nested deeper than 256 levels
+/// (the recursive-descent parser bounds its stack).
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 }  // namespace lynceus::util

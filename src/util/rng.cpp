@@ -29,6 +29,20 @@ Rng::Rng(std::uint64_t seed) noexcept {
   for (auto& word : s_) word = splitmix64(sm);
 }
 
+Rng::State Rng::state() const noexcept {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.spare_normal = spare_normal_;
+  st.has_spare = has_spare_;
+  return st;
+}
+
+void Rng::set_state(const State& state) noexcept {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  spare_normal_ = state.spare_normal;
+  has_spare_ = state.has_spare;
+}
+
 Rng::result_type Rng::operator()() noexcept {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

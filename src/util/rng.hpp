@@ -94,6 +94,17 @@ class Rng {
   /// one draw. Children forked in sequence are mutually independent.
   [[nodiscard]] Rng split() noexcept;
 
+  /// Serializable generator state (tuning-session snapshot/restore, see
+  /// core/stepper.hpp). `set_state(state())` is an exact no-op: the stream
+  /// continues bit-identically, including a cached spare normal variate.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double spare_normal = 0.0;
+    bool has_spare = false;
+  };
+  [[nodiscard]] State state() const noexcept;
+  void set_state(const State& state) noexcept;
+
  private:
   std::uint64_t s_[4];
   double spare_normal_ = 0.0;

@@ -234,5 +234,119 @@ TEST(BaggingEnsemble, Validation) {
   EXPECT_THROW(ens.predict_all(fm, out), std::logic_error);
 }
 
+// ---------------------------------------------------------------------------
+// Fit-state serialization (Regressor::save_fit / load_fit)
+// ---------------------------------------------------------------------------
+
+/// Fits a deterministic noisy surface on half the grid.
+void fit_noisy(BaggingEnsemble& ens, const FeatureMatrix& fm,
+               std::uint64_t seed) {
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+  util::Rng noise(3);
+  for (std::uint32_t r = 0; r < fm.rows(); r += 2) {
+    rows.push_back(r);
+    y.push_back(noise.normal(10.0, 3.0));
+  }
+  ens.fit(fm, rows, y, seed);
+}
+
+TEST(BaggingSerialization, SaveLoadRoundTripIsBitwise) {
+  const auto sp = grid_space(6, 6);
+  const FeatureMatrix fm(sp);
+  BaggingEnsemble ens;
+  fit_noisy(ens, fm, 77);
+
+  util::JsonWriter w;
+  ASSERT_TRUE(ens.save_fit(w));
+  const util::JsonValue state = util::parse_json(w.str());
+
+  BaggingEnsemble back;
+  ASSERT_TRUE(back.load_fit(state));
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    EXPECT_EQ(ens.predict(fm, r).mean, back.predict(fm, r).mean);
+    EXPECT_EQ(ens.predict(fm, r).stddev, back.predict(fm, r).stddev);
+  }
+  std::vector<Prediction> a;
+  std::vector<Prediction> b;
+  ens.predict_all(fm, a);
+  back.predict_all(fm, b);
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    EXPECT_EQ(a[r].mean, b[r].mean);
+    EXPECT_EQ(a[r].stddev, b[r].stddev);
+  }
+}
+
+TEST(BaggingSerialization, RoundTripPreservesIncrementalMembership) {
+  const auto sp = grid_space(6, 6);
+  const FeatureMatrix fm(sp);
+  BaggingEnsemble ens;
+  ASSERT_TRUE(ens.enable_incremental(4));
+  fit_noisy(ens, fm, 19);
+  ASSERT_TRUE(ens.incremental_ready());
+
+  util::JsonWriter w;
+  ASSERT_TRUE(ens.save_fit(w));
+  BaggingEnsemble back;
+  ASSERT_TRUE(back.load_fit(util::parse_json(w.str())));
+  ASSERT_TRUE(back.incremental_ready());
+
+  // The same append on the original and the deserialized copy must land
+  // on bitwise-identical models (same captured membership, same derived
+  // per-tree streams).
+  ASSERT_TRUE(ens.append_and_update(fm, 7, 25.0, 1234));
+  ASSERT_TRUE(back.append_and_update(fm, 7, 25.0, 1234));
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    EXPECT_EQ(ens.predict(fm, r).mean, back.predict(fm, r).mean);
+    EXPECT_EQ(ens.predict(fm, r).stddev, back.predict(fm, r).stddev);
+  }
+}
+
+TEST(BaggingSerialization, UnfittedSavesNothing) {
+  BaggingEnsemble ens;
+  util::JsonWriter w;
+  EXPECT_FALSE(ens.save_fit(w));
+  // The writer is untouched and still usable.
+  w.value(1.0);
+  EXPECT_EQ(w.str(), "1");
+}
+
+TEST(BaggingSerialization, LoadValidatesSignature) {
+  const auto sp = grid_space(4, 4);
+  const FeatureMatrix fm(sp);
+  BaggingEnsemble ens;
+  fit_noisy(ens, fm, 5);
+  util::JsonWriter w;
+  ASSERT_TRUE(ens.save_fit(w));
+  const util::JsonValue state = util::parse_json(w.str());
+
+  BaggingOptions fewer;
+  fewer.trees = 5;
+  BaggingEnsemble mismatched(fewer);
+  EXPECT_THROW((void)mismatched.load_fit(state), std::runtime_error);
+
+  BaggingOptions total;
+  total.variance_mode = VarianceMode::TotalVariance;
+  BaggingEnsemble other_mode(total);
+  EXPECT_THROW((void)other_mode.load_fit(state), std::runtime_error);
+}
+
+TEST(BaggingSerialization, TotalVarianceModeRoundTrips) {
+  const auto sp = grid_space(6, 6);
+  const FeatureMatrix fm(sp);
+  BaggingOptions opts;
+  opts.variance_mode = VarianceMode::TotalVariance;
+  BaggingEnsemble ens(opts);
+  fit_noisy(ens, fm, 11);
+  util::JsonWriter w;
+  ASSERT_TRUE(ens.save_fit(w));
+  BaggingEnsemble back(opts);
+  ASSERT_TRUE(back.load_fit(util::parse_json(w.str())));
+  for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+    EXPECT_EQ(ens.predict(fm, r).mean, back.predict(fm, r).mean);
+    EXPECT_EQ(ens.predict(fm, r).stddev, back.predict(fm, r).stddev);
+  }
+}
+
 }  // namespace
 }  // namespace lynceus::model

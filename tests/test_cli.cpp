@@ -49,6 +49,21 @@ TEST(CliFlags, UnknownFlagThrows) {
   EXPECT_THROW(parse({"--bogus=1"}, {"runs"}), std::invalid_argument);
 }
 
+TEST(CliFlags, RepeatedFlagIsAHardError) {
+  // Last-one-wins silence hides typos in long command lines.
+  EXPECT_THROW(parse({"--runs=1", "--runs=2"}, {"runs"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--runs", "1", "--runs=1"}, {"runs"}),
+               std::invalid_argument);
+}
+
+TEST(CliFlags, ConflictingBooleanFormsAreAHardError) {
+  EXPECT_THROW(parse({"--fast", "--no-fast"}, {"fast"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--no-fast", "--fast=true"}, {"fast"}),
+               std::invalid_argument);
+}
+
 TEST(CliFlags, MalformedBoolThrows) {
   const auto flags = parse({"--fast=maybe"}, {"fast"});
   EXPECT_THROW((void)flags.get_bool("fast", false), std::invalid_argument);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 namespace lynceus::util {
 namespace {
@@ -102,6 +104,111 @@ TEST(JsonWriter, EmptyContainers) {
   w.end_object();
   w.end_object();
   EXPECT_EQ(w.str(), R"({"empty_arr":[],"empty_obj":{}})");
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers) {
+  const auto v = parse_json(
+      R"({"a": 1, "b": -2.5e3, "s": "x\ny", "t": true, "f": false,)"
+      R"( "n": null, "arr": [1, 2, 3], "obj": {"k": "v"}})");
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("a").as_uint(), 1U);
+  EXPECT_DOUBLE_EQ(v.at("b").as_double(), -2500.0);
+  EXPECT_EQ(v.at("s").as_string(), "x\ny");
+  EXPECT_TRUE(v.at("t").as_bool());
+  EXPECT_FALSE(v.at("f").as_bool());
+  EXPECT_TRUE(v.at("n").is_null());
+  ASSERT_EQ(v.at("arr").size(), 3U);
+  EXPECT_EQ(v.at("arr").at(1).as_int(), 2);
+  EXPECT_EQ(v.at("obj").at("k").as_string(), "v");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_json(""), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("tru"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1 2"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("01a"), std::runtime_error);
+}
+
+TEST(JsonParser, TypeMismatchesThrow) {
+  const auto v = parse_json(R"({"s": "x", "n": 1})");
+  EXPECT_THROW((void)v.at("s").as_int(), std::runtime_error);
+  EXPECT_THROW((void)v.at("n").as_string(), std::runtime_error);
+  EXPECT_THROW((void)v.at("n").at(0), std::runtime_error);
+  EXPECT_THROW((void)parse_json("-1").as_uint(), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1.5").as_int(), std::runtime_error);
+}
+
+TEST(JsonParser, ExactDoubleRoundTrip) {
+  // value_exact → parse → as_double must be bit-identical, including
+  // values %.12g would truncate.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           6.02214076e23,
+                           -2.2250738585072014e-308,
+                           123456.78901234567,
+                           0.0};
+  for (const double x : values) {
+    JsonWriter w;
+    w.begin_array();
+    w.value_exact(x);
+    w.end_array();
+    const auto v = parse_json(w.str());
+    const double back = v.at(std::size_t{0}).as_double();
+    EXPECT_EQ(std::memcmp(&back, &x, sizeof x), 0) << x;
+  }
+}
+
+TEST(JsonParser, ExactUint64RoundTrip) {
+  // Full-width 64-bit integers (RNG words) must not round through double.
+  const std::uint64_t values[] = {0ULL, 1ULL, 0xFFFFFFFFFFFFFFFFULL,
+                                  0x8000000000000000ULL,
+                                  1234567890123456789ULL};
+  for (const std::uint64_t x : values) {
+    JsonWriter w;
+    w.begin_array();
+    w.value(x);
+    w.end_array();
+    EXPECT_EQ(parse_json(w.str()).at(std::size_t{0}).as_uint(), x);
+  }
+}
+
+TEST(JsonParser, BoundsNestingDepthInsteadOfOverflowingTheStack) {
+  // A corrupt/hostile snapshot must surface as a parse error, not a
+  // segfault: 100k nested arrays stay far beyond the 256-level bound.
+  const std::string deep(100000, '[');
+  EXPECT_THROW((void)parse_json(deep), std::runtime_error);
+  // Moderate (<= 256) nesting still parses.
+  std::string ok;
+  for (int i = 0; i < 100; ++i) ok += '[';
+  ok += '1';
+  for (int i = 0; i < 100; ++i) ok += ']';
+  EXPECT_EQ(parse_json(ok).size(), 1U);
+}
+
+TEST(JsonWriter, ValueExactRejectsNonFiniteValues) {
+  JsonWriter w;
+  w.begin_array();
+  EXPECT_THROW(w.value_exact(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(w.value_exact(HUGE_VAL), std::invalid_argument);
+  // The plain writer still degrades to null for bench output.
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonParser, RoundTripsWriterEscapes) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("weird \"key\"\t").value("line1\nline2\\end\x01");
+  w.end_object();
+  const auto v = parse_json(w.str());
+  EXPECT_EQ(v.at("weird \"key\"\t").as_string(), "line1\nline2\\end\x01");
 }
 
 }  // namespace

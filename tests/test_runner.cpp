@@ -63,5 +63,73 @@ TEST(FailureInjection, LynceusSurfacesRunnerErrors) {
   EXPECT_THROW((void)lyn.optimize(problem, failing, 1), std::runtime_error);
 }
 
+TEST(AsyncTableRunner, CompletesInSimulatedTimeOrder) {
+  const auto ds = testing::tiny_dataset();
+  AsyncTableRunner async(ds);
+  // Pick two configs with distinct runtimes; the slower-submitted-first
+  // pair must complete fast-first.
+  space::ConfigId slow = 0;
+  space::ConfigId fast = 0;
+  for (space::ConfigId id = 0; id < ds.size(); ++id) {
+    if (ds.runtime(id) > ds.runtime(slow)) slow = id;
+    if (ds.runtime(id) < ds.runtime(fast)) fast = id;
+  }
+  ASSERT_LT(ds.runtime(fast), ds.runtime(slow));
+
+  async.submit(100, slow);
+  async.submit(200, fast);
+  EXPECT_EQ(async.outstanding(), 2U);
+
+  const auto first = async.next_completion();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tag, 200U);
+  EXPECT_EQ(first->config, fast);
+  EXPECT_DOUBLE_EQ(first->result.cost, ds.cost(fast));
+  EXPECT_DOUBLE_EQ(async.now(), ds.runtime(fast));
+
+  const auto second = async.next_completion();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tag, 100U);
+  EXPECT_DOUBLE_EQ(async.now(), ds.runtime(slow));
+
+  EXPECT_FALSE(async.next_completion().has_value());
+  EXPECT_EQ(async.runs_served(), 2U);
+}
+
+TEST(AsyncTableRunner, TiesBreakBySubmissionTicket) {
+  const auto ds = testing::tiny_dataset();
+  AsyncTableRunner async(ds);
+  const auto t0 = async.submit(1, 4);
+  const auto t1 = async.submit(2, 4);  // identical runtime → tie
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(async.next_completion()->tag, 1U);
+  EXPECT_EQ(async.next_completion()->tag, 2U);
+}
+
+TEST(AsyncTableRunner, ClockAdvancesAcrossSubmissionWaves) {
+  const auto ds = testing::tiny_dataset();
+  AsyncTableRunner async(ds);
+  async.submit(0, 3);
+  const auto first = async.next_completion();
+  ASSERT_TRUE(first.has_value());
+  // A run submitted after the first completion starts at the new now().
+  async.submit(0, 3);
+  const auto second = async.next_completion();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->finish_time, 2.0 * ds.runtime(3));
+}
+
+TEST(AsyncTableRunner, MetricsFunctionInvoked) {
+  const auto ds = testing::tiny_dataset();
+  AsyncTableRunner async(ds, [](space::ConfigId id) {
+    return std::vector<double>{static_cast<double>(id) * 2.0};
+  });
+  async.submit(0, 4);
+  const auto c = async.next_completion();
+  ASSERT_TRUE(c.has_value());
+  ASSERT_EQ(c->result.metrics.size(), 1U);
+  EXPECT_DOUBLE_EQ(c->result.metrics[0], 8.0);
+}
+
 }  // namespace
 }  // namespace lynceus::eval

@@ -1,0 +1,300 @@
+#include "service/tuning_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::service {
+namespace {
+
+using core::ConfigId;
+using core::OptimizerResult;
+
+double tiny_energy(const space::ConfigSpace& sp, ConfigId id) {
+  return 10.0 + 4.0 * sp.value(id, 0) + 3.0 * sp.value(id, 1);
+}
+
+eval::TableRunner::MetricsFn tiny_metrics() {
+  const auto sp = lynceus::testing::tiny_space();
+  return [sp](space::ConfigId id) {
+    return std::vector<double>{tiny_energy(*sp, id)};
+  };
+}
+
+core::ConstraintDef tiny_constraint(double cap) {
+  core::ConstraintDef c;
+  c.name = "energy";
+  c.metric_index = 0;
+  c.threshold = [cap](ConfigId) { return cap; };
+  return c;
+}
+
+void expect_identical(const OptimizerResult& a, const OptimizerResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id) << "step " << i;
+    EXPECT_EQ(a.history[i].cost, b.history[i].cost);
+    EXPECT_EQ(a.history[i].feasible, b.history[i].feasible);
+  }
+  EXPECT_EQ(a.budget_spent, b.budget_spent);
+  EXPECT_EQ(a.recommendation, b.recommendation);
+  EXPECT_EQ(a.recommendation_feasible, b.recommendation_feasible);
+  EXPECT_EQ(a.decisions, b.decisions);
+}
+
+/// Drains a service against the simulated-completion async runner until
+/// every session finishes: launch whatever next_runs() asks for, pop the
+/// earliest-finishing completion, tell it back. Completions interleave
+/// across sessions and arrive out of submission order by construction.
+void pump(TuningService& service, eval::AsyncTableRunner& async) {
+  while (true) {
+    for (const PendingRun& run : service.next_runs()) {
+      async.submit(run.session, run.config);
+    }
+    const auto completion = async.next_completion();
+    if (!completion.has_value()) {
+      ASSERT_TRUE(service.idle());
+      return;
+    }
+    service.tell(completion->tag, completion->config, completion->result);
+  }
+}
+
+TEST(TuningService, EightMixedSessionsMatchTheirSoloRuns) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+
+  TuningService service;
+  eval::AsyncTableRunner async(ds, tiny_metrics());
+
+  // 8 sessions across all four optimizer kinds and distinct seeds.
+  std::vector<SessionId> ids;
+  std::vector<std::function<OptimizerResult()>> solos;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    core::LynceusOptions lopts;
+    lopts.lookahead = 1;
+    lopts.incremental_refit = false;
+    ids.push_back(service.open_lynceus(problem, lopts, seed));
+    solos.push_back([&, lopts, seed] {
+      eval::TableRunner solo(ds, tiny_metrics());
+      auto stepper =
+          core::LynceusOptimizer(lopts).make_stepper(problem, seed);
+      return core::drive(*stepper, solo);
+    });
+
+    core::MultiConstraintOptions mopts;
+    mopts.lookahead = 1;
+    mopts.incremental_refit = false;
+    ids.push_back(service.open_multi_constraint(
+        problem, {tiny_constraint(26.0)}, mopts, seed));
+    solos.push_back([&, mopts, seed] {
+      eval::TableRunner solo(ds, tiny_metrics());
+      auto stepper =
+          core::MultiConstraintLynceus({tiny_constraint(26.0)}, mopts)
+              .make_stepper(problem, seed);
+      return core::drive(*stepper, solo);
+    });
+
+    ids.push_back(service.open_bo(problem, core::BoOptions{}, seed));
+    solos.push_back([&, seed] {
+      eval::TableRunner solo(ds, tiny_metrics());
+      auto stepper = core::BayesianOptimizer().make_stepper(problem, seed);
+      return core::drive(*stepper, solo);
+    });
+
+    ids.push_back(service.open_random(problem, seed));
+    solos.push_back([&, seed] {
+      eval::TableRunner solo(ds, tiny_metrics());
+      auto stepper = core::RandomSearch().make_stepper(problem, seed);
+      return core::drive(*stepper, solo);
+    });
+  }
+  ASSERT_EQ(service.session_count(), 8U);
+
+  pump(service, async);
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(ids[i]));
+    ASSERT_TRUE(service.finished(ids[i]));
+    EXPECT_FALSE(service.stop_reason(ids[i]).empty());
+    expect_identical(service.result(ids[i]), solos[i]());
+  }
+}
+
+TEST(TuningService, SixtyFourInterleavedSessionsMatchTheirSoloRuns) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+
+  // Shared pool + shared root cache: neither may perturb any trajectory.
+  TuningService::Options sopts;
+  sopts.pool_workers = 2;
+  sopts.root_cache_capacity = 16;
+  TuningService service(sopts);
+  eval::AsyncTableRunner async(ds);
+
+  std::vector<SessionId> ids;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    core::LynceusOptions opts;
+    opts.lookahead = seed % 2 == 0 ? 1U : 0U;
+    opts.incremental_refit = false;
+    ids.push_back(service.open_lynceus(problem, opts, seed));
+  }
+  ASSERT_EQ(service.session_count(), 64U);
+
+  pump(service, async);
+
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    core::LynceusOptions opts;
+    opts.lookahead = seed % 2 == 0 ? 1U : 0U;
+    opts.incremental_refit = false;
+    eval::TableRunner solo(ds);
+    auto stepper = core::LynceusOptimizer(opts).make_stepper(problem, seed);
+    const OptimizerResult golden = core::drive(*stepper, solo);
+    ASSERT_TRUE(service.finished(ids[seed - 1]));
+    expect_identical(service.result(ids[seed - 1]), golden);
+  }
+}
+
+TEST(TuningService, SharedCacheHitsAcrossIdenticalSessionsKeepTrajectories) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+
+  TuningService::Options sopts;
+  sopts.root_cache_capacity = 32;
+  TuningService service(sopts);
+  eval::AsyncTableRunner async(ds);
+
+  // Identical sessions (same seed): the recurrent-job scenario. Every
+  // session after the first replays the same root states, so the shared
+  // cache serves their root fits.
+  core::LynceusOptions opts;
+  opts.lookahead = 1;
+  opts.incremental_refit = false;
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(service.open_lynceus(problem, opts, 17));
+  }
+  pump(service, async);
+
+  eval::TableRunner solo(ds);
+  auto stepper = core::LynceusOptimizer(opts).make_stepper(problem, 17);
+  const OptimizerResult golden = core::drive(*stepper, solo);
+  for (const SessionId id : ids) {
+    expect_identical(service.result(id), golden);
+  }
+  ASSERT_NE(service.shared_cache(), nullptr);
+  EXPECT_GT(service.shared_cache()->stats().hits, 0U);
+}
+
+TEST(TuningService, RoundRobinSchedulingIsDeterministic) {
+  const auto problem = lynceus::testing::tiny_problem();
+  auto order_of = [&] {
+    TuningService service;
+    std::vector<SessionId> opened;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      opened.push_back(service.open_random(problem, seed));
+    }
+    std::vector<SessionId> order;
+    for (const PendingRun& run : service.next_runs()) {
+      order.push_back(run.session);
+    }
+    return order;
+  };
+  const auto a = order_of();
+  const auto b = order_of();
+  ASSERT_EQ(a, b);
+  // FIFO: the first asked batch belongs to the first opened session.
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.front(), 0U);
+  // All five sessions' bootstrap batches are in the sweep, grouped and in
+  // open order.
+  EXPECT_EQ(a.back(), 4U);
+}
+
+TEST(TuningService, MaxRunsCapsTheSweepAndKeepsSessionsQueued) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningService service;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    (void)service.open_random(problem, seed);
+  }
+  // One session's bootstrap batch at a time.
+  const auto first = service.next_runs(1);
+  ASSERT_EQ(first.size(), problem.bootstrap_samples);
+  EXPECT_FALSE(service.idle());
+  const auto second = service.next_runs(1);
+  ASSERT_EQ(second.size(), problem.bootstrap_samples);
+  EXPECT_NE(first.front().session, second.front().session);
+
+  eval::AsyncTableRunner async(ds);
+  for (const auto& run : first) async.submit(run.session, run.config);
+  for (const auto& run : second) async.submit(run.session, run.config);
+  while (auto c = async.next_completion()) {
+    service.tell(c->tag, c->config, c->result);
+  }
+  // The third session is still queued and asks on the next sweep.
+  const auto third = service.next_runs();
+  bool saw_third_session = false;
+  for (const auto& run : third) {
+    saw_third_session = saw_third_session || run.session == 2;
+  }
+  EXPECT_TRUE(saw_third_session);
+}
+
+TEST(TuningService, SnapshotRestoreMidFlightFinishesByteIdentically) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  core::LynceusOptions opts;
+  opts.lookahead = 1;
+  opts.incremental_refit = false;
+
+  eval::TableRunner solo(ds);
+  auto ref = core::LynceusOptimizer(opts).make_stepper(problem, 23);
+  const OptimizerResult golden = core::drive(*ref, solo);
+
+  TuningService service;
+  eval::AsyncTableRunner async(ds);
+  const SessionId id = service.open_lynceus(problem, opts, 23);
+  // Launch the bootstrap, resolve half of it, snapshot mid-flight.
+  for (const auto& run : service.next_runs()) {
+    async.submit(run.session, run.config);
+  }
+  for (std::size_t i = 0; i < problem.bootstrap_samples / 2; ++i) {
+    const auto c = async.next_completion();
+    ASSERT_TRUE(c.has_value());
+    service.tell(c->tag, c->config, c->result);
+  }
+  const std::string snap = service.snapshot(id);
+  service.close(id);
+
+  // Restore into a second service instance (fresh process in spirit); the
+  // still-in-flight runs are re-asked for, already-told ones are not.
+  TuningService revived;
+  eval::AsyncTableRunner async2(ds);
+  const SessionId rid = revived.restore_lynceus(problem, opts, 23, snap);
+  pump(revived, async2);
+  ASSERT_TRUE(revived.finished(rid));
+  expect_identical(revived.result(rid), golden);
+}
+
+TEST(TuningService, ValidatesSessionIdsAndTells) {
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningService service;
+  core::RunResult r;
+  EXPECT_THROW(service.tell(0, 0, r), std::invalid_argument);
+  const SessionId id = service.open_random(problem, 1);
+  EXPECT_THROW(service.tell(id, 0, r), std::invalid_argument);  // not asked
+  EXPECT_THROW((void)service.result(id + 1), std::invalid_argument);
+  service.close(id);
+  EXPECT_THROW((void)service.result(id), std::invalid_argument);
+  EXPECT_EQ(service.session_count(), 0U);
+}
+
+}  // namespace
+}  // namespace lynceus::service

@@ -68,6 +68,13 @@ def load_entries(summary):
                          "no scaling to gate)")
             continue
         entries[key] = e["p50_ms"]
+    for e in summary.get("session_throughput", []):
+        # TuningService decision throughput: gated on the per-decision
+        # latency of the whole multi-session drain (session count and
+        # cache sharing mode are part of the key).
+        key = (f"svc/{e['space']}/s{e['sessions']}"
+               f"/{e.get('cache', 'shared')}")
+        entries[key] = e["ms_per_decision"]
     for e in summary.get("decision_scaling", []):
         # Same rules as pooled_decision: the worker count is part of the
         # key (so a 1-core baseline and a multi-core CI run only compare

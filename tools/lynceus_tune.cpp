@@ -4,46 +4,77 @@
 ///   lynceus_tune --suite=tf --job=cnn                    # defaults
 ///   lynceus_tune --suite=scout --job=spark-kmeans --optimizer=bo
 ///   lynceus_tune --suite=tf --job=rnn --la=1 --b=5 --trace
-///   lynceus_tune --suite=scout --job=hadoop-sort --dataset=mine.csv
+///   lynceus_tune --suite=tf --job=cnn --sessions=8       # service batch
+///   lynceus_tune --job=cnn --snapshot=s.json --snapshot-after=14
+///   lynceus_tune --job=cnn --resume=s.json               # and finish
 ///
-/// Flags:
-///   --suite     tf | scout | cherrypick          (default tf)
-///   --job       job name within the suite        (default: first job)
-///   --optimizer lynceus | bo | rnd | cherrypick  (default lynceus)
-///   --la        Lynceus lookahead                (default 2)
-///   --screen    Lynceus root-screening width     (default 24, 0 = all)
-///   --b         budget multiplier                (default 3)
-///   --seed      RNG seed                         (default 1)
-///   --dataset   CSV produced by Dataset::save_csv / export_datasets,
-///               replayed instead of the synthetic surface (its rows must
-///               match the suite's configuration space)
-///   --incremental  Lynceus incremental ensemble refit (faster lookahead
-///               decisions, see core/lookahead.hpp; also enabled by
-///               LYNCEUS_INCREMENTAL_REFIT=1)
-///   --branch-parallel  also parallelize *inside* each root simulation
-///               (trajectory-neutral; see the pooled-determinism contract
-///               in core/lookahead.hpp; also enabled by
-///               LYNCEUS_BRANCH_PARALLEL=1)
-///   --trace     print the per-decision table
-///   --list      list the suite's jobs and exit
+/// Run `lynceus_tune --help` for the full flag reference (kept in one
+/// place there, including the environment-variable defaults). Repeated or
+/// conflicting flags are a hard error.
 
 #include <cstdio>
+#include <fstream>
 #include <optional>
+#include <sstream>
 
 #include "cloud/workloads.hpp"
 #include "core/bo.hpp"
 #include "core/lynceus.hpp"
 #include "core/random_search.hpp"
+#include "core/stepper.hpp"
 #include "core/trace.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "eval/runner.hpp"
+#include "service/tuning_service.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace lynceus;
+
+const char kUsage[] = R"(lynceus_tune — tune a bundled (or CSV-replayed) job
+
+Flags:
+  --suite     tf | scout | cherrypick          (default tf)
+  --job       job name within the suite        (default: first job)
+  --optimizer lynceus | bo | rnd | cherrypick  (default lynceus)
+  --la        Lynceus lookahead                (default 2)
+  --screen    Lynceus root-screening width     (default 24, 0 = all)
+  --b         budget multiplier                (default 3)
+  --seed      RNG seed                         (default 1)
+  --dataset   CSV produced by Dataset::save_csv / export_datasets,
+              replayed instead of the synthetic surface (its rows must
+              match the suite's configuration space)
+  --incremental      Lynceus incremental ensemble refit (faster lookahead
+              decisions, see core/lookahead.hpp). Default: the
+              LYNCEUS_INCREMENTAL_REFIT environment variable (unset =
+              off); the flag can only turn the feature ON — with the env
+              toggle set, omitting the flag does NOT turn it off.
+  --branch-parallel  also parallelize *inside* each root simulation
+              (trajectory-neutral; pooled-determinism contract in
+              core/lookahead.hpp). Default: the LYNCEUS_BRANCH_PARALLEL
+              environment variable (unset = off); same on-only semantics
+              as --incremental.
+  --sessions N       tune N concurrent sessions of the job (seeds
+              seed..seed+N-1) through the TuningService over one shared
+              thread pool, fed by simulated asynchronous run completions
+              (lynceus | bo | rnd only; incompatible with --trace). A
+              shared root cache only pays off for identical recurrent
+              sessions — distinct seeds never share root states — so this
+              mode runs without one.
+  --snapshot PATH    serialize the session to PATH and exit once
+              --snapshot-after tell()s have been applied
+  --snapshot-after K runs applied before snapshotting (default: after
+              the bootstrap)
+  --resume PATH      restore the session saved at PATH and finish it
+  --trace     print the per-decision table
+  --list      list the suite's jobs and exit
+  --help      this text
+
+Repeated or conflicting flags (e.g. --trace --no-trace) are an error.
+)";
 
 std::vector<cloud::Dataset> suite_datasets(const std::string& suite) {
   if (suite == "tf" || suite == "tensorflow") {
@@ -69,45 +100,154 @@ const cloud::Dataset& pick_job(const std::vector<cloud::Dataset>& all,
   throw std::invalid_argument("unknown job '" + job + "' (use --list)");
 }
 
-std::unique_ptr<core::Optimizer> make_optimizer(const std::string& name,
-                                                unsigned la, unsigned screen,
-                                                bool incremental,
-                                                bool branch_parallel,
+struct OptimizerChoice {
+  std::string name;
+  unsigned la = 2;
+  unsigned screen = 24;
+  bool incremental = false;
+  bool branch_parallel = false;
+};
+
+core::LynceusOptions lynceus_options(const OptimizerChoice& c,
+                                     core::OptimizerObserver* obs,
+                                     util::ThreadPool* pool) {
+  core::LynceusOptions opts;
+  opts.lookahead = c.la;
+  opts.screen_width = c.screen;
+  // env defaults (LYNCEUS_INCREMENTAL_REFIT / LYNCEUS_BRANCH_PARALLEL)
+  // already applied; the CLI flags can only turn the features on, never
+  // off.
+  opts.incremental_refit = opts.incremental_refit || c.incremental;
+  opts.branch_parallel = opts.branch_parallel || c.branch_parallel;
+  opts.observer = obs;
+  opts.pool = pool;
+  return opts;
+}
+
+std::unique_ptr<core::Optimizer> make_optimizer(const OptimizerChoice& c,
                                                 core::OptimizerObserver* obs,
                                                 util::ThreadPool* pool) {
-  if (name == "lynceus") {
-    core::LynceusOptions opts;
-    opts.lookahead = la;
-    opts.screen_width = screen;
-    // env defaults (LYNCEUS_INCREMENTAL_REFIT / LYNCEUS_BRANCH_PARALLEL)
-    // already applied; the CLI flags can only turn the features on, never
-    // off.
-    opts.incremental_refit = opts.incremental_refit || incremental;
-    opts.branch_parallel = opts.branch_parallel || branch_parallel;
-    opts.observer = obs;
-    opts.pool = pool;
-    return std::make_unique<core::LynceusOptimizer>(opts);
+  if (c.name == "lynceus") {
+    return std::make_unique<core::LynceusOptimizer>(
+        lynceus_options(c, obs, pool));
   }
-  if (name == "bo") {
+  if (c.name == "bo") {
     core::BoOptions opts;
     opts.observer = obs;
     return std::make_unique<core::BayesianOptimizer>(opts);
   }
-  if (name == "cherrypick") {
+  if (c.name == "cherrypick") {
     auto spec = eval::cherrypick_spec();
     return spec.make();
   }
-  if (name == "rnd") return std::make_unique<core::RandomSearch>();
+  if (c.name == "rnd") return std::make_unique<core::RandomSearch>();
   throw std::invalid_argument(
-      "unknown optimizer '" + name +
+      "unknown optimizer '" + c.name +
       "' (expected lynceus | bo | rnd | cherrypick)");
 }
 
+/// Ask/tell stepper for the session-based modes (--sessions, --snapshot,
+/// --resume), via the generic Optimizer::make_stepper. CherryPick (a
+/// composite spec without a stepper form) reports nullptr.
+std::unique_ptr<core::OptimizerStepper> make_stepper(
+    const OptimizerChoice& c, const core::OptimizationProblem& problem,
+    std::uint64_t seed, core::OptimizerObserver* obs,
+    util::ThreadPool* pool) {
+  auto stepper = make_optimizer(c, obs, pool)->make_stepper(problem, seed);
+  if (stepper == nullptr) {
+    throw std::invalid_argument("optimizer '" + c.name +
+                                "' has no ask/tell stepper "
+                                "(expected lynceus | bo | rnd)");
+  }
+  return stepper;
+}
+
+void print_trace(const core::TraceRecorder& trace,
+                 const cloud::Dataset& dataset) {
+  std::printf("\niter | viable | chosen config\n");
+  for (std::size_t i = 0; i < trace.decisions().size(); ++i) {
+    const auto& d = trace.decisions()[i];
+    std::printf("%4zu | %6zu | %s  ($%.4f predicted, $%.4f actual)\n",
+                d.iteration, d.viable_count,
+                dataset.space().describe(d.chosen).c_str(),
+                d.predicted_cost, trace.runs()[i].cost);
+  }
+  if (!trace.stop_reason().empty()) {
+    std::printf("stopped: %s\n", trace.stop_reason().c_str());
+  }
+}
+
+void print_summary(const cloud::Dataset& dataset,
+                   const core::OptimizationProblem& problem,
+                   const core::OptimizerResult& result) {
+  std::printf("\nexplored %zu configurations, spent $%.4f of $%.4f\n",
+              result.explorations(), result.budget_spent, problem.budget);
+  if (!result.recommendation) {
+    std::printf("no configuration could be recommended\n");
+    return;
+  }
+  const auto best = *result.recommendation;
+  std::printf("recommended: %s\n", dataset.space().describe(best).c_str());
+  std::printf("  runtime %.1f s (%s), cost $%.4f per run, CNO %.3f\n",
+              dataset.runtime(best),
+              result.recommendation_feasible ? "meets deadline"
+                                             : "MISSES deadline",
+              dataset.cost(best), eval::cno(dataset, result));
+}
+
+/// --sessions N: the TuningService batch mode. Every session tunes the
+/// same job with its own seed; runs complete asynchronously in simulated
+/// time, so sessions' tell()s interleave out of submission order exactly
+/// as they would against a real cluster.
+int run_sessions(const cloud::Dataset& dataset,
+                 const core::OptimizationProblem& problem,
+                 const OptimizerChoice& choice, std::uint64_t seed,
+                 std::size_t sessions) {
+  service::TuningService::Options sopts;
+  sopts.pool_workers = util::default_worker_count();
+  // No shared root cache: sessions carry distinct seeds, so their root
+  // states (bootstrap rows + fit seeds) never coincide and exact-key hits
+  // are impossible — the cache would only burn memory here. Identical
+  // recurrent sessions (the scenario the shared cache serves) are
+  // benchmarked in bench_micro's session_throughput section.
+  service::TuningService svc(sopts);
+
+  std::vector<service::SessionId> ids;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    ids.push_back(svc.open(make_stepper(choice, problem, seed + i, nullptr,
+                                        svc.shared_pool())));
+  }
+
+  eval::AsyncTableRunner async(dataset);
+  service::drain(svc, async);
+
+  std::printf("\n%zu sessions finished (shared pool: %zu workers)\n",
+              sessions, sopts.pool_workers);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const auto result = svc.result(ids[i]);
+    const long rec = result.recommendation
+                         ? static_cast<long>(*result.recommendation)
+                         : -1L;
+    std::printf("  session %zu (seed %llu): %3zu runs, $%.4f spent, "
+                "rec=%ld, CNO %.3f — %s\n",
+                i, static_cast<unsigned long long>(seed + i),
+                result.explorations(), result.budget_spent, rec,
+                eval::cno(dataset, result), svc.stop_reason(ids[i]).c_str());
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
-  const util::CliFlags flags(argc, argv,
-                             {"suite", "job", "optimizer", "la", "screen",
-                              "b", "seed", "dataset", "incremental",
-                              "branch-parallel", "trace", "list"});
+  const util::CliFlags flags(
+      argc, argv,
+      {"suite", "job", "optimizer", "la", "screen", "b", "seed", "dataset",
+       "incremental", "branch-parallel", "sessions", "snapshot",
+       "snapshot-after", "resume", "trace", "list", "help"});
+
+  if (flags.get_bool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
 
   const auto all = suite_datasets(flags.get_string("suite", "tf"));
   if (flags.get_bool("list", false)) {
@@ -131,18 +271,93 @@ int run(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto problem = eval::make_problem(*dataset, b);
 
+  OptimizerChoice choice;
+  choice.name = flags.get_string("optimizer", "lynceus");
+  choice.la = static_cast<unsigned>(flags.get_int("la", 2));
+  choice.screen = static_cast<unsigned>(flags.get_int("screen", 24));
+  choice.incremental = flags.get_bool("incremental", false);
+  choice.branch_parallel = flags.get_bool("branch-parallel", false);
+
+  const auto sessions =
+      static_cast<std::size_t>(flags.get_int("sessions", 1));
+  if (sessions > 1) {
+    if (flags.get_bool("trace", false)) {
+      throw std::invalid_argument(
+          "--trace prints one session's decision table and is not "
+          "supported with --sessions");
+    }
+    std::printf("job %s | %zu configs | Tmax %.1f s | budget $%.4f | "
+                "%zu sessions\n",
+                dataset->job_name().c_str(), dataset->size(),
+                problem.tmax_seconds, problem.budget, sessions);
+    return run_sessions(*dataset, problem, choice, seed, sessions);
+  }
+
   core::TraceRecorder trace;
   const bool want_trace = flags.get_bool("trace", false);
   // Per-decision root simulations fan out across the host's cores by
   // default; the explored trajectory does not depend on the pool size.
   util::ThreadPool pool(util::default_worker_count());
-  auto optimizer = make_optimizer(
-      flags.get_string("optimizer", "lynceus"),
-      static_cast<unsigned>(flags.get_int("la", 2)),
-      static_cast<unsigned>(flags.get_int("screen", 24)),
-      flags.get_bool("incremental", false),
-      flags.get_bool("branch-parallel", false),
-      want_trace ? &trace : nullptr, &pool);
+
+  // --resume / --snapshot: session-based drive over an ask/tell stepper.
+  if (flags.has("resume") || flags.has("snapshot")) {
+    auto stepper = make_stepper(choice, problem, seed,
+                                want_trace ? &trace : nullptr, &pool);
+    if (flags.has("resume")) {
+      const std::string path = flags.get_string("resume", "");
+      std::ifstream in(path);
+      std::stringstream buf;
+      buf << in.rdbuf();
+      if (!in) {
+        std::fprintf(stderr, "lynceus_tune: cannot read %s\n", path.c_str());
+        return 2;
+      }
+      stepper->restore(buf.str());
+      std::printf("resumed %s from %s (%zu runs applied so far)\n",
+                  stepper->name().c_str(), path.c_str(),
+                  stepper->result().history.size());
+    }
+    const std::size_t snapshot_after = static_cast<std::size_t>(
+        flags.get_int("snapshot-after",
+                      static_cast<std::int64_t>(problem.bootstrap_samples)));
+    eval::TableRunner runner(*dataset);
+    std::size_t applied = stepper->result().history.size();
+    const auto save_snapshot = [&]() -> bool {
+      const std::string path = flags.get_string("snapshot", "");
+      std::ofstream out(path);
+      out << stepper->snapshot() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "lynceus_tune: cannot write %s\n", path.c_str());
+        return false;
+      }
+      std::printf("snapshot after %zu runs written to %s — resume with "
+                  "--resume=%s\n",
+                  applied, path.c_str(), path.c_str());
+      return true;
+    };
+    while (!stepper->finished()) {
+      // Snapshots may land mid-batch: told results ride inside the
+      // snapshot, untold ones are re-asked for after a restore.
+      if (flags.has("snapshot") && applied >= snapshot_after) {
+        return save_snapshot() ? 0 : 2;
+      }
+      const core::StepAction& action = stepper->ask();
+      if (action.kind == core::StepAction::Kind::Finished) break;
+      for (core::ConfigId id : stepper->outstanding_configs()) {
+        if (flags.has("snapshot") && applied >= snapshot_after) {
+          return save_snapshot() ? 0 : 2;
+        }
+        stepper->tell(id, runner.run(id));
+        ++applied;
+      }
+    }
+    if (want_trace) print_trace(trace, *dataset);
+    print_summary(*dataset, problem, stepper->result());
+    return stepper->result().recommendation ? 0 : 1;
+  }
+
+  auto optimizer =
+      make_optimizer(choice, want_trace ? &trace : nullptr, &pool);
 
   std::printf("job %s | %zu configs | Tmax %.1f s | budget $%.4f | %s\n",
               dataset->job_name().c_str(), dataset->size(),
@@ -152,34 +367,10 @@ int run(int argc, char** argv) {
   eval::TableRunner runner(*dataset);
   const auto result = optimizer->optimize(problem, runner, seed);
 
-  if (want_trace) {
-    std::printf("\niter | viable | chosen config\n");
-    for (std::size_t i = 0; i < trace.decisions().size(); ++i) {
-      const auto& d = trace.decisions()[i];
-      std::printf("%4zu | %6zu | %s  ($%.4f predicted, $%.4f actual)\n",
-                  d.iteration, d.viable_count,
-                  dataset->space().describe(d.chosen).c_str(),
-                  d.predicted_cost, trace.runs()[i].cost);
-    }
-    if (!trace.stop_reason().empty()) {
-      std::printf("stopped: %s\n", trace.stop_reason().c_str());
-    }
-  }
+  if (want_trace) print_trace(trace, *dataset);
 
-  std::printf("\nexplored %zu configurations, spent $%.4f of $%.4f\n",
-              result.explorations(), result.budget_spent, problem.budget);
-  if (!result.recommendation) {
-    std::printf("no configuration could be recommended\n");
-    return 1;
-  }
-  const auto best = *result.recommendation;
-  std::printf("recommended: %s\n", dataset->space().describe(best).c_str());
-  std::printf("  runtime %.1f s (%s), cost $%.4f per run, CNO %.3f\n",
-              dataset->runtime(best),
-              result.recommendation_feasible ? "meets deadline"
-                                             : "MISSES deadline",
-              dataset->cost(best), eval::cno(*dataset, result));
-  return 0;
+  print_summary(*dataset, problem, result);
+  return result.recommendation ? 0 : 1;
 }
 
 }  // namespace

@@ -18,7 +18,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import compare_bench  # noqa: E402
 
 
-def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None):
+def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None,
+            svc=None):
     """Builds a minimal BENCH_micro.json-shaped dict."""
     out = {"bench": "micro_decision", "unit": "ms"}
     out["spaces"] = [
@@ -33,6 +34,7 @@ def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None):
     out["incremental_refit"] = inc or []
     out["pooled_decision"] = pooled or []
     out["decision_scaling"] = scaling or []
+    out["session_throughput"] = svc or []
     return out
 
 
@@ -161,6 +163,32 @@ class CompareBenchTest(unittest.TestCase):
         inc_new[2] = dict(inc_new[2], p50_ms=90.0)
         new = summary(spaces_p50=entries, inc=inc_new)
         self.assertEqual(self.run_gate(base, new), 1)
+
+    def test_session_throughput_keys_on_sessions_and_cache_mode(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0)]}
+        svc_base = [
+            {"space": "scout_0", "optimizer": "lynceus_la1", "sessions": 1,
+             "cache": "shared", "ms_per_decision": 4.0},
+            {"space": "scout_0", "optimizer": "lynceus_la1", "sessions": 64,
+             "cache": "per-session", "ms_per_decision": 5.0},
+        ]
+        base = summary(spaces_p50=entries, svc=svc_base)
+        flat, notes = compare_bench.load_entries(base)
+        self.assertIn("svc/scout_0/s1/shared", flat)
+        self.assertIn("svc/scout_0/s64/per-session", flat)
+        self.assertEqual(flat["svc/scout_0/s1/shared"], 4.0)
+        self.assertEqual(notes, [])
+
+    def test_session_throughput_regression_fails(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}
+        svc_base = [{"space": "scout_0", "optimizer": "lynceus_la1",
+                     "sessions": 8, "cache": "shared",
+                     "ms_per_decision": 5.0}]
+        base = summary(spaces_p50=entries, svc=svc_base)
+        svc_new = [dict(svc_base[0], ms_per_decision=25.0)]
+        new = summary(spaces_p50=entries, svc=svc_new)
+        self.assertEqual(self.run_gate(base, new), 1)
+        self.assertEqual(self.run_gate(base, base), 0)
 
     def test_no_common_entries_is_a_pass(self):
         base = summary(spaces_p50={"tf": [(0, 2.0)]})

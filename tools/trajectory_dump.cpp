@@ -9,6 +9,7 @@
 /// UB) and fails the pipeline.
 ///
 ///   trajectory_dump [--out=PATH] [--incremental] [--branch-parallel]
+///                   [--via-steps]
 ///
 /// `--incremental` (or the LYNCEUS_INCREMENTAL_REFIT=1 environment toggle)
 /// runs every case with Options::incremental_refit on. Those trajectories
@@ -25,6 +26,14 @@
 /// branch-parallel dump against the serial dump of the same build as a
 /// hard check. The header line deliberately omits the flag so the files
 /// compare equal.
+///
+/// `--via-steps` runs every case through the ask/tell stepper protocol
+/// (core/stepper.hpp) instead of the optimize() entrypoint, telling each
+/// batch's results back in REVERSE order. Like `--branch-parallel` this
+/// must NOT change the output — the ask/tell determinism contract pins
+/// stepped trajectories byte-identical to the closed loop regardless of
+/// completion order — and CI diffs the via-steps dump against the classic
+/// dump per build and across toolchains. The header omits this flag too.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,6 +46,7 @@
 #include "cloud/workloads.hpp"
 #include "core/constraints.hpp"
 #include "core/lynceus.hpp"
+#include "core/stepper.hpp"
 #include "eval/experiment.hpp"
 #include "eval/runner.hpp"
 #include "util/cli.hpp"
@@ -78,17 +88,37 @@ void print_case(std::ostringstream& out, const std::string& name,
       << " hash=" << h << "\n";
 }
 
+/// Drives a stepper by explicit ask/tell, resolving every batch in
+/// reverse order — the adversarial completion order the determinism
+/// contract must absorb.
+core::OptimizerResult drive_via_steps(core::OptimizerStepper& stepper,
+                                      core::JobRunner& runner) {
+  while (true) {
+    const core::StepAction& action = stepper.ask();
+    if (action.kind == core::StepAction::Kind::Finished) break;
+    std::vector<std::pair<core::ConfigId, core::RunResult>> batch;
+    for (core::ConfigId id : action.configs) {
+      batch.emplace_back(id, runner.run(id));
+    }
+    std::reverse(batch.begin(), batch.end());
+    for (const auto& [id, r] : batch) stepper.tell(id, r);
+  }
+  return stepper.result();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path;
   bool incremental = lynceus::util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
   bool branch_parallel = lynceus::util::env_flag("LYNCEUS_BRANCH_PARALLEL");
+  bool via_steps = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
     if (arg == "--incremental") incremental = true;
     if (arg == "--branch-parallel") branch_parallel = true;
+    if (arg == "--via-steps") via_steps = true;
   }
 
   // Branch-parallel mode exercises root fan-out *and* intra-root branch
@@ -117,7 +147,10 @@ int main(int argc, char** argv) {
     opts.branch_parallel = branch_parallel;
     core::LynceusOptimizer lyn(opts);
     eval::TableRunner runner(scout);
-    const auto r = lyn.optimize(eval::make_problem(scout, 3.0), runner, 1);
+    const auto problem = eval::make_problem(scout, 3.0);
+    const auto r = via_steps
+                       ? drive_via_steps(*lyn.make_stepper(problem, 1), runner)
+                       : lyn.optimize(problem, runner, 1);
     print_case(out, "scout_la" + std::to_string(la), r, combined);
   }
   {
@@ -129,7 +162,10 @@ int main(int argc, char** argv) {
     opts.branch_parallel = branch_parallel;
     core::LynceusOptimizer lyn(opts);
     eval::TableRunner runner(tf);
-    const auto r = lyn.optimize(eval::make_problem(tf, 2.0), runner, 3);
+    const auto problem = eval::make_problem(tf, 2.0);
+    const auto r = via_steps
+                       ? drive_via_steps(*lyn.make_stepper(problem, 3), runner)
+                       : lyn.optimize(problem, runner, 3);
     print_case(out, "tf_cnn_la1", r, combined);
   }
 
@@ -160,7 +196,10 @@ int main(int argc, char** argv) {
     eval::TableRunner runner(scout, [&](space::ConfigId id) {
       return std::vector<double>{energy_of(id)};
     });
-    const auto r = lyn.optimize(eval::make_problem(scout, 3.0), runner, 7);
+    const auto problem = eval::make_problem(scout, 3.0);
+    const auto r = via_steps
+                       ? drive_via_steps(*lyn.make_stepper(problem, 7), runner)
+                       : lyn.optimize(problem, runner, 7);
     print_case(out, "scout_mc_la1", r, combined);
   }
 
