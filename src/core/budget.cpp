@@ -15,11 +15,21 @@ void Budget::spend(double cost) {
   spent_ += cost;
 }
 
-void Budget::set_spent(double spent) {
+void Budget::spend_failed(double cost) {
+  spend(cost);
+  failed_spent_ += cost;
+}
+
+void Budget::set_spent(double spent, double failed_spent) {
   if (spent < 0.0) {
     throw std::invalid_argument("Budget::set_spent: spend must be non-negative");
   }
+  if (failed_spent < 0.0 || failed_spent > spent) {
+    throw std::invalid_argument(
+        "Budget::set_spent: failed spend must lie in [0, spent]");
+  }
   spent_ = spent;
+  failed_spent_ = failed_spent;
 }
 
 }  // namespace lynceus::core

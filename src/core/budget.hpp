@@ -25,14 +25,25 @@ class Budget {
   /// Records a run's cost. `cost >= 0`.
   void spend(double cost);
 
+  /// Records the partial cost of a FAILED profiling attempt
+  /// (core::RunOutcome::kFailed): the money is gone — it counts against the
+  /// budget exactly like spend() — but it bought no observation, so it is
+  /// additionally accumulated in failed_spent() for reporting
+  /// (OptimizerResult::budget_spent_on_failures). `cost >= 0`.
+  void spend_failed(double cost);
+
+  /// Total spend on failed attempts so far (subset of spent()).
+  [[nodiscard]] double failed_spent() const noexcept { return failed_spent_; }
+
   /// Restores an accumulated spend verbatim (tuning-session
-  /// snapshot/restore, see core/stepper.hpp). `spent >= 0`; overshoot
-  /// beyond the total is allowed, exactly as with spend().
-  void set_spent(double spent);
+  /// snapshot/restore, see core/stepper.hpp). `spent >= failed_spent >= 0`;
+  /// overshoot beyond the total is allowed, exactly as with spend().
+  void set_spent(double spent, double failed_spent = 0.0);
 
  private:
   double total_ = 0.0;
   double spent_ = 0.0;
+  double failed_spent_ = 0.0;
 };
 
 }  // namespace lynceus::core

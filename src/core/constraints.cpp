@@ -76,6 +76,7 @@ class MultiConstraintStepper final : public OptimizerStepper {
           "MultiConstraintLynceus: prior_samples carry no constraint "
           "metrics and are not supported");
     }
+    st_.blacklist_failed = options_.blacklist_failed;
   }
 
   [[nodiscard]] std::string name() const override {
@@ -112,7 +113,19 @@ class MultiConstraintStepper final : public OptimizerStepper {
     // Γ = ∅: the budget affords nothing else. (timer_.stop(), not
     // discard(): the closed loop counted this aborted decision, and the
     // decisions count is part of the bit-parity contract.)
-    const std::vector<ConfigId>& roots = engine_.viable();
+    // The engine infers testedness from the sample rows, so configs
+    // blacklisted after a failed run would resurface in Γ: filter them
+    // out. Fault-free runs have no failures and take the reference
+    // directly (no copy, bitwise-identical trajectories).
+    const std::vector<ConfigId>* roots_ptr = &engine_.viable();
+    if (!st_.failures.empty()) {
+      screened_.clear();
+      for (const ConfigId id : *roots_ptr) {
+        if (st_.tested[id] == 0) screened_.push_back(id);
+      }
+      roots_ptr = &screened_;
+    }
+    const std::vector<ConfigId>& roots = *roots_ptr;
     if (roots.empty()) {
       timer_.stop();
       stop_reason = "budget: no viable configuration left";
@@ -245,6 +258,7 @@ class MultiConstraintStepper final : public OptimizerStepper {
   std::vector<std::vector<double>> y_metric_;
   std::vector<char> feasible_;
   std::vector<PathValue> values_;
+  std::vector<ConfigId> screened_;  ///< viable minus blacklisted configs
 };
 
 }  // namespace

@@ -102,6 +102,12 @@ struct MultiConstraintOptions {
   /// Defaults to the LYNCEUS_INCREMENTAL_REFIT environment toggle (false
   /// when unset), mirroring LynceusOptions::incremental_refit.
   bool incremental_refit = util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
+  /// Blacklist configurations whose profiling run FAILED from future
+  /// proposals (see LoopState::blacklist_failed), mirroring
+  /// LynceusOptions::blacklist_failed. Failed runs record no constraint
+  /// metrics — the per-sample metric table stays aligned with the sample
+  /// history. Irrelevant for fault-free runs.
+  bool blacklist_failed = true;
   /// Optional observer (see core/trace.hpp), mirroring
   /// LynceusOptions::observer: bootstrap samples, per-decision events
   /// (`viable_count`/`simulated_roots` = |Γ|, §4.4 simulates every viable

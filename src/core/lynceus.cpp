@@ -52,7 +52,9 @@ class LynceusStepper final : public OptimizerStepper {
                      : default_tree_model_factory(*problem.space)),
         engine_(problem, engine_options(options_), factory_,
                 options_.pool != nullptr ? options_.pool->worker_count() + 1
-                                         : 1) {}
+                                         : 1) {
+    st_.blacklist_failed = options_.blacklist_failed;
+  }
 
   [[nodiscard]] std::string name() const override {
     return util::format("Lynceus(LA=%u)", options_.lookahead);
@@ -88,6 +90,33 @@ class LynceusStepper final : public OptimizerStepper {
 
     // Root screening (implementation approximation; see header).
     engine_.screened_roots(options_.screen_width, roots_);
+
+    // The engine infers testedness from the samples alone, so configs
+    // blacklisted after a failed run (tested, but never sampled) can
+    // resurface in its candidate set: drop them here. Fault-free runs have
+    // no failures and skip this entirely (bitwise-identical trajectories).
+    if (!st_.failures.empty()) {
+      const auto blacklisted = [this](ConfigId id) {
+        return st_.tested[id] != 0;
+      };
+      roots_.erase(
+          std::remove_if(roots_.begin(), roots_.end(), blacklisted),
+          roots_.end());
+      if (roots_.empty()) {
+        // Every screened root was blacklisted: re-screen at full width
+        // before concluding nothing viable is left.
+        engine_.screened_roots(
+            static_cast<unsigned>(engine_.viable().size()), roots_);
+        roots_.erase(
+            std::remove_if(roots_.begin(), roots_.end(), blacklisted),
+            roots_.end());
+      }
+      if (roots_.empty()) {
+        timer_.discard();
+        stop_reason = "budget: no viable configuration left";
+        return std::nullopt;
+      }
+    }
 
     // Simulate one path per root, in parallel (§4.3).
     values_.assign(roots_.size(), PathValue{});

@@ -94,8 +94,13 @@ struct LynceusOptions {
   /// (false when unset) so CI can run the whole suite once with the flag
   /// on; tests pinning the golden flag-off semantics set it explicitly.
   bool incremental_refit = util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
+  /// Blacklist configurations whose profiling run FAILED
+  /// (core::RunOutcome::kFailed) from future proposals; see
+  /// LoopState::blacklist_failed. Irrelevant for fault-free runs.
+  bool blacklist_failed = true;
   /// Optional observer notified of bootstrap samples, decisions, run
-  /// outcomes and the stop reason (see core/trace.hpp). Not owned.
+  /// outcomes (including failures, via on_failure) and the stop reason
+  /// (see core/trace.hpp). Not owned.
   OptimizerObserver* observer = nullptr;
 
   void validate() const;

@@ -6,6 +6,18 @@
 
 namespace lynceus::core {
 
+const char* to_string(RunOutcome outcome) noexcept {
+  switch (outcome) {
+    case RunOutcome::kOk:
+      return "ok";
+    case RunOutcome::kFailed:
+      return "failed";
+    case RunOutcome::kTimedOut:
+      return "timed_out";
+  }
+  return "ok";
+}
+
 // Out-of-line so ~unique_ptr sees the complete OptimizerStepper type.
 std::unique_ptr<OptimizerStepper> Optimizer::make_stepper(
     const OptimizationProblem& problem, std::uint64_t seed) const {

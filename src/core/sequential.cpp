@@ -38,10 +38,26 @@ const Sample& LoopState::profile(ConfigId id) {
   if (tested.at(id) != 0) {
     throw std::logic_error("LoopState::profile: configuration already tested");
   }
-  return record(id, runner->run(id));
+  const RunResult r = runner->run(id);
+  if (r.failed()) {
+    record_failure(id, r);
+    // Failures yield no sample; keep profile()'s reference contract by
+    // pointing at the most recent sample (callers under fault injection go
+    // through the stepper path, which dispatches before calling record()).
+    if (samples.empty()) {
+      throw std::runtime_error(
+          "LoopState::profile: first run failed before any sample existed");
+    }
+    return samples.back();
+  }
+  return record(id, r);
 }
 
 const Sample& LoopState::record(ConfigId id, const RunResult& r) {
+  if (r.failed()) {
+    throw std::logic_error(
+        "LoopState::record: kFailed result (use record_failure)");
+  }
   if (tested.at(id) != 0) {
     throw std::logic_error("LoopState::record: configuration already tested");
   }
@@ -51,11 +67,44 @@ const Sample& LoopState::record(ConfigId id, const RunResult& r) {
   s.id = id;
   s.runtime_seconds = r.runtime_seconds;
   s.cost = r.cost;
-  s.feasible = !r.timed_out && r.runtime_seconds <= problem->tmax_seconds;
+  s.feasible = !r.censored() && r.runtime_seconds <= problem->tmax_seconds;
   samples.push_back(s);
 
   mark_tested(id);
   return samples.back();
+}
+
+const FailureRecord& LoopState::record_failure(ConfigId id, const RunResult& r) {
+  if (!r.failed()) {
+    throw std::logic_error(
+        "LoopState::record_failure: result did not fail (use record)");
+  }
+  if (tested.at(id) != 0) {
+    throw std::logic_error(
+        "LoopState::record_failure: configuration already tested");
+  }
+  budget.spend_failed(r.cost);
+
+  FailureRecord f;
+  f.id = id;
+  f.cost = r.cost;
+  f.after_samples = samples.size();
+  failures.push_back(f);
+
+  if (blacklist_failed) {
+    mark_tested(id);
+  }
+  return failures.back();
+}
+
+void LoopState::restore_failure(const FailureRecord& f) {
+  if (tested.at(f.id) != 0) {
+    throw std::logic_error("LoopState::restore_failure: config already tested");
+  }
+  failures.push_back(f);
+  if (blacklist_failed) {
+    mark_tested(f.id);
+  }
 }
 
 void LoopState::bootstrap() {
@@ -93,7 +142,9 @@ void LoopState::restore_sample(const Sample& s) {
 OptimizerResult LoopState::finalize() const {
   OptimizerResult out;
   out.history = samples;
+  out.failures = failures;
   out.budget_spent = budget.spent();
+  out.budget_spent_on_failures = budget.failed_spent();
 
   double best_feasible = std::numeric_limits<double>::infinity();
   double best_any = std::numeric_limits<double>::infinity();

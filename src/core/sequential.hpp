@@ -20,8 +20,17 @@ struct LoopState {
   Budget budget{0.0};
   util::Rng rng{0};
   std::vector<Sample> samples;
+  std::vector<FailureRecord> failures;  ///< failed attempts, in event order
   std::vector<char> tested;          ///< per-config flag
   std::vector<ConfigId> untested;    ///< maintained list (unordered erase)
+  /// When true (the default), a configuration whose run FAILED
+  /// (RunOutcome::kFailed) is removed from the untested set so the
+  /// optimizer never proposes it again — the conservative policy for
+  /// configurations that crash deterministically (e.g. OOM). When false,
+  /// the config stays proposable and may be retried by a later decision.
+  /// Retry-with-backoff of the SAME proposal is the service's job
+  /// (service::RunPolicy), not the optimizer's.
+  bool blacklist_failed = true;
 
   explicit LoopState(const OptimizationProblem& prob, JobRunner& run,
                      std::uint64_t seed);
@@ -40,7 +49,24 @@ struct LoopState {
   /// transition of profile() minus the JobRunner call — the ask/tell
   /// steppers feed tell()ed results through here, so driving a stepper
   /// with a runner reproduces profile()-based loops bit-for-bit.
+  /// Requires an ok or timed-out result; a kFailed result is a logic error
+  /// here (route it through record_failure()). A timed-out result is
+  /// recorded as a censored observation: the sample is kept (runtime = the
+  /// cap, a lower bound on the true runtime) but can never be feasible.
   const Sample& record(ConfigId id, const RunResult& r);
+
+  /// Applies a FAILED run (RunOutcome::kFailed) for `id`: bills the
+  /// attempt's partial cost via Budget::spend_failed, appends a
+  /// FailureRecord (no sample — there is no runtime observation), and,
+  /// when `blacklist_failed` is set, removes `id` from the untested set so
+  /// it is never proposed again.
+  const FailureRecord& record_failure(ConfigId id, const RunResult& r);
+
+  /// Snapshot restore counterpart of record_failure(): re-applies a saved
+  /// failure verbatim with no budget charge. Must be interleaved with
+  /// restore_sample() in original event order (FailureRecord::after_samples)
+  /// so the untested-list permutation is rebuilt exactly.
+  void restore_failure(const FailureRecord& f);
 
   /// Runs the N-sample LHS bootstrap (paper Algorithm 1, lines 6-8).
   void bootstrap();

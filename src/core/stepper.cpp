@@ -18,20 +18,30 @@ void OptimizerStepper::finish_bootstrap() {
   phase_ = Phase::Decide;
 }
 
+void OptimizerStepper::finish(const std::string& stop_reason) {
+  phase_ = Phase::Finished;
+  action_.kind = StepAction::Kind::Finished;
+  action_.configs.clear();
+  action_.stop_reason = stop_reason;
+  told_.clear();
+  told_count_ = 0;
+  action_ready_ = true;
+  if (observer_ != nullptr && !stop_reason.empty()) {
+    observer_->on_stop(stop_reason);
+  }
+}
+
+void OptimizerStepper::abort(const std::string& reason) {
+  started_ = true;
+  if (phase_ == Phase::Finished) return;
+  finish(reason);
+}
+
 void OptimizerStepper::compute_next() {
   std::string stop_reason;
   const std::optional<ConfigId> choice = decide(stop_reason);
   if (!choice.has_value()) {
-    phase_ = Phase::Finished;
-    action_.kind = StepAction::Kind::Finished;
-    action_.configs.clear();
-    action_.stop_reason = stop_reason;
-    told_.clear();
-    told_count_ = 0;
-    action_ready_ = true;
-    if (observer_ != nullptr && !stop_reason.empty()) {
-      observer_->on_stop(stop_reason);
-    }
+    finish(stop_reason);
     return;
   }
   action_.kind = StepAction::Kind::Profile;
@@ -87,15 +97,30 @@ void OptimizerStepper::tell(ConfigId config, const RunResult& result) {
   if (told_count_ < action_.configs.size()) return;
 
   // Batch complete: apply in canonical ask() order, so the optimizer state
-  // is independent of the order the tell()s arrived in.
+  // is independent of the order the tell()s arrived in. Failed runs are
+  // dispatched to apply_failed_run in the same canonical position.
   if (phase_ == Phase::Bootstrap) {
     for (std::size_t i = 0; i < action_.configs.size(); ++i) {
-      apply_bootstrap_run(action_.configs[i], *told_[i]);
+      if (told_[i]->failed()) {
+        apply_failed_run(action_.configs[i], *told_[i]);
+      } else {
+        apply_bootstrap_run(action_.configs[i], *told_[i]);
+      }
+    }
+    if (st_.samples.empty()) {
+      // Every bootstrap run failed: there is no training set to decide
+      // from. Only reachable under fault injection.
+      finish("no_successful_runs");
+      return;
     }
     finish_bootstrap();
   } else {
     for (std::size_t i = 0; i < action_.configs.size(); ++i) {
-      apply_decision_run(action_.configs[i], *told_[i]);
+      if (told_[i]->failed()) {
+        apply_failed_run(action_.configs[i], *told_[i]);
+      } else {
+        apply_decision_run(action_.configs[i], *told_[i]);
+      }
     }
   }
   action_ready_ = false;
@@ -112,6 +137,11 @@ void OptimizerStepper::apply_decision_run(ConfigId config,
                                           const RunResult& r) {
   const Sample& ran = st_.record(config, r);
   if (observer_ != nullptr) observer_->on_run(ran);
+}
+
+void OptimizerStepper::apply_failed_run(ConfigId config, const RunResult& r) {
+  const FailureRecord& f = st_.record_failure(config, r);
+  if (observer_ != nullptr) observer_->on_failure(f);
 }
 
 std::vector<ConfigId> OptimizerStepper::outstanding_configs() const {
@@ -159,6 +189,11 @@ std::string OptimizerStepper::snapshot() const {
   w.end_object();
 
   w.key("budget_spent").value_exact(st_.budget.spent());
+  // Failure-aware keys are emitted only when a fault actually occurred, so
+  // fault-free snapshots stay byte-identical to the pre-failure format.
+  if (st_.budget.failed_spent() != 0.0) {
+    w.key("budget_failed").value_exact(st_.budget.failed_spent());
+  }
 
   w.key("samples").begin_array();
   for (const Sample& s : st_.samples) {
@@ -170,6 +205,18 @@ std::string OptimizerStepper::snapshot() const {
     w.end_object();
   }
   w.end_array();
+
+  if (!st_.failures.empty()) {
+    w.key("failures").begin_array();
+    for (const FailureRecord& f : st_.failures) {
+      w.begin_object();
+      w.key("id").value(static_cast<std::uint64_t>(f.id));
+      w.key("cost").value_exact(f.cost);
+      w.key("seq").value(static_cast<std::uint64_t>(f.after_samples));
+      w.end_object();
+    }
+    w.end_array();
+  }
 
   w.key("pending").begin_array();
   if (action_ready_ && action_.kind == StepAction::Kind::Profile) {
@@ -189,6 +236,9 @@ std::string OptimizerStepper::snapshot() const {
       w.key("runtime").value_exact(t->runtime_seconds);
       w.key("cost").value_exact(t->cost);
       w.key("timed_out").value(t->timed_out);
+      if (!t->ok()) {
+        w.key("outcome").value(to_string(t->outcome));
+      }
       w.key("metrics").begin_array();
       for (double m : t->metrics) w.value_exact(m);
       w.end_array();
@@ -209,8 +259,18 @@ std::string OptimizerStepper::snapshot() const {
   return w.str();
 }
 
+namespace {
+RunOutcome outcome_from_string(const std::string& s) {
+  if (s == "ok") return RunOutcome::kOk;
+  if (s == "failed") return RunOutcome::kFailed;
+  if (s == "timed_out") return RunOutcome::kTimedOut;
+  throw std::runtime_error("OptimizerStepper::restore: unknown outcome '" +
+                           s + "'");
+}
+}  // namespace
+
 void OptimizerStepper::restore(const std::string& snapshot_json) {
-  if (started_ || !st_.samples.empty()) {
+  if (started_ || !st_.samples.empty() || !st_.failures.empty()) {
     throw std::logic_error(
         "OptimizerStepper::restore: stepper already started — restore into "
         "a freshly constructed stepper");
@@ -232,17 +292,50 @@ void OptimizerStepper::restore(const std::string& snapshot_json) {
         "OptimizerStepper::restore: configuration-space size mismatch");
   }
 
-  // Replaying the samples in order rebuilds `tested` and the exact
-  // untested-list permutation; budget and RNG are restored verbatim.
+  // Replaying the samples — interleaved with any saved failures in their
+  // original event order (`seq` = samples recorded when the failure was
+  // applied) — rebuilds `tested` and the exact untested-list permutation;
+  // budget and RNG are restored verbatim.
+  std::vector<FailureRecord> failures;
+  if (const util::JsonValue* fs = v.find("failures")) {
+    std::size_t prev_seq = 0;
+    for (const util::JsonValue& f : fs->items()) {
+      FailureRecord rec;
+      rec.id = static_cast<ConfigId>(f.at("id").as_uint());
+      rec.cost = f.at("cost").as_double();
+      rec.after_samples = static_cast<std::size_t>(f.at("seq").as_uint());
+      if (rec.after_samples < prev_seq) {
+        throw std::runtime_error(
+            "OptimizerStepper::restore: failure records out of event order");
+      }
+      prev_seq = rec.after_samples;
+      failures.push_back(rec);
+    }
+  }
+  std::size_t fi = 0;
+  std::size_t si = 0;
   for (const util::JsonValue& s : v.at("samples").items()) {
+    while (fi < failures.size() && failures[fi].after_samples <= si) {
+      st_.restore_failure(failures[fi]);
+      ++fi;
+    }
     Sample sample;
     sample.id = static_cast<ConfigId>(s.at("id").as_uint());
     sample.runtime_seconds = s.at("runtime").as_double();
     sample.cost = s.at("cost").as_double();
     sample.feasible = s.at("feasible").as_bool();
     st_.restore_sample(sample);
+    ++si;
   }
-  st_.budget.set_spent(v.at("budget_spent").as_double());
+  while (fi < failures.size()) {
+    st_.restore_failure(failures[fi]);
+    ++fi;
+  }
+  double budget_failed = 0.0;
+  if (const util::JsonValue* bf = v.find("budget_failed")) {
+    budget_failed = bf->as_double();
+  }
+  st_.budget.set_spent(v.at("budget_spent").as_double(), budget_failed);
 
   const util::JsonValue& rng = v.at("rng");
   util::Rng::State state;
@@ -298,6 +391,9 @@ void OptimizerStepper::restore(const std::string& snapshot_json) {
       r.runtime_seconds = t.at("runtime").as_double();
       r.cost = t.at("cost").as_double();
       r.timed_out = t.at("timed_out").as_bool();
+      if (const util::JsonValue* oc = t.find("outcome")) {
+        r.outcome = outcome_from_string(oc->as_string());
+      }
       for (const util::JsonValue& m : t.at("metrics").items()) {
         r.metrics.push_back(m.as_double());
       }

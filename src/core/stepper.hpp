@@ -65,13 +65,26 @@
 ///     "phase": "bootstrap" | "decide" | "finished",
 ///     "rng": {"s0".."s3", "spare", "has_spare"},   // xoshiro256** state
 ///     "budget_spent": <exact double>,
+///     "budget_failed": <exact double>,  // only when failures occurred
 ///     "samples": [{"id", "runtime", "cost", "feasible"}, ...],
+///     "failures": [{"id", "cost", "seq"}, ...],  // only when non-empty;
+///                                       // seq = FailureRecord::after_samples
 ///     "pending": [config, ...],         // outstanding ask() batch
-///     "told": [null | {"runtime", "cost", "timed_out", "metrics"}, ...],
+///     "told": [null | {"runtime", "cost", "timed_out", "outcome",
+///                      "metrics"}, ...],  // "outcome" only when != ok
 ///     "stop_reason": <string>,          // finished only
 ///     "decisions": N, "decision_seconds": <double>,
 ///     "extra": { ... }                  // optimizer-specific (iteration
 ///   }                                   // counter, metrics, model state)
+///
+/// Failure-aware additions ("budget_failed", "failures", "outcome") are
+/// emitted only when a fault actually occurred, so fault-free snapshots are
+/// byte-identical to the pre-failure-aware format and version 1 snapshots
+/// from either era restore interchangeably (absent keys default to the
+/// fault-free reading). Restore interleaves the saved failures with the
+/// samples by their `seq` key, replaying the exact event order — which is
+/// what makes the untested-list permutation (and hence the resumed
+/// trajectory) byte-identical under fault injection too.
 ///
 /// restore() rebuilds a *freshly constructed* stepper (same problem,
 /// options and seed — none of those are serialized) to the saved state:
@@ -134,7 +147,21 @@ class OptimizerStepper {
   /// Supplies the result of one outstanding run. `config` must be an
   /// untold member of the current Profile batch (std::invalid_argument
   /// otherwise; std::logic_error when nothing is outstanding).
+  ///
+  /// Non-ok results are first-class: a kFailed result records a
+  /// FailureRecord (partial cost billed, config blacklisted when the
+  /// optimizer's `blacklist_failed` option is set — no sample); a
+  /// kTimedOut result records a censored sample at the cap (never
+  /// feasible). If every bootstrap run fails, the stepper finishes with
+  /// stop_reason "no_successful_runs" instead of attempting a decision on
+  /// an empty training set.
   void tell(ConfigId config, const RunResult& result);
+
+  /// Forcibly finishes the run with the given stop reason (e.g. the tuning
+  /// service quarantining a session whose runner keeps failing). Any
+  /// outstanding batch is discarded; late tell()s then throw like on any
+  /// finished stepper. Idempotent once finished.
+  void abort(const std::string& reason);
 
   /// True once ask() has reported Finished.
   [[nodiscard]] bool finished() const noexcept {
@@ -199,6 +226,14 @@ class OptimizerStepper {
   /// Applies one decision run. Default: LoopState::record + on_run.
   virtual void apply_decision_run(ConfigId config, const RunResult& r);
 
+  /// Applies one FAILED run (bootstrap or decision — failures carry no
+  /// phase-specific state). Default: LoopState::record_failure +
+  /// on_failure. Note Lynceus intentionally does NOT override this: the
+  /// per-run setup cost is charged only for runs that actually set up and
+  /// produced a measurement; a failed attempt bills exactly its reported
+  /// partial cost.
+  virtual void apply_failed_run(ConfigId config, const RunResult& r);
+
   /// Optimizer-specific snapshot members, written into / read from the
   /// snapshot's "extra" object.
   virtual void save_extra(util::JsonWriter& w) const;
@@ -214,6 +249,9 @@ class OptimizerStepper {
   /// Fires on_bootstrap for every sample once the bootstrap is in place.
   void finish_bootstrap();
   void compute_next();
+  /// Transitions to Finished with `stop_reason`, discarding any
+  /// outstanding batch, and fires on_stop.
+  void finish(const std::string& stop_reason);
 
   Phase phase_ = Phase::Bootstrap;
   StepAction action_;

@@ -14,6 +14,10 @@ void TraceRecorder::on_decision(const DecisionEvent& event) {
 
 void TraceRecorder::on_run(const Sample& sample) { runs_.push_back(sample); }
 
+void TraceRecorder::on_failure(const FailureRecord& failure) {
+  failures_.push_back(failure);
+}
+
 void TraceRecorder::on_stop(const std::string& reason) {
   stop_reason_ = reason;
 }

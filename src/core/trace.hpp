@@ -36,6 +36,10 @@ class OptimizerObserver {
   virtual void on_bootstrap(const Sample& sample) { (void)sample; }
   virtual void on_decision(const DecisionEvent& event) { (void)event; }
   virtual void on_run(const Sample& sample) { (void)sample; }
+  /// A profiling attempt FAILED (RunOutcome::kFailed): no sample was
+  /// produced, but the partial cost was billed. Fired from the same place
+  /// on_run would have been for a successful run.
+  virtual void on_failure(const FailureRecord& failure) { (void)failure; }
   virtual void on_stop(const std::string& reason) { (void)reason; }
 };
 
@@ -46,6 +50,7 @@ class TraceRecorder final : public OptimizerObserver {
   void on_bootstrap(const Sample& sample) override;
   void on_decision(const DecisionEvent& event) override;
   void on_run(const Sample& sample) override;
+  void on_failure(const FailureRecord& failure) override;
   void on_stop(const std::string& reason) override;
 
   [[nodiscard]] const std::vector<Sample>& bootstrap_samples() const {
@@ -55,6 +60,9 @@ class TraceRecorder final : public OptimizerObserver {
     return decisions_;
   }
   [[nodiscard]] const std::vector<Sample>& runs() const { return runs_; }
+  [[nodiscard]] const std::vector<FailureRecord>& failures() const {
+    return failures_;
+  }
   [[nodiscard]] const std::string& stop_reason() const { return stop_reason_; }
 
   /// |predicted − actual| / actual per decision (empty until runs arrive).
@@ -64,6 +72,7 @@ class TraceRecorder final : public OptimizerObserver {
   std::vector<Sample> bootstrap_;
   std::vector<DecisionEvent> decisions_;
   std::vector<Sample> runs_;
+  std::vector<FailureRecord> failures_;
   std::string stop_reason_;
 };
 

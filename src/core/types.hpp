@@ -17,14 +17,55 @@ namespace lynceus::core {
 
 using space::ConfigId;
 
+/// How a profiling run ended. Cloud profiling runs fail and straggle in
+/// practice (spot preemptions, container crashes, interference), so the run
+/// contract carries the outcome explicitly instead of assuming every run
+/// returns a clean (runtime, cost) pair; see eval/runner.hpp for the
+/// deterministic fault-injection harness and service/tuning_service.hpp for
+/// the retry/timeout/quarantine policy built on top.
+enum class RunOutcome : std::uint8_t {
+  /// The run completed; runtime/cost are the real measurements.
+  kOk = 0,
+  /// The run crashed or was lost before producing a measurement. `cost` is
+  /// the partial spend billed for the attempt (still charged to the
+  /// profiling budget); `runtime_seconds` is the time elapsed before the
+  /// failure (informational — it is NOT a valid runtime observation and is
+  /// never fed to the model).
+  kFailed = 1,
+  /// The run was forcefully terminated at a cap. `runtime_seconds` is the
+  /// cap itself: a censored observation ("the true runtime is at least
+  /// this"), which the optimizers record as an infeasible sample at the
+  /// cap. `cost` is the partial spend up to termination.
+  kTimedOut = 2,
+};
+
+[[nodiscard]] const char* to_string(RunOutcome outcome) noexcept;
+
 /// Outcome of actually running the job on a configuration.
 struct RunResult {
   double runtime_seconds = 0.0;
   double cost = 0.0;       ///< monetary cost paid for the run, USD
   bool timed_out = false;  ///< forcefully terminated before completing
+  /// Failure-aware outcome (see RunOutcome). Runners that predate the
+  /// outcome field leave it kOk and use `timed_out` alone; the two are
+  /// treated uniformly by the censoring logic (`censored()`).
+  RunOutcome outcome = RunOutcome::kOk;
   /// Optional additional constraint metrics (§4.4 multi-constraint
   /// extension), e.g. energy. Empty for the base problem.
   std::vector<double> metrics;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return outcome == RunOutcome::kOk;
+  }
+  [[nodiscard]] bool failed() const noexcept {
+    return outcome == RunOutcome::kFailed;
+  }
+  /// True when the runtime is a censored lower bound (legacy `timed_out`
+  /// flag or a kTimedOut outcome): the sample is recorded but can never be
+  /// feasible.
+  [[nodiscard]] bool censored() const noexcept {
+    return timed_out || outcome == RunOutcome::kTimedOut;
+  }
 };
 
 /// Executes the target job on a configuration. The evaluation harness
@@ -42,6 +83,20 @@ struct Sample {
   double runtime_seconds = 0.0;
   double cost = 0.0;
   bool feasible = false;  ///< T(x) <= Tmax and not timed out
+};
+
+/// One failed profiling attempt (RunOutcome::kFailed). Failures are NOT
+/// samples — they carry no runtime observation — but their partial cost is
+/// billed to the budget and they are part of the resumable session state
+/// (the untested-list permutation depends on when a failed config was
+/// blacklisted, hence `after_samples`).
+struct FailureRecord {
+  ConfigId id = 0;
+  double cost = 0.0;  ///< partial cost billed for the failed attempt, USD
+  /// Number of samples that had been recorded when this failure was
+  /// applied — the event-order key that lets snapshot restore interleave
+  /// failures with samples exactly as they happened.
+  std::size_t after_samples = 0;
 };
 
 /// The paper's optimization problem (§2):
@@ -84,7 +139,12 @@ struct OptimizerResult {
   bool recommendation_feasible = false;
   /// Every profiled configuration, in exploration order (bootstrap first).
   std::vector<Sample> history;
+  /// Failed profiling attempts, in occurrence order (empty for fault-free
+  /// runs). Their partial cost is included in `budget_spent` and broken out
+  /// in `budget_spent_on_failures`.
+  std::vector<FailureRecord> failures;
   double budget_spent = 0.0;
+  double budget_spent_on_failures = 0.0;
   /// NEX: the number of explorations performed (== history.size()).
   [[nodiscard]] std::size_t explorations() const noexcept {
     return history.size();

@@ -40,7 +40,35 @@
 /// refit would recompute). tests/test_tuning_service.cpp pins both, up to
 /// 64 interleaved sessions with out-of-order completions.
 ///
-/// ## Snapshot / restore
+/// ## Run policy: retries, timeouts, quarantine
+///
+/// Real profiling runs fail (core::RunOutcome). The service interposes a
+/// RunPolicy between the runner and the steppers:
+///
+///   * a FAILED result is retried up to `max_attempts` total tries, each
+///     retry delayed by deterministic exponential backoff in *simulated*
+///     time (PendingRun::start_delay — the driver applies it; no
+///     wall-clock anywhere). The stepper is only told the failure once
+///     attempts are exhausted; an eventual success is told as if the
+///     failures never happened.
+///   * every launched run carries a timeout (PendingRun::timeout_seconds):
+///     the smaller of an absolute cap and `timeout_tmax_factor × Tmax` of
+///     the session's problem — the paper's budget-capping instinct: a run
+///     that has already exceeded Tmax can never be feasible, so letting it
+///     keep billing the profiling budget buys nothing beyond the censored
+///     observation, which the cap itself supplies.
+///   * after `quarantine_after` consecutive FAILED results (successes
+///     reset the streak; timeouts leave it unchanged), the session is
+///     quarantined: its stepper is aborted with stop_reason
+///     "runner_failed", queued retries are dropped, and late tell()s for
+///     it are silently ignored so a drain loop reaches idle.
+///
+/// Retry attempt numbers are per (session, config) and monotone: the
+/// fault-injection contract (eval/runner.hpp) keys fault draws by
+/// (config, attempt), so a retried attempt gets fresh draws while replay
+/// of the whole schedule stays byte-deterministic.
+///
+/// ## Snapshot / restore and crash safety
 ///
 /// snapshot(session) serializes the session's complete resumable state
 /// (the stepper snapshot of core/stepper.hpp). restore_*() reopens it —
@@ -50,14 +78,29 @@
 /// carried in the snapshot, still-missing ones are simply re-asked
 /// for by next_runs() after restore (the pending batch survives).
 ///
+/// snapshot_session(session) wraps the stepper snapshot together with the
+/// run-policy state (attempt counters, failure streak, queued retries,
+/// quarantine flag) in a "lynceus-service-session" JSON envelope;
+/// restore() accepts either format and re-schedules any saved retries.
+/// With Options::journal set, the service auto-snapshots a session at
+/// open/restore and after every tell() — a crashed process restores every
+/// session from its last journal entry and, because per-session
+/// trajectories are interleaving-independent and fault draws are keyed by
+/// (config, attempt), finishes each one byte-identically to the
+/// uninterrupted run (the crash-recovery drill in tests/test_faults.cpp).
+///
 /// Single-threaded by design: the service is an event-loop core — calls
 /// are cheap state transitions (ask() decision work happens inside
 /// next_runs()), and callers own the concurrency model around it.
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/bo.hpp"
@@ -74,10 +117,46 @@ namespace lynceus::service {
 
 using SessionId = std::uint64_t;
 
-/// One profiling run the driver must execute and tell() back.
+/// One profiling run the driver must execute and tell() back. The policy
+/// fields map 1:1 onto eval::AsyncTableRunner::SubmitOptions; drivers with
+/// no fault/timeout support may ignore them (the defaults are inert).
 struct PendingRun {
   SessionId session = 0;
   core::ConfigId config = 0;
+  /// Attempt number for this (session, config): 0 for a first try,
+  /// incremented per retry. Feed to the fault-injection layer.
+  std::uint64_t attempt = 0;
+  /// Kill the run at this cap (kTimedOut); +infinity = no cap.
+  double timeout_seconds = std::numeric_limits<double>::infinity();
+  /// Retry backoff: start the run this many simulated seconds late.
+  double start_delay = 0.0;
+};
+
+/// Failure-handling policy applied by the service to every session (see
+/// the "Run policy" section of the file comment). The default policy is
+/// inert: no retries, no timeout, no quarantine — behavior is bitwise
+/// identical to a policy-less service.
+struct RunPolicy {
+  /// Total tries per proposed run (>= 1; 1 = no retries). A FAILED result
+  /// is retried until this many attempts have been spent, then told to
+  /// the stepper as a failure.
+  std::size_t max_attempts = 1;
+  /// Simulated-seconds delay before the k-th retry:
+  /// backoff_base_seconds × backoff_multiplier^(k-1). 0 = immediate.
+  double backoff_base_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+  /// Absolute per-run timeout; +infinity = none.
+  double run_timeout_seconds = std::numeric_limits<double>::infinity();
+  /// When > 0, additionally cap each run at factor × the session problem's
+  /// Tmax (a run past Tmax is infeasible regardless, so the cap only
+  /// trades the tail of a doomed run's bill for a censored observation).
+  /// The effective timeout is the smaller of both caps.
+  double timeout_tmax_factor = 0.0;
+  /// Quarantine a session after this many *consecutive* FAILED results
+  /// (ok resets the streak, timeouts leave it unchanged); 0 = never.
+  std::size_t quarantine_after = 0;
+
+  void validate() const;
 };
 
 class TuningService {
@@ -94,6 +173,14 @@ class TuningService {
     std::size_t root_cache_capacity = 0;
     /// RootCache::Options::store_models for the shared cache.
     bool cache_store_models = false;
+    /// Failure-handling policy applied to every session (default: inert).
+    RunPolicy run_policy;
+    /// Crash-safety journal: when set, invoked with (session id,
+    /// snapshot_session(id)) at open/restore and after every tell() —
+    /// persist the string; restore() of the latest entry per session
+    /// resumes the service byte-identically after a crash. The callback
+    /// must not call back into the service.
+    std::function<void(SessionId, const std::string&)> journal;
   };
 
   TuningService();
@@ -131,10 +218,20 @@ class TuningService {
   [[nodiscard]] std::vector<PendingRun> next_runs(
       std::size_t max_runs = SIZE_MAX);
 
-  /// Routes one completed run to its session. Throws std::invalid_argument
-  /// for an unknown session or a run the session did not ask for.
+  /// Routes one completed run to its session, applying the run policy
+  /// (retry scheduling, failure streaks, quarantine) first. Throws
+  /// std::invalid_argument for an unknown session or a run the session did
+  /// not ask for — with the strong exception guarantee: a throwing tell()
+  /// leaves the service state untouched. Tells for a quarantined session
+  /// are silently dropped (late completions of in-flight runs).
   void tell(SessionId session, core::ConfigId config,
             const core::RunResult& result);
+
+  /// True when the session was quarantined by the run policy (its stepper
+  /// reports stop_reason "runner_failed").
+  [[nodiscard]] bool quarantined(SessionId session) const;
+  /// Every open session currently quarantined, in id order.
+  [[nodiscard]] std::vector<SessionId> quarantined_sessions() const;
 
   [[nodiscard]] bool finished(SessionId session) const;
   /// The stepper's stop reason (empty while running).
@@ -160,10 +257,18 @@ class TuningService {
   /// Serializes the session (see core/stepper.hpp "Snapshot format").
   [[nodiscard]] std::string snapshot(SessionId session) const;
 
+  /// Serializes the session *including its run-policy state* (attempt
+  /// counters, failure streak, queued retries, quarantine flag) in the
+  /// "lynceus-service-session" envelope — what the journal emits.
+  [[nodiscard]] std::string snapshot_session(SessionId session) const;
+
   /// Reopens a snapshot into a fresh stepper built with the same problem,
   /// options and seed as the saved session (the restore_* overloads build
-  /// it with the shared resources injected, mirroring open_*). The
-  /// restored session re-enters the ready queue unless finished.
+  /// it with the shared resources injected, mirroring open_*). Accepts
+  /// both a bare stepper snapshot and a snapshot_session() envelope (the
+  /// latter also re-schedules queued retries and restores the policy
+  /// state). The restored session re-enters the ready queue unless
+  /// finished.
   SessionId restore(std::unique_ptr<core::OptimizerStepper> stepper,
                     const std::string& snapshot_json);
   SessionId restore_lynceus(const core::OptimizationProblem& problem,
@@ -184,28 +289,51 @@ class TuningService {
     std::size_t in_flight = 0;  ///< runs handed out, not yet told
     bool queued = false;        ///< in ready_
     bool closed = false;
+    bool quarantined = false;   ///< run policy gave up on this session
+    /// Results received per config (tell-time increment), so a relaunch
+    /// after crash restore reuses the lost in-flight run's attempt number.
+    std::unordered_map<core::ConfigId, std::uint64_t> attempts;
+    std::size_t consecutive_failures = 0;
+    /// Configs with a retry queued in retry_queue_ (still outstanding in
+    /// the stepper, so a ready-sweep must not re-emit them).
+    std::set<core::ConfigId> retry_pending;
+  };
+
+  /// A retry awaiting emission by next_runs().
+  struct RetryRun {
+    SessionId session = 0;
+    core::ConfigId config = 0;
+    std::uint64_t attempt = 0;
+    double start_delay = 0.0;
   };
 
   Session& session_at(SessionId id);
   [[nodiscard]] const Session& session_at(SessionId id) const;
   SessionId register_session(std::unique_ptr<core::OptimizerStepper> stepper);
   void enqueue_ready(SessionId id);
+  [[nodiscard]] double effective_timeout(const Session& s) const;
+  void quarantine(SessionId id);
+  void journal(SessionId id);
 
   Options options_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<core::RootCache> cache_;
   std::vector<Session> sessions_;  ///< index = SessionId
   std::deque<SessionId> ready_;    ///< FIFO of sessions to ask next
+  std::deque<RetryRun> retry_queue_;  ///< retries to emit, FIFO
   std::size_t in_flight_total_ = 0;
   std::size_t closed_count_ = 0;
 };
 
 /// Drains `service` to completion against the simulated-async replay
 /// runner: launches everything next_runs() asks for (tagged with the
-/// session id), routes each completion — earliest simulated finish first,
-/// i.e. out of submission order — back to its session, and returns once
-/// the service is idle. The event loop the CLI batch mode, the
-/// service benchmarks and the examples all share; a real deployment
+/// session id, with the run policy's timeout/attempt/backoff applied),
+/// routes each completion — earliest simulated finish first, i.e. out of
+/// submission order — back to its session, and returns once the service
+/// is idle. Under fault injection this includes failed and timed-out
+/// completions; sessions the policy quarantines simply stop emitting runs
+/// and the drain still reaches idle. The event loop the CLI batch mode,
+/// the service benchmarks and the examples all share; a real deployment
 /// replaces it with its cluster transport.
 void drain(TuningService& service, eval::AsyncTableRunner& runner);
 

@@ -42,5 +42,27 @@ TEST(Budget, ZeroTotalStartsExhausted) {
   EXPECT_TRUE(b.exhausted());
 }
 
+TEST(Budget, FailedSpendIsBilledAndBrokenOut) {
+  Budget b(10.0);
+  b.spend(2.0);
+  b.spend_failed(0.5);
+  EXPECT_DOUBLE_EQ(b.spent(), 2.5);  // failures bill the shared budget
+  EXPECT_DOUBLE_EQ(b.failed_spent(), 0.5);
+  EXPECT_DOUBLE_EQ(b.remaining(), 7.5);
+  EXPECT_THROW(b.spend_failed(-0.1), std::invalid_argument);
+}
+
+TEST(Budget, SetSpentRestoresBothLedgers) {
+  Budget b(10.0);
+  b.set_spent(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(b.spent(), 3.0);
+  EXPECT_DOUBLE_EQ(b.failed_spent(), 1.0);
+  b.set_spent(3.0);  // failed ledger defaults to zero
+  EXPECT_DOUBLE_EQ(b.failed_spent(), 0.0);
+  EXPECT_THROW(b.set_spent(-1.0), std::invalid_argument);
+  EXPECT_THROW(b.set_spent(1.0, -0.5), std::invalid_argument);
+  EXPECT_THROW(b.set_spent(1.0, 2.0), std::invalid_argument);  // failed > spent
+}
+
 }  // namespace
 }  // namespace lynceus::core

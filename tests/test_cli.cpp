@@ -69,6 +69,27 @@ TEST(CliFlags, MalformedBoolThrows) {
   EXPECT_THROW((void)flags.get_bool("fast", false), std::invalid_argument);
 }
 
+TEST(CliFlags, FaultFlagsParseAndConflictCheck) {
+  // The lynceus_tune fault-injection flags go through the same spec
+  // machinery: hyphenated names parse in both forms and repeats are hard
+  // errors, not last-one-wins.
+  const std::vector<std::string> spec{"fault-rate", "fault-seed",
+                                      "straggler-factor", "max-retries",
+                                      "run-timeout"};
+  const auto flags = parse({"--fault-rate=0.25", "--fault-seed", "9",
+                            "--straggler-factor=3", "--max-retries=2",
+                            "--run-timeout", "600"},
+                           spec);
+  EXPECT_DOUBLE_EQ(flags.get_double("fault-rate", 0.0), 0.25);
+  EXPECT_EQ(flags.get_int("fault-seed", 1), 9);
+  EXPECT_DOUBLE_EQ(flags.get_double("straggler-factor", 2.0), 3.0);
+  EXPECT_EQ(flags.get_int("max-retries", 0), 2);
+  EXPECT_DOUBLE_EQ(flags.get_double("run-timeout", 0.0), 600.0);
+  EXPECT_THROW(parse({"--fault-rate=0.1", "--fault-rate=0.2"}, spec),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--fault-rates=0.1"}, spec), std::invalid_argument);
+}
+
 TEST(CliFlags, PositionalArguments) {
   const auto flags = parse({"alpha", "--runs=2", "beta"}, {"runs"});
   EXPECT_EQ(flags.positional(),

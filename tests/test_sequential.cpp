@@ -115,5 +115,91 @@ TEST(DecisionTimer, StopWithoutStartThrows) {
   EXPECT_THROW(timer.stop(), std::logic_error);
 }
 
+TEST(LoopState, RecordFailureBillsBudgetAndBlacklists) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  (void)st.profile(5);
+
+  RunResult failed;
+  failed.outcome = RunOutcome::kFailed;
+  failed.cost = 0.25;
+  st.record_failure(7, failed);
+  ASSERT_EQ(st.failures.size(), 1U);
+  EXPECT_EQ(st.failures[0].id, 7U);
+  EXPECT_EQ(st.failures[0].cost, 0.25);
+  EXPECT_EQ(st.failures[0].after_samples, 1U);
+  EXPECT_EQ(st.samples.size(), 1U);  // a failure is not a sample
+  EXPECT_NEAR(st.budget.spent(), ds.cost(5) + 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(st.budget.failed_spent(), 0.25);
+  EXPECT_EQ(st.tested[7], 1);  // blacklisted by default
+
+  const OptimizerResult out = st.finalize();
+  ASSERT_EQ(out.failures.size(), 1U);
+  EXPECT_EQ(out.budget_spent_on_failures, 0.25);
+}
+
+TEST(LoopState, BlacklistOffKeepsFailedConfigRetryable) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  st.blacklist_failed = false;
+  RunResult failed;
+  failed.outcome = RunOutcome::kFailed;
+  failed.cost = 0.1;
+  st.record_failure(7, failed);
+  EXPECT_EQ(st.tested[7], 0);  // still proposable
+  (void)st.profile(7);         // and a later attempt can succeed
+  EXPECT_EQ(st.samples.back().id, 7U);
+}
+
+TEST(LoopState, RecordRejectsFailedResults) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  RunResult failed;
+  failed.outcome = RunOutcome::kFailed;
+  EXPECT_THROW((void)st.record(4, failed), std::logic_error);
+  RunResult ok;
+  EXPECT_THROW(st.record_failure(4, ok), std::logic_error);  // not failed
+  st.record_failure(4, failed);
+  EXPECT_THROW(st.record_failure(4, failed), std::logic_error);  // tested
+}
+
+TEST(LoopState, RestoreFailureRebuildsLedgerWithoutBilling) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  FailureRecord f;
+  f.id = 9;
+  f.cost = 0.4;
+  f.after_samples = 0;
+  st.restore_failure(f);
+  ASSERT_EQ(st.failures.size(), 1U);
+  EXPECT_EQ(st.tested[9], 1);
+  // Restore rebuilds bookkeeping only; the budget ledger is restored
+  // separately via Budget::set_spent.
+  EXPECT_DOUBLE_EQ(st.budget.spent(), 0.0);
+}
+
+TEST(LoopState, CensoredRunsRecordInfeasibleSamples) {
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  eval::TableRunner runner(ds);
+  LoopState st(problem, runner, 3);
+  RunResult r;
+  r.outcome = RunOutcome::kTimedOut;
+  r.timed_out = true;
+  r.runtime_seconds = 1.0;  // censored at a cap far below Tmax
+  r.cost = 0.01;
+  const Sample& s = st.record(2, r);
+  EXPECT_FALSE(s.feasible);  // censored, however short the cap
+  EXPECT_TRUE(st.failures.empty());
+}
+
 }  // namespace
 }  // namespace lynceus::core

@@ -483,5 +483,23 @@ TEST(StepperProtocol, PartialResultTracksAppliedRunsOnly) {
   EXPECT_EQ(stepper->result().history.size(), action.configs.size());
 }
 
+TEST(StepperSnapshot, FaultFreeSnapshotsCarryNoFailureKeys) {
+  // The failure-aware keys are emitted conditionally, so fault-free
+  // snapshots stay byte-identical to the pre-failure-aware format (old
+  // snapshots restore into new builds and vice versa).
+  const auto ds = testing::tiny_dataset();
+  const auto problem = testing::tiny_problem();
+  auto stepper = LynceusOptimizer().make_stepper(problem, 13);
+  eval::TableRunner runner(ds);
+  const StepAction& action = stepper->ask();
+  for (std::size_t i = 0; i + 1 < action.configs.size(); ++i) {
+    stepper->tell(action.configs[i], runner.run(action.configs[i]));
+  }
+  const std::string snap = stepper->snapshot();  // mid-batch, told_ buffered
+  EXPECT_EQ(snap.find("\"failures\""), std::string::npos);
+  EXPECT_EQ(snap.find("\"budget_failed\""), std::string::npos);
+  EXPECT_EQ(snap.find("\"outcome\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lynceus::core

@@ -283,6 +283,92 @@ TEST(TuningService, SnapshotRestoreMidFlightFinishesByteIdentically) {
   expect_identical(revived.result(rid), golden);
 }
 
+TEST(TuningService, TellErrorPathsLeaveStateIntact) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  core::LynceusOptions opts;
+  opts.lookahead = 1;
+  opts.incremental_refit = false;
+
+  eval::TableRunner solo(ds);
+  auto ref = core::LynceusOptimizer(opts).make_stepper(problem, 29);
+  const OptimizerResult golden = core::drive(*ref, solo);
+
+  TuningService service;
+  eval::AsyncTableRunner async(ds);
+  const SessionId id = service.open_lynceus(problem, opts, 29);
+  const auto batch = service.next_runs();
+  ASSERT_GE(batch.size(), 2U);
+
+  core::RunResult ok;
+  ok.runtime_seconds = ds.observation(batch[0].config).runtime_seconds;
+  ok.cost = ds.observation(batch[0].config).cost();
+  service.tell(id, batch[0].config, ok);
+
+  // Unknown session, a config already told, and a config the session
+  // never asked for: each rejected with the strong exception guarantee.
+  EXPECT_THROW(service.tell(id + 7, batch[1].config, ok),
+               std::invalid_argument);
+  EXPECT_THROW(service.tell(id, batch[0].config, ok),
+               std::invalid_argument);
+  ConfigId stranger = 0;
+  for (ConfigId c = 0; c < 24; ++c) {
+    bool in_batch = false;
+    for (const auto& run : batch) in_batch = in_batch || run.config == c;
+    if (!in_batch) {
+      stranger = c;
+      break;
+    }
+  }
+  EXPECT_THROW(service.tell(id, stranger, ok), std::invalid_argument);
+
+  // State intact: the session still finishes byte-identical to its solo
+  // run (the strong-guarantee proof — a corrupted counter or half-applied
+  // tell would diverge here).
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    core::RunResult r;
+    r.runtime_seconds = ds.observation(batch[i].config).runtime_seconds;
+    r.cost = ds.observation(batch[i].config).cost();
+    service.tell(id, batch[i].config, r);
+  }
+  pump(service, async);
+  ASSERT_TRUE(service.finished(id));
+  expect_identical(service.result(id), golden);
+}
+
+TEST(TuningService, DrainUnderInjectedFailuresReachesIdle) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningService::Options sopts;
+  sopts.run_policy.max_attempts = 2;
+  sopts.run_policy.run_timeout_seconds = 500.0;
+  sopts.run_policy.quarantine_after = 3;
+  TuningService service(sopts);
+  eval::AsyncTableRunner async(ds);
+  eval::FaultPlan plan;
+  plan.seed = 77;
+  plan.fail_rate = 0.5;
+  plan.hang_rate = 0.1;
+  async.set_fault_plan(plan);
+
+  std::vector<SessionId> ids;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ids.push_back(service.open_random(problem, seed));
+  }
+  drain(service, async);
+
+  EXPECT_TRUE(service.idle());
+  for (const SessionId id : ids) {
+    SCOPED_TRACE("session " + std::to_string(id));
+    EXPECT_TRUE(service.finished(id));
+    EXPECT_FALSE(service.stop_reason(id).empty());
+  }
+  // Quarantined sessions (if the streak hit) are reported, not wedged.
+  for (const SessionId id : service.quarantined_sessions()) {
+    EXPECT_EQ(service.stop_reason(id), "runner_failed");
+  }
+}
+
 TEST(TuningService, ValidatesSessionIdsAndTells) {
   const auto problem = lynceus::testing::tiny_problem();
   TuningService service;

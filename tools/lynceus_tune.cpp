@@ -12,8 +12,11 @@
 /// place there, including the environment-variable defaults). Repeated or
 /// conflicting flags are a hard error.
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -69,6 +72,20 @@ Flags:
   --snapshot-after K runs applied before snapshotting (default: after
               the bootstrap)
   --resume PATH      restore the session saved at PATH and finish it
+  --fault-rate P     deterministic fault injection: every profiling
+              attempt crashes partway with probability P and straggles
+              with probability P, drawn from a seeded stream keyed by
+              (config, attempt) — same flags, same faults, byte-for-byte
+              (the replay contract in eval/runner.hpp). Default 0 = off.
+  --fault-seed S     seed of the fault stream (default 1)
+  --straggler-factor F  duration multiplier for straggling runs
+              (default 2, must be >= 1)
+  --max-retries N    re-run a FAILED attempt up to N extra times before
+              accepting the failure (default 0); each retry is a fresh
+              attempt with fresh fault draws. With --sessions this is the
+              TuningService retry policy; otherwise a synchronous re-run.
+  --run-timeout T    kill any attempt after T seconds — the result
+              becomes a censored timed-out observation at the cap
   --trace     print the per-decision table
   --list      list the suite's jobs and exit
   --help      this text
@@ -106,6 +123,84 @@ struct OptimizerChoice {
   unsigned screen = 24;
   bool incremental = false;
   bool branch_parallel = false;
+};
+
+/// The --fault-rate/--fault-seed/--straggler-factor/--max-retries/
+/// --run-timeout knobs, resolved and validated.
+struct FaultChoice {
+  eval::FaultPlan plan;  ///< inactive when --fault-rate is 0 (the default)
+  double run_timeout = std::numeric_limits<double>::infinity();
+  std::size_t max_retries = 0;
+
+  [[nodiscard]] bool active() const {
+    return plan.active() || std::isfinite(run_timeout);
+  }
+};
+
+FaultChoice parse_faults(const util::CliFlags& flags) {
+  FaultChoice f;
+  const double rate = flags.get_double("fault-rate", 0.0);
+  f.plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+  f.plan.fail_rate = rate;
+  f.plan.straggler_rate = rate;
+  f.plan.straggler_factor = flags.get_double("straggler-factor", 2.0);
+  f.plan.validate();  // rates in [0,1], factor finite and >= 1
+  f.run_timeout = flags.get_double(
+      "run-timeout", std::numeric_limits<double>::infinity());
+  if (std::isnan(f.run_timeout) || f.run_timeout <= 0.0) {
+    throw std::invalid_argument("--run-timeout must be positive");
+  }
+  const std::int64_t retries = flags.get_int("max-retries", 0);
+  if (retries < 0) {
+    throw std::invalid_argument("--max-retries must be non-negative");
+  }
+  f.max_retries = static_cast<std::size_t>(retries);
+  return f;
+}
+
+/// Synchronous-mode retry decorator: a FAILED result is re-run up to the
+/// retry budget; every re-run is a fresh attempt of the inner
+/// fault-injecting runner, so it gets fresh fault draws. (--sessions mode
+/// retries through the TuningService RunPolicy instead.)
+class RetryingRunner final : public core::JobRunner {
+ public:
+  RetryingRunner(core::JobRunner& inner, std::size_t max_attempts)
+      : inner_(&inner), max_attempts_(max_attempts) {}
+
+  [[nodiscard]] core::RunResult run(space::ConfigId id) override {
+    core::RunResult r = inner_->run(id);
+    for (std::size_t a = 1; a < max_attempts_ && r.failed(); ++a) {
+      r = inner_->run(id);
+    }
+    return r;
+  }
+
+ private:
+  core::JobRunner* inner_;
+  std::size_t max_attempts_;
+};
+
+/// The synchronous runner stack: the replay table, optionally wrapped in
+/// fault injection and retries. The fault-free stack is the bare table
+/// runner — bitwise identical behavior to a build without fault support.
+struct RunnerStack {
+  eval::TableRunner table;
+  std::unique_ptr<eval::FaultInjectingRunner> faulty;
+  std::unique_ptr<RetryingRunner> retrying;
+  core::JobRunner* active;
+
+  RunnerStack(const cloud::Dataset& dataset, const FaultChoice& faults)
+      : table(dataset), active(&table) {
+    if (!faults.active()) return;
+    faulty = std::make_unique<eval::FaultInjectingRunner>(
+        table, faults.plan, faults.run_timeout);
+    active = faulty.get();
+    if (faults.max_retries > 0) {
+      retrying = std::make_unique<RetryingRunner>(*faulty,
+                                                  faults.max_retries + 1);
+      active = retrying.get();
+    }
+  }
 };
 
 core::LynceusOptions lynceus_options(const OptimizerChoice& c,
@@ -182,6 +277,10 @@ void print_summary(const cloud::Dataset& dataset,
                    const core::OptimizerResult& result) {
   std::printf("\nexplored %zu configurations, spent $%.4f of $%.4f\n",
               result.explorations(), result.budget_spent, problem.budget);
+  if (!result.failures.empty()) {
+    std::printf("  %zu failed runs billed $%.4f of the spend\n",
+                result.failures.size(), result.budget_spent_on_failures);
+  }
   if (!result.recommendation) {
     std::printf("no configuration could be recommended\n");
     return;
@@ -201,10 +300,12 @@ void print_summary(const cloud::Dataset& dataset,
 /// as they would against a real cluster.
 int run_sessions(const cloud::Dataset& dataset,
                  const core::OptimizationProblem& problem,
-                 const OptimizerChoice& choice, std::uint64_t seed,
-                 std::size_t sessions) {
+                 const OptimizerChoice& choice, const FaultChoice& faults,
+                 std::uint64_t seed, std::size_t sessions) {
   service::TuningService::Options sopts;
   sopts.pool_workers = util::default_worker_count();
+  sopts.run_policy.max_attempts = faults.max_retries + 1;
+  sopts.run_policy.run_timeout_seconds = faults.run_timeout;
   // No shared root cache: sessions carry distinct seeds, so their root
   // states (bootstrap rows + fit seeds) never coincide and exact-key hits
   // are impossible — the cache would only burn memory here. Identical
@@ -219,6 +320,7 @@ int run_sessions(const cloud::Dataset& dataset,
   }
 
   eval::AsyncTableRunner async(dataset);
+  if (faults.plan.active()) async.set_fault_plan(faults.plan);
   service::drain(svc, async);
 
   std::printf("\n%zu sessions finished (shared pool: %zu workers)\n",
@@ -228,11 +330,12 @@ int run_sessions(const cloud::Dataset& dataset,
     const long rec = result.recommendation
                          ? static_cast<long>(*result.recommendation)
                          : -1L;
-    std::printf("  session %zu (seed %llu): %3zu runs, $%.4f spent, "
-                "rec=%ld, CNO %.3f — %s\n",
+    std::printf("  session %zu (seed %llu): %3zu runs (%zu failed), "
+                "$%.4f spent, rec=%ld, CNO %.3f — %s\n",
                 i, static_cast<unsigned long long>(seed + i),
-                result.explorations(), result.budget_spent, rec,
-                eval::cno(dataset, result), svc.stop_reason(ids[i]).c_str());
+                result.explorations(), result.failures.size(),
+                result.budget_spent, rec, eval::cno(dataset, result),
+                svc.stop_reason(ids[i]).c_str());
   }
   return 0;
 }
@@ -242,7 +345,9 @@ int run(int argc, char** argv) {
       argc, argv,
       {"suite", "job", "optimizer", "la", "screen", "b", "seed", "dataset",
        "incremental", "branch-parallel", "sessions", "snapshot",
-       "snapshot-after", "resume", "trace", "list", "help"});
+       "snapshot-after", "resume", "fault-rate", "fault-seed",
+       "straggler-factor", "max-retries", "run-timeout", "trace", "list",
+       "help"});
 
   if (flags.get_bool("help", false)) {
     std::fputs(kUsage, stdout);
@@ -278,6 +383,8 @@ int run(int argc, char** argv) {
   choice.incremental = flags.get_bool("incremental", false);
   choice.branch_parallel = flags.get_bool("branch-parallel", false);
 
+  const FaultChoice faults = parse_faults(flags);
+
   const auto sessions =
       static_cast<std::size_t>(flags.get_int("sessions", 1));
   if (sessions > 1) {
@@ -290,7 +397,7 @@ int run(int argc, char** argv) {
                 "%zu sessions\n",
                 dataset->job_name().c_str(), dataset->size(),
                 problem.tmax_seconds, problem.budget, sessions);
-    return run_sessions(*dataset, problem, choice, seed, sessions);
+    return run_sessions(*dataset, problem, choice, faults, seed, sessions);
   }
 
   core::TraceRecorder trace;
@@ -320,7 +427,8 @@ int run(int argc, char** argv) {
     const std::size_t snapshot_after = static_cast<std::size_t>(
         flags.get_int("snapshot-after",
                       static_cast<std::int64_t>(problem.bootstrap_samples)));
-    eval::TableRunner runner(*dataset);
+    RunnerStack stack(*dataset, faults);
+    core::JobRunner& runner = *stack.active;
     std::size_t applied = stepper->result().history.size();
     const auto save_snapshot = [&]() -> bool {
       const std::string path = flags.get_string("snapshot", "");
@@ -364,8 +472,8 @@ int run(int argc, char** argv) {
               problem.tmax_seconds, problem.budget,
               optimizer->name().c_str());
 
-  eval::TableRunner runner(*dataset);
-  const auto result = optimizer->optimize(problem, runner, seed);
+  RunnerStack stack(*dataset, faults);
+  const auto result = optimizer->optimize(problem, *stack.active, seed);
 
   if (want_trace) print_trace(trace, *dataset);
 

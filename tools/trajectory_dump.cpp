@@ -34,6 +34,15 @@
 /// stepped trajectories byte-identical to the closed loop regardless of
 /// completion order — and CI diffs the via-steps dump against the classic
 /// dump per build and across toolchains. The header omits this flag too.
+///
+/// `--faults` appends a fault-injection scenario: concurrent TuningService
+/// sessions fed by the asynchronous replay runner under a seeded
+/// FaultPlan, with retries, timeouts and quarantine active (the
+/// fault-determinism contract in eval/runner.hpp). Every session's id
+/// sequence, failure ledger and stop reason are printed and hashed, so CI
+/// can diff the faulted dump across build modes exactly like the plain
+/// one — a divergence means the failure paths, not just the happy path,
+/// depend on the build.
 
 #include <algorithm>
 #include <cstdio>
@@ -49,6 +58,7 @@
 #include "core/stepper.hpp"
 #include "eval/experiment.hpp"
 #include "eval/runner.hpp"
+#include "service/tuning_service.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
@@ -88,6 +98,75 @@ void print_case(std::ostringstream& out, const std::string& name,
       << " hash=" << h << "\n";
 }
 
+/// The --faults scenario: three Lynceus sessions on the scout workload,
+/// drained through the TuningService against the asynchronous replay
+/// runner under a seeded storm (failures, hangs, stragglers) with the full
+/// RunPolicy active. Prints one line per session — id sequence, failure
+/// ledger as id@after_samples, recommendation, stop reason — plus a hash
+/// over ids, failures and the quarantine bit. The scenario draws no
+/// randomness outside the fixed seeds, so it is byte-identical across
+/// runs and must stay byte-identical across build modes.
+void print_fault_cases(std::ostringstream& out, bool incremental,
+                       std::uint64_t& combined) {
+  const auto scout = cloud::make_scout_datasets().front();
+  const auto problem = eval::make_problem(scout, 3.0);
+
+  eval::FaultPlan plan;
+  plan.seed = 99;
+  plan.fail_rate = 0.45;
+  plan.hang_rate = 0.1;
+  plan.straggler_rate = 0.2;
+  plan.straggler_factor = 3.0;
+
+  service::TuningService::Options sopts;
+  sopts.run_policy.max_attempts = 2;
+  sopts.run_policy.backoff_base_seconds = 5.0;
+  sopts.run_policy.run_timeout_seconds = 600.0;
+  sopts.run_policy.quarantine_after = 4;
+  service::TuningService svc(sopts);
+
+  std::vector<service::SessionId> ids;
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    core::LynceusOptions opts;
+    opts.lookahead = 1;
+    opts.screen_width = 24;
+    opts.incremental_refit = incremental;
+    opts.pool = svc.shared_pool();
+    core::LynceusOptimizer lyn(opts);
+    ids.push_back(svc.open(lyn.make_stepper(problem, seed)));
+  }
+
+  eval::AsyncTableRunner async(scout);
+  async.set_fault_plan(plan);
+  service::drain(svc, async);
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto r = svc.result(ids[i]);
+    const bool quarantined = svc.quarantined(ids[i]);
+    out << "faults_s" << (21 + i) << ": ids=";
+    for (std::size_t k = 0; k < r.history.size(); ++k) {
+      if (k > 0) out << ",";
+      out << r.history[k].id;
+    }
+    out << " failures=";
+    for (std::size_t k = 0; k < r.failures.size(); ++k) {
+      if (k > 0) out << ",";
+      out << r.failures[k].id << "@" << r.failures[k].after_samples;
+    }
+    std::uint64_t h = hash_result(r);
+    for (const auto& f : r.failures) {
+      h = fnv1a(h, f.id);
+      h = fnv1a(h, f.after_samples);
+    }
+    h = fnv1a(h, quarantined ? 1 : 0);
+    combined = fnv1a(combined, h);
+    out << " rec="
+        << (r.recommendation ? static_cast<long>(*r.recommendation) : -1L)
+        << " stop=\"" << svc.stop_reason(ids[i]) << "\""
+        << (quarantined ? " quarantined" : "") << " hash=" << h << "\n";
+  }
+}
+
 /// Drives a stepper by explicit ask/tell, resolving every batch in
 /// reverse order — the adversarial completion order the determinism
 /// contract must absorb.
@@ -113,12 +192,14 @@ int main(int argc, char** argv) {
   bool incremental = lynceus::util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
   bool branch_parallel = lynceus::util::env_flag("LYNCEUS_BRANCH_PARALLEL");
   bool via_steps = false;
+  bool faults = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
     if (arg == "--incremental") incremental = true;
     if (arg == "--branch-parallel") branch_parallel = true;
     if (arg == "--via-steps") via_steps = true;
+    if (arg == "--faults") faults = true;
   }
 
   // Branch-parallel mode exercises root fan-out *and* intra-root branch
@@ -202,6 +283,8 @@ int main(int argc, char** argv) {
                        : lyn.optimize(problem, runner, 7);
     print_case(out, "scout_mc_la1", r, combined);
   }
+
+  if (faults) print_fault_cases(out, incremental, combined);
 
   out << "combined_hash=" << combined << "\n";
   std::fputs(out.str().c_str(), stdout);
