@@ -764,6 +764,55 @@ SessionThroughputStats measure_session_throughput(std::size_t sessions,
   return out;
 }
 
+/// Inter-session scaling (ISSUE 7 / ROADMAP "Inter-session parallel
+/// scheduling"): N concurrent Lynceus sessions with *distinct* seeds —
+/// independent jobs, the fleet scenario — drained either by the
+/// single-threaded FIFO loop (workers == 0, the baseline) or by the
+/// throughput-mode worker pool (workers >= 1). No root cache in either
+/// mode (throughput mode requires it off; the baseline matches so the
+/// comparison is pure scheduling). Per-session trajectories are
+/// byte-identical across all modes by the throughput contract, so
+/// decisions/s compares the same work.
+SessionThroughputStats measure_session_scaling(std::size_t sessions,
+                                               std::size_t workers,
+                                               std::size_t reps) {
+  const auto ds = decision_dataset(1);  // Scout: realistic small job
+  const auto problem = eval::make_problem(ds, 3.0);
+  core::LynceusOptions opts;
+  opts.lookahead = 1;
+  opts.screen_width = 24;
+  opts.incremental_refit = false;
+
+  std::vector<double> ms_per_decision;
+  std::size_t decisions = 0;
+  for (std::size_t rep = 0; rep <= reps; ++rep) {  // rep 0 = warm-up
+    service::TuningService::Options sopts;
+    sopts.throughput_workers = workers;
+    service::TuningService svc(sopts);
+    std::vector<service::SessionId> ids;
+    for (std::size_t s = 0; s < sessions; ++s) {
+      ids.push_back(svc.open_lynceus(problem, opts, s + 1));
+    }
+    eval::AsyncTableRunner async(ds);
+    const auto t0 = std::chrono::steady_clock::now();
+    service::drain(svc, async);
+    const auto t1 = std::chrono::steady_clock::now();
+    decisions = 0;
+    for (const auto id : ids) decisions += svc.result(id).decisions;
+    if (rep == 0) continue;
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ms_per_decision.push_back(ms / static_cast<double>(decisions));
+  }
+  std::sort(ms_per_decision.begin(), ms_per_decision.end());
+  SessionThroughputStats out;
+  out.decisions = decisions;
+  out.ms_per_decision = percentile(ms_per_decision, 0.50);
+  out.decisions_per_sec =
+      out.ms_per_decision > 0.0 ? 1000.0 / out.ms_per_decision : 0.0;
+  return out;
+}
+
 /// Writes the decision-time summary. `sections` selects which measurement
 /// sections to run and emit (empty = all): the CI scaling leg passes
 /// `decision_scaling` alone so it does not pay for minutes of unrelated
@@ -948,6 +997,46 @@ bool write_json_summary(const std::string& path,
   w.end_array();
   }
 
+  // Inter-session scaling: decisions/s at 8/64 concurrent sessions,
+  // FIFO loop (workers == 0) vs throughput mode at workers in
+  // {1, nproc-1} (deduplicated; see measure_session_scaling).
+  // speedup_vs_w0 compares the same session count's FIFO entry.
+  // tools/scaling_gate.py hard-gates the 64-session curve on multi-core
+  // CI; tools/compare_bench.py skips the workers == 0 entries.
+  if (want("session_scaling")) {
+  w.key("session_scaling").begin_array();
+  {
+    std::vector<std::size_t> worker_counts = {0, 1,
+                                              util::default_worker_count()};
+    std::sort(worker_counts.begin(), worker_counts.end());
+    worker_counts.erase(
+        std::unique(worker_counts.begin(), worker_counts.end()),
+        worker_counts.end());
+    for (const std::size_t sessions : {std::size_t{8}, std::size_t{64}}) {
+      double w0_dps = 0.0;
+      for (const std::size_t workers : worker_counts) {
+        const std::size_t reps = sessions >= 64 ? 2 : 3;
+        const auto s = measure_session_scaling(sessions, workers, reps);
+        if (workers == 0) w0_dps = s.decisions_per_sec;
+        w.begin_object();
+        w.key("space").value(decision_space_name(1));
+        w.key("optimizer").value("lynceus_la1");
+        w.key("sessions").value(static_cast<std::uint64_t>(sessions));
+        w.key("workers").value(static_cast<std::uint64_t>(workers));
+        w.key("decisions").value(static_cast<std::uint64_t>(s.decisions));
+        w.key("ms_per_decision").value(s.ms_per_decision);
+        w.key("decisions_per_sec").value(s.decisions_per_sec);
+        w.key("speedup_vs_w0").value(
+            workers > 0 && w0_dps > 0.0 && s.decisions_per_sec > 0.0
+                ? s.decisions_per_sec / w0_dps
+                : 0.0);
+        w.end_object();
+      }
+    }
+  }
+  w.end_array();
+  }
+
   // Multi-core decision scaling (ROADMAP "Multi-core decision scaling
   // numbers"): the same LA=2 decision at workers in {0, 1, nproc-1}
   // (deduplicated), fanned out across roots only, inside each root only
@@ -1021,8 +1110,8 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_micro.json";
   // --sections=a,b,c restricts the JSON summary to the named sections
   // (spaces, multi_constraint, incremental_refit, cached_decision,
-  // pooled_decision, session_throughput, decision_scaling); empty /
-  // absent = all.
+  // pooled_decision, session_throughput, session_scaling,
+  // decision_scaling); empty / absent = all.
   std::set<std::string> sections;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {

@@ -36,6 +36,21 @@ TuningService::TuningService() : TuningService(Options{}) {}
 
 TuningService::TuningService(Options options) : options_(std::move(options)) {
   options_.run_policy.validate();
+  if (options_.throughput_workers > 0) {
+    // See "Throughput mode" in the header: the shared cache's LRU mutation
+    // order is interleaving-dependent, and intra-decision pool fan-out
+    // would oversubscribe the session-step workers.
+    if (options_.root_cache_capacity > 0) {
+      throw std::invalid_argument(
+          "TuningService: throughput_workers requires the shared RootCache "
+          "off (root_cache_capacity == 0)");
+    }
+    if (options_.pool_workers > 0) {
+      throw std::invalid_argument(
+          "TuningService: throughput_workers and pool_workers are mutually "
+          "exclusive (session-level parallelism replaces the decision pool)");
+    }
+  }
   if (options_.pool_workers > 0) {
     pool_ = std::make_unique<util::ThreadPool>(options_.pool_workers);
   }
@@ -440,6 +455,10 @@ SessionId TuningService::restore_lynceus(
 }
 
 void drain(TuningService& service, eval::AsyncTableRunner& runner) {
+  if (service.options().throughput_workers > 0) {
+    service.run_throughput(runner);
+    return;
+  }
   while (true) {
     for (const PendingRun& run : service.next_runs()) {
       eval::AsyncTableRunner::SubmitOptions opts;

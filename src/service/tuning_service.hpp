@@ -89,9 +89,57 @@
 /// (config, attempt), finishes each one byte-identically to the
 /// uninterrupted run (the crash-recovery drill in tests/test_faults.cpp).
 ///
-/// Single-threaded by design: the service is an event-loop core — calls
-/// are cheap state transitions (ask() decision work happens inside
-/// next_runs()), and callers own the concurrency model around it.
+/// ## Throughput mode (opt-in, Options::throughput_workers > 0)
+///
+/// The FIFO loop above advances sessions round-robin from one thread: at
+/// 64 sessions every core but one idles. run_throughput() inverts that —
+/// a pool of `throughput_workers` threads pulls *whole session steps*
+/// (apply completed results, ask, submit the next batch) off a lock-free
+/// MPMC run queue (util/mpmc_queue.hpp), completions flow back through an
+/// eval::AsyncCompletionPump delivery thread, and 64+ sessions advance
+/// concurrently. The scheduling contract:
+///
+///   * **Per-session trajectories are bit-pinned.** A session's state is
+///     owned exclusively by whichever worker holds its queue task (at most
+///     one task per session exists; the per-slot mutex only hands the
+///     completed wave over from the delivery thread). Completions are
+///     buffered per session and applied in canonical ask() order once the
+///     whole outstanding wave has resolved — so each session's trajectory
+///     is byte-identical to its solo FIFO run, for any worker count,
+///     including under fault injection (fault draws are keyed by
+///     (config, attempt), interleaving-independent).
+///   * **Cross-session interleaving is NOT pinned.** Which session's wave
+///     completes first, runner submission order, simulated finish times
+///     and total simulated duration all vary run to run. Anything derived
+///     from global ordering (e.g. AsyncTableRunner::now()) is
+///     nondeterministic in this mode.
+///   * **Quarantine is wave-canonical.** The failure streak is updated in
+///     canonical ask order at each wave boundary, not in per-arrival
+///     simulated-time order as the FIFO loop does — deterministic for a
+///     given mode, but a streak that FIFO mode trips mid-wave can resolve
+///     differently here. Sessions that quarantine under fail-everything
+///     faults do so identically in both modes; the cross-mode
+///     trajectory-identity suites pin the no-quarantine and
+///     always-quarantine cases.
+///   * **Journal semantics.** With Options::journal set, sessions are
+///     journaled once per applied wave (after its tells) instead of after
+///     every tell, and the callback is invoked from worker threads — it
+///     must be thread-safe (per-session ordering is still serial). A
+///     restored envelope replays byte-identically; the only state not
+///     carried is the backoff start_delay of a not-yet-relaunched retry
+///     (simulated-time scheduling only — attempt numbers, and hence fault
+///     draws, are preserved).
+///   * **Exclusions.** Throughput mode requires the shared RootCache off
+///     (root_cache_capacity == 0; its LRU mutation order is not
+///     order-insensitive) and the intra-decision pool off
+///     (pool_workers == 0; session-level parallelism replaces it) — the
+///     constructor enforces both. Do not call other service methods while
+///     run_throughput() is running.
+///
+/// Single-threaded by design (throughput mode aside): the service is an
+/// event-loop core — calls are cheap state transitions (ask() decision
+/// work happens inside next_runs()), and callers own the concurrency
+/// model around it.
 
 #include <cstdint>
 #include <deque>
@@ -173,6 +221,12 @@ class TuningService {
     std::size_t root_cache_capacity = 0;
     /// RootCache::Options::store_models for the shared cache.
     bool cache_store_models = false;
+    /// Workers of the throughput-mode scheduler (see "Throughput mode" in
+    /// the file comment): 0 = FIFO event-loop service (the default,
+    /// deterministic across sessions); > 0 enables run_throughput() with
+    /// that many session-step workers. Mutually exclusive with
+    /// pool_workers and root_cache_capacity (the constructor throws).
+    std::size_t throughput_workers = 0;
     /// Failure-handling policy applied to every session (default: inert).
     RunPolicy run_policy;
     /// Crash-safety journal: when set, invoked with (session id,
@@ -275,6 +329,19 @@ class TuningService {
                             core::LynceusOptions options, std::uint64_t seed,
                             const std::string& snapshot_json);
 
+  /// Drives every open session to completion against `runner` with the
+  /// worker pool described under "Throughput mode" in the file comment
+  /// (requires Options::throughput_workers > 0; throws std::logic_error
+  /// otherwise). Returns once every session is finished or quarantined —
+  /// or, mirroring drain(), once only forever-hung runs remain, leaving
+  /// those sessions unfinished with their runs counted in flight.
+  /// Restored sessions are picked up mid-batch (queued retries are
+  /// relaunched with their saved attempt numbers). The runner must be
+  /// untouched by other threads for the duration of the call.
+  void run_throughput(eval::AsyncTableRunner& runner);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
   /// The shared resources, for callers building their own steppers.
   [[nodiscard]] util::ThreadPool* shared_pool() noexcept {
     return pool_ ? pool_.get() : nullptr;
@@ -334,7 +401,10 @@ class TuningService {
 /// completions; sessions the policy quarantines simply stop emitting runs
 /// and the drain still reaches idle. The event loop the CLI batch mode,
 /// the service benchmarks and the examples all share; a real deployment
-/// replaces it with its cluster transport.
+/// replaces it with its cluster transport. With
+/// Options::throughput_workers > 0 this dispatches to
+/// service.run_throughput(runner) instead, so drivers support both modes
+/// transparently.
 void drain(TuningService& service, eval::AsyncTableRunner& runner);
 
 }  // namespace lynceus::service

@@ -1,0 +1,187 @@
+#pragma once
+
+/// \file mpmc_queue.hpp
+/// A bounded lock-free multi-producer/multi-consumer queue (Vyukov's
+/// array-based design): each cell carries an atomic sequence number that
+/// encodes whose turn it is — a producer may fill cell i on the lap where
+/// `seq == i`, a consumer may drain it on the lap where `seq == i + 1` —
+/// so producers and consumers contend only on their own cursor CAS, never
+/// on a shared lock. The throughput-mode service scheduler
+/// (service::TuningService::run_throughput) uses one of these as its run
+/// queue: workers push and pop whole session-step tasks concurrently.
+///
+/// Properties:
+///   * `try_push` / `try_pop` are wait-free apart from the cursor CAS
+///     retry loop; neither ever blocks or allocates after construction.
+///   * FIFO per producer; total order across producers is whatever the
+///     CAS race decides (consumers observe a linearizable interleaving).
+///   * Bounded: `try_push` returns false when the queue is full (the
+///     value is NOT consumed — it is only moved from on success), and
+///     `try_pop` returns false when empty. Callers decide whether to
+///     retry, back off, or treat full/empty as terminal.
+///   * `size()` is approximate under concurrency (a snapshot of two
+///     racing cursors) — fine for monitoring, not for emptiness tests.
+///
+/// The queue does not provide blocking waits by design: the service's
+/// workers interleave queue polling with completion-pump checks, so a
+/// blocked pop would deadlock the stall detector. `Backoff` below is the
+/// polite spin helper those poll loops share.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace lynceus::util {
+
+/// Destructive-interference distance for cursor padding. A constant 64
+/// rather than std::hardware_destructive_interference_size: the standard
+/// value is an ABI hazard GCC warns about (-Winterference-size), and 64
+/// is correct for every target this builds on.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Builds a queue holding at most `capacity` elements (rounded up to the
+  /// next power of two; the sequence-number scheme needs a pow2 ring so
+  /// lap arithmetic is a mask). Capacity must be >= 1.
+  explicit MpmcQueue(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    if (capacity == 0) {
+      throw std::invalid_argument("MpmcQueue: capacity must be >= 1");
+    }
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Enqueues by move. Returns false (leaving `value` untouched) when the
+  /// queue is full at the attempted cell.
+  bool try_push(T&& value) {
+    Cell* cell;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        // Our turn to fill this cell — claim the slot via the tail CAS.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        // The cell still holds last lap's element: the queue is full.
+        return false;
+      } else {
+        // Another producer claimed this position; reload and retry.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    // Publishing seq = pos + 1 hands the cell to the consumer side.
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& value) {
+    T copy = value;
+    return try_push(std::move(copy));
+  }
+
+  /// Dequeues into `out`. Returns false when the queue is empty at the
+  /// attempted cell.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        // The cell has not been filled this lap: the queue is empty.
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    // seq = pos + capacity hands the cell back to producers for next lap.
+    cell->seq.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Approximate occupancy (racy snapshot of both cursors).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  /// Producer and consumer cursors on separate cache lines so pushes and
+  /// pops do not false-share.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+};
+
+/// Polite spin for poll loops over MpmcQueue: a few pause-style hot spins,
+/// then yields to the OS scheduler so an oversubscribed host still makes
+/// progress. Reset it after useful work.
+class Backoff {
+ public:
+  void spin() noexcept {
+    if (count_ < kHotSpins) {
+      ++count_;
+      for (int i = 0; i < (1 << count_); ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#else
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+      }
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  static constexpr int kHotSpins = 6;
+  int count_ = 0;
+};
+
+}  // namespace lynceus::util

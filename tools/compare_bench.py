@@ -87,6 +87,18 @@ def load_entries(summary):
                          "no scaling to gate)")
             continue
         entries[key] = e["p50_ms"]
+    for e in summary.get("session_scaling", []):
+        # Inter-session throughput scaling (FIFO loop vs the throughput
+        # worker pool): the worker count is part of the key, and
+        # workers == 0 is the single-threaded FIFO reference — skipped
+        # here like the other serial references (scaling_gate.py gates
+        # the speedup curve itself).
+        key = f"sscale/{e['space']}/s{e['sessions']}/w{e.get('workers', 0)}"
+        if e.get("workers", 0) == 0:
+            notes.append(f"{key} skipped (workers == 0: FIFO loop, "
+                         "no scaling to gate)")
+            continue
+        entries[key] = e["ms_per_decision"]
     return entries, notes
 
 

@@ -67,6 +67,14 @@ Flags:
               shared root cache only pays off for identical recurrent
               sessions — distinct seeds never share root states — so this
               mode runs without one.
+  --throughput-workers N  with --sessions: drain the sessions through the
+              worker-pool throughput scheduler (N workers pulling whole
+              session steps off a shared run queue) instead of the
+              single-threaded FIFO loop. Every session's trajectory is
+              byte-identical either way — the scheduling contract in
+              service/tuning_service.hpp — only wall-clock changes.
+              Mutually exclusive with the shared decision pool, so this
+              mode runs without one. Default 0 = FIFO loop.
   --snapshot PATH    serialize the session to PATH and exit once
               --snapshot-after tell()s have been applied
   --snapshot-after K runs applied before snapshotting (default: after
@@ -301,9 +309,16 @@ void print_summary(const cloud::Dataset& dataset,
 int run_sessions(const cloud::Dataset& dataset,
                  const core::OptimizationProblem& problem,
                  const OptimizerChoice& choice, const FaultChoice& faults,
-                 std::uint64_t seed, std::size_t sessions) {
+                 std::uint64_t seed, std::size_t sessions,
+                 std::size_t throughput_workers) {
   service::TuningService::Options sopts;
-  sopts.pool_workers = util::default_worker_count();
+  if (throughput_workers > 0) {
+    // Throughput mode owns the parallelism (whole session steps across
+    // workers); the shared decision pool is mutually exclusive with it.
+    sopts.throughput_workers = throughput_workers;
+  } else {
+    sopts.pool_workers = util::default_worker_count();
+  }
   sopts.run_policy.max_attempts = faults.max_retries + 1;
   sopts.run_policy.run_timeout_seconds = faults.run_timeout;
   // No shared root cache: sessions carry distinct seeds, so their root
@@ -323,8 +338,13 @@ int run_sessions(const cloud::Dataset& dataset,
   if (faults.plan.active()) async.set_fault_plan(faults.plan);
   service::drain(svc, async);
 
-  std::printf("\n%zu sessions finished (shared pool: %zu workers)\n",
-              sessions, sopts.pool_workers);
+  if (throughput_workers > 0) {
+    std::printf("\n%zu sessions finished (throughput mode: %zu workers)\n",
+                sessions, throughput_workers);
+  } else {
+    std::printf("\n%zu sessions finished (shared pool: %zu workers)\n",
+                sessions, sopts.pool_workers);
+  }
   for (std::size_t i = 0; i < sessions; ++i) {
     const auto result = svc.result(ids[i]);
     const long rec = result.recommendation
@@ -344,8 +364,8 @@ int run(int argc, char** argv) {
   const util::CliFlags flags(
       argc, argv,
       {"suite", "job", "optimizer", "la", "screen", "b", "seed", "dataset",
-       "incremental", "branch-parallel", "sessions", "snapshot",
-       "snapshot-after", "resume", "fault-rate", "fault-seed",
+       "incremental", "branch-parallel", "sessions", "throughput-workers",
+       "snapshot", "snapshot-after", "resume", "fault-rate", "fault-seed",
        "straggler-factor", "max-retries", "run-timeout", "trace", "list",
        "help"});
 
@@ -387,6 +407,13 @@ int run(int argc, char** argv) {
 
   const auto sessions =
       static_cast<std::size_t>(flags.get_int("sessions", 1));
+  const auto throughput_workers =
+      static_cast<std::size_t>(flags.get_int("throughput-workers", 0));
+  if (throughput_workers > 0 && sessions <= 1) {
+    throw std::invalid_argument(
+        "--throughput-workers schedules concurrent sessions and requires "
+        "--sessions N with N > 1");
+  }
   if (sessions > 1) {
     if (flags.get_bool("trace", false)) {
       throw std::invalid_argument(
@@ -397,7 +424,8 @@ int run(int argc, char** argv) {
                 "%zu sessions\n",
                 dataset->job_name().c_str(), dataset->size(),
                 problem.tmax_seconds, problem.budget, sessions);
-    return run_sessions(*dataset, problem, choice, faults, seed, sessions);
+    return run_sessions(*dataset, problem, choice, faults, seed, sessions,
+                        throughput_workers);
   }
 
   core::TraceRecorder trace;

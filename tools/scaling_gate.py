@@ -1,18 +1,30 @@
 #!/usr/bin/env python3
-"""Decision-scaling recorder + gate over bench_micro's decision_scaling
-section (the CI `scaling` job's check).
+"""Scaling recorder + gate over bench_micro's decision_scaling and
+session_scaling sections (the CI `scaling` job's checks).
 
-Renders the measured curve as a Markdown table (stdout and, when
-GITHUB_STEP_SUMMARY is set, the job summary) and enforces the scaling bar:
-TF-CNN LA=2 branch-parallel decisions (mode `roots+branch`) at the
-runner's maximum measured worker count must reach `--min-speedup`
-(default 1.5x) p50 speedup over the same mode at workers=1. Runners whose
-maximum is below 2 workers cannot measure scaling and pass with a skip
-note — the 1-core dev box records w in {0, 1} only.
+Renders the measured curves as Markdown tables (stdout and, when
+GITHUB_STEP_SUMMARY is set, the job summary) and enforces two bars:
+
+  * decision_scaling: TF-CNN LA=2 branch-parallel decisions (mode
+    `roots+branch`) at the runner's maximum measured worker count must
+    reach `--min-speedup` (default 1.5x) p50 speedup over the same mode
+    at workers=1.
+  * session_scaling: decisions/s across `--sessions` (default 64)
+    concurrent sessions in throughput mode at the maximum measured worker
+    count must reach `--session-min-speedup` (default 3x) over the
+    single-threaded FIFO loop (workers=0).
+
+Runners whose maximum is below 2 workers cannot measure scaling and pass
+with a skip note — the 1-core dev box records w in {0, 1} only. A missing
+session_scaling section is a skip note by default (old baselines) but a
+hard failure with --require-sessions, which the CI scaling job passes so
+a silently dropped bench section cannot disable the gate.
 
 Usage: scaling_gate.py BENCH_JSON [--min-speedup=1.5]
                        [--space=tensorflow_cnn] [--la=2]
                        [--mode=roots+branch]
+                       [--session-min-speedup=3.0] [--sessions=64]
+                       [--require-sessions]
 """
 
 import argparse
@@ -33,6 +45,23 @@ def render_table(entries):
         lines.append(
             f"| {e['space']} | {e['la']} | {e['mode']} | {e['workers']} | "
             f"{e['p50_ms']:.3f} | "
+            + (f"{speedup:.2f}x |" if speedup else "— |"))
+    return "\n".join(lines)
+
+
+def render_session_table(entries):
+    lines = [
+        "## session_scaling (multi-core CI runner)",
+        "",
+        "| space | sessions | workers | decisions | decisions/s | "
+        "speedup vs w0 |",
+        "|---|---|---|---|---|---|",
+    ]
+    for e in entries:
+        speedup = e.get("speedup_vs_w0", 0.0)
+        lines.append(
+            f"| {e['space']} | {e['sessions']} | {e['workers']} | "
+            f"{e.get('decisions', 0)} | {e['decisions_per_sec']:.0f} | "
             + (f"{speedup:.2f}x |" if speedup else "— |"))
     return "\n".join(lines)
 
@@ -60,6 +89,31 @@ def gate(entries, space, la, mode, min_speedup, out=print):
     return 0
 
 
+def gate_sessions(entries, sessions, min_speedup, out=print):
+    """Gates throughput-mode decisions/s at `sessions` concurrent sessions
+    vs the single-threaded FIFO loop. Returns 0 (pass/skip) or 1."""
+    curve = [e for e in entries if e["sessions"] == sessions]
+    if not curve:
+        out(f"scaling_gate: no session_scaling entries for "
+            f"sessions={sessions}")
+        return 1
+    max_w = max(e["workers"] for e in curve)
+    if max_w < 2:
+        out(f"scaling_gate: runner has max {max_w} session workers; "
+            "session gate skipped (scaling needs >= 2)")
+        return 0
+    top = next(e for e in curve if e["workers"] == max_w)
+    speedup = top.get("speedup_vs_w0", 0.0)
+    out(f"scaling_gate: {sessions} sessions w{max_w}: "
+        f"{top['decisions_per_sec']:.0f} decisions/s, "
+        f"{speedup:.2f}x vs the FIFO loop (bar {min_speedup:.2f}x)")
+    if speedup < min_speedup:
+        out("scaling_gate: FAIL — session throughput below the bar")
+        return 1
+    out("scaling_gate: session gate passed")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("bench_json")
@@ -67,6 +121,11 @@ def main():
     ap.add_argument("--space", default="tensorflow_cnn")
     ap.add_argument("--la", type=int, default=2)
     ap.add_argument("--mode", default="roots+branch")
+    ap.add_argument("--session-min-speedup", type=float, default=3.0)
+    ap.add_argument("--sessions", type=int, default=64)
+    ap.add_argument("--require-sessions", action="store_true",
+                    help="fail when the session_scaling section is missing "
+                         "(the CI scaling job sets this)")
     args = ap.parse_args()
 
     with open(args.bench_json) as f:
@@ -78,13 +137,27 @@ def main():
         return 1
 
     report = render_table(entries)
+    session_entries = summary.get("session_scaling", [])
+    if session_entries:
+        report += "\n\n" + render_session_table(session_entries)
     print(report)
     step = os.environ.get("GITHUB_STEP_SUMMARY")
     if step:
         with open(step, "a") as f:
             f.write(report + "\n")
 
-    return gate(entries, args.space, args.la, args.mode, args.min_speedup)
+    rc = gate(entries, args.space, args.la, args.mode, args.min_speedup)
+    if session_entries:
+        rc |= gate_sessions(session_entries, args.sessions,
+                            args.session_min_speedup)
+    elif args.require_sessions:
+        print(f"scaling_gate: {args.bench_json} has no session_scaling "
+              "section (required)")
+        rc = 1
+    else:
+        print("scaling_gate: no session_scaling section; session gate "
+              "skipped")
+    return rc
 
 
 if __name__ == "__main__":

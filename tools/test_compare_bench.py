@@ -19,7 +19,7 @@ import compare_bench  # noqa: E402
 
 
 def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None,
-            svc=None):
+            svc=None, sscale=None):
     """Builds a minimal BENCH_micro.json-shaped dict."""
     out = {"bench": "micro_decision", "unit": "ms"}
     out["spaces"] = [
@@ -35,6 +35,7 @@ def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None,
     out["pooled_decision"] = pooled or []
     out["decision_scaling"] = scaling or []
     out["session_throughput"] = svc or []
+    out["session_scaling"] = sscale or []
     return out
 
 
@@ -187,6 +188,48 @@ class CompareBenchTest(unittest.TestCase):
         base = summary(spaces_p50=entries, svc=svc_base)
         svc_new = [dict(svc_base[0], ms_per_decision=25.0)]
         new = summary(spaces_p50=entries, svc=svc_new)
+        self.assertEqual(self.run_gate(base, new), 1)
+        self.assertEqual(self.run_gate(base, base), 0)
+
+    def test_session_scaling_keys_on_sessions_and_workers(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0)]}
+        sscale = [
+            {"space": "scout_0", "sessions": 64, "workers": 0,
+             "ms_per_decision": 0.3},
+            {"space": "scout_0", "sessions": 64, "workers": 3,
+             "ms_per_decision": 0.1},
+        ]
+        flat, notes = compare_bench.load_entries(
+            summary(spaces_p50=entries, sscale=sscale))
+        self.assertIn("sscale/scout_0/s64/w3", flat)
+        self.assertEqual(flat["sscale/scout_0/s64/w3"], 0.1)
+        # workers == 0 is the FIFO reference: noted, never gated.
+        self.assertNotIn("sscale/scout_0/s64/w0", flat)
+        self.assertEqual(len(notes), 1)
+        self.assertIn("sscale/scout_0/s64/w0", notes[0])
+
+    def test_zero_worker_session_scaling_entries_are_skipped_not_gated(self):
+        entries = {"tf": [(1, 5.0), (2, 20.0)]}
+        base = summary(
+            spaces_p50=entries,
+            sscale=[{"space": "scout_0", "sessions": 64, "workers": 0,
+                     "ms_per_decision": 0.1}])
+        new = summary(
+            spaces_p50=entries,
+            sscale=[{"space": "scout_0", "sessions": 64, "workers": 0,
+                     "ms_per_decision": 50.0}])
+        self.assertEqual(self.run_gate(base, new), 0)
+
+    def test_nonzero_worker_session_scaling_regression_fails(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}
+        base = summary(
+            spaces_p50=entries,
+            sscale=[{"space": "scout_0", "sessions": 64, "workers": 3,
+                     "ms_per_decision": 5.0}])
+        new = summary(
+            spaces_p50=entries,
+            sscale=[{"space": "scout_0", "sessions": 64, "workers": 3,
+                     "ms_per_decision": 25.0}])
         self.assertEqual(self.run_gate(base, new), 1)
         self.assertEqual(self.run_gate(base, base), 0)
 

@@ -22,6 +22,16 @@ def entry(workers, p50, speedup=0.0, space="tensorflow_cnn", la=2,
             "p50_ms": p50, "speedup_vs_w1": speedup}
 
 
+def sentry(workers, dps, speedup=0.0, sessions=64, space="scout_0"):
+    return {"space": space, "optimizer": "lynceus_la1", "sessions": sessions,
+            "workers": workers, "decisions": 372, "ms_per_decision": 1.0,
+            "decisions_per_sec": dps, "speedup_vs_w0": speedup}
+
+
+def passing_decision_curve():
+    return [entry(1, 20.0), entry(3, 10.0, speedup=2.0)]
+
+
 class ScalingGateTest(unittest.TestCase):
     def setUp(self):
         os.environ.pop("GITHUB_STEP_SUMMARY", None)
@@ -70,6 +80,60 @@ class ScalingGateTest(unittest.TestCase):
         entries = [entry(1, 20.0, mode="roots"),
                    entry(3, 8.0, speedup=2.5, mode="roots")]
         self.assertEqual(self.run_main({"decision_scaling": entries}), 1)
+
+    def test_session_gate_passes_at_or_above_bar(self):
+        sessions = [sentry(0, 3000.0), sentry(1, 2800.0),
+                    sentry(7, 11000.0, speedup=3.7)]
+        self.assertEqual(
+            self.run_main({"decision_scaling": passing_decision_curve(),
+                           "session_scaling": sessions}), 0)
+
+    def test_session_gate_fails_below_bar(self):
+        sessions = [sentry(0, 3000.0), sentry(1, 2800.0),
+                    sentry(7, 6000.0, speedup=2.0)]
+        self.assertEqual(
+            self.run_main({"decision_scaling": passing_decision_curve(),
+                           "session_scaling": sessions}), 1)
+
+    def test_session_gate_custom_bar_and_session_count(self):
+        sessions = [sentry(0, 3000.0, sessions=8),
+                    sentry(3, 6500.0, speedup=2.1, sessions=8)]
+        args = ["--sessions=8", "--session-min-speedup=2.0"]
+        self.assertEqual(
+            self.run_main({"decision_scaling": passing_decision_curve(),
+                           "session_scaling": sessions}, args), 0)
+
+    def test_session_gate_skips_on_single_worker_runner(self):
+        # 1-core dev box shape: throughput mode only measured at w0/w1.
+        sessions = [sentry(0, 3000.0), sentry(1, 2800.0, speedup=0.93)]
+        self.assertEqual(
+            self.run_main({"decision_scaling": passing_decision_curve(),
+                           "session_scaling": sessions}), 0)
+
+    def test_session_gate_fails_when_gated_session_count_is_missing(self):
+        # Entries exist but not for the gated session count: failure, not
+        # skip — a changed bench config must not disable the gate.
+        sessions = [sentry(0, 3000.0, sessions=8),
+                    sentry(7, 11000.0, speedup=3.7, sessions=8)]
+        self.assertEqual(
+            self.run_main({"decision_scaling": passing_decision_curve(),
+                           "session_scaling": sessions}), 1)
+
+    def test_missing_session_section_passes_unless_required(self):
+        # Backward compat: old summaries without session_scaling still pass
+        # by default, but CI passes --require-sessions so a silently
+        # dropped bench section is a hard failure there.
+        summary = {"decision_scaling": passing_decision_curve()}
+        self.assertEqual(self.run_main(summary), 0)
+        self.assertEqual(
+            self.run_main(summary, ["--require-sessions"]), 1)
+
+    def test_session_failure_not_masked_by_decision_pass(self):
+        sessions = [sentry(0, 3000.0), sentry(1, 2800.0),
+                    sentry(7, 4000.0, speedup=1.3)]
+        self.assertEqual(
+            self.run_main({"decision_scaling": passing_decision_curve(),
+                           "session_scaling": sessions}), 1)
 
     def test_writes_step_summary_when_requested(self):
         entries = [entry(1, 20.0), entry(3, 10.0, speedup=2.0)]

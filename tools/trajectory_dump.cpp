@@ -9,7 +9,7 @@
 /// UB) and fails the pipeline.
 ///
 ///   trajectory_dump [--out=PATH] [--incremental] [--branch-parallel]
-///                   [--via-steps]
+///                   [--via-steps] [--throughput-workers=N]
 ///
 /// `--incremental` (or the LYNCEUS_INCREMENTAL_REFIT=1 environment toggle)
 /// runs every case with Options::incremental_refit on. Those trajectories
@@ -34,6 +34,18 @@
 /// stepped trajectories byte-identical to the closed loop regardless of
 /// completion order — and CI diffs the via-steps dump against the classic
 /// dump per build and across toolchains. The header omits this flag too.
+///
+/// `--throughput-workers=N` (N >= 1) runs every case as a concurrent
+/// TuningService session drained through the worker-pool throughput
+/// scheduler against the asynchronous replay runner, instead of the
+/// classic closed loop. The per-session determinism contract
+/// (service/tuning_service.hpp) pins each session's trajectory
+/// byte-identical to its solo run, so this dump — including its `--faults`
+/// variant — must NOT change the output: CI diffs the throughput dump
+/// against the classic dump per build and across toolchains as the
+/// throughput-determinism check. The header omits this flag too.
+/// Exclusive with --branch-parallel and --via-steps (the throughput
+/// scheduler owns the scheduling; mixing modes would test nothing).
 ///
 /// `--faults` appends a fault-injection scenario: concurrent TuningService
 /// sessions fed by the asynchronous replay runner under a seeded
@@ -107,6 +119,7 @@ void print_case(std::ostringstream& out, const std::string& name,
 /// randomness outside the fixed seeds, so it is byte-identical across
 /// runs and must stay byte-identical across build modes.
 void print_fault_cases(std::ostringstream& out, bool incremental,
+                       std::size_t throughput_workers,
                        std::uint64_t& combined) {
   const auto scout = cloud::make_scout_datasets().front();
   const auto problem = eval::make_problem(scout, 3.0);
@@ -119,6 +132,7 @@ void print_fault_cases(std::ostringstream& out, bool incremental,
   plan.straggler_factor = 3.0;
 
   service::TuningService::Options sopts;
+  sopts.throughput_workers = throughput_workers;
   sopts.run_policy.max_attempts = 2;
   sopts.run_policy.backoff_base_seconds = 5.0;
   sopts.run_policy.run_timeout_seconds = 600.0;
@@ -167,6 +181,80 @@ void print_fault_cases(std::ostringstream& out, bool incremental,
   }
 }
 
+/// The --throughput-workers path: the same five golden cases, opened as
+/// concurrent TuningService sessions and drained through the worker-pool
+/// throughput scheduler. Sessions are grouped per dataset (one service +
+/// one asynchronous replay runner each); the scout service carries the
+/// three single-constraint lookaheads *and* the multi-constraint case in
+/// one drain — the runner exposes the energy metrics to every session,
+/// and the single-constraint steppers ignore them. Results are printed in
+/// the classic fixed order so the dump byte-compares against the serial
+/// one.
+void print_throughput_cases(std::ostringstream& out, bool incremental,
+                            std::size_t workers, std::uint64_t& combined) {
+  const auto scout = cloud::make_scout_datasets().front();
+  const auto tf = cloud::make_tensorflow_dataset(cloud::TfModel::CNN);
+  auto energy_of = [&scout](space::ConfigId id) {
+    return 0.05 * scout.runtime(id) *
+           (1.0 + 0.1 * static_cast<double>(id % 7));
+  };
+
+  service::TuningService::Options sopts;
+  sopts.throughput_workers = workers;
+
+  service::TuningService scout_svc(sopts);
+  std::vector<service::SessionId> scout_ids;
+  const auto scout_problem = eval::make_problem(scout, 3.0);
+  for (unsigned la = 0; la <= 2; ++la) {
+    core::LynceusOptions opts;
+    opts.lookahead = la;
+    opts.screen_width = 24;
+    opts.incremental_refit = incremental;
+    core::LynceusOptimizer lyn(opts);
+    scout_ids.push_back(scout_svc.open(lyn.make_stepper(scout_problem, 1)));
+  }
+  {
+    double min_energy = 1e300;
+    for (space::ConfigId id = 0; id < scout.size(); ++id) {
+      if (scout.feasible(id)) {
+        min_energy = std::min(min_energy, energy_of(id));
+      }
+    }
+    const double cap = 1.5 * min_energy;
+    core::ConstraintDef c;
+    c.name = "energy";
+    c.metric_index = 0;
+    c.threshold = [cap](core::ConfigId) { return cap; };
+    core::MultiConstraintOptions opts;
+    opts.lookahead = 1;
+    opts.incremental_refit = incremental;
+    core::MultiConstraintLynceus lyn({c}, opts);
+    scout_ids.push_back(scout_svc.open(lyn.make_stepper(scout_problem, 7)));
+  }
+  eval::AsyncTableRunner scout_async(scout, [&](space::ConfigId id) {
+    return std::vector<double>{energy_of(id)};
+  });
+  service::drain(scout_svc, scout_async);
+
+  service::TuningService tf_svc(sopts);
+  core::LynceusOptions tf_opts;
+  tf_opts.lookahead = 1;
+  tf_opts.screen_width = 24;
+  tf_opts.incremental_refit = incremental;
+  core::LynceusOptimizer tf_lyn(tf_opts);
+  const auto tf_problem = eval::make_problem(tf, 2.0);
+  const auto tf_id = tf_svc.open(tf_lyn.make_stepper(tf_problem, 3));
+  eval::AsyncTableRunner tf_async(tf);
+  service::drain(tf_svc, tf_async);
+
+  for (unsigned la = 0; la <= 2; ++la) {
+    print_case(out, "scout_la" + std::to_string(la),
+               scout_svc.result(scout_ids[la]), combined);
+  }
+  print_case(out, "tf_cnn_la1", tf_svc.result(tf_id), combined);
+  print_case(out, "scout_mc_la1", scout_svc.result(scout_ids[3]), combined);
+}
+
 /// Drives a stepper by explicit ask/tell, resolving every batch in
 /// reverse order — the adversarial completion order the determinism
 /// contract must absorb.
@@ -185,36 +273,11 @@ core::OptimizerResult drive_via_steps(core::OptimizerStepper& stepper,
   return stepper.result();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string out_path;
-  bool incremental = lynceus::util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
-  bool branch_parallel = lynceus::util::env_flag("LYNCEUS_BRANCH_PARALLEL");
-  bool via_steps = false;
-  bool faults = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
-    if (arg == "--incremental") incremental = true;
-    if (arg == "--branch-parallel") branch_parallel = true;
-    if (arg == "--via-steps") via_steps = true;
-    if (arg == "--faults") faults = true;
-  }
-
-  // Branch-parallel mode exercises root fan-out *and* intra-root branch
-  // parallelism on a real pool (at least 2 workers even on 1-core hosts,
-  // where default_worker_count() is 0 — oversubscription is fine for a
-  // determinism dump; what matters is that the pooled code path runs).
-  std::optional<util::ThreadPool> pool;
-  if (branch_parallel) {
-    pool.emplace(std::max<std::size_t>(util::default_worker_count(), 2));
-  }
-
-  std::ostringstream out;
-  std::uint64_t combined = kFnvOffset;
-  out << "incremental_refit=" << (incremental ? 1 : 0) << "\n";
-
+/// The classic closed-loop cases (also the --branch-parallel and
+/// --via-steps variants, which must not change the output).
+void print_classic_cases(std::ostringstream& out, bool incremental,
+                         bool branch_parallel, bool via_steps,
+                         util::ThreadPool* pool, std::uint64_t& combined) {
   // Single-constraint Lynceus across lookaheads and spaces. Budgets are
   // the standard b=3 multiple; seeds fixed.
   const auto scout = cloud::make_scout_datasets().front();
@@ -224,7 +287,7 @@ int main(int argc, char** argv) {
     opts.lookahead = la;
     opts.screen_width = 24;
     opts.incremental_refit = incremental;
-    opts.pool = pool ? &*pool : nullptr;
+    opts.pool = pool;
     opts.branch_parallel = branch_parallel;
     core::LynceusOptimizer lyn(opts);
     eval::TableRunner runner(scout);
@@ -239,7 +302,7 @@ int main(int argc, char** argv) {
     opts.lookahead = 1;
     opts.screen_width = 24;
     opts.incremental_refit = incremental;
-    opts.pool = pool ? &*pool : nullptr;
+    opts.pool = pool;
     opts.branch_parallel = branch_parallel;
     core::LynceusOptimizer lyn(opts);
     eval::TableRunner runner(tf);
@@ -271,7 +334,7 @@ int main(int argc, char** argv) {
     core::MultiConstraintOptions opts;
     opts.lookahead = 1;
     opts.incremental_refit = incremental;
-    opts.pool = pool ? &*pool : nullptr;
+    opts.pool = pool;
     opts.branch_parallel = branch_parallel;
     core::MultiConstraintLynceus lyn({c}, opts);
     eval::TableRunner runner(scout, [&](space::ConfigId id) {
@@ -283,8 +346,59 @@ int main(int argc, char** argv) {
                        : lyn.optimize(problem, runner, 7);
     print_case(out, "scout_mc_la1", r, combined);
   }
+}
 
-  if (faults) print_fault_cases(out, incremental, combined);
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool incremental = lynceus::util::env_flag("LYNCEUS_INCREMENTAL_REFIT");
+  bool branch_parallel = lynceus::util::env_flag("LYNCEUS_BRANCH_PARALLEL");
+  bool via_steps = false;
+  bool faults = false;
+  std::size_t throughput_workers = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    if (arg == "--incremental") incremental = true;
+    if (arg == "--branch-parallel") branch_parallel = true;
+    if (arg == "--via-steps") via_steps = true;
+    if (arg == "--faults") faults = true;
+    if (arg.rfind("--throughput-workers=", 0) == 0) {
+      throughput_workers =
+          static_cast<std::size_t>(std::stoul(arg.substr(21)));
+    }
+  }
+  if (throughput_workers > 0 && (branch_parallel || via_steps)) {
+    std::fprintf(stderr,
+                 "trajectory_dump: --throughput-workers is exclusive with "
+                 "--branch-parallel/--via-steps\n");
+    return 1;
+  }
+
+  // Branch-parallel mode exercises root fan-out *and* intra-root branch
+  // parallelism on a real pool (at least 2 workers even on 1-core hosts,
+  // where default_worker_count() is 0 — oversubscription is fine for a
+  // determinism dump; what matters is that the pooled code path runs).
+  std::optional<util::ThreadPool> pool;
+  if (branch_parallel) {
+    pool.emplace(std::max<std::size_t>(util::default_worker_count(), 2));
+  }
+
+  std::ostringstream out;
+  std::uint64_t combined = kFnvOffset;
+  out << "incremental_refit=" << (incremental ? 1 : 0) << "\n";
+
+  if (throughput_workers > 0) {
+    print_throughput_cases(out, incremental, throughput_workers, combined);
+  } else {
+    print_classic_cases(out, incremental, branch_parallel, via_steps,
+                        pool ? &*pool : nullptr, combined);
+  }
+
+  if (faults) {
+    print_fault_cases(out, incremental, throughput_workers, combined);
+  }
 
   out << "combined_hash=" << combined << "\n";
   std::fputs(out.str().c_str(), stdout);
