@@ -37,6 +37,8 @@
 #include "model/bagging.hpp"
 #include "model/gp.hpp"
 #include "service/tuning_service.hpp"
+#include "space/config_space.hpp"
+#include "space/parameter.hpp"
 #include "util/alloc_count.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -813,6 +815,95 @@ SessionThroughputStats measure_session_scaling(std::size_t sessions,
   return out;
 }
 
+/// Flat-layout (SoA) ensemble prediction vs the scalar node walk: p50 of
+/// predicting every row of the space through predict_all (the flat batch
+/// routes) against a per-row predict() loop over the same fitted ensemble.
+/// The two are bitwise-identical by contract (`ctest -L simd`), so this is
+/// purely the throughput ratio of the layouts. Also re-measures the LA=2
+/// decision p50 (the lookahead engine is the main consumer of the batch
+/// routes), so compare_bench.py can gate the end-to-end effect.
+struct SoaPredictStats {
+  double node_walk_p50_ms = 0.0;
+  double soa_p50_ms = 0.0;
+};
+
+SoaPredictStats time_soa_predict(const model::FeatureMatrix& fm,
+                                 model::BaggingEnsemble& ens,
+                                 std::size_t reps) {
+  std::vector<model::Prediction> preds(fm.rows());
+  std::vector<double> walk_ms;
+  std::vector<double> soa_ms;
+  for (std::size_t rep = 0; rep <= reps; ++rep) {  // rep 0 = warm-up
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t r = 0; r < fm.rows(); ++r) {
+      preds[r] = ens.predict(fm, r);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(preds.data());
+    const double walk =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    t0 = std::chrono::steady_clock::now();
+    ens.predict_all(fm, preds);
+    t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(preds.data());
+    const double soa =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0) continue;
+    walk_ms.push_back(walk);
+    soa_ms.push_back(soa);
+  }
+  std::sort(walk_ms.begin(), walk_ms.end());
+  std::sort(soa_ms.begin(), soa_ms.end());
+  SoaPredictStats s;
+  s.node_walk_p50_ms = percentile(walk_ms, 0.50);
+  s.soa_p50_ms = percentile(soa_ms, 0.50);
+  return s;
+}
+
+SoaPredictStats measure_soa_predict(int space_idx, std::size_t reps) {
+  const auto ds = decision_dataset(space_idx);
+  const model::FeatureMatrix fm(ds.space());
+  util::Rng rng(13);
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto id = static_cast<std::uint32_t>(rng.below(fm.rows()));
+    rows.push_back(id);
+    y.push_back(ds.cost(id));
+  }
+  model::BaggingEnsemble ens;
+  ens.fit(fm, rows, y, 7);
+  return time_soa_predict(fm, ens, reps);
+}
+
+/// Same measurement over a synthetic a×b grid: the real decision spaces
+/// top out at 384 rows (tensorflow_cnn) and 69 rows (scout — small enough
+/// that the whole ensemble walk is L1-resident and the batch layout can
+/// only win ~1.5×), so this entry pins the speedup in the regime the
+/// paper's lookahead actually stresses: spaces big enough that per-row
+/// pointer walks thrash while the flat routes stream.
+SoaPredictStats measure_soa_predict_grid(std::size_t a_levels,
+                                         std::size_t b_levels,
+                                         std::size_t reps) {
+  std::vector<double> a(a_levels);
+  std::vector<double> b(b_levels);
+  for (std::size_t i = 0; i < a_levels; ++i) a[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < b_levels; ++i) b[i] = static_cast<double>(i);
+  const space::ConfigSpace grid("grid", {space::numeric_param("a", a),
+                                         space::numeric_param("b", b)});
+  const model::FeatureMatrix fm(grid);
+  util::Rng noise(13);
+  std::vector<std::uint32_t> rows;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < 400; ++i) {
+    rows.push_back(static_cast<std::uint32_t>(noise.below(fm.rows())));
+    y.push_back(noise.normal());
+  }
+  model::BaggingEnsemble ens;
+  ens.fit(fm, rows, y, 7);
+  return time_soa_predict(fm, ens, reps);
+}
+
 /// Writes the decision-time summary. `sections` selects which measurement
 /// sections to run and emit (empty = all): the CI scaling leg passes
 /// `decision_scaling` alone so it does not pay for minutes of unrelated
@@ -938,6 +1029,38 @@ bool write_json_summary(const std::string& path,
     w.key("speedup_p50").value(inc.p50_ms > 0.0 ? scratch.p50_ms / inc.p50_ms
                                                 : 0.0);
     w.key("allocs_per_decision").value(inc.allocs_per_decision);
+    w.end_object();
+  }
+  w.end_array();
+  }
+
+  // Flat-layout (SoA) batch prediction vs the scalar node walk, plus the
+  // LA=2 decision p50 it feeds (see measure_soa_predict).
+  if (want("soa_predict")) {
+  w.key("soa_predict").begin_array();
+  for (int space_idx = 0; space_idx < 2; ++space_idx) {
+    const auto s = measure_soa_predict(space_idx, 30);
+    const auto d = measure_decision(space_idx, 2, 10);
+    w.begin_object();
+    w.key("space").value(decision_space_name(space_idx));
+    w.key("node_walk_p50_ms").value(s.node_walk_p50_ms);
+    w.key("soa_p50_ms").value(s.soa_p50_ms);
+    w.key("speedup_p50").value(
+        s.soa_p50_ms > 0.0 ? s.node_walk_p50_ms / s.soa_p50_ms : 0.0);
+    w.key("decision_la2_p50_ms").value(d.p50_ms);
+    w.end_object();
+  }
+  {
+    // Synthetic 64×64 grid (4096 rows): the regime the flat layout is
+    // for — no decision dataset exists over it, so no decision_la2 key
+    // (compare_bench.py treats that key as optional).
+    const auto s = measure_soa_predict_grid(64, 64, 30);
+    w.begin_object();
+    w.key("space").value("grid_64x64");
+    w.key("node_walk_p50_ms").value(s.node_walk_p50_ms);
+    w.key("soa_p50_ms").value(s.soa_p50_ms);
+    w.key("speedup_p50").value(
+        s.soa_p50_ms > 0.0 ? s.node_walk_p50_ms / s.soa_p50_ms : 0.0);
     w.end_object();
   }
   w.end_array();
@@ -1109,8 +1232,8 @@ bool write_json_summary(const std::string& path,
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_micro.json";
   // --sections=a,b,c restricts the JSON summary to the named sections
-  // (spaces, multi_constraint, incremental_refit, cached_decision,
-  // pooled_decision, session_throughput, session_scaling,
+  // (spaces, multi_constraint, incremental_refit, soa_predict,
+  // cached_decision, pooled_decision, session_throughput, session_scaling,
   // decision_scaling); empty / absent = all.
   std::set<std::string> sections;
   std::vector<char*> args;

@@ -574,6 +574,11 @@ bool LookaheadEngine::explore_branch(Workspace& ws, std::size_t depth,
     ws.model->fit(fm_, ws.rows, ws.y, branch_seed);
     node_model = ws.model.get();
   }
+  // One batched prediction over the shrinking candidate list. The bagging
+  // ensemble serves this from its flat (structure-of-arrays) tree layout
+  // with ensemble-owned scratch, so the call is allocation-free after the
+  // model's first batch and bitwise equal to per-row predict() (the
+  // Regressor batched-prediction contract the trajectory goldens pin).
   node_model->predict_subset(fm_, shared.cands, lvl.preds);
   const double y_star = state_incumbent(ws.y, ws.feasible, lvl.preds);
 

@@ -32,7 +32,12 @@
 /// fused scan — down from O(|space|) prediction and O(|space|) state
 /// copying. After the first simulated path warms the buffers, simulate()
 /// performs zero heap allocation under the default bagging model (asserted
-/// by the test suite via util/alloc_count.hpp).
+/// by the test suite via util/alloc_count.hpp). The batched predictions
+/// run over the ensemble's flat SoA tree layout with ensemble-owned
+/// scratch that capacity-warms to the space bound on first use, so the
+/// guarantee holds across batch sizes and route switches — not just for
+/// shapes seen during warm-up (see model/decision_tree.hpp, "flat-layout
+/// determinism contract").
 ///
 /// Determinism: the engine reproduces the naive reference trajectory
 /// bit-for-bit — same derive_seed call structure, same candidate scan

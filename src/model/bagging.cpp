@@ -26,6 +26,14 @@ BaggingEnsemble::BaggingEnsemble(BaggingOptions options)
   tree_opts.leaf_variance =
       options_.variance_mode == VarianceMode::TotalVariance;
   trees_.assign(options_.trees, DecisionTree(tree_opts));
+  // Pre-size the scratch slot list to its lifetime bound (one slot per
+  // predict chunk; see the member comment) so no batch entry point ever
+  // grows it after construction — part of the allocation-free steady
+  // state the engines assert via the alloc-count hooks.
+  predict_scratch_.resize(
+      options_.predict_pool != nullptr
+          ? options_.predict_pool->worker_count() + 1
+          : 1);
 }
 
 void BaggingEnsemble::fit(const FeatureMatrix& fm,
@@ -101,50 +109,65 @@ Prediction BaggingEnsemble::predict(const FeatureMatrix& fm,
 
 void BaggingEnsemble::predict_rows(const FeatureMatrix& fm,
                                    const std::uint32_t* rows, std::size_t n,
-                                   Prediction* out) const {
+                                   Prediction* out, PredictScratch& s) const {
   const bool total = options_.variance_mode == VarianceMode::TotalVariance;
-  // Per-row accumulators, thread-local: the lookahead engine predicts
-  // concurrently from its workspaces, and the buffers keep their capacity
-  // across calls (no steady-state allocation).
-  thread_local std::vector<double> sum;
-  thread_local std::vector<double> sumsq;
-  thread_local std::vector<double> var_sum;
-  sum.assign(n, 0.0);
-  sumsq.assign(n, 0.0);
-  var_sum.assign(n, 0.0);
+  // Capacity-warm to the space bound, not just this batch: scratch is
+  // per-ensemble now, and a workspace model may well see its largest
+  // batch only after the engines' warm-up pass. Any in-space batch
+  // (n <= rows; engine subsets are duplicate-free) then never allocates.
+  const std::size_t cap = std::max(n, fm.rows());
+  s.sum.reserve(cap);
+  s.sumsq.reserve(cap);
+  s.var_sum.reserve(cap);
+  // Also warm the id list only predict_all's chunks fill through this
+  // slot: which entry point a slot serves first can change between
+  // warm-up and steady state.
+  s.ids.reserve(cap);
+  s.sum.assign(n, 0.0);
+  s.sumsq.assign(n, 0.0);
+  s.var_sum.assign(n, 0.0);
   // Tree-major sweep, each tree batching the whole row list (level-mask
-  // walk or frontier partition) so every tree node is visited once instead
-  // of once per row. The per-row accumulation order over trees matches the
-  // scalar predict() loop, so results are bitwise identical.
+  // walk or level-sync sweep over the flat layout) so every tree node is
+  // visited once instead of once per row. The per-row accumulation order
+  // over trees matches the scalar predict() loop, so results are bitwise
+  // identical.
   for (const auto& tree : trees_) {
-    tree.accumulate_batch(fm, rows, n, sum.data(), sumsq.data(),
-                          total ? var_sum.data() : nullptr);
+    tree.accumulate_batch(fm, rows, n, s.sum.data(), s.sumsq.data(),
+                          total ? s.var_sum.data() : nullptr, &s);
   }
   for (std::size_t i = 0; i < n; ++i) {
-    out[i] = finalize(sum[i], sumsq[i], var_sum[i]);
+    out[i] = finalize(s.sum[i], s.sumsq[i], s.var_sum[i]);
   }
+}
+
+void BaggingEnsemble::ensure_scratch(std::size_t chunks) const {
+  if (predict_scratch_.size() < chunks) predict_scratch_.resize(chunks);
 }
 
 namespace {
 
+/// Number of contiguous chunks predict_all/predict_subset split a batch
+/// of `n` rows into (one per pool worker plus the calling thread).
+std::size_t chunk_count(util::ThreadPool* pool, std::size_t n) {
+  return pool != nullptr ? std::min(n, pool->worker_count() + 1) : 1;
+}
+
 /// Splits `[0, n)` into `chunks` near-equal contiguous ranges and runs
-/// `body(begin, end)` for each on the pool. Chunk boundaries depend only on
-/// (n, chunks), and rows keep their positions, so parallel results are
-/// bitwise identical to sequential ones. Templated so the common pool-less
-/// call stays allocation-free (no std::function wrapping).
+/// `body(chunk, begin, end)` for each on the pool. Chunk boundaries depend
+/// only on (n, chunks), and rows keep their positions, so parallel results
+/// are bitwise identical to sequential ones. Templated so the common
+/// pool-less call stays allocation-free (no std::function wrapping).
 template <class Body>
 void chunked_parallel(util::ThreadPool* pool, std::size_t n,
-                      const Body& body) {
-  const std::size_t chunks =
-      pool != nullptr ? std::min(n, pool->worker_count() + 1) : 1;
+                      std::size_t chunks, const Body& body) {
   if (chunks <= 1) {
-    body(0, n);
+    body(std::size_t{0}, std::size_t{0}, n);
     return;
   }
   util::maybe_parallel_for(pool, chunks, [&](std::size_t c) {
     const std::size_t begin = n * c / chunks;
     const std::size_t end = n * (c + 1) / chunks;
-    if (begin < end) body(begin, end);
+    if (begin < end) body(c, begin, end);
   });
 }
 
@@ -156,17 +179,25 @@ void BaggingEnsemble::predict_all(const FeatureMatrix& fm,
     throw std::logic_error("BaggingEnsemble::predict_all: not fitted");
   }
   const std::size_t m = fm.rows();
+  // Warm the dense-subset gather target before out.resize — in the dense
+  // predict_subset route `out` *is* subset_full_, and the first batch call
+  // on this ensemble must size it even when that route only gets taken
+  // after the engines' warm-up pass.
+  subset_full_.reserve(m);
   out.resize(m);
-  chunked_parallel(options_.predict_pool, m,
-                   [&](std::size_t begin, std::size_t end) {
-                     thread_local std::vector<std::uint32_t> ids;
-                     ids.resize(end - begin);
+  const std::size_t chunks = chunk_count(options_.predict_pool, m);
+  ensure_scratch(chunks);
+  chunked_parallel(options_.predict_pool, m, chunks,
+                   [&](std::size_t c, std::size_t begin, std::size_t end) {
+                     PredictScratch& s = predict_scratch_[c];
+                     s.ids.reserve(m);
+                     s.ids.resize(end - begin);
                      for (std::size_t i = begin; i < end; ++i) {
-                       ids[i - begin] = static_cast<std::uint32_t>(i);
+                       s.ids[i - begin] = static_cast<std::uint32_t>(i);
                      }
                      predict_rows(fm, begin == 0 && end == m ? nullptr
-                                                             : ids.data(),
-                                  end - begin, out.data() + begin);
+                                                             : s.ids.data(),
+                                  end - begin, out.data() + begin, s);
                    });
 }
 
@@ -177,24 +208,26 @@ void BaggingEnsemble::predict_subset(const FeatureMatrix& fm,
     throw std::logic_error("BaggingEnsemble::predict_subset: not fitted");
   }
   out.resize(ids.size());
+  // Route-independent warm (see predict_all): a sparse-subset-first model
+  // must not allocate when it later takes the dense route.
+  subset_full_.reserve(fm.rows());
   // Dense subsets take the identity (level-mask) walk of the *full* space
-  // and gather: per row it is ~2x cheaper than the frontier partition the
-  // sparse path uses, so once the subset covers most of the space —
-  // typical for the lookahead engines' first levels — predicting
-  // everything wins. Per-row results are bitwise identical across all
-  // batch entry points (the Regressor contract), so this is purely a
-  // routing decision. The scratch is thread-local for the same reason as
-  // predict_rows' accumulators: engine workspaces predict concurrently.
+  // and gather: per row it is ~2x cheaper than the sparse sweep, so once
+  // the subset covers most of the space — typical for the lookahead
+  // engines' first levels — predicting everything wins. Per-row results
+  // are bitwise identical across all batch entry points (the Regressor
+  // contract), so this is purely a routing decision.
   if (2 * ids.size() >= fm.rows()) {
-    thread_local std::vector<Prediction> full;
-    predict_all(fm, full);
-    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = full[ids[i]];
+    predict_all(fm, subset_full_);
+    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = subset_full_[ids[i]];
     return;
   }
-  chunked_parallel(options_.predict_pool, ids.size(),
-                   [&](std::size_t begin, std::size_t end) {
+  const std::size_t chunks = chunk_count(options_.predict_pool, ids.size());
+  ensure_scratch(chunks);
+  chunked_parallel(options_.predict_pool, ids.size(), chunks,
+                   [&](std::size_t c, std::size_t begin, std::size_t end) {
                      predict_rows(fm, ids.data() + begin, end - begin,
-                                  out.data() + begin);
+                                  out.data() + begin, predict_scratch_[c]);
                    });
 }
 

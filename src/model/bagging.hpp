@@ -71,8 +71,8 @@ class BaggingEnsemble final : public Regressor {
                    std::vector<Prediction>& out) const override;
 
   /// Batched subset prediction over `ids` (see Regressor::predict_subset).
-  /// Uses the same frontier traversal as predict_all restricted to the
-  /// given rows; allocation-free after warm-up.
+  /// Uses the same flat-layout batch routes as predict_all restricted to
+  /// the given rows; allocation-free after warm-up.
   void predict_subset(const FeatureMatrix& fm,
                       const std::vector<std::uint32_t>& ids,
                       std::vector<Prediction>& out) const override;
@@ -130,9 +130,14 @@ class BaggingEnsemble final : public Regressor {
                                     double var_sum) const noexcept;
 
   /// Shared sequential core of predict_all/predict_subset: predicts the
-  /// `n` rows `rows[0..n)` (nullptr = identity rows 0..n) into `out[0..n)`.
+  /// `n` rows `rows[0..n)` (nullptr = identity rows 0..n) into `out[0..n)`
+  /// using the scratch slot `s` for the tree walks and accumulators.
   void predict_rows(const FeatureMatrix& fm, const std::uint32_t* rows,
-                    std::size_t n, Prediction* out) const;
+                    std::size_t n, Prediction* out, PredictScratch& s) const;
+
+  /// Grows the scratch slot list to `chunks` entries (slot c serves
+  /// predict chunk c; the sequential path is chunk 0).
+  void ensure_scratch(std::size_t chunks) const;
 
   BaggingOptions options_;
   std::vector<DecisionTree> trees_;
@@ -146,6 +151,16 @@ class BaggingEnsemble final : public Regressor {
   // Scratch reused across fits to avoid per-fit allocation (hot path).
   std::vector<std::uint32_t> boot_rows_;
   std::vector<double> boot_y_;
+  // Prediction scratch, owned by the ensemble instead of thread_local
+  // (which kept one copy per worker thread alive forever): one slot per
+  // predict chunk — slot 0 for the sequential path, one per pool chunk
+  // otherwise — bounded by predict_pool->worker_count()+1 and released
+  // with the ensemble. Mutable because prediction is logically const. The
+  // batch entry points of a single ensemble must not be called
+  // concurrently (the engines predict from per-workspace models; the
+  // pool's chunks index distinct slots).
+  mutable std::vector<PredictScratch> predict_scratch_;
+  mutable std::vector<Prediction> subset_full_;
 };
 
 }  // namespace lynceus::model

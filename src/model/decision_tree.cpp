@@ -1,8 +1,18 @@
 #include "model/decision_tree.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#if defined(LYNCEUS_SIMD) && defined(__x86_64__)
+// Explicit AVX2 routing kernel (route_levels_avx2 below). The kernel is
+// compiled via the `target` function attribute, so this TU needs no global
+// -mavx2 and the binary stays runnable on non-AVX2 hosts — a runtime CPU
+// check selects the scalar sweep there.
+#define LYNCEUS_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
 
 namespace lynceus::model {
 
@@ -73,6 +83,61 @@ void DecisionTree::fit(const FeatureMatrix& fm,
       leaf_of_[i] = find_leaf(fm, rows[i]);
     }
   }
+  rebuild_flat();
+}
+
+void DecisionTree::rebuild_flat() {
+  const std::size_t n = nodes_.size();
+  // Track the AoS capacity, not just the current size: nodes_ carries
+  // geometric-growth slack across fits and assign_fitted, so a slightly
+  // bigger tree landing in a warmed model grows nodes_ for free — the
+  // flat mirror must not reallocate in that case either (steady state is
+  // asserted allocation-free).
+  const std::size_t cap = nodes_.capacity();
+  flat_feature_.reserve(cap);
+  flat_split_.reserve(cap);
+  flat_left_.reserve(cap);
+  flat_right_.reserve(cap);
+  flat_value_.reserve(cap);
+  flat_variance_.reserve(cap);
+  flat_fs_.reserve(cap);
+  flat_lr_.reserve(cap);
+  flat_feature_.resize(n);
+  flat_split_.resize(n);
+  flat_left_.resize(n);
+  flat_right_.resize(n);
+  flat_value_.resize(n);
+  flat_variance_.resize(n);
+  flat_fs_.resize(n);
+  flat_lr_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) refresh_flat_node(i);
+}
+
+void DecisionTree::refresh_flat_node(std::size_t i) {
+  const Node& nd = nodes_[i];
+  if (nd.feature == kLeaf) {
+    // Leaf self-loop: every code is <= 0xFFFF, so the level-sync route
+    // keeps the row parked on this node for the remaining passes.
+    flat_feature_[i] = 0;
+    flat_split_[i] = 0xFFFF;
+    flat_left_[i] = static_cast<std::int32_t>(i);
+    flat_right_[i] = static_cast<std::int32_t>(i);
+  } else {
+    flat_feature_[i] = nd.feature;
+    flat_split_[i] = nd.split_code;
+    flat_left_[i] = nd.left;
+    flat_right_[i] = nd.right;
+  }
+  flat_value_[i] = nd.value;
+  flat_variance_[i] = nd.variance;
+  flat_fs_[i] =
+      (static_cast<std::uint32_t>(flat_feature_[i]) << 16) |
+      static_cast<std::uint32_t>(flat_split_[i]);
+  flat_lr_[i] =
+      static_cast<std::uint32_t>(flat_left_[i]) |
+      (static_cast<std::uint64_t>(
+           static_cast<std::uint32_t>(flat_right_[i]))
+       << 32);
 }
 
 void DecisionTree::set_incremental(bool on, std::size_t reserve_extra) {
@@ -93,6 +158,14 @@ void DecisionTree::reserve_incremental(std::size_t base_samples) {
   const std::size_t node_bound = 2 * n * (inc_reserve_ + 1) + inc_reserve_ + 2;
   nodes_.reserve(node_bound);
   node_depth_.reserve(node_bound);
+  // The flat mirror is refreshed after every append; reserving it by the
+  // same bound keeps the refresh allocation-free.
+  flat_feature_.reserve(node_bound);
+  flat_split_.reserve(node_bound);
+  flat_left_.reserve(node_bound);
+  flat_right_.reserve(node_bound);
+  flat_value_.reserve(node_bound);
+  flat_variance_.reserve(node_bound);
   inc_rows_.reserve(n);
   inc_y_.reserve(n);
   leaf_of_.reserve(n);
@@ -145,6 +218,7 @@ void DecisionTree::append_incremental(const FeatureMatrix& fm,
     // grafted over the old leaf slot (child indices keep pointing into the
     // appended region). A rebuild that finds no informative split produces
     // a single leaf, which is copied over and popped again.
+    const std::size_t n_before = nodes_.size();
     BuildCtx ctx(scratch_);
     ctx.fm = &fm;
     ctx.rng = &rng;
@@ -167,6 +241,22 @@ void DecisionTree::append_incremental(const FeatureMatrix& fm,
         if (leaf_of_[i] == leaf) leaf_of_[i] = find_leaf(fm, inc_rows_[i]);
       }
     }
+    // Patch the mirror instead of rebuilding it: only the grafted slot and
+    // the appended subtree changed; every other node's routing words are
+    // untouched. Re-splits recur throughout a multi-constraint lookahead
+    // (every model clone appends fantasy samples), so an O(nodes) rebuild
+    // here compounds into a measurable decision-time regression.
+    const std::size_t flat_n = nodes_.size();
+    flat_feature_.resize(flat_n);
+    flat_split_.resize(flat_n);
+    flat_left_.resize(flat_n);
+    flat_right_.resize(flat_n);
+    flat_value_.resize(flat_n);
+    flat_variance_.resize(flat_n);
+    flat_fs_.resize(flat_n);
+    flat_lr_.resize(flat_n);
+    refresh_flat_node(static_cast<std::size_t>(leaf));
+    for (std::size_t i = n_before; i < flat_n; ++i) refresh_flat_node(i);
     return;
   }
 
@@ -185,6 +275,13 @@ void DecisionTree::append_incremental(const FeatureMatrix& fm,
     }
     nd.variance = static_cast<float>(sq / static_cast<double>(m));
   }
+  // Patch, don't rebuild: only this leaf's (value, variance) changed, and
+  // neither lives in the packed routing words — an O(1) mirror update.
+  // (A full rebuild_flat() here costs O(nodes) on *every* fantasy append
+  // and measurably regressed incremental multi-constraint decisions; the
+  // rare re-split path above still rebuilds, since it rewires topology.)
+  flat_value_[static_cast<std::size_t>(leaf)] = nd.value;
+  flat_variance_[static_cast<std::size_t>(leaf)] = nd.variance;
 }
 
 void DecisionTree::assign_fitted(const DecisionTree& src) {
@@ -217,6 +314,30 @@ void DecisionTree::assign_fitted(const DecisionTree& src) {
   if (scratch_.feature_order.size() < src.scratch_.feature_order.size()) {
     scratch_.feature_order.resize(src.scratch_.feature_order.size());
   }
+  // The mirror is a pure function of nodes_, which was just copied verbatim
+  // — so copy the source's (always-current) mirror too instead of deriving
+  // it again. assign_fitted runs once per model clone inside every
+  // incremental lookahead branch, and the contiguous copies here are
+  // several times cheaper than rebuild_flat()'s per-node scalar loop.
+  // Reserve to the AoS capacity first so the mirror keeps matching nodes_'
+  // growth slack (the allocation-free steady-state guarantee).
+  const std::size_t cap = nodes_.capacity();
+  flat_feature_.reserve(cap);
+  flat_split_.reserve(cap);
+  flat_left_.reserve(cap);
+  flat_right_.reserve(cap);
+  flat_value_.reserve(cap);
+  flat_variance_.reserve(cap);
+  flat_fs_.reserve(cap);
+  flat_lr_.reserve(cap);
+  flat_feature_.assign(src.flat_feature_.begin(), src.flat_feature_.end());
+  flat_split_.assign(src.flat_split_.begin(), src.flat_split_.end());
+  flat_left_.assign(src.flat_left_.begin(), src.flat_left_.end());
+  flat_right_.assign(src.flat_right_.begin(), src.flat_right_.end());
+  flat_value_.assign(src.flat_value_.begin(), src.flat_value_.end());
+  flat_variance_.assign(src.flat_variance_.begin(), src.flat_variance_.end());
+  flat_fs_.assign(src.flat_fs_.begin(), src.flat_fs_.end());
+  flat_lr_.assign(src.flat_lr_.begin(), src.flat_lr_.end());
 }
 
 std::int32_t DecisionTree::build(BuildCtx& ctx, std::size_t begin,
@@ -413,34 +534,32 @@ DecisionTree::LeafStats DecisionTree::predict_stats(const FeatureMatrix& fm,
 template <class LeafFn>
 bool DecisionTree::dense_walk(const FeatureMatrix& fm,
                               const std::uint32_t* rows, std::size_t n,
-                              const LeafFn& leaf) const {
+                              PredictScratch& s, const LeafFn& leaf) const {
   const std::size_t words = fm.mask_words();
   if (fm.level_mask(0, 0) == nullptr) return false;
-  // A sparse batch routes faster through the frontier partition than
-  // through full-width mask intersections.
+  // A sparse batch routes faster through the level-sync sweep than
+  // through full-width mask intersections. (A finer work-estimate cut
+  // was tried and reverted: per-node mask costs vary too much across
+  // spaces for a single crossover constant — it mis-routed mid-size
+  // tensorflow candidate batches and regressed LA decisions up to 1.7×.)
   if (rows != nullptr && n * 4 < fm.rows()) return false;
 
-  thread_local std::vector<std::uint64_t> root_mask;
-  thread_local std::vector<std::uint32_t> pos_of_row;
-  thread_local std::vector<std::uint64_t> arena;
-  thread_local std::vector<std::int64_t> stack;
-
   const bool identity = rows == nullptr;
-  root_mask.assign(words, 0);
+  s.root_mask.assign(words, 0);
   if (identity) {
     for (std::size_t r = 0; r < n; r += 64) {
       const std::size_t bits = std::min<std::size_t>(64, n - r);
-      root_mask[r / 64] =
+      s.root_mask[r / 64] =
           bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
     }
   } else {
-    pos_of_row.resize(fm.rows());
+    s.pos_of_row.resize(fm.rows());
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint32_t row = rows[i];
       const std::uint64_t bit = std::uint64_t{1} << (row % 64);
-      if ((root_mask[row / 64] & bit) != 0) return false;  // duplicate id
-      root_mask[row / 64] |= bit;
-      pos_of_row[row] = static_cast<std::uint32_t>(i);
+      if ((s.root_mask[row / 64] & bit) != 0) return false;  // duplicate id
+      s.root_mask[row / 64] |= bit;
+      s.pos_of_row[row] = static_cast<std::uint32_t>(i);
     }
   }
 
@@ -451,11 +570,11 @@ bool DecisionTree::dense_walk(const FeatureMatrix& fm,
   // tree after the engines' warm-up pass, and this arena must not
   // reallocate then (the zero-allocation guarantee covers the incremental
   // path too).
-  arena.resize((static_cast<std::size_t>(options_.max_depth) + 2) * 2 *
-               words);
-  stack.reserve(2 * (static_cast<std::size_t>(options_.max_depth) + 2));
+  s.arena.resize((static_cast<std::size_t>(options_.max_depth) + 2) * 2 *
+                 words);
+  s.stack.reserve(2 * (static_cast<std::size_t>(options_.max_depth) + 2));
   const auto slot = [&](std::uint32_t depth, std::uint32_t side) {
-    return arena.data() +
+    return s.arena.data() +
            (static_cast<std::size_t>(depth) * 2 + side) * words;
   };
   const auto encode = [](std::int32_t node, std::uint32_t depth,
@@ -463,31 +582,32 @@ bool DecisionTree::dense_walk(const FeatureMatrix& fm,
     return (static_cast<std::int64_t>(node) << 32) |
            (static_cast<std::int64_t>(depth) << 1) | side;
   };
-  std::copy(root_mask.begin(), root_mask.end(), slot(0, 0));
-  stack.clear();
-  stack.push_back(encode(0, 0, 0));
-  while (!stack.empty()) {
-    const std::int64_t e = stack.back();
-    stack.pop_back();
+  std::copy(s.root_mask.begin(), s.root_mask.end(), slot(0, 0));
+  s.stack.clear();
+  s.stack.push_back(encode(0, 0, 0));
+  while (!s.stack.empty()) {
+    const std::int64_t e = s.stack.back();
+    s.stack.pop_back();
     const auto node = static_cast<std::int32_t>(e >> 32);
     const auto depth = static_cast<std::uint32_t>((e & 0xFFFFFFFF) >> 1);
     const auto side = static_cast<std::uint32_t>(e & 1);
     const std::uint64_t* m = slot(depth, side);
-    const Node& nd = nodes_[static_cast<std::size_t>(node)];
-    if (nd.feature == kLeaf) {
+    const auto ni = static_cast<std::size_t>(node);
+    if (flat_left_[ni] == node) {  // leaf (self-loop)
       for (std::size_t w = 0; w < words; ++w) {
         std::uint64_t bits = m[w];
         while (bits != 0) {
           const auto row = static_cast<std::uint32_t>(
               w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits)));
-          leaf(identity ? row : pos_of_row[row], nd);
+          leaf(identity ? row : s.pos_of_row[row], ni);
           bits &= bits - 1;
         }
       }
       continue;
     }
     const std::uint64_t* fmask =
-        fm.level_mask(static_cast<std::size_t>(nd.feature), nd.split_code);
+        fm.level_mask(static_cast<std::size_t>(flat_feature_[ni]),
+                      static_cast<std::uint16_t>(flat_split_[ni]));
     std::uint64_t* lm = slot(depth + 1, 0);
     std::uint64_t* rm = slot(depth + 1, 1);
     std::uint64_t left_any = 0;
@@ -500,122 +620,252 @@ bool DecisionTree::dense_walk(const FeatureMatrix& fm,
       left_any |= left;
       right_any |= right;
     }
-    if (right_any != 0) stack.push_back(encode(nd.right, depth + 1, 1));
-    if (left_any != 0) stack.push_back(encode(nd.left, depth + 1, 0));
+    if (right_any != 0) {
+      s.stack.push_back(encode(flat_right_[ni], depth + 1, 1));
+    }
+    if (left_any != 0) {
+      s.stack.push_back(encode(flat_left_[ni], depth + 1, 0));
+    }
   }
   return true;
 }
 
+#ifdef LYNCEUS_SIMD_AVX2
+
+static bool lynceus_avx2_supported() noexcept {
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+}
+
+/// The level-sync routing loop with explicit AVX2 gathers — 8 rows per
+/// step, one compare/blend per row per level. Routing is pure integer
+/// work, so the landed leaves (and every float read from them) are
+/// bitwise identical to the scalar sweep. Compiled via the `target`
+/// attribute so the rest of this TU stays baseline-ISA; callers must
+/// check lynceus_avx2_supported() first.
+__attribute__((target("avx2"))) static void route_levels_avx2(
+    const std::uint16_t* codes, const std::uint32_t* row_base, std::size_t n,
+    unsigned depth, const std::int32_t* feat, const std::int32_t* split,
+    const std::int32_t* left, const std::int32_t* right, std::int32_t* cur) {
+  const __m256i mask16 = _mm256_set1_epi32(0xFFFF);
+  for (unsigned d = 0; d < depth; ++d) {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256i vcur =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i));
+      const __m256i vfeat = _mm256_i32gather_epi32(feat, vcur, 4);
+      const __m256i vsplit = _mm256_i32gather_epi32(split, vcur, 4);
+      const __m256i vbase =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row_base + i));
+      // 32-bit gather at a 16-bit stride reads one code plus two padding
+      // bytes (FeatureMatrix::codes() guarantees the tail pad); mask off
+      // the high half.
+      const __m256i vcode = _mm256_and_si256(
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(codes),
+                                 _mm256_add_epi32(vbase, vfeat), 2),
+          mask16);
+      const __m256i vleft = _mm256_i32gather_epi32(left, vcur, 4);
+      const __m256i vright = _mm256_i32gather_epi32(right, vcur, 4);
+      // Go right iff code > split; both fit in 16 bits, so the signed
+      // 32-bit compare is exact. A leaf's 0xFFFF threshold never
+      // compares less than a code, keeping self-loops parked.
+      const __m256i go_right = _mm256_cmpgt_epi32(vcode, vsplit);
+      const __m256i vnext = _mm256_blendv_epi8(vleft, vright, go_right);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cur + i), vnext);
+    }
+    for (; i < n; ++i) {
+      const std::int32_t nd = cur[i];
+      const std::int32_t c =
+          codes[row_base[i] + static_cast<std::uint32_t>(feat[nd])];
+      cur[i] = c <= split[nd] ? left[nd] : right[nd];
+    }
+  }
+}
+
+#endif  // LYNCEUS_SIMD_AVX2
+
+void DecisionTree::warm_scratch(const FeatureMatrix& fm, std::size_t n,
+                                PredictScratch& s) const {
+  // Capacity-warm every batch-route buffer — both the level-sync and the
+  // dense-walk set — to the space bound, not just this batch. Scratch is
+  // caller-owned (per ensemble, not per thread), and which route a given
+  // model takes first can differ between the engines' warm-up pass and
+  // steady state; reserving both sets up front makes the first batch with
+  // a scratch slot size it for every in-space batch and route.
+  const std::size_t cap = std::max(n, fm.rows());
+  s.cur.reserve(cap);
+  s.row_base.reserve(cap);
+  const std::size_t depth_cap =
+      2 * (static_cast<std::size_t>(options_.max_depth) + 2);
+  s.stack.reserve(depth_cap);
+  if (fm.level_mask(0, 0) != nullptr) {
+    const std::size_t words = fm.mask_words();
+    s.root_mask.reserve(words);
+    s.pos_of_row.reserve(fm.rows());
+    s.arena.reserve(depth_cap * words);
+  }
+}
+
+void DecisionTree::route_level_sync(const FeatureMatrix& fm,
+                                    const std::uint32_t* rows, std::size_t n,
+                                    PredictScratch& s) const {
+  s.cur.resize(n);
+  std::int32_t* cur = s.cur.data();
+  std::fill_n(cur, n, 0);
+  if (depth_ == 0) return;  // root-only tree: every row is already home
+  const std::uint16_t* codes = fm.codes();
+  const std::size_t cols = fm.cols();
+#ifdef LYNCEUS_SIMD_AVX2
+  if (n >= 8 && lynceus_avx2_supported()) {
+    s.row_base.resize(n);
+    std::uint32_t* rb = s.row_base.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      rb[i] = static_cast<std::uint32_t>(
+          (rows != nullptr ? rows[i] : i) * cols);
+    }
+    route_levels_avx2(codes, rb, n, depth_, flat_feature_.data(),
+                      flat_split_.data(), flat_left_.data(),
+                      flat_right_.data(), cur);
+    return;
+  }
+#endif
+  // Branch-free compare/route sweep: no leaf test, no data-dependent
+  // branches. The scalar loops read the packed per-node arrays (one
+  // 32-bit feature+split load, one 64-bit children load) because the
+  // sweep is load-port bound; level 0 is peeled since every row starts
+  // at the root, whose fields are loop constants.
+  const std::uint32_t* fs = flat_fs_.data();
+  const std::uint64_t* lr = flat_lr_.data();
+  const std::int32_t f0 = static_cast<std::int32_t>(fs[0] >> 16);
+  const std::int32_t s0 = static_cast<std::int32_t>(fs[0] & 0xFFFF);
+  const std::int32_t l0 = static_cast<std::int32_t>(lr[0] & 0xFFFFFFFF);
+  const std::int32_t r0 = static_cast<std::int32_t>(lr[0] >> 32);
+  if (rows == nullptr) {
+    std::size_t base0 = 0;
+    for (std::size_t i = 0; i < n; ++i, base0 += cols) {
+      const std::int32_t c = codes[base0 + static_cast<std::size_t>(f0)];
+      cur[i] = c <= s0 ? l0 : r0;
+    }
+    for (unsigned d = 1; d < depth_; ++d) {
+      std::size_t base = 0;
+      for (std::size_t i = 0; i < n; ++i, base += cols) {
+        const std::int32_t nd = cur[i];
+        const std::uint32_t f = fs[nd];
+        const std::uint64_t ch = lr[nd];
+        const std::int32_t c = codes[base + (f >> 16)];
+        cur[i] = static_cast<std::int32_t>(
+            c <= static_cast<std::int32_t>(f & 0xFFFF)
+                ? (ch & 0xFFFFFFFF)
+                : (ch >> 32));
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t c =
+          codes[static_cast<std::size_t>(rows[i]) * cols +
+                static_cast<std::size_t>(f0)];
+      cur[i] = c <= s0 ? l0 : r0;
+    }
+    for (unsigned d = 1; d < depth_; ++d) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t nd = cur[i];
+        const std::uint32_t f = fs[nd];
+        const std::uint64_t ch = lr[nd];
+        const std::int32_t c =
+            codes[static_cast<std::size_t>(rows[i]) * cols + (f >> 16)];
+        cur[i] = static_cast<std::int32_t>(
+            c <= static_cast<std::int32_t>(f & 0xFFFF)
+                ? (ch & 0xFFFFFFFF)
+                : (ch >> 32));
+      }
+    }
+  }
+}
+
 void DecisionTree::predict_batch(const FeatureMatrix& fm,
                                  const std::uint32_t* rows, std::size_t n,
-                                 float* out_value,
-                                 float* out_variance) const {
+                                 float* out_value, float* out_variance,
+                                 PredictScratch* scratch) const {
   if (nodes_.empty()) {
     throw std::logic_error("DecisionTree::predict_batch: not fitted");
   }
   if (n == 0) return;
+  PredictScratch local;
+  PredictScratch& s = scratch != nullptr ? *scratch : local;
+  warm_scratch(fm, n, s);
   const bool dense =
       out_variance != nullptr
-          ? dense_walk(fm, rows, n,
-                       [&](std::uint32_t pos, const Node& nd) {
-                         out_value[pos] = nd.value;
-                         out_variance[pos] = nd.variance;
+          ? dense_walk(fm, rows, n, s,
+                       [&](std::uint32_t pos, std::size_t nd) {
+                         out_value[pos] = flat_value_[nd];
+                         out_variance[pos] = flat_variance_[nd];
                        })
-          : dense_walk(fm, rows, n, [&](std::uint32_t pos, const Node& nd) {
-              out_value[pos] = nd.value;
-            });
+          : dense_walk(fm, rows, n, s,
+                       [&](std::uint32_t pos, std::size_t nd) {
+                         out_value[pos] = flat_value_[nd];
+                       });
   if (dense) return;
-  predict_frontier(fm, rows, n, out_value, out_variance);
+  route_level_sync(fm, rows, n, s);
+  const std::int32_t* cur = s.cur.data();
+  const float* value = flat_value_.data();
+  if (out_variance != nullptr) {
+    const float* variance = flat_variance_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      out_value[i] = value[cur[i]];
+      out_variance[i] = variance[cur[i]];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out_value[i] = value[cur[i]];
+  }
 }
 
 void DecisionTree::accumulate_batch(const FeatureMatrix& fm,
                                     const std::uint32_t* rows, std::size_t n,
                                     double* sum, double* sumsq,
-                                    double* var_sum) const {
+                                    double* var_sum,
+                                    PredictScratch* scratch) const {
   if (nodes_.empty()) {
     throw std::logic_error("DecisionTree::accumulate_batch: not fitted");
   }
   if (n == 0) return;
+  PredictScratch local;
+  PredictScratch& s = scratch != nullptr ? *scratch : local;
+  warm_scratch(fm, n, s);
   const bool dense =
       var_sum != nullptr
-          ? dense_walk(fm, rows, n,
-                       [&](std::uint32_t pos, const Node& nd) {
-                         const double v = nd.value;
+          ? dense_walk(fm, rows, n, s,
+                       [&](std::uint32_t pos, std::size_t nd) {
+                         const double v = flat_value_[nd];
                          sum[pos] += v;
                          sumsq[pos] += v * v;
-                         var_sum[pos] += nd.variance;
+                         var_sum[pos] += flat_variance_[nd];
                        })
-          : dense_walk(fm, rows, n, [&](std::uint32_t pos, const Node& nd) {
-              const double v = nd.value;
-              sum[pos] += v;
-              sumsq[pos] += v * v;
-            });
+          : dense_walk(fm, rows, n, s,
+                       [&](std::uint32_t pos, std::size_t nd) {
+                         const double v = flat_value_[nd];
+                         sum[pos] += v;
+                         sumsq[pos] += v * v;
+                       });
   if (dense) return;
-
-  thread_local std::vector<float> leaf_value;
-  thread_local std::vector<float> leaf_variance;
-  leaf_value.resize(n);
-  if (var_sum != nullptr) leaf_variance.resize(n);
-  predict_frontier(fm, rows, n, leaf_value.data(),
-                   var_sum != nullptr ? leaf_variance.data() : nullptr);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double v = leaf_value[i];
-    sum[i] += v;
-    sumsq[i] += v * v;
-    if (var_sum != nullptr) var_sum[i] += leaf_variance[i];
-  }
-}
-
-void DecisionTree::predict_frontier(const FeatureMatrix& fm,
-                                    const std::uint32_t* rows, std::size_t n,
-                                    float* out_value,
-                                    float* out_variance) const {
-  // DFS over (node, range) pairs: `order` holds batch positions and is
-  // partitioned in place at every split, so each node's feature column is
-  // read once for its whole row set. Scratch is thread-local: predictions
-  // run concurrently across the lookahead engine's workspaces.
-  struct Range {
-    std::int32_t node;
-    std::uint32_t begin;
-    std::uint32_t end;
-  };
-  thread_local std::vector<std::uint32_t> order;
-  thread_local std::vector<Range> stack;
-  // DFS holds at most one pending right sibling per level; reserving the
-  // depth-cap bound keeps this allocation-free even when incremental
-  // appends deepen the tree after warm-up.
-  stack.reserve(2 * (static_cast<std::size_t>(options_.max_depth) + 2));
-  order.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    order[i] = static_cast<std::uint32_t>(i);
-  }
-  const auto row_of = [&](std::uint32_t pos) {
-    return rows != nullptr ? rows[pos] : pos;
-  };
-
-  stack.clear();
-  stack.push_back({0, 0, static_cast<std::uint32_t>(n)});
-  while (!stack.empty()) {
-    const Range r = stack.back();
-    stack.pop_back();
-    const Node& nd = nodes_[static_cast<std::size_t>(r.node)];
-    if (nd.feature == kLeaf) {
-      for (std::uint32_t p = r.begin; p < r.end; ++p) {
-        out_value[order[p]] = nd.value;
-        if (out_variance != nullptr) out_variance[order[p]] = nd.variance;
-      }
-      continue;
+  route_level_sync(fm, rows, n, s);
+  // Accumulate straight from the flat leaf arrays — same float source,
+  // same per-row order as the scalar loop, no intermediate buffers.
+  const std::int32_t* cur = s.cur.data();
+  const float* value = flat_value_.data();
+  if (var_sum != nullptr) {
+    const float* variance = flat_variance_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = value[cur[i]];
+      sum[i] += v;
+      sumsq[i] += v * v;
+      var_sum[i] += variance[cur[i]];
     }
-    const auto feature = static_cast<std::size_t>(nd.feature);
-    std::uint32_t mid = r.begin;
-    for (std::uint32_t p = r.begin; p < r.end; ++p) {
-      if (fm.code(row_of(order[p]), feature) <= nd.split_code) {
-        std::swap(order[p], order[mid]);
-        ++mid;
-      }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = value[cur[i]];
+      sum[i] += v;
+      sumsq[i] += v * v;
     }
-    if (mid < r.end) stack.push_back({nd.right, mid, r.end});
-    if (r.begin < mid) stack.push_back({nd.left, r.begin, mid});
   }
 }
 
@@ -740,6 +990,7 @@ void DecisionTree::load_state(const util::JsonValue& v) {
     if (inc_base_ == 0) inc_base_ = inc_rows_.size();
     if (inc_base_ > 0) reserve_incremental(inc_base_);
   }
+  rebuild_flat();
 }
 
 }  // namespace lynceus::model

@@ -18,14 +18,43 @@
 /// reused across refits, so a refit at steady state performs no heap
 /// allocation.
 ///
-/// Batched prediction contract: predict_batch() routes a whole row list
-/// through the tree as a *frontier* — the row list is partitioned at every
-/// split, so each node is visited exactly once and feature codes are read
-/// in bulk per node, instead of chasing root-to-leaf pointers once per row.
-/// The leaf a row lands in (and hence its value/variance) is identical to
-/// the scalar predict()/predict_stats() path; callers may mix the two
-/// freely. After warm-up (thread-local scratch sized to the largest batch)
-/// predict_batch performs no heap allocation.
+/// Batched prediction: flat-layout determinism contract
+/// -----------------------------------------------------
+/// A fitted tree maintains a structure-of-arrays mirror of its nodes —
+/// contiguous feature / threshold-code / left-child / right-child /
+/// leaf-value / leaf-variance arrays — in which leaves *self-loop*
+/// (left == right == self, threshold == 0xFFFF), so batch routing is a
+/// branch-free level-synchronous sweep: every row advances one level per
+/// pass, rows already at a leaf spin in place, and after depth() passes
+/// each row sits at exactly the leaf the scalar predict() descent reaches.
+/// predict_batch()/accumulate_batch() use two routes over those arrays:
+///   * a dense level-mask walk (batch covers most of the space and the
+///     FeatureMatrix has precomputed level masks) that intersects row
+///     bitmasks per split, and
+///   * the level-synchronous sweep (sparse batches, duplicate ids, or
+///     mask-less spaces), whose per-row compare/route loop the compiler
+///     auto-vectorizes (explicit AVX2 gathers behind LYNCEUS_SIMD, with a
+///     runtime CPU check; identical integer routing either way).
+///
+/// What is bit-pinned: the leaf each row lands in, the float leaf
+/// value/variance read from it, and the per-row accumulation order of
+/// accumulate_batch — all byte-identical to the scalar predict() /
+/// predict_stats() path, across routes, build flags and toolchains (the
+/// routing is pure integer compare/select; no FP reassociation anywhere).
+/// Callers may mix scalar and batch entry points freely.
+///
+/// When the flat layout is rebuilt: at the end of fit(), load_state() and
+/// assign_fitted(), and after every append_incremental() (appends mutate
+/// the node array in place, so the mirror is refreshed from it; capacity
+/// is pre-reserved by the incremental reservation, keeping appends
+/// allocation-free). The AoS node array remains the single source of
+/// truth for building, serialization and the scalar descent.
+///
+/// Scratch ownership: batch entry points take a caller-owned
+/// PredictScratch (BaggingEnsemble owns one per predict chunk); passing
+/// nullptr falls back to function-local scratch that allocates per call.
+/// With a caller-owned scratch, batches at steady state (warmed to the
+/// largest batch size) perform no heap allocation.
 
 #include <cstdint>
 #include <vector>
@@ -34,6 +63,31 @@
 #include "util/rng.hpp"
 
 namespace lynceus::model {
+
+/// Caller-owned scratch for the batch prediction entry points (file
+/// comment, "Scratch ownership"). Replaces the former thread_local
+/// buffers: a thread_local copy per worker thread grew to the largest
+/// batch ever seen and was never released; this struct is owned by the
+/// predicting ensemble (one slot per predict chunk) and freed with it.
+/// Buffers only grow, so steady-state batches are allocation-free once
+/// warmed. One scratch must not be used by two concurrent batch calls.
+struct PredictScratch {
+  // Level-synchronous sweep: current node per batch row, plus the
+  // precomputed row*cols code offsets the SIMD gather kernel consumes.
+  std::vector<std::int32_t> cur;
+  std::vector<std::uint32_t> row_base;
+  // Dense level-mask walk.
+  std::vector<std::uint64_t> root_mask;
+  std::vector<std::uint32_t> pos_of_row;
+  std::vector<std::uint64_t> arena;
+  std::vector<std::int64_t> stack;
+  // Ensemble-level per-row accumulators and id scratch
+  // (BaggingEnsemble::predict_rows / predict_all).
+  std::vector<double> sum;
+  std::vector<double> sumsq;
+  std::vector<double> var_sum;
+  std::vector<std::uint32_t> ids;
+};
 
 struct TreeOptions {
   /// Maximum tree depth (root = 0).
@@ -73,15 +127,18 @@ class DecisionTree {
   [[nodiscard]] LeafStats predict_stats(const FeatureMatrix& fm,
                                         std::uint32_t row) const;
 
-  /// Frontier-batched leaf lookup (see file comment). For each i in
-  /// [0, n): writes the leaf mean of row `rows[i]` to `out_value[i]` and,
-  /// when `out_variance` is non-null, the leaf variance to
-  /// `out_variance[i]`. `rows == nullptr` means the identity batch
-  /// (row i = i), which is how predict-all over a whole FeatureMatrix
-  /// avoids materializing an index vector.
+  /// Batched leaf lookup over the flat layout (see file comment). For
+  /// each i in [0, n): writes the leaf mean of row `rows[i]` to
+  /// `out_value[i]` and, when `out_variance` is non-null, the leaf
+  /// variance to `out_variance[i]`. `rows == nullptr` means the identity
+  /// batch (row i = i), which is how predict-all over a whole
+  /// FeatureMatrix avoids materializing an index vector. `scratch` is the
+  /// caller-owned workspace; nullptr uses function-local scratch (one
+  /// allocation per call).
   void predict_batch(const FeatureMatrix& fm, const std::uint32_t* rows,
                      std::size_t n, float* out_value,
-                     float* out_variance = nullptr) const;
+                     float* out_variance = nullptr,
+                     PredictScratch* scratch = nullptr) const;
 
   /// Ensemble-fused batch: for each i in [0, n), with v the leaf mean of
   /// row `rows[i]` (as a double), performs `sum[i] += v` and
@@ -92,7 +149,8 @@ class DecisionTree {
   /// per-tree outputs.
   void accumulate_batch(const FeatureMatrix& fm, const std::uint32_t* rows,
                         std::size_t n, double* sum, double* sumsq,
-                        double* var_sum) const;
+                        double* var_sum,
+                        PredictScratch* scratch = nullptr) const;
 
   /// --- Incremental refit support (used by BaggingEnsemble's
   /// --- append_and_update; see core/lookahead.hpp for the engine-level
@@ -179,21 +237,38 @@ class DecisionTree {
   std::int32_t build(BuildCtx& ctx, std::size_t begin, std::size_t end,
                      unsigned depth);
 
-  /// Dense batch path: routes the whole batch through the tree as row
-  /// bitmasks intersected with the FeatureMatrix's precomputed level masks
-  /// (a split costs mask_words() word-ANDs instead of one comparison per
-  /// row), invoking `leaf(batch_position, node)` for every routed row.
-  /// Returns false — caller falls back to the frontier partition — when
-  /// masks are unavailable, the batch is sparse relative to the space, or
-  /// `rows` contains duplicates.
+  /// Dense batch path: routes the whole batch through the flat arrays as
+  /// row bitmasks intersected with the FeatureMatrix's precomputed level
+  /// masks (a split costs mask_words() word-ANDs instead of one comparison
+  /// per row), invoking `leaf(batch_position, node_index)` for every
+  /// routed row. Returns false — caller falls back to the level-sync
+  /// sweep — when masks are unavailable, the batch is sparse relative to
+  /// the space, or `rows` contains duplicates.
   template <class LeafFn>
   bool dense_walk(const FeatureMatrix& fm, const std::uint32_t* rows,
-                  std::size_t n, const LeafFn& leaf) const;
+                  std::size_t n, PredictScratch& s, const LeafFn& leaf) const;
 
-  /// The frontier-partition batch path (always available).
-  void predict_frontier(const FeatureMatrix& fm, const std::uint32_t* rows,
-                        std::size_t n, float* out_value,
-                        float* out_variance) const;
+  /// Capacity-warms every batch-route buffer of `s` (both the dense-walk
+  /// and level-sync sets) to the space bound, so the first batch call with
+  /// a scratch slot sizes it for every in-space batch regardless of which
+  /// route later calls take (steady state stays allocation-free even when
+  /// the route flips after warm-up).
+  void warm_scratch(const FeatureMatrix& fm, std::size_t n,
+                    PredictScratch& s) const;
+
+  /// Level-synchronous sweep (always available): after the call,
+  /// `s.cur[i]` is the index of the leaf row `rows[i]` lands in (see file
+  /// comment — leaves self-loop, so depth() passes suffice).
+  void route_level_sync(const FeatureMatrix& fm, const std::uint32_t* rows,
+                        std::size_t n, PredictScratch& s) const;
+
+  /// Rebuilds the flat SoA mirror from `nodes_` (file comment, "When the
+  /// flat layout is rebuilt").
+  void rebuild_flat();
+  // Refreshes one slot of the flat mirror from nodes_[i] (routing fields,
+  // packed words, leaf statistics). rebuild_flat() is this over all nodes;
+  // append_incremental uses it to patch only the slots a re-split touched.
+  void refresh_flat_node(std::size_t i);
 
   /// Leaf index reached by `row` (the scalar predict() descent).
   [[nodiscard]] std::int32_t find_leaf(const FeatureMatrix& fm,
@@ -207,6 +282,24 @@ class DecisionTree {
   std::vector<Node> nodes_;
   unsigned depth_ = 0;
   FitScratch scratch_;
+
+  // Flat SoA mirror of `nodes_` (file comment). Leaves self-loop:
+  // flat_left_[i] == flat_right_[i] == i and flat_split_[i] == 0xFFFF, so
+  // the level-sync route needs no leaf test. 32-bit lanes throughout so
+  // the SIMD path gathers without width conversions.
+  std::vector<std::int32_t> flat_feature_;
+  std::vector<std::int32_t> flat_split_;
+  std::vector<std::int32_t> flat_left_;
+  std::vector<std::int32_t> flat_right_;
+  std::vector<float> flat_value_;
+  std::vector<float> flat_variance_;
+  // Packed duplicates of the four routing arrays, one load each instead
+  // of two: fs = (feature << 16) | split_code, lr = left | (right << 32).
+  // The scalar level-sync sweep is load-port bound, so halving its loads
+  // is what makes the sweep beat the per-row walk on tiny spaces (scout
+  // is 69 rows); the AVX2 kernel keeps gathering the unpacked arrays.
+  std::vector<std::uint32_t> flat_fs_;
+  std::vector<std::uint64_t> flat_lr_;
 
   bool inc_enabled_ = false;
   std::size_t inc_reserve_ = 0;

@@ -6,7 +6,9 @@ namespace lynceus::model {
 
 FeatureMatrix::FeatureMatrix(const space::ConfigSpace& space)
     : rows_(space.size()), cols_(space.dim_count()) {
-  codes_.resize(rows_ * cols_);
+  // One extra zeroed entry past the row-major block: codes() documents a
+  // tail pad so 16-bit codes can be fetched with 32-bit SIMD gathers.
+  codes_.resize(rows_ * cols_ + 1);
   level_counts_.resize(cols_);
   level_values_.resize(cols_);
   level_lo_.resize(cols_);

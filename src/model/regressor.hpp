@@ -51,6 +51,14 @@ class FeatureMatrix {
     return codes_.data() + row * cols_;
   }
 
+  /// Raw row-major code array (`rows()*cols()` entries, element
+  /// `row*cols()+col`), followed by one zeroed padding entry so 32-bit
+  /// SIMD gathers of the final code never read past the allocation. The
+  /// trees' level-synchronous batch route indexes this directly.
+  [[nodiscard]] const std::uint16_t* codes() const noexcept {
+    return codes_.data();
+  }
+
   /// Level count of a column (codes are in [0, level_count(col))).
   [[nodiscard]] std::uint16_t level_count(std::size_t col) const noexcept {
     return level_counts_[col];

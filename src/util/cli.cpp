@@ -76,13 +76,40 @@ std::int64_t CliFlags::get_int(const std::string& name,
                                std::int64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  // Checked full-string parse: a bare std::stoll would throw an uncaught
+  // bare "stoll" on `--la=abc` / `--la=` (and silently accept `--la=2x`),
+  // which surfaces as a crash instead of a usage error in the tools.
+  std::size_t consumed = 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(it->second, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (it->second.empty() || consumed != it->second.size()) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+  return parsed;
 }
 
 double CliFlags::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(it->second, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (it->second.empty() || consumed != it->second.size()) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects a number, got '" + it->second +
+                                "'");
+  }
+  return parsed;
 }
 
 bool CliFlags::get_bool(const std::string& name, bool fallback) const {

@@ -49,6 +49,40 @@ TEST(CliFlags, UnknownFlagThrows) {
   EXPECT_THROW(parse({"--bogus=1"}, {"runs"}), std::invalid_argument);
 }
 
+TEST(CliFlags, MalformedIntThrowsInformatively) {
+  // A bare std::stoll used to escape as an uncaught "stoll" exception on
+  // these; the checked parse must throw invalid_argument naming the flag.
+  for (const char* arg : {"--runs=abc", "--runs=", "--runs=2x", "--runs=1.5"}) {
+    const auto flags = parse({arg}, {"runs"});
+    try {
+      (void)flags.get_int("runs", 0);
+      FAIL() << "expected invalid_argument for " << arg;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--runs"), std::string::npos)
+          << "message should name the flag: " << e.what();
+    }
+  }
+}
+
+TEST(CliFlags, MalformedDoubleThrowsInformatively) {
+  for (const char* arg : {"--b=abc", "--b=", "--b=2.5zz"}) {
+    const auto flags = parse({arg}, {"b"});
+    try {
+      (void)flags.get_double("b", 0.0);
+      FAIL() << "expected invalid_argument for " << arg;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--b"), std::string::npos)
+          << "message should name the flag: " << e.what();
+    }
+  }
+}
+
+TEST(CliFlags, CheckedParsesStillAcceptValidValues) {
+  const auto flags = parse({"--runs=-3", "--b=-2.5e-1"}, {"runs", "b"});
+  EXPECT_EQ(flags.get_int("runs", 0), -3);
+  EXPECT_DOUBLE_EQ(flags.get_double("b", 0.0), -0.25);
+}
+
 TEST(CliFlags, RepeatedFlagIsAHardError) {
   // Last-one-wins silence hides typos in long command lines.
   EXPECT_THROW(parse({"--runs=1", "--runs=2"}, {"runs"}),

@@ -1,0 +1,36 @@
+# Asserts a CLI tool's failure contract: run TOOL with ARGS and require a
+# specific exit code plus a stderr message matching a regex. Registered by
+# the top-level CMakeLists as ctest entries (label "tools") so the tools'
+# usage errors — unknown flags, malformed numeric values — stay hard exits
+# with diagnostics instead of regressing to silent acceptance or uncaught
+# std::sto* exceptions (std::terminate shows up here as a wrong exit code).
+#
+# Usage:
+#   cmake -DTOOL=<binary> -DARGS="<space-separated args>"
+#         -DEXPECT_EXIT=<code> -DEXPECT_STDERR=<regex>
+#         -P check_tool_exit.cmake
+
+if(NOT DEFINED TOOL OR NOT DEFINED EXPECT_EXIT)
+  message(FATAL_ERROR "check_tool_exit: TOOL and EXPECT_EXIT are required")
+endif()
+
+separate_arguments(tool_args UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${TOOL}" ${tool_args}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+# execute_process reports abnormal termination (e.g. an uncaught exception
+# aborting the process) as a non-numeric string, which also fails here.
+if(NOT rc STREQUAL "${EXPECT_EXIT}")
+  message(FATAL_ERROR
+      "check_tool_exit: '${TOOL} ${ARGS}' exited with '${rc}', "
+      "expected ${EXPECT_EXIT}\nstderr:\n${err}")
+endif()
+
+if(DEFINED EXPECT_STDERR AND NOT err MATCHES "${EXPECT_STDERR}")
+  message(FATAL_ERROR
+      "check_tool_exit: stderr of '${TOOL} ${ARGS}' does not match "
+      "'${EXPECT_STDERR}'\nstderr:\n${err}")
+endif()

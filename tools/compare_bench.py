@@ -58,6 +58,17 @@ def load_entries(summary):
         else:
             key = f"inc/{e['space']}/la{e['la']}"
         entries[key] = e["p50_ms"]
+    for e in summary.get("soa_predict", []):
+        # Flat-layout (SoA) batch prediction: both the batch route's own
+        # p50 and the scalar node-walk reference are gated (a regression
+        # in either layout matters), plus the LA=2 decision the batch
+        # routes feed.
+        entries[f"soa/{e['space']}/batch"] = e["soa_p50_ms"]
+        entries[f"soa/{e['space']}/node_walk"] = e["node_walk_p50_ms"]
+        # Synthetic-grid entries have no decision dataset, hence no LA=2
+        # decision measurement — the key is optional per entry.
+        if "decision_la2_p50_ms" in e:
+            entries[f"soa/{e['space']}/decision_la2"] = e["decision_la2_p50_ms"]
     for e in summary.get("pooled_decision", []):
         # The worker count is part of the key: a 7-worker baseline p50 and
         # a 3-worker run are different configurations, not a regression —

@@ -79,7 +79,15 @@ def gate(entries, space, la, mode, min_speedup, out=print):
             "gate skipped (scaling needs >= 2)")
         return 0
     top = next(e for e in curve if e["workers"] == max_w)
-    speedup = top.get("speedup_vs_w1", 0.0)
+    if "speedup_vs_w1" not in top:
+        # Distinguish a malformed section from a genuine sub-bar speedup:
+        # .get(..., 0.0) used to conflate them, reporting "0.00x vs w1"
+        # for a bench that never computed the ratio at all.
+        out(f"scaling_gate: MALFORMED — entry for {space} la{la} {mode} "
+            f"w{max_w} has no speedup_vs_w1 key (bench output truncated "
+            "or from an incompatible bench_micro?)")
+        return 1
+    speedup = top["speedup_vs_w1"]
     out(f"scaling_gate: {space} la{la} {mode} w{max_w}: "
         f"{speedup:.2f}x vs w1 (bar {min_speedup:.2f}x)")
     if speedup < min_speedup:
@@ -103,7 +111,12 @@ def gate_sessions(entries, sessions, min_speedup, out=print):
             "session gate skipped (scaling needs >= 2)")
         return 0
     top = next(e for e in curve if e["workers"] == max_w)
-    speedup = top.get("speedup_vs_w0", 0.0)
+    if "speedup_vs_w0" not in top:
+        out(f"scaling_gate: MALFORMED — session_scaling entry for "
+            f"sessions={sessions} w{max_w} has no speedup_vs_w0 key "
+            "(bench output truncated or from an incompatible bench_micro?)")
+        return 1
+    speedup = top["speedup_vs_w0"]
     out(f"scaling_gate: {sessions} sessions w{max_w}: "
         f"{top['decisions_per_sec']:.0f} decisions/s, "
         f"{speedup:.2f}x vs the FIFO loop (bar {min_speedup:.2f}x)")

@@ -19,7 +19,7 @@ import compare_bench  # noqa: E402
 
 
 def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None,
-            svc=None, sscale=None):
+            svc=None, sscale=None, soa=None):
     """Builds a minimal BENCH_micro.json-shaped dict."""
     out = {"bench": "micro_decision", "unit": "ms"}
     out["spaces"] = [
@@ -36,7 +36,16 @@ def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None,
     out["decision_scaling"] = scaling or []
     out["session_throughput"] = svc or []
     out["session_scaling"] = sscale or []
+    out["soa_predict"] = soa or []
     return out
+
+
+def soa_entry(space="tensorflow_cnn", node_walk=8.0, batch=2.0,
+              decision_la2=40.0):
+    return {"space": space, "node_walk_p50_ms": node_walk,
+            "soa_p50_ms": batch,
+            "speedup_p50": node_walk / batch if batch else 0.0,
+            "decision_la2_p50_ms": decision_la2}
 
 
 class CompareBenchTest(unittest.TestCase):
@@ -232,6 +241,50 @@ class CompareBenchTest(unittest.TestCase):
                      "ms_per_decision": 25.0}])
         self.assertEqual(self.run_gate(base, new), 1)
         self.assertEqual(self.run_gate(base, base), 0)
+
+    def test_soa_predict_keys_batch_walk_and_decision(self):
+        flat, notes = compare_bench.load_entries(
+            summary(spaces_p50={"tf": [(0, 2.0)]}, soa=[soa_entry()]))
+        self.assertEqual(flat["soa/tensorflow_cnn/batch"], 2.0)
+        self.assertEqual(flat["soa/tensorflow_cnn/node_walk"], 8.0)
+        self.assertEqual(flat["soa/tensorflow_cnn/decision_la2"], 40.0)
+        self.assertEqual(notes, [])
+
+    def test_soa_batch_regression_fails(self):
+        # The flat batch route regressing (node walk and decision steady)
+        # must trip the gate even though the speedup ratio alone would
+        # still look healthy.
+        entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}
+        base = summary(spaces_p50=entries, soa=[soa_entry(batch=2.0)])
+        new = summary(spaces_p50=entries, soa=[soa_entry(batch=6.0)])
+        self.assertEqual(self.run_gate(base, new), 1)
+        self.assertEqual(self.run_gate(base, base), 0)
+
+    def test_soa_decision_regression_fails(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}
+        base = summary(spaces_p50=entries, soa=[soa_entry(decision_la2=40.0)])
+        new = summary(spaces_p50=entries, soa=[soa_entry(decision_la2=120.0)])
+        self.assertEqual(self.run_gate(base, new), 1)
+
+    def test_soa_entry_without_decision_key_is_batch_and_walk_only(self):
+        # Synthetic-grid entries carry no decision dataset, so the LA=2
+        # decision key is optional per entry — absent key means absent
+        # gate entry, not a crash.
+        e = soa_entry(space="grid_64x64")
+        del e["decision_la2_p50_ms"]
+        flat, notes = compare_bench.load_entries(
+            summary(spaces_p50={"tf": [(0, 2.0)]}, soa=[e]))
+        self.assertEqual(flat["soa/grid_64x64/batch"], 2.0)
+        self.assertEqual(flat["soa/grid_64x64/node_walk"], 8.0)
+        self.assertNotIn("soa/grid_64x64/decision_la2", flat)
+        self.assertEqual(notes, [])
+
+    def test_missing_soa_section_is_skipped_not_failed(self):
+        # Old baselines predate the section: schema growth must not fail.
+        entries = {"tf": [(0, 2.0), (1, 5.0)]}
+        base = summary(spaces_p50=entries)
+        new = summary(spaces_p50=entries, soa=[soa_entry()])
+        self.assertEqual(self.run_gate(base, new), 0)
 
     def test_no_common_entries_is_a_pass(self):
         base = summary(spaces_p50={"tf": [(0, 2.0)]})

@@ -81,6 +81,55 @@ class ScalingGateTest(unittest.TestCase):
                    entry(3, 8.0, speedup=2.5, mode="roots")]
         self.assertEqual(self.run_main({"decision_scaling": entries}), 1)
 
+    def test_missing_speedup_key_is_malformed_not_sub_bar(self):
+        # The gated entry exists but never got its ratio computed (e.g. a
+        # truncated bench run): must fail with a MALFORMED diagnostic, not
+        # masquerade as a genuine "0.00x vs w1" scaling regression.
+        top = entry(3, 10.0)
+        del top["speedup_vs_w1"]
+        entries = [entry(1, 20.0), top]
+        messages = []
+        rc = scaling_gate.gate(entries, "tensorflow_cnn", 2, "roots+branch",
+                               1.5, out=messages.append)
+        self.assertEqual(rc, 1)
+        self.assertTrue(any("MALFORMED" in m for m in messages), messages)
+        self.assertFalse(any("below the bar" in m for m in messages),
+                         messages)
+
+    def test_genuine_zero_speedup_is_sub_bar_not_malformed(self):
+        # The converse: an explicit sub-bar ratio reports the scaling
+        # failure, never the malformed-section diagnostic.
+        entries = [entry(1, 20.0), entry(3, 30.0, speedup=0.0)]
+        messages = []
+        rc = scaling_gate.gate(entries, "tensorflow_cnn", 2, "roots+branch",
+                               1.5, out=messages.append)
+        self.assertEqual(rc, 1)
+        self.assertTrue(any("below the bar" in m for m in messages),
+                        messages)
+        self.assertFalse(any("MALFORMED" in m for m in messages), messages)
+
+    def test_session_missing_speedup_key_is_malformed_not_sub_bar(self):
+        top = sentry(7, 11000.0)
+        del top["speedup_vs_w0"]
+        sessions = [sentry(0, 3000.0), top]
+        messages = []
+        rc = scaling_gate.gate_sessions(sessions, 64, 3.0,
+                                        out=messages.append)
+        self.assertEqual(rc, 1)
+        self.assertTrue(any("MALFORMED" in m for m in messages), messages)
+        self.assertFalse(any("below the bar" in m for m in messages),
+                         messages)
+
+    def test_session_genuine_zero_speedup_is_sub_bar_not_malformed(self):
+        sessions = [sentry(0, 3000.0), sentry(7, 2000.0, speedup=0.0)]
+        messages = []
+        rc = scaling_gate.gate_sessions(sessions, 64, 3.0,
+                                        out=messages.append)
+        self.assertEqual(rc, 1)
+        self.assertTrue(any("below the bar" in m for m in messages),
+                        messages)
+        self.assertFalse(any("MALFORMED" in m for m in messages), messages)
+
     def test_session_gate_passes_at_or_above_bar(self):
         sessions = [sentry(0, 3000.0), sentry(1, 2800.0),
                     sentry(7, 11000.0, speedup=3.7)]

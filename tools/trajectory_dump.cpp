@@ -359,14 +359,45 @@ int main(int argc, char** argv) {
   std::size_t throughput_workers = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
-    if (arg == "--incremental") incremental = true;
-    if (arg == "--branch-parallel") branch_parallel = true;
-    if (arg == "--via-steps") via_steps = true;
-    if (arg == "--faults") faults = true;
-    if (arg.rfind("--throughput-workers=", 0) == 0) {
-      throughput_workers =
-          static_cast<std::size_t>(std::stoul(arg.substr(21)));
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--incremental") {
+      incremental = true;
+    } else if (arg == "--branch-parallel") {
+      branch_parallel = true;
+    } else if (arg == "--via-steps") {
+      via_steps = true;
+    } else if (arg == "--faults") {
+      faults = true;
+    } else if (arg.rfind("--throughput-workers=", 0) == 0) {
+      // Checked parse: the whole value must be a decimal integer. A bare
+      // std::stoul here used to throw uncaught on `=` / `=abc` (terminate
+      // instead of a usage error) and silently accept trailing junk.
+      const std::string value = arg.substr(21);
+      std::size_t consumed = 0;
+      bool ok = !value.empty();
+      if (ok) {
+        try {
+          throughput_workers =
+              static_cast<std::size_t>(std::stoul(value, &consumed));
+        } catch (const std::exception&) {
+          ok = false;
+        }
+      }
+      if (!ok || consumed != value.size()) {
+        std::fprintf(stderr,
+                     "trajectory_dump: invalid --throughput-workers value "
+                     "'%s' (expected a non-negative integer)\n",
+                     value.c_str());
+        return 2;
+      }
+    } else {
+      // Unknown flags used to be silently ignored, so a typo (e.g.
+      // --incrmental) produced a scalar dump that *looked* like the
+      // requested variant. Fail loudly instead.
+      std::fprintf(stderr, "trajectory_dump: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
     }
   }
   if (throughput_workers > 0 && (branch_parallel || via_steps)) {
