@@ -21,6 +21,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "cloud/workloads.hpp"
 #include "core/acquisition.hpp"
@@ -36,6 +37,9 @@
 #include "math/lhs.hpp"
 #include "model/bagging.hpp"
 #include "model/gp.hpp"
+#include "net/tuning_client.hpp"
+#include "net/tuning_server.hpp"
+#include "service/session_spec.hpp"
 #include "service/tuning_service.hpp"
 #include "space/config_space.hpp"
 #include "space/parameter.hpp"
@@ -815,6 +819,123 @@ SessionThroughputStats measure_session_scaling(std::size_t sessions,
   return out;
 }
 
+/// Network front-end throughput (src/net/): N concurrent remote Lynceus
+/// sessions — distinct seeds, the fleet scenario — spread over
+/// `clients` loopback TCP connections against a `shards`-shard
+/// TuningServer, each client draining its sessions against the
+/// simulated-async replay runner. Reports the decision throughput of the
+/// whole distributed drain (total decisions over wall-clock, comparable
+/// to session_scaling's in-process numbers — the gap is the wire tax)
+/// and the client-observed tell round-trip latency (send tell → told
+/// reply, the ask/tell hot path of a remote driver).
+struct NetThroughputStats {
+  std::size_t decisions = 0;     ///< per drain, summed over sessions
+  double ms_per_decision = 0.0;  ///< median over reps
+  double decisions_per_sec = 0.0;
+  double tell_p50_ms = 0.0;  ///< round-trip latency over all tells, all reps
+  double tell_p99_ms = 0.0;
+};
+
+NetThroughputStats measure_net_throughput(std::size_t sessions,
+                                          std::size_t clients,
+                                          std::size_t shards,
+                                          std::size_t reps) {
+  const auto ds = decision_dataset(1);  // Scout: realistic small job
+  const auto problem = eval::make_problem(ds, 3.0);
+  const std::size_t per_client = sessions / clients;
+
+  std::vector<double> ms_per_decision;
+  std::vector<double> tell_ms;
+  std::size_t decisions = 0;
+  for (std::size_t rep = 0; rep <= reps; ++rep) {  // rep 0 = warm-up
+    net::TuningServer::Options sopts;
+    sopts.shards = shards;
+    sopts.root_cache_capacity = 16;
+    net::TuningServer server(sopts);
+    server.register_problem("bench", "recurrent", problem);
+
+    std::vector<std::size_t> client_decisions(clients, 0);
+    std::vector<std::vector<double>> client_tell_ms(clients);
+    std::vector<std::thread> drivers;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < clients; ++c) {
+      drivers.emplace_back([&, c] {
+        net::TuningClient client("127.0.0.1", server.port());
+        eval::AsyncTableRunner runner(ds);
+        const auto submit = [&](const service::PendingRun& run) {
+          eval::AsyncTableRunner::SubmitOptions o;
+          o.timeout_seconds = run.timeout_seconds;
+          o.attempt = run.attempt;
+          o.start_delay = run.start_delay;
+          runner.submit(run.session, run.config, o);
+        };
+        std::vector<std::uint64_t> ids;
+        for (std::size_t k = 0; k < per_client; ++k) {
+          service::SessionSpec spec;
+          spec.optimizer = "lynceus";
+          spec.seed = 1 + c * per_client + k;
+          spec.lookahead = 1;
+          spec.screen_width = 24;
+          spec.incremental_refit = false;
+          spec.branch_parallel = false;
+          spec.problem_ref = service::ProblemRef{"bench", "recurrent", 3.0};
+          ids.push_back(client.open(spec));
+        }
+        // TuningClient::drain(), inlined so each tell round trip is timed.
+        std::size_t outstanding = 0;
+        while (!client.active_sessions().empty()) {
+          while (auto run = client.take_run(/*wait=*/false)) {
+            submit(*run);
+            ++outstanding;
+          }
+          if (outstanding == 0) {
+            // Nothing local: block until the server pushes the next run.
+            const auto run = client.take_run(/*wait=*/true);
+            if (!run.has_value()) break;
+            submit(*run);
+            ++outstanding;
+            continue;
+          }
+          const auto done = runner.next_completion();
+          if (!done.has_value()) break;
+          --outstanding;
+          if (client.active_sessions().count(done->tag) == 0) continue;
+          const auto s0 = std::chrono::steady_clock::now();
+          (void)client.tell(done->tag, done->config, done->result);
+          const auto s1 = std::chrono::steady_clock::now();
+          client_tell_ms[c].push_back(
+              std::chrono::duration<double, std::milli>(s1 - s0).count());
+        }
+        for (const std::uint64_t id : ids) {
+          client_decisions[c] += client.result(id).result.decisions;
+          client.close_session(id);
+        }
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    decisions = 0;
+    for (const std::size_t d : client_decisions) decisions += d;
+    if (rep == 0) continue;
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ms_per_decision.push_back(ms / static_cast<double>(decisions));
+    for (const auto& v : client_tell_ms) {
+      tell_ms.insert(tell_ms.end(), v.begin(), v.end());
+    }
+  }
+  std::sort(ms_per_decision.begin(), ms_per_decision.end());
+  std::sort(tell_ms.begin(), tell_ms.end());
+  NetThroughputStats out;
+  out.decisions = decisions;
+  out.ms_per_decision = percentile(ms_per_decision, 0.50);
+  out.decisions_per_sec =
+      out.ms_per_decision > 0.0 ? 1000.0 / out.ms_per_decision : 0.0;
+  out.tell_p50_ms = percentile(tell_ms, 0.50);
+  out.tell_p99_ms = percentile(tell_ms, 0.99);
+  return out;
+}
+
 /// Flat-layout (SoA) ensemble prediction vs the scalar node walk: p50 of
 /// predicting every row of the space through predict_all (the flat batch
 /// routes) against a per-row predict() loop over the same fitted ensemble.
@@ -1160,6 +1281,32 @@ bool write_json_summary(const std::string& path,
   w.end_array();
   }
 
+  // Network front-end throughput: 8/64 remote sessions over loopback TCP
+  // connections (8 sessions per connection) against the 2-shard server —
+  // decisions/s of the whole distributed drain plus the client-observed
+  // tell round-trip latency (see measure_net_throughput).
+  if (want("net_throughput")) {
+  w.key("net_throughput").begin_array();
+  for (const std::size_t sessions : {std::size_t{8}, std::size_t{64}}) {
+    const std::size_t clients = sessions / 8;
+    const std::size_t reps = sessions >= 64 ? 2 : 3;
+    const auto s = measure_net_throughput(sessions, clients, 2, reps);
+    w.begin_object();
+    w.key("space").value(decision_space_name(1));
+    w.key("optimizer").value("lynceus_la1");
+    w.key("sessions").value(static_cast<std::uint64_t>(sessions));
+    w.key("clients").value(static_cast<std::uint64_t>(clients));
+    w.key("shards").value(std::uint64_t{2});
+    w.key("decisions").value(static_cast<std::uint64_t>(s.decisions));
+    w.key("ms_per_decision").value(s.ms_per_decision);
+    w.key("decisions_per_sec").value(s.decisions_per_sec);
+    w.key("tell_p50_ms").value(s.tell_p50_ms);
+    w.key("tell_p99_ms").value(s.tell_p99_ms);
+    w.end_object();
+  }
+  w.end_array();
+  }
+
   // Multi-core decision scaling (ROADMAP "Multi-core decision scaling
   // numbers"): the same LA=2 decision at workers in {0, 1, nproc-1}
   // (deduplicated), fanned out across roots only, inside each root only
@@ -1234,7 +1381,7 @@ int main(int argc, char** argv) {
   // --sections=a,b,c restricts the JSON summary to the named sections
   // (spaces, multi_constraint, incremental_refit, soa_predict,
   // cached_decision, pooled_decision, session_throughput, session_scaling,
-  // decision_scaling); empty / absent = all.
+  // net_throughput, decision_scaling); empty / absent = all.
   std::set<std::string> sections;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {

@@ -4,10 +4,11 @@
 ///
 /// Three things are demonstrated, mirroring the "Running a tuning
 /// service" section of README.md:
-///   1. N concurrent sessions over a shared thread pool + root cache,
-///      fed by asynchronously completing runs (simulated here by
-///      AsyncTableRunner; a real deployment would launch cloud jobs and
-///      tell() results as they land);
+///   1. N concurrent sessions — each described by one declarative
+///      service::SessionSpec and opened via open_session() — over a
+///      shared thread pool + root cache, fed by asynchronously completing
+///      runs (simulated here by AsyncTableRunner; a real deployment would
+///      launch cloud jobs and tell() results as they land);
 ///   2. out-of-order completions — cheap runs overtake expensive ones —
 ///      without perturbing any session's trajectory;
 ///   3. snapshot/restore: a session is frozen mid-run to JSON, revived in
@@ -21,6 +22,7 @@
 #include "cloud/workloads.hpp"
 #include "eval/experiment.hpp"
 #include "eval/runner.hpp"
+#include "service/session_spec.hpp"
 #include "service/tuning_service.hpp"
 #include "util/thread_pool.hpp"
 
@@ -47,9 +49,14 @@ int main() {
   std::vector<service::SessionId> sessions;
   for (std::size_t i = 0; i < datasets.size(); ++i) {
     runners.emplace_back(datasets[i]);
-    core::LynceusOptions lopts;
-    lopts.lookahead = 1;
-    sessions.push_back(service.open_lynceus(problems[i], lopts, /*seed=*/7));
+    // One declarative spec per session — the same document could arrive
+    // as a CLI flag set or a TCP frame (src/net/) instead of C++ code.
+    service::SessionSpec spec;
+    spec.optimizer = "lynceus";
+    spec.lookahead = 1;
+    spec.seed = 7;
+    spec.problem = &problems[i];
+    sessions.push_back(service.open_session(spec));
     std::printf("session %llu: %s (%zu configs)\n",
                 static_cast<unsigned long long>(sessions[i]),
                 datasets[i].job_name().c_str(), datasets[i].size());
@@ -91,8 +98,10 @@ int main() {
 
   // Snapshot/restore: freeze one session mid-run, revive it elsewhere.
   service::TuningService first;
-  const service::SessionId sid =
-      first.open_lynceus(problems[0], core::LynceusOptions{}, /*seed=*/11);
+  const service::SessionSpec frozen_spec =
+      service::SessionSpec::lynceus(problems[0], core::LynceusOptions{},
+                                    /*seed=*/11);
+  const service::SessionId sid = first.open_session(frozen_spec);
   eval::AsyncTableRunner feed(datasets[0]);
   for (const auto& run : first.next_runs()) feed.submit(run.session, run.config);
   // Resolve half the bootstrap, then freeze: in-flight runs stay in
@@ -106,8 +115,7 @@ int main() {
   std::printf("\nsnapshot: %zu bytes of JSON mid-bootstrap\n", frozen.size());
 
   service::TuningService second;  // a fresh process, in spirit
-  const service::SessionId revived =
-      second.restore_lynceus(problems[0], core::LynceusOptions{}, 11, frozen);
+  const service::SessionId revived = second.restore_session(frozen_spec, frozen);
   eval::AsyncTableRunner feed2(datasets[0]);
   service::drain(second, feed2);
   const auto result = second.result(revived);

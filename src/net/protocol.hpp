@@ -1,0 +1,205 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The wire protocol of the network tuning service (src/net/): framing,
+/// message codec, and the typed request/reply structures the transport
+/// and service-loop threads exchange.
+///
+/// ## Framing
+///
+/// Every message is one frame: a 4-byte big-endian unsigned payload
+/// length, then exactly that many bytes of UTF-8 JSON. A frame whose
+/// declared length is zero or exceeds the receiver's `max_frame_bytes`
+/// is a framing violation: the receiver replies with a typed `error`
+/// frame (code "bad_frame") and closes the connection. Bytes that fail
+/// to parse as JSON, parse deeper than util/json's 256-level nesting
+/// bound, or form a JSON document that is not a valid protocol message
+/// are equally fatal (code "bad_message"). A peer that disconnects
+/// mid-frame is simply dropped — there is nothing left to reply to.
+///
+/// ## Messages
+///
+/// Client → server (every request carries a client-chosen `req` token,
+/// echoed verbatim in the matching reply; `session` ids are
+/// server-assigned and globally unique across shards):
+///
+///   {"type":"open","req":R,"spec":SPEC}
+///       SPEC is a service::SessionSpec document (session_spec.hpp)
+///       carrying a `problem` reference the server resolves against its
+///       workload registry.                      reply: opened
+///   {"type":"restore","req":R,"spec":SPEC,"snapshot":TEXT}
+///       Reopens a snapshot (bare stepper snapshot or service-session
+///       envelope) under a fresh id.             reply: opened
+///   {"type":"tell","req":R,"session":S,"config":C,"result":RESULT}
+///       One completed profiling run.            reply: told
+///   {"type":"next_runs","req":R}
+///       Nudges every shard to sweep its ready sessions (runs are pushed
+///       unprompted after open/tell; this is for drivers that dropped
+///       pushes, e.g. after restore).            reply: none
+///   {"type":"snapshot","req":R,"session":S}     reply: snapshot
+///   {"type":"result","req":R,"session":S}       reply: result
+///   {"type":"close","req":R,"session":S}        reply: closed
+///
+/// Server → client:
+///
+///   {"type":"opened","req":R,"session":S}
+///   {"type":"told","req":R,"session":S,"finished":B,"quarantined":B,
+///    "stop_reason":TEXT}
+///   {"type":"run","session":S,"config":C,"attempt":A,
+///    "timeout_seconds":T?,"start_delay":D}      (pushed, no req)
+///       One profiling run the client must execute and tell back — the
+///       server never runs jobs itself; the remote driver owns the
+///       cluster (or its replay table).
+///   {"type":"snapshot","req":R,"session":S,"data":TEXT}
+///   {"type":"result","req":R,"session":S,"finished":B,"quarantined":B,
+///    "stop_reason":TEXT,"result":RESULT_DOC}
+///   {"type":"closed","req":R,"session":S}
+///   {"type":"error","req":R?,"code":TEXT,"message":TEXT,"fatal":B}
+///       Codes: "bad_frame" (framing violation), "bad_message"
+///       (unparseable or structurally invalid message), "bad_request"
+///       (a well-formed request the service rejected: unknown session,
+///       out-of-order tell, unresolvable problem reference, invalid
+///       spec). All current errors are fatal: the server closes the
+///       connection after sending, and every session owned by the
+///       connection is closed.
+///
+/// Doubles cross the wire through JsonWriter::value_exact, so a result
+/// told remotely is bit-identical to one told in process — the
+/// determinism contract in tuning_server.hpp rests on this.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+#include "service/session_spec.hpp"
+#include "service/tuning_service.hpp"
+#include "util/json.hpp"
+
+namespace lynceus::net {
+
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// A framing violation (zero-length or oversized declared payload). The
+/// receiver reports `code` ("bad_frame") and closes the connection.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Prefixes `payload` with its 4-byte big-endian length.
+[[nodiscard]] std::string encode_frame(const std::string& payload);
+
+/// Incremental frame splitter for a byte-stream connection: feed() the
+/// bytes read() returned, next() yields complete payloads. Throws
+/// FrameError on a zero-length or oversized header — the connection is
+/// then poisoned and must be closed (the internal cursor stops moving).
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const char* data, std::size_t size);
+  /// Extracts the next complete payload into `payload`; false when the
+  /// buffered bytes do not yet hold a whole frame.
+  bool next(std::string& payload);
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t offset_ = 0;  ///< consumed prefix of buffer_
+};
+
+/// A decoded client → server request.
+struct Request {
+  enum class Type { Open, Restore, Tell, NextRuns, Snapshot, Result, Close };
+
+  Type type = Type::NextRuns;
+  std::uint64_t req = 0;
+  std::uint64_t session = 0;       ///< tell / snapshot / result / close
+  core::ConfigId config = 0;       ///< tell
+  core::RunResult result;          ///< tell
+  service::SessionSpec spec;       ///< open / restore
+  std::string snapshot;            ///< restore
+};
+
+/// Parses one request payload. Throws std::runtime_error (including
+/// util/json parse errors) on anything structurally invalid — the
+/// transport maps that to a fatal "bad_message" error reply.
+[[nodiscard]] Request parse_request(const std::string& payload);
+
+/// A decoded server → client message.
+struct ServerMessage {
+  enum class Type { Opened, Told, Run, Snapshot, Result, Closed, Error };
+
+  Type type = Type::Error;
+  std::uint64_t req = 0;
+  std::uint64_t session = 0;
+  // told / result
+  bool finished = false;
+  bool quarantined = false;
+  std::string stop_reason;
+  // run
+  service::PendingRun run;  ///< .session carries the wire session id
+  // snapshot
+  std::string data;
+  // result
+  core::OptimizerResult result;
+  // error
+  std::string code;
+  std::string message;
+  bool fatal = false;
+};
+
+[[nodiscard]] ServerMessage parse_server_message(const std::string& payload);
+
+// --- Reply encoders (payloads; wrap with encode_frame before writing).
+
+[[nodiscard]] std::string encode_open(std::uint64_t req,
+                                      const service::SessionSpec& spec);
+[[nodiscard]] std::string encode_restore(std::uint64_t req,
+                                         const service::SessionSpec& spec,
+                                         const std::string& snapshot);
+[[nodiscard]] std::string encode_tell(std::uint64_t req, std::uint64_t session,
+                                      core::ConfigId config,
+                                      const core::RunResult& result);
+[[nodiscard]] std::string encode_next_runs(std::uint64_t req);
+[[nodiscard]] std::string encode_snapshot_request(std::uint64_t req,
+                                                  std::uint64_t session);
+[[nodiscard]] std::string encode_result_request(std::uint64_t req,
+                                                std::uint64_t session);
+[[nodiscard]] std::string encode_close(std::uint64_t req,
+                                       std::uint64_t session);
+
+[[nodiscard]] std::string encode_opened(std::uint64_t req,
+                                        std::uint64_t session);
+[[nodiscard]] std::string encode_told(std::uint64_t req, std::uint64_t session,
+                                      bool finished, bool quarantined,
+                                      const std::string& stop_reason);
+/// `run.session` must already hold the wire (global) session id.
+[[nodiscard]] std::string encode_run(const service::PendingRun& run);
+[[nodiscard]] std::string encode_snapshot_reply(std::uint64_t req,
+                                                std::uint64_t session,
+                                                const std::string& data);
+[[nodiscard]] std::string encode_result_reply(
+    std::uint64_t req, std::uint64_t session, bool finished, bool quarantined,
+    const std::string& stop_reason, const core::OptimizerResult& result);
+[[nodiscard]] std::string encode_closed(std::uint64_t req,
+                                        std::uint64_t session);
+[[nodiscard]] std::string encode_error(std::uint64_t req,
+                                       const std::string& code,
+                                       const std::string& message, bool fatal);
+
+// --- Shared sub-codecs (bit-exact doubles).
+
+void run_result_to_json(util::JsonWriter& w, const core::RunResult& r);
+[[nodiscard]] core::RunResult run_result_from_json(const util::JsonValue& v);
+
+void optimizer_result_to_json(util::JsonWriter& w,
+                              const core::OptimizerResult& r);
+[[nodiscard]] core::OptimizerResult optimizer_result_from_json(
+    const util::JsonValue& v);
+
+}  // namespace lynceus::net

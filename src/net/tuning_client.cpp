@@ -1,0 +1,198 @@
+#include "net/tuning_client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+namespace lynceus::net {
+
+TuningClient::TuningClient(const std::string& host, std::uint16_t port,
+                           std::size_t max_frame_bytes)
+    : sock_(connect_tcp(host, port)), frames_(max_frame_bytes) {}
+
+void TuningClient::send_raw(const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(sock_.fd(), bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw SocketError(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+void TuningClient::send_payload(const std::string& payload) {
+  send_raw(encode_frame(payload));
+}
+
+ServerMessage TuningClient::read_message() {
+  std::string payload;
+  while (!frames_.next(payload)) {
+    char buf[16384];
+    const ssize_t n = ::recv(sock_.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      frames_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    eof_ = (n == 0);
+    throw SocketError(n == 0 ? "connection closed by server"
+                             : std::string("recv: ") + std::strerror(errno));
+  }
+  return parse_server_message(payload);
+}
+
+ServerMessage TuningClient::await_reply(std::uint64_t req) {
+  for (;;) {
+    ServerMessage m = read_message();
+    if (m.type == ServerMessage::Type::Run) {
+      runs_.push_back(m.run);
+      continue;
+    }
+    if (m.type == ServerMessage::Type::Error) {
+      throw ProtocolError(m.code, m.message);
+    }
+    if (m.req == req) return m;
+    // A reply to someone else's request on a single-driver connection is
+    // a protocol breach; fail loudly rather than mis-route it.
+    throw ProtocolError("bad_message",
+                        "reply for unexpected req " + std::to_string(m.req));
+  }
+}
+
+std::uint64_t TuningClient::open(const service::SessionSpec& spec) {
+  const std::uint64_t req = next_req_++;
+  send_payload(encode_open(req, spec));
+  const ServerMessage m = await_reply(req);
+  if (m.type != ServerMessage::Type::Opened) {
+    throw ProtocolError("bad_message", "expected opened reply");
+  }
+  active_.insert(m.session);
+  return m.session;
+}
+
+std::uint64_t TuningClient::restore(const service::SessionSpec& spec,
+                                    const std::string& snapshot) {
+  const std::uint64_t req = next_req_++;
+  send_payload(encode_restore(req, spec, snapshot));
+  const ServerMessage m = await_reply(req);
+  if (m.type != ServerMessage::Type::Opened) {
+    throw ProtocolError("bad_message", "expected opened reply");
+  }
+  active_.insert(m.session);
+  // A restored session's outstanding runs predate this connection; ask
+  // the server to re-push whatever the session is still waiting on.
+  send_payload(encode_next_runs(next_req_++));
+  return m.session;
+}
+
+TuningClient::TellStatus TuningClient::tell(std::uint64_t session,
+                                            core::ConfigId config,
+                                            const core::RunResult& result) {
+  const std::uint64_t req = next_req_++;
+  send_payload(encode_tell(req, session, config, result));
+  const ServerMessage m = await_reply(req);
+  if (m.type != ServerMessage::Type::Told) {
+    throw ProtocolError("bad_message", "expected told reply");
+  }
+  if (m.finished || m.quarantined) active_.erase(session);
+  return TellStatus{m.finished, m.quarantined, m.stop_reason};
+}
+
+std::string TuningClient::snapshot(std::uint64_t session) {
+  const std::uint64_t req = next_req_++;
+  send_payload(encode_snapshot_request(req, session));
+  const ServerMessage m = await_reply(req);
+  if (m.type != ServerMessage::Type::Snapshot) {
+    throw ProtocolError("bad_message", "expected snapshot reply");
+  }
+  return m.data;
+}
+
+TuningClient::ResultReply TuningClient::result(std::uint64_t session) {
+  const std::uint64_t req = next_req_++;
+  send_payload(encode_result_request(req, session));
+  const ServerMessage m = await_reply(req);
+  if (m.type != ServerMessage::Type::Result) {
+    throw ProtocolError("bad_message", "expected result reply");
+  }
+  return ResultReply{m.result, m.finished, m.quarantined, m.stop_reason};
+}
+
+void TuningClient::close_session(std::uint64_t session) {
+  const std::uint64_t req = next_req_++;
+  send_payload(encode_close(req, session));
+  const ServerMessage m = await_reply(req);
+  if (m.type != ServerMessage::Type::Closed) {
+    throw ProtocolError("bad_message", "expected closed reply");
+  }
+  active_.erase(session);
+  // Drop buffered runs of the closed session: the server will never
+  // accept a tell for them.
+  for (auto it = runs_.begin(); it != runs_.end();) {
+    it = it->session == session ? runs_.erase(it) : std::next(it);
+  }
+}
+
+std::optional<service::PendingRun> TuningClient::take_run(bool wait) {
+  for (;;) {
+    if (!runs_.empty()) {
+      service::PendingRun run = runs_.front();
+      runs_.pop_front();
+      return run;
+    }
+    if (!wait) return std::nullopt;
+    const ServerMessage m = read_message();
+    if (m.type == ServerMessage::Type::Run) {
+      runs_.push_back(m.run);
+    } else if (m.type == ServerMessage::Type::Error) {
+      throw ProtocolError(m.code, m.message);
+    } else {
+      throw ProtocolError("bad_message", "unsolicited non-run message");
+    }
+  }
+}
+
+void TuningClient::drain(eval::AsyncTableRunner& runner) {
+  // Runs submitted to the runner but not yet completed, per session —
+  // needed to distinguish "waiting on the simulator" from "waiting on a
+  // server push".
+  std::size_t outstanding = 0;
+  while (!active_.empty()) {
+    while (!runs_.empty()) {
+      const service::PendingRun run = runs_.front();
+      runs_.pop_front();
+      eval::AsyncTableRunner::SubmitOptions opts;
+      opts.timeout_seconds = run.timeout_seconds;
+      opts.attempt = run.attempt;
+      opts.start_delay = run.start_delay;
+      runner.submit(run.session, run.config, opts);
+      ++outstanding;
+    }
+    if (outstanding > 0) {
+      const std::optional<eval::AsyncTableRunner::Completion> done =
+          runner.next_completion();
+      if (!done.has_value()) {
+        // Only forever-hung runs remain: their sessions can never
+        // finish. Mirror service::drain() and leave them unfinished.
+        return;
+      }
+      --outstanding;
+      if (active_.count(done->tag) == 0) continue;  // session closed late
+      tell(done->tag, done->config, done->result);
+      continue;
+    }
+    if (active_.empty()) break;
+    // No local work: the server owes pushes (e.g. right after an open).
+    // Re-queue the popped run so the submit loop above picks it up.
+    std::optional<service::PendingRun> pushed = take_run(/*wait=*/true);
+    if (pushed.has_value()) runs_.push_front(*pushed);
+  }
+}
+
+}  // namespace lynceus::net

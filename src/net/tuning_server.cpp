@@ -1,0 +1,628 @@
+#include "net/tuning_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "cloud/workloads.hpp"
+#include "eval/experiment.hpp"
+#include "service/tuning_service.hpp"
+#include "util/json.hpp"
+
+namespace lynceus::net {
+
+namespace {
+
+/// Keys for the problem registry; '\n' cannot appear in JSON string
+/// values that reach us unescaped, so it is a safe separator.
+std::string registry_key(const std::string& suite, const std::string& job) {
+  return suite + '\n' + job;
+}
+
+std::string bundled_key(const std::string& suite, const std::string& job,
+                        double b) {
+  util::JsonWriter w;  // bit-exact double, reused as a map key
+  w.value_exact(b);
+  return suite + '\n' + job + '\n' + w.str();
+}
+
+}  // namespace
+
+TuningServer::TuningServer() : TuningServer(Options{}) {}
+
+TuningServer::TuningServer(Options options) : options_(std::move(options)) {
+  if (options_.shards == 0) {
+    throw std::invalid_argument("TuningServer: shards must be >= 1");
+  }
+  if (options_.lane_capacity == 0) {
+    throw std::invalid_argument("TuningServer: lane_capacity must be >= 1");
+  }
+  options_.run_policy.validate();
+  listener_ = listen_tcp(options_.host, options_.port);
+  set_nonblocking(listener_.fd(), true);
+  port_ = local_port(listener_.fd());
+
+  const std::size_t k = options_.shards;
+  accept_lanes_.reserve(k);
+  request_lanes_.resize(k);
+  reply_lanes_.resize(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    accept_lanes_.push_back(
+        std::make_unique<util::SpscQueue<NewConn>>(options_.lane_capacity));
+    request_lanes_[t].reserve(k);
+    reply_lanes_[t].reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      request_lanes_[t].push_back(std::make_unique<util::SpscQueue<ShardRequest>>(
+          options_.lane_capacity));
+      reply_lanes_[t].push_back(std::make_unique<util::SpscQueue<TransportReply>>(
+          options_.lane_capacity));
+    }
+  }
+  shard_opened_ = std::make_unique<std::atomic<std::size_t>[]>(k);
+  for (std::size_t s = 0; s < k; ++s) shard_opened_[s].store(0);
+
+  threads_.reserve(2 * k + 1);
+  for (std::size_t s = 0; s < k; ++s) {
+    threads_.emplace_back([this, s] { shard_loop(s); });
+  }
+  for (std::size_t t = 0; t < k; ++t) {
+    threads_.emplace_back([this, t] { transport_loop(t); });
+  }
+  threads_.emplace_back([this] { acceptor_loop(); });
+}
+
+TuningServer::~TuningServer() { stop(); }
+
+void TuningServer::stop() {
+  if (stop_.exchange(true)) {
+    return;
+  }
+  for (std::thread& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  threads_.clear();
+  listener_.close();
+}
+
+std::vector<std::size_t> TuningServer::shard_session_counts() const {
+  std::vector<std::size_t> counts(options_.shards, 0);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    counts[s] = shard_opened_[s].load();
+  }
+  return counts;
+}
+
+void TuningServer::register_problem(const std::string& suite,
+                                    const std::string& job,
+                                    core::OptimizationProblem problem) {
+  problem.validate();
+  std::lock_guard<std::mutex> lock(problems_mutex_);
+  problems_[registry_key(suite, job)] =
+      std::make_unique<core::OptimizationProblem>(std::move(problem));
+}
+
+const core::OptimizationProblem* TuningServer::resolve_problem(
+    const service::SessionSpec& spec) {
+  if (spec.problem != nullptr) {
+    return spec.problem;
+  }
+  const service::ProblemRef& ref = spec.problem_ref;
+  if (ref.empty()) {
+    throw std::invalid_argument(
+        "spec carries neither an in-process problem nor a problem reference");
+  }
+  std::lock_guard<std::mutex> lock(problems_mutex_);
+  auto it = problems_.find(registry_key(ref.suite, ref.job));
+  if (it != problems_.end()) {
+    return it->second.get();
+  }
+  if (!options_.bundled_workloads) {
+    throw std::invalid_argument("unknown problem '" + ref.suite + "/" +
+                                ref.job + "' (bundled workloads disabled)");
+  }
+  const std::string key = bundled_key(ref.suite, ref.job, ref.budget_multiplier);
+  it = problems_.find(key);
+  if (it != problems_.end()) {
+    return it->second.get();
+  }
+  std::vector<cloud::Dataset> datasets;
+  if (ref.suite == "tf" || ref.suite == "tensorflow") {
+    datasets = cloud::make_tensorflow_datasets();
+  } else if (ref.suite == "scout") {
+    datasets = cloud::make_scout_datasets();
+  } else if (ref.suite == "cherrypick") {
+    datasets = cloud::make_cherrypick_datasets();
+  } else {
+    throw std::invalid_argument("unknown workload suite '" + ref.suite + "'");
+  }
+  for (const cloud::Dataset& ds : datasets) {
+    if (ds.job_name() == ref.job) {
+      auto built = std::make_unique<core::OptimizationProblem>(
+          eval::make_problem(ds, ref.budget_multiplier));
+      const core::OptimizationProblem* out = built.get();
+      problems_[key] = std::move(built);
+      return out;
+    }
+  }
+  throw std::invalid_argument("suite '" + ref.suite + "' has no job named '" +
+                              ref.job + "'");
+}
+
+// --- Acceptor ---------------------------------------------------------------
+
+void TuningServer::acceptor_loop() {
+  std::uint64_t next_conn = 0;
+  pollfd pfd{};
+  pfd.fd = listener_.fd();
+  pfd.events = POLLIN;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, 50);
+    if (rc <= 0) continue;
+    for (;;) {
+      const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN / transient: poll again
+      const std::uint64_t id = next_conn++;
+      NewConn nc{fd, id};
+      util::SpscQueue<NewConn>& lane = *accept_lanes_[id % options_.shards];
+      util::Backoff backoff;
+      while (!lane.try_push(NewConn(nc))) {
+        if (stop_.load(std::memory_order_relaxed)) {
+          ::close(fd);
+          return;
+        }
+        backoff.spin();
+      }
+    }
+  }
+}
+
+// --- Transport --------------------------------------------------------------
+
+namespace {
+
+/// Per-connection transport state: raw socket, incremental frame
+/// assembler, pending output.
+struct Conn {
+  std::uint64_t id = 0;
+  Socket sock;
+  FrameAssembler frames;
+  std::string outbuf;
+  std::size_t out_off = 0;
+  /// A fatal error reply is queued: flush outbuf, then close. No further
+  /// input is read or decoded.
+  bool closing = false;
+  /// Ready to reap (peer hung up or flush finished a `closing` conn).
+  bool dead = false;
+
+  explicit Conn(std::uint64_t id_, int fd, std::size_t max_frame)
+      : id(id_), sock(fd), frames(max_frame) {}
+
+  [[nodiscard]] bool wants_write() const noexcept {
+    return out_off < outbuf.size();
+  }
+
+  void queue(const std::string& frame) {
+    if (out_off == outbuf.size()) {
+      outbuf.clear();
+      out_off = 0;
+    }
+    outbuf.append(frame);
+  }
+};
+
+}  // namespace
+
+void TuningServer::transport_loop(std::size_t t) {
+  const std::size_t k = options_.shards;
+  std::unordered_map<std::uint64_t, Conn> conns;
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> pfd_conn;  // parallel to pfds
+
+  // Blocking push to a request lane; gives up only on server stop.
+  auto push_request = [&](std::size_t shard, ShardRequest&& req) {
+    util::SpscQueue<ShardRequest>& lane = *request_lanes_[t][shard];
+    util::Backoff backoff;
+    while (!lane.try_push(std::move(req))) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      backoff.spin();
+    }
+  };
+
+  auto notify_conn_closed = [&](std::uint64_t conn_id) {
+    for (std::size_t s = 0; s < k; ++s) {
+      ShardRequest req;
+      req.kind = ShardRequest::Kind::ConnClosed;
+      req.conn = conn_id;
+      push_request(s, std::move(req));
+    }
+  };
+
+  // Decodes one frame payload and routes it; on a malformed message,
+  // queues a fatal error reply and marks the connection closing.
+  auto handle_payload = [&](Conn& c, const std::string& payload) {
+    Request request;
+    try {
+      request = parse_request(payload);
+    } catch (const std::exception& e) {
+      c.queue(encode_frame(encode_error(0, "bad_message", e.what(), true)));
+      c.closing = true;
+      return;
+    }
+    ShardRequest sr;
+    sr.kind = ShardRequest::Kind::Request;
+    sr.conn = c.id;
+    switch (request.type) {
+      case Request::Type::Open:
+      case Request::Type::Restore: {
+        // Allocate the global id here so the request can route to its
+        // owning shard; the shard maps it to its local service id.
+        sr.global_session = next_session_.fetch_add(1);
+        const std::size_t shard = sr.global_session % k;
+        sr.request = std::move(request);
+        push_request(shard, std::move(sr));
+        return;
+      }
+      case Request::Type::Tell:
+      case Request::Type::Snapshot:
+      case Request::Type::Result:
+      case Request::Type::Close: {
+        const std::size_t shard = request.session % k;
+        sr.request = std::move(request);
+        push_request(shard, std::move(sr));
+        return;
+      }
+      case Request::Type::NextRuns: {
+        for (std::size_t s = 0; s < k; ++s) {
+          ShardRequest copy;
+          copy.kind = ShardRequest::Kind::Request;
+          copy.conn = c.id;
+          copy.request = request;
+          push_request(s, std::move(copy));
+        }
+        return;
+      }
+    }
+  };
+
+  auto read_conn = [&](Conn& c) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(c.sock.fd(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.frames.feed(buf, static_cast<std::size_t>(n));
+        std::string payload;
+        try {
+          while (!c.closing && c.frames.next(payload)) {
+            handle_payload(c, payload);
+          }
+        } catch (const FrameError& e) {
+          c.queue(encode_frame(encode_error(0, "bad_frame", e.what(), true)));
+          c.closing = true;
+        }
+        if (c.closing) return;
+        continue;
+      }
+      if (n == 0) {  // peer closed; nothing left to reply to
+        c.dead = true;
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      c.dead = true;  // hard socket error
+      return;
+    }
+  };
+
+  auto write_conn = [&](Conn& c) {
+    while (c.wants_write()) {
+      const ssize_t n = ::send(c.sock.fd(), c.outbuf.data() + c.out_off,
+                               c.outbuf.size() - c.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      c.dead = true;
+      return;
+    }
+    if (c.closing) c.dead = true;  // error reply flushed: finish the close
+  };
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    bool busy = false;
+
+    NewConn nc;
+    while (accept_lanes_[t]->try_pop(nc)) {
+      busy = true;
+      try {
+        set_nonblocking(nc.fd, true);
+      } catch (const SocketError&) {
+        ::close(nc.fd);
+        continue;
+      }
+      set_nodelay(nc.fd);
+      conns.emplace(nc.id, Conn(nc.id, nc.fd, options_.max_frame_bytes));
+    }
+
+    for (std::size_t s = 0; s < k; ++s) {
+      TransportReply reply;
+      while (reply_lanes_[s][t]->try_pop(reply)) {
+        busy = true;
+        auto it = conns.find(reply.conn);
+        if (it == conns.end()) continue;  // conn died before the reply
+        it->second.queue(reply.bytes);
+        if (reply.close_conn) it->second.closing = true;
+      }
+    }
+
+    pfds.clear();
+    pfd_conn.clear();
+    for (auto& [id, c] : conns) {
+      if (c.dead) continue;
+      pollfd p{};
+      p.fd = c.sock.fd();
+      p.events = static_cast<short>((c.closing ? 0 : POLLIN) |
+                                    (c.wants_write() ? POLLOUT : 0));
+      if (p.events == 0) {
+        // closing with nothing left to flush
+        c.dead = true;
+        continue;
+      }
+      pfds.push_back(p);
+      pfd_conn.push_back(id);
+    }
+
+    if (!pfds.empty()) {
+      const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                            busy ? 0 : 1);
+      if (rc > 0) {
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+          if (pfds[i].revents == 0) continue;
+          busy = true;
+          Conn& c = conns.at(pfd_conn[i]);
+          if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+            c.dead = true;
+            continue;
+          }
+          if (pfds[i].revents & POLLIN) read_conn(c);
+          if (!c.dead && (pfds[i].revents & (POLLOUT | POLLHUP))) {
+            if (pfds[i].revents & POLLOUT) write_conn(c);
+            if ((pfds[i].revents & POLLHUP) && !c.wants_write()) c.dead = true;
+          }
+        }
+      }
+    } else if (!busy) {
+      // No connections and no queue traffic: sleep a poll tick.
+      struct timespec ts {0, 1'000'000};
+      ::nanosleep(&ts, nullptr);
+    }
+
+    // Opportunistic flush for conns that queued output this iteration but
+    // were not polled writable yet.
+    for (auto& [id, c] : conns) {
+      if (!c.dead && c.wants_write()) write_conn(c);
+    }
+
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second.dead) {
+        notify_conn_closed(it->first);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+// --- Service loop (one shard) ----------------------------------------------
+
+void TuningServer::shard_loop(std::size_t s) {
+  const std::size_t k = options_.shards;
+
+  service::TuningService::Options sopts;
+  sopts.root_cache_capacity = options_.root_cache_capacity;
+  sopts.cache_store_models = options_.cache_store_models;
+  sopts.run_policy = options_.run_policy;
+  service::TuningService svc(sopts);
+
+  struct SessionInfo {
+    service::SessionId local = 0;
+    std::uint64_t conn = 0;
+  };
+  std::unordered_map<std::uint64_t, SessionInfo> by_global;
+  std::unordered_map<service::SessionId, std::uint64_t> global_of_local;
+  std::unordered_map<std::uint64_t, std::set<std::uint64_t>> by_conn;
+
+  auto send = [&](std::uint64_t conn, std::string frame, bool close_conn) {
+    TransportReply reply{conn, std::move(frame), close_conn};
+    util::SpscQueue<TransportReply>& lane = *reply_lanes_[s][conn % k];
+    util::Backoff backoff;
+    while (!lane.try_push(std::move(reply))) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      backoff.spin();
+    }
+  };
+
+  // Drains the service's ready queue and pushes the asked runs to their
+  // sessions' connections, rewriting local ids to wire ids.
+  auto sweep = [&] {
+    for (const service::PendingRun& run : svc.next_runs()) {
+      const auto git = global_of_local.find(run.session);
+      if (git == global_of_local.end()) continue;
+      const auto sit = by_global.find(git->second);
+      if (sit == by_global.end()) continue;
+      service::PendingRun wire = run;
+      wire.session = git->second;
+      send(sit->second.conn, encode_frame(encode_run(wire)), false);
+    }
+  };
+
+  auto drop_session = [&](std::uint64_t global) {
+    const auto it = by_global.find(global);
+    if (it == by_global.end()) return;
+    by_conn[it->second.conn].erase(global);
+    global_of_local.erase(it->second.local);
+    by_global.erase(it);
+  };
+
+  auto handle = [&](ShardRequest& sr) {
+    if (sr.kind == ShardRequest::Kind::ConnClosed) {
+      const auto it = by_conn.find(sr.conn);
+      if (it == by_conn.end()) return;
+      // A dead connection abandons its sessions: close them so their
+      // steppers (and any in-flight bookkeeping) are reclaimed.
+      const std::set<std::uint64_t> owned = std::move(it->second);
+      by_conn.erase(it);
+      for (const std::uint64_t global : owned) {
+        const auto bit = by_global.find(global);
+        if (bit == by_global.end()) continue;
+        svc.close(bit->second.local);
+        global_of_local.erase(bit->second.local);
+        by_global.erase(bit);
+      }
+      return;
+    }
+
+    Request& req = sr.request;
+    switch (req.type) {
+      case Request::Type::Open:
+      case Request::Type::Restore: {
+        try {
+          service::SessionSpec spec = req.spec;
+          spec.problem = resolve_problem(spec);
+          const service::SessionId local =
+              req.type == Request::Type::Open
+                  ? svc.open_session(spec)
+                  : svc.restore_session(spec, req.snapshot);
+          by_global[sr.global_session] = SessionInfo{local, sr.conn};
+          global_of_local[local] = sr.global_session;
+          by_conn[sr.conn].insert(sr.global_session);
+          shard_opened_[s].fetch_add(1, std::memory_order_relaxed);
+          send(sr.conn, encode_frame(encode_opened(req.req, sr.global_session)),
+               false);
+          sweep();
+        } catch (const std::exception& e) {
+          send(sr.conn,
+               encode_frame(encode_error(req.req, "bad_request", e.what(), true)),
+               true);
+        }
+        return;
+      }
+      case Request::Type::Tell: {
+        const auto it = by_global.find(req.session);
+        if (it == by_global.end() || it->second.conn != sr.conn) {
+          send(sr.conn,
+               encode_frame(encode_error(
+                   req.req, "bad_request",
+                   "unknown session " + std::to_string(req.session), true)),
+               true);
+          return;
+        }
+        try {
+          svc.tell(it->second.local, req.config, req.result);
+          // Sweep BEFORE reporting: a stepper only learns it is finished
+          // when the post-tell ask happens, so the told reply would
+          // otherwise claim finished=false with no further run coming —
+          // wedging a driver that waits for pushes. Runs pushed here
+          // arrive before the told frame; clients buffer them.
+          sweep();
+          const bool quarantined = svc.quarantined(it->second.local);
+          const bool finished = quarantined || svc.finished(it->second.local);
+          send(sr.conn,
+               encode_frame(encode_told(req.req, req.session, finished,
+                                        quarantined,
+                                        svc.stop_reason(it->second.local))),
+               false);
+        } catch (const std::exception& e) {
+          send(sr.conn,
+               encode_frame(encode_error(req.req, "bad_request", e.what(), true)),
+               true);
+        }
+        return;
+      }
+      case Request::Type::NextRuns: {
+        sweep();
+        return;
+      }
+      case Request::Type::Snapshot:
+      case Request::Type::Result:
+      case Request::Type::Close: {
+        const auto it = by_global.find(req.session);
+        if (it == by_global.end() || it->second.conn != sr.conn) {
+          send(sr.conn,
+               encode_frame(encode_error(
+                   req.req, "bad_request",
+                   "unknown session " + std::to_string(req.session), true)),
+               true);
+          return;
+        }
+        try {
+          if (req.type == Request::Type::Snapshot) {
+            send(sr.conn,
+                 encode_frame(encode_snapshot_reply(
+                     req.req, req.session,
+                     svc.snapshot_session(it->second.local))),
+                 false);
+          } else if (req.type == Request::Type::Result) {
+            send(sr.conn,
+                 encode_frame(encode_result_reply(
+                     req.req, req.session, svc.finished(it->second.local),
+                     svc.quarantined(it->second.local),
+                     svc.stop_reason(it->second.local),
+                     svc.result(it->second.local))),
+                 false);
+          } else {
+            svc.close(it->second.local);
+            drop_session(req.session);
+            send(sr.conn, encode_frame(encode_closed(req.req, req.session)),
+                 false);
+          }
+        } catch (const std::exception& e) {
+          send(sr.conn,
+               encode_frame(encode_error(req.req, "bad_request", e.what(), true)),
+               true);
+        }
+        return;
+      }
+    }
+  };
+
+  util::Backoff backoff;
+  int idle_streak = 0;
+  while (true) {
+    bool busy = false;
+    for (std::size_t t = 0; t < k; ++t) {
+      ShardRequest sr;
+      while (request_lanes_[t][s]->try_pop(sr)) {
+        busy = true;
+        handle(sr);
+      }
+    }
+    if (busy) {
+      backoff.reset();
+      idle_streak = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+    // Spin hot briefly (low request latency under load), then sleep a
+    // millisecond per miss so an idle server costs ~no CPU.
+    if (++idle_streak < 256) {
+      backoff.spin();
+    } else {
+      struct timespec ts {0, 1'000'000};
+      ::nanosleep(&ts, nullptr);
+    }
+  }
+}
+
+}  // namespace lynceus::net

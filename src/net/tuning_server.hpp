@@ -1,0 +1,186 @@
+#pragma once
+
+/// \file tuning_server.hpp
+/// The TCP front-end of the tuning service: `net::TuningServer` turns the
+/// single-process `service::TuningService` into a sharded network server
+/// speaking the length-prefixed JSON protocol of net/protocol.hpp. The
+/// step from "concurrent library" to "server" on the ROADMAP.
+///
+/// ## Thread-per-role layout
+///
+/// One server runs 2·K + 1 threads for K shards, wired exclusively by
+/// bounded lock-free SPSC queues (util/spsc_queue.hpp) — each lane has
+/// exactly one writer and one reader by construction, so no lock is ever
+/// taken on the request path:
+///
+///   * **1 acceptor** owns the listening socket and assigns each accepted
+///     connection to transport `conn_id % K` over an acceptor→transport
+///     lane.
+///   * **K transport threads** do framing and decode ONLY: poll(2) their
+///     connections, split the byte stream into frames, parse each frame
+///     into a typed Request, and push it down a transport→shard lane —
+///     never touching optimizer state. Completions (encoded reply frames)
+///     come back over shard→transport lanes and are flushed to the
+///     owning connection. Malformed input (bad frame, bad JSON, unknown
+///     message) is answered with a typed fatal `error` frame and the
+///     connection is closed — the service loops never see it.
+///   * **K service-loop threads** each own one `service::TuningService`
+///     (FIFO event loop, per-shard RootCache): pop requests, apply them,
+///     sweep `next_runs()`, and push replies + server-initiated `run`
+///     frames back to the transports. The server itself executes no
+///     profiling runs — remote drivers own their clusters (or replay
+///     tables) and tell results back.
+///
+/// ## Sharding
+///
+/// Session ids are allocated from one global counter at decode time and
+/// hash-partitioned across shards by `id % K`, so every request for a
+/// session deterministically routes to the shard owning it and ids are
+/// unique across the server. A connection's sessions may live on any
+/// subset of shards; when a connection dies, every shard closes the
+/// sessions it owned for it.
+///
+/// ## Determinism contract
+///
+/// A session opened over the wire is byte-identical to the same
+/// SessionSpec opened in process: specs, results and snapshots cross the
+/// wire through the bit-exact codec (JsonWriter::value_exact), each
+/// session lives entirely on one single-threaded shard loop, and the
+/// per-session trajectory contract of service/tuning_service.hpp is
+/// interleaving-independent — so neither the transport threads, the
+/// shard count, nor the number of concurrent connections can move a byte
+/// of any trajectory. tests/test_net_service.cpp pins 64 remote sessions
+/// across shards against their solo in-process runs.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "service/session_spec.hpp"
+#include "util/spsc_queue.hpp"
+
+namespace lynceus::net {
+
+class TuningServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral (query the bound port with port()).
+    std::uint16_t port = 0;
+    /// Independent service loops (>= 1); sessions are partitioned by
+    /// `session_id % shards`.
+    std::size_t shards = 2;
+    /// Per-shard RootCache capacity (0 = off). Sessions sharing a shard
+    /// AND a recurrent problem warm-start each other, exactly as in the
+    /// in-process service; trajectories are unaffected.
+    std::size_t root_cache_capacity = 0;
+    bool cache_store_models = false;
+    /// Default failure policy for sessions whose spec carries none.
+    service::RunPolicy run_policy;
+    /// Frames larger than this are a fatal protocol error.
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Capacity of each SPSC lane (requests/replies queue here while the
+    /// peer thread is busy; writers spin politely when a lane is full).
+    std::size_t lane_capacity = 1024;
+    /// Resolve `problem_ref`s naming the bundled evaluation suites
+    /// ("tf" | "scout" | "cherrypick") by building the replay dataset on
+    /// first use. Off = only problems injected via register_problem().
+    bool bundled_workloads = true;
+  };
+
+  /// Binds, spawns the acceptor/transport/shard threads, and serves until
+  /// stop() or destruction.
+  TuningServer();
+  explicit TuningServer(Options options);
+  ~TuningServer();
+
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  /// Registers `problem` under (suite, job) for ProblemRef resolution —
+  /// how embedders (and tests) serve problems the bundled suites do not
+  /// cover. A registered problem's budget is its own; the ref's
+  /// budget_multiplier is ignored for it. Thread-safe; typically called
+  /// before clients connect.
+  void register_problem(const std::string& suite, const std::string& job,
+                        core::OptimizationProblem problem);
+
+  /// The bound listening port (resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting, closes every connection, joins all threads. Open
+  /// sessions are discarded (snapshot first for a graceful drain).
+  /// Idempotent.
+  void stop();
+
+  /// Sessions ever opened per shard (monitoring/tests; racy snapshot).
+  [[nodiscard]] std::vector<std::size_t> shard_session_counts() const;
+
+ private:
+  /// A connection handed from the acceptor to its transport thread.
+  struct NewConn {
+    int fd = -1;
+    std::uint64_t id = 0;
+  };
+
+  /// One decoded request on a transport→shard lane.
+  struct ShardRequest {
+    enum class Kind { Request, ConnClosed };
+    Kind kind = Kind::Request;
+    std::uint64_t conn = 0;
+    /// Pre-allocated global session id (Open/Restore only; the transport
+    /// allocates so it can route the request to `id % shards`).
+    std::uint64_t global_session = 0;
+    Request request;
+  };
+
+  /// One encoded reply (or pushed run) on a shard→transport lane.
+  struct TransportReply {
+    std::uint64_t conn = 0;
+    std::string bytes;  ///< already framed
+    /// Fatal: flush, then close the connection.
+    bool close_conn = false;
+  };
+
+  void acceptor_loop();
+  void transport_loop(std::size_t t);
+  void shard_loop(std::size_t s);
+
+  /// Resolves the spec's problem against the registry / bundled suites.
+  /// Returned pointer is stable for the server's lifetime. Throws
+  /// std::invalid_argument when unresolvable.
+  const core::OptimizationProblem* resolve_problem(
+      const service::SessionSpec& spec);
+
+  Options options_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> next_session_{0};
+
+  std::vector<std::unique_ptr<util::SpscQueue<NewConn>>> accept_lanes_;
+  /// request_lanes_[t][s]: transport t → shard s.
+  std::vector<std::vector<std::unique_ptr<util::SpscQueue<ShardRequest>>>>
+      request_lanes_;
+  /// reply_lanes_[s][t]: shard s → transport t.
+  std::vector<std::vector<std::unique_ptr<util::SpscQueue<TransportReply>>>>
+      reply_lanes_;
+
+  mutable std::mutex problems_mutex_;
+  /// Stable-address problem storage, keyed "suite\njob" (registered) or
+  /// "suite\njob\nb" (bundled, built on first use).
+  std::map<std::string, std::unique_ptr<core::OptimizationProblem>> problems_;
+
+  std::unique_ptr<std::atomic<std::size_t>[]> shard_opened_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lynceus::net

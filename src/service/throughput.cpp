@@ -150,7 +150,7 @@ void TuningService::run_throughput(eval::AsyncTableRunner& runner) {
     std::vector<SubmitSpec> submits = std::move(slot.initial_retries);
     slot.initial_retries.clear();
 
-    const RunPolicy& policy = options_.run_policy;
+    const RunPolicy& policy = s.policy;
     const bool had_wave = !wave.empty();
     if (had_wave) {
       // Canonical-order application: iterate the stepper's outstanding

@@ -8,30 +8,6 @@
 
 namespace lynceus::service {
 
-void RunPolicy::validate() const {
-  if (max_attempts == 0) {
-    throw std::invalid_argument("RunPolicy: max_attempts must be >= 1");
-  }
-  if (std::isnan(backoff_base_seconds) || backoff_base_seconds < 0.0 ||
-      std::isinf(backoff_base_seconds)) {
-    throw std::invalid_argument(
-        "RunPolicy: backoff base must be finite and non-negative");
-  }
-  if (std::isnan(backoff_multiplier) || backoff_multiplier < 1.0 ||
-      std::isinf(backoff_multiplier)) {
-    throw std::invalid_argument(
-        "RunPolicy: backoff multiplier must be finite and >= 1");
-  }
-  if (std::isnan(run_timeout_seconds) || run_timeout_seconds <= 0.0) {
-    throw std::invalid_argument("RunPolicy: run timeout must be positive");
-  }
-  if (std::isnan(timeout_tmax_factor) || timeout_tmax_factor < 0.0 ||
-      std::isinf(timeout_tmax_factor)) {
-    throw std::invalid_argument(
-        "RunPolicy: Tmax timeout factor must be finite and non-negative");
-  }
-}
-
 TuningService::TuningService() : TuningService(Options{}) {}
 
 TuningService::TuningService(Options options) : options_(std::move(options)) {
@@ -85,6 +61,7 @@ SessionId TuningService::register_session(
   }
   Session s;
   s.stepper = std::move(stepper);
+  s.policy = options_.run_policy;
   sessions_.push_back(std::move(s));
   return sessions_.size() - 1;
 }
@@ -97,7 +74,7 @@ void TuningService::enqueue_ready(SessionId id) {
 }
 
 double TuningService::effective_timeout(const Session& s) const {
-  const RunPolicy& p = options_.run_policy;
+  const RunPolicy& p = s.policy;
   double t = p.run_timeout_seconds;
   if (p.timeout_tmax_factor > 0.0) {
     t = std::min(t,
@@ -118,36 +95,47 @@ SessionId TuningService::open(
   return id;
 }
 
+SessionId TuningService::open_session(const SessionSpec& spec) {
+  RunPolicy policy = spec.run_policy.value_or(options_.run_policy);
+  policy.validate();
+  const SessionId id = open(spec.make_stepper(shared_pool(), shared_cache()));
+  sessions_[id].policy = policy;
+  return id;
+}
+
+SessionId TuningService::restore_session(const SessionSpec& spec,
+                                         const std::string& snapshot_json) {
+  RunPolicy policy = spec.run_policy.value_or(options_.run_policy);
+  policy.validate();
+  const SessionId id =
+      restore(spec.make_stepper(shared_pool(), shared_cache()), snapshot_json);
+  sessions_[id].policy = policy;
+  return id;
+}
+
 SessionId TuningService::open_lynceus(const core::OptimizationProblem& problem,
                                       core::LynceusOptions options,
                                       std::uint64_t seed) {
-  options.pool = shared_pool();
-  options.root_cache = shared_cache();
-  return open(core::LynceusOptimizer(std::move(options))
-                  .make_stepper(problem, seed));
+  return open_session(SessionSpec::lynceus(problem, options, seed));
 }
 
 SessionId TuningService::open_multi_constraint(
     const core::OptimizationProblem& problem,
     std::vector<core::ConstraintDef> constraints,
     core::MultiConstraintOptions options, std::uint64_t seed) {
-  options.pool = shared_pool();
-  options.root_cache = shared_cache();
-  return open(
-      core::MultiConstraintLynceus(std::move(constraints), std::move(options))
-          .make_stepper(problem, seed));
+  return open_session(
+      SessionSpec::multi_constraint(problem, constraints, options, seed));
 }
 
 SessionId TuningService::open_bo(const core::OptimizationProblem& problem,
                                  core::BoOptions options,
                                  std::uint64_t seed) {
-  return open(
-      core::BayesianOptimizer(std::move(options)).make_stepper(problem, seed));
+  return open_session(SessionSpec::bo(problem, options, seed));
 }
 
 SessionId TuningService::open_random(const core::OptimizationProblem& problem,
                                      std::uint64_t seed) {
-  return open(core::RandomSearch().make_stepper(problem, seed));
+  return open_session(SessionSpec::random(problem, seed));
 }
 
 std::vector<PendingRun> TuningService::next_runs(std::size_t max_runs) {
@@ -251,7 +239,7 @@ void TuningService::tell(SessionId session, core::ConfigId config,
         std::to_string(session));
   }
 
-  const RunPolicy& policy = options_.run_policy;
+  const RunPolicy& policy = s.policy;
   const std::uint64_t attempts_used = ++s.attempts[config];
   if (result.failed()) {
     ++s.consecutive_failures;
@@ -447,11 +435,8 @@ SessionId TuningService::restore(
 SessionId TuningService::restore_lynceus(
     const core::OptimizationProblem& problem, core::LynceusOptions options,
     std::uint64_t seed, const std::string& snapshot_json) {
-  options.pool = shared_pool();
-  options.root_cache = shared_cache();
-  return restore(
-      core::LynceusOptimizer(std::move(options)).make_stepper(problem, seed),
-      snapshot_json);
+  return restore_session(SessionSpec::lynceus(problem, options, seed),
+                         snapshot_json);
 }
 
 void drain(TuningService& service, eval::AsyncTableRunner& runner) {

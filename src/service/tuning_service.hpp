@@ -12,8 +12,11 @@
 /// arrives next. With the optimizers inverted into ask/tell steppers
 /// (core/stepper.hpp) that is exactly what this class does:
 ///
-///   * `open_*()` starts a session (Lynceus, multi-constraint, BO or RND)
-///     over a problem, injecting the service's shared resources: one
+///   * `open_session(spec)` starts a session from one declarative
+///     `SessionSpec` (service/session_spec.hpp: optimizer kind — Lynceus,
+///     multi-constraint, BO or RND — problem, knobs, run policy, seed; the
+///     legacy `open_*` overloads are one-line shims building a spec),
+///     injecting the service's shared resources: one
 ///     `util::ThreadPool` fanning out every session's root simulations,
 ///     and optionally one shared `core::RootCache`, so recurrent sessions
 ///     of the same job warm-start each other's root fits across the whole
@@ -159,6 +162,7 @@
 #include "core/stepper.hpp"
 #include "core/types.hpp"
 #include "eval/runner.hpp"
+#include "service/session_spec.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lynceus::service {
@@ -180,32 +184,9 @@ struct PendingRun {
   double start_delay = 0.0;
 };
 
-/// Failure-handling policy applied by the service to every session (see
-/// the "Run policy" section of the file comment). The default policy is
-/// inert: no retries, no timeout, no quarantine — behavior is bitwise
-/// identical to a policy-less service.
-struct RunPolicy {
-  /// Total tries per proposed run (>= 1; 1 = no retries). A FAILED result
-  /// is retried until this many attempts have been spent, then told to
-  /// the stepper as a failure.
-  std::size_t max_attempts = 1;
-  /// Simulated-seconds delay before the k-th retry:
-  /// backoff_base_seconds × backoff_multiplier^(k-1). 0 = immediate.
-  double backoff_base_seconds = 0.0;
-  double backoff_multiplier = 2.0;
-  /// Absolute per-run timeout; +infinity = none.
-  double run_timeout_seconds = std::numeric_limits<double>::infinity();
-  /// When > 0, additionally cap each run at factor × the session problem's
-  /// Tmax (a run past Tmax is infeasible regardless, so the cap only
-  /// trades the tail of a doomed run's bill for a censored observation).
-  /// The effective timeout is the smaller of both caps.
-  double timeout_tmax_factor = 0.0;
-  /// Quarantine a session after this many *consecutive* FAILED results
-  /// (ok resets the streak, timeouts leave it unchanged); 0 = never.
-  std::size_t quarantine_after = 0;
-
-  void validate() const;
-};
+// RunPolicy (the failure-handling policy; see the "Run policy" section of
+// the file comment) now lives in service/session_spec.hpp so a SessionSpec
+// can carry a per-session policy across the wire.
 
 class TuningService {
  public:
@@ -227,7 +208,8 @@ class TuningService {
     /// that many session-step workers. Mutually exclusive with
     /// pool_workers and root_cache_capacity (the constructor throws).
     std::size_t throughput_workers = 0;
-    /// Failure-handling policy applied to every session (default: inert).
+    /// Failure-handling policy applied to every session whose SessionSpec
+    /// does not carry its own (default: inert).
     RunPolicy run_policy;
     /// Crash-safety journal: when set, invoked with (session id,
     /// snapshot_session(id)) at open/restore and after every tell() —
@@ -240,20 +222,35 @@ class TuningService {
   TuningService();
   explicit TuningService(Options options);
 
-  /// Opens a session around a caller-built stepper. The convenience
-  /// open_* overloads below are preferred — they inject the shared pool
-  /// and cache; this overload wires in whatever the stepper was built
-  /// with. The problem behind the stepper must outlive the session.
+  /// THE session entrypoint: opens a session described by one declarative
+  /// SessionSpec (service/session_spec.hpp) — optimizer kind, problem,
+  /// knobs, optional per-session RunPolicy, seed. The service injects its
+  /// shared pool/cache into the stepper; `spec.problem` must be set (and
+  /// outlive the session) — callers holding only a ProblemRef resolve it
+  /// first (the network server does this via its workload registry). The
+  /// CLI, the examples, the wire protocol and the legacy overloads below
+  /// all funnel through here.
+  SessionId open_session(const SessionSpec& spec);
+
+  /// Reopens a snapshot — either a bare stepper snapshot or a
+  /// snapshot_session() envelope — into a fresh session built from `spec`
+  /// (which must describe the saved session: same optimizer, problem,
+  /// knobs and seed). The restored session finishes byte-identically.
+  SessionId restore_session(const SessionSpec& spec,
+                            const std::string& snapshot_json);
+
+  /// Opens a session around a caller-built stepper (open_session is
+  /// preferred — it injects the shared pool and cache; this overload wires
+  /// in whatever the stepper was built with). The problem behind the
+  /// stepper must outlive the session.
   SessionId open(std::unique_ptr<core::OptimizerStepper> stepper);
 
-  /// Lynceus session: `options.pool` and `options.root_cache` are
-  /// overridden with the service's shared pool/cache; everything else
-  /// (lookahead, screen width, budgets via the problem, per-session
-  /// observer) is the caller's.
+  /// Legacy per-optimizer overloads: one-line shims building a
+  /// SessionSpec for open_session(). Kept so pre-redesign call sites
+  /// compile unchanged; new code should construct the spec directly.
   SessionId open_lynceus(const core::OptimizationProblem& problem,
                          core::LynceusOptions options, std::uint64_t seed);
 
-  /// Multi-constraint session (same shared-resource injection).
   SessionId open_multi_constraint(const core::OptimizationProblem& problem,
                                   std::vector<core::ConstraintDef> constraints,
                                   core::MultiConstraintOptions options,
@@ -316,15 +313,14 @@ class TuningService {
   /// "lynceus-service-session" envelope — what the journal emits.
   [[nodiscard]] std::string snapshot_session(SessionId session) const;
 
-  /// Reopens a snapshot into a fresh stepper built with the same problem,
-  /// options and seed as the saved session (the restore_* overloads build
-  /// it with the shared resources injected, mirroring open_*). Accepts
-  /// both a bare stepper snapshot and a snapshot_session() envelope (the
-  /// latter also re-schedules queued retries and restores the policy
-  /// state). The restored session re-enters the ready queue unless
-  /// finished.
+  /// Reopens a snapshot into a caller-built stepper (restore_session is
+  /// preferred). Accepts both a bare stepper snapshot and a
+  /// snapshot_session() envelope (the latter also re-schedules queued
+  /// retries and restores the policy state). The restored session
+  /// re-enters the ready queue unless finished.
   SessionId restore(std::unique_ptr<core::OptimizerStepper> stepper,
                     const std::string& snapshot_json);
+  /// Legacy shim over restore_session(), mirroring open_lynceus.
   SessionId restore_lynceus(const core::OptimizationProblem& problem,
                             core::LynceusOptions options, std::uint64_t seed,
                             const std::string& snapshot_json);
@@ -353,6 +349,10 @@ class TuningService {
  private:
   struct Session {
     std::unique_ptr<core::OptimizerStepper> stepper;
+    /// Failure-handling policy for THIS session: the spec's own when
+    /// open_session() got one, the service-wide Options::run_policy
+    /// otherwise. All retry/timeout/quarantine decisions read this.
+    RunPolicy policy;
     std::size_t in_flight = 0;  ///< runs handed out, not yet told
     bool queued = false;        ///< in ready_
     bool closed = false;

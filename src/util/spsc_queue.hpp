@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file spsc_queue.hpp
+/// A bounded lock-free single-producer/single-consumer ring buffer — the
+/// sibling of the MPMC run queue in mpmc_queue.hpp, specialized for the
+/// point-to-point lanes of the network front-end (src/net/): each
+/// transport thread owns exactly one request lane into each service-loop
+/// shard and each shard owns one completion lane back, so every lane has
+/// one writer and one reader by construction and the CAS traffic of the
+/// MPMC design buys nothing.
+///
+/// Design: classic Lamport ring with cached cursors. The producer owns
+/// `tail_` and keeps a private copy of the consumer's `head_` (refreshed
+/// only when the ring looks full); the consumer mirrors that with `tail_`.
+/// In steady state a push is one relaxed load, one store, one release
+/// store — no shared-line ping-pong until the ring actually fills or
+/// drains.
+///
+/// Properties:
+///   * `try_push` / `try_pop` are wait-free; neither blocks nor allocates
+///     after construction.
+///   * Strict FIFO (single producer, single consumer — there is no race to
+///     order).
+///   * Bounded: `try_push` returns false when full (the value is only
+///     moved from on success), `try_pop` returns false when empty.
+///   * `size()` is approximate under concurrency — monitoring only.
+///
+/// Thread-safety contract: at most ONE thread may call try_push/size
+/// concurrently, and at most ONE thread may call try_pop concurrently.
+/// Distinct queues are fully independent. Violating the single-writer /
+/// single-reader rule is a data race; use MpmcQueue when either side has
+/// more than one thread.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "util/mpmc_queue.hpp"  // kCacheLineSize
+
+namespace lynceus::util {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Builds a ring holding at most `capacity` elements (rounded up to the
+  /// next power of two so index arithmetic is a mask). Capacity must be
+  /// >= 1.
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<T[]>(capacity_)) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscQueue: capacity must be >= 1");
+    }
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Enqueues by move. Returns false (leaving `value` untouched) when the
+  /// ring is full. Producer thread only.
+  bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      // Ring looks full against the cached head — refresh from the
+      // consumer's published cursor before giving up.
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    cells_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& value) {
+    T copy = value;
+    return try_push(std::move(copy));
+  }
+
+  /// Dequeues into `out`. Returns false when the ring is empty. Consumer
+  /// thread only.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head >= tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head >= tail_cache_) return false;
+    }
+    out = std::move(cells_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Approximate occupancy (racy snapshot of both cursors).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<T[]> cells_;
+  /// Producer-owned line: tail cursor + cached consumer head.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  /// Consumer-owned line: head cursor + cached producer tail.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace lynceus::util

@@ -1,0 +1,438 @@
+/// End-to-end tests for the TCP front-end (src/net/): the network
+/// determinism contract (remote sessions byte-identical to solo
+/// in-process runs, across shards and concurrent connections), protocol
+/// hardening (malformed frames get a typed error and a closed connection,
+/// never a crash), snapshot/restore over the wire, and shard
+/// partitioning. Runs under the `net` ctest label; the stressy cases are
+/// also in the TSan CI leg via the `concurrency` label.
+
+#include "net/tuning_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/runner.hpp"
+#include "net/tuning_client.hpp"
+#include "test_helpers.hpp"
+
+namespace lynceus::net {
+namespace {
+
+using core::ConfigId;
+using core::OptimizerResult;
+
+double tiny_energy(const space::ConfigSpace& sp, ConfigId id) {
+  return 10.0 + 4.0 * sp.value(id, 0) + 3.0 * sp.value(id, 1);
+}
+
+eval::TableRunner::MetricsFn tiny_metrics() {
+  const auto sp = lynceus::testing::tiny_space();
+  return [sp](space::ConfigId id) {
+    return std::vector<double>{tiny_energy(*sp, id)};
+  };
+}
+
+core::ConstraintDef tiny_constraint(double cap) {
+  core::ConstraintDef c;
+  c.name = "energy";
+  c.metric_index = 0;
+  c.threshold = [cap](ConfigId) { return cap; };
+  return c;
+}
+
+/// Same fields the in-process service tests pin: trajectory, spend and
+/// recommendation. decision_seconds is wall clock and deliberately
+/// excluded.
+void expect_identical(const OptimizerResult& a, const OptimizerResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id) << "step " << i;
+    EXPECT_EQ(a.history[i].cost, b.history[i].cost) << "step " << i;
+    EXPECT_EQ(a.history[i].feasible, b.history[i].feasible) << "step " << i;
+  }
+  EXPECT_EQ(a.budget_spent, b.budget_spent);
+  EXPECT_EQ(a.recommendation, b.recommendation);
+  EXPECT_EQ(a.recommendation_feasible, b.recommendation_feasible);
+  EXPECT_EQ(a.decisions, b.decisions);
+}
+
+core::LynceusOptions lynceus_options_for(std::uint64_t seed) {
+  core::LynceusOptions o;
+  o.lookahead = seed % 2 == 0 ? 1U : 0U;
+  o.incremental_refit = false;
+  o.branch_parallel = false;
+  return o;
+}
+
+service::SessionSpec remote_lynceus_spec(std::uint64_t seed) {
+  service::SessionSpec spec;
+  spec.optimizer = "lynceus";
+  spec.seed = seed;
+  spec.problem_ref = service::ProblemRef{"test", "tinybowl", 3.0};
+  const core::LynceusOptions o = lynceus_options_for(seed);
+  spec.lookahead = o.lookahead;
+  spec.incremental_refit = false;
+  spec.branch_parallel = false;
+  return spec;
+}
+
+/// The acceptance gate of the redesign: 64 remote sessions, 8 concurrent
+/// client connections, 2 shards, shared per-shard root caches — every
+/// session's trajectory must be byte-identical to its solo in-process
+/// run.
+TEST(NetService, SixtyFourConcurrentRemoteSessionsMatchTheirSoloRuns) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+
+  TuningServer::Options opts;
+  opts.shards = 2;
+  opts.root_cache_capacity = 16;
+  TuningServer server(opts);
+  server.register_problem("test", "tinybowl", problem);
+
+  constexpr std::uint64_t kSessions = 64;
+  constexpr std::uint64_t kClients = 8;
+  std::vector<OptimizerResult> remote(kSessions);
+  std::vector<std::string> errors(kClients);
+
+  std::vector<std::thread> drivers;
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    drivers.emplace_back([&, c] {
+      try {
+        TuningClient client("127.0.0.1", server.port());
+        eval::AsyncTableRunner runner(ds);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> opened;  // seed,id
+        for (std::uint64_t k = 0; k < kSessions / kClients; ++k) {
+          const std::uint64_t seed = 1 + c * (kSessions / kClients) + k;
+          opened.emplace_back(seed, client.open(remote_lynceus_spec(seed)));
+        }
+        client.drain(runner);
+        for (const auto& [seed, id] : opened) {
+          const TuningClient::ResultReply reply = client.result(id);
+          if (!reply.finished) {
+            throw std::runtime_error("session for seed " +
+                                     std::to_string(seed) + " not finished");
+          }
+          remote[seed - 1] = reply.result;
+          client.close_session(id);
+        }
+      } catch (const std::exception& e) {
+        errors[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(errors[c].empty()) << "client " << c << ": " << errors[c];
+  }
+
+  for (std::uint64_t seed = 1; seed <= kSessions; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    eval::TableRunner solo(ds);
+    auto stepper = core::LynceusOptimizer(lynceus_options_for(seed))
+                       .make_stepper(problem, seed);
+    expect_identical(remote[seed - 1], core::drive(*stepper, solo));
+  }
+
+  // Both shards carried sessions, and together they carried all of them.
+  const std::vector<std::size_t> counts = server.shard_session_counts();
+  ASSERT_EQ(counts.size(), 2U);
+  EXPECT_GT(counts[0], 0U);
+  EXPECT_GT(counts[1], 0U);
+  EXPECT_EQ(counts[0] + counts[1], kSessions);
+}
+
+/// All four optimizer kinds over the wire on one connection — exercises
+/// the metrics array + constraint codecs end to end.
+TEST(NetService, MixedOptimizerKindsOverTheWireMatchSolo) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningServer::Options opts;
+  opts.shards = 2;
+  TuningServer server(opts);
+  server.register_problem("test", "tinybowl", problem);
+
+  TuningClient client("127.0.0.1", server.port());
+  eval::AsyncTableRunner runner(ds, tiny_metrics());
+
+  std::vector<std::uint64_t> ids;
+  std::vector<std::function<OptimizerResult()>> solos;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    service::SessionSpec ly = remote_lynceus_spec(seed);
+    ly.lookahead = 1;
+    ids.push_back(client.open(ly));
+    solos.push_back([&, seed] {
+      eval::TableRunner solo(ds, tiny_metrics());
+      core::LynceusOptions o = lynceus_options_for(seed);
+      o.lookahead = 1;
+      auto stepper = core::LynceusOptimizer(o).make_stepper(problem, seed);
+      return core::drive(*stepper, solo);
+    });
+
+    service::SessionSpec mc;
+    mc.optimizer = "multi_constraint";
+    mc.seed = seed;
+    mc.problem_ref = service::ProblemRef{"test", "tinybowl", 3.0};
+    mc.lookahead = 1;
+    mc.incremental_refit = false;
+    mc.branch_parallel = false;
+    service::ConstraintSpec cs;
+    cs.name = "energy";
+    cs.metric_index = 0;
+    cs.threshold = 26.0;
+    mc.constraints.push_back(cs);
+    ids.push_back(client.open(mc));
+    solos.push_back([&, seed] {
+      eval::TableRunner solo(ds, tiny_metrics());
+      core::MultiConstraintOptions o;
+      o.lookahead = 1;
+      o.incremental_refit = false;
+      o.branch_parallel = false;
+      auto stepper = core::MultiConstraintLynceus({tiny_constraint(26.0)}, o)
+                         .make_stepper(problem, seed);
+      return core::drive(*stepper, solo);
+    });
+
+    service::SessionSpec bo;
+    bo.optimizer = "bo";
+    bo.seed = seed;
+    bo.problem_ref = service::ProblemRef{"test", "tinybowl", 3.0};
+    ids.push_back(client.open(bo));
+    solos.push_back([&, seed] {
+      eval::TableRunner solo(ds, tiny_metrics());
+      auto stepper = core::BayesianOptimizer().make_stepper(problem, seed);
+      return core::drive(*stepper, solo);
+    });
+
+    service::SessionSpec rnd;
+    rnd.optimizer = "random";
+    rnd.seed = seed;
+    rnd.problem_ref = service::ProblemRef{"test", "tinybowl", 3.0};
+    ids.push_back(client.open(rnd));
+    solos.push_back([&, seed] {
+      eval::TableRunner solo(ds, tiny_metrics());
+      auto stepper = core::RandomSearch().make_stepper(problem, seed);
+      return core::drive(*stepper, solo);
+    });
+  }
+
+  client.drain(runner);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(ids[i]));
+    const TuningClient::ResultReply reply = client.result(ids[i]);
+    ASSERT_TRUE(reply.finished);
+    EXPECT_FALSE(reply.stop_reason.empty());
+    expect_identical(reply.result, solos[i]());
+  }
+}
+
+TEST(NetService, SnapshotRestoreOverTheWireFinishesByteIdentically) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningServer server;
+  server.register_problem("test", "tinybowl", problem);
+
+  service::SessionSpec spec = remote_lynceus_spec(23);
+  spec.lookahead = 1;
+
+  eval::TableRunner solo(ds);
+  core::LynceusOptions o = lynceus_options_for(23);
+  o.lookahead = 1;
+  auto ref = core::LynceusOptimizer(o).make_stepper(problem, 23);
+  const OptimizerResult golden = core::drive(*ref, solo);
+
+  // Resolve half of the bootstrap batch, snapshot mid-flight, hang up.
+  std::string snap;
+  {
+    TuningClient client("127.0.0.1", server.port());
+    const std::uint64_t id = client.open(spec);
+    std::vector<service::PendingRun> batch;
+    for (std::size_t i = 0; i < problem.bootstrap_samples; ++i) {
+      const auto run = client.take_run(/*wait=*/true);
+      ASSERT_TRUE(run.has_value());
+      batch.push_back(*run);
+    }
+    for (std::size_t i = 0; i < problem.bootstrap_samples / 2; ++i) {
+      core::RunResult r;
+      r.runtime_seconds = ds.observation(batch[i].config).runtime_seconds;
+      r.cost = ds.observation(batch[i].config).cost();
+      const auto status = client.tell(id, batch[i].config, r);
+      ASSERT_FALSE(status.finished);
+    }
+    snap = client.snapshot(id);
+    client.close_session(id);
+  }
+
+  // Restore on a fresh connection: the still-in-flight half is re-pushed,
+  // the told half is not, and the trajectory lands exactly on the solo
+  // run's bytes.
+  TuningClient revived("127.0.0.1", server.port());
+  const std::uint64_t rid = revived.restore(spec, snap);
+  eval::AsyncTableRunner runner(ds);
+  revived.drain(runner);
+  const TuningClient::ResultReply reply = revived.result(rid);
+  ASSERT_TRUE(reply.finished);
+  expect_identical(reply.result, golden);
+}
+
+TEST(NetService, SequentialSessionIdsPartitionEvenlyAcrossShards) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningServer::Options opts;
+  opts.shards = 4;
+  TuningServer server(opts);
+  server.register_problem("test", "tinybowl", problem);
+
+  TuningClient client("127.0.0.1", server.port());
+  eval::AsyncTableRunner runner(ds);
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    service::SessionSpec spec;
+    spec.optimizer = "random";
+    spec.seed = seed;
+    spec.problem_ref = service::ProblemRef{"test", "tinybowl", 3.0};
+    ids.push_back(client.open(spec));
+  }
+  client.drain(runner);
+  for (const std::uint64_t id : ids) {
+    EXPECT_TRUE(client.result(id).finished) << "session " << id;
+  }
+
+  // Ids come from one global counter, so 8 opens land 2 per shard.
+  const std::vector<std::size_t> counts = server.shard_session_counts();
+  ASSERT_EQ(counts.size(), 4U);
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    EXPECT_EQ(counts[s], 2U) << "shard " << s;
+  }
+}
+
+/// Reads messages until the connection drops, returning the last error
+/// frame seen (the server flushes the typed error before closing).
+ServerMessage last_error_before_close(TuningClient& client) {
+  ServerMessage last;
+  last.type = ServerMessage::Type::Closed;  // sentinel: no error seen
+  try {
+    for (;;) {
+      const ServerMessage m = client.read_message();
+      if (m.type == ServerMessage::Type::Error) last = m;
+    }
+  } catch (const SocketError&) {
+    // Connection closed — exactly what a fatal error promises.
+  }
+  return last;
+}
+
+void expect_fatal_error(const std::string& raw_bytes,
+                        const std::string& expected_code,
+                        std::uint16_t port) {
+  SCOPED_TRACE("expecting " + expected_code);
+  TuningClient client("127.0.0.1", port);
+  client.send_raw(raw_bytes);
+  const ServerMessage err = last_error_before_close(client);
+  ASSERT_EQ(err.type, ServerMessage::Type::Error);
+  EXPECT_EQ(err.code, expected_code);
+  EXPECT_TRUE(err.fatal);
+}
+
+TEST(NetService, MalformedInputGetsTypedErrorAndClosedConnection) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningServer server;
+  server.register_problem("test", "tinybowl", problem);
+  const std::uint16_t port = server.port();
+
+  // Framing violations → "bad_frame".
+  expect_fatal_error(std::string(4, '\0'), "bad_frame", port);  // zero length
+  expect_fatal_error(std::string(4, '\xff'), "bad_frame", port);  // 4 GiB
+  {
+    // Declared length just past the server's cap.
+    std::string header(4, '\0');
+    const std::uint32_t len = kDefaultMaxFrameBytes + 1;
+    for (int i = 0; i < 4; ++i) {
+      header[i] = static_cast<char>((len >> (24 - 8 * i)) & 0xff);
+    }
+    expect_fatal_error(header, "bad_frame", port);
+  }
+
+  // Well-framed garbage → "bad_message".
+  expect_fatal_error(encode_frame("this is not json"), "bad_message", port);
+  expect_fatal_error(encode_frame("{\"type\":\"frobnicate\",\"req\":1}"),
+                     "bad_message", port);
+  expect_fatal_error(encode_frame("{\"req\":1}"), "bad_message", port);
+  // 300 nesting levels blows util/json's depth bound, not the stack.
+  expect_fatal_error(encode_frame(std::string(300, '[') +
+                                  std::string(300, ']')),
+                     "bad_message", port);
+
+  // Well-formed requests the service rejects → "bad_request", also fatal.
+  {
+    TuningClient client("127.0.0.1", port);
+    core::RunResult r;
+    try {
+      client.tell(9999, 0, r);  // tell before any open
+      FAIL() << "tell for an unknown session did not error";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), "bad_request");
+    }
+    EXPECT_THROW((void)client.read_message(), SocketError);
+  }
+  {
+    TuningClient client("127.0.0.1", port);
+    service::SessionSpec spec;
+    spec.optimizer = "lynceus";
+    spec.problem_ref = service::ProblemRef{"no-such-suite", "nope", 3.0};
+    try {
+      (void)client.open(spec);  // unresolvable problem reference
+      FAIL() << "open with an unresolvable problem did not error";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), "bad_request");
+    }
+  }
+
+  // A peer that vanishes mid-frame is dropped without ceremony.
+  {
+    TuningClient client("127.0.0.1", port);
+    client.send_raw(std::string("\x00\x00", 2));  // half a header, then gone
+  }
+
+  // Through all of that, the server never crashed and still serves: a
+  // full session on a fresh connection completes normally.
+  TuningClient survivor("127.0.0.1", port);
+  service::SessionSpec spec;
+  spec.optimizer = "random";
+  spec.seed = 5;
+  spec.problem_ref = service::ProblemRef{"test", "tinybowl", 3.0};
+  const std::uint64_t id = survivor.open(spec);
+  eval::AsyncTableRunner runner(ds);
+  survivor.drain(runner);
+  EXPECT_TRUE(survivor.result(id).finished);
+}
+
+TEST(NetService, StopClosesClientConnections) {
+  const auto problem = lynceus::testing::tiny_problem();
+  auto server = std::make_unique<TuningServer>();
+  server->register_problem("test", "tinybowl", problem);
+  TuningClient client("127.0.0.1", server->port());
+  service::SessionSpec spec;
+  spec.optimizer = "random";
+  spec.seed = 1;
+  spec.problem_ref = service::ProblemRef{"test", "tinybowl", 3.0};
+  (void)client.open(spec);
+  server->stop();
+  // Reads now terminate instead of hanging forever.
+  EXPECT_THROW(
+      {
+        for (;;) (void)client.read_message();
+      },
+      SocketError);
+}
+
+}  // namespace
+}  // namespace lynceus::net

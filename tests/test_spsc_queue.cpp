@@ -1,0 +1,125 @@
+/// Unit + stress coverage for util::SpscQueue — the lanes wiring the
+/// network front-end's acceptor/transport/service-loop threads
+/// (src/net/tuning_server.hpp). Stress cases run under the `concurrency`
+/// ctest label, so the TSan CI leg checks the two-index Lamport protocol
+/// (and its cached-cursor fast path) for ordering bugs.
+
+#include "util/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lynceus::util {
+namespace {
+
+TEST(SpscQueue, SingleThreadedFifoAndEmptyFull) {
+  SpscQueue<int> q(3);  // rounds up to 4
+  EXPECT_EQ(q.capacity(), 4U);
+  int out = 0;
+  EXPECT_FALSE(q.try_pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);  // FIFO
+  }
+  EXPECT_FALSE(q.try_pop(out));
+  // Wrap-around lap behaves identically.
+  for (int i = 10; i < 14; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 10; i < 14; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscQueue<int>(0), std::invalid_argument);
+}
+
+TEST(SpscQueue, FailedPushDoesNotConsumeMoveOnlyValue) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(1)));
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(2)));
+  auto keep = std::make_unique<int>(3);
+  EXPECT_FALSE(q.try_push(std::move(keep)));
+  ASSERT_NE(keep, nullptr);  // only moved from on success
+  EXPECT_EQ(*keep, 3);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(*out, 1);
+}
+
+/// One producer, one consumer, tiny ring: every element must arrive
+/// exactly once, in order — the whole point of an SPSC lane. Small
+/// capacity keeps the full/empty edges and cached-cursor refreshes hot.
+void stress(std::size_t capacity, std::size_t items) {
+  SpscQueue<std::uint64_t> q(capacity);
+  std::thread producer([&] {
+    Backoff backoff;
+    for (std::uint64_t i = 0; i < items;) {
+      if (q.try_push(std::uint64_t(i))) {
+        ++i;
+        backoff.reset();
+      } else {
+        backoff.spin();
+      }
+    }
+  });
+  std::uint64_t expected = 0;
+  Backoff backoff;
+  while (expected < items) {
+    std::uint64_t v = 0;
+    if (q.try_pop(v)) {
+      ASSERT_EQ(v, expected);  // in order, none lost or duplicated
+      ++expected;
+      backoff.reset();
+    } else {
+      backoff.spin();
+    }
+  }
+  std::uint64_t leftover = 0;
+  EXPECT_FALSE(q.try_pop(leftover));
+  producer.join();
+}
+
+TEST(SpscQueue, StressTinyCapacity) { stress(2, 200'000); }
+
+TEST(SpscQueue, StressTypicalLaneCapacity) { stress(1024, 200'000); }
+
+/// Non-trivial payloads (heap-owning strings) cross the lane intact —
+/// the net layer moves encoded frames and decoded requests through it.
+TEST(SpscQueue, StressStringPayload) {
+  SpscQueue<std::string> q(8);
+  constexpr std::size_t kItems = 20'000;
+  std::thread producer([&] {
+    Backoff backoff;
+    for (std::size_t i = 0; i < kItems;) {
+      if (q.try_push(std::to_string(i) + "-payload")) {
+        ++i;
+        backoff.reset();
+      } else {
+        backoff.spin();
+      }
+    }
+  });
+  Backoff backoff;
+  for (std::size_t i = 0; i < kItems;) {
+    std::string v;
+    if (q.try_pop(v)) {
+      ASSERT_EQ(v, std::to_string(i) + "-payload");
+      ++i;
+      backoff.reset();
+    } else {
+      backoff.spin();
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace lynceus::util

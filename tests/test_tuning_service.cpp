@@ -1,5 +1,7 @@
 #include "service/tuning_service.hpp"
 
+#include "service/session_spec.hpp"
+
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -79,7 +81,7 @@ TEST(TuningService, EightMixedSessionsMatchTheirSoloRuns) {
     core::LynceusOptions lopts;
     lopts.lookahead = 1;
     lopts.incremental_refit = false;
-    ids.push_back(service.open_lynceus(problem, lopts, seed));
+    ids.push_back(service.open_session(SessionSpec::lynceus(problem, lopts, seed)));
     solos.push_back([&, lopts, seed] {
       eval::TableRunner solo(ds, tiny_metrics());
       auto stepper =
@@ -90,8 +92,8 @@ TEST(TuningService, EightMixedSessionsMatchTheirSoloRuns) {
     core::MultiConstraintOptions mopts;
     mopts.lookahead = 1;
     mopts.incremental_refit = false;
-    ids.push_back(service.open_multi_constraint(
-        problem, {tiny_constraint(26.0)}, mopts, seed));
+    ids.push_back(service.open_session(SessionSpec::multi_constraint(
+        problem, {tiny_constraint(26.0)}, mopts, seed)));
     solos.push_back([&, mopts, seed] {
       eval::TableRunner solo(ds, tiny_metrics());
       auto stepper =
@@ -100,14 +102,14 @@ TEST(TuningService, EightMixedSessionsMatchTheirSoloRuns) {
       return core::drive(*stepper, solo);
     });
 
-    ids.push_back(service.open_bo(problem, core::BoOptions{}, seed));
+    ids.push_back(service.open_session(SessionSpec::bo(problem, core::BoOptions{}, seed)));
     solos.push_back([&, seed] {
       eval::TableRunner solo(ds, tiny_metrics());
       auto stepper = core::BayesianOptimizer().make_stepper(problem, seed);
       return core::drive(*stepper, solo);
     });
 
-    ids.push_back(service.open_random(problem, seed));
+    ids.push_back(service.open_session(SessionSpec::random(problem, seed)));
     solos.push_back([&, seed] {
       eval::TableRunner solo(ds, tiny_metrics());
       auto stepper = core::RandomSearch().make_stepper(problem, seed);
@@ -142,7 +144,7 @@ TEST(TuningService, SixtyFourInterleavedSessionsMatchTheirSoloRuns) {
     core::LynceusOptions opts;
     opts.lookahead = seed % 2 == 0 ? 1U : 0U;
     opts.incremental_refit = false;
-    ids.push_back(service.open_lynceus(problem, opts, seed));
+    ids.push_back(service.open_session(SessionSpec::lynceus(problem, opts, seed)));
   }
   ASSERT_EQ(service.session_count(), 64U);
 
@@ -178,7 +180,7 @@ TEST(TuningService, SharedCacheHitsAcrossIdenticalSessionsKeepTrajectories) {
   opts.incremental_refit = false;
   std::vector<SessionId> ids;
   for (int i = 0; i < 4; ++i) {
-    ids.push_back(service.open_lynceus(problem, opts, 17));
+    ids.push_back(service.open_session(SessionSpec::lynceus(problem, opts, 17)));
   }
   pump(service, async);
 
@@ -198,7 +200,7 @@ TEST(TuningService, RoundRobinSchedulingIsDeterministic) {
     TuningService service;
     std::vector<SessionId> opened;
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      opened.push_back(service.open_random(problem, seed));
+      opened.push_back(service.open_session(SessionSpec::random(problem, seed)));
     }
     std::vector<SessionId> order;
     for (const PendingRun& run : service.next_runs()) {
@@ -222,7 +224,7 @@ TEST(TuningService, MaxRunsCapsTheSweepAndKeepsSessionsQueued) {
   const auto problem = lynceus::testing::tiny_problem();
   TuningService service;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    (void)service.open_random(problem, seed);
+    (void)service.open_session(SessionSpec::random(problem, seed));
   }
   // One session's bootstrap batch at a time.
   const auto first = service.next_runs(1);
@@ -260,7 +262,7 @@ TEST(TuningService, SnapshotRestoreMidFlightFinishesByteIdentically) {
 
   TuningService service;
   eval::AsyncTableRunner async(ds);
-  const SessionId id = service.open_lynceus(problem, opts, 23);
+  const SessionId id = service.open_session(SessionSpec::lynceus(problem, opts, 23));
   // Launch the bootstrap, resolve half of it, snapshot mid-flight.
   for (const auto& run : service.next_runs()) {
     async.submit(run.session, run.config);
@@ -277,7 +279,7 @@ TEST(TuningService, SnapshotRestoreMidFlightFinishesByteIdentically) {
   // still-in-flight runs are re-asked for, already-told ones are not.
   TuningService revived;
   eval::AsyncTableRunner async2(ds);
-  const SessionId rid = revived.restore_lynceus(problem, opts, 23, snap);
+  const SessionId rid = revived.restore_session(SessionSpec::lynceus(problem, opts, 23), snap);
   pump(revived, async2);
   ASSERT_TRUE(revived.finished(rid));
   expect_identical(revived.result(rid), golden);
@@ -296,7 +298,7 @@ TEST(TuningService, TellErrorPathsLeaveStateIntact) {
 
   TuningService service;
   eval::AsyncTableRunner async(ds);
-  const SessionId id = service.open_lynceus(problem, opts, 29);
+  const SessionId id = service.open_session(SessionSpec::lynceus(problem, opts, 29));
   const auto batch = service.next_runs();
   ASSERT_GE(batch.size(), 2U);
 
@@ -353,7 +355,7 @@ TEST(TuningService, DrainUnderInjectedFailuresReachesIdle) {
 
   std::vector<SessionId> ids;
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
-    ids.push_back(service.open_random(problem, seed));
+    ids.push_back(service.open_session(SessionSpec::random(problem, seed)));
   }
   drain(service, async);
 
@@ -374,7 +376,7 @@ TEST(TuningService, ValidatesSessionIdsAndTells) {
   TuningService service;
   core::RunResult r;
   EXPECT_THROW(service.tell(0, 0, r), std::invalid_argument);
-  const SessionId id = service.open_random(problem, 1);
+  const SessionId id = service.open_session(SessionSpec::random(problem, 1));
   EXPECT_THROW(service.tell(id, 0, r), std::invalid_argument);  // not asked
   EXPECT_THROW((void)service.result(id + 1), std::invalid_argument);
   service.close(id);

@@ -98,6 +98,15 @@ def load_entries(summary):
                          "no scaling to gate)")
             continue
         entries[key] = e["p50_ms"]
+    for e in summary.get("net_throughput", []):
+        # Network front-end (loopback TCP) throughput: gated on the
+        # per-decision latency of the distributed drain AND the p99 tell
+        # round-trip latency (the remote driver's hot path). Session,
+        # client and shard counts are all part of the key.
+        key = (f"net/{e['space']}/s{e['sessions']}/c{e['clients']}"
+               f"/sh{e['shards']}")
+        entries[f"{key}/decision"] = e["ms_per_decision"]
+        entries[f"{key}/tell_p99"] = e["tell_p99_ms"]
     for e in summary.get("session_scaling", []):
         # Inter-session throughput scaling (FIFO loop vs the throughput
         # worker pool): the worker count is part of the key, and

@@ -29,6 +29,9 @@
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "eval/runner.hpp"
+#include "net/tuning_client.hpp"
+#include "net/tuning_server.hpp"
+#include "service/session_spec.hpp"
 #include "service/tuning_service.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
@@ -94,6 +97,22 @@ Flags:
               TuningService retry policy; otherwise a synchronous re-run.
   --run-timeout T    kill any attempt after T seconds — the result
               becomes a censored timed-out observation at the cap
+  --serve PORT       run a network tuning service on 127.0.0.1:PORT
+              (PORT 0 = ephemeral, printed at startup) and block until
+              stdin reaches EOF. Transport threads frame/decode, --shards
+              independent service loops decide; sessions are
+              hash-partitioned across them. --max-retries/--run-timeout
+              set the server's default RunPolicy; the tuning flags are
+              unused (clients send their own SessionSpec).
+  --shards K         with --serve: number of service loops (default 2)
+  --connect HOST:PORT  tune over the network instead of in process: open
+              --sessions sessions (default 1) built from the usual
+              suite/job/optimizer flags, execute the profiling runs the
+              server pushes against the local replay table, and tell the
+              results back. Per-session trajectories are byte-identical
+              to the in-process run (contract in src/net/
+              tuning_server.hpp). Incompatible with --dataset, --trace,
+              --snapshot/--resume and --throughput-workers.
   --trace     print the per-decision table
   --list      list the suite's jobs and exit
   --help      this text
@@ -265,6 +284,37 @@ std::unique_ptr<core::OptimizerStepper> make_stepper(
   return stepper;
 }
 
+/// The CLI flag set as one declarative SessionSpec — the same spec drives
+/// the in-process service (--sessions) and the wire (--connect).
+service::SessionSpec make_spec(const OptimizerChoice& c,
+                               const FaultChoice& faults, std::uint64_t seed) {
+  service::SessionSpec spec;
+  if (c.name == "lynceus") {
+    spec.optimizer = "lynceus";
+    spec.lookahead = c.la;
+    spec.screen_width = c.screen;
+    // Same on-only semantics as the env toggles (see kUsage).
+    spec.incremental_refit = spec.incremental_refit || c.incremental;
+    spec.branch_parallel = spec.branch_parallel || c.branch_parallel;
+  } else if (c.name == "bo") {
+    spec.optimizer = "bo";
+  } else if (c.name == "rnd") {
+    spec.optimizer = "random";
+  } else {
+    throw std::invalid_argument("optimizer '" + c.name +
+                                "' is not session-capable "
+                                "(expected lynceus | bo | rnd)");
+  }
+  spec.seed = seed;
+  if (faults.max_retries > 0 || std::isfinite(faults.run_timeout)) {
+    service::RunPolicy policy;
+    policy.max_attempts = faults.max_retries + 1;
+    policy.run_timeout_seconds = faults.run_timeout;
+    spec.run_policy = policy;
+  }
+  return spec;
+}
+
 void print_trace(const core::TraceRecorder& trace,
                  const cloud::Dataset& dataset) {
   std::printf("\niter | viable | chosen config\n");
@@ -319,8 +369,6 @@ int run_sessions(const cloud::Dataset& dataset,
   } else {
     sopts.pool_workers = util::default_worker_count();
   }
-  sopts.run_policy.max_attempts = faults.max_retries + 1;
-  sopts.run_policy.run_timeout_seconds = faults.run_timeout;
   // No shared root cache: sessions carry distinct seeds, so their root
   // states (bootstrap rows + fit seeds) never coincide and exact-key hits
   // are impossible — the cache would only burn memory here. Identical
@@ -330,8 +378,9 @@ int run_sessions(const cloud::Dataset& dataset,
 
   std::vector<service::SessionId> ids;
   for (std::size_t i = 0; i < sessions; ++i) {
-    ids.push_back(svc.open(make_stepper(choice, problem, seed + i, nullptr,
-                                        svc.shared_pool())));
+    service::SessionSpec spec = make_spec(choice, faults, seed + i);
+    spec.problem = &problem;
+    ids.push_back(svc.open_session(spec));
   }
 
   eval::AsyncTableRunner async(dataset);
@@ -360,18 +409,113 @@ int run_sessions(const cloud::Dataset& dataset,
   return 0;
 }
 
+/// --serve PORT: run the TCP front-end until stdin reaches EOF. The
+/// tuning flags are unused — remote clients describe their sessions.
+int run_serve(std::uint16_t port, std::size_t shards,
+              const FaultChoice& faults) {
+  net::TuningServer::Options opts;
+  opts.port = port;
+  opts.shards = shards;
+  opts.run_policy.max_attempts = faults.max_retries + 1;
+  opts.run_policy.run_timeout_seconds = faults.run_timeout;
+  net::TuningServer server(opts);
+  std::printf("serving on 127.0.0.1:%u (%zu shards) — EOF on stdin stops\n",
+              static_cast<unsigned>(server.port()), shards);
+  std::fflush(stdout);
+  int c;
+  while ((c = std::fgetc(stdin)) != EOF) {
+  }
+  server.stop();
+  return 0;
+}
+
+/// --connect HOST:PORT: the remote-driver loop. The server owns the
+/// optimizer state; this side resolves the same job locally and replays
+/// the runs the server pushes.
+int run_connect(const std::string& target, const std::string& suite,
+                const cloud::Dataset& dataset, double b,
+                const OptimizerChoice& choice, const FaultChoice& faults,
+                std::uint64_t seed, std::size_t sessions) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == target.size()) {
+    throw std::invalid_argument("--connect expects HOST:PORT");
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::stoi(target.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    throw std::invalid_argument("--connect: port out of range");
+  }
+
+  net::TuningClient client(host, static_cast<std::uint16_t>(port));
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    service::SessionSpec spec = make_spec(choice, faults, seed + i);
+    spec.problem_ref =
+        service::ProblemRef{suite, dataset.job_name(), b};
+    ids.push_back(client.open(spec));
+  }
+  std::printf("opened %zu remote session(s) on %s\n", sessions,
+              target.c_str());
+
+  eval::AsyncTableRunner async(dataset);
+  if (faults.plan.active()) async.set_fault_plan(faults.plan);
+  client.drain(async);
+
+  int exit_code = 0;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const net::TuningClient::ResultReply reply = client.result(ids[i]);
+    if (sessions == 1) {
+      print_summary(dataset, eval::make_problem(dataset, b), reply.result);
+      if (!reply.result.recommendation) exit_code = 1;
+      continue;
+    }
+    const long rec = reply.result.recommendation
+                         ? static_cast<long>(*reply.result.recommendation)
+                         : -1L;
+    std::printf("  session %zu (seed %llu): %3zu runs (%zu failed), "
+                "$%.4f spent, rec=%ld, CNO %.3f — %s\n",
+                i, static_cast<unsigned long long>(seed + i),
+                reply.result.explorations(), reply.result.failures.size(),
+                reply.result.budget_spent, rec,
+                eval::cno(dataset, reply.result), reply.stop_reason.c_str());
+    if (!reply.result.recommendation) exit_code = 1;
+  }
+  for (std::size_t i = 0; i < sessions; ++i) client.close_session(ids[i]);
+  return exit_code;
+}
+
 int run(int argc, char** argv) {
   const util::CliFlags flags(
       argc, argv,
       {"suite", "job", "optimizer", "la", "screen", "b", "seed", "dataset",
        "incremental", "branch-parallel", "sessions", "throughput-workers",
        "snapshot", "snapshot-after", "resume", "fault-rate", "fault-seed",
-       "straggler-factor", "max-retries", "run-timeout", "trace", "list",
-       "help"});
+       "straggler-factor", "max-retries", "run-timeout", "serve", "shards",
+       "connect", "trace", "list", "help"});
 
   if (flags.get_bool("help", false)) {
     std::fputs(kUsage, stdout);
     return 0;
+  }
+
+  if (flags.has("serve")) {
+    if (flags.has("connect")) {
+      throw std::invalid_argument("--serve and --connect are exclusive");
+    }
+    const std::int64_t port = flags.get_int("serve", 0);
+    if (port < 0 || port > 65535) {
+      throw std::invalid_argument("--serve: port out of range");
+    }
+    const std::int64_t shards = flags.get_int("shards", 2);
+    if (shards < 1) {
+      throw std::invalid_argument("--shards must be >= 1");
+    }
+    return run_serve(static_cast<std::uint16_t>(port),
+                     static_cast<std::size_t>(shards), parse_faults(flags));
+  }
+  if (flags.has("shards")) {
+    throw std::invalid_argument("--shards requires --serve");
   }
 
   const auto all = suite_datasets(flags.get_string("suite", "tf"));
@@ -409,6 +553,21 @@ int run(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("sessions", 1));
   const auto throughput_workers =
       static_cast<std::size_t>(flags.get_int("throughput-workers", 0));
+  if (flags.has("connect")) {
+    if (flags.has("dataset") || flags.get_bool("trace", false) ||
+        flags.has("snapshot") || flags.has("resume") ||
+        throughput_workers > 0) {
+      throw std::invalid_argument(
+          "--connect is incompatible with --dataset, --trace, --snapshot, "
+          "--resume and --throughput-workers");
+    }
+    if (sessions < 1) {
+      throw std::invalid_argument("--sessions must be >= 1");
+    }
+    return run_connect(flags.get_string("connect", ""),
+                       flags.get_string("suite", "tf"), *dataset, b, choice,
+                       faults, seed, sessions);
+  }
   if (throughput_workers > 0 && sessions <= 1) {
     throw std::invalid_argument(
         "--throughput-workers schedules concurrent sessions and requires "

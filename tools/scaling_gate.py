@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Scaling recorder + gate over bench_micro's decision_scaling and
-session_scaling sections (the CI `scaling` job's checks).
+"""Scaling recorder + gate over bench_micro's decision_scaling,
+session_scaling and net_throughput sections (the CI `scaling` job's
+checks).
 
 Renders the measured curves as Markdown tables (stdout and, when
 GITHUB_STEP_SUMMARY is set, the job summary) and enforces two bars:
@@ -13,6 +14,10 @@ GITHUB_STEP_SUMMARY is set, the job summary) and enforces two bars:
     concurrent sessions in throughput mode at the maximum measured worker
     count must reach `--session-min-speedup` (default 3x) over the
     single-threaded FIFO loop (workers=0).
+
+A net_throughput section (the loopback TCP front-end, src/net/) is
+rendered alongside the other tables when present — recorded for the
+curve, gated by compare_bench.py in the build matrix rather than here.
 
 Runners whose maximum is below 2 workers cannot measure scaling and pass
 with a skip note — the 1-core dev box records w in {0, 1} only. A missing
@@ -63,6 +68,23 @@ def render_session_table(entries):
             f"| {e['space']} | {e['sessions']} | {e['workers']} | "
             f"{e.get('decisions', 0)} | {e['decisions_per_sec']:.0f} | "
             + (f"{speedup:.2f}x |" if speedup else "— |"))
+    return "\n".join(lines)
+
+
+def render_net_table(entries):
+    lines = [
+        "## net_throughput (loopback TCP front-end)",
+        "",
+        "| space | sessions | clients | shards | decisions | decisions/s | "
+        "tell p50 (ms) | tell p99 (ms) |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for e in entries:
+        lines.append(
+            f"| {e['space']} | {e['sessions']} | {e['clients']} | "
+            f"{e['shards']} | {e.get('decisions', 0)} | "
+            f"{e['decisions_per_sec']:.0f} | {e['tell_p50_ms']:.3f} | "
+            f"{e['tell_p99_ms']:.3f} |")
     return "\n".join(lines)
 
 
@@ -153,6 +175,12 @@ def main():
     session_entries = summary.get("session_scaling", [])
     if session_entries:
         report += "\n\n" + render_session_table(session_entries)
+    # The TCP front-end curve rides along for the record (rendered next to
+    # session_scaling so in-process vs over-the-wire throughput read side
+    # by side); its regression gate lives in compare_bench.py, not here.
+    net_entries = summary.get("net_throughput", [])
+    if net_entries:
+        report += "\n\n" + render_net_table(net_entries)
     print(report)
     step = os.environ.get("GITHUB_STEP_SUMMARY")
     if step:

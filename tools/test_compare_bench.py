@@ -19,7 +19,7 @@ import compare_bench  # noqa: E402
 
 
 def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None,
-            svc=None, sscale=None, soa=None):
+            svc=None, sscale=None, soa=None, net=None):
     """Builds a minimal BENCH_micro.json-shaped dict."""
     out = {"bench": "micro_decision", "unit": "ms"}
     out["spaces"] = [
@@ -37,7 +37,17 @@ def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None,
     out["session_throughput"] = svc or []
     out["session_scaling"] = sscale or []
     out["soa_predict"] = soa or []
+    out["net_throughput"] = net or []
     return out
+
+
+def net_entry(space="scout_0", sessions=64, clients=8, shards=2,
+              ms_per_decision=6.0, tell_p99=3.0):
+    return {"space": space, "optimizer": "lynceus_la1", "sessions": sessions,
+            "clients": clients, "shards": shards,
+            "ms_per_decision": ms_per_decision,
+            "decisions_per_sec": 1000.0 / ms_per_decision,
+            "tell_p50_ms": tell_p99 / 2.0, "tell_p99_ms": tell_p99}
 
 
 def soa_entry(space="tensorflow_cnn", node_walk=8.0, batch=2.0,
@@ -241,6 +251,33 @@ class CompareBenchTest(unittest.TestCase):
                      "ms_per_decision": 25.0}])
         self.assertEqual(self.run_gate(base, new), 1)
         self.assertEqual(self.run_gate(base, base), 0)
+
+    def test_net_throughput_keys_on_sessions_clients_and_shards(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0)]}
+        flat, notes = compare_bench.load_entries(
+            summary(spaces_p50=entries,
+                    net=[net_entry(sessions=8, clients=1),
+                         net_entry(sessions=64, clients=8)]))
+        self.assertIn("net/scout_0/s8/c1/sh2/decision", flat)
+        self.assertIn("net/scout_0/s8/c1/sh2/tell_p99", flat)
+        self.assertIn("net/scout_0/s64/c8/sh2/decision", flat)
+        self.assertEqual(flat["net/scout_0/s64/c8/sh2/decision"], 6.0)
+        self.assertEqual(flat["net/scout_0/s64/c8/sh2/tell_p99"], 3.0)
+        self.assertEqual(notes, [])
+
+    def test_net_throughput_decision_regression_fails(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}
+        base = summary(spaces_p50=entries, net=[net_entry()])
+        new = summary(spaces_p50=entries,
+                      net=[net_entry(ms_per_decision=30.0)])
+        self.assertEqual(self.run_gate(base, new), 1)
+        self.assertEqual(self.run_gate(base, base), 0)
+
+    def test_net_throughput_tell_p99_regression_fails(self):
+        entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}
+        base = summary(spaces_p50=entries, net=[net_entry(tell_p99=3.0)])
+        new = summary(spaces_p50=entries, net=[net_entry(tell_p99=15.0)])
+        self.assertEqual(self.run_gate(base, new), 1)
 
     def test_soa_predict_keys_batch_walk_and_decision(self):
         flat, notes = compare_bench.load_entries(

@@ -28,6 +28,13 @@ def sentry(workers, dps, speedup=0.0, sessions=64, space="scout_0"):
             "decisions_per_sec": dps, "speedup_vs_w0": speedup}
 
 
+def nentry(sessions=64, clients=8, shards=2, dps=836.9, p50=4.0, p99=28.5):
+    return {"space": "scout_0", "optimizer": "lynceus_la1",
+            "sessions": sessions, "clients": clients, "shards": shards,
+            "decisions": 372, "ms_per_decision": 1.19,
+            "decisions_per_sec": dps, "tell_p50_ms": p50, "tell_p99_ms": p99}
+
+
 def passing_decision_curve():
     return [entry(1, 20.0), entry(3, 10.0, speedup=2.0)]
 
@@ -183,6 +190,44 @@ class ScalingGateTest(unittest.TestCase):
         self.assertEqual(
             self.run_main({"decision_scaling": passing_decision_curve(),
                            "session_scaling": sessions}), 1)
+
+    def test_net_throughput_rendered_next_to_session_scaling(self):
+        # The TCP front-end curve is recorded in the job summary alongside
+        # session_scaling (so in-process vs over-the-wire throughput read
+        # side by side) but carries no gate of its own here — a weak
+        # net number must not fail the scaling job.
+        sessions = [sentry(0, 3000.0), sentry(7, 11000.0, speedup=3.7)]
+        summary = {"decision_scaling": passing_decision_curve(),
+                   "session_scaling": sessions,
+                   "net_throughput": [nentry(sessions=8, clients=1,
+                                             dps=285.9, p50=1.4, p99=3.5),
+                                      nentry()]}
+        with tempfile.TemporaryDirectory() as tmp:
+            step = os.path.join(tmp, "summary.md")
+            with mock.patch.dict(os.environ,
+                                 {"GITHUB_STEP_SUMMARY": step}):
+                self.assertEqual(self.run_main(summary), 0)
+            with open(step) as f:
+                text = f.read()
+        self.assertIn("net_throughput", text)
+        self.assertIn("| scout_0 | 64 | 8 | 2 | 372 | 837 | 4.000 | "
+                      "28.500 |", text)
+        # Both tables land in one summary, in-process first.
+        self.assertLess(text.index("session_scaling"),
+                        text.index("net_throughput"))
+
+    def test_missing_net_section_renders_nothing_and_passes(self):
+        summary = {"decision_scaling": passing_decision_curve(),
+                   "session_scaling": [sentry(0, 3000.0),
+                                       sentry(7, 11000.0, speedup=3.7)]}
+        with tempfile.TemporaryDirectory() as tmp:
+            step = os.path.join(tmp, "summary.md")
+            with mock.patch.dict(os.environ,
+                                 {"GITHUB_STEP_SUMMARY": step}):
+                self.assertEqual(self.run_main(summary), 0)
+            with open(step) as f:
+                text = f.read()
+        self.assertNotIn("net_throughput", text)
 
     def test_writes_step_summary_when_requested(self):
         entries = [entry(1, 20.0), entry(3, 10.0, speedup=2.0)]
