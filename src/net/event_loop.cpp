@@ -1,0 +1,201 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
+namespace lynceus::net {
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+#ifdef __linux__
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) die("epoll_create1");
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+namespace {
+
+epoll_event make_ev(std::uint64_t data, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u) |
+              EPOLLRDHUP;
+  ev.data.u64 = data;
+  return ev;
+}
+
+}  // namespace
+
+void EventLoop::add(int fd, std::uint64_t data, bool want_read,
+                    bool want_write) {
+  epoll_event ev = make_ev(data, want_read, want_write);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) die("epoll_ctl add");
+}
+
+void EventLoop::modify(int fd, std::uint64_t data, bool want_read,
+                       bool want_write) {
+  epoll_event ev = make_ev(data, want_read, want_write);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) die("epoll_ctl mod");
+}
+
+void EventLoop::remove(int fd) {
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    die("epoll_ctl del");
+  }
+}
+
+std::size_t EventLoop::wait(int timeout_ms) {
+  constexpr std::size_t kMaxEvents = 256;
+  if (raw_.size() < kMaxEvents * sizeof(epoll_event)) {
+    raw_.resize(kMaxEvents * sizeof(epoll_event));
+  }
+  auto* evs = reinterpret_cast<epoll_event*>(raw_.data());
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, evs, static_cast<int>(kMaxEvents), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) die("epoll_wait");
+  events_.clear();
+  for (int i = 0; i < n; ++i) {
+    Event e;
+    e.data = evs[i].data.u64;
+    e.readable = (evs[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0;
+    e.writable = (evs[i].events & EPOLLOUT) != 0;
+    e.broken = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    events_.push_back(e);
+  }
+  return events_.size();
+}
+
+WakeupFd::WakeupFd() {
+  const int fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (fd < 0) die("eventfd");
+  read_fd_ = write_fd_ = fd;
+}
+
+WakeupFd::~WakeupFd() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+void WakeupFd::notify(bool force) noexcept {
+  if (!take_ring(force)) return;  // consumer awake: it will sweep lanes
+  const std::uint64_t one = 1;
+  // EAGAIN means the counter is saturated — the loop is already awake.
+  [[maybe_unused]] ssize_t rc = ::write(write_fd_, &one, sizeof(one));
+}
+
+void WakeupFd::drain() noexcept {
+  std::uint64_t count;
+  [[maybe_unused]] ssize_t rc = ::read(read_fd_, &count, sizeof(count));
+}
+
+#else  // poll(2) fallback
+
+EventLoop::EventLoop() = default;
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add(int fd, std::uint64_t data, bool want_read,
+                    bool want_write) {
+  interests_.push_back(Interest{fd, data, want_read, want_write});
+}
+
+void EventLoop::modify(int fd, std::uint64_t data, bool want_read,
+                       bool want_write) {
+  for (Interest& in : interests_) {
+    if (in.fd == fd) {
+      in = Interest{fd, data, want_read, want_write};
+      return;
+    }
+  }
+  throw std::runtime_error("EventLoop::modify: fd not registered");
+}
+
+void EventLoop::remove(int fd) {
+  for (std::size_t i = 0; i < interests_.size(); ++i) {
+    if (interests_[i].fd == fd) {
+      interests_.erase(interests_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  throw std::runtime_error("EventLoop::remove: fd not registered");
+}
+
+std::size_t EventLoop::wait(int timeout_ms) {
+  if (raw_.size() < interests_.size() * sizeof(pollfd)) {
+    raw_.resize(interests_.size() * sizeof(pollfd));
+  }
+  auto* pfds = reinterpret_cast<pollfd*>(raw_.data());
+  for (std::size_t i = 0; i < interests_.size(); ++i) {
+    pfds[i].fd = interests_[i].fd;
+    pfds[i].events = static_cast<short>(
+        (interests_[i].want_read ? POLLIN : 0) |
+        (interests_[i].want_write ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+  int n;
+  do {
+    n = ::poll(pfds, static_cast<nfds_t>(interests_.size()), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) die("poll");
+  events_.clear();
+  for (std::size_t i = 0; i < interests_.size() && n > 0; ++i) {
+    if (pfds[i].revents == 0) continue;
+    Event e;
+    e.data = interests_[i].data;
+    e.readable = (pfds[i].revents & (POLLIN | POLLHUP)) != 0;
+    e.writable = (pfds[i].revents & POLLOUT) != 0;
+    e.broken = (pfds[i].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0;
+    events_.push_back(e);
+  }
+  return events_.size();
+}
+
+WakeupFd::WakeupFd() {
+  int fds[2];
+  if (::pipe(fds) != 0) die("pipe");
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+  ::fcntl(read_fd_, F_SETFL, O_NONBLOCK);
+  ::fcntl(write_fd_, F_SETFL, O_NONBLOCK);
+}
+
+WakeupFd::~WakeupFd() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+void WakeupFd::notify(bool force) noexcept {
+  if (!take_ring(force)) return;  // consumer awake: it will sweep lanes
+  const char one = 1;
+  [[maybe_unused]] ssize_t rc = ::write(write_fd_, &one, 1);
+}
+
+void WakeupFd::drain() noexcept {
+  char buf[256];
+  while (::read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+#endif
+
+}  // namespace lynceus::net

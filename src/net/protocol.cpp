@@ -33,6 +33,23 @@ std::uint64_t session_of(const util::JsonValue& v) {
 
 }  // namespace
 
+const char* wire_encoding_name(WireEncoding e) noexcept {
+  return e == WireEncoding::kBinary ? "binary" : "json";
+}
+
+bool wire_encoding_from_name(const std::string& name,
+                             WireEncoding& out) noexcept {
+  if (name == "json") {
+    out = WireEncoding::kJson;
+    return true;
+  }
+  if (name == "binary") {
+    out = WireEncoding::kBinary;
+    return true;
+  }
+  return false;
+}
+
 std::string encode_frame(const std::string& payload) {
   const auto n = static_cast<std::uint32_t>(payload.size());
   std::string out;
@@ -84,7 +101,14 @@ Request parse_request(const std::string& payload) {
   }
   const std::string& type = v.at("type").as_string();
   Request r;
-  if (type == "open") {
+  if (type == "hello") {
+    r.type = Request::Type::Hello;
+    r.req = req_of(v);
+    r.version = v.at("version").as_uint();
+    for (const util::JsonValue& e : v.at("encodings").items()) {
+      r.encodings.push_back(e.as_string());
+    }
+  } else if (type == "open") {
     r.type = Request::Type::Open;
     r.req = req_of(v);
     r.spec = service::SessionSpec::from_json(v.at("spec"));
@@ -127,7 +151,12 @@ ServerMessage parse_server_message(const std::string& payload) {
   }
   const std::string& type = v.at("type").as_string();
   ServerMessage m;
-  if (type == "opened") {
+  if (type == "hello") {
+    m.type = ServerMessage::Type::Hello;
+    m.req = req_of(v);
+    m.version = v.at("version").as_uint();
+    m.encoding = v.at("encoding").as_string();
+  } else if (type == "opened") {
     m.type = ServerMessage::Type::Opened;
     m.req = req_of(v);
     m.session = session_of(v);
@@ -175,6 +204,32 @@ ServerMessage parse_server_message(const std::string& payload) {
     throw std::runtime_error("protocol: unknown message type '" + type + "'");
   }
   return m;
+}
+
+std::string encode_hello_request(std::uint64_t req, std::uint64_t version,
+                                 const std::vector<std::string>& encodings) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("hello");
+  w.key("req").value(req);
+  w.key("version").value(version);
+  w.key("encodings").begin_array();
+  for (const std::string& e : encodings) w.value(e);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_hello_reply(std::uint64_t req, std::uint64_t version,
+                               const std::string& encoding) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("hello");
+  w.key("req").value(req);
+  w.key("version").value(version);
+  w.key("encoding").value(encoding);
+  w.end_object();
+  return w.str();
 }
 
 std::string encode_open(std::uint64_t req, const service::SessionSpec& spec) {

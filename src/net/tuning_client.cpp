@@ -5,12 +5,41 @@
 #include <cerrno>
 #include <cstring>
 #include <unordered_map>
+#include <vector>
+
+#include "net/binary_codec.hpp"
 
 namespace lynceus::net {
 
 TuningClient::TuningClient(const std::string& host, std::uint16_t port,
-                           std::size_t max_frame_bytes)
-    : sock_(connect_tcp(host, port)), frames_(max_frame_bytes) {}
+                           std::size_t max_frame_bytes, WireMode wire)
+    : sock_(connect_tcp(host, port)), frames_(max_frame_bytes) {
+  if (wire == WireMode::kJson) return;
+  // The hello handshake (net/protocol.hpp): both the request and the
+  // reply are JSON; the chosen encoding applies to everything after.
+  std::vector<std::string> offer;
+  offer.emplace_back(wire_encoding_name(WireEncoding::kBinary));
+  if (wire == WireMode::kNegotiate) {
+    offer.emplace_back(wire_encoding_name(WireEncoding::kJson));
+  }
+  const std::uint64_t req = next_req_++;
+  send_payload(encode_hello_request(req, kProtocolVersion, offer));
+  const ServerMessage m = await_reply(req);
+  if (m.type != ServerMessage::Type::Hello) {
+    throw ProtocolError("bad_message", "expected hello reply");
+  }
+  if (m.version != kProtocolVersion) {
+    throw ProtocolError("bad_negotiation",
+                        "server negotiated unsupported protocol version " +
+                            std::to_string(m.version));
+  }
+  WireEncoding chosen;
+  if (!wire_encoding_from_name(m.encoding, chosen)) {
+    throw ProtocolError("bad_negotiation",
+                        "server picked unknown encoding '" + m.encoding + "'");
+  }
+  enc_ = chosen;
+}
 
 void TuningClient::send_raw(const std::string& bytes) {
   std::size_t off = 0;
@@ -44,7 +73,7 @@ ServerMessage TuningClient::read_message() {
     throw SocketError(n == 0 ? "connection closed by server"
                              : std::string("recv: ") + std::strerror(errno));
   }
-  return parse_server_message(payload);
+  return parse_server_message_wire(enc_, payload);
 }
 
 ServerMessage TuningClient::await_reply(std::uint64_t req) {
@@ -67,7 +96,7 @@ ServerMessage TuningClient::await_reply(std::uint64_t req) {
 
 std::uint64_t TuningClient::open(const service::SessionSpec& spec) {
   const std::uint64_t req = next_req_++;
-  send_payload(encode_open(req, spec));
+  send_payload(encode_open_wire(enc_, req, spec));
   const ServerMessage m = await_reply(req);
   if (m.type != ServerMessage::Type::Opened) {
     throw ProtocolError("bad_message", "expected opened reply");
@@ -79,7 +108,7 @@ std::uint64_t TuningClient::open(const service::SessionSpec& spec) {
 std::uint64_t TuningClient::restore(const service::SessionSpec& spec,
                                     const std::string& snapshot) {
   const std::uint64_t req = next_req_++;
-  send_payload(encode_restore(req, spec, snapshot));
+  send_payload(encode_restore_wire(enc_, req, spec, snapshot));
   const ServerMessage m = await_reply(req);
   if (m.type != ServerMessage::Type::Opened) {
     throw ProtocolError("bad_message", "expected opened reply");
@@ -87,7 +116,7 @@ std::uint64_t TuningClient::restore(const service::SessionSpec& spec,
   active_.insert(m.session);
   // A restored session's outstanding runs predate this connection; ask
   // the server to re-push whatever the session is still waiting on.
-  send_payload(encode_next_runs(next_req_++));
+  send_payload(encode_next_runs_wire(enc_, next_req_++));
   return m.session;
 }
 
@@ -95,7 +124,7 @@ TuningClient::TellStatus TuningClient::tell(std::uint64_t session,
                                             core::ConfigId config,
                                             const core::RunResult& result) {
   const std::uint64_t req = next_req_++;
-  send_payload(encode_tell(req, session, config, result));
+  send_payload(encode_tell_wire(enc_, req, session, config, result));
   const ServerMessage m = await_reply(req);
   if (m.type != ServerMessage::Type::Told) {
     throw ProtocolError("bad_message", "expected told reply");
@@ -106,7 +135,7 @@ TuningClient::TellStatus TuningClient::tell(std::uint64_t session,
 
 std::string TuningClient::snapshot(std::uint64_t session) {
   const std::uint64_t req = next_req_++;
-  send_payload(encode_snapshot_request(req, session));
+  send_payload(encode_snapshot_request_wire(enc_, req, session));
   const ServerMessage m = await_reply(req);
   if (m.type != ServerMessage::Type::Snapshot) {
     throw ProtocolError("bad_message", "expected snapshot reply");
@@ -116,7 +145,7 @@ std::string TuningClient::snapshot(std::uint64_t session) {
 
 TuningClient::ResultReply TuningClient::result(std::uint64_t session) {
   const std::uint64_t req = next_req_++;
-  send_payload(encode_result_request(req, session));
+  send_payload(encode_result_request_wire(enc_, req, session));
   const ServerMessage m = await_reply(req);
   if (m.type != ServerMessage::Type::Result) {
     throw ProtocolError("bad_message", "expected result reply");
@@ -126,7 +155,7 @@ TuningClient::ResultReply TuningClient::result(std::uint64_t session) {
 
 void TuningClient::close_session(std::uint64_t session) {
   const std::uint64_t req = next_req_++;
-  send_payload(encode_close(req, session));
+  send_payload(encode_close_wire(enc_, req, session));
   const ServerMessage m = await_reply(req);
   if (m.type != ServerMessage::Type::Closed) {
     throw ProtocolError("bad_message", "expected closed reply");

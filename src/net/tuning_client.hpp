@@ -19,6 +19,15 @@
 /// the typed code; since all current server errors are fatal, the
 /// connection is unusable afterwards. A server that hangs up mid-read
 /// raises SocketError.
+///
+/// By default the constructor negotiates the compact binary frame body
+/// (the hello handshake of net/protocol.hpp) and falls back to JSON
+/// against servers that only speak JSON. WireMode::kJson skips the
+/// handshake entirely (legacy behavior); WireMode::kBinary offers only
+/// binary, so a JSON-only server rejects the connection with a typed
+/// "bad_negotiation" ProtocolError instead of a silent disconnect.
+/// Negotiation never moves a trajectory byte — both encodings carry
+/// doubles bit-exactly.
 
 #include <cstdint>
 #include <deque>
@@ -48,6 +57,17 @@ class ProtocolError : public std::runtime_error {
 
 class TuningClient {
  public:
+  /// How the constructor settles the frame-body encoding.
+  enum class WireMode {
+    /// No hello handshake; plain JSON frames (legacy servers).
+    kJson,
+    /// Offer binary then JSON; accept whatever the server picks.
+    kNegotiate,
+    /// Offer only binary; a server that cannot (or will not) speak it
+    /// rejects with a "bad_negotiation" ProtocolError.
+    kBinary,
+  };
+
   struct TellStatus {
     bool finished = false;
     bool quarantined = false;
@@ -62,7 +82,12 @@ class TuningClient {
   };
 
   TuningClient(const std::string& host, std::uint16_t port,
-               std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+               std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+               WireMode wire = WireMode::kNegotiate);
+
+  /// The encoding the connection settled on (kJson until/unless the
+  /// handshake picked binary).
+  [[nodiscard]] WireEncoding encoding() const noexcept { return enc_; }
 
   /// Opens a session; returns its wire (server-global) id. The spec must
   /// carry a `problem_ref` the server can resolve (an in-process
@@ -121,6 +146,7 @@ class TuningClient {
 
   Socket sock_;
   FrameAssembler frames_;
+  WireEncoding enc_ = WireEncoding::kJson;
   std::uint64_t next_req_ = 1;
   std::deque<service::PendingRun> runs_;
   std::set<std::uint64_t> active_;

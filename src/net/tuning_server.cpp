@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
@@ -14,7 +15,9 @@
 
 #include "cloud/workloads.hpp"
 #include "eval/experiment.hpp"
+#include "net/binary_codec.hpp"
 #include "service/tuning_service.hpp"
+#include "util/affinity.hpp"
 #include "util/json.hpp"
 
 namespace lynceus::net {
@@ -66,6 +69,15 @@ TuningServer::TuningServer(Options options) : options_(std::move(options)) {
           options_.lane_capacity));
     }
   }
+  transport_wakeups_.reserve(k);
+  shard_wakeups_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    transport_wakeups_.push_back(std::make_unique<WakeupFd>());
+    shard_wakeups_.push_back(std::make_unique<WakeupFd>());
+  }
+  lane_stalls_ = std::make_unique<std::atomic<std::size_t>[]>(k * k);
+  for (std::size_t i = 0; i < k * k; ++i) lane_stalls_[i].store(0);
+
   shard_opened_ = std::make_unique<std::atomic<std::size_t>[]>(k);
   for (std::size_t s = 0; s < k; ++s) shard_opened_[s].store(0);
 
@@ -85,6 +97,11 @@ void TuningServer::stop() {
   if (stop_.exchange(true)) {
     return;
   }
+  // Ring every doorbell so event loops and idle shards notice stop_ now
+  // instead of at their next timeout tick. Forced: the armed-flag gate
+  // would otherwise skip a consumer that is between arm() and block.
+  for (const auto& w : transport_wakeups_) w->notify(/*force=*/true);
+  for (const auto& w : shard_wakeups_) w->notify(/*force=*/true);
   for (std::thread& th : threads_) {
     if (th.joinable()) th.join();
   }
@@ -98,6 +115,24 @@ std::vector<std::size_t> TuningServer::shard_session_counts() const {
     counts[s] = shard_opened_[s].load();
   }
   return counts;
+}
+
+std::vector<TuningServer::LaneStats> TuningServer::request_lane_stats() const {
+  const std::size_t k = options_.shards;
+  std::vector<LaneStats> out;
+  out.reserve(k * k);
+  for (std::size_t t = 0; t < k; ++t) {
+    for (std::size_t s = 0; s < k; ++s) {
+      LaneStats ls;
+      ls.transport = t;
+      ls.shard = s;
+      ls.capacity = request_lanes_[t][s]->capacity();
+      ls.high_water = request_lanes_[t][s]->high_water();
+      ls.stalls = lane_stalls_[t * k + s].load(std::memory_order_relaxed);
+      out.push_back(ls);
+    }
+  }
+  return out;
 }
 
 void TuningServer::register_problem(const std::string& suite,
@@ -160,107 +195,210 @@ const core::OptimizationProblem* TuningServer::resolve_problem(
 
 void TuningServer::acceptor_loop() {
   std::uint64_t next_conn = 0;
+  // An accepted connection whose transport's lane was full; retried
+  // before accepting more. While it waits, the acceptor simply stops
+  // draining the kernel backlog — TCP's own backpressure.
+  NewConn held{};
+  bool holding = false;
   pollfd pfd{};
   pfd.fd = listener_.fd();
   pfd.events = POLLIN;
   while (!stop_.load(std::memory_order_relaxed)) {
+    if (holding) {
+      util::SpscQueue<NewConn>& lane =
+          *accept_lanes_[held.id % options_.shards];
+      if (!lane.try_push(NewConn(held))) {
+        struct timespec ts {0, 1'000'000};
+        ::nanosleep(&ts, nullptr);
+        continue;
+      }
+      transport_wakeups_[held.id % options_.shards]->notify();
+      holding = false;
+    }
     pfd.revents = 0;
     const int rc = ::poll(&pfd, 1, 50);
     if (rc <= 0) continue;
-    for (;;) {
+    while (!holding) {
       const int fd = ::accept(listener_.fd(), nullptr, nullptr);
       if (fd < 0) break;  // EAGAIN / transient: poll again
       const std::uint64_t id = next_conn++;
       NewConn nc{fd, id};
       util::SpscQueue<NewConn>& lane = *accept_lanes_[id % options_.shards];
-      util::Backoff backoff;
-      while (!lane.try_push(NewConn(nc))) {
-        if (stop_.load(std::memory_order_relaxed)) {
-          ::close(fd);
-          return;
-        }
-        backoff.spin();
+      if (lane.try_push(NewConn(nc))) {
+        transport_wakeups_[id % options_.shards]->notify();
+      } else {
+        held = nc;
+        holding = true;
       }
     }
   }
+  if (holding) ::close(held.fd);
 }
 
 // --- Transport --------------------------------------------------------------
 
-namespace {
-
-/// Per-connection transport state: raw socket, incremental frame
-/// assembler, pending output.
-struct Conn {
-  std::uint64_t id = 0;
-  Socket sock;
-  FrameAssembler frames;
-  std::string outbuf;
-  std::size_t out_off = 0;
-  /// A fatal error reply is queued: flush outbuf, then close. No further
-  /// input is read or decoded.
-  bool closing = false;
-  /// Ready to reap (peer hung up or flush finished a `closing` conn).
-  bool dead = false;
-
-  explicit Conn(std::uint64_t id_, int fd, std::size_t max_frame)
-      : id(id_), sock(fd), frames(max_frame) {}
-
-  [[nodiscard]] bool wants_write() const noexcept {
-    return out_off < outbuf.size();
-  }
-
-  void queue(const std::string& frame) {
-    if (out_off == outbuf.size()) {
-      outbuf.clear();
-      out_off = 0;
-    }
-    outbuf.append(frame);
-  }
-};
-
-}  // namespace
-
 void TuningServer::transport_loop(std::size_t t) {
+  if (options_.pin_threads) util::pin_current_thread(options_.shards + t);
   const std::size_t k = options_.shards;
-  std::unordered_map<std::uint64_t, Conn> conns;
-  std::vector<pollfd> pfds;
-  std::vector<std::uint64_t> pfd_conn;  // parallel to pfds
+  // The wakeup fd's token in the event loop; connection ids are dense
+  // from 0, so the max token is free.
+  constexpr std::uint64_t kWakeToken = ~std::uint64_t{0};
 
-  // Blocking push to a request lane; gives up only on server stop.
-  auto push_request = [&](std::size_t shard, ShardRequest&& req) {
-    util::SpscQueue<ShardRequest>& lane = *request_lanes_[t][shard];
-    util::Backoff backoff;
-    while (!lane.try_push(std::move(req))) {
-      if (stop_.load(std::memory_order_relaxed)) return;
-      backoff.spin();
+  /// One decoded request that found its shard lane full — it waits here
+  /// (in decode order) until the lane drains; the connection's read
+  /// interest stays parked while any request waits.
+  struct PendingReq {
+    std::size_t shard = 0;
+    ShardRequest req;
+  };
+
+  /// Per-connection transport state: raw socket, incremental frame
+  /// assembler, pending output, negotiated encoding, parked requests.
+  struct Conn {
+    std::uint64_t id = 0;
+    Socket sock;
+    FrameAssembler frames;
+    std::string outbuf;
+    std::size_t out_off = 0;
+    WireEncoding enc = WireEncoding::kJson;
+    /// False until the first frame fixes the encoding (hello or not).
+    bool saw_first_frame = false;
+    /// A fatal error reply is queued: flush outbuf, then close. No
+    /// further input is read or decoded.
+    bool closing = false;
+    /// recv() hit EOF or a hard error: no further reads.
+    bool eof = false;
+    /// ConnClosed notifications queued into `pending` (teardown begun).
+    bool torn_down = false;
+    /// Decoded-but-undeliverable requests (full shard lane).
+    std::deque<PendingReq> pending;
+    /// Interest currently registered with the event loop.
+    bool reg_read = false;
+    bool reg_write = false;
+
+    Conn(std::uint64_t id_, int fd, std::size_t max_frame)
+        : id(id_), sock(fd), frames(max_frame) {}
+
+    [[nodiscard]] bool wants_write() const noexcept {
+      return out_off < outbuf.size();
+    }
+
+    void queue(const std::string& frame) {
+      if (out_off == outbuf.size()) {
+        outbuf.clear();
+        out_off = 0;
+      }
+      outbuf.append(frame);
     }
   };
 
-  auto notify_conn_closed = [&](std::uint64_t conn_id) {
-    for (std::size_t s = 0; s < k; ++s) {
-      ShardRequest req;
-      req.kind = ShardRequest::Kind::ConnClosed;
-      req.conn = conn_id;
-      push_request(s, std::move(req));
+  EventLoop loop;
+  WakeupFd& wake = *transport_wakeups_[t];
+  loop.add(wake.read_fd(), kWakeToken, /*want_read=*/true,
+           /*want_write=*/false);
+
+  std::unordered_map<std::uint64_t, Conn> conns;
+  // Reused scratch: recv buffer and frame payload (framing stays
+  // allocation-free in steady state — both keep their capacity).
+  std::vector<char> rbuf(1 << 16);
+  std::string payload;
+  // Connections touched this iteration (deduplicated by flag-free
+  // idiom: ids may repeat, the per-conn pass is idempotent).
+  std::vector<std::uint64_t> dirty;
+  // Connections with parked requests — retried every iteration.
+  std::set<std::uint64_t> parked;
+
+  auto try_push_request = [&](std::size_t shard, ShardRequest& req) -> bool {
+    if (!request_lanes_[t][shard]->try_push(std::move(req))) return false;
+    shard_wakeups_[shard]->notify();
+    return true;
+  };
+
+  // Routes one decoded request: deliver now, or park it (and the
+  // connection's read interest) on a full lane.
+  auto route = [&](Conn& c, ShardRequest&& sr, std::size_t shard) {
+    if (c.pending.empty() && try_push_request(shard, sr)) return;
+    if (c.pending.empty()) {
+      // Park transition: this request is the one that hit the wall.
+      lane_stalls_[t * k + shard].fetch_add(1, std::memory_order_relaxed);
+      parked.insert(c.id);
     }
+    c.pending.push_back(PendingReq{shard, std::move(sr)});
+  };
+
+  auto queue_error = [&](Conn& c, std::uint64_t req, const char* code,
+                         const std::string& message) {
+    c.queue(encode_frame(encode_error_wire(c.enc, req, code, message, true)));
+    c.closing = true;
+  };
+
+  // The hello handshake (first frame only; see net/protocol.hpp).
+  auto negotiate = [&](Conn& c, const Request& hello) {
+    if (hello.version != kProtocolVersion) {
+      queue_error(c, hello.req, "bad_negotiation",
+                  "unsupported protocol version " +
+                      std::to_string(hello.version));
+      return;
+    }
+    for (const std::string& name : hello.encodings) {
+      WireEncoding e;
+      if (!wire_encoding_from_name(name, e)) continue;
+      if (e == WireEncoding::kBinary &&
+          options_.wire == WirePolicy::kJsonOnly) {
+        continue;
+      }
+      if (e == WireEncoding::kJson &&
+          options_.wire == WirePolicy::kBinaryOnly) {
+        continue;
+      }
+      // The reply itself is JSON — the switch applies to what follows.
+      c.queue(encode_frame(encode_hello_reply(hello.req, kProtocolVersion,
+                                              wire_encoding_name(e))));
+      c.enc = e;
+      return;
+    }
+    queue_error(c, hello.req, "bad_negotiation",
+                "no mutually supported encoding");
   };
 
   // Decodes one frame payload and routes it; on a malformed message,
   // queues a fatal error reply and marks the connection closing.
-  auto handle_payload = [&](Conn& c, const std::string& payload) {
+  auto handle_payload = [&](Conn& c, const std::string& body) {
     Request request;
     try {
-      request = parse_request(payload);
+      if (!c.saw_first_frame) {
+        c.saw_first_frame = true;
+        // The first frame is JSON by definition: either a hello or a
+        // plain request that fixes the connection to JSON.
+        request = parse_request(body);
+        if (request.type == Request::Type::Hello) {
+          negotiate(c, request);
+          return;
+        }
+        if (options_.wire == WirePolicy::kBinaryOnly) {
+          queue_error(c, request.req, "bad_negotiation",
+                      "server requires negotiated binary framing");
+          return;
+        }
+      } else {
+        request = parse_request_wire(c.enc, body);
+        if (request.type == Request::Type::Hello) {
+          queue_error(c, request.req, "bad_negotiation",
+                      "negotiation replay: hello after the first frame");
+          return;
+        }
+      }
     } catch (const std::exception& e) {
-      c.queue(encode_frame(encode_error(0, "bad_message", e.what(), true)));
-      c.closing = true;
+      queue_error(c, 0, "bad_message", e.what());
       return;
     }
     ShardRequest sr;
     sr.kind = ShardRequest::Kind::Request;
     sr.conn = c.id;
+    sr.enc = c.enc;
     switch (request.type) {
+      case Request::Type::Hello:
+        return;  // handled above; unreachable
       case Request::Type::Open:
       case Request::Type::Restore: {
         // Allocate the global id here so the request can route to its
@@ -268,7 +406,7 @@ void TuningServer::transport_loop(std::size_t t) {
         sr.global_session = next_session_.fetch_add(1);
         const std::size_t shard = sr.global_session % k;
         sr.request = std::move(request);
-        push_request(shard, std::move(sr));
+        route(c, std::move(sr), shard);
         return;
       }
       case Request::Type::Tell:
@@ -277,7 +415,7 @@ void TuningServer::transport_loop(std::size_t t) {
       case Request::Type::Close: {
         const std::size_t shard = request.session % k;
         sr.request = std::move(request);
-        push_request(shard, std::move(sr));
+        route(c, std::move(sr), shard);
         return;
       }
       case Request::Type::NextRuns: {
@@ -285,39 +423,44 @@ void TuningServer::transport_loop(std::size_t t) {
           ShardRequest copy;
           copy.kind = ShardRequest::Kind::Request;
           copy.conn = c.id;
+          copy.enc = c.enc;
           copy.request = request;
-          push_request(s, std::move(copy));
+          route(c, std::move(copy), s);
         }
         return;
       }
     }
   };
 
+  // Drains complete frames from the assembler until input is exhausted,
+  // the connection is closing, or a request parks.
+  auto drain_frames = [&](Conn& c) {
+    try {
+      while (!c.closing && c.pending.empty() && c.frames.next(payload)) {
+        handle_payload(c, payload);
+      }
+    } catch (const FrameError& e) {
+      c.queue(encode_frame(
+          encode_error_wire(c.enc, 0, "bad_frame", e.what(), true)));
+      c.closing = true;
+    }
+  };
+
   auto read_conn = [&](Conn& c) {
-    char buf[16384];
-    for (;;) {
-      const ssize_t n = ::recv(c.sock.fd(), buf, sizeof(buf), 0);
+    while (!c.closing && !c.eof && c.pending.empty()) {
+      const ssize_t n = ::recv(c.sock.fd(), rbuf.data(), rbuf.size(), 0);
       if (n > 0) {
-        c.frames.feed(buf, static_cast<std::size_t>(n));
-        std::string payload;
-        try {
-          while (!c.closing && c.frames.next(payload)) {
-            handle_payload(c, payload);
-          }
-        } catch (const FrameError& e) {
-          c.queue(encode_frame(encode_error(0, "bad_frame", e.what(), true)));
-          c.closing = true;
-        }
-        if (c.closing) return;
+        c.frames.feed(rbuf.data(), static_cast<std::size_t>(n));
+        drain_frames(c);
         continue;
       }
-      if (n == 0) {  // peer closed; nothing left to reply to
-        c.dead = true;
+      if (n == 0) {  // peer closed; decode what already arrived
+        c.eof = true;
         return;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      c.dead = true;  // hard socket error
+      c.eof = true;  // hard socket error
       return;
     }
   };
@@ -332,18 +475,107 @@ void TuningServer::transport_loop(std::size_t t) {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
       if (n < 0 && errno == EINTR) continue;
-      c.dead = true;
+      c.eof = true;
       return;
     }
-    if (c.closing) c.dead = true;  // error reply flushed: finish the close
+  };
+
+  // Per-connection progress pass: flush parked requests, resume
+  // decoding, begin/advance teardown, sync event-loop interest.
+  // Idempotent — safe to run for a conn any number of times per
+  // iteration. Returns false when the conn was erased.
+  auto advance = [&](std::uint64_t id) -> bool {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return false;
+    Conn& c = it->second;
+
+    while (!c.pending.empty()) {
+      PendingReq& p = c.pending.front();
+      if (!try_push_request(p.shard, p.req)) break;
+      c.pending.pop_front();
+    }
+    if (c.pending.empty()) {
+      parked.erase(c.id);
+      if (!c.torn_down) drain_frames(c);
+    }
+
+    if (c.wants_write()) write_conn(c);
+
+    // A closing conn is done once its error reply is flushed; an eof'd
+    // conn once its buffered frames are decoded and delivered. Either
+    // way the owning shards are told — after every request the conn
+    // already decoded, so close-order is preserved.
+    const bool finished =
+        (c.closing && !c.wants_write()) || (c.eof && !c.closing);
+    if (finished && !c.torn_down && c.pending.empty()) {
+      c.torn_down = true;
+      for (std::size_t s = 0; s < k; ++s) {
+        ShardRequest req;
+        req.kind = ShardRequest::Kind::ConnClosed;
+        req.conn = c.id;
+        if (!try_push_request(s, req)) {
+          c.pending.push_back(PendingReq{s, std::move(req)});
+        }
+      }
+      if (!c.pending.empty()) parked.insert(c.id);
+    }
+    if (c.torn_down && c.pending.empty()) {
+      parked.erase(c.id);
+      loop.remove(c.sock.fd());
+      conns.erase(it);
+      return false;
+    }
+
+    const bool want_read =
+        !c.closing && !c.eof && !c.torn_down && c.pending.empty();
+    const bool want_write = c.wants_write();
+    if (want_read != c.reg_read || want_write != c.reg_write) {
+      loop.modify(c.sock.fd(), c.id, want_read, want_write);
+      c.reg_read = want_read;
+      c.reg_write = want_write;
+    }
+    return true;
+  };
+
+  // Armed-doorbell re-check (see WakeupFd): any lane already holding
+  // work means a producer raced the arm() and skipped its ring — poll
+  // the sockets without blocking instead of sleeping on a stale bell.
+  const auto lanes_ready = [&]() -> bool {
+    if (!accept_lanes_[t]->empty()) return true;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (!reply_lanes_[s][t]->empty()) return true;
+    }
+    return false;
   };
 
   while (!stop_.load(std::memory_order_relaxed)) {
-    bool busy = false;
+    // Parked conns poll their lanes: the wake that frees them is the
+    // shard's reply traffic, but a short tick bounds the worst case.
+    wake.arm();
+    const int tick = parked.empty() ? 50 : 1;
+    const std::size_t n = loop.wait(
+        stop_.load(std::memory_order_relaxed) || lanes_ready() ? 0 : tick);
+    wake.disarm();
+    if (stop_.load(std::memory_order_relaxed)) break;
+
+    dirty.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const EventLoop::Event& ev = loop.events()[i];
+      if (ev.data == kWakeToken) {
+        wake.drain();
+        continue;
+      }
+      const auto it = conns.find(ev.data);
+      if (it == conns.end()) continue;
+      Conn& c = it->second;
+      if (ev.readable && !c.closing && !c.eof) read_conn(c);
+      if (ev.writable) write_conn(c);
+      if (ev.broken && !ev.readable) c.eof = true;
+      dirty.push_back(c.id);
+    }
 
     NewConn nc;
     while (accept_lanes_[t]->try_pop(nc)) {
-      busy = true;
       try {
         set_nonblocking(nc.fd, true);
       } catch (const SocketError&) {
@@ -351,75 +583,30 @@ void TuningServer::transport_loop(std::size_t t) {
         continue;
       }
       set_nodelay(nc.fd);
-      conns.emplace(nc.id, Conn(nc.id, nc.fd, options_.max_frame_bytes));
+      auto [it, inserted] =
+          conns.emplace(nc.id, Conn(nc.id, nc.fd, options_.max_frame_bytes));
+      loop.add(nc.fd, nc.id, /*want_read=*/true, /*want_write=*/false);
+      it->second.reg_read = true;
+      dirty.push_back(nc.id);
     }
 
     for (std::size_t s = 0; s < k; ++s) {
       TransportReply reply;
       while (reply_lanes_[s][t]->try_pop(reply)) {
-        busy = true;
         auto it = conns.find(reply.conn);
         if (it == conns.end()) continue;  // conn died before the reply
         it->second.queue(reply.bytes);
         if (reply.close_conn) it->second.closing = true;
+        dirty.push_back(reply.conn);
       }
     }
 
-    pfds.clear();
-    pfd_conn.clear();
-    for (auto& [id, c] : conns) {
-      if (c.dead) continue;
-      pollfd p{};
-      p.fd = c.sock.fd();
-      p.events = static_cast<short>((c.closing ? 0 : POLLIN) |
-                                    (c.wants_write() ? POLLOUT : 0));
-      if (p.events == 0) {
-        // closing with nothing left to flush
-        c.dead = true;
-        continue;
-      }
-      pfds.push_back(p);
-      pfd_conn.push_back(id);
-    }
-
-    if (!pfds.empty()) {
-      const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
-                            busy ? 0 : 1);
-      if (rc > 0) {
-        for (std::size_t i = 0; i < pfds.size(); ++i) {
-          if (pfds[i].revents == 0) continue;
-          busy = true;
-          Conn& c = conns.at(pfd_conn[i]);
-          if (pfds[i].revents & (POLLERR | POLLNVAL)) {
-            c.dead = true;
-            continue;
-          }
-          if (pfds[i].revents & POLLIN) read_conn(c);
-          if (!c.dead && (pfds[i].revents & (POLLOUT | POLLHUP))) {
-            if (pfds[i].revents & POLLOUT) write_conn(c);
-            if ((pfds[i].revents & POLLHUP) && !c.wants_write()) c.dead = true;
-          }
-        }
-      }
-    } else if (!busy) {
-      // No connections and no queue traffic: sleep a poll tick.
-      struct timespec ts {0, 1'000'000};
-      ::nanosleep(&ts, nullptr);
-    }
-
-    // Opportunistic flush for conns that queued output this iteration but
-    // were not polled writable yet.
-    for (auto& [id, c] : conns) {
-      if (!c.dead && c.wants_write()) write_conn(c);
-    }
-
-    for (auto it = conns.begin(); it != conns.end();) {
-      if (it->second.dead) {
-        notify_conn_closed(it->first);
-        it = conns.erase(it);
-      } else {
-        ++it;
-      }
+    // Progress every touched conn, then every parked conn (advance()
+    // mutates `parked`, so iterate a snapshot).
+    for (const std::uint64_t id : dirty) advance(id);
+    if (!parked.empty()) {
+      const std::vector<std::uint64_t> snapshot(parked.begin(), parked.end());
+      for (const std::uint64_t id : snapshot) advance(id);
     }
   }
 }
@@ -427,6 +614,7 @@ void TuningServer::transport_loop(std::size_t t) {
 // --- Service loop (one shard) ----------------------------------------------
 
 void TuningServer::shard_loop(std::size_t s) {
+  if (options_.pin_threads) util::pin_current_thread(s);
   const std::size_t k = options_.shards;
 
   service::TuningService::Options sopts;
@@ -438,19 +626,38 @@ void TuningServer::shard_loop(std::size_t s) {
   struct SessionInfo {
     service::SessionId local = 0;
     std::uint64_t conn = 0;
+    /// The owning connection's negotiated encoding — pushed `run`
+    /// frames for this session are encoded with it.
+    WireEncoding enc = WireEncoding::kJson;
   };
   std::unordered_map<std::uint64_t, SessionInfo> by_global;
   std::unordered_map<service::SessionId, std::uint64_t> global_of_local;
   std::unordered_map<std::uint64_t, std::set<std::uint64_t>> by_conn;
 
-  auto send = [&](std::uint64_t conn, std::string frame, bool close_conn) {
-    TransportReply reply{conn, std::move(frame), close_conn};
-    util::SpscQueue<TransportReply>& lane = *reply_lanes_[s][conn % k];
-    util::Backoff backoff;
-    while (!lane.try_push(std::move(reply))) {
-      if (stop_.load(std::memory_order_relaxed)) return;
-      backoff.spin();
+  // Replies that found their lane full wait here (per transport, FIFO)
+  // instead of spin-blocking the whole shard; flushed ahead of new work.
+  std::vector<std::deque<TransportReply>> overflow(k);
+
+  // Retries a transport's overflow queue; true when fully drained.
+  auto flush_overflow = [&](std::size_t t) -> bool {
+    std::deque<TransportReply>& q = overflow[t];
+    while (!q.empty()) {
+      if (!reply_lanes_[s][t]->try_push(std::move(q.front()))) return false;
+      q.pop_front();
+      transport_wakeups_[t]->notify();
     }
+    return true;
+  };
+
+  auto send = [&](std::uint64_t conn, std::string frame, bool close_conn) {
+    const std::size_t t = conn % k;
+    TransportReply reply{conn, std::move(frame), close_conn};
+    // Older overflow must go first to keep per-connection reply order.
+    if (flush_overflow(t) && reply_lanes_[s][t]->try_push(std::move(reply))) {
+      transport_wakeups_[t]->notify();
+      return;
+    }
+    overflow[t].push_back(std::move(reply));
   };
 
   // Drains the service's ready queue and pushes the asked runs to their
@@ -463,7 +670,8 @@ void TuningServer::shard_loop(std::size_t s) {
       if (sit == by_global.end()) continue;
       service::PendingRun wire = run;
       wire.session = git->second;
-      send(sit->second.conn, encode_frame(encode_run(wire)), false);
+      send(sit->second.conn,
+           encode_frame(encode_run_wire(sit->second.enc, wire)), false);
     }
   };
 
@@ -495,6 +703,8 @@ void TuningServer::shard_loop(std::size_t s) {
 
     Request& req = sr.request;
     switch (req.type) {
+      case Request::Type::Hello:
+        return;  // transport-level; never reaches a shard
       case Request::Type::Open:
       case Request::Type::Restore: {
         try {
@@ -504,16 +714,19 @@ void TuningServer::shard_loop(std::size_t s) {
               req.type == Request::Type::Open
                   ? svc.open_session(spec)
                   : svc.restore_session(spec, req.snapshot);
-          by_global[sr.global_session] = SessionInfo{local, sr.conn};
+          by_global[sr.global_session] = SessionInfo{local, sr.conn, sr.enc};
           global_of_local[local] = sr.global_session;
           by_conn[sr.conn].insert(sr.global_session);
           shard_opened_[s].fetch_add(1, std::memory_order_relaxed);
-          send(sr.conn, encode_frame(encode_opened(req.req, sr.global_session)),
+          send(sr.conn,
+               encode_frame(
+                   encode_opened_wire(sr.enc, req.req, sr.global_session)),
                false);
           sweep();
         } catch (const std::exception& e) {
           send(sr.conn,
-               encode_frame(encode_error(req.req, "bad_request", e.what(), true)),
+               encode_frame(encode_error_wire(sr.enc, req.req, "bad_request",
+                                              e.what(), true)),
                true);
         }
         return;
@@ -522,8 +735,8 @@ void TuningServer::shard_loop(std::size_t s) {
         const auto it = by_global.find(req.session);
         if (it == by_global.end() || it->second.conn != sr.conn) {
           send(sr.conn,
-               encode_frame(encode_error(
-                   req.req, "bad_request",
+               encode_frame(encode_error_wire(
+                   sr.enc, req.req, "bad_request",
                    "unknown session " + std::to_string(req.session), true)),
                true);
           return;
@@ -539,13 +752,14 @@ void TuningServer::shard_loop(std::size_t s) {
           const bool quarantined = svc.quarantined(it->second.local);
           const bool finished = quarantined || svc.finished(it->second.local);
           send(sr.conn,
-               encode_frame(encode_told(req.req, req.session, finished,
-                                        quarantined,
-                                        svc.stop_reason(it->second.local))),
+               encode_frame(encode_told_wire(
+                   sr.enc, req.req, req.session, finished, quarantined,
+                   svc.stop_reason(it->second.local))),
                false);
         } catch (const std::exception& e) {
           send(sr.conn,
-               encode_frame(encode_error(req.req, "bad_request", e.what(), true)),
+               encode_frame(encode_error_wire(sr.enc, req.req, "bad_request",
+                                              e.what(), true)),
                true);
         }
         return;
@@ -560,8 +774,8 @@ void TuningServer::shard_loop(std::size_t s) {
         const auto it = by_global.find(req.session);
         if (it == by_global.end() || it->second.conn != sr.conn) {
           send(sr.conn,
-               encode_frame(encode_error(
-                   req.req, "bad_request",
+               encode_frame(encode_error_wire(
+                   sr.enc, req.req, "bad_request",
                    "unknown session " + std::to_string(req.session), true)),
                true);
           return;
@@ -569,14 +783,15 @@ void TuningServer::shard_loop(std::size_t s) {
         try {
           if (req.type == Request::Type::Snapshot) {
             send(sr.conn,
-                 encode_frame(encode_snapshot_reply(
-                     req.req, req.session,
+                 encode_frame(encode_snapshot_reply_wire(
+                     sr.enc, req.req, req.session,
                      svc.snapshot_session(it->second.local))),
                  false);
           } else if (req.type == Request::Type::Result) {
             send(sr.conn,
-                 encode_frame(encode_result_reply(
-                     req.req, req.session, svc.finished(it->second.local),
+                 encode_frame(encode_result_reply_wire(
+                     sr.enc, req.req, req.session,
+                     svc.finished(it->second.local),
                      svc.quarantined(it->second.local),
                      svc.stop_reason(it->second.local),
                      svc.result(it->second.local))),
@@ -584,12 +799,15 @@ void TuningServer::shard_loop(std::size_t s) {
           } else {
             svc.close(it->second.local);
             drop_session(req.session);
-            send(sr.conn, encode_frame(encode_closed(req.req, req.session)),
+            send(sr.conn,
+                 encode_frame(
+                     encode_closed_wire(sr.enc, req.req, req.session)),
                  false);
           }
         } catch (const std::exception& e) {
           send(sr.conn,
-               encode_frame(encode_error(req.req, "bad_request", e.what(), true)),
+               encode_frame(encode_error_wire(sr.enc, req.req, "bad_request",
+                                              e.what(), true)),
                true);
         }
         return;
@@ -601,6 +819,10 @@ void TuningServer::shard_loop(std::size_t s) {
   int idle_streak = 0;
   while (true) {
     bool busy = false;
+    bool overflowing = false;
+    for (std::size_t t = 0; t < k; ++t) {
+      if (!flush_overflow(t)) overflowing = true;
+    }
     for (std::size_t t = 0; t < k; ++t) {
       ShardRequest sr;
       while (request_lanes_[t][s]->try_pop(sr)) {
@@ -614,13 +836,29 @@ void TuningServer::shard_loop(std::size_t s) {
       continue;
     }
     if (stop_.load(std::memory_order_relaxed)) break;
-    // Spin hot briefly (low request latency under load), then sleep a
-    // millisecond per miss so an idle server costs ~no CPU.
+    // Spin hot briefly (low request latency under load), then sleep on
+    // the shard's doorbell so an idle server costs ~no CPU. Undelivered
+    // overflow keeps the tick short: the consuming transport does not
+    // ring this doorbell when it drains a reply lane.
     if (++idle_streak < 256) {
       backoff.spin();
     } else {
-      struct timespec ts {0, 1'000'000};
-      ::nanosleep(&ts, nullptr);
+      // Armed doorbell (see WakeupFd): declare the sleep, then re-check
+      // every request lane — a transport that pushed before the flag
+      // flipped skipped its ring, so blocking now would lose the wake.
+      shard_wakeups_[s]->arm();
+      bool raced = stop_.load(std::memory_order_relaxed);
+      for (std::size_t t = 0; t < k && !raced; ++t) {
+        raced = !request_lanes_[t][s]->empty();
+      }
+      if (!raced) {
+        pollfd pfd{};
+        pfd.fd = shard_wakeups_[s]->read_fd();
+        pfd.events = POLLIN;
+        ::poll(&pfd, 1, overflowing ? 1 : 50);
+        shard_wakeups_[s]->drain();
+      }
+      shard_wakeups_[s]->disarm();
     }
   }
 }

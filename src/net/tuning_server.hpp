@@ -15,21 +15,43 @@
 ///
 ///   * **1 acceptor** owns the listening socket and assigns each accepted
 ///     connection to transport `conn_id % K` over an acceptor→transport
-///     lane.
-///   * **K transport threads** do framing and decode ONLY: poll(2) their
-///     connections, split the byte stream into frames, parse each frame
-///     into a typed Request, and push it down a transport→shard lane —
-///     never touching optimizer state. Completions (encoded reply frames)
-///     come back over shard→transport lanes and are flushed to the
-///     owning connection. Malformed input (bad frame, bad JSON, unknown
-///     message) is answered with a typed fatal `error` frame and the
-///     connection is closed — the service loops never see it.
+///     lane. When a transport's accept lane is full, the acceptor simply
+///     stops accepting — the kernel backlog is the natural backpressure.
+///   * **K transport threads** do framing and decode ONLY: each runs an
+///     epoll readiness loop (net/event_loop.hpp) over its connections
+///     plus a wakeup fd, splits byte streams into frames, parses each
+///     frame into a typed Request (JSON or negotiated binary —
+///     net/protocol.hpp, net/binary_codec.hpp), and pushes it down a
+///     transport→shard lane — never touching optimizer state. One
+///     transport thread multiplexes hundreds to thousands of
+///     connections; read buffers and frame scratch are reused so
+///     steady-state framing is allocation-free. Completions (encoded
+///     reply frames) come back over shard→transport lanes and are
+///     flushed to the owning connection. Malformed input (bad frame,
+///     bad JSON/binary, unknown message, broken handshake) is answered
+///     with a typed fatal `error` frame and the connection is closed —
+///     the service loops never see it.
 ///   * **K service-loop threads** each own one `service::TuningService`
 ///     (FIFO event loop, per-shard RootCache): pop requests, apply them,
 ///     sweep `next_runs()`, and push replies + server-initiated `run`
 ///     frames back to the transports. The server itself executes no
 ///     profiling runs — remote drivers own their clusters (or replay
 ///     tables) and tell results back.
+///
+/// ## Backpressure (parked readers, never blocking spins)
+///
+/// No thread ever spin-blocks on a full SPSC lane. When a transport
+/// cannot push a decoded request because its lane into the owning shard
+/// is full, it *parks* the connection: the request waits in a
+/// per-connection pending queue, the connection's read interest is
+/// dropped (so the kernel's TCP window throttles the remote driver),
+/// and decoding resumes — in order — once the lane drains. Each park is
+/// counted per lane and surfaced with the lane's high-water mark via
+/// request_lane_stats(), so saturation is observable instead of silent.
+/// In the reverse direction a shard never blocks either: replies that
+/// do not fit their lane overflow into a shard-local queue flushed
+/// ahead of new work. Threads sleep on wakeup fds / the event loop when
+/// idle, and are poked by their producers — no busy ticks.
 ///
 /// ## Sharding
 ///
@@ -62,6 +84,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "net/event_loop.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "service/session_spec.hpp"
@@ -71,6 +94,14 @@ namespace lynceus::net {
 
 class TuningServer {
  public:
+  /// Which frame-body encodings the server will negotiate (the hello
+  /// handshake in net/protocol.hpp). kNegotiate accepts both and takes
+  /// the client's first offered preference; kJsonOnly never picks
+  /// binary; kBinaryOnly rejects connections that do not negotiate
+  /// binary (including legacy clients that skip the hello) with a
+  /// typed "bad_negotiation" error.
+  enum class WirePolicy { kNegotiate, kJsonOnly, kBinaryOnly };
+
   struct Options {
     std::string host = "127.0.0.1";
     /// 0 = ephemeral (query the bound port with port()).
@@ -87,13 +118,32 @@ class TuningServer {
     service::RunPolicy run_policy;
     /// Frames larger than this are a fatal protocol error.
     std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
-    /// Capacity of each SPSC lane (requests/replies queue here while the
-    /// peer thread is busy; writers spin politely when a lane is full).
+    /// Capacity of each SPSC lane. Requests/replies queue here while the
+    /// peer thread is busy; a full request lane parks the connection's
+    /// read interest (see "Backpressure" above) instead of blocking.
     std::size_t lane_capacity = 1024;
     /// Resolve `problem_ref`s naming the bundled evaluation suites
     /// ("tf" | "scout" | "cherrypick") by building the replay dataset on
     /// first use. Off = only problems injected via register_problem().
     bool bundled_workloads = true;
+    /// Encodings the hello handshake may pick (default: both).
+    WirePolicy wire = WirePolicy::kNegotiate;
+    /// Pin shard s to core s and transport t to core K+t (mod cores) —
+    /// opt-in cache/lane locality (util/affinity.hpp). Trajectories are
+    /// unaffected either way.
+    bool pin_threads = false;
+  };
+
+  /// Saturation counters of one transport→shard request lane
+  /// (request_lane_stats()).
+  struct LaneStats {
+    std::size_t transport = 0;
+    std::size_t shard = 0;
+    std::size_t capacity = 0;
+    /// Highest occupancy any push observed (SpscQueue::high_water).
+    std::size_t high_water = 0;
+    /// Requests that found the lane full and parked their connection.
+    std::size_t stalls = 0;
   };
 
   /// Binds, spawns the acceptor/transport/shard threads, and serves until
@@ -124,6 +174,10 @@ class TuningServer {
   /// Sessions ever opened per shard (monitoring/tests; racy snapshot).
   [[nodiscard]] std::vector<std::size_t> shard_session_counts() const;
 
+  /// Per-lane saturation stats for all K·K transport→shard request
+  /// lanes (monitoring/tests; racy snapshot). Ordered [t][s] flattened.
+  [[nodiscard]] std::vector<LaneStats> request_lane_stats() const;
+
  private:
   /// A connection handed from the acceptor to its transport thread.
   struct NewConn {
@@ -136,6 +190,10 @@ class TuningServer {
     enum class Kind { Request, ConnClosed };
     Kind kind = Kind::Request;
     std::uint64_t conn = 0;
+    /// The connection's negotiated frame encoding — the shard encodes
+    /// every reply (and every pushed run for sessions this request
+    /// opens) with it.
+    WireEncoding enc = WireEncoding::kJson;
     /// Pre-allocated global session id (Open/Restore only; the transport
     /// allocates so it can route the request to `id % shards`).
     std::uint64_t global_session = 0;
@@ -173,6 +231,12 @@ class TuningServer {
   /// reply_lanes_[s][t]: shard s → transport t.
   std::vector<std::vector<std::unique_ptr<util::SpscQueue<TransportReply>>>>
       reply_lanes_;
+  /// Doorbells: producers ring these after pushing onto a lane so the
+  /// consumer (transport event loop / idle shard) wakes immediately.
+  std::vector<std::unique_ptr<WakeupFd>> transport_wakeups_;
+  std::vector<std::unique_ptr<WakeupFd>> shard_wakeups_;
+  /// Park events per request lane, flattened [t * shards + s].
+  std::unique_ptr<std::atomic<std::size_t>[]> lane_stalls_;
 
   mutable std::mutex problems_mutex_;
   /// Stable-address problem storage, keyed "suite\njob" (registered) or

@@ -1,0 +1,26 @@
+#include "util/affinity.hpp"
+
+#include <thread>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace lynceus::util {
+
+bool pin_current_thread(std::size_t cpu) noexcept {
+#ifdef __linux__
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % cores, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace lynceus::util

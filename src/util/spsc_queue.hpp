@@ -72,6 +72,19 @@ class SpscQueue {
     }
     cells_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
+    // High-water tracking, producer-side. The cached head gives a free
+    // occupancy *upper bound*; only when that bound would raise the
+    // watermark is the consumer's real cursor loaded to confirm — so
+    // steady state pays one compare on producer-local values and the
+    // cached-cursor design keeps its no-ping-pong property.
+    const std::uint64_t occ_bound = tail + 1 - head_cache_;
+    if (occ_bound > high_water_.load(std::memory_order_relaxed)) {
+      const std::uint64_t occ =
+          tail + 1 - head_.load(std::memory_order_relaxed);
+      if (occ > high_water_.load(std::memory_order_relaxed)) {
+        high_water_.store(occ, std::memory_order_relaxed);
+      }
+    }
     return true;
   }
 
@@ -95,11 +108,27 @@ class SpscQueue {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+  /// True when there is nothing to pop. Consumer thread only — this is
+  /// the cheap lane probe behind the transport/shard armed-doorbell
+  /// sleep (arm, re-check every lane with empty(), then block).
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_relaxed) >=
+           tail_.load(std::memory_order_acquire);
+  }
+
   /// Approximate occupancy (racy snapshot of both cursors).
   [[nodiscard]] std::size_t size() const noexcept {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  /// Highest occupancy ever observed at a push (monitoring; the
+  /// saturation signal behind TuningServer's per-lane stats). Updated
+  /// by the producer, readable from any thread.
+  [[nodiscard]] std::size_t high_water() const noexcept {
+    return static_cast<std::size_t>(
+        high_water_.load(std::memory_order_relaxed));
   }
 
  private:
@@ -115,6 +144,8 @@ class SpscQueue {
   /// Producer-owned line: tail cursor + cached consumer head.
   alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
   std::uint64_t head_cache_ = 0;
+  /// Producer-updated watermark (see high_water()); off the hot lines.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> high_water_{0};
   /// Consumer-owned line: head cursor + cached producer tail.
   alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
   std::uint64_t tail_cache_ = 0;

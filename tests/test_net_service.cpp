@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "eval/runner.hpp"
+#include "net/binary_codec.hpp"
 #include "net/tuning_client.hpp"
 #include "test_helpers.hpp"
 
@@ -333,7 +334,10 @@ void expect_fatal_error(const std::string& raw_bytes,
                         const std::string& expected_code,
                         std::uint16_t port) {
   SCOPED_TRACE("expecting " + expected_code);
-  TuningClient client("127.0.0.1", port);
+  // WireMode::kJson skips the hello handshake, so `raw_bytes` is the
+  // connection's FIRST frame — the legacy pre-negotiation path.
+  TuningClient client("127.0.0.1", port, kDefaultMaxFrameBytes,
+                      TuningClient::WireMode::kJson);
   client.send_raw(raw_bytes);
   const ServerMessage err = last_error_before_close(client);
   ASSERT_EQ(err.type, ServerMessage::Type::Error);
@@ -413,6 +417,249 @@ TEST(NetService, MalformedInputGetsTypedErrorAndClosedConnection) {
   eval::AsyncTableRunner runner(ds);
   survivor.drain(runner);
   EXPECT_TRUE(survivor.result(id).finished);
+}
+
+/// The wire-tax contract: the SAME session driven over JSON frames and
+/// over negotiated binary frames lands on identical bytes — and both on
+/// the solo in-process run. A snapshot taken over one encoding restores
+/// over the other.
+TEST(NetService, CrossEncodingTrajectoriesAreByteIdentical) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningServer server;
+  server.register_problem("test", "tinybowl", problem);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    OptimizerResult by_enc[2];
+    for (const TuningClient::WireMode mode :
+         {TuningClient::WireMode::kJson, TuningClient::WireMode::kBinary}) {
+      TuningClient client("127.0.0.1", server.port(), kDefaultMaxFrameBytes,
+                          mode);
+      ASSERT_EQ(client.encoding(), mode == TuningClient::WireMode::kBinary
+                                       ? WireEncoding::kBinary
+                                       : WireEncoding::kJson);
+      const std::uint64_t id = client.open(remote_lynceus_spec(seed));
+      eval::AsyncTableRunner runner(ds);
+      client.drain(runner);
+      const TuningClient::ResultReply reply = client.result(id);
+      ASSERT_TRUE(reply.finished);
+      by_enc[mode == TuningClient::WireMode::kBinary ? 1 : 0] = reply.result;
+      client.close_session(id);
+    }
+    expect_identical(by_enc[0], by_enc[1]);
+    eval::TableRunner solo(ds);
+    auto stepper = core::LynceusOptimizer(lynceus_options_for(seed))
+                       .make_stepper(problem, seed);
+    expect_identical(by_enc[1], core::drive(*stepper, solo));
+  }
+
+  // Snapshot over JSON, restore over binary: mid-flight state crosses
+  // the encoding boundary intact.
+  service::SessionSpec spec = remote_lynceus_spec(23);
+  spec.lookahead = 1;
+  eval::TableRunner solo(ds);
+  core::LynceusOptions o = lynceus_options_for(23);
+  o.lookahead = 1;
+  auto ref = core::LynceusOptimizer(o).make_stepper(problem, 23);
+  const OptimizerResult golden = core::drive(*ref, solo);
+
+  std::string snap;
+  {
+    TuningClient json_side("127.0.0.1", server.port(), kDefaultMaxFrameBytes,
+                           TuningClient::WireMode::kJson);
+    const std::uint64_t id = json_side.open(spec);
+    for (std::size_t i = 0; i < problem.bootstrap_samples / 2; ++i) {
+      const auto run = json_side.take_run(/*wait=*/true);
+      ASSERT_TRUE(run.has_value());
+      core::RunResult r;
+      r.runtime_seconds = ds.observation(run->config).runtime_seconds;
+      r.cost = ds.observation(run->config).cost();
+      (void)json_side.tell(id, run->config, r);
+    }
+    snap = json_side.snapshot(id);
+    json_side.close_session(id);
+  }
+  TuningClient bin_side("127.0.0.1", server.port(), kDefaultMaxFrameBytes,
+                        TuningClient::WireMode::kBinary);
+  const std::uint64_t rid = bin_side.restore(spec, snap);
+  eval::AsyncTableRunner runner(ds);
+  bin_side.drain(runner);
+  const TuningClient::ResultReply reply = bin_side.result(rid);
+  ASSERT_TRUE(reply.finished);
+  expect_identical(reply.result, golden);
+}
+
+TEST(NetService, NegotiationRejectionsAreTypedErrors) {
+  const auto problem = lynceus::testing::tiny_problem();
+
+  // A binary-demanding client against a JSON-only server: the typed
+  // rejection surfaces from the constructor, not a mystery disconnect.
+  {
+    TuningServer::Options opts;
+    opts.wire = TuningServer::WirePolicy::kJsonOnly;
+    TuningServer server(opts);
+    try {
+      TuningClient client("127.0.0.1", server.port(), kDefaultMaxFrameBytes,
+                          TuningClient::WireMode::kBinary);
+      FAIL() << "binary-only negotiation against a JSON-only server passed";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), "bad_negotiation");
+    }
+    // Negotiate mode falls back to JSON and works.
+    TuningClient fallback("127.0.0.1", server.port());
+    EXPECT_EQ(fallback.encoding(), WireEncoding::kJson);
+  }
+
+  // A binary-only server rejects a legacy client that never negotiates.
+  {
+    TuningServer::Options opts;
+    opts.wire = TuningServer::WirePolicy::kBinaryOnly;
+    TuningServer server(opts);
+    server.register_problem("test", "tinybowl", problem);
+    TuningClient legacy("127.0.0.1", server.port(), kDefaultMaxFrameBytes,
+                        TuningClient::WireMode::kJson);
+    try {
+      (void)legacy.open(remote_lynceus_spec(1));
+      FAIL() << "legacy JSON open against a binary-only server passed";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), "bad_negotiation");
+    }
+    // And accepts one that does negotiate.
+    TuningClient modern("127.0.0.1", server.port(), kDefaultMaxFrameBytes,
+                        TuningClient::WireMode::kBinary);
+    EXPECT_EQ(modern.encoding(), WireEncoding::kBinary);
+  }
+
+  TuningServer server;
+  const std::uint16_t port = server.port();
+
+  // Unsupported protocol version.
+  expect_fatal_error(
+      encode_frame(encode_hello_request(1, 99, {"binary", "json"})),
+      "bad_negotiation", port);
+
+  // An offer with no encoding the server knows.
+  expect_fatal_error(
+      encode_frame(encode_hello_request(1, kProtocolVersion, {"pigeon"})),
+      "bad_negotiation", port);
+
+  // Negotiation replay: a second hello after the handshake is fatal.
+  {
+    TuningClient client("127.0.0.1", port, kDefaultMaxFrameBytes,
+                        TuningClient::WireMode::kJson);
+    client.send_raw(
+        encode_frame(encode_hello_request(1, kProtocolVersion, {"json"})));
+    const ServerMessage hello = client.read_message();
+    ASSERT_EQ(hello.type, ServerMessage::Type::Hello);
+    EXPECT_EQ(hello.encoding, "json");
+    client.send_raw(
+        encode_frame(encode_hello_request(2, kProtocolVersion, {"json"})));
+    const ServerMessage err = last_error_before_close(client);
+    ASSERT_EQ(err.type, ServerMessage::Type::Error);
+    EXPECT_EQ(err.code, "bad_negotiation");
+  }
+}
+
+/// Hostile bytes on an already-negotiated binary connection: every entry
+/// of the malformed matrix must produce a typed fatal error and a closed
+/// connection, and the server must keep serving afterwards.
+TEST(NetService, MalformedBinaryFramesGetTypedErrors) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningServer server;
+  server.register_problem("test", "tinybowl", problem);
+  const std::uint16_t port = server.port();
+
+  const auto expect_binary_fatal = [&](const std::string& body,
+                                       const std::string& expected_code) {
+    SCOPED_TRACE("expecting " + expected_code);
+    // The constructor negotiates binary; the hostile frame follows it.
+    TuningClient client("127.0.0.1", port, kDefaultMaxFrameBytes,
+                        TuningClient::WireMode::kBinary);
+    client.send_raw(encode_frame(body));
+    const ServerMessage err = last_error_before_close(client);
+    ASSERT_EQ(err.type, ServerMessage::Type::Error);
+    EXPECT_EQ(err.code, expected_code);
+    EXPECT_TRUE(err.fatal);
+  };
+
+  // Unknown tag.
+  expect_binary_fatal(std::string(1, '\x7e'), "bad_message");
+  // JSON on a binary connection is just another unknown tag.
+  expect_binary_fatal("{\"type\":\"next_runs\",\"req\":1}", "bad_message");
+  // Truncated varint (continue bit, then end of frame).
+  expect_binary_fatal(std::string("\x04\xff", 2), "bad_message");
+  // Over-long varint (10 continuation bytes).
+  expect_binary_fatal(std::string(1, '\x04') + std::string(10, '\xff') + '\x01',
+                      "bad_message");
+  // Wrong length: a close request with trailing bytes.
+  expect_binary_fatal(binary_encode_close(1, 2) + '\x00', "bad_message");
+  // A frame cut inside a double.
+  {
+    core::RunResult r;
+    std::string tell = binary_encode_tell(1, 2, 3, r);
+    tell.resize(tell.size() - 4);
+    expect_binary_fatal(tell, "bad_message");
+  }
+
+  // Still serving: a full binary session completes after the abuse.
+  TuningClient survivor("127.0.0.1", port, kDefaultMaxFrameBytes,
+                        TuningClient::WireMode::kBinary);
+  service::SessionSpec spec;
+  spec.optimizer = "random";
+  spec.seed = 7;
+  spec.problem_ref = service::ProblemRef{"test", "tinybowl", 3.0};
+  const std::uint64_t id = survivor.open(spec);
+  eval::AsyncTableRunner runner(ds);
+  survivor.drain(runner);
+  EXPECT_TRUE(survivor.result(id).finished);
+}
+
+/// Backpressure correctness: with the smallest possible lanes every
+/// request parks its connection sooner or later, and trajectories must
+/// STILL land byte-identical — parking pauses reads, it never reorders
+/// or drops. The saturation must be visible in request_lane_stats().
+TEST(NetService, TinyLanesParkReadersWithoutCorruptingTrajectories) {
+  const auto ds = lynceus::testing::tiny_dataset();
+  const auto problem = lynceus::testing::tiny_problem();
+  TuningServer::Options opts;
+  opts.shards = 2;
+  opts.lane_capacity = 1;  // every burst overflows
+  TuningServer server(opts);
+  server.register_problem("test", "tinybowl", problem);
+
+  constexpr std::uint64_t kSessions = 8;
+  TuningClient client("127.0.0.1", server.port());
+  eval::AsyncTableRunner runner(ds);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> opened;
+  for (std::uint64_t seed = 1; seed <= kSessions; ++seed) {
+    opened.emplace_back(seed, client.open(remote_lynceus_spec(seed)));
+  }
+  client.drain(runner);
+  for (const auto& [seed, id] : opened) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const TuningClient::ResultReply reply = client.result(id);
+    ASSERT_TRUE(reply.finished);
+    eval::TableRunner solo(ds);
+    auto stepper = core::LynceusOptimizer(lynceus_options_for(seed))
+                       .make_stepper(problem, seed);
+    expect_identical(reply.result, core::drive(*stepper, solo));
+  }
+
+  const std::vector<TuningServer::LaneStats> stats =
+      server.request_lane_stats();
+  ASSERT_EQ(stats.size(), 4U);  // 2 transports x 2 shards
+  std::size_t total_high_water = 0;
+  for (const TuningServer::LaneStats& ls : stats) {
+    EXPECT_EQ(ls.capacity, 1U);
+    EXPECT_LE(ls.high_water, ls.capacity);
+    total_high_water += ls.high_water;
+  }
+  // Traffic flowed through at least one lane of the connection's
+  // transport; stall counts are load-dependent and only asserted >= 0
+  // implicitly by type.
+  EXPECT_GT(total_high_water, 0U);
 }
 
 TEST(NetService, StopClosesClientConnections) {

@@ -102,9 +102,13 @@ def load_entries(summary):
         # Network front-end (loopback TCP) throughput: gated on the
         # per-decision latency of the distributed drain AND the p99 tell
         # round-trip latency (the remote driver's hot path). Session,
-        # client and shard counts are all part of the key.
-        key = (f"net/{e['space']}/s{e['sessions']}/c{e['clients']}"
-               f"/sh{e['shards']}")
+        # client and shard counts are all part of the key, and so is the
+        # wire encoding — a json baseline and a binary run are different
+        # protocols, not a regression. Pre-negotiation summaries carry
+        # no "wire" field; those default to json (the only encoding that
+        # existed), so old baselines line up with new json entries.
+        key = (f"net/{e['space']}/{e.get('wire', 'json')}"
+               f"/s{e['sessions']}/c{e['clients']}/sh{e['shards']}")
         entries[f"{key}/decision"] = e["ms_per_decision"]
         entries[f"{key}/tell_p99"] = e["tell_p99_ms"]
     for e in summary.get("session_scaling", []):

@@ -105,6 +105,16 @@ Flags:
               set the server's default RunPolicy; the tuning flags are
               unused (clients send their own SessionSpec).
   --shards K         with --serve: number of service loops (default 2)
+  --wire W           frame-body encoding, "json" or "binary". Default:
+              negotiate — the client offers binary and the server picks
+              it when allowed. With --serve, W restricts what the
+              handshake may choose (binary-only servers reject clients
+              that do not negotiate binary with a typed error). With
+              --connect, "binary" demands binary (typed bad_negotiation
+              error if refused) and "json" skips the handshake.
+              Trajectories are byte-identical under either encoding.
+  --pin-threads      with --serve: pin shard s to core s and transport t
+              to core K+t (cache/lane locality; perf hint only)
   --connect HOST:PORT  tune over the network instead of in process: open
               --sessions sessions (default 1) built from the usual
               suite/job/optimizer flags, execute the profiling runs the
@@ -412,20 +422,36 @@ int run_sessions(const cloud::Dataset& dataset,
 /// --serve PORT: run the TCP front-end until stdin reaches EOF. The
 /// tuning flags are unused — remote clients describe their sessions.
 int run_serve(std::uint16_t port, std::size_t shards,
+              net::TuningServer::WirePolicy wire, bool pin_threads,
               const FaultChoice& faults) {
   net::TuningServer::Options opts;
   opts.port = port;
   opts.shards = shards;
+  opts.wire = wire;
+  opts.pin_threads = pin_threads;
   opts.run_policy.max_attempts = faults.max_retries + 1;
   opts.run_policy.run_timeout_seconds = faults.run_timeout;
   net::TuningServer server(opts);
-  std::printf("serving on 127.0.0.1:%u (%zu shards) — EOF on stdin stops\n",
-              static_cast<unsigned>(server.port()), shards);
+  const char* wire_desc =
+      wire == net::TuningServer::WirePolicy::kJsonOnly     ? "json"
+      : wire == net::TuningServer::WirePolicy::kBinaryOnly ? "binary"
+                                                           : "negotiate";
+  std::printf(
+      "serving on 127.0.0.1:%u (%zu shards, wire %s) — EOF on stdin stops\n",
+      static_cast<unsigned>(server.port()), shards, wire_desc);
   std::fflush(stdout);
   int c;
   while ((c = std::fgetc(stdin)) != EOF) {
   }
   server.stop();
+  // Lane saturation report: a stall means a request parked its
+  // connection because the shard lane was full — sustained stalls say
+  // "more shards", a high-water near capacity says "bursty".
+  for (const net::TuningServer::LaneStats& ls : server.request_lane_stats()) {
+    if (ls.high_water == 0 && ls.stalls == 0) continue;
+    std::printf("lane t%zu->s%zu: high water %zu/%zu, %zu stalls\n",
+                ls.transport, ls.shard, ls.high_water, ls.capacity, ls.stalls);
+  }
   return 0;
 }
 
@@ -435,7 +461,8 @@ int run_serve(std::uint16_t port, std::size_t shards,
 int run_connect(const std::string& target, const std::string& suite,
                 const cloud::Dataset& dataset, double b,
                 const OptimizerChoice& choice, const FaultChoice& faults,
-                std::uint64_t seed, std::size_t sessions) {
+                std::uint64_t seed, std::size_t sessions,
+                net::TuningClient::WireMode wire) {
   const std::size_t colon = target.rfind(':');
   if (colon == std::string::npos || colon == 0 ||
       colon + 1 == target.size()) {
@@ -447,24 +474,34 @@ int run_connect(const std::string& target, const std::string& suite,
     throw std::invalid_argument("--connect: port out of range");
   }
 
-  net::TuningClient client(host, static_cast<std::uint16_t>(port));
+  std::optional<net::TuningClient> client;
+  try {
+    client.emplace(host, static_cast<std::uint16_t>(port),
+                   net::kDefaultMaxFrameBytes, wire);
+  } catch (const net::ProtocolError& e) {
+    // The server refused the handshake (e.g. --wire binary against a
+    // JSON-only server): a typed rejection, not a mystery disconnect.
+    std::fprintf(stderr, "negotiation with %s failed [%s]: %s\n",
+                 target.c_str(), e.code().c_str(), e.what());
+    return 1;
+  }
   std::vector<std::uint64_t> ids;
   for (std::size_t i = 0; i < sessions; ++i) {
     service::SessionSpec spec = make_spec(choice, faults, seed + i);
     spec.problem_ref =
         service::ProblemRef{suite, dataset.job_name(), b};
-    ids.push_back(client.open(spec));
+    ids.push_back(client->open(spec));
   }
-  std::printf("opened %zu remote session(s) on %s\n", sessions,
-              target.c_str());
+  std::printf("opened %zu remote session(s) on %s (wire %s)\n", sessions,
+              target.c_str(), net::wire_encoding_name(client->encoding()));
 
   eval::AsyncTableRunner async(dataset);
   if (faults.plan.active()) async.set_fault_plan(faults.plan);
-  client.drain(async);
+  client->drain(async);
 
   int exit_code = 0;
   for (std::size_t i = 0; i < sessions; ++i) {
-    const net::TuningClient::ResultReply reply = client.result(ids[i]);
+    const net::TuningClient::ResultReply reply = client->result(ids[i]);
     if (sessions == 1) {
       print_summary(dataset, eval::make_problem(dataset, b), reply.result);
       if (!reply.result.recommendation) exit_code = 1;
@@ -481,7 +518,7 @@ int run_connect(const std::string& target, const std::string& suite,
                 eval::cno(dataset, reply.result), reply.stop_reason.c_str());
     if (!reply.result.recommendation) exit_code = 1;
   }
-  for (std::size_t i = 0; i < sessions; ++i) client.close_session(ids[i]);
+  for (std::size_t i = 0; i < sessions; ++i) client->close_session(ids[i]);
   return exit_code;
 }
 
@@ -492,11 +529,16 @@ int run(int argc, char** argv) {
        "incremental", "branch-parallel", "sessions", "throughput-workers",
        "snapshot", "snapshot-after", "resume", "fault-rate", "fault-seed",
        "straggler-factor", "max-retries", "run-timeout", "serve", "shards",
-       "connect", "trace", "list", "help"});
+       "wire", "pin-threads", "connect", "trace", "list", "help"});
 
   if (flags.get_bool("help", false)) {
     std::fputs(kUsage, stdout);
     return 0;
+  }
+
+  const std::string wire_flag = flags.get_string("wire", "");
+  if (!wire_flag.empty() && wire_flag != "json" && wire_flag != "binary") {
+    throw std::invalid_argument("--wire expects json or binary");
   }
 
   if (flags.has("serve")) {
@@ -511,11 +553,23 @@ int run(int argc, char** argv) {
     if (shards < 1) {
       throw std::invalid_argument("--shards must be >= 1");
     }
+    const net::TuningServer::WirePolicy policy =
+        wire_flag == "json"     ? net::TuningServer::WirePolicy::kJsonOnly
+        : wire_flag == "binary" ? net::TuningServer::WirePolicy::kBinaryOnly
+                                : net::TuningServer::WirePolicy::kNegotiate;
     return run_serve(static_cast<std::uint16_t>(port),
-                     static_cast<std::size_t>(shards), parse_faults(flags));
+                     static_cast<std::size_t>(shards), policy,
+                     flags.get_bool("pin-threads", false),
+                     parse_faults(flags));
   }
   if (flags.has("shards")) {
     throw std::invalid_argument("--shards requires --serve");
+  }
+  if (flags.has("pin-threads")) {
+    throw std::invalid_argument("--pin-threads requires --serve");
+  }
+  if (!wire_flag.empty() && !flags.has("connect")) {
+    throw std::invalid_argument("--wire requires --serve or --connect");
   }
 
   const auto all = suite_datasets(flags.get_string("suite", "tf"));
@@ -564,9 +618,13 @@ int run(int argc, char** argv) {
     if (sessions < 1) {
       throw std::invalid_argument("--sessions must be >= 1");
     }
+    const net::TuningClient::WireMode mode =
+        wire_flag == "json"     ? net::TuningClient::WireMode::kJson
+        : wire_flag == "binary" ? net::TuningClient::WireMode::kBinary
+                                : net::TuningClient::WireMode::kNegotiate;
     return run_connect(flags.get_string("connect", ""),
                        flags.get_string("suite", "tf"), *dataset, b, choice,
-                       faults, seed, sessions);
+                       faults, seed, sessions, mode);
   }
   if (throughput_workers > 0 && sessions <= 1) {
     throw std::invalid_argument(

@@ -18,6 +18,9 @@ GITHUB_STEP_SUMMARY is set, the job summary) and enforces two bars:
 A net_throughput section (the loopback TCP front-end, src/net/) is
 rendered alongside the other tables when present — recorded for the
 curve, gated by compare_bench.py in the build matrix rather than here.
+When the same shape (space/sessions/clients/shards) was measured under
+both wire encodings, a json-vs-binary "wire tax" table is added so the
+frame-format savings read directly off the job summary.
 
 Runners whose maximum is below 2 workers cannot measure scaling and pass
 with a skip note — the 1-core dev box records w in {0, 1} only. A missing
@@ -75,17 +78,50 @@ def render_net_table(entries):
     lines = [
         "## net_throughput (loopback TCP front-end)",
         "",
-        "| space | sessions | clients | shards | decisions | decisions/s | "
-        "tell p50 (ms) | tell p99 (ms) |",
-        "|---|---|---|---|---|---|---|---|",
+        "| space | wire | sessions | clients | shards | decisions | "
+        "decisions/s | tell p50 (ms) | tell p99 (ms) |",
+        "|---|---|---|---|---|---|---|---|---|",
     ]
     for e in entries:
         lines.append(
-            f"| {e['space']} | {e['sessions']} | {e['clients']} | "
-            f"{e['shards']} | {e.get('decisions', 0)} | "
+            f"| {e['space']} | {e.get('wire', 'json')} | {e['sessions']} | "
+            f"{e['clients']} | {e['shards']} | {e.get('decisions', 0)} | "
             f"{e['decisions_per_sec']:.0f} | {e['tell_p50_ms']:.3f} | "
             f"{e['tell_p99_ms']:.3f} |")
     return "\n".join(lines)
+
+
+def render_wire_table(entries):
+    """Pairs json/binary runs of the same shape: the wire-tax view.
+
+    Returns None when no shape was measured under both encodings (e.g.
+    pre-negotiation baselines, which carry no "wire" field at all)."""
+    by_shape = {}
+    for e in entries:
+        shape = (e["space"], e["sessions"], e["clients"], e["shards"])
+        by_shape.setdefault(shape, {})[e.get("wire", "json")] = e
+    rows = []
+    for shape in sorted(by_shape):
+        pair = by_shape[shape]
+        if "json" not in pair or "binary" not in pair:
+            continue
+        j, b = pair["json"], pair["binary"]
+        space, sessions, clients, shards = shape
+        gain = (b["decisions_per_sec"] / j["decisions_per_sec"] - 1.0) * 100.0
+        rows.append(
+            f"| {space} | {sessions} | {clients} | {shards} | "
+            f"{j['decisions_per_sec']:.0f} | {b['decisions_per_sec']:.0f} | "
+            f"{gain:+.1f}% | {j['tell_p99_ms']:.2f} | "
+            f"{b['tell_p99_ms']:.2f} |")
+    if not rows:
+        return None
+    return "\n".join([
+        "## wire tax (json vs binary, same shape)",
+        "",
+        "| space | sessions | clients | shards | json dec/s | binary dec/s | "
+        "binary gain | json tell p99 (ms) | binary tell p99 (ms) |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ] + rows)
 
 
 def gate(entries, space, la, mode, min_speedup, out=print):
@@ -181,6 +217,9 @@ def main():
     net_entries = summary.get("net_throughput", [])
     if net_entries:
         report += "\n\n" + render_net_table(net_entries)
+        wire_table = render_wire_table(net_entries)
+        if wire_table:
+            report += "\n\n" + wire_table
     print(report)
     step = os.environ.get("GITHUB_STEP_SUMMARY")
     if step:

@@ -42,12 +42,15 @@ def summary(spaces_p50=None, mc=None, inc=None, pooled=None, scaling=None,
 
 
 def net_entry(space="scout_0", sessions=64, clients=8, shards=2,
-              ms_per_decision=6.0, tell_p99=3.0):
-    return {"space": space, "optimizer": "lynceus_la1", "sessions": sessions,
-            "clients": clients, "shards": shards,
-            "ms_per_decision": ms_per_decision,
-            "decisions_per_sec": 1000.0 / ms_per_decision,
-            "tell_p50_ms": tell_p99 / 2.0, "tell_p99_ms": tell_p99}
+              ms_per_decision=6.0, tell_p99=3.0, wire=None):
+    out = {"space": space, "optimizer": "lynceus_la1", "sessions": sessions,
+           "clients": clients, "shards": shards,
+           "ms_per_decision": ms_per_decision,
+           "decisions_per_sec": 1000.0 / ms_per_decision,
+           "tell_p50_ms": tell_p99 / 2.0, "tell_p99_ms": tell_p99}
+    if wire is not None:  # None mimics a pre-negotiation summary
+        out["wire"] = wire
+    return out
 
 
 def soa_entry(space="tensorflow_cnn", node_walk=8.0, batch=2.0,
@@ -252,18 +255,37 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(self.run_gate(base, new), 1)
         self.assertEqual(self.run_gate(base, base), 0)
 
-    def test_net_throughput_keys_on_sessions_clients_and_shards(self):
+    def test_net_throughput_keys_on_wire_sessions_clients_and_shards(self):
         entries = {"tf": [(0, 2.0), (1, 5.0)]}
         flat, notes = compare_bench.load_entries(
             summary(spaces_p50=entries,
-                    net=[net_entry(sessions=8, clients=1),
-                         net_entry(sessions=64, clients=8)]))
-        self.assertIn("net/scout_0/s8/c1/sh2/decision", flat)
-        self.assertIn("net/scout_0/s8/c1/sh2/tell_p99", flat)
-        self.assertIn("net/scout_0/s64/c8/sh2/decision", flat)
-        self.assertEqual(flat["net/scout_0/s64/c8/sh2/decision"], 6.0)
-        self.assertEqual(flat["net/scout_0/s64/c8/sh2/tell_p99"], 3.0)
+                    net=[net_entry(sessions=8, clients=1, wire="json"),
+                         net_entry(sessions=64, clients=8, wire="json"),
+                         net_entry(sessions=64, clients=8, wire="binary",
+                                   ms_per_decision=4.0, tell_p99=2.0)]))
+        self.assertIn("net/scout_0/json/s8/c1/sh2/decision", flat)
+        self.assertIn("net/scout_0/json/s8/c1/sh2/tell_p99", flat)
+        self.assertIn("net/scout_0/json/s64/c8/sh2/decision", flat)
+        self.assertEqual(flat["net/scout_0/json/s64/c8/sh2/decision"], 6.0)
+        self.assertEqual(flat["net/scout_0/json/s64/c8/sh2/tell_p99"], 3.0)
+        # The binary twin of the same shape is a distinct key, never
+        # compared against the json numbers.
+        self.assertEqual(flat["net/scout_0/binary/s64/c8/sh2/decision"], 4.0)
+        self.assertEqual(flat["net/scout_0/binary/s64/c8/sh2/tell_p99"], 2.0)
         self.assertEqual(notes, [])
+
+    def test_net_throughput_wire_defaults_to_json_for_old_baselines(self):
+        # Summaries written before encoding negotiation existed carry no
+        # "wire" field; they must land on the same key as new json runs
+        # so history stays comparable.
+        entries = {"tf": [(0, 2.0), (1, 5.0)]}
+        flat, _ = compare_bench.load_entries(
+            summary(spaces_p50=entries, net=[net_entry(wire=None)]))
+        self.assertIn("net/scout_0/json/s64/c8/sh2/decision", flat)
+        base = summary(spaces_p50=entries, net=[net_entry(wire=None)])
+        new = summary(spaces_p50=entries,
+                      net=[net_entry(wire="json", ms_per_decision=30.0)])
+        self.assertEqual(self.run_gate(base, new), 1)
 
     def test_net_throughput_decision_regression_fails(self):
         entries = {"tf": [(0, 2.0), (1, 5.0), (2, 20.0)]}

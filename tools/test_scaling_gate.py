@@ -28,11 +28,15 @@ def sentry(workers, dps, speedup=0.0, sessions=64, space="scout_0"):
             "decisions_per_sec": dps, "speedup_vs_w0": speedup}
 
 
-def nentry(sessions=64, clients=8, shards=2, dps=836.9, p50=4.0, p99=28.5):
-    return {"space": "scout_0", "optimizer": "lynceus_la1",
-            "sessions": sessions, "clients": clients, "shards": shards,
-            "decisions": 372, "ms_per_decision": 1.19,
-            "decisions_per_sec": dps, "tell_p50_ms": p50, "tell_p99_ms": p99}
+def nentry(sessions=64, clients=8, shards=2, dps=836.9, p50=4.0, p99=28.5,
+           wire=None):
+    out = {"space": "scout_0", "optimizer": "lynceus_la1",
+           "sessions": sessions, "clients": clients, "shards": shards,
+           "decisions": 372, "ms_per_decision": 1.19,
+           "decisions_per_sec": dps, "tell_p50_ms": p50, "tell_p99_ms": p99}
+    if wire is not None:  # None mimics a pre-negotiation summary
+        out["wire"] = wire
+    return out
 
 
 def passing_decision_curve():
@@ -210,11 +214,53 @@ class ScalingGateTest(unittest.TestCase):
             with open(step) as f:
                 text = f.read()
         self.assertIn("net_throughput", text)
-        self.assertIn("| scout_0 | 64 | 8 | 2 | 372 | 837 | 4.000 | "
+        # wire=None (pre-negotiation summary) renders as the json column
+        # default.
+        self.assertIn("| scout_0 | json | 64 | 8 | 2 | 372 | 837 | 4.000 | "
                       "28.500 |", text)
-        # Both tables land in one summary, in-process first.
+        # Both tables land in one summary, in-process first; no wire-tax
+        # table without a json/binary pair of the same shape.
         self.assertLess(text.index("session_scaling"),
                         text.index("net_throughput"))
+        self.assertNotIn("wire tax", text)
+
+    def test_wire_tax_table_pairs_json_and_binary_shapes(self):
+        # A shape measured under BOTH encodings gets a wire-tax row with
+        # the binary gain; an unpaired shape (binary-only here) does not.
+        summary = {"decision_scaling": passing_decision_curve(),
+                   "session_scaling": [sentry(0, 3000.0),
+                                       sentry(7, 11000.0, speedup=3.7)],
+                   "net_throughput": [
+                       nentry(wire="json", dps=1000.0, p99=20.0),
+                       nentry(wire="binary", dps=1150.0, p99=18.0),
+                       nentry(sessions=8, clients=1, wire="binary",
+                              dps=1185.0)]}
+        with tempfile.TemporaryDirectory() as tmp:
+            step = os.path.join(tmp, "summary.md")
+            with mock.patch.dict(os.environ,
+                                 {"GITHUB_STEP_SUMMARY": step}):
+                self.assertEqual(self.run_main(summary), 0)
+            with open(step) as f:
+                text = f.read()
+        self.assertIn("wire tax", text)
+        self.assertIn("| scout_0 | 64 | 8 | 2 | 1000 | 1150 | +15.0% | "
+                      "20.00 | 18.00 |", text)
+        # Unpaired 8-session shape stays out of the wire-tax table (one
+        # row only: header, separator, the 64-session pair).
+        wire_section = text[text.index("wire tax"):]
+        self.assertNotIn("| scout_0 | 8 | 1 |", wire_section)
+
+    def test_wire_tax_table_pairs_old_json_baseline_with_binary(self):
+        # Entries without a "wire" field count as json, so a binary run
+        # can be compared against a pre-negotiation baseline summary.
+        entries = [nentry(dps=837.0, p99=28.5),
+                   nentry(wire="binary", dps=1152.0, p99=18.8)]
+        table = scaling_gate.render_wire_table(entries)
+        self.assertIsNotNone(table)
+        self.assertIn("+37.6%", table)
+        # All-json sections produce no table at all.
+        self.assertIsNone(scaling_gate.render_wire_table(
+            [nentry(), nentry(sessions=8, clients=1)]))
 
     def test_missing_net_section_renders_nothing_and_passes(self):
         summary = {"decision_scaling": passing_decision_curve(),
